@@ -1,0 +1,435 @@
+//! The heterogeneous memory allocator (§IV-B of the paper).
+//!
+//! The paper's allocator "may be summarized with a single function
+//! `mem_alloc(..., attribute)` which allocates on the best local
+//! memory target for the specified attribute, for instance Bandwidth,
+//! Latency or Capacity". This crate reproduces it:
+//!
+//! * [`HetAllocator::mem_alloc`] ranks the initiator's **local**
+//!   targets by the requested attribute (via `hetmem-core`) and
+//!   allocates on the best one;
+//! * if the best target is full, it **falls back along the ranking**
+//!   ([`Fallback::NextTarget`] retries whole buffers on the next
+//!   target, [`Fallback::PartialSpill`] splits at page granularity,
+//!   [`Fallback::Strict`] fails — all three appear in the paper's
+//!   experiments);
+//! * if the attribute has no values on this platform, it falls back to
+//!   a **similar attribute** ("for instance Bandwidth instead of Read
+//!   Bandwidth") and ultimately to Capacity, which always exists;
+//! * the key portability property: the request names a *requirement*
+//!   (Latency), never a *technology* (HBM). The same call returns DRAM
+//!   on a DRAM+NVDIMM Xeon and can return either memory on KNL.
+//!
+//! The [`baselines`] module implements what the paper compares
+//! against — a memkind-style hardwired-kind API, AutoHBW size
+//! thresholds, and whole-process binding — and [`planner`] implements
+//! the §VII capacity-conflict discussion (FCFS vs priority ordering,
+//! plus migration).
+
+
+#![warn(missing_docs)]
+pub mod baselines;
+pub mod omp;
+pub mod planner;
+pub mod tiering;
+
+use hetmem_bitmap::Bitmap;
+use hetmem_core::{attr, AttrError, AttrId, MemAttrs};
+use hetmem_memsim::{AllocError, AllocPolicy, MemoryManager, MigrationReport, RegionId};
+use hetmem_topology::NodeId;
+use std::sync::Arc;
+
+pub use hetmem_memsim::Machine;
+
+/// What to do when the best target cannot hold the buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Fallback {
+    /// Fail — used by experiments that must measure a single memory.
+    Strict,
+    /// Try the next target in the ranking with the whole buffer
+    /// (paper: "entirely allocated on slower memories").
+    #[default]
+    NextTarget,
+    /// Fill targets in ranking order at page granularity
+    /// (paper: "or at least partially").
+    PartialSpill,
+}
+
+/// Allocation failure from the heterogeneous allocator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HetAllocError {
+    /// No target carries a value for the criterion (even after
+    /// attribute fallback) — should not happen since Capacity always
+    /// exists, unless the initiator has no local nodes.
+    NoCandidates,
+    /// The underlying OS allocation failed.
+    Os(AllocError),
+    /// Attribute registry error.
+    Attr(AttrError),
+}
+
+impl std::fmt::Display for HetAllocError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HetAllocError::NoCandidates => write!(f, "no candidate target for criterion"),
+            HetAllocError::Os(e) => write!(f, "allocation failed: {e}"),
+            HetAllocError::Attr(e) => write!(f, "attribute error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for HetAllocError {}
+
+impl From<AllocError> for HetAllocError {
+    fn from(e: AllocError) -> Self {
+        HetAllocError::Os(e)
+    }
+}
+
+impl From<AttrError> for HetAllocError {
+    fn from(e: AttrError) -> Self {
+        HetAllocError::Attr(e)
+    }
+}
+
+/// The heterogeneous allocator: attribute registry + OS memory
+/// manager.
+pub struct HetAllocator {
+    attrs: Arc<MemAttrs>,
+    mm: MemoryManager,
+}
+
+impl HetAllocator {
+    /// Creates an allocator over a machine's memory, driven by the
+    /// given attribute registry (from firmware discovery or
+    /// benchmarking).
+    pub fn new(attrs: Arc<MemAttrs>, mm: MemoryManager) -> Self {
+        HetAllocator { attrs, mm }
+    }
+
+    /// The attribute registry in use.
+    pub fn attrs(&self) -> &Arc<MemAttrs> {
+        &self.attrs
+    }
+
+    /// The underlying memory manager (to run phases against).
+    pub fn memory(&self) -> &MemoryManager {
+        &self.mm
+    }
+
+    /// Mutable access to the memory manager.
+    pub fn memory_mut(&mut self) -> &mut MemoryManager {
+        &mut self.mm
+    }
+
+    /// Attribute fallback chain (§IV-B: "the allocator may also
+    /// fallback to other similar attributes, for instance Bandwidth
+    /// instead of Read Bandwidth"), ending at Capacity which is always
+    /// available.
+    fn similar_attrs(criterion: AttrId) -> Vec<AttrId> {
+        let mut chain = vec![criterion];
+        match criterion {
+            attr::READ_BANDWIDTH | attr::WRITE_BANDWIDTH => chain.push(attr::BANDWIDTH),
+            attr::READ_LATENCY | attr::WRITE_LATENCY => chain.push(attr::LATENCY),
+            _ => {}
+        }
+        if !chain.contains(&attr::CAPACITY) {
+            chain.push(attr::CAPACITY);
+        }
+        chain
+    }
+
+    /// The ranked candidate targets for a criterion and initiator,
+    /// after attribute fallback.
+    pub fn candidates(
+        &self,
+        criterion: AttrId,
+        initiator: &Bitmap,
+    ) -> Result<Vec<NodeId>, HetAllocError> {
+        for id in Self::similar_attrs(criterion) {
+            let ranked = self.attrs.rank_local_targets(id, initiator)?;
+            if !ranked.is_empty() {
+                return Ok(ranked.into_iter().map(|tv| tv.node).collect());
+            }
+        }
+        Err(HetAllocError::NoCandidates)
+    }
+
+    /// The paper's `mem_alloc(..., attribute)`: allocates `size` bytes
+    /// on the best local target for `criterion` as seen from
+    /// `initiator`, with the chosen fallback behaviour.
+    pub fn mem_alloc(
+        &mut self,
+        size: u64,
+        criterion: AttrId,
+        initiator: &Bitmap,
+        fallback: Fallback,
+    ) -> Result<RegionId, HetAllocError> {
+        let candidates = self.candidates(criterion, initiator)?;
+        self.alloc_on(size, candidates, fallback)
+    }
+
+    /// Like [`Self::candidates`] but ranking **all** targets, local or
+    /// not — the paper's §IV escape hatch ("if NUMA-locality is not
+    /// strictly required, one may fall back to `get_value()` for
+    /// manually comparing targets") and the §VIII scenario: when the
+    /// local DRAM is full, a *remote* DRAM may beat the local NVDIMM.
+    /// Only meaningful with attribute sources that cover remote pairs
+    /// (benchmarks, or full-matrix HMAT).
+    pub fn candidates_any(
+        &self,
+        criterion: AttrId,
+        initiator: &Bitmap,
+    ) -> Result<Vec<NodeId>, HetAllocError> {
+        for id in Self::similar_attrs(criterion) {
+            let ranked = self.attrs.rank_targets(id, initiator)?;
+            if !ranked.is_empty() {
+                return Ok(ranked.into_iter().map(|tv| tv.node).collect());
+            }
+        }
+        Err(HetAllocError::NoCandidates)
+    }
+
+    /// `mem_alloc` over the global (local + remote) ranking.
+    pub fn mem_alloc_any(
+        &mut self,
+        size: u64,
+        criterion: AttrId,
+        initiator: &Bitmap,
+        fallback: Fallback,
+    ) -> Result<RegionId, HetAllocError> {
+        let candidates = self.candidates_any(criterion, initiator)?;
+        self.alloc_on(size, candidates, fallback)
+    }
+
+    fn alloc_on(
+        &mut self,
+        size: u64,
+        candidates: Vec<NodeId>,
+        fallback: Fallback,
+    ) -> Result<RegionId, HetAllocError> {
+        match fallback {
+            Fallback::Strict => Ok(self.mm.alloc(size, AllocPolicy::Bind(candidates[0]))?),
+            Fallback::NextTarget => {
+                let mut last_err = None;
+                for &node in &candidates {
+                    match self.mm.alloc(size, AllocPolicy::Bind(node)) {
+                        Ok(id) => return Ok(id),
+                        Err(e) => last_err = Some(e),
+                    }
+                }
+                Err(last_err.map(HetAllocError::Os).unwrap_or(HetAllocError::NoCandidates))
+            }
+            Fallback::PartialSpill => {
+                Ok(self.mm.alloc(size, AllocPolicy::PreferredMany(candidates))?)
+            }
+        }
+    }
+
+    /// Frees a buffer.
+    pub fn free(&mut self, id: RegionId) -> bool {
+        self.mm.free(id)
+    }
+
+    /// Migrates a buffer to the current best target for `criterion`
+    /// (§VII: "Memory migration could be a solution to avoid capacity
+    /// issues when important buffers are not used during the same
+    /// application phase").
+    pub fn migrate_to_best(
+        &mut self,
+        id: RegionId,
+        criterion: AttrId,
+        initiator: &Bitmap,
+    ) -> Result<(NodeId, MigrationReport), HetAllocError> {
+        let candidates = self.candidates(criterion, initiator)?;
+        let mut last_err = None;
+        for &node in &candidates {
+            match self.mm.migrate(id, node) {
+                Ok(report) => return Ok((node, report)),
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err.map(HetAllocError::Os).unwrap_or(HetAllocError::NoCandidates))
+    }
+
+    /// The node the best-ranked candidate resolves to right now —
+    /// what Table III prints as "Best Target".
+    pub fn best_target(&self, criterion: AttrId, initiator: &Bitmap) -> Option<NodeId> {
+        self.candidates(criterion, initiator).ok().map(|c| c[0])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetmem_core::discovery;
+    use hetmem_topology::{MemoryKind, GIB};
+
+    fn knl_allocator() -> HetAllocator {
+        let machine = Arc::new(Machine::knl_snc4_flat());
+        let attrs = Arc::new(discovery::from_firmware(&machine, true).unwrap());
+        let mm = MemoryManager::new(machine);
+        HetAllocator::new(attrs, mm)
+    }
+
+    fn xeon_allocator() -> HetAllocator {
+        let machine = Arc::new(Machine::xeon_1lm_no_snc());
+        let attrs = Arc::new(discovery::from_firmware(&machine, true).unwrap());
+        let mm = MemoryManager::new(machine);
+        HetAllocator::new(attrs, mm)
+    }
+
+    fn kind_of(a: &HetAllocator, id: RegionId) -> MemoryKind {
+        let node = a.memory().region(id).unwrap().single_node().unwrap();
+        a.memory().machine().topology().node_kind(node).unwrap()
+    }
+
+    #[test]
+    fn same_code_portable_across_machines() {
+        // The paper's headline: request *Latency*, get the right
+        // memory everywhere without naming a technology.
+        let c0: Bitmap = "0-15".parse().unwrap();
+        let mut knl = knl_allocator();
+        let id = knl.mem_alloc(GIB, attr::LATENCY, &c0, Fallback::NextTarget).unwrap();
+        assert_eq!(kind_of(&knl, id), MemoryKind::Dram); // DRAM ≈ HBM, DRAM ranked first
+
+        let pkg0: Bitmap = "0-19".parse().unwrap();
+        let mut xeon = xeon_allocator();
+        let id = xeon.mem_alloc(GIB, attr::LATENCY, &pkg0, Fallback::NextTarget).unwrap();
+        assert_eq!(kind_of(&xeon, id), MemoryKind::Dram); // not NVDIMM
+    }
+
+    #[test]
+    fn bandwidth_criterion_picks_hbm_on_knl_only() {
+        let c0: Bitmap = "0-15".parse().unwrap();
+        let mut knl = knl_allocator();
+        let id = knl.mem_alloc(GIB, attr::BANDWIDTH, &c0, Fallback::NextTarget).unwrap();
+        assert_eq!(kind_of(&knl, id), MemoryKind::Hbm);
+
+        // On the Xeon the very same request lands on DRAM — "our
+        // approach is more portable since it may for instance return
+        // DRAM on a platform with DRAM and NVDIMMs but no HBM".
+        let pkg0: Bitmap = "0-19".parse().unwrap();
+        let mut xeon = xeon_allocator();
+        let id = xeon.mem_alloc(GIB, attr::BANDWIDTH, &pkg0, Fallback::NextTarget).unwrap();
+        assert_eq!(kind_of(&xeon, id), MemoryKind::Dram);
+    }
+
+    #[test]
+    fn capacity_criterion_picks_biggest() {
+        let pkg0: Bitmap = "0-19".parse().unwrap();
+        let mut xeon = xeon_allocator();
+        let id = xeon.mem_alloc(GIB, attr::CAPACITY, &pkg0, Fallback::NextTarget).unwrap();
+        assert_eq!(kind_of(&xeon, id), MemoryKind::Nvdimm);
+    }
+
+    #[test]
+    fn ranked_fallback_when_best_is_full() {
+        let c0: Bitmap = "0-15".parse().unwrap();
+        let mut knl = knl_allocator();
+        // Fill MCDRAM.
+        let hbm_avail = knl.memory().available(NodeId(4));
+        let hog = knl.mem_alloc(hbm_avail, attr::BANDWIDTH, &c0, Fallback::Strict).unwrap();
+        assert_eq!(kind_of(&knl, hog), MemoryKind::Hbm);
+        // Bandwidth request now falls back to the cluster DRAM.
+        let id = knl.mem_alloc(GIB, attr::BANDWIDTH, &c0, Fallback::NextTarget).unwrap();
+        assert_eq!(kind_of(&knl, id), MemoryKind::Dram);
+        // Strict instead fails.
+        let err = knl.mem_alloc(GIB, attr::BANDWIDTH, &c0, Fallback::Strict).unwrap_err();
+        assert!(matches!(err, HetAllocError::Os(AllocError::InsufficientCapacity { .. })));
+    }
+
+    #[test]
+    fn partial_spill_splits_across_ranking() {
+        let c0: Bitmap = "0-15".parse().unwrap();
+        let mut knl = knl_allocator();
+        let hbm_avail = knl.memory().available(NodeId(4));
+        // Ask for more than MCDRAM holds, spillable.
+        let id = knl
+            .mem_alloc(hbm_avail + 2 * GIB, attr::BANDWIDTH, &c0, Fallback::PartialSpill)
+            .unwrap();
+        let region = knl.memory().region(id).unwrap();
+        assert_eq!(region.bytes_on(NodeId(4)), hbm_avail);
+        assert_eq!(region.bytes_on(NodeId(0)), 2 * GIB);
+    }
+
+    #[test]
+    fn attribute_fallback_read_bw_to_bw() {
+        // Firmware discovery provides no ReadBandwidth values; the
+        // allocator silently uses Bandwidth instead.
+        let c0: Bitmap = "0-15".parse().unwrap();
+        let mut knl = knl_allocator();
+        assert!(knl.attrs().targets(attr::READ_BANDWIDTH).is_empty());
+        let id = knl.mem_alloc(GIB, attr::READ_BANDWIDTH, &c0, Fallback::NextTarget).unwrap();
+        assert_eq!(kind_of(&knl, id), MemoryKind::Hbm);
+    }
+
+    #[test]
+    fn capacity_always_available_as_last_resort() {
+        // A registry with no performance values at all (e.g. no HMAT,
+        // no benchmarks): any criterion degrades to Capacity.
+        let machine = Arc::new(Machine::knl_snc4_flat());
+        let attrs = Arc::new(MemAttrs::new(Arc::new(machine.topology().clone())));
+        let mm = MemoryManager::new(machine);
+        let mut a = HetAllocator::new(attrs, mm);
+        let c0: Bitmap = "0-15".parse().unwrap();
+        let id = a.mem_alloc(GIB, attr::BANDWIDTH, &c0, Fallback::NextTarget).unwrap();
+        // Capacity ranking puts the 24 GB DRAM first.
+        assert_eq!(kind_of(&a, id), MemoryKind::Dram);
+    }
+
+    #[test]
+    fn best_target_reporting() {
+        let pkg0: Bitmap = "0-19".parse().unwrap();
+        let xeon = xeon_allocator();
+        let topo_kind = |n: NodeId| xeon.memory().machine().topology().node_kind(n).unwrap();
+        assert_eq!(topo_kind(xeon.best_target(attr::LATENCY, &pkg0).unwrap()), MemoryKind::Dram);
+        assert_eq!(
+            topo_kind(xeon.best_target(attr::CAPACITY, &pkg0).unwrap()),
+            MemoryKind::Nvdimm
+        );
+    }
+
+    #[test]
+    fn migrate_to_best_after_pressure_clears() {
+        let c0: Bitmap = "0-15".parse().unwrap();
+        let mut knl = knl_allocator();
+        let hbm_avail = knl.memory().available(NodeId(4));
+        let hog = knl.mem_alloc(hbm_avail, attr::BANDWIDTH, &c0, Fallback::Strict).unwrap();
+        // Bandwidth-sensitive buffer lands on DRAM (fallback).
+        let buf = knl.mem_alloc(GIB, attr::BANDWIDTH, &c0, Fallback::NextTarget).unwrap();
+        assert_eq!(kind_of(&knl, buf), MemoryKind::Dram);
+        // Phase ends, the hog goes away; migrate to the freed MCDRAM.
+        knl.free(hog);
+        let (node, report) = knl.migrate_to_best(buf, attr::BANDWIDTH, &c0).unwrap();
+        assert_eq!(knl.memory().machine().topology().node_kind(node), Some(MemoryKind::Hbm));
+        assert_eq!(report.bytes_moved, GIB);
+        assert!(report.cost_ns > 0.0);
+        assert_eq!(kind_of(&knl, buf), MemoryKind::Hbm);
+    }
+
+    #[test]
+    fn initiator_scopes_candidates_to_local_branch() {
+        let mut knl = knl_allocator();
+        let c1: Bitmap = "16-31".parse().unwrap(); // cluster 1
+        let cands = knl.candidates(attr::BANDWIDTH, &c1).unwrap();
+        // Only cluster 1's DRAM (1) and MCDRAM (5).
+        assert_eq!(cands, vec![NodeId(5), NodeId(1)]);
+        let id = knl.mem_alloc(GIB, attr::BANDWIDTH, &c1, Fallback::NextTarget).unwrap();
+        assert_eq!(knl.memory().region(id).unwrap().single_node(), Some(NodeId(5)));
+    }
+
+    #[test]
+    fn works_with_benchmark_fed_attrs_too() {
+        let machine = Arc::new(Machine::xeon_1lm_no_snc());
+        let attrs = Arc::new(
+            hetmem_membench::feed_attrs(&machine, &hetmem_membench::BenchOptions::default())
+                .unwrap(),
+        );
+        let mm = MemoryManager::new(machine);
+        let mut a = HetAllocator::new(attrs, mm);
+        let pkg0: Bitmap = "0-19".parse().unwrap();
+        let id = a.mem_alloc(GIB, attr::LATENCY, &pkg0, Fallback::NextTarget).unwrap();
+        assert_eq!(kind_of(&a, id), MemoryKind::Dram);
+    }
+}

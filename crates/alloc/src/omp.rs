@@ -1,0 +1,291 @@
+//! OpenMP 5.x memory spaces and allocators on top of the attributes.
+//!
+//! The paper: "These attributes also directly provide support for
+//! implementing the corresponding OpenMP 5.0 allocators and memory
+//! spaces such as `omp_high_bw_mem_space`" (§IV), and the conclusion
+//! announces work "to leverage our work into runtimes, especially
+//! through OpenMP memory spaces and allocators". This module is that
+//! layer: each predefined memory space maps to an attribute criterion,
+//! and allocator traits (`fallback`, `partition`) map to the
+//! allocator's policies.
+//!
+//! | OpenMP space | attribute criterion |
+//! |---|---|
+//! | `omp_default_mem_space` | Locality (the closest node) |
+//! | `omp_large_cap_mem_space` | Capacity |
+//! | `omp_const_mem_space` | Locality (read-mostly ⇒ default) |
+//! | `omp_high_bw_mem_space` | Bandwidth |
+//! | `omp_low_lat_mem_space` | Latency |
+
+use crate::{Fallback, HetAllocator, HetAllocError};
+use hetmem_bitmap::Bitmap;
+use hetmem_core::{attr, AttrId};
+use hetmem_memsim::{AllocError, AllocPolicy, RegionId};
+
+/// The predefined OpenMP memory spaces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Default)]
+pub enum OmpMemSpace {
+    /// `omp_default_mem_space`.
+    #[default]
+    Default,
+    /// `omp_large_cap_mem_space`.
+    LargeCap,
+    /// `omp_const_mem_space`.
+    Const,
+    /// `omp_high_bw_mem_space`.
+    HighBw,
+    /// `omp_low_lat_mem_space`.
+    LowLat,
+}
+
+impl OmpMemSpace {
+    /// The attribute criterion this space expresses.
+    pub fn criterion(self) -> AttrId {
+        match self {
+            OmpMemSpace::Default | OmpMemSpace::Const => attr::LOCALITY,
+            OmpMemSpace::LargeCap => attr::CAPACITY,
+            OmpMemSpace::HighBw => attr::BANDWIDTH,
+            OmpMemSpace::LowLat => attr::LATENCY,
+        }
+    }
+}
+
+/// `omp_alloctrait_key_t::fallback`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OmpFallback {
+    /// `default_mem_fb`: retry in the default space, then ranked
+    /// fallback (the OpenMP default).
+    #[default]
+    DefaultMem,
+    /// `abort_fb`: failure aborts (we surface it as an error — a
+    /// library must not abort the process).
+    Abort,
+    /// `null_fb`: return null (here: the error, for the caller to
+    /// handle).
+    Null,
+}
+
+/// `omp_alloctrait_key_t::partition`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OmpPartition {
+    /// `environment`/`nearest`: one target, the best-ranked local one.
+    #[default]
+    Nearest,
+    /// `blocked`: contiguous blocks over the candidate targets.
+    Blocked,
+    /// `interleaved`: page round-robin over the candidate targets.
+    Interleaved,
+}
+
+/// An OpenMP allocator: a memory space plus traits.
+#[derive(Debug, Clone, Default)]
+pub struct OmpAllocator {
+    /// The memory space.
+    pub space: OmpMemSpace,
+    /// Fallback trait.
+    pub fallback: OmpFallback,
+    /// Partition trait.
+    pub partition: OmpPartition,
+}
+
+
+impl OmpAllocator {
+    /// A predefined allocator for a space with default traits (e.g.
+    /// `omp_high_bw_mem_alloc`).
+    pub fn for_space(space: OmpMemSpace) -> Self {
+        OmpAllocator { space, ..Default::default() }
+    }
+}
+
+/// `omp_alloc(size, allocator)`: allocates from the space's criterion
+/// for the calling thread team (`initiator`).
+pub fn omp_alloc(
+    het: &mut HetAllocator,
+    size: u64,
+    allocator: &OmpAllocator,
+    initiator: &Bitmap,
+) -> Result<RegionId, HetAllocError> {
+    let criterion = allocator.space.criterion();
+    match allocator.partition {
+        OmpPartition::Nearest => {
+            let fb = match allocator.fallback {
+                OmpFallback::DefaultMem => Fallback::NextTarget,
+                OmpFallback::Abort | OmpFallback::Null => Fallback::Strict,
+            };
+            match het.mem_alloc(size, criterion, initiator, fb) {
+                Ok(id) => Ok(id),
+                Err(e) => match allocator.fallback {
+                    // default_mem_fb: one more try through the default
+                    // space before giving up.
+                    OmpFallback::DefaultMem if criterion != attr::LOCALITY => het.mem_alloc(
+                        size,
+                        OmpMemSpace::Default.criterion(),
+                        initiator,
+                        Fallback::NextTarget,
+                    ),
+                    _ => Err(e),
+                },
+            }
+        }
+        OmpPartition::Blocked => {
+            let candidates = het.candidates(criterion, initiator)?;
+            Ok(het.memory_mut().alloc(size, AllocPolicy::PreferredMany(candidates))?)
+        }
+        OmpPartition::Interleaved => {
+            let candidates = het.candidates(criterion, initiator)?;
+            match het.memory_mut().alloc(size, AllocPolicy::Interleave(candidates)) {
+                Ok(id) => Ok(id),
+                Err(AllocError::OutOfMemory { .. }) if allocator.fallback == OmpFallback::DefaultMem => {
+                    het.mem_alloc(size, attr::LOCALITY, initiator, Fallback::NextTarget)
+                }
+                Err(e) => Err(e.into()),
+            }
+        }
+    }
+}
+
+/// `omp_free`.
+pub fn omp_free(het: &mut HetAllocator, id: RegionId) -> bool {
+    het.free(id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetmem_core::discovery;
+    use hetmem_memsim::{Machine, MemoryManager};
+    use hetmem_topology::{MemoryKind, NodeId, GIB};
+    use std::sync::Arc;
+
+    fn knl() -> HetAllocator {
+        let machine = Arc::new(Machine::knl_snc4_flat());
+        let attrs = Arc::new(discovery::from_firmware(&machine, true).expect("discovery"));
+        HetAllocator::new(attrs, MemoryManager::new(machine))
+    }
+
+    fn xeon() -> HetAllocator {
+        let machine = Arc::new(Machine::xeon_1lm_no_snc());
+        let attrs = Arc::new(discovery::from_firmware(&machine, true).expect("discovery"));
+        HetAllocator::new(attrs, MemoryManager::new(machine))
+    }
+
+    fn kind(h: &HetAllocator, id: RegionId) -> MemoryKind {
+        let node = h.memory().region(id).expect("live").single_node().expect("single");
+        h.memory().machine().topology().node_kind(node).expect("known")
+    }
+
+    #[test]
+    fn high_bw_space_is_mcdram_on_knl_dram_on_xeon() {
+        let c0: Bitmap = "0-15".parse().expect("cpuset");
+        let mut k = knl();
+        let a = OmpAllocator::for_space(OmpMemSpace::HighBw);
+        let id = omp_alloc(&mut k, GIB, &a, &c0).expect("fits");
+        assert_eq!(kind(&k, id), MemoryKind::Hbm);
+
+        // Same OpenMP code on the Xeon: no HBM exists, the space
+        // resolves to the best-bandwidth memory there (DRAM) — exactly
+        // the portability the paper wants OpenMP to inherit.
+        let pkg0: Bitmap = "0-19".parse().expect("cpuset");
+        let mut x = xeon();
+        let id = omp_alloc(&mut x, GIB, &a, &pkg0).expect("fits");
+        assert_eq!(kind(&x, id), MemoryKind::Dram);
+    }
+
+    #[test]
+    fn low_lat_space_avoids_nvdimm() {
+        let pkg0: Bitmap = "0-19".parse().expect("cpuset");
+        let mut x = xeon();
+        let a = OmpAllocator::for_space(OmpMemSpace::LowLat);
+        let id = omp_alloc(&mut x, GIB, &a, &pkg0).expect("fits");
+        assert_eq!(kind(&x, id), MemoryKind::Dram);
+    }
+
+    #[test]
+    fn large_cap_space_prefers_nvdimm() {
+        let pkg0: Bitmap = "0-19".parse().expect("cpuset");
+        let mut x = xeon();
+        let a = OmpAllocator::for_space(OmpMemSpace::LargeCap);
+        let id = omp_alloc(&mut x, GIB, &a, &pkg0).expect("fits");
+        assert_eq!(kind(&x, id), MemoryKind::Nvdimm);
+    }
+
+    #[test]
+    fn default_mem_fb_retries_default_space() {
+        let c0: Bitmap = "0-15".parse().expect("cpuset");
+        let mut k = knl();
+        // Exhaust both local targets for bandwidth... fill MCDRAM only;
+        // the DRAM can still serve the default-space retry.
+        let hbm_avail = k.memory().available(NodeId(4));
+        let hog = k
+            .memory_mut()
+            .alloc(hbm_avail, AllocPolicy::Bind(NodeId(4)))
+            .expect("fits");
+        let a = OmpAllocator {
+            space: OmpMemSpace::HighBw,
+            fallback: OmpFallback::DefaultMem,
+            partition: OmpPartition::Nearest,
+        };
+        let id = omp_alloc(&mut k, GIB, &a, &c0).expect("default_mem_fb");
+        assert_eq!(kind(&k, id), MemoryKind::Dram);
+        k.memory_mut().free(hog);
+    }
+
+    #[test]
+    fn null_fb_surfaces_failure() {
+        let c0: Bitmap = "0-15".parse().expect("cpuset");
+        let mut k = knl();
+        let hbm_avail = k.memory().available(NodeId(4));
+        let _hog = k.memory_mut().alloc(hbm_avail, AllocPolicy::Bind(NodeId(4))).expect("fits");
+        let a = OmpAllocator {
+            space: OmpMemSpace::HighBw,
+            fallback: OmpFallback::Null,
+            partition: OmpPartition::Nearest,
+        };
+        assert!(omp_alloc(&mut k, GIB, &a, &c0).is_err());
+    }
+
+    #[test]
+    fn interleaved_partition_spreads_pages() {
+        let c0: Bitmap = "0-15".parse().expect("cpuset");
+        let mut k = knl();
+        let a = OmpAllocator {
+            space: OmpMemSpace::LowLat,
+            fallback: OmpFallback::Null,
+            partition: OmpPartition::Interleaved,
+        };
+        let id = omp_alloc(&mut k, 2 * GIB, &a, &c0).expect("fits");
+        let region = k.memory().region(id).expect("live");
+        // Interleaved over the two local candidates (DRAM + MCDRAM).
+        assert_eq!(region.placement.len(), 2);
+        assert_eq!(region.bytes_on(NodeId(0)), GIB);
+        assert_eq!(region.bytes_on(NodeId(4)), GIB);
+    }
+
+    #[test]
+    fn blocked_partition_fills_in_rank_order() {
+        let c0: Bitmap = "0-15".parse().expect("cpuset");
+        let mut k = knl();
+        let hbm_avail = k.memory().available(NodeId(4));
+        let a = OmpAllocator {
+            space: OmpMemSpace::HighBw,
+            fallback: OmpFallback::Null,
+            partition: OmpPartition::Blocked,
+        };
+        let id = omp_alloc(&mut k, hbm_avail + GIB, &a, &c0).expect("fits across both");
+        let region = k.memory().region(id).expect("live");
+        assert_eq!(region.placement[0], (NodeId(4), hbm_avail));
+        assert_eq!(region.placement[1], (NodeId(0), GIB));
+    }
+
+    #[test]
+    fn omp_free_releases() {
+        let c0: Bitmap = "0-15".parse().expect("cpuset");
+        let mut k = knl();
+        let before = k.memory().available(NodeId(0));
+        let a = OmpAllocator::for_space(OmpMemSpace::LowLat);
+        let id = omp_alloc(&mut k, GIB, &a, &c0).expect("fits");
+        assert!(omp_free(&mut k, id));
+        assert_eq!(k.memory().available(NodeId(0)), before);
+    }
+}

@@ -1,0 +1,174 @@
+//! Capacity-conflict management (§VII of the paper).
+//!
+//! "One cannot allocate two 10GB buffers on a 16GB MCDRAM on KNL.
+//! Most implementations deal with this issue in a First Come First
+//! Served approach. [...] We believe that these capacity conflicts
+//! should be managed by using priorities: Allocate buffer X on HBM
+//! first, and then buffer Y if possible."
+//!
+//! [`plan`] takes a set of intended allocations with priorities and
+//! performs them either in program order (FCFS) or priority order,
+//! reporting where each buffer landed — the ablation the repo's
+//! benches run.
+
+use crate::{Fallback, HetAllocator, HetAllocError};
+use hetmem_bitmap::Bitmap;
+use hetmem_core::AttrId;
+use hetmem_memsim::RegionId;
+use hetmem_topology::NodeId;
+
+/// One planned allocation.
+#[derive(Debug, Clone)]
+pub struct PlannedAlloc {
+    /// Buffer name (for reports).
+    pub name: String,
+    /// Bytes.
+    pub size: u64,
+    /// The attribute criterion it is sensitive to.
+    pub criterion: AttrId,
+    /// Higher priority allocates earlier in [`PlanOrder::Priority`]
+    /// mode.
+    pub priority: i32,
+}
+
+/// In which order the planner performs the allocations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanOrder {
+    /// Program order — what naive runtimes do.
+    Fcfs,
+    /// Highest priority first — the paper's proposal.
+    Priority,
+}
+
+/// Where one planned buffer ended up.
+#[derive(Debug, Clone)]
+pub struct PlacedAlloc {
+    /// The buffer's name.
+    pub name: String,
+    /// The region handle.
+    pub region: RegionId,
+    /// Per-node placement (node, bytes).
+    pub placement: Vec<(NodeId, u64)>,
+    /// Whether the buffer got its first-choice target entirely.
+    pub got_best: bool,
+}
+
+/// Executes a plan. Every allocation uses [`Fallback::PartialSpill`]
+/// so nothing fails outright unless the whole machine is full.
+pub fn plan(
+    allocator: &mut HetAllocator,
+    requests: &[PlannedAlloc],
+    initiator: &Bitmap,
+    order: PlanOrder,
+) -> Result<Vec<PlacedAlloc>, HetAllocError> {
+    let mut indices: Vec<usize> = (0..requests.len()).collect();
+    if order == PlanOrder::Priority {
+        // Stable sort keeps program order within equal priorities.
+        indices.sort_by_key(|&i| std::cmp::Reverse(requests[i].priority));
+    }
+    let mut placed: Vec<Option<PlacedAlloc>> = vec![None; requests.len()];
+    for i in indices {
+        let req = &requests[i];
+        let best = allocator
+            .best_target(req.criterion, initiator)
+            .ok_or(HetAllocError::NoCandidates)?;
+        let region = allocator.mem_alloc(req.size, req.criterion, initiator, Fallback::PartialSpill)?;
+        let placement = allocator.memory().region(region).expect("just allocated").placement.clone();
+        let got_best = placement.len() == 1 && placement[0].0 == best;
+        placed[i] = Some(PlacedAlloc { name: req.name.clone(), region, placement, got_best });
+    }
+    Ok(placed.into_iter().map(|p| p.expect("every request placed")).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetmem_core::{attr, discovery};
+    use hetmem_memsim::{Machine, MemoryManager};
+    use hetmem_topology::{MemoryKind, GIB};
+    use std::sync::Arc;
+
+    fn knl_allocator() -> HetAllocator {
+        let machine = Arc::new(Machine::knl_snc4_flat());
+        let attrs = Arc::new(discovery::from_firmware(&machine, true).unwrap());
+        let mm = MemoryManager::new(machine);
+        HetAllocator::new(attrs, mm)
+    }
+
+    fn bw(name: &str, size: u64, priority: i32) -> PlannedAlloc {
+        PlannedAlloc { name: name.into(), size, criterion: attr::BANDWIDTH, priority }
+    }
+
+    /// The paper's §VII scenario, scaled to one SNC cluster: two
+    /// bandwidth-hungry buffers compete for a small MCDRAM.
+    #[test]
+    fn fcfs_gives_hbm_to_the_wrong_buffer() {
+        let mut a = knl_allocator();
+        let c0: Bitmap = "0-15".parse().unwrap();
+        // Unimportant buffer first (low priority), important second.
+        let reqs =
+            vec![bw("unimportant", 3 * GIB, 1), bw("important", 3 * GIB, 10)];
+        let placed = plan(&mut a, &reqs, &c0, PlanOrder::Fcfs).unwrap();
+        // FCFS: the unimportant one grabbed MCDRAM.
+        assert!(placed[0].got_best);
+        assert!(!placed[1].got_best);
+    }
+
+    #[test]
+    fn priority_order_fixes_the_conflict() {
+        let mut a = knl_allocator();
+        let c0: Bitmap = "0-15".parse().unwrap();
+        let reqs =
+            vec![bw("unimportant", 3 * GIB, 1), bw("important", 3 * GIB, 10)];
+        let placed = plan(&mut a, &reqs, &c0, PlanOrder::Priority).unwrap();
+        assert!(!placed[0].got_best, "low priority pushed off MCDRAM");
+        assert!(placed[1].got_best, "high priority got MCDRAM");
+        // Results come back in request order regardless.
+        assert_eq!(placed[0].name, "unimportant");
+        assert_eq!(placed[1].name, "important");
+    }
+
+    #[test]
+    fn mixed_criteria_do_not_conflict() {
+        let mut a = knl_allocator();
+        let c0: Bitmap = "0-15".parse().unwrap();
+        let reqs = vec![
+            bw("stream", 3 * GIB, 5),
+            PlannedAlloc {
+                name: "graph".into(),
+                size: 4 * GIB,
+                criterion: attr::LATENCY,
+                priority: 5,
+            },
+        ];
+        let placed = plan(&mut a, &reqs, &c0, PlanOrder::Priority).unwrap();
+        let topo = a.memory().machine().topology().clone();
+        // Bandwidth buffer on HBM, latency buffer on DRAM: no fight.
+        assert_eq!(topo.node_kind(placed[0].placement[0].0), Some(MemoryKind::Hbm));
+        assert_eq!(topo.node_kind(placed[1].placement[0].0), Some(MemoryKind::Dram));
+        assert!(placed[0].got_best && placed[1].got_best);
+    }
+
+    #[test]
+    fn partial_spill_keeps_hot_head_on_fast_memory() {
+        let mut a = knl_allocator();
+        let c0: Bitmap = "0-15".parse().unwrap();
+        let hbm_avail = a.memory().available(NodeId(4));
+        let reqs = vec![bw("huge", hbm_avail + GIB, 1)];
+        let placed = plan(&mut a, &reqs, &c0, PlanOrder::Fcfs).unwrap();
+        assert!(!placed[0].got_best);
+        assert_eq!(placed[0].placement.len(), 2);
+        assert_eq!(placed[0].placement[0].0, NodeId(4));
+        assert_eq!(placed[0].placement[0].1, hbm_avail);
+    }
+
+    #[test]
+    fn equal_priorities_preserve_program_order() {
+        let mut a = knl_allocator();
+        let c0: Bitmap = "0-15".parse().unwrap();
+        let reqs = vec![bw("first", 3 * GIB, 5), bw("second", 3 * GIB, 5)];
+        let placed = plan(&mut a, &reqs, &c0, PlanOrder::Priority).unwrap();
+        assert!(placed[0].got_best);
+        assert!(!placed[1].got_best);
+    }
+}

@@ -1,0 +1,364 @@
+//! Automatic tier rebalancing — §VII's migration discussion, made a
+//! policy.
+//!
+//! The paper argues capacity conflicts should be handled with
+//! priorities and, across phase changes, with migration ("it should
+//! likely be avoided unless the application behavior changes
+//! significantly between phases"). This module packages that judgement
+//! into a small daemon, in the spirit of Linux's memory tiering and of
+//! the object-level migration literature the paper cites ([15], Liu et
+//! al.):
+//!
+//! * it **observes** phase reports, maintaining a sliding activity
+//!   window per region;
+//! * on **rebalance**, regions that have been *cold* for the whole
+//!   window but occupy a scarce fast tier are demoted to the best
+//!   capacity target, and *hot* regions not on their best tier are
+//!   promoted when room exists;
+//! * **hysteresis** (a minimum number of observations between moves of
+//!   the same region) prevents ping-pong when two buffers alternate.
+
+use crate::{HetAllocator, HetAllocError};
+use hetmem_bitmap::Bitmap;
+use hetmem_core::{attr, AttrId};
+use hetmem_memsim::{PhaseReport, RegionId};
+use hetmem_topology::NodeId;
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct TieringPolicy {
+    /// Phases of inactivity after which a region counts as cold.
+    pub cold_after: usize,
+    /// Minimum observations between two migrations of one region.
+    pub hysteresis: usize,
+    /// The attribute a *hot* region should sit on the best target of.
+    pub hot_criterion: AttrId,
+    /// Bytes of traffic per phase below which a region is "inactive".
+    pub activity_floor: u64,
+}
+
+impl Default for TieringPolicy {
+    fn default() -> Self {
+        TieringPolicy {
+            cold_after: 2,
+            hysteresis: 2,
+            hot_criterion: attr::BANDWIDTH,
+            activity_floor: 64 * 1024 * 1024,
+        }
+    }
+}
+
+/// One action the daemon took.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TieringAction {
+    /// Moved a hot region to `to`, paying `cost_ns`.
+    Promoted {
+        /// The region.
+        region: RegionId,
+        /// Destination node.
+        to: NodeId,
+        /// Migration cost, ns.
+        cost_ns: f64,
+    },
+    /// Moved a cold region off the fast tier to `to`.
+    Demoted {
+        /// The region.
+        region: RegionId,
+        /// Destination node.
+        to: NodeId,
+        /// Migration cost, ns.
+        cost_ns: f64,
+    },
+}
+
+#[derive(Debug, Default)]
+struct Activity {
+    /// Traffic per observed phase (sliding window).
+    window: VecDeque<u64>,
+    /// Observations since this region last moved.
+    since_move: usize,
+}
+
+/// The rebalancing daemon.
+pub struct TieringDaemon {
+    policy: TieringPolicy,
+    activity: BTreeMap<RegionId, Activity>,
+    observations: usize,
+}
+
+impl TieringDaemon {
+    /// Creates a daemon with the given policy.
+    pub fn new(policy: TieringPolicy) -> Self {
+        TieringDaemon { policy, activity: BTreeMap::new(), observations: 0 }
+    }
+
+    /// Feeds one phase report into the activity window.
+    pub fn observe(&mut self, report: &PhaseReport) {
+        self.observations += 1;
+        let mut touched: BTreeMap<RegionId, u64> = BTreeMap::new();
+        for buf in &report.buffers {
+            *touched.entry(buf.region).or_insert(0) +=
+                (buf.loads + buf.stores) * hetmem_memsim::LINE;
+        }
+        // Every known region gets a window entry (0 when untouched).
+        let keys: Vec<RegionId> = self.activity.keys().copied().chain(touched.keys().copied()).collect();
+        for region in keys {
+            let entry = self.activity.entry(region).or_default();
+            entry.window.push_back(touched.get(&region).copied().unwrap_or(0));
+            while entry.window.len() > self.policy.cold_after {
+                entry.window.pop_front();
+            }
+            entry.since_move += 1;
+        }
+    }
+
+    /// Forgets a freed region.
+    pub fn forget(&mut self, region: RegionId) {
+        self.activity.remove(&region);
+    }
+
+    fn is_cold(&self, region: RegionId) -> bool {
+        match self.activity.get(&region) {
+            Some(a) => {
+                a.window.len() >= self.policy.cold_after
+                    && a.window.iter().all(|&t| t < self.policy.activity_floor)
+            }
+            // Never-touched regions are cold once enough phases have
+            // passed to judge (a freshly allocated buffer is spared).
+            None => self.observations >= self.policy.cold_after,
+        }
+    }
+
+    fn is_hot(&self, region: RegionId) -> bool {
+        match self.activity.get(&region) {
+            Some(a) => a.window.back().copied().unwrap_or(0) >= self.policy.activity_floor,
+            None => false,
+        }
+    }
+
+    fn movable(&self, region: RegionId) -> bool {
+        self.activity.get(&region).is_none_or(|a| a.since_move >= self.policy.hysteresis)
+    }
+
+    /// Demotes cold occupants of the hot tier, then promotes hot
+    /// regions into the freed room. Returns the actions taken.
+    pub fn rebalance(
+        &mut self,
+        allocator: &mut HetAllocator,
+        initiator: &Bitmap,
+    ) -> Result<Vec<TieringAction>, HetAllocError> {
+        self.rebalance_with_criterion(allocator, initiator, self.policy.hot_criterion)
+    }
+
+    /// [`Self::rebalance`] with an explicit hot-tier criterion
+    /// (overriding the policy's).
+    pub fn rebalance_with_criterion(
+        &mut self,
+        allocator: &mut HetAllocator,
+        initiator: &Bitmap,
+        hot_criterion: AttrId,
+    ) -> Result<Vec<TieringAction>, HetAllocError> {
+        let mut actions = Vec::new();
+        let hot_target = allocator
+            .candidates(hot_criterion, initiator)?
+            .first()
+            .copied()
+            .ok_or(HetAllocError::NoCandidates)?;
+
+        // Pass 1: demote cold regions sitting on the hot target.
+        let candidates: Vec<RegionId> = allocator
+            .memory()
+            .regions()
+            .filter(|r| r.bytes_on(hot_target) > 0)
+            .map(|r| r.id)
+            .collect();
+        for region in candidates {
+            if self.is_cold(region) && self.movable(region) {
+                if let Ok((to, report)) =
+                    allocator.migrate_to_best(region, attr::CAPACITY, initiator)
+                {
+                    if to != hot_target {
+                        actions.push(TieringAction::Demoted { region, to, cost_ns: report.cost_ns });
+                        self.activity.entry(region).or_default().since_move = 0;
+                    }
+                }
+            }
+        }
+
+        // Pass 2: promote hot regions not yet on the hot target.
+        let hot_regions: Vec<(RegionId, u64)> = allocator
+            .memory()
+            .regions()
+            .filter(|r| r.bytes_on(hot_target) < r.size)
+            .map(|r| (r.id, r.size))
+            .filter(|&(id, _)| self.is_hot(id) && self.movable(id))
+            .collect();
+        for (region, size) in hot_regions {
+            if allocator.memory().available(hot_target) < size {
+                continue; // no room; maybe after the next demotion round
+            }
+            if let Ok((to, report)) =
+                allocator.migrate_to_best(region, hot_criterion, initiator)
+            {
+                if to == hot_target {
+                    actions.push(TieringAction::Promoted { region, to, cost_ns: report.cost_ns });
+                    self.activity.entry(region).or_default().since_move = 0;
+                }
+            }
+        }
+        Ok(actions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Fallback;
+    use hetmem_bitmap::Bitmap;
+    use hetmem_core::discovery;
+    use hetmem_memsim::{
+        AccessEngine, AccessPattern, BufferAccess, Machine, MemoryManager, Phase,
+    };
+    use hetmem_topology::{MemoryKind, GIB};
+    use std::sync::Arc;
+
+    struct Setup {
+        machine: Arc<Machine>,
+        alloc: HetAllocator,
+        engine: AccessEngine,
+        initiator: Bitmap,
+    }
+
+    fn knl() -> Setup {
+        let machine = Arc::new(Machine::knl_snc4_flat());
+        let attrs = Arc::new(discovery::from_firmware(&machine, true).expect("discovery"));
+        Setup {
+            machine: machine.clone(),
+            alloc: HetAllocator::new(attrs, MemoryManager::new(machine.clone())),
+            engine: AccessEngine::new(machine),
+            initiator: "0-15".parse().expect("cpuset"),
+        }
+    }
+
+    fn stream_phase(region: RegionId, bytes: u64, initiator: &Bitmap) -> Phase {
+        Phase {
+            name: "s".into(),
+            accesses: vec![BufferAccess::new(region, bytes, bytes / 2, AccessPattern::Sequential)],
+            threads: 16,
+            initiator: initiator.clone(),
+            compute_ns: 0.0,
+        }
+    }
+
+    fn kind(s: &Setup, id: RegionId) -> MemoryKind {
+        let node = s.alloc.memory().region(id).expect("live").single_node().expect("single");
+        s.machine.topology().node_kind(node).expect("known")
+    }
+
+    /// Phase change: buffer A goes cold on MCDRAM, buffer B becomes
+    /// hot on DRAM — the daemon swaps them.
+    #[test]
+    fn daemon_swaps_on_phase_change() {
+        let mut s = knl();
+        let a = s.alloc.mem_alloc(3 * GIB, attr::BANDWIDTH, &s.initiator, Fallback::NextTarget)
+            .expect("fits MCDRAM");
+        let b = s.alloc.mem_alloc(3 * GIB, attr::BANDWIDTH, &s.initiator, Fallback::NextTarget)
+            .expect("falls back to DRAM");
+        assert_eq!(kind(&s, a), MemoryKind::Hbm);
+        assert_eq!(kind(&s, b), MemoryKind::Dram);
+
+        let mut daemon = TieringDaemon::new(TieringPolicy::default());
+        // Era 1: A hot. (Warms the window.)
+        for _ in 0..2 {
+            let rep = s.engine.run_phase(s.alloc.memory(), &stream_phase(a, 8 * GIB, &s.initiator));
+            daemon.observe(&rep);
+        }
+        let none = daemon.rebalance(&mut s.alloc, &s.initiator).expect("ok");
+        assert!(none.is_empty(), "steady state must not thrash: {none:?}");
+
+        // Era 2: B hot, A silent.
+        for _ in 0..2 {
+            let rep = s.engine.run_phase(s.alloc.memory(), &stream_phase(b, 8 * GIB, &s.initiator));
+            daemon.observe(&rep);
+        }
+        let actions = daemon.rebalance(&mut s.alloc, &s.initiator).expect("ok");
+        assert!(
+            actions.iter().any(|x| matches!(x, TieringAction::Demoted { region, .. } if *region == a)),
+            "A should be demoted: {actions:?}"
+        );
+        assert!(
+            actions.iter().any(|x| matches!(x, TieringAction::Promoted { region, .. } if *region == b)),
+            "B should be promoted: {actions:?}"
+        );
+        assert_eq!(kind(&s, a), MemoryKind::Dram);
+        assert_eq!(kind(&s, b), MemoryKind::Hbm);
+    }
+
+    /// Hysteresis: right after a swap, another rebalance does nothing
+    /// even if the window looks ambiguous.
+    #[test]
+    fn hysteresis_prevents_ping_pong() {
+        let mut s = knl();
+        let a = s.alloc.mem_alloc(3 * GIB, attr::BANDWIDTH, &s.initiator, Fallback::NextTarget)
+            .expect("fits");
+        let b = s.alloc.mem_alloc(3 * GIB, attr::BANDWIDTH, &s.initiator, Fallback::NextTarget)
+            .expect("fits");
+        let mut daemon = TieringDaemon::new(TieringPolicy::default());
+        for _ in 0..2 {
+            let rep = s.engine.run_phase(s.alloc.memory(), &stream_phase(b, 8 * GIB, &s.initiator));
+            daemon.observe(&rep);
+        }
+        let first = daemon.rebalance(&mut s.alloc, &s.initiator).expect("ok");
+        assert!(!first.is_empty());
+        // Immediately rebalancing again must be a no-op (since_move=0).
+        let second = daemon.rebalance(&mut s.alloc, &s.initiator).expect("ok");
+        assert!(second.is_empty(), "hysteresis violated: {second:?}");
+        let _ = a;
+    }
+
+    /// Regions both active: nothing moves (no room, no cold victim).
+    #[test]
+    fn no_move_when_both_hot() {
+        let mut s = knl();
+        let a = s.alloc.mem_alloc(3 * GIB, attr::BANDWIDTH, &s.initiator, Fallback::NextTarget)
+            .expect("fits");
+        let b = s.alloc.mem_alloc(3 * GIB, attr::BANDWIDTH, &s.initiator, Fallback::NextTarget)
+            .expect("fits");
+        let mut daemon = TieringDaemon::new(TieringPolicy::default());
+        for _ in 0..3 {
+            let rep = s.engine.run_phase(
+                s.alloc.memory(),
+                &Phase {
+                    name: "both".into(),
+                    accesses: vec![
+                        BufferAccess::new(a, 8 * GIB, 0, AccessPattern::Sequential),
+                        BufferAccess::new(b, 8 * GIB, 0, AccessPattern::Sequential),
+                    ],
+                    threads: 16,
+                    initiator: s.initiator.clone(),
+                    compute_ns: 0.0,
+                },
+            );
+            daemon.observe(&rep);
+        }
+        let actions = daemon.rebalance(&mut s.alloc, &s.initiator).expect("ok");
+        assert!(actions.is_empty(), "{actions:?}");
+    }
+
+    /// Freed regions are forgotten and never migrated.
+    #[test]
+    fn forget_freed_regions() {
+        let mut s = knl();
+        let a = s.alloc.mem_alloc(GIB, attr::BANDWIDTH, &s.initiator, Fallback::NextTarget)
+            .expect("fits");
+        let mut daemon = TieringDaemon::new(TieringPolicy::default());
+        let rep = s.engine.run_phase(s.alloc.memory(), &stream_phase(a, GIB, &s.initiator));
+        daemon.observe(&rep);
+        s.alloc.free(a);
+        daemon.forget(a);
+        let actions = daemon.rebalance(&mut s.alloc, &s.initiator).expect("ok");
+        assert!(actions.is_empty());
+    }
+}

@@ -1,0 +1,120 @@
+//! Compressed-sparse-row graph construction.
+
+use crate::graph500::kronecker::EdgeList;
+
+/// A symmetrized CSR graph: for every input edge `(u,v)` both
+/// directions are stored; self-loops are dropped (Graph500 validation
+/// ignores them).
+#[derive(Debug, Clone)]
+pub struct Csr {
+    /// `row[v]..row[v+1]` indexes `cols` for v's neighbours.
+    pub row: Vec<u64>,
+    /// Flattened adjacency.
+    pub cols: Vec<u64>,
+}
+
+impl Csr {
+    /// Builds the CSR with a two-pass counting sort.
+    pub fn build(el: &EdgeList) -> Csr {
+        let n = el.vertices as usize;
+        let mut degree = vec![0u64; n];
+        for &(s, d) in &el.edges {
+            if s != d {
+                degree[s as usize] += 1;
+                degree[d as usize] += 1;
+            }
+        }
+        let mut row = vec![0u64; n + 1];
+        for v in 0..n {
+            row[v + 1] = row[v] + degree[v];
+        }
+        let mut cols = vec![0u64; row[n] as usize];
+        let mut cursor = row.clone();
+        for &(s, d) in &el.edges {
+            if s != d {
+                cols[cursor[s as usize] as usize] = d;
+                cursor[s as usize] += 1;
+                cols[cursor[d as usize] as usize] = s;
+                cursor[d as usize] += 1;
+            }
+        }
+        Csr { row, cols }
+    }
+
+    /// Vertex count.
+    pub fn vertices(&self) -> usize {
+        self.row.len() - 1
+    }
+
+    /// Stored (directed) edge count — twice the kept input edges.
+    pub fn directed_edges(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Neighbours of `v`.
+    pub fn neighbours(&self, v: u64) -> &[u64] {
+        &self.cols[self.row[v as usize] as usize..self.row[v as usize + 1] as usize]
+    }
+
+    /// True if the graph stores edge `(u,v)`.
+    pub fn has_edge(&self, u: u64, v: u64) -> bool {
+        self.neighbours(u).contains(&v)
+    }
+
+    /// In-memory footprint of the CSR arrays in bytes (8-byte ids,
+    /// matching the Graph500 reference's 64-bit build).
+    pub fn bytes(&self) -> u64 {
+        8 * (self.row.len() + self.cols.len()) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph500::kronecker::{self, KroneckerParams};
+
+    fn small() -> EdgeList {
+        EdgeList { vertices: 5, edges: vec![(0, 1), (1, 2), (2, 2), (0, 3), (3, 4)] }
+    }
+
+    #[test]
+    fn symmetrization_and_self_loop_drop() {
+        let csr = Csr::build(&small());
+        assert_eq!(csr.vertices(), 5);
+        // 4 kept edges × 2 directions.
+        assert_eq!(csr.directed_edges(), 8);
+        assert!(csr.has_edge(0, 1) && csr.has_edge(1, 0));
+        assert!(csr.has_edge(3, 4) && csr.has_edge(4, 3));
+        assert!(!csr.has_edge(2, 2), "self loop must be dropped");
+        assert!(!csr.has_edge(0, 4));
+    }
+
+    #[test]
+    fn degrees_sum_consistent() {
+        let p = KroneckerParams::graph500(10, 3);
+        let el = kronecker::generate(&p);
+        let csr = Csr::build(&el);
+        let self_loops = el.edges.iter().filter(|&&(s, d)| s == d).count();
+        assert_eq!(csr.directed_edges(), 2 * (el.edges.len() - self_loops));
+        // Row offsets are monotone.
+        assert!(csr.row.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(*csr.row.last().unwrap() as usize, csr.cols.len());
+    }
+
+    #[test]
+    fn every_stored_edge_is_mutual() {
+        let p = KroneckerParams::graph500(8, 9);
+        let csr = Csr::build(&kronecker::generate(&p));
+        for v in 0..csr.vertices() as u64 {
+            for &n in csr.neighbours(v) {
+                assert!(csr.has_edge(n, v), "edge ({v},{n}) not mirrored");
+            }
+        }
+    }
+
+    #[test]
+    fn bytes_accounting() {
+        let csr = Csr::build(&small());
+        assert_eq!(csr.bytes(), 8 * (6 + 8));
+    }
+}

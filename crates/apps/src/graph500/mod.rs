@@ -1,0 +1,27 @@
+//! Graph500 (BFS kernel) on the simulator.
+//!
+//! The real Graph500 benchmark has three parts reproduced here:
+//!
+//! * [`kronecker`] — the RMAT/Kronecker edge generator with the
+//!   official parameters (A=0.57, B=0.19, C=0.19, D=0.05) and edge
+//!   factor 16;
+//! * [`csr`] — compressed-sparse-row construction (symmetrized,
+//!   self-loops dropped);
+//! * [`bfs`] — level-synchronous parallel BFS plus the validation
+//!   pass (parent tree sanity, depth consistency, edge membership).
+//!
+//! [`run`] drives paper-scale executions: buffers are allocated
+//! through the heterogeneous allocator and every BFS is charged to the
+//! memory simulator as a phase whose traffic is derived from the
+//! graph's edge and vertex counts (calibrated in `run.rs`). Scores are
+//! the harmonic-mean TEPS over the sampled roots, as the spec demands.
+
+pub mod bfs;
+pub mod csr;
+pub mod kronecker;
+pub mod run;
+
+pub use bfs::{bfs_direction_optimizing, validate_bfs, Bfs};
+pub use csr::Csr;
+pub use kronecker::{EdgeList, KroneckerParams};
+pub use run::{Graph500Config, Graph500Result, run};

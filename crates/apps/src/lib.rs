@@ -1,0 +1,95 @@
+//! The paper's application workloads, running on the simulator.
+//!
+//! §VI evaluates two applications with opposite memory behaviour:
+//!
+//! * [`graph500`] — breadth-first search over a Kronecker graph
+//!   (irregular, pointer-indirection heavy ⇒ **latency** sensitive).
+//!   The generator, CSR construction, level-synchronous BFS and result
+//!   validation are real implementations (exercised at small scale in
+//!   tests); timing for paper-scale graphs is charged through the
+//!   memory simulator's phase engine so 34 GB graphs do not need 34 GB
+//!   of host RAM.
+//! * [`stream`] — the STREAM Triad kernel (regular streaming ⇒
+//!   **bandwidth** sensitive).
+//!
+//! Both allocate their buffers through the heterogeneous allocator
+//! under a configurable [`Placement`]: whole-process binding (the
+//! paper's §V-A benchmarking method), an attribute criterion (the
+//! paper's proposal) or a memkind-style hardwired kind (the baseline
+//! it outperforms on portability).
+
+
+#![warn(missing_docs)]
+pub mod graph500;
+pub mod multiphase;
+pub mod spmv;
+pub mod stream;
+
+use hetmem_bitmap::Bitmap;
+use hetmem_core::AttrId;
+use hetmem_topology::NodeId;
+
+/// How an application places its buffers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Placement {
+    /// Bind every buffer to one node (numactl --membind).
+    BindAll(NodeId),
+    /// Prefer one node, spilling to higher-index nodes when full
+    /// (numactl --preferred; Linux only spills upward — the paper's
+    /// footnote 21 quirk).
+    PreferAll(NodeId),
+    /// The paper's approach: request an attribute per buffer and let
+    /// the heterogeneous allocator pick (with ranked fallback).
+    Criterion {
+        /// The attribute expressing the application's need.
+        attr: AttrId,
+        /// Fallback behaviour on capacity exhaustion.
+        fallback: hetmem_alloc::Fallback,
+    },
+    /// memkind-style hardwired kind — portable only when the kind
+    /// exists.
+    HardwiredKind(hetmem_alloc::baselines::Kind),
+    /// Per-buffer criteria from profiler advice (the Figure 6 loop):
+    /// each buffer's allocation site is matched against the list;
+    /// unmatched buffers use the Capacity criterion.
+    Advised(Vec<(String, AttrId)>),
+}
+
+/// Maps a profiled sensitivity to the attribute criterion to request —
+/// the arrow from "determine sensitivity" to "allocation requests" in
+/// the paper's Fig. 6.
+pub fn criterion_for(s: hetmem_profile::Sensitivity) -> AttrId {
+    match s {
+        hetmem_profile::Sensitivity::Latency => hetmem_core::attr::LATENCY,
+        hetmem_profile::Sensitivity::Bandwidth => hetmem_core::attr::BANDWIDTH,
+        // Not memory-bound: just take the roomiest target.
+        hetmem_profile::Sensitivity::Compute => hetmem_core::attr::CAPACITY,
+    }
+}
+
+/// Why an application run could not execute.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AppError {
+    /// A buffer could not be allocated — this is what the blank cells
+    /// of the paper's Table III report.
+    Alloc(String),
+    /// Invalid configuration.
+    Config(String),
+}
+
+impl std::fmt::Display for AppError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AppError::Alloc(e) => write!(f, "allocation failed: {e}"),
+            AppError::Config(e) => write!(f, "bad configuration: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AppError {}
+
+/// The cpuset the paper pins each experiment to: all PUs of the first
+/// `threads` logical CPUs starting at `first`.
+pub fn pinned_cpus(first: usize, threads: usize) -> Bitmap {
+    Bitmap::from_range(first, first + threads - 1)
+}

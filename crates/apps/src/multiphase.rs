@@ -1,0 +1,233 @@
+//! A two-phase application for the §VII migration discussion.
+//!
+//! "Memory migration could be a solution to avoid capacity issues when
+//! important buffers are not used during the same application phase.
+//! [...] However, this operation is quite expensive in operating
+//! systems. Hence, it should likely be avoided unless the application
+//! behavior changes significantly between phases."
+//!
+//! The workload: two bandwidth-hungry buffers, each dominating one
+//! phase, that together exceed the fast memory. Three strategies:
+//!
+//! * [`Strategy::Static`] — FCFS; phase-1's buffer keeps the fast
+//!   memory forever, phase 2 runs slow;
+//! * [`Strategy::PriorityStatic`] — give the fast memory to whichever
+//!   phase is longer (best static choice);
+//! * [`Strategy::Migrate`] — swap the buffers at the phase boundary,
+//!   paying the migration cost.
+//!
+//! [`run`] reports per-phase and total times, so the crossover the
+//! paper predicts (migration wins only when phases are long enough to
+//! amortize the copy) is measurable — `repro_tables --migration` and
+//! the `alloc_policies` bench sweep it.
+
+use crate::AppError;
+use hetmem_alloc::{Fallback, HetAllocator};
+use hetmem_bitmap::Bitmap;
+use hetmem_core::attr;
+use hetmem_memsim::{AccessEngine, AccessPattern, BufferAccess, Phase, RegionId};
+
+/// Placement strategy across the phase change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// Allocate in program order, never move.
+    Static,
+    /// Give the fast memory to the dominant phase's buffer, never move.
+    PriorityStatic,
+    /// Re-place the hot buffer at the phase boundary.
+    Migrate,
+}
+
+/// Configuration of the two-phase run.
+#[derive(Debug, Clone)]
+pub struct MultiPhaseConfig {
+    /// Size of each of the two buffers, bytes.
+    pub buffer_bytes: u64,
+    /// Streaming passes over the active buffer in phase 1.
+    pub phase1_passes: u32,
+    /// Streaming passes in phase 2.
+    pub phase2_passes: u32,
+    /// Worker threads.
+    pub threads: usize,
+    /// Pinned cpuset.
+    pub initiator: Bitmap,
+}
+
+/// Outcome of a two-phase run.
+#[derive(Debug, Clone)]
+pub struct MultiPhaseResult {
+    /// Phase 1 time, ns.
+    pub phase1_ns: f64,
+    /// Phase 2 time, ns.
+    pub phase2_ns: f64,
+    /// Migration cost paid at the boundary, ns (0 for static).
+    pub migration_ns: f64,
+}
+
+impl MultiPhaseResult {
+    /// Total wall time.
+    pub fn total_ns(&self) -> f64 {
+        self.phase1_ns + self.phase2_ns + self.migration_ns
+    }
+}
+
+fn stream_phase(
+    name: &str,
+    region: RegionId,
+    bytes: u64,
+    passes: u32,
+    cfg: &MultiPhaseConfig,
+) -> Phase {
+    Phase {
+        name: name.to_string(),
+        accesses: vec![BufferAccess::new(
+            region,
+            bytes * passes as u64 * 2 / 3,
+            bytes * passes as u64 / 3,
+            AccessPattern::Sequential,
+        )],
+        threads: cfg.threads,
+        initiator: cfg.initiator.clone(),
+        compute_ns: 0.0,
+    }
+}
+
+/// Runs the two-phase workload under `strategy`.
+pub fn run(
+    allocator: &mut HetAllocator,
+    engine: &AccessEngine,
+    cfg: &MultiPhaseConfig,
+    strategy: Strategy,
+) -> Result<MultiPhaseResult, AppError> {
+    let err = |e: hetmem_alloc::HetAllocError| AppError::Alloc(e.to_string());
+    // Program order: phase-1's buffer allocates first.
+    let (a, b) = match strategy {
+        Strategy::PriorityStatic if cfg.phase2_passes > cfg.phase1_passes => {
+            // Allocate the dominant phase's buffer first so it gets
+            // the fast memory.
+            let b = allocator
+                .mem_alloc(cfg.buffer_bytes, attr::BANDWIDTH, &cfg.initiator, Fallback::NextTarget)
+                .map_err(err)?;
+            let a = allocator
+                .mem_alloc(cfg.buffer_bytes, attr::BANDWIDTH, &cfg.initiator, Fallback::NextTarget)
+                .map_err(err)?;
+            (a, b)
+        }
+        _ => {
+            let a = allocator
+                .mem_alloc(cfg.buffer_bytes, attr::BANDWIDTH, &cfg.initiator, Fallback::NextTarget)
+                .map_err(err)?;
+            let b = allocator
+                .mem_alloc(cfg.buffer_bytes, attr::BANDWIDTH, &cfg.initiator, Fallback::NextTarget)
+                .map_err(err)?;
+            (a, b)
+        }
+    };
+
+    let p1 = engine.run_phase(allocator.memory(), &stream_phase("phase1", a, cfg.buffer_bytes, cfg.phase1_passes, cfg));
+
+    let mut migration_ns = 0.0;
+    if strategy == Strategy::Migrate {
+        // Phase boundary: a is cold now; push it off the fast memory,
+        // then bring b in.
+        let (_, out) = allocator.migrate_to_best(a, attr::CAPACITY, &cfg.initiator).map_err(err)?;
+        migration_ns += out.cost_ns;
+        let (_, back) = allocator.migrate_to_best(b, attr::BANDWIDTH, &cfg.initiator).map_err(err)?;
+        migration_ns += back.cost_ns;
+    }
+
+    let p2 = engine.run_phase(allocator.memory(), &stream_phase("phase2", b, cfg.buffer_bytes, cfg.phase2_passes, cfg));
+
+    allocator.free(a);
+    allocator.free(b);
+    Ok(MultiPhaseResult { phase1_ns: p1.time_ns, phase2_ns: p2.time_ns, migration_ns })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetmem_core::discovery;
+    use hetmem_memsim::{Machine, MemoryManager};
+    use hetmem_topology::GIB;
+    use std::sync::Arc;
+
+    fn knl() -> (HetAllocator, AccessEngine) {
+        let machine = Arc::new(Machine::knl_snc4_flat());
+        let attrs = Arc::new(discovery::from_firmware(&machine, true).expect("discovery"));
+        (
+            HetAllocator::new(attrs, MemoryManager::new(machine.clone())),
+            AccessEngine::new(machine),
+        )
+    }
+
+    fn cfg(p1: u32, p2: u32) -> MultiPhaseConfig {
+        MultiPhaseConfig {
+            buffer_bytes: 3 * GIB, // two of these exceed the ~3.8 GiB MCDRAM
+            phase1_passes: p1,
+            phase2_passes: p2,
+            threads: 16,
+            initiator: "0-15".parse().expect("cpuset"),
+        }
+    }
+
+    #[test]
+    fn static_fcfs_starves_the_long_phase() {
+        let (mut alloc, engine) = knl();
+        // Phase 2 is 10x longer but its buffer arrives second.
+        let r = run(&mut alloc, &engine, &cfg(1, 10), Strategy::Static).expect("fits");
+        // Phase 2 runs at DRAM speed: per-pass time much higher.
+        let per_pass1 = r.phase1_ns / 1.0;
+        let per_pass2 = r.phase2_ns / 10.0;
+        assert!(per_pass2 > 2.0 * per_pass1, "{per_pass1} vs {per_pass2}");
+        assert_eq!(r.migration_ns, 0.0);
+    }
+
+    #[test]
+    fn priority_static_fixes_the_order() {
+        let (mut alloc, engine) = knl();
+        let naive = run(&mut alloc, &engine, &cfg(1, 10), Strategy::Static).expect("fits");
+        let prio = run(&mut alloc, &engine, &cfg(1, 10), Strategy::PriorityStatic).expect("fits");
+        assert!(prio.total_ns() < 0.7 * naive.total_ns());
+    }
+
+    #[test]
+    fn migration_beats_static_for_long_balanced_phases() {
+        let (mut alloc, engine) = knl();
+        // Both phases long: no static choice serves both; migration
+        // pays for itself.
+        let stat = run(&mut alloc, &engine, &cfg(40, 40), Strategy::Static).expect("fits");
+        let mig = run(&mut alloc, &engine, &cfg(40, 40), Strategy::Migrate).expect("fits");
+        assert!(mig.migration_ns > 0.0);
+        assert!(
+            mig.total_ns() < stat.total_ns(),
+            "migrate {:.1} ms should beat static {:.1} ms",
+            mig.total_ns() / 1e6,
+            stat.total_ns() / 1e6
+        );
+    }
+
+    #[test]
+    fn migration_loses_for_short_phases() {
+        let (mut alloc, engine) = knl();
+        // One quick pass each: the copy costs more than it saves — the
+        // paper's warning.
+        let stat = run(&mut alloc, &engine, &cfg(1, 1), Strategy::Static).expect("fits");
+        let mig = run(&mut alloc, &engine, &cfg(1, 1), Strategy::Migrate).expect("fits");
+        assert!(
+            mig.total_ns() > stat.total_ns(),
+            "short phases: migrate {:.1} ms must lose to static {:.1} ms",
+            mig.total_ns() / 1e6,
+            stat.total_ns() / 1e6
+        );
+    }
+
+    #[test]
+    fn migrated_phase2_runs_at_fast_speed() {
+        let (mut alloc, engine) = knl();
+        let mig = run(&mut alloc, &engine, &cfg(4, 4), Strategy::Migrate).expect("fits");
+        let per_pass1 = mig.phase1_ns / 4.0;
+        let per_pass2 = mig.phase2_ns / 4.0;
+        let ratio = per_pass2 / per_pass1;
+        assert!((0.9..1.1).contains(&ratio), "both phases fast after swap: {ratio:.2}");
+    }
+}

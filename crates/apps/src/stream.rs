@@ -1,0 +1,345 @@
+//! STREAM (Triad) on the simulator — the paper's bandwidth-sensitive
+//! workload (Table III).
+//!
+//! Three arrays `a`, `b`, `c`; the Triad kernel `a[i] = b[i] + s*c[i]`
+//! reads two arrays and writes one per iteration. Each array is
+//! allocated separately through the configured [`Placement`], which is
+//! exactly how the paper's capacity-conflict behaviour arises: with a
+//! Bandwidth criterion on KNL, whole arrays stop fitting MCDRAM at the
+//! 17.9 GiB total and spill — Table IIIb's collapse from ~90 GB/s to
+//! DRAM-class speed.
+
+use crate::{AppError, Placement};
+use hetmem_alloc::baselines::MemkindAllocator;
+use hetmem_alloc::HetAllocator;
+use hetmem_bitmap::Bitmap;
+use hetmem_memsim::{AccessEngine, AccessPattern, AllocPolicy, BufferAccess, Phase, RegionId};
+use hetmem_profile::Profiler;
+use hetmem_topology::NodeId;
+
+/// Configuration of a STREAM run.
+#[derive(Debug, Clone)]
+pub struct StreamConfig {
+    /// Total bytes across the three arrays (the paper's "Total
+    /// allocated memory for arrays" column).
+    pub total_bytes: u64,
+    /// Worker threads (20 on the Xeon, 16 on the KNL cluster).
+    pub threads: usize,
+    /// First CPU of the pinned range.
+    pub first_cpu: usize,
+    /// Kernel repetitions (STREAM's NTIMES, default 10).
+    pub iterations: usize,
+}
+
+impl StreamConfig {
+    /// Paper Xeon setup: 20 threads on one socket.
+    pub fn xeon_paper(total_bytes: u64) -> Self {
+        StreamConfig { total_bytes, threads: 20, first_cpu: 0, iterations: 10 }
+    }
+
+    /// Paper KNL setup: 16 threads on one SNC cluster.
+    pub fn knl_paper(total_bytes: u64) -> Self {
+        StreamConfig { total_bytes, threads: 16, first_cpu: 0, iterations: 10 }
+    }
+
+    /// The pinned cpuset.
+    pub fn cpus(&self) -> Bitmap {
+        crate::pinned_cpus(self.first_cpu, self.threads)
+    }
+}
+
+/// Outcome of a STREAM run.
+#[derive(Debug, Clone)]
+pub struct StreamResult {
+    /// Best-iteration Triad rate in GiB/s (STREAM reports the best of
+    /// NTIMES).
+    pub triad_gibps: f64,
+    /// Where the arrays landed: (name, placement).
+    pub placements: Vec<(String, Vec<(NodeId, u64)>)>,
+}
+
+/// Per-kernel fork/join overhead: OpenMP barrier plus loop startup.
+/// This is why the paper's small KNL runs (1.1 GiB) score below the
+/// 3.4 GiB ones (85.05 vs 89.90 GB/s in Table IIIb).
+const FORK_JOIN_NS: f64 = 350_000.0;
+
+/// Runs STREAM Triad: allocates `a`, `b`, `c` under `placement`, runs
+/// `iterations` Triad kernels, reports the best rate. Arrays are freed
+/// before returning. An allocation failure is returned as
+/// [`AppError::Alloc`] — the blank cells of Table III.
+pub fn run(
+    allocator: &mut HetAllocator,
+    engine: &AccessEngine,
+    config: &StreamConfig,
+    placement: &Placement,
+    mut profiler: Option<&mut Profiler>,
+) -> Result<StreamResult, AppError> {
+    if config.threads == 0 || config.iterations == 0 {
+        return Err(AppError::Config("threads and iterations must be nonzero".into()));
+    }
+    let array = config.total_bytes / 3;
+    let initiator = config.cpus();
+    let names = ["a (stream.c:120)", "b (stream.c:121)", "c (stream.c:122)"];
+    let mut regions: Vec<RegionId> = Vec::with_capacity(3);
+    for name in names {
+        let r = match placement {
+            Placement::BindAll(node) => allocator
+                .memory_mut()
+                .alloc(array, AllocPolicy::Bind(*node))
+                .map_err(|e| AppError::Alloc(format!("{name}: {e}"))),
+            Placement::PreferAll(node) => allocator
+                .memory_mut()
+                .alloc(array, AllocPolicy::Preferred(*node))
+                .map_err(|e| AppError::Alloc(format!("{name}: {e}"))),
+            Placement::Criterion { attr, fallback } => allocator
+                .mem_alloc(array, *attr, &initiator, *fallback)
+                .map_err(|e| AppError::Alloc(format!("{name}: {e}"))),
+            Placement::HardwiredKind(kind) => {
+                let mut mk = MemkindAllocator::new(allocator.memory_mut(), initiator.clone());
+                mk.malloc(array, *kind).map_err(|e| AppError::Alloc(format!("{name}: {e}")))
+            }
+            Placement::Advised(advice) => {
+                let criterion = advice
+                    .iter()
+                    .find(|(site, _)| name.starts_with(site.as_str()) || site.starts_with(name))
+                    .map(|&(_, a)| a)
+                    .unwrap_or(hetmem_core::attr::CAPACITY);
+                allocator
+                    .mem_alloc(array, criterion, &initiator, hetmem_alloc::Fallback::PartialSpill)
+                    .map_err(|e| AppError::Alloc(format!("{name}: {e}")))
+            }
+        };
+        match r {
+            Ok(id) => regions.push(id),
+            Err(e) => {
+                for id in regions {
+                    allocator.free(id);
+                }
+                return Err(e);
+            }
+        }
+    }
+    let (a, b, c) = (regions[0], regions[1], regions[2]);
+
+    if let Some(p) = profiler.as_deref_mut() {
+        for (name, &r) in names.iter().zip(&regions) {
+            p.track(allocator.memory(), r, name, array);
+        }
+    }
+
+    let placements = names
+        .iter()
+        .zip(&regions)
+        .map(|(name, &r)| {
+            (name.to_string(), allocator.memory().region(r).expect("allocated").placement.clone())
+        })
+        .collect();
+
+    let mut best_gibps = 0.0f64;
+    for i in 0..config.iterations {
+        let phase = Phase {
+            name: format!("triad-{i}"),
+            accesses: vec![
+                BufferAccess::new(a, 0, array, AccessPattern::Sequential),
+                BufferAccess::new(b, array, 0, AccessPattern::Sequential),
+                BufferAccess::new(c, array, 0, AccessPattern::Sequential),
+            ],
+            threads: config.threads,
+            initiator: initiator.clone(),
+            compute_ns: 0.0,
+        };
+        let report = engine.run_phase(allocator.memory(), &phase);
+        // The barrier/fork-join does not overlap with the kernel.
+        let time_ns = report.time_ns + FORK_JOIN_NS;
+        let gibps = (3 * array) as f64 / (time_ns / 1e9) / (1u64 << 30) as f64;
+        best_gibps = best_gibps.max(gibps);
+        if let Some(p) = profiler.as_deref_mut() {
+            p.record(report);
+        }
+    }
+
+    for r in regions {
+        allocator.free(r);
+    }
+    Ok(StreamResult { triad_gibps: best_gibps, placements })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetmem_core::{attr, discovery};
+    use hetmem_memsim::{Machine, MemoryManager};
+    use hetmem_topology::GIB;
+    use std::sync::Arc;
+
+    fn setup(machine: Machine) -> (HetAllocator, AccessEngine) {
+        let machine = Arc::new(machine);
+        let attrs = Arc::new(discovery::from_firmware(&machine, true).unwrap());
+        let mm = MemoryManager::new(machine.clone());
+        (HetAllocator::new(attrs, mm), AccessEngine::new(machine))
+    }
+
+    fn gib(x: f64) -> u64 {
+        (x * GIB as f64) as u64
+    }
+
+    #[test]
+    fn xeon_capacity_vs_latency_criteria() {
+        // Table IIIa at 22.4 GiB: Capacity → NVDIMM ≈ 31.6;
+        // Latency → DRAM ≈ 75.
+        let (mut alloc, engine) = setup(Machine::xeon_1lm_no_snc());
+        let cfg = StreamConfig::xeon_paper(gib(22.4));
+        let cap = run(
+            &mut alloc,
+            &engine,
+            &cfg,
+            &Placement::Criterion {
+                attr: attr::CAPACITY,
+                fallback: hetmem_alloc::Fallback::PartialSpill,
+            },
+            None,
+        )
+        .unwrap();
+        let lat = run(
+            &mut alloc,
+            &engine,
+            &cfg,
+            &Placement::Criterion {
+                attr: attr::LATENCY,
+                fallback: hetmem_alloc::Fallback::Strict,
+            },
+            None,
+        )
+        .unwrap();
+        assert!((25.0..38.0).contains(&cap.triad_gibps), "capacity triad {:.2}", cap.triad_gibps);
+        assert!((70.0..80.0).contains(&lat.triad_gibps), "latency triad {:.2}", lat.triad_gibps);
+        // Placement sanity: capacity went to NVDIMM (node 2).
+        assert!(cap.placements.iter().all(|(_, p)| p[0].0 == NodeId(2)));
+        assert!(lat.placements.iter().all(|(_, p)| p[0].0 == NodeId(0)));
+    }
+
+    #[test]
+    fn xeon_nvdimm_degrades_with_footprint() {
+        // Table IIIa capacity row: 31.59 → 10.49 → 9.46.
+        let (mut alloc, engine) = setup(Machine::xeon_1lm_no_snc());
+        let crit = Placement::Criterion {
+            attr: attr::CAPACITY,
+            fallback: hetmem_alloc::Fallback::PartialSpill,
+        };
+        let small =
+            run(&mut alloc, &engine, &StreamConfig::xeon_paper(gib(22.4)), &crit, None).unwrap();
+        let big =
+            run(&mut alloc, &engine, &StreamConfig::xeon_paper(gib(223.5)), &crit, None).unwrap();
+        assert!(
+            small.triad_gibps > 2.2 * big.triad_gibps,
+            "AIT degradation missing: {:.1} vs {:.1}",
+            small.triad_gibps,
+            big.triad_gibps
+        );
+        assert!((6.0..14.0).contains(&big.triad_gibps));
+    }
+
+    #[test]
+    fn xeon_latency_row_blank_at_223gib() {
+        // Table IIIa latency row is blank at 223.5 GiB: 192 GB DRAM
+        // cannot hold it and strict binding refuses to spill.
+        let (mut alloc, engine) = setup(Machine::xeon_1lm_no_snc());
+        let err = run(
+            &mut alloc,
+            &engine,
+            &StreamConfig::xeon_paper(gib(223.5)),
+            &Placement::Criterion {
+                attr: attr::LATENCY,
+                fallback: hetmem_alloc::Fallback::Strict,
+            },
+            None,
+        )
+        .unwrap_err();
+        assert!(matches!(err, AppError::Alloc(_)));
+    }
+
+    #[test]
+    fn knl_bandwidth_criterion_sweep() {
+        // Table IIIb bandwidth row: ~85 → ~90 → collapse when MCDRAM
+        // can no longer hold whole arrays.
+        let (mut alloc, engine) = setup(Machine::knl_snc4_flat());
+        let crit = Placement::Criterion {
+            attr: attr::BANDWIDTH,
+            fallback: hetmem_alloc::Fallback::PartialSpill,
+        };
+        let small =
+            run(&mut alloc, &engine, &StreamConfig::knl_paper(gib(1.1)), &crit, None).unwrap();
+        let mid =
+            run(&mut alloc, &engine, &StreamConfig::knl_paper(gib(3.4)), &crit, None).unwrap();
+        let big =
+            run(&mut alloc, &engine, &StreamConfig::knl_paper(gib(17.9)), &crit, None).unwrap();
+        assert!(
+            small.triad_gibps < mid.triad_gibps,
+            "fork/join overhead should penalize the 1.1 GiB run: {:.2} vs {:.2}",
+            small.triad_gibps,
+            mid.triad_gibps
+        );
+        assert!((78.0..95.0).contains(&mid.triad_gibps), "mid {:.2}", mid.triad_gibps);
+        assert!(
+            big.triad_gibps < 0.5 * mid.triad_gibps,
+            "capacity collapse missing: {:.1} vs {:.1}",
+            big.triad_gibps,
+            mid.triad_gibps
+        );
+        // The 17.9 GiB run spilled to DRAM.
+        assert!(big.placements.iter().any(|(_, p)| p.iter().any(|&(n, _)| n == NodeId(0))));
+    }
+
+    #[test]
+    fn knl_latency_row_matches_dram_then_blank() {
+        let (mut alloc, engine) = setup(Machine::knl_snc4_flat());
+        let crit = Placement::Criterion {
+            attr: attr::LATENCY,
+            fallback: hetmem_alloc::Fallback::Strict,
+        };
+        let small =
+            run(&mut alloc, &engine, &StreamConfig::knl_paper(gib(1.1)), &crit, None).unwrap();
+        let mid =
+            run(&mut alloc, &engine, &StreamConfig::knl_paper(gib(3.4)), &crit, None).unwrap();
+        // Both DRAM-speed (~29 in the paper).
+        assert!((24.0..34.0).contains(&small.triad_gibps), "{:.2}", small.triad_gibps);
+        assert!((24.0..34.0).contains(&mid.triad_gibps));
+        // 17.9 GiB: blank — the cluster DRAM (24 GB minus OS reserve)
+        // cannot hold it.
+        let err = run(&mut alloc, &engine, &StreamConfig::knl_paper(gib(17.9)), &crit, None)
+            .unwrap_err();
+        assert!(matches!(err, AppError::Alloc(_)));
+    }
+
+    #[test]
+    fn profiler_flags_stream_as_bandwidth_bound() {
+        let (mut alloc, engine) = setup(Machine::xeon_1lm_no_snc());
+        let mut prof = Profiler::new(engine.machine().clone());
+        run(
+            &mut alloc,
+            &engine,
+            &StreamConfig::xeon_paper(gib(22.4)),
+            &Placement::BindAll(NodeId(0)),
+            Some(&mut prof),
+        )
+        .unwrap();
+        let s = prof.summary();
+        assert_eq!(s.sensitivity, hetmem_profile::Sensitivity::Bandwidth);
+    }
+
+    #[test]
+    fn arrays_freed_even_on_failure() {
+        let (mut alloc, engine) = setup(Machine::knl_snc4_flat());
+        let before: Vec<u64> = (0..8).map(|n| alloc.memory().available(NodeId(n))).collect();
+        let _ = run(
+            &mut alloc,
+            &engine,
+            &StreamConfig::knl_paper(gib(17.9)),
+            &Placement::BindAll(NodeId(4)),
+            None,
+        )
+        .unwrap_err();
+        let after: Vec<u64> = (0..8).map(|n| alloc.memory().available(NodeId(n))).collect();
+        assert_eq!(before, after);
+    }
+}

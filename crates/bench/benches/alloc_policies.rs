@@ -1,0 +1,138 @@
+//! Criterion bench for the §VII ablations: allocator fallback modes,
+//! FCFS vs priority planning, and migration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hetmem_alloc::planner::{plan, PlanOrder, PlannedAlloc};
+use hetmem_alloc::Fallback;
+use hetmem_bench::Ctx;
+use hetmem_core::attr;
+use hetmem_topology::{NodeId, GIB};
+
+fn mem_alloc_modes(c: &mut Criterion) {
+    let ctx = Ctx::knl();
+    let cluster: hetmem_bitmap::Bitmap = "0-15".parse().unwrap();
+    for (label, fb) in [
+        ("strict", Fallback::Strict),
+        ("next_target", Fallback::NextTarget),
+        ("partial_spill", Fallback::PartialSpill),
+    ] {
+        c.bench_function(&format!("mem_alloc_{label}"), |b| {
+            b.iter(|| {
+                let mut alloc = ctx.allocator();
+                let id = alloc
+                    .mem_alloc(GIB, attr::BANDWIDTH, &cluster, fb)
+                    .expect("MCDRAM holds 1 GiB");
+                alloc.free(id)
+            })
+        });
+    }
+    // The fallback path itself: best target full, next target used.
+    c.bench_function("mem_alloc_fallback_path", |b| {
+        b.iter(|| {
+            let mut alloc = ctx.allocator();
+            let avail = alloc.memory().available(NodeId(4));
+            let hog = alloc.mem_alloc(avail, attr::BANDWIDTH, &cluster, Fallback::Strict).expect("fits");
+            let spilled = alloc
+                .mem_alloc(GIB, attr::BANDWIDTH, &cluster, Fallback::NextTarget)
+                .expect("falls back to DRAM");
+            alloc.free(hog);
+            alloc.free(spilled)
+        })
+    });
+}
+
+fn planner(c: &mut Criterion) {
+    let ctx = Ctx::knl();
+    let cluster: hetmem_bitmap::Bitmap = "0-15".parse().unwrap();
+    let reqs: Vec<PlannedAlloc> = (0..8)
+        .map(|i| PlannedAlloc {
+            name: format!("buf{i}"),
+            size: GIB,
+            criterion: attr::BANDWIDTH,
+            priority: i,
+        })
+        .collect();
+    for (label, order) in [("fcfs", PlanOrder::Fcfs), ("priority", PlanOrder::Priority)] {
+        c.bench_function(&format!("planner_{label}_8bufs"), |b| {
+            b.iter(|| {
+                let mut alloc = ctx.allocator();
+                plan(&mut alloc, &reqs, &cluster, order).expect("plan fits").len()
+            })
+        });
+    }
+}
+
+fn migration(c: &mut Criterion) {
+    let ctx = Ctx::knl();
+    let cluster: hetmem_bitmap::Bitmap = "0-15".parse().unwrap();
+    c.bench_function("migrate_1gib_dram_to_mcdram", |b| {
+        b.iter(|| {
+            let mut alloc = ctx.allocator();
+            let id = alloc.mem_alloc(GIB, attr::LATENCY, &cluster, Fallback::Strict).expect("fits");
+            let (_, report) =
+                alloc.migrate_to_best(id, attr::BANDWIDTH, &cluster).expect("MCDRAM free");
+            std::hint::black_box(report.cost_ns)
+        })
+    });
+}
+
+criterion_group!(benches, mem_alloc_modes, planner, migration);
+
+// Appended: §VII/§VIII ablation benches.
+mod extra {
+    use super::*;
+    use hetmem_apps::multiphase::{run as mp_run, MultiPhaseConfig, Strategy};
+
+    pub fn multiphase_strategies(c: &mut Criterion) {
+        let ctx = Ctx::knl();
+        for (label, strategy) in [
+            ("static", Strategy::Static),
+            ("priority", Strategy::PriorityStatic),
+            ("migrate", Strategy::Migrate),
+        ] {
+            c.bench_function(&format!("multiphase_{label}"), |b| {
+                let cfg = MultiPhaseConfig {
+                    buffer_bytes: 3 * GIB,
+                    phase1_passes: 8,
+                    phase2_passes: 8,
+                    threads: 16,
+                    initiator: "0-15".parse().expect("cpuset"),
+                };
+                b.iter(|| {
+                    let mut alloc = ctx.allocator();
+                    mp_run(&mut alloc, &ctx.engine, &cfg, strategy).expect("fits").total_ns()
+                })
+            });
+        }
+    }
+
+    pub fn global_vs_local_candidates(c: &mut Criterion) {
+        let machine = std::sync::Arc::new(hetmem_memsim::Machine::xeon_4s_snc());
+        let attrs = std::sync::Arc::new(
+            hetmem_membench::feed_attrs(
+                &machine,
+                &hetmem_membench::BenchOptions {
+                    include_remote: true,
+                    read_write_variants: false,
+                    loaded_latency: false,
+                },
+            )
+            .expect("benchmark discovery"),
+        );
+        let alloc = hetmem_alloc::HetAllocator::new(
+            attrs,
+            hetmem_memsim::MemoryManager::new(machine),
+        );
+        let g0: hetmem_bitmap::Bitmap = "0-9".parse().expect("cpuset");
+        c.bench_function("candidates_local_12node", |b| {
+            b.iter(|| alloc.candidates(attr::LATENCY, &g0).expect("ranked").len())
+        });
+        c.bench_function("candidates_global_12node", |b| {
+            b.iter(|| alloc.candidates_any(attr::LATENCY, &g0).expect("ranked").len())
+        });
+    }
+}
+
+criterion_group!(ablation, extra::multiphase_strategies, extra::global_vs_local_candidates);
+
+criterion_main!(benches, ablation);

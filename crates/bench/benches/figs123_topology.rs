@@ -1,0 +1,40 @@
+//! Criterion bench for Figs. 1–3: building and rendering the paper's
+//! platform topologies.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hetmem_topology::platforms;
+
+fn build(c: &mut Criterion) {
+    c.bench_function("fig1_build_knl_hybrid50", |b| {
+        b.iter(|| platforms::knl_snc4_hybrid50().len())
+    });
+    c.bench_function("fig2_build_xeon_1lm", |b| b.iter(|| platforms::xeon_1lm().len()));
+    c.bench_function("fig3_build_fictitious", |b| b.iter(|| platforms::fictitious().len()));
+}
+
+fn render(c: &mut Criterion) {
+    let knl = platforms::knl_snc4_hybrid50();
+    let xeon = platforms::xeon_1lm();
+    let fic = platforms::fictitious();
+    c.bench_function("fig1_render", |b| b.iter(|| knl.render().len()));
+    c.bench_function("fig2_render", |b| b.iter(|| xeon.render().len()));
+    c.bench_function("fig3_render", |b| b.iter(|| fic.render().len()));
+}
+
+fn queries(c: &mut Criterion) {
+    let topo = platforms::fictitious();
+    let cluster = topo
+        .object_by_type_and_logical(hetmem_topology::ObjectType::Group, 0)
+        .expect("cluster exists")
+        .cpuset
+        .clone();
+    c.bench_function("topology_local_numa_nodes", |b| {
+        b.iter(|| topo.local_numa_nodes(&cluster, hetmem_topology::LocalityFlags::larger()).len())
+    });
+    c.bench_function("topology_largest_object_inside", |b| {
+        b.iter(|| topo.largest_object_inside(&cluster).map(|o| o.logical_index))
+    });
+}
+
+criterion_group!(benches, build, render, queries);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Criterion micro-benchmarks of the substrates: bitmap algebra, the
+//! phase cost engine, OS memory-manager operations, SRAT/HMAT codecs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hetmem_bench::Ctx;
+use hetmem_bitmap::Bitmap;
+use hetmem_memsim::{AccessPattern, AllocPolicy, BufferAccess, MemoryManager, Phase};
+use hetmem_topology::{NodeId, GIB};
+
+fn bitmap_ops(c: &mut Criterion) {
+    let a = Bitmap::from_range(0, 255);
+    let b = Bitmap::from_indices((0..512).step_by(3));
+    c.bench_function("bitmap_and", |bch| bch.iter(|| a.and(&b).weight()));
+    c.bench_function("bitmap_or", |bch| bch.iter(|| a.or(&b).weight()));
+    c.bench_function("bitmap_includes", |bch| bch.iter(|| a.includes(&b)));
+    c.bench_function("bitmap_iterate_512", |bch| bch.iter(|| b.iter().sum::<usize>()));
+    c.bench_function("bitmap_parse_display", |bch| {
+        bch.iter(|| b.to_string().parse::<Bitmap>().expect("roundtrip").weight())
+    });
+}
+
+fn engine_phase(c: &mut Criterion) {
+    let ctx = Ctx::xeon();
+    let mut mm = MemoryManager::new(ctx.machine.clone());
+    let r1 = mm.alloc(8 * GIB, AllocPolicy::Bind(NodeId(0))).expect("fits");
+    let r2 = mm.alloc(8 * GIB, AllocPolicy::Bind(NodeId(2))).expect("fits");
+    let phase = Phase {
+        name: "bench".into(),
+        accesses: vec![
+            BufferAccess::new(r1, 8 * GIB, GIB, AccessPattern::Random),
+            BufferAccess::new(r2, 4 * GIB, 0, AccessPattern::Sequential),
+        ],
+        threads: 20,
+        initiator: "0-19".parse().expect("cpuset"),
+        compute_ns: 1e6,
+    };
+    c.bench_function("engine_run_phase_2buffers", |b| {
+        b.iter(|| ctx.engine.run_phase(&mm, &phase).time_ns)
+    });
+}
+
+fn memory_manager(c: &mut Criterion) {
+    let ctx = Ctx::xeon();
+    c.bench_function("mm_alloc_free_bind", |b| {
+        let mut mm = MemoryManager::new(ctx.machine.clone());
+        b.iter(|| {
+            let id = mm.alloc(GIB, AllocPolicy::Bind(NodeId(0))).expect("fits");
+            mm.free(id)
+        })
+    });
+    c.bench_function("mm_alloc_free_interleave4", |b| {
+        let ctx = Ctx::knl();
+        let mut mm = MemoryManager::new(ctx.machine.clone());
+        let nodes = vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)];
+        b.iter(|| {
+            let id = mm.alloc(GIB, AllocPolicy::Interleave(nodes.clone())).expect("fits");
+            mm.free(id)
+        })
+    });
+}
+
+fn firmware_codecs(c: &mut Criterion) {
+    let ctx = Ctx::xeon();
+    let hmat = ctx.machine.hmat(false);
+    let srat = ctx.machine.srat();
+    c.bench_function("hmat_encode", |b| b.iter(|| hetmem_hmat::encode_hmat(&hmat).len()));
+    let bin = hetmem_hmat::encode_hmat(&hmat);
+    c.bench_function("hmat_decode", |b| {
+        b.iter(|| hetmem_hmat::decode_hmat(&bin).expect("valid").localities.len())
+    });
+    c.bench_function("srat_encode_decode", |b| {
+        b.iter(|| {
+            let bin = hetmem_hmat::encode_srat(&srat);
+            hetmem_hmat::decode_srat(&bin).expect("valid").processors.len()
+        })
+    });
+}
+
+criterion_group!(benches, bitmap_ops, engine_phase, memory_manager, firmware_codecs);
+criterion_main!(benches);

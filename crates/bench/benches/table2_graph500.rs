@@ -1,0 +1,71 @@
+//! Criterion bench for Table II: Graph500 runs on both machines.
+//!
+//! Measures the full simulated-run path (allocation → 8 BFS phase
+//! costings → scoring) for every cell class of Table IIa/IIb, plus the
+//! real functional kernel (generator + CSR + BFS) at laptop scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hetmem_apps::graph500::{run, Graph500Config};
+use hetmem_apps::Placement;
+use hetmem_bench::Ctx;
+use hetmem_topology::NodeId;
+
+fn table2a(c: &mut Criterion) {
+    let ctx = Ctx::xeon();
+    let mut g = c.benchmark_group("table2a_graph500_xeon");
+    for scale in [26u32, 28, 30] {
+        for (label, node) in [("dram", NodeId(0)), ("nvdimm", NodeId(2))] {
+            g.bench_with_input(BenchmarkId::new(label, scale), &scale, |b, &scale| {
+                let cfg = Graph500Config::xeon_paper(scale);
+                b.iter(|| {
+                    let mut alloc = ctx.allocator();
+                    run(&mut alloc, &ctx.engine, &cfg, &Placement::BindAll(node), None)
+                        .expect("fits")
+                        .teps_harmonic
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+fn table2b(c: &mut Criterion) {
+    let ctx = Ctx::knl();
+    let mut g = c.benchmark_group("table2b_graph500_knl");
+    for (label, node) in [("hbm", NodeId(4)), ("dram", NodeId(0))] {
+        g.bench_function(BenchmarkId::new(label, 26), |b| {
+            let cfg = Graph500Config::knl_paper(26);
+            b.iter(|| {
+                let mut alloc = ctx.allocator();
+                run(&mut alloc, &ctx.engine, &cfg, &Placement::PreferAll(node), None)
+                    .expect("fits")
+                    .teps_harmonic
+            })
+        });
+    }
+    g.finish();
+}
+
+/// The functional kernel at a real (small) scale: generator + CSR +
+/// BFS — the part a laptop genuinely executes.
+fn functional_bfs(c: &mut Criterion) {
+    use hetmem_apps::graph500::{bfs, csr::Csr, kronecker};
+    let params = kronecker::KroneckerParams::graph500(16, 42);
+    let el = kronecker::generate(&params);
+    let graph = Csr::build(&el);
+    c.bench_function("graph500_functional_bfs_scale16", |b| {
+        b.iter(|| {
+            let r = bfs::bfs(&graph, 1);
+            std::hint::black_box(r.reached())
+        })
+    });
+    c.bench_function("graph500_kronecker_generate_scale16", |b| {
+        b.iter(|| std::hint::black_box(kronecker::generate(&params).edges.len()))
+    });
+    c.bench_function("graph500_csr_build_scale16", |b| {
+        b.iter(|| std::hint::black_box(Csr::build(&el).directed_edges()))
+    });
+}
+
+criterion_group!(benches, table2a, table2b, functional_bfs);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Criterion bench for Table III: STREAM Triad under each optimized
+//! criterion on both machines, including the capacity-fallback path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hetmem_alloc::Fallback;
+use hetmem_apps::stream::{run, StreamConfig};
+use hetmem_apps::Placement;
+use hetmem_bench::Ctx;
+use hetmem_core::attr;
+use hetmem_topology::GIB;
+
+fn table3a(c: &mut Criterion) {
+    let ctx = Ctx::xeon();
+    let mut g = c.benchmark_group("table3a_stream_xeon");
+    let cases = [
+        ("capacity", attr::CAPACITY, Fallback::PartialSpill, 22.4),
+        ("capacity", attr::CAPACITY, Fallback::PartialSpill, 89.4),
+        ("latency", attr::LATENCY, Fallback::Strict, 22.4),
+        ("latency", attr::LATENCY, Fallback::Strict, 89.4),
+    ];
+    for (label, a, fb, gib) in cases {
+        g.bench_function(BenchmarkId::new(label, format!("{gib}GiB")), |b| {
+            let cfg = StreamConfig::xeon_paper((gib * GIB as f64) as u64);
+            b.iter(|| {
+                let mut alloc = ctx.allocator();
+                run(&mut alloc, &ctx.engine, &cfg, &Placement::Criterion { attr: a, fallback: fb }, None)
+                    .expect("fits")
+                    .triad_gibps
+            })
+        });
+    }
+    g.finish();
+}
+
+fn table3b(c: &mut Criterion) {
+    let ctx = Ctx::knl();
+    let mut g = c.benchmark_group("table3b_stream_knl");
+    let cases = [
+        ("bandwidth", attr::BANDWIDTH, Fallback::PartialSpill, 1.1),
+        ("bandwidth", attr::BANDWIDTH, Fallback::PartialSpill, 3.4),
+        // The 17.9 GiB case exercises the spill path of the allocator.
+        ("bandwidth_spill", attr::BANDWIDTH, Fallback::PartialSpill, 17.9),
+        ("latency", attr::LATENCY, Fallback::Strict, 3.4),
+    ];
+    for (label, a, fb, gib) in cases {
+        g.bench_function(BenchmarkId::new(label, format!("{gib}GiB")), |b| {
+            let cfg = StreamConfig::knl_paper((gib * GIB as f64) as u64);
+            b.iter(|| {
+                let mut alloc = ctx.allocator();
+                run(&mut alloc, &ctx.engine, &cfg, &Placement::Criterion { attr: a, fallback: fb }, None)
+                    .expect("fits")
+                    .triad_gibps
+            })
+        });
+    }
+    g.finish();
+}
+
+/// The micro-benchmark substrate itself (what `hetmem-membench` runs
+/// to feed attribute values).
+fn membench_kernels(c: &mut Criterion) {
+    use hetmem_membench::{chase, stream as mstream, BenchContext};
+    let ctx = Ctx::xeon();
+    c.bench_function("membench_triad_measure", |b| {
+        b.iter(|| {
+            let mut bctx = BenchContext::new(ctx.machine.clone());
+            mstream::triad_mbps(&mut bctx, &"0-19".parse().unwrap(), hetmem_topology::NodeId(0))
+                .expect("measurable")
+        })
+    });
+    c.bench_function("membench_chase_latency", |b| {
+        b.iter(|| {
+            let mut bctx = BenchContext::new(ctx.machine.clone());
+            chase::latency_ns(&mut bctx, &"0-19".parse().unwrap(), hetmem_topology::NodeId(2))
+                .expect("measurable")
+        })
+    });
+}
+
+criterion_group!(benches, table3a, table3b, membench_kernels);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Criterion bench for Table IV / Fig. 7: profiled application runs
+//! and the analysis passes (summary, per-object report) themselves.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hetmem_apps::graph500::{run, Graph500Config};
+use hetmem_apps::stream::{run as stream_run, StreamConfig};
+use hetmem_apps::Placement;
+use hetmem_bench::Ctx;
+use hetmem_profile::Profiler;
+use hetmem_topology::{NodeId, GIB};
+
+fn profiled_runs(c: &mut Criterion) {
+    let ctx = Ctx::xeon();
+    c.bench_function("table4_graph500_profiled", |b| {
+        let cfg = Graph500Config::xeon_paper(26);
+        b.iter(|| {
+            let mut alloc = ctx.allocator();
+            let mut prof = Profiler::new(ctx.machine.clone());
+            run(&mut alloc, &ctx.engine, &cfg, &Placement::BindAll(NodeId(0)), Some(&mut prof))
+                .expect("fits");
+            prof.summary().sensitivity
+        })
+    });
+    c.bench_function("table4_stream_profiled", |b| {
+        let cfg = StreamConfig::xeon_paper(22 * GIB);
+        b.iter(|| {
+            let mut alloc = ctx.allocator();
+            let mut prof = Profiler::new(ctx.machine.clone());
+            stream_run(
+                &mut alloc,
+                &ctx.engine,
+                &cfg,
+                &Placement::BindAll(NodeId(2)),
+                Some(&mut prof),
+            )
+            .expect("fits");
+            prof.summary().sensitivity
+        })
+    });
+}
+
+fn analysis_passes(c: &mut Criterion) {
+    // Record a realistic profile once, then measure the analyses.
+    let ctx = Ctx::xeon();
+    let mut alloc = ctx.allocator();
+    let mut prof = Profiler::new(ctx.machine.clone());
+    run(
+        &mut alloc,
+        &ctx.engine,
+        &Graph500Config::xeon_paper(26),
+        &Placement::BindAll(NodeId(0)),
+        Some(&mut prof),
+    )
+    .expect("fits");
+    c.bench_function("fig7_summary_pass", |b| {
+        b.iter(|| std::hint::black_box(prof.summary().flagged.len()))
+    });
+    c.bench_function("fig7_object_report_pass", |b| {
+        b.iter(|| std::hint::black_box(prof.object_report().len()))
+    });
+    c.bench_function("fig7_render_objects", |b| {
+        b.iter(|| std::hint::black_box(prof.render_objects().len()))
+    });
+}
+
+criterion_group!(benches, profiled_runs, analysis_passes);
+criterion_main!(benches);

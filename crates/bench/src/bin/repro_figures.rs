@@ -1,0 +1,59 @@
+//! Regenerates the paper's figures (1, 2, 3, 5, 7) as text.
+//!
+//! ```text
+//! repro_figures [--fig1|--fig2|--fig3|--fig5|--fig7|--all]
+//! ```
+
+use hetmem_apps::graph500::{self, Graph500Config};
+use hetmem_apps::Placement;
+use hetmem_bench::Ctx;
+use hetmem_core::{discovery, render_fig5};
+use hetmem_memsim::Machine;
+use hetmem_profile::Profiler;
+use hetmem_topology::{platforms, NodeId};
+use std::sync::Arc;
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "--all".to_string());
+    let all = arg == "--all";
+    if all || arg == "--fig1" {
+        println!("== Fig. 1: Xeon Phi in SNC4/Hybrid50 mode ==");
+        println!("{}", platforms::knl_snc4_hybrid50().render());
+    }
+    if all || arg == "--fig2" {
+        println!("== Fig. 2: dual Xeon 6230, NVDIMMs in 1-Level-Memory, SNC2 ==");
+        println!("{}", platforms::xeon_1lm().render());
+    }
+    if all || arg == "--fig3" {
+        println!("== Fig. 3: fictitious platform with four kinds of memory ==");
+        println!("{}", platforms::fictitious().render());
+    }
+    if all || arg == "--fig5" {
+        println!("== Fig. 5: lstopo --memattrs on the Fig. 2 Xeon ==");
+        let machine = Arc::new(Machine::xeon_1lm_snc());
+        let attrs = discovery::from_firmware(&machine, true).expect("firmware discovery");
+        println!("{}", render_fig5(&attrs));
+    }
+    if all || arg == "--fig7" {
+        println!("== Fig. 7: per-object memory access analysis (Graph500, Xeon) ==");
+        let ctx = Ctx::xeon();
+        for (label, node) in [("DRAM", NodeId(0)), ("NVDIMM", NodeId(2))] {
+            let mut alloc = ctx.allocator();
+            let mut prof = Profiler::new(ctx.machine.clone());
+            graph500::run(
+                &mut alloc,
+                &ctx.engine,
+                &Graph500Config::xeon_paper(27),
+                &Placement::BindAll(node),
+                Some(&mut prof),
+            )
+            .expect("graph500 fits");
+            println!("-- execution with memory bound to {label} --");
+            println!("{}", prof.render_summary());
+            println!("-- memory objects, ordered by LLC misses --");
+            println!("{}", prof.render_objects());
+            println!("-- bandwidth timeline (one row per BFS) --");
+            println!("{}", prof.render_timeline());
+        }
+    }
+}

@@ -1,0 +1,491 @@
+//! Regenerates every table of the paper's evaluation.
+//!
+//! ```text
+//! repro_tables [--table1|--table2a|--table2b|--table3a|--table3b|--table4|--portability|--capacity|--all]
+//! ```
+
+use hetmem_alloc::planner::{plan, PlanOrder, PlannedAlloc};
+use hetmem_alloc::{baselines, Fallback};
+use hetmem_apps::graph500::{self, Graph500Config};
+use hetmem_apps::stream::{self, StreamConfig};
+use hetmem_apps::Placement;
+use hetmem_bench::{gb, teps_e8, Ctx};
+use hetmem_core::attr;
+use hetmem_profile::Profiler;
+use hetmem_topology::{MemoryKind, NodeId, GIB};
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "--all".to_string());
+    let all = arg == "--all";
+    if all || arg == "--table1" {
+        table1();
+    }
+    if all || arg == "--table2a" {
+        table2a();
+    }
+    if all || arg == "--table2b" {
+        table2b();
+    }
+    if all || arg == "--table3a" {
+        table3a();
+    }
+    if all || arg == "--table3b" {
+        table3b();
+    }
+    if all || arg == "--table4" {
+        table4();
+    }
+    if all || arg == "--portability" {
+        portability();
+    }
+    if all || arg == "--capacity" {
+        capacity();
+    }
+    if all || arg == "--section8" {
+        section8();
+    }
+    if all || arg == "--migration" {
+        migration();
+    }
+}
+
+/// Table I: status of memory attributes (native discovery vs external
+/// sources), demonstrated live on the Xeon.
+fn table1() {
+    println!("== Table I: status of memory attributes in the registry ==");
+    let ctx = Ctx::xeon();
+    let firmware = ctx.attrs.clone();
+    let benched = hetmem_membench::feed_attrs(
+        &ctx.machine,
+        &hetmem_membench::BenchOptions { read_write_variants: true, ..Default::default() },
+    )
+    .expect("benchmark discovery");
+    let future = hetmem_core::discovery::from_firmware_with_options(&ctx.machine, true, true)
+        .expect("rw firmware discovery");
+    println!(
+        "{:<18} {:>14} {:>18} {:>14}",
+        "Attribute", "Native (HMAT)", "Native (future fw)", "Benchmarks"
+    );
+    for (name, id) in [
+        ("Capacity", attr::CAPACITY),
+        ("Locality", attr::LOCALITY),
+        ("Bandwidth", attr::BANDWIDTH),
+        ("Latency", attr::LATENCY),
+        ("ReadBandwidth", attr::READ_BANDWIDTH),
+        ("WriteBandwidth", attr::WRITE_BANDWIDTH),
+        ("ReadLatency", attr::READ_LATENCY),
+        ("WriteLatency", attr::WRITE_LATENCY),
+    ] {
+        let have = |a: &hetmem_core::MemAttrs| {
+            if a.targets(id).is_empty() { "-" } else { "supported" }
+        };
+        println!(
+            "{:<18} {:>14} {:>18} {:>14}",
+            name,
+            have(&firmware),
+            have(&future),
+            have(&benched)
+        );
+    }
+    println!(
+        "{:<18} {:>14} {:>18} {:>14}",
+        "Custom metrics", "-", "-", "user-specified"
+    );
+    println!();
+}
+
+/// Table IIa: Graph500 on the Xeon, DRAM vs NVDIMM, scales 26–30.
+fn table2a() {
+    println!("== Table IIa: Graph500 TEPSe+8, Xeon (16 ranks, 1 socket) ==");
+    println!("{:<12} {:>8} {:>8}", "Graph Size", "DRAM", "NVDIMM");
+    let ctx = Ctx::xeon();
+    for scale in 26..=30 {
+        let cfg = Graph500Config::xeon_paper(scale);
+        let mut row = vec![gb(cfg.params.graph_bytes())];
+        for node in [NodeId(0), NodeId(2)] {
+            let mut alloc = ctx.allocator();
+            let res = graph500::run(&mut alloc, &ctx.engine, &cfg, &Placement::BindAll(node), None);
+            row.push(match res {
+                Ok(r) => teps_e8(r.teps_harmonic),
+                Err(_) => "-".to_string(),
+            });
+        }
+        println!("{:<12} {:>8} {:>8}", row[0], row[1], row[2]);
+    }
+    println!();
+}
+
+/// Table IIb: Graph500 on the KNL cluster, HBM vs DRAM, scales 26–27.
+fn table2b() {
+    println!("== Table IIb: Graph500 TEPSe+8, KNL (16 ranks, 1 SNC cluster) ==");
+    println!("{:<12} {:>8} {:>8}", "Graph Size", "HBM", "DRAM");
+    let ctx = Ctx::knl();
+    for scale in 26..=27 {
+        let cfg = Graph500Config::knl_paper(scale);
+        let mut row = vec![gb(cfg.params.graph_bytes())];
+        for node in [NodeId(4), NodeId(0)] {
+            let mut alloc = ctx.allocator();
+            // numactl --preferred: a 4.29 GB graph can still "run on
+            // HBM" with 4 GB of MCDRAM by spilling (footnote 21: the
+            // spill goes to higher-index nodes, i.e. other MCDRAMs).
+            let res =
+                graph500::run(&mut alloc, &ctx.engine, &cfg, &Placement::PreferAll(node), None);
+            row.push(match res {
+                Ok(r) => teps_e8(r.teps_harmonic),
+                Err(_) => "-".to_string(),
+            });
+        }
+        println!("{:<12} {:>8} {:>8}", row[0], row[1], row[2]);
+    }
+    println!();
+}
+
+fn kind_label(ctx: &Ctx, node: NodeId) -> &'static str {
+    match ctx.machine.topology().node_kind(node) {
+        Some(MemoryKind::Dram) => "DRAM",
+        Some(MemoryKind::Hbm) => "HBM",
+        Some(MemoryKind::Nvdimm) => "NVDIMM",
+        Some(MemoryKind::NetworkAttached) => "NAM",
+        Some(MemoryKind::GpuMemory) => "GPU",
+        None => "?",
+    }
+}
+
+/// Table IIIa: STREAM Triad on the Xeon by optimized criterion.
+fn table3a() {
+    println!("== Table IIIa: STREAM Triad GB/s, Xeon (20 threads) ==");
+    println!(
+        "{:<10} {:>11} {:>9} {:>9} {:>9}",
+        "Criteria", "Best Target", "22.4GiB", "89.4GiB", "223.5GiB"
+    );
+    let ctx = Ctx::xeon();
+    let sizes = [22.4, 89.4, 223.5];
+    let rows: [(&str, hetmem_core::AttrId, Fallback); 2] = [
+        ("Capacity", attr::CAPACITY, Fallback::PartialSpill),
+        ("Latency", attr::LATENCY, Fallback::Strict),
+    ];
+    for (name, a, fb) in rows {
+        let alloc = ctx.allocator();
+        let best = alloc.best_target(a, &"0-19".parse().unwrap()).expect("candidates");
+        let mut cells = Vec::new();
+        for s in sizes {
+            let mut alloc = ctx.allocator();
+            let cfg = StreamConfig::xeon_paper((s * GIB as f64) as u64);
+            let res = stream::run(
+                &mut alloc,
+                &ctx.engine,
+                &cfg,
+                &Placement::Criterion { attr: a, fallback: fb },
+                None,
+            );
+            cells.push(match res {
+                Ok(r) => format!("{:.2}", r.triad_gibps),
+                Err(_) => "-".to_string(),
+            });
+        }
+        println!(
+            "{:<10} {:>11} {:>9} {:>9} {:>9}",
+            name,
+            kind_label(&ctx, best),
+            cells[0],
+            cells[1],
+            cells[2]
+        );
+    }
+    println!();
+}
+
+/// Table IIIb: STREAM Triad on the KNL cluster by optimized criterion.
+fn table3b() {
+    println!("== Table IIIb: STREAM Triad GB/s, KNL (16 threads, 1 cluster) ==");
+    println!(
+        "{:<10} {:>11} {:>9} {:>9} {:>9}",
+        "Criteria", "Best Target", "1.1GiB", "3.4GiB", "17.9GiB"
+    );
+    let ctx = Ctx::knl();
+    let sizes = [1.1, 3.4, 17.9];
+    let rows: [(&str, hetmem_core::AttrId, Fallback); 2] = [
+        ("Bandwidth", attr::BANDWIDTH, Fallback::PartialSpill),
+        ("Latency", attr::LATENCY, Fallback::Strict),
+    ];
+    for (name, a, fb) in rows {
+        let alloc = ctx.allocator();
+        let best = alloc.best_target(a, &"0-15".parse().unwrap()).expect("candidates");
+        let mut cells = Vec::new();
+        for s in sizes {
+            let mut alloc = ctx.allocator();
+            let cfg = StreamConfig::knl_paper((s * GIB as f64) as u64);
+            let res = stream::run(
+                &mut alloc,
+                &ctx.engine,
+                &cfg,
+                &Placement::Criterion { attr: a, fallback: fb },
+                None,
+            );
+            cells.push(match res {
+                Ok(r) => format!("{:.2}", r.triad_gibps),
+                Err(_) => "-".to_string(),
+            });
+        }
+        println!(
+            "{:<10} {:>11} {:>9} {:>9} {:>9}",
+            name,
+            kind_label(&ctx, best),
+            cells[0],
+            cells[1],
+            cells[2]
+        );
+    }
+    println!();
+}
+
+/// Table IV: the profiler's execution summary for Graph500 and STREAM
+/// on DRAM vs NVDIMM.
+fn table4() {
+    println!("== Table IV: profiler summary, Xeon ==");
+    println!(
+        "{:<14} {:<8} {:>11} {:>11} {:>14} {:>14}",
+        "Application", "Target", "DRAM Bound", "PMem Bound", "DRAM BW Bound", "PMem BW Bound"
+    );
+    let ctx = Ctx::xeon();
+    let runs: [(&str, NodeId); 2] = [("DRAM", NodeId(0)), ("NVDIMM", NodeId(2))];
+    for (target, node) in runs {
+        let mut alloc = ctx.allocator();
+        let mut prof = Profiler::new(ctx.machine.clone());
+        graph500::run(
+            &mut alloc,
+            &ctx.engine,
+            &Graph500Config::xeon_paper(27),
+            &Placement::BindAll(node),
+            Some(&mut prof),
+        )
+        .expect("graph500 fits");
+        let s = prof.summary();
+        println!(
+            "{:<14} {:<8} {:>10.1}% {:>10.1}% {:>13.1}% {:>13.1}%",
+            "Graph500",
+            target,
+            s.bound(MemoryKind::Dram),
+            s.bound(MemoryKind::Nvdimm),
+            s.bw_bound(MemoryKind::Dram),
+            s.bw_bound(MemoryKind::Nvdimm)
+        );
+    }
+    for (target, node) in runs {
+        let mut alloc = ctx.allocator();
+        let mut prof = Profiler::new(ctx.machine.clone());
+        stream::run(
+            &mut alloc,
+            &ctx.engine,
+            &StreamConfig::xeon_paper(22 * GIB),
+            &Placement::BindAll(node),
+            Some(&mut prof),
+        )
+        .expect("stream fits");
+        let s = prof.summary();
+        println!(
+            "{:<14} {:<8} {:>10.1}% {:>10.1}% {:>13.1}% {:>13.1}%",
+            "STREAM Triad",
+            target,
+            s.bound(MemoryKind::Dram),
+            s.bound(MemoryKind::Nvdimm),
+            s.bw_bound(MemoryKind::Dram),
+            s.bw_bound(MemoryKind::Nvdimm)
+        );
+    }
+    println!();
+}
+
+/// §VI-A: the same attribute-annotated code vs manual tuning vs
+/// hardwired-kind APIs, on both machines.
+fn portability() {
+    println!("== Portability: one code path, two machines (Graph500, latency criterion) ==");
+    println!(
+        "{:<10} {:>16} {:>16} {:>18}",
+        "Machine", "Manual best", "Attr(Latency)", "memkind hbw_malloc"
+    );
+    for (label, ctx, cfg, manual_node) in [
+        ("Xeon", Ctx::xeon(), Graph500Config::xeon_paper(26), NodeId(0)),
+        ("KNL", Ctx::knl(), Graph500Config::knl_paper(26), NodeId(0)),
+    ] {
+        let mut alloc = ctx.allocator();
+        let manual = graph500::run(
+            &mut alloc,
+            &ctx.engine,
+            &cfg,
+            &Placement::BindAll(manual_node),
+            None,
+        )
+        .expect("manual placement fits");
+        let mut alloc = ctx.allocator();
+        let portable = graph500::run(
+            &mut alloc,
+            &ctx.engine,
+            &cfg,
+            &Placement::Criterion { attr: attr::LATENCY, fallback: Fallback::NextTarget },
+            None,
+        )
+        .expect("criterion placement fits");
+        let mut alloc = ctx.allocator();
+        let hardwired = graph500::run(
+            &mut alloc,
+            &ctx.engine,
+            &cfg,
+            &Placement::HardwiredKind(baselines::Kind::HighBandwidth),
+            None,
+        );
+        println!(
+            "{:<10} {:>16} {:>16} {:>18}",
+            label,
+            teps_e8(manual.teps_harmonic),
+            teps_e8(portable.teps_harmonic),
+            match hardwired {
+                Ok(r) => teps_e8(r.teps_harmonic),
+                Err(_) => "FAILS (no HBM)".to_string(),
+            }
+        );
+    }
+    println!();
+}
+
+/// §VII: when does migration at a phase boundary pay off?
+fn migration() {
+    use hetmem_apps::multiphase::{run, MultiPhaseConfig, Strategy};
+    println!("== SVII: phase-boundary migration ablation (KNL, two 3GiB bandwidth buffers) ==");
+    println!(
+        "{:<16} {:>12} {:>14} {:>12}",
+        "passes/phase", "static ms", "priority ms", "migrate ms"
+    );
+    let ctx = Ctx::knl();
+    for passes in [1u32, 4, 16, 64] {
+        let cfg = MultiPhaseConfig {
+            buffer_bytes: 3 * GIB,
+            phase1_passes: passes,
+            phase2_passes: passes,
+            threads: 16,
+            initiator: "0-15".parse().expect("cpuset"),
+        };
+        let mut row = Vec::new();
+        for strategy in [Strategy::Static, Strategy::PriorityStatic, Strategy::Migrate] {
+            let mut alloc = ctx.allocator();
+            let r = run(&mut alloc, &ctx.engine, &cfg, strategy).expect("fits");
+            row.push(r.total_ns() / 1e6);
+        }
+        println!(
+            "{:<16} {:>12.1} {:>14.1} {:>12.1}{}",
+            passes,
+            row[0],
+            row[1],
+            row[2],
+            if row[2] < row[0] { "  <- migration wins" } else { "" }
+        );
+    }
+    println!("  => \"avoided unless the application behavior changes significantly\" (SVII)");
+    println!();
+}
+
+/// §VIII: on a 4-socket machine, when the local DRAM is full, is the
+/// local NVDIMM or a remote DRAM the better latency target? With
+/// full-matrix benchmark attributes the ranking answers directly.
+fn section8() {
+    use hetmem_memsim::{AccessPattern, AllocPolicy, BufferAccess, MemoryManager, Phase};
+    println!("== SVIII: local DRAM full on a 4-socket Xeon — NVDIMM or another DRAM? ==");
+    let machine = std::sync::Arc::new(hetmem_memsim::Machine::xeon_4s_snc());
+    let attrs = std::sync::Arc::new(
+        hetmem_membench::feed_attrs(
+            &machine,
+            &hetmem_membench::BenchOptions {
+                include_remote: true,
+                read_write_variants: false,
+                loaded_latency: false,
+            },
+        )
+        .expect("benchmark discovery"),
+    );
+    let engine = hetmem_memsim::AccessEngine::new(machine.clone());
+    let mut alloc =
+        hetmem_alloc::HetAllocator::new(attrs, MemoryManager::new(machine.clone()));
+    let g0: hetmem_bitmap::Bitmap = "0-9".parse().expect("cpuset");
+    let avail = alloc.memory().available(NodeId(0));
+    alloc.memory_mut().alloc(avail, AllocPolicy::Bind(NodeId(0))).expect("hog");
+    println!("local SNC DRAM (node 0) filled; allocating a latency-critical 2 GiB buffer:");
+    let local = alloc
+        .mem_alloc(2 << 30, attr::LATENCY, &g0, Fallback::NextTarget)
+        .expect("local fallback");
+    let global = alloc
+        .mem_alloc_any(2 << 30, attr::LATENCY, &g0, Fallback::NextTarget)
+        .expect("global fallback");
+    let mk = |region| Phase {
+        name: "irregular".into(),
+        accesses: vec![BufferAccess::new(region, 1 << 30, 0, AccessPattern::Random)],
+        threads: 10,
+        initiator: g0.clone(),
+        compute_ns: 0.0,
+    };
+    for (label, id) in [("local-only knowledge ", local), ("full-matrix knowledge", global)] {
+        let node = alloc.memory().region(id).expect("live").single_node().expect("one");
+        let t = engine.run_phase(alloc.memory(), &mk(id)).time_ns;
+        println!(
+            "  {label} -> {node} [{}]  irregular phase: {:.1} ms",
+            machine.topology().node_kind(node).expect("known").subtype(),
+            t / 1e6
+        );
+    }
+    println!("  => another DRAM beats the local NVDIMM for latency-bound buffers");
+    println!();
+}
+
+/// §VII: capacity conflicts — FCFS vs priorities on the KNL MCDRAM.
+fn capacity() {
+    println!("== Capacity conflicts (SVII): two 3GiB bandwidth buffers on a ~3.8GiB MCDRAM ==");
+    let ctx = Ctx::knl();
+    let reqs = vec![
+        PlannedAlloc {
+            name: "scratch (cold)".into(),
+            size: 3 * GIB,
+            criterion: attr::BANDWIDTH,
+            priority: 1,
+        },
+        PlannedAlloc {
+            name: "stream arrays (hot)".into(),
+            size: 3 * GIB,
+            criterion: attr::BANDWIDTH,
+            priority: 10,
+        },
+    ];
+    for order in [PlanOrder::Fcfs, PlanOrder::Priority] {
+        let mut alloc = ctx.allocator();
+        let placed =
+            plan(&mut alloc, &reqs, &"0-15".parse().unwrap(), order).expect("plan fits");
+        println!("{order:?} order:");
+        for p in &placed {
+            let where_: Vec<String> = p
+                .placement
+                .iter()
+                .map(|&(n, b)| format!("{}:{:.1}GiB", kind_label(&ctx, n), b as f64 / GIB as f64))
+                .collect();
+            println!(
+                "  {:<22} -> {:<28} best-target={}",
+                p.name,
+                where_.join(" + "),
+                if p.got_best { "yes" } else { "no" }
+            );
+        }
+    }
+    // Migration epilogue: free the cold buffer, migrate the hot one.
+    let mut alloc = ctx.allocator();
+    let placed = plan(&mut alloc, &reqs, &"0-15".parse().unwrap(), PlanOrder::Fcfs)
+        .expect("plan fits");
+    let hot = placed[1].region;
+    alloc.free(placed[0].region);
+    let (node, report) = alloc
+        .migrate_to_best(hot, attr::BANDWIDTH, &"0-15".parse().unwrap())
+        .expect("migration target available");
+    println!(
+        "after phase change: migrated hot buffer to {} ({} MiB moved, {:.2} ms)",
+        kind_label(&ctx, node),
+        report.bytes_moved / (1024 * 1024),
+        report.cost_ns / 1e6
+    );
+    println!();
+}

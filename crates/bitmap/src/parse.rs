@@ -1,0 +1,260 @@
+//! Textual formats for bitmaps.
+//!
+//! Two formats are supported, mirroring hwloc:
+//!
+//! * the **list format** used by `Display`/`FromStr`: comma-separated
+//!   indices and inclusive ranges, e.g. `"0-3,8,12-"` where a trailing
+//!   `-` means "to infinity". The empty set prints as `""` and the full
+//!   set as `"0-"`.
+//! * the **taskset format** (`to_taskset` / `from_taskset`): a single
+//!   hexadecimal mask prefixed by `0x`, as consumed by Linux `taskset`.
+//!   Infinite bitmaps cannot be represented and are rejected.
+
+use crate::Bitmap;
+use std::fmt;
+use std::str::FromStr;
+
+/// Error returned when parsing a bitmap from text fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseBitmapError {
+    msg: String,
+}
+
+impl ParseBitmapError {
+    fn new(msg: impl Into<String>) -> Self {
+        ParseBitmapError { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for ParseBitmapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid bitmap string: {}", self.msg)
+    }
+}
+
+impl std::error::Error for ParseBitmapError {}
+
+impl fmt::Display for Bitmap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        let mut cur = self.first();
+        while let Some(begin) = cur {
+            // Extend the run as far as it goes.
+            let mut end = begin;
+            loop {
+                match self.next(end) {
+                    Some(n) if n == end + 1 => end = n,
+                    other => {
+                        cur = other;
+                        break;
+                    }
+                }
+            }
+            if !first {
+                write!(f, ",")?;
+            }
+            first = false;
+            // An infinite tail prints as "begin-".
+            if self.is_infinite() && cur.is_none() && self.last().is_none_or(|l| l < begin) {
+                write!(f, "{begin}-")?;
+                break;
+            }
+            if begin == end {
+                write!(f, "{begin}")?;
+            } else {
+                write!(f, "{begin}-{end}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for Bitmap {
+    type Err = ParseBitmapError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.trim();
+        let mut b = Bitmap::new();
+        if s.is_empty() {
+            return Ok(b);
+        }
+        for part in s.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                return Err(ParseBitmapError::new("empty element"));
+            }
+            if let Some(begin) = part.strip_suffix('-') {
+                let begin: usize = begin
+                    .trim()
+                    .parse()
+                    .map_err(|_| ParseBitmapError::new(format!("bad index in {part:?}")))?;
+                b.set_range_unbounded(begin);
+            } else if let Some((lo, hi)) = part.split_once('-') {
+                let lo: usize = lo
+                    .trim()
+                    .parse()
+                    .map_err(|_| ParseBitmapError::new(format!("bad range start in {part:?}")))?;
+                let hi: usize = hi
+                    .trim()
+                    .parse()
+                    .map_err(|_| ParseBitmapError::new(format!("bad range end in {part:?}")))?;
+                if lo > hi {
+                    return Err(ParseBitmapError::new(format!("reversed range {part:?}")));
+                }
+                b.set_range(lo, hi);
+            } else {
+                let i: usize = part
+                    .parse()
+                    .map_err(|_| ParseBitmapError::new(format!("bad index {part:?}")))?;
+                b.set(i);
+            }
+        }
+        Ok(b)
+    }
+}
+
+impl Bitmap {
+    /// Renders the bitmap as a Linux `taskset`-style hexadecimal mask.
+    ///
+    /// Returns `None` for infinite bitmaps, which have no finite mask.
+    pub fn to_taskset(&self) -> Option<String> {
+        if self.is_infinite() {
+            return None;
+        }
+        let last = match self.last() {
+            None => return Some("0x0".to_string()),
+            Some(l) => l,
+        };
+        let nibbles = last / 4 + 1;
+        let mut s = String::with_capacity(nibbles + 2);
+        s.push_str("0x");
+        let mut leading = true;
+        for n in (0..nibbles).rev() {
+            let mut v = 0u8;
+            for bit in 0..4 {
+                if self.is_set(n * 4 + bit) {
+                    v |= 1 << bit;
+                }
+            }
+            if v == 0 && leading && n != 0 {
+                continue;
+            }
+            leading = false;
+            s.push(char::from_digit(v as u32, 16).unwrap());
+        }
+        Some(s)
+    }
+
+    /// Parses a Linux `taskset`-style hexadecimal mask (`0x` prefix
+    /// optional, commas ignored).
+    pub fn from_taskset(s: &str) -> Result<Bitmap, ParseBitmapError> {
+        let s = s.trim();
+        let hex = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")).unwrap_or(s);
+        let hex: String = hex.chars().filter(|&c| c != ',').collect();
+        if hex.is_empty() {
+            return Err(ParseBitmapError::new("empty taskset mask"));
+        }
+        let mut b = Bitmap::new();
+        let n = hex.len();
+        for (pos, c) in hex.chars().enumerate() {
+            let v = c
+                .to_digit(16)
+                .ok_or_else(|| ParseBitmapError::new(format!("bad hex digit {c:?}")))?;
+            let nibble = n - 1 - pos;
+            for bit in 0..4 {
+                if v & (1 << bit) != 0 {
+                    b.set(nibble * 4 + bit);
+                }
+            }
+        }
+        Ok(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_simple() {
+        assert_eq!(Bitmap::new().to_string(), "");
+        assert_eq!(Bitmap::only(4).to_string(), "4");
+        assert_eq!(Bitmap::from_range(0, 3).to_string(), "0-3");
+        assert_eq!(Bitmap::from_indices([0, 1, 2, 3, 8]).to_string(), "0-3,8");
+        assert_eq!(Bitmap::full().to_string(), "0-");
+    }
+
+    #[test]
+    fn display_infinite_tail() {
+        let mut b = Bitmap::from_indices([1, 2]);
+        b.set_range_unbounded(100);
+        assert_eq!(b.to_string(), "1-2,100-");
+    }
+
+    #[test]
+    fn parse_simple() {
+        assert_eq!("".parse::<Bitmap>().unwrap(), Bitmap::new());
+        assert_eq!("0-3,8".parse::<Bitmap>().unwrap(), Bitmap::from_indices([0, 1, 2, 3, 8]));
+        assert_eq!("0-".parse::<Bitmap>().unwrap(), Bitmap::full());
+        assert_eq!("5".parse::<Bitmap>().unwrap(), Bitmap::only(5));
+        assert_eq!(" 1 - 2 , 4 ".parse::<Bitmap>().unwrap(), Bitmap::from_indices([1, 2, 4]));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!("x".parse::<Bitmap>().is_err());
+        assert!("3-1".parse::<Bitmap>().is_err());
+        assert!("1,,2".parse::<Bitmap>().is_err());
+        assert!("-3".parse::<Bitmap>().is_err());
+    }
+
+    #[test]
+    fn roundtrip_display_parse() {
+        let cases = [
+            Bitmap::new(),
+            Bitmap::only(0),
+            Bitmap::from_range(3, 70),
+            Bitmap::from_indices([0, 2, 4, 6, 63, 64, 65, 127]),
+            Bitmap::full(),
+        ];
+        for b in cases {
+            let s = b.to_string();
+            assert_eq!(s.parse::<Bitmap>().unwrap(), b, "roundtrip of {s:?}");
+        }
+    }
+
+    #[test]
+    fn taskset_format() {
+        assert_eq!(Bitmap::new().to_taskset().unwrap(), "0x0");
+        assert_eq!(Bitmap::from_range(0, 3).to_taskset().unwrap(), "0xf");
+        assert_eq!(Bitmap::from_indices([0, 4]).to_taskset().unwrap(), "0x11");
+        assert_eq!(Bitmap::only(64).to_taskset().unwrap(), "0x10000000000000000");
+        assert_eq!(Bitmap::full().to_taskset(), None);
+    }
+
+    #[test]
+    fn taskset_parse() {
+        assert_eq!(Bitmap::from_taskset("0xf").unwrap(), Bitmap::from_range(0, 3));
+        assert_eq!(Bitmap::from_taskset("11").unwrap(), Bitmap::from_indices([0, 4]));
+        assert_eq!(
+            Bitmap::from_taskset("0x1,0000").unwrap(),
+            Bitmap::only(16)
+        );
+        assert!(Bitmap::from_taskset("0xzz").is_err());
+        assert!(Bitmap::from_taskset("").is_err());
+    }
+
+    #[test]
+    fn taskset_roundtrip() {
+        let cases = [
+            Bitmap::new(),
+            Bitmap::only(7),
+            Bitmap::from_range(0, 100),
+            Bitmap::from_indices([3, 64, 129]),
+        ];
+        for b in cases {
+            let s = b.to_taskset().unwrap();
+            assert_eq!(Bitmap::from_taskset(&s).unwrap(), b, "roundtrip of {s}");
+        }
+    }
+}

@@ -1,0 +1,276 @@
+//! Native discovery of attribute values from firmware tables.
+//!
+//! Reproduces the paper's §IV-A1: the platform describes memory
+//! performance in the ACPI HMAT; the OS (Linux ≥ 5.2) exposes a
+//! *local-accesses-only* reduction of it in sysfs; hwloc reads that
+//! and fills its memory attributes.
+//!
+//! The full path is exercised: the simulated firmware **encodes**
+//! binary SRAT/HMAT tables, we **decode** them (validating signature,
+//! length, checksum), optionally apply the Linux [`SysfsView`]
+//! reduction, and populate a [`MemAttrs`] registry.
+//!
+//! Benchmark-based discovery — the "External Sources" column of the
+//! paper's Table I, used when firmware provides nothing — lives in
+//! `hetmem-membench` (it feeds values *into* this registry, like
+//! running STREAM/lmbench/multichase feeds hwloc).
+
+use crate::attrs::{attr, AttrError, AttrId, MemAttrs};
+use hetmem_hmat::{decode_hmat, decode_srat, encode_hmat, encode_srat, DataType, DecodeError, SysfsView};
+use hetmem_memsim::Machine;
+use std::sync::Arc;
+
+/// Discovery failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DiscoveryError {
+    /// Firmware table parsing failed.
+    Decode(DecodeError),
+    /// Storing a value failed.
+    Attr(AttrError),
+}
+
+impl std::fmt::Display for DiscoveryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DiscoveryError::Decode(e) => write!(f, "firmware table decode failed: {e}"),
+            DiscoveryError::Attr(e) => write!(f, "storing attribute failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DiscoveryError {}
+
+impl From<DecodeError> for DiscoveryError {
+    fn from(e: DecodeError) -> Self {
+        DiscoveryError::Decode(e)
+    }
+}
+
+impl From<AttrError> for DiscoveryError {
+    fn from(e: AttrError) -> Self {
+        DiscoveryError::Attr(e)
+    }
+}
+
+fn attr_of(dt: DataType) -> AttrId {
+    match dt {
+        DataType::AccessLatency => attr::LATENCY,
+        DataType::ReadLatency => attr::READ_LATENCY,
+        DataType::WriteLatency => attr::WRITE_LATENCY,
+        DataType::AccessBandwidth => attr::BANDWIDTH,
+        DataType::ReadBandwidth => attr::READ_BANDWIDTH,
+        DataType::WriteBandwidth => attr::WRITE_BANDWIDTH,
+    }
+}
+
+/// Discovers memory attributes from the machine's firmware tables.
+///
+/// With `local_only = true` (today's platforms, the paper's Fig. 5)
+/// the Linux sysfs reduction is applied: each target keeps only its
+/// best-initiator values. With `local_only = false` the full
+/// initiator×target matrix is imported (the "future platforms" case).
+pub fn from_firmware(machine: &Arc<Machine>, local_only: bool) -> Result<MemAttrs, DiscoveryError> {
+    from_firmware_with_options(machine, local_only, false)
+}
+
+/// [`from_firmware`] against firmware that also publishes separate
+/// Read/Write matrices (Table I's "on some platforms" native row).
+pub fn from_firmware_with_options(
+    machine: &Arc<Machine>,
+    local_only: bool,
+    rw_variants: bool,
+) -> Result<MemAttrs, DiscoveryError> {
+    // Firmware publishes binary tables; parse them like an OS would.
+    let hmat_bin = encode_hmat(&machine.hmat_with_options(local_only, rw_variants));
+    let srat_bin = encode_srat(&machine.srat());
+    let hmat = decode_hmat(&hmat_bin)?;
+    let srat = decode_srat(&srat_bin)?;
+
+    let topology = Arc::new(machine.topology().clone());
+    let mut attrs = MemAttrs::new(topology);
+
+    if local_only {
+        let view = SysfsView::from_tables(&hmat, &srat);
+        for n in view.nodes() {
+            let target = hetmem_topology::NodeId(n.target);
+            let ini = &n.initiator_cpus;
+            let mut set = |id: AttrId, v: Option<u32>| -> Result<(), DiscoveryError> {
+                if let Some(v) = v {
+                    attrs.set_value(id, target, Some(ini), v as u64)?;
+                }
+                Ok(())
+            };
+            set(attr::LATENCY, n.access_latency)?;
+            set(attr::BANDWIDTH, n.access_bandwidth)?;
+            set(attr::READ_LATENCY, n.read_latency)?;
+            set(attr::WRITE_LATENCY, n.write_latency)?;
+            set(attr::READ_BANDWIDTH, n.read_bandwidth)?;
+            set(attr::WRITE_BANDWIDTH, n.write_bandwidth)?;
+        }
+    } else {
+        for loc in &hmat.localities {
+            let id = attr_of(loc.data_type);
+            for (ini_pd, target_pd, value) in loc.provided() {
+                let ini = srat.cpus_of(ini_pd);
+                if ini.is_zero() {
+                    continue;
+                }
+                attrs.set_value(id, hetmem_topology::NodeId(target_pd), Some(&ini), value as u64)?;
+            }
+        }
+    }
+    // §VIII future work, implemented: expose memory-side caches as a
+    // custom attribute so applications can anticipate that observed
+    // performance may differ from the raw device values ("the ACPI
+    // HMAT [...] does not specify whether those accesses are cached on
+    // the memory side").
+    if !hmat.caches.is_empty() {
+        let id = attrs.register(
+            "MemorySideCacheSize",
+            crate::AttrFlags { higher_is_best: true, need_initiator: false },
+        )?;
+        for cache in &hmat.caches {
+            attrs.set_value(id, hetmem_topology::NodeId(cache.memory_pd), None, cache.size)?;
+        }
+    }
+    Ok(attrs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetmem_bitmap::Bitmap;
+    use hetmem_topology::NodeId;
+
+    #[test]
+    fn xeon_fig5_values() {
+        let machine = Arc::new(Machine::xeon_1lm_snc());
+        let attrs = from_firmware(&machine, true).unwrap();
+        let g0: Bitmap = "0-9".parse().unwrap();
+        // DRAM node 0: 131072 MB/s, 26 ns, from its SNC group.
+        assert_eq!(attrs.get_value(attr::BANDWIDTH, NodeId(0), Some(&g0)).unwrap(), Some(131_072));
+        assert_eq!(attrs.get_value(attr::LATENCY, NodeId(0), Some(&g0)).unwrap(), Some(26));
+        // NVDIMM node 2: 78644 MB/s, 77 ns, from the whole package.
+        assert_eq!(attrs.get_value(attr::BANDWIDTH, NodeId(2), Some(&g0)).unwrap(), Some(78_644));
+        assert_eq!(attrs.get_value(attr::LATENCY, NodeId(2), Some(&g0)).unwrap(), Some(77));
+        // The NVDIMM initiator is the merged package cpuset.
+        let inis = attrs.initiators(attr::BANDWIDTH, NodeId(2));
+        assert_eq!(inis.len(), 1);
+        assert_eq!(inis[0].0.to_string(), "0-19");
+    }
+
+    #[test]
+    fn local_only_cannot_compare_remote(
+    ) {
+        let machine = Arc::new(Machine::xeon_1lm_snc());
+        let attrs = from_firmware(&machine, true).unwrap();
+        // From package 1's cores, package 0's DRAM has no value — the
+        // paper's "impossible to compare local DRAM with remote HBM".
+        let g2: Bitmap = "20-29".parse().unwrap();
+        assert_eq!(attrs.get_value(attr::BANDWIDTH, NodeId(0), Some(&g2)).unwrap(), None);
+    }
+
+    #[test]
+    fn full_matrix_allows_remote_comparison() {
+        let machine = Arc::new(Machine::xeon_1lm_snc());
+        let attrs = from_firmware(&machine, false).unwrap();
+        let g2: Bitmap = "20-29".parse().unwrap();
+        let remote = attrs.get_value(attr::BANDWIDTH, NodeId(0), Some(&g2)).unwrap().unwrap();
+        let local = attrs.get_value(attr::BANDWIDTH, NodeId(3), Some(&g2)).unwrap().unwrap();
+        assert!(remote < local);
+        // Ranking from package 1 puts its own DRAM first.
+        let rank = attrs.rank_targets(attr::BANDWIDTH, &g2).unwrap();
+        assert_eq!(rank[0].node, NodeId(3));
+    }
+
+    #[test]
+    fn rw_capable_firmware_fills_rw_attributes() {
+        let machine = Arc::new(Machine::xeon_1lm_no_snc());
+        let attrs = from_firmware_with_options(&machine, true, true).unwrap();
+        let pkg0: Bitmap = "0-19".parse().unwrap();
+        let r = attrs.get_value(attr::READ_BANDWIDTH, NodeId(2), Some(&pkg0)).unwrap().unwrap();
+        let w = attrs.get_value(attr::WRITE_BANDWIDTH, NodeId(2), Some(&pkg0)).unwrap().unwrap();
+        assert!(w < r);
+        // Plain firmware leaves them empty (today's platforms).
+        let plain = from_firmware(&machine, true).unwrap();
+        assert!(plain.targets(attr::READ_BANDWIDTH).is_empty());
+    }
+
+    #[test]
+    fn knl_rankings_match_paper_equations() {
+        let machine = Arc::new(Machine::knl_snc4_flat());
+        let attrs = from_firmware(&machine, true).unwrap();
+        let c0: Bitmap = "0-15".parse().unwrap();
+        // Eq. 1 (bandwidth): HBM > DRAM.
+        let bw = attrs.rank_local_targets(attr::BANDWIDTH, &c0).unwrap();
+        assert_eq!(bw[0].node, NodeId(4));
+        assert_eq!(bw[1].node, NodeId(0));
+        // Eq. 3 (capacity): DRAM > HBM.
+        let cap = attrs.rank_local_targets(attr::CAPACITY, &c0).unwrap();
+        assert_eq!(cap[0].node, NodeId(0));
+    }
+
+    #[test]
+    fn fictitious_platform_four_kind_ranking() {
+        let machine = Arc::new(Machine::fictitious());
+        let attrs = from_firmware(&machine, true).unwrap();
+        let cluster: Bitmap = machine
+            .topology()
+            .object_by_type_and_logical(hetmem_topology::ObjectType::Group, 0)
+            .unwrap()
+            .cpuset
+            .clone();
+        let bw = attrs.rank_local_targets(attr::BANDWIDTH, &cluster).unwrap();
+        let kinds: Vec<&str> = bw
+            .iter()
+            .map(|tv| machine.topology().node_kind(tv.node).unwrap().subtype())
+            .collect();
+        // Eq. 1: HBM > DRAM > NVDIMM (> NAM).
+        assert_eq!(kinds, vec!["HBM", "DRAM", "NVDIMM", "NAM"]);
+        let lat = attrs.rank_local_targets(attr::LATENCY, &cluster).unwrap();
+        let kinds: Vec<&str> = lat
+            .iter()
+            .map(|tv| machine.topology().node_kind(tv.node).unwrap().subtype())
+            .collect();
+        // Eq. 2: DRAM/HBM close, NVDIMM after, NAM last.
+        assert_eq!(kinds.last().unwrap(), &"NAM");
+        assert!(kinds[..2].contains(&"DRAM") && kinds[..2].contains(&"HBM"));
+    }
+
+    #[test]
+    fn memory_side_caches_exposed_as_custom_attribute() {
+        // The 2LM Xeon fronts each NVDIMM node with a 192 GiB DRAM
+        // cache; discovery surfaces it (§VIII).
+        let machine = Arc::new(Machine::xeon_2lm());
+        let attrs = from_firmware(&machine, true).unwrap();
+        let id = attrs.by_name("MemorySideCacheSize").expect("registered");
+        let v = attrs.get_value(id, NodeId(0), None).unwrap().unwrap();
+        assert_eq!(v, 192 << 30);
+        // Cache-less platforms don't register it.
+        let flat = Arc::new(Machine::knl_snc4_flat());
+        let attrs = from_firmware(&flat, true).unwrap();
+        assert!(attrs.by_name("MemorySideCacheSize").is_none());
+    }
+
+    #[test]
+    fn homogeneous_platform_still_works() {
+        // §IV: "This API could actually also be used for homogeneous
+        // NUMA platforms".
+        let machine = Arc::new(Machine::homogeneous(2, 8, 32 * hetmem_topology::GIB));
+        let attrs = from_firmware(&machine, false).unwrap();
+        let p0: Bitmap = "0-7".parse().unwrap();
+        let rank = attrs.rank_targets(attr::LATENCY, &p0).unwrap();
+        assert_eq!(rank.len(), 2);
+        assert_eq!(rank[0].node, NodeId(0)); // local node first
+        assert!(rank[0].value < rank[1].value);
+    }
+
+    #[test]
+    fn fugaku_single_kind_has_trivial_ranking() {
+        let machine = Arc::new(Machine::fugaku_like());
+        let attrs = from_firmware(&machine, true).unwrap();
+        let cmg0: Bitmap = "0-11".parse().unwrap();
+        let bw = attrs.rank_local_targets(attr::BANDWIDTH, &cmg0).unwrap();
+        assert_eq!(bw.len(), 1);
+    }
+}

@@ -1,0 +1,126 @@
+//! Property tests for the attributes registry: ranking coherence,
+//! set/get roundtrips, initiator matching laws.
+
+use hetmem_bitmap::Bitmap;
+use hetmem_core::{attr, AttrFlags, MemAttrs, NodeId};
+use hetmem_topology::platforms;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn registry() -> MemAttrs {
+    MemAttrs::new(Arc::new(platforms::knl_snc4_flat()))
+}
+
+/// (node, value) assignments for one cluster-scoped initiator.
+fn assignments() -> impl Strategy<Value = Vec<(u32, u64)>> {
+    prop::collection::vec((0u32..8, 1u64..1_000_000), 1..16)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// rank_targets is sorted according to the attribute's direction,
+    /// and get_best_target is exactly its head.
+    #[test]
+    fn ranking_is_sorted_and_best_is_head(vals in assignments(), higher in any::<bool>()) {
+        let mut a = registry();
+        let id = a
+            .register("Custom", AttrFlags { higher_is_best: higher, need_initiator: true })
+            .expect("fresh name");
+        let ini: Bitmap = "0-15".parse().expect("cpuset");
+        for (node, v) in &vals {
+            a.set_value(id, NodeId(*node), Some(&ini), *v).expect("valid");
+        }
+        let ranked = a.rank_targets(id, &ini).expect("rank");
+        for w in ranked.windows(2) {
+            if higher {
+                prop_assert!(w[0].value >= w[1].value);
+            } else {
+                prop_assert!(w[0].value <= w[1].value);
+            }
+            // Ties broken by node id → total deterministic order.
+            if w[0].value == w[1].value {
+                prop_assert!(w[0].node < w[1].node);
+            }
+        }
+        let best = a.get_best_target(id, &ini);
+        prop_assert_eq!(best, ranked.first().map(|tv| (tv.node, tv.value)));
+    }
+
+    /// set_value overwrites per initiator; last write wins.
+    #[test]
+    fn last_write_wins(v1 in 1u64..1_000_000, v2 in 1u64..1_000_000) {
+        let mut a = registry();
+        let ini: Bitmap = "0-15".parse().expect("cpuset");
+        a.set_value(attr::BANDWIDTH, NodeId(0), Some(&ini), v1).expect("valid");
+        a.set_value(attr::BANDWIDTH, NodeId(0), Some(&ini), v2).expect("valid");
+        prop_assert_eq!(
+            a.get_value(attr::BANDWIDTH, NodeId(0), Some(&ini)).expect("known"),
+            Some(v2)
+        );
+        prop_assert_eq!(a.initiators(attr::BANDWIDTH, NodeId(0)).len(), 1);
+    }
+
+    /// Any query initiator inside the stored one resolves to the
+    /// stored value (inclusion matching).
+    #[test]
+    fn included_queries_resolve(lo in 0usize..14, len in 0usize..2, v in 1u64..1_000_000) {
+        let mut a = registry();
+        let stored: Bitmap = "0-15".parse().expect("cpuset");
+        a.set_value(attr::LATENCY, NodeId(0), Some(&stored), v).expect("valid");
+        let query = Bitmap::from_range(lo, lo + len);
+        prop_assert_eq!(
+            a.get_value(attr::LATENCY, NodeId(0), Some(&query)).expect("known"),
+            Some(v)
+        );
+    }
+
+    /// Disjoint query initiators never resolve local-only values.
+    #[test]
+    fn disjoint_queries_do_not_resolve(lo in 16usize..60, v in 1u64..1_000_000) {
+        let mut a = registry();
+        let stored: Bitmap = "0-15".parse().expect("cpuset");
+        a.set_value(attr::LATENCY, NodeId(0), Some(&stored), v).expect("valid");
+        let query = Bitmap::from_range(lo, lo + 3);
+        prop_assert_eq!(a.get_value(attr::LATENCY, NodeId(0), Some(&query)).expect("known"), None);
+    }
+
+    /// rank_local_targets is always a subsequence of rank_targets.
+    #[test]
+    fn local_ranking_is_subsequence(vals in assignments()) {
+        let mut a = registry();
+        let ini: Bitmap = "0-15".parse().expect("cpuset");
+        for (node, v) in &vals {
+            a.set_value(attr::BANDWIDTH, NodeId(*node), Some(&ini), *v).expect("valid");
+        }
+        let full: Vec<_> =
+            a.rank_targets(attr::BANDWIDTH, &ini).expect("rank").iter().map(|t| t.node).collect();
+        let local: Vec<_> = a
+            .rank_local_targets(attr::BANDWIDTH, &ini)
+            .expect("rank")
+            .iter()
+            .map(|t| t.node)
+            .collect();
+        let mut it = full.iter();
+        for l in &local {
+            prop_assert!(it.any(|f| f == l), "{local:?} not a subsequence of {full:?}");
+        }
+    }
+
+    /// Capacity is stable under any performance-value writes.
+    #[test]
+    fn capacity_unaffected_by_perf_values(vals in assignments()) {
+        let mut a = registry();
+        let ini: Bitmap = "0-15".parse().expect("cpuset");
+        let before: Vec<_> = (0..8)
+            .map(|n| a.get_value(attr::CAPACITY, NodeId(n), None).expect("known"))
+            .collect();
+        for (node, v) in &vals {
+            a.set_value(attr::LATENCY, NodeId(*node), Some(&ini), *v).expect("valid");
+        }
+        let after: Vec<_> = (0..8)
+            .map(|n| a.get_value(attr::CAPACITY, NodeId(n), None).expect("known"))
+            .collect();
+        prop_assert_eq!(before, after);
+    }
+}

@@ -1,0 +1,370 @@
+//! Binary encoding/decoding of the simulated ACPI tables.
+//!
+//! The layouts follow the spirit of ACPI: a signature + length +
+//! revision + checksum header, then self-describing structures with a
+//! type and a length field. Field widths differ slightly from the real
+//! spec where the real widths are too narrow for our units (we store
+//! u32 values directly instead of u16 entries scaled by a base unit);
+//! this keeps the *code path* — parse, validate, tolerate unknown
+//! structures — faithful without fixed-point gymnastics.
+
+use crate::srat::{Srat, SratMemoryAffinity, SratProcessorAffinity};
+use crate::tables::{
+    DataType, Hmat, MemProximityAttrs, MemorySideCacheInfo, SystemLocalityLatencyBandwidth,
+};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Decoding failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The signature did not match.
+    BadSignature,
+    /// The declared length disagrees with the buffer.
+    BadLength,
+    /// The checksum over the whole table is nonzero.
+    BadChecksum,
+    /// A structure was truncated or malformed.
+    Truncated,
+    /// A structure carried an invalid enum code.
+    BadValue(&'static str),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::BadSignature => write!(f, "bad table signature"),
+            DecodeError::BadLength => write!(f, "table length mismatch"),
+            DecodeError::BadChecksum => write!(f, "table checksum mismatch"),
+            DecodeError::Truncated => write!(f, "truncated structure"),
+            DecodeError::BadValue(what) => write!(f, "invalid value for {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+const HMAT_SIG: &[u8; 4] = b"HMAT";
+const SRAT_SIG: &[u8; 4] = b"SRAT";
+const REVISION: u8 = 2;
+
+const STRUCT_PROXIMITY: u16 = 0;
+const STRUCT_SLLB: u16 = 1;
+const STRUCT_CACHE: u16 = 2;
+
+const SRAT_CPU: u16 = 0;
+const SRAT_MEM: u16 = 1;
+
+/// Finalizes a table: writes the real length and an ACPI-style checksum
+/// (all bytes sum to 0 mod 256) into the header.
+fn finalize(mut buf: BytesMut) -> Bytes {
+    let len = buf.len() as u32;
+    buf[4..8].copy_from_slice(&len.to_le_bytes());
+    buf[9] = 0;
+    let sum: u8 = buf.iter().fold(0u8, |a, &b| a.wrapping_add(b));
+    buf[9] = 0u8.wrapping_sub(sum);
+    buf.freeze()
+}
+
+fn header(sig: &[u8; 4]) -> BytesMut {
+    let mut buf = BytesMut::with_capacity(256);
+    buf.put_slice(sig);
+    buf.put_u32_le(0); // length placeholder
+    buf.put_u8(REVISION);
+    buf.put_u8(0); // checksum placeholder
+    buf
+}
+
+fn check_header(data: &[u8], sig: &[u8; 4]) -> Result<(), DecodeError> {
+    if data.len() < 10 {
+        return Err(DecodeError::Truncated);
+    }
+    if &data[0..4] != sig {
+        return Err(DecodeError::BadSignature);
+    }
+    let len = u32::from_le_bytes(data[4..8].try_into().unwrap()) as usize;
+    if len != data.len() {
+        return Err(DecodeError::BadLength);
+    }
+    let sum: u8 = data.iter().fold(0u8, |a, &b| a.wrapping_add(b));
+    if sum != 0 {
+        return Err(DecodeError::BadChecksum);
+    }
+    Ok(())
+}
+
+/// Encodes an HMAT into its binary table form.
+pub fn encode_hmat(hmat: &Hmat) -> Bytes {
+    let mut buf = header(HMAT_SIG);
+    for p in &hmat.proximity {
+        buf.put_u16_le(STRUCT_PROXIMITY);
+        buf.put_u32_le(2 + 4 + 1 + 4 + 4); // type + len + flag + 2 PDs
+        buf.put_u8(p.initiator_pd.is_some() as u8);
+        buf.put_u32_le(p.initiator_pd.unwrap_or(0));
+        buf.put_u32_le(p.memory_pd);
+    }
+    for l in &hmat.localities {
+        let body = 1 + 4 + 4 + 4 * l.initiators.len() + 4 * l.targets.len() + 4 * l.entries.len();
+        buf.put_u16_le(STRUCT_SLLB);
+        buf.put_u32_le((2 + 4 + body) as u32);
+        buf.put_u8(l.data_type.code());
+        buf.put_u32_le(l.initiators.len() as u32);
+        buf.put_u32_le(l.targets.len() as u32);
+        for &i in &l.initiators {
+            buf.put_u32_le(i);
+        }
+        for &t in &l.targets {
+            buf.put_u32_le(t);
+        }
+        for &e in &l.entries {
+            buf.put_u32_le(e);
+        }
+    }
+    for c in &hmat.caches {
+        buf.put_u16_le(STRUCT_CACHE);
+        buf.put_u32_le(2 + 4 + 4 + 8 + 4 + 1);
+        buf.put_u32_le(c.memory_pd);
+        buf.put_u64_le(c.size);
+        buf.put_u32_le(c.line_size);
+        buf.put_u8(c.level);
+    }
+    finalize(buf)
+}
+
+/// Decodes a binary HMAT, validating signature, length and checksum,
+/// and skipping unknown structure types (forward compatibility, as a
+/// real OS parser must).
+pub fn decode_hmat(data: &Bytes) -> Result<Hmat, DecodeError> {
+    check_header(data, HMAT_SIG)?;
+    let mut cur = data.slice(10..);
+    let mut hmat = Hmat::default();
+    while cur.has_remaining() {
+        if cur.remaining() < 6 {
+            return Err(DecodeError::Truncated);
+        }
+        let stype = cur.get_u16_le();
+        let slen = cur.get_u32_le() as usize;
+        if slen < 6 || cur.remaining() + 6 < slen {
+            return Err(DecodeError::Truncated);
+        }
+        let mut body = cur.slice(..slen - 6);
+        cur.advance(slen - 6);
+        match stype {
+            STRUCT_PROXIMITY => {
+                if body.remaining() < 9 {
+                    return Err(DecodeError::Truncated);
+                }
+                let has_ini = body.get_u8() != 0;
+                let ini = body.get_u32_le();
+                let mem = body.get_u32_le();
+                hmat.proximity.push(MemProximityAttrs {
+                    initiator_pd: has_ini.then_some(ini),
+                    memory_pd: mem,
+                });
+            }
+            STRUCT_SLLB => {
+                if body.remaining() < 9 {
+                    return Err(DecodeError::Truncated);
+                }
+                let dt = DataType::from_code(body.get_u8())
+                    .ok_or(DecodeError::BadValue("data type"))?;
+                let ni = body.get_u32_le() as usize;
+                let nt = body.get_u32_le() as usize;
+                if body.remaining() < 4 * (ni + nt + ni * nt) {
+                    return Err(DecodeError::Truncated);
+                }
+                let initiators: Vec<u32> = (0..ni).map(|_| body.get_u32_le()).collect();
+                let targets: Vec<u32> = (0..nt).map(|_| body.get_u32_le()).collect();
+                let entries: Vec<u32> = (0..ni * nt).map(|_| body.get_u32_le()).collect();
+                hmat.localities.push(SystemLocalityLatencyBandwidth {
+                    data_type: dt,
+                    initiators,
+                    targets,
+                    entries,
+                });
+            }
+            STRUCT_CACHE => {
+                if body.remaining() < 17 {
+                    return Err(DecodeError::Truncated);
+                }
+                let memory_pd = body.get_u32_le();
+                let size = body.get_u64_le();
+                let line_size = body.get_u32_le();
+                let level = body.get_u8();
+                hmat.caches.push(MemorySideCacheInfo { memory_pd, size, line_size, level });
+            }
+            _ => { /* unknown structure: skip */ }
+        }
+    }
+    Ok(hmat)
+}
+
+/// Encodes an SRAT into its binary table form.
+pub fn encode_srat(srat: &Srat) -> Bytes {
+    let mut buf = header(SRAT_SIG);
+    for p in &srat.processors {
+        buf.put_u16_le(SRAT_CPU);
+        buf.put_u32_le(2 + 4 + 4 + 4);
+        buf.put_u32_le(p.pd);
+        buf.put_u32_le(p.cpu);
+    }
+    for m in &srat.memory {
+        buf.put_u16_le(SRAT_MEM);
+        buf.put_u32_le(2 + 4 + 4 + 8 + 1);
+        buf.put_u32_le(m.pd);
+        buf.put_u64_le(m.bytes);
+        buf.put_u8(m.hotplug as u8);
+    }
+    finalize(buf)
+}
+
+/// Decodes a binary SRAT.
+pub fn decode_srat(data: &Bytes) -> Result<Srat, DecodeError> {
+    check_header(data, SRAT_SIG)?;
+    let mut cur = data.slice(10..);
+    let mut srat = Srat::default();
+    while cur.has_remaining() {
+        if cur.remaining() < 6 {
+            return Err(DecodeError::Truncated);
+        }
+        let stype = cur.get_u16_le();
+        let slen = cur.get_u32_le() as usize;
+        if slen < 6 || cur.remaining() + 6 < slen {
+            return Err(DecodeError::Truncated);
+        }
+        let mut body = cur.slice(..slen - 6);
+        cur.advance(slen - 6);
+        match stype {
+            SRAT_CPU => {
+                if body.remaining() < 8 {
+                    return Err(DecodeError::Truncated);
+                }
+                let pd = body.get_u32_le();
+                let cpu = body.get_u32_le();
+                srat.processors.push(SratProcessorAffinity { pd, cpu });
+            }
+            SRAT_MEM => {
+                if body.remaining() < 13 {
+                    return Err(DecodeError::Truncated);
+                }
+                let pd = body.get_u32_le();
+                let bytes = body.get_u64_le();
+                let hotplug = body.get_u8() != 0;
+                srat.memory.push(SratMemoryAffinity { pd, bytes, hotplug });
+            }
+            _ => {}
+        }
+    }
+    Ok(srat)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_hmat() -> Hmat {
+        let mut bw = SystemLocalityLatencyBandwidth::new(
+            DataType::AccessBandwidth,
+            vec![0, 1],
+            vec![0, 1, 2],
+        );
+        bw.set(0, 0, 131072);
+        bw.set(1, 1, 131072);
+        bw.set(0, 2, 78644);
+        let mut lat =
+            SystemLocalityLatencyBandwidth::new(DataType::AccessLatency, vec![0, 1], vec![0, 1, 2]);
+        lat.set(0, 0, 26);
+        lat.set(0, 2, 77);
+        Hmat {
+            proximity: vec![
+                MemProximityAttrs { initiator_pd: Some(0), memory_pd: 0 },
+                MemProximityAttrs { initiator_pd: Some(0), memory_pd: 2 },
+                MemProximityAttrs { initiator_pd: None, memory_pd: 8 },
+            ],
+            localities: vec![bw, lat],
+            caches: vec![MemorySideCacheInfo {
+                memory_pd: 2,
+                size: 192 << 30,
+                line_size: 64,
+                level: 1,
+            }],
+        }
+    }
+
+    #[test]
+    fn hmat_roundtrip() {
+        let h = sample_hmat();
+        let bin = encode_hmat(&h);
+        let back = decode_hmat(&bin).unwrap();
+        assert_eq!(back, h);
+    }
+
+    #[test]
+    fn empty_hmat_roundtrip() {
+        let h = Hmat::default();
+        assert_eq!(decode_hmat(&encode_hmat(&h)).unwrap(), h);
+    }
+
+    #[test]
+    fn srat_roundtrip() {
+        let s = Srat {
+            processors: (0..40)
+                .map(|c| SratProcessorAffinity { pd: c / 10, cpu: c })
+                .collect(),
+            memory: vec![
+                SratMemoryAffinity { pd: 0, bytes: 96 << 30, hotplug: false },
+                SratMemoryAffinity { pd: 2, bytes: 768 << 30, hotplug: true },
+            ],
+        };
+        let bin = encode_srat(&s);
+        assert_eq!(decode_srat(&bin).unwrap(), s);
+    }
+
+    #[test]
+    fn bad_signature_rejected() {
+        let bin = encode_hmat(&sample_hmat());
+        assert_eq!(decode_srat(&bin), Err(DecodeError::BadSignature));
+    }
+
+    #[test]
+    fn corrupted_checksum_rejected() {
+        let bin = encode_hmat(&sample_hmat());
+        let mut v = bin.to_vec();
+        let last = v.len() - 1;
+        v[last] ^= 0xff;
+        assert_eq!(decode_hmat(&Bytes::from(v)), Err(DecodeError::BadChecksum));
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        let bin = encode_hmat(&sample_hmat());
+        let mut v = bin.to_vec();
+        v.truncate(v.len() - 3);
+        let fixed_len = {
+            // Re-fix length+checksum so only the *structure* is truncated.
+            let len = v.len() as u32;
+            v[4..8].copy_from_slice(&len.to_le_bytes());
+            v[9] = 0;
+            let sum: u8 = v.iter().fold(0u8, |a, &b| a.wrapping_add(b));
+            v[9] = 0u8.wrapping_sub(sum);
+            Bytes::from(v)
+        };
+        assert_eq!(decode_hmat(&fixed_len), Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn unknown_structures_skipped() {
+        // Append an unknown structure type and re-finalize.
+        let h = sample_hmat();
+        let bin = encode_hmat(&h);
+        let mut v = bin.to_vec();
+        v.extend_from_slice(&99u16.to_le_bytes());
+        v.extend_from_slice(&10u32.to_le_bytes()); // type+len+4 bytes body
+        v.extend_from_slice(&[1, 2, 3, 4]);
+        let len = v.len() as u32;
+        v[4..8].copy_from_slice(&len.to_le_bytes());
+        v[9] = 0;
+        let sum: u8 = v.iter().fold(0u8, |a, &b| a.wrapping_add(b));
+        v[9] = 0u8.wrapping_sub(sum);
+        assert_eq!(decode_hmat(&Bytes::from(v)).unwrap(), h);
+    }
+}

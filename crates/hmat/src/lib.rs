@@ -1,0 +1,39 @@
+//! Simulated ACPI tables describing heterogeneous memory performance.
+//!
+//! The paper's "native discovery" path (§IV-A1) reads the ACPI
+//! **HMAT** (Heterogeneous Memory Attribute Table, ACPI ≥ 6.2), which
+//! platform firmware uses to publish theoretical latency and bandwidth
+//! between *initiators* (proximity domains containing processors) and
+//! *memory targets* (proximity domains containing memory), plus
+//! memory-side cache descriptions. Proximity-domain membership itself
+//! comes from the **SRAT** (System Resource Affinity Table).
+//!
+//! Since no firmware is available in this reproduction, this crate plays
+//! the firmware's role: it *encodes* platform performance descriptions
+//! into binary tables (with length fields and checksums, close to the
+//! real ACPI layouts) and *decodes* them back, so the discovery code in
+//! `hetmem-core` exercises a genuine parse-the-hardware-table path.
+//!
+//! It also models the Linux limitation the paper highlights: sysfs
+//! (`/sys/devices/system/node/nodeN/access0/initiators/`) only exposes
+//! the performance of **local** accesses (best initiator per target).
+//! [`SysfsView`] reproduces exactly that reduction, which is why
+//! Figure 5 of the paper shows local-only values.
+
+
+#![warn(missing_docs)]
+mod encode;
+mod srat;
+mod sysfs;
+mod tables;
+
+pub use encode::{DecodeError, decode_hmat, decode_srat, encode_hmat, encode_srat};
+pub use srat::{Srat, SratMemoryAffinity, SratProcessorAffinity};
+pub use sysfs::SysfsView;
+pub use tables::{
+    DataType, Hmat, MemProximityAttrs, MemorySideCacheInfo, SystemLocalityLatencyBandwidth,
+};
+
+/// A proximity domain number. For memory targets we keep PD == the NUMA
+/// node OS index; initiator PDs are the PDs that contain processors.
+pub type ProximityDomain = u32;

@@ -1,0 +1,123 @@
+//! Simplified SRAT (System Resource Affinity Table).
+//!
+//! The SRAT defines proximity domains: which processors and which
+//! memory ranges belong to each PD. The HMAT only makes sense together
+//! with it — it is how the OS maps PD numbers to CPUs and NUMA nodes.
+
+use crate::ProximityDomain;
+use hetmem_bitmap::Bitmap;
+
+/// Processor affinity: one entry per logical processor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SratProcessorAffinity {
+    /// The proximity domain the processor belongs to.
+    pub pd: ProximityDomain,
+    /// The logical processor (APIC id ≈ PU OS index here).
+    pub cpu: u32,
+}
+
+/// Memory affinity: one entry per memory range.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SratMemoryAffinity {
+    /// The proximity domain the memory belongs to.
+    pub pd: ProximityDomain,
+    /// Length of the range in bytes (base addresses elided — our NUMA
+    /// nodes are whole ranges).
+    pub bytes: u64,
+    /// Hot-pluggable flag (set for NVDIMM-backed nodes on real
+    /// platforms; carried for realism).
+    pub hotplug: bool,
+}
+
+/// A full simulated SRAT.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Srat {
+    /// Processor entries.
+    pub processors: Vec<SratProcessorAffinity>,
+    /// Memory entries.
+    pub memory: Vec<SratMemoryAffinity>,
+}
+
+impl Srat {
+    /// The set of CPUs in a proximity domain.
+    pub fn cpus_of(&self, pd: ProximityDomain) -> Bitmap {
+        Bitmap::from_indices(
+            self.processors.iter().filter(|p| p.pd == pd).map(|p| p.cpu as usize),
+        )
+    }
+
+    /// Total memory bytes in a proximity domain.
+    pub fn memory_of(&self, pd: ProximityDomain) -> u64 {
+        self.memory.iter().filter(|m| m.pd == pd).map(|m| m.bytes).sum()
+    }
+
+    /// All proximity domains mentioned, sorted.
+    pub fn domains(&self) -> Vec<ProximityDomain> {
+        let mut v: Vec<ProximityDomain> = self
+            .processors
+            .iter()
+            .map(|p| p.pd)
+            .chain(self.memory.iter().map(|m| m.pd))
+            .collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    /// Proximity domains that contain processors (HMAT initiators).
+    pub fn initiator_domains(&self) -> Vec<ProximityDomain> {
+        let mut v: Vec<ProximityDomain> = self.processors.iter().map(|p| p.pd).collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    /// Proximity domains that contain memory (HMAT targets).
+    pub fn target_domains(&self) -> Vec<ProximityDomain> {
+        let mut v: Vec<ProximityDomain> = self.memory.iter().map(|m| m.pd).collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Srat {
+        Srat {
+            processors: (0..4)
+                .map(|c| SratProcessorAffinity { pd: c / 2, cpu: c })
+                .collect(),
+            memory: vec![
+                SratMemoryAffinity { pd: 0, bytes: 1 << 30, hotplug: false },
+                SratMemoryAffinity { pd: 1, bytes: 1 << 30, hotplug: false },
+                SratMemoryAffinity { pd: 2, bytes: 8 << 30, hotplug: true },
+            ],
+        }
+    }
+
+    #[test]
+    fn cpus_per_domain() {
+        let s = sample();
+        assert_eq!(s.cpus_of(0).to_string(), "0-1");
+        assert_eq!(s.cpus_of(1).to_string(), "2-3");
+        assert!(s.cpus_of(2).is_zero());
+    }
+
+    #[test]
+    fn memory_per_domain() {
+        let s = sample();
+        assert_eq!(s.memory_of(2), 8 << 30);
+        assert_eq!(s.memory_of(7), 0);
+    }
+
+    #[test]
+    fn domain_classification() {
+        let s = sample();
+        assert_eq!(s.domains(), vec![0, 1, 2]);
+        assert_eq!(s.initiator_domains(), vec![0, 1]);
+        assert_eq!(s.target_domains(), vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,210 @@
+//! The Linux sysfs reduction of HMAT data.
+//!
+//! Since Linux 5.2 (a change the paper's authors contributed to), HMAT
+//! performance data is exported under
+//! `/sys/devices/system/node/nodeN/accessM/initiators/{read,write}_{bandwidth,latency}`,
+//! but **only for the best (local) initiator of each target** — the
+//! full initiator×target matrix is not exposed. §IV-A1: "this is
+//! currently limited to the performance of local accesses. Hence, it is
+//! for instance currently impossible to compare the local DRAM with the
+//! HBM of another processor."
+//!
+//! [`SysfsView`] models exactly that: from a full [`Hmat`] it keeps,
+//! per target, the values of the initiator with the best access
+//! latency (ties broken by bandwidth), i.e. what
+//! `node*/access0/initiators` would contain.
+
+use crate::srat::Srat;
+use crate::tables::{DataType, Hmat};
+use crate::ProximityDomain;
+use hetmem_bitmap::Bitmap;
+
+/// Local-only performance values for one target node, as Linux sysfs
+/// would expose them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SysfsNodePerf {
+    /// The target proximity domain (== NUMA node OS index).
+    pub target: ProximityDomain,
+    /// The local initiator's CPU set (contents of
+    /// `accessN/initiators/cpulist`).
+    pub initiator_cpus: Bitmap,
+    /// The initiator PD this came from.
+    pub initiator_pd: ProximityDomain,
+    /// `read_latency` in ns, if provided.
+    pub read_latency: Option<u32>,
+    /// `write_latency` in ns, if provided.
+    pub write_latency: Option<u32>,
+    /// `access latency` in ns, if provided.
+    pub access_latency: Option<u32>,
+    /// `read_bandwidth` in MB/s, if provided.
+    pub read_bandwidth: Option<u32>,
+    /// `write_bandwidth` in MB/s, if provided.
+    pub write_bandwidth: Option<u32>,
+    /// `access bandwidth` in MB/s, if provided.
+    pub access_bandwidth: Option<u32>,
+}
+
+/// The sysfs-like, local-accesses-only view of an HMAT+SRAT pair.
+#[derive(Debug, Clone, Default)]
+pub struct SysfsView {
+    nodes: Vec<SysfsNodePerf>,
+}
+
+impl SysfsView {
+    /// Builds the view: for each memory target, picks the best
+    /// initiator (lowest access latency, then highest access bandwidth)
+    /// and keeps only that initiator's values — discarding the rest of
+    /// the matrix like Linux does.
+    ///
+    /// When several initiators tie on the best values, their CPU sets
+    /// are merged, exactly like `accessN/initiators/cpulist` lists
+    /// every CPU with best-class access. This is why the paper's
+    /// Fig. 5 reports the NVDIMM bandwidth "from Package L#0": both SNC
+    /// groups of the package see identical performance to it.
+    pub fn from_tables(hmat: &Hmat, srat: &Srat) -> Self {
+        let mut nodes = Vec::new();
+        for target in srat.target_domains() {
+            let mut best: Option<(ProximityDomain, u32, u32)> = None;
+            for ini in srat.initiator_domains() {
+                let lat = hmat.value(DataType::AccessLatency, ini, target);
+                let bw = hmat.value(DataType::AccessBandwidth, ini, target);
+                if lat.is_none() && bw.is_none() {
+                    continue;
+                }
+                let lat_key = lat.unwrap_or(u32::MAX);
+                let bw_key = bw.unwrap_or(0);
+                let better = match best {
+                    None => true,
+                    Some((_, bl, bb)) => lat_key < bl || (lat_key == bl && bw_key > bb),
+                };
+                if better {
+                    best = Some((ini, lat_key, bw_key));
+                }
+            }
+            let Some((ini, best_lat, best_bw)) = best else { continue };
+            // Merge every initiator tying on the best values.
+            let mut cpus = Bitmap::new();
+            for other in srat.initiator_domains() {
+                let lat = hmat.value(DataType::AccessLatency, other, target).unwrap_or(u32::MAX);
+                let bw = hmat.value(DataType::AccessBandwidth, other, target).unwrap_or(0);
+                if lat == best_lat && bw == best_bw {
+                    cpus.or_assign(&srat.cpus_of(other));
+                }
+            }
+            nodes.push(SysfsNodePerf {
+                target,
+                initiator_cpus: cpus,
+                initiator_pd: ini,
+                read_latency: hmat.value(DataType::ReadLatency, ini, target),
+                write_latency: hmat.value(DataType::WriteLatency, ini, target),
+                access_latency: hmat.value(DataType::AccessLatency, ini, target),
+                read_bandwidth: hmat.value(DataType::ReadBandwidth, ini, target),
+                write_bandwidth: hmat.value(DataType::WriteBandwidth, ini, target),
+                access_bandwidth: hmat.value(DataType::AccessBandwidth, ini, target),
+            });
+        }
+        SysfsView { nodes }
+    }
+
+    /// Per-node local performance entries, in target order.
+    pub fn nodes(&self) -> &[SysfsNodePerf] {
+        &self.nodes
+    }
+
+    /// The entry for one target node.
+    pub fn node(&self, target: ProximityDomain) -> Option<&SysfsNodePerf> {
+        self.nodes.iter().find(|n| n.target == target)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::srat::{SratMemoryAffinity, SratProcessorAffinity};
+    use crate::tables::SystemLocalityLatencyBandwidth;
+
+    /// Two initiators (PD 0, PD 1); target 2 is NVDIMM local to PD 0.
+    fn tables() -> (Hmat, Srat) {
+        let srat = Srat {
+            processors: (0..8)
+                .map(|c| SratProcessorAffinity { pd: c / 4, cpu: c })
+                .collect(),
+            memory: vec![
+                SratMemoryAffinity { pd: 0, bytes: 96 << 30, hotplug: false },
+                SratMemoryAffinity { pd: 1, bytes: 96 << 30, hotplug: false },
+                SratMemoryAffinity { pd: 2, bytes: 768 << 30, hotplug: true },
+            ],
+        };
+        let mut lat =
+            SystemLocalityLatencyBandwidth::new(DataType::AccessLatency, vec![0, 1], vec![0, 1, 2]);
+        let mut bw = SystemLocalityLatencyBandwidth::new(
+            DataType::AccessBandwidth,
+            vec![0, 1],
+            vec![0, 1, 2],
+        );
+        // Full matrix: remote accesses are worse.
+        lat.set(0, 0, 26);
+        lat.set(1, 1, 26);
+        lat.set(0, 1, 80);
+        lat.set(1, 0, 80);
+        lat.set(0, 2, 77);
+        lat.set(1, 2, 130);
+        bw.set(0, 0, 131072);
+        bw.set(1, 1, 131072);
+        bw.set(0, 1, 40000);
+        bw.set(1, 0, 40000);
+        bw.set(0, 2, 78644);
+        bw.set(1, 2, 30000);
+        (Hmat { proximity: vec![], localities: vec![lat, bw], caches: vec![] }, srat)
+    }
+
+    #[test]
+    fn keeps_best_initiator_only() {
+        let (hmat, srat) = tables();
+        let view = SysfsView::from_tables(&hmat, &srat);
+        assert_eq!(view.nodes().len(), 3);
+        let n2 = view.node(2).unwrap();
+        // NVDIMM's best initiator is PD 0 (77ns beats 130ns).
+        assert_eq!(n2.initiator_pd, 0);
+        assert_eq!(n2.access_latency, Some(77));
+        assert_eq!(n2.access_bandwidth, Some(78644));
+        assert_eq!(n2.initiator_cpus.to_string(), "0-3");
+    }
+
+    #[test]
+    fn remote_values_discarded() {
+        let (hmat, srat) = tables();
+        let view = SysfsView::from_tables(&hmat, &srat);
+        // The view has exactly one entry per target: the cross-socket
+        // 80ns/40GB values are gone — the paper's Linux limitation.
+        let n0 = view.node(0).unwrap();
+        assert_eq!(n0.initiator_pd, 0);
+        assert_eq!(n0.access_latency, Some(26));
+    }
+
+    #[test]
+    fn target_without_any_values_is_skipped() {
+        let (mut hmat, mut srat) = tables();
+        srat.memory.push(SratMemoryAffinity { pd: 9, bytes: 1 << 30, hotplug: false });
+        hmat.localities.clear();
+        let view = SysfsView::from_tables(&hmat, &srat);
+        assert!(view.nodes().is_empty());
+    }
+
+    #[test]
+    fn tie_broken_by_bandwidth() {
+        let (mut hmat, srat) = tables();
+        // Make initiator 1 tie on latency to target 2 but win on BW.
+        if let Some(l) = hmat.localities.iter_mut().find(|l| l.data_type == DataType::AccessLatency)
+        {
+            l.set(1, 2, 77);
+        }
+        if let Some(b) =
+            hmat.localities.iter_mut().find(|l| l.data_type == DataType::AccessBandwidth)
+        {
+            b.set(1, 2, 90000);
+        }
+        let view = SysfsView::from_tables(&hmat, &srat);
+        assert_eq!(view.node(2).unwrap().initiator_pd, 1);
+    }
+}

@@ -1,0 +1,244 @@
+//! In-memory representation of the HMAT structures.
+
+use crate::ProximityDomain;
+
+/// Which metric a System Locality Latency & Bandwidth structure carries
+/// (ACPI HMAT table 5-146, "Data Type").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// Access latency (ns in our convention).
+    AccessLatency,
+    /// Read latency.
+    ReadLatency,
+    /// Write latency.
+    WriteLatency,
+    /// Access bandwidth (MB/s).
+    AccessBandwidth,
+    /// Read bandwidth.
+    ReadBandwidth,
+    /// Write bandwidth.
+    WriteBandwidth,
+}
+
+impl DataType {
+    /// ACPI encoding of the data type.
+    pub fn code(self) -> u8 {
+        match self {
+            DataType::AccessLatency => 0,
+            DataType::ReadLatency => 1,
+            DataType::WriteLatency => 2,
+            DataType::AccessBandwidth => 3,
+            DataType::ReadBandwidth => 4,
+            DataType::WriteBandwidth => 5,
+        }
+    }
+
+    /// Decodes an ACPI data-type code.
+    pub fn from_code(c: u8) -> Option<Self> {
+        Some(match c {
+            0 => DataType::AccessLatency,
+            1 => DataType::ReadLatency,
+            2 => DataType::WriteLatency,
+            3 => DataType::AccessBandwidth,
+            4 => DataType::ReadBandwidth,
+            5 => DataType::WriteBandwidth,
+            _ => return None,
+        })
+    }
+
+    /// True for the latency variants.
+    pub fn is_latency(self) -> bool {
+        matches!(self, DataType::AccessLatency | DataType::ReadLatency | DataType::WriteLatency)
+    }
+}
+
+/// HMAT structure type 0: associates a memory target PD with the
+/// initiator PD "attached" to it (its local processors, if any).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemProximityAttrs {
+    /// The initiator proximity domain; `None` when the target has no
+    /// local processors (e.g. network-attached memory).
+    pub initiator_pd: Option<ProximityDomain>,
+    /// The memory target proximity domain.
+    pub memory_pd: ProximityDomain,
+}
+
+/// HMAT structure type 1: a (initiators × targets) matrix for one data
+/// type.
+///
+/// `entries[i * targets.len() + t]` is the value from `initiators[i]` to
+/// `targets[t]`; [`Self::UNREACHABLE`] means "not provided" (the ACPI
+/// spec uses an entry of 0xFFFF for this; we keep u32 values plus an
+/// explicit sentinel so realistic MB/s magnitudes fit).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SystemLocalityLatencyBandwidth {
+    /// Which metric this matrix carries.
+    pub data_type: DataType,
+    /// Initiator proximity domains (row order).
+    pub initiators: Vec<ProximityDomain>,
+    /// Target proximity domains (column order).
+    pub targets: Vec<ProximityDomain>,
+    /// Row-major matrix values (ns or MB/s).
+    pub entries: Vec<u32>,
+}
+
+impl SystemLocalityLatencyBandwidth {
+    /// Sentinel for "value not provided by firmware".
+    pub const UNREACHABLE: u32 = u32::MAX;
+
+    /// Builds an empty (all-unprovided) matrix.
+    pub fn new(
+        data_type: DataType,
+        initiators: Vec<ProximityDomain>,
+        targets: Vec<ProximityDomain>,
+    ) -> Self {
+        let entries = vec![Self::UNREACHABLE; initiators.len() * targets.len()];
+        SystemLocalityLatencyBandwidth { data_type, initiators, targets, entries }
+    }
+
+    /// Sets the value from `initiator` to `target`. Ignores unknown PDs.
+    pub fn set(&mut self, initiator: ProximityDomain, target: ProximityDomain, value: u32) {
+        if let (Some(i), Some(t)) = (
+            self.initiators.iter().position(|&p| p == initiator),
+            self.targets.iter().position(|&p| p == target),
+        ) {
+            self.entries[i * self.targets.len() + t] = value;
+        }
+    }
+
+    /// Looks up the value from `initiator` to `target`.
+    pub fn get(&self, initiator: ProximityDomain, target: ProximityDomain) -> Option<u32> {
+        let i = self.initiators.iter().position(|&p| p == initiator)?;
+        let t = self.targets.iter().position(|&p| p == target)?;
+        let v = self.entries[i * self.targets.len() + t];
+        (v != Self::UNREACHABLE).then_some(v)
+    }
+
+    /// Iterates over all provided `(initiator, target, value)` triples.
+    pub fn provided(&self) -> impl Iterator<Item = (ProximityDomain, ProximityDomain, u32)> + '_ {
+        self.initiators.iter().enumerate().flat_map(move |(i, &ini)| {
+            self.targets.iter().enumerate().filter_map(move |(t, &tgt)| {
+                let v = self.entries[i * self.targets.len() + t];
+                (v != Self::UNREACHABLE).then_some((ini, tgt, v))
+            })
+        })
+    }
+}
+
+/// HMAT structure type 2: a memory-side cache in front of a target PD.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemorySideCacheInfo {
+    /// The memory target PD this cache fronts.
+    pub memory_pd: ProximityDomain,
+    /// Cache capacity in bytes.
+    pub size: u64,
+    /// Cache line size in bytes.
+    pub line_size: u32,
+    /// Cache level counted from the memory side (1 = closest to memory).
+    pub level: u8,
+}
+
+/// A full simulated HMAT.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Hmat {
+    /// Type-0 structures.
+    pub proximity: Vec<MemProximityAttrs>,
+    /// Type-1 structures, one per data type present.
+    pub localities: Vec<SystemLocalityLatencyBandwidth>,
+    /// Type-2 structures.
+    pub caches: Vec<MemorySideCacheInfo>,
+}
+
+impl Hmat {
+    /// Finds the matrix for a data type, if the firmware provided one.
+    pub fn locality(&self, dt: DataType) -> Option<&SystemLocalityLatencyBandwidth> {
+        self.localities.iter().find(|l| l.data_type == dt)
+    }
+
+    /// Convenience: value of `dt` from `initiator` to `target`.
+    pub fn value(
+        &self,
+        dt: DataType,
+        initiator: ProximityDomain,
+        target: ProximityDomain,
+    ) -> Option<u32> {
+        self.locality(dt)?.get(initiator, target)
+    }
+
+    /// The memory-side cache fronting `target`, if any.
+    pub fn cache_of(&self, target: ProximityDomain) -> Option<&MemorySideCacheInfo> {
+        self.caches.iter().find(|c| c.memory_pd == target)
+    }
+
+    /// The initiator attached to `target` per type-0 structures.
+    pub fn attached_initiator(&self, target: ProximityDomain) -> Option<ProximityDomain> {
+        self.proximity.iter().find(|p| p.memory_pd == target).and_then(|p| p.initiator_pd)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_matrix() -> SystemLocalityLatencyBandwidth {
+        let mut m = SystemLocalityLatencyBandwidth::new(
+            DataType::AccessBandwidth,
+            vec![0, 1],
+            vec![0, 1, 2],
+        );
+        m.set(0, 0, 131072);
+        m.set(0, 2, 78644);
+        m.set(1, 1, 131072);
+        m
+    }
+
+    #[test]
+    fn set_get_roundtrip() {
+        let m = sample_matrix();
+        assert_eq!(m.get(0, 0), Some(131072));
+        assert_eq!(m.get(0, 2), Some(78644));
+        assert_eq!(m.get(0, 1), None); // not provided
+        assert_eq!(m.get(9, 0), None); // unknown PD
+    }
+
+    #[test]
+    fn provided_iterates_only_set_entries() {
+        let m = sample_matrix();
+        let mut v: Vec<_> = m.provided().collect();
+        v.sort();
+        assert_eq!(v, vec![(0, 0, 131072), (0, 2, 78644), (1, 1, 131072)]);
+    }
+
+    #[test]
+    fn data_type_codes_roundtrip() {
+        for dt in [
+            DataType::AccessLatency,
+            DataType::ReadLatency,
+            DataType::WriteLatency,
+            DataType::AccessBandwidth,
+            DataType::ReadBandwidth,
+            DataType::WriteBandwidth,
+        ] {
+            assert_eq!(DataType::from_code(dt.code()), Some(dt));
+        }
+        assert_eq!(DataType::from_code(9), None);
+    }
+
+    #[test]
+    fn hmat_queries() {
+        let hmat = Hmat {
+            proximity: vec![
+                MemProximityAttrs { initiator_pd: Some(0), memory_pd: 2 },
+                MemProximityAttrs { initiator_pd: None, memory_pd: 8 },
+            ],
+            localities: vec![sample_matrix()],
+            caches: vec![MemorySideCacheInfo { memory_pd: 2, size: 1 << 30, line_size: 64, level: 1 }],
+        };
+        assert_eq!(hmat.value(DataType::AccessBandwidth, 0, 2), Some(78644));
+        assert_eq!(hmat.value(DataType::AccessLatency, 0, 2), None);
+        assert_eq!(hmat.cache_of(2).unwrap().size, 1 << 30);
+        assert!(hmat.cache_of(0).is_none());
+        assert_eq!(hmat.attached_initiator(2), Some(0));
+        assert_eq!(hmat.attached_initiator(8), None);
+    }
+}

@@ -1,0 +1,146 @@
+//! Property tests: arbitrary firmware tables survive the binary
+//! encode/decode roundtrip, and corruption is always detected.
+
+use hetmem_hmat::{
+    decode_hmat, decode_srat, encode_hmat, encode_srat, DataType, Hmat, MemProximityAttrs,
+    MemorySideCacheInfo, Srat, SratMemoryAffinity, SratProcessorAffinity,
+    SystemLocalityLatencyBandwidth,
+};
+use proptest::prelude::*;
+
+fn data_type() -> impl Strategy<Value = DataType> {
+    prop_oneof![
+        Just(DataType::AccessLatency),
+        Just(DataType::ReadLatency),
+        Just(DataType::WriteLatency),
+        Just(DataType::AccessBandwidth),
+        Just(DataType::ReadBandwidth),
+        Just(DataType::WriteBandwidth),
+    ]
+}
+
+prop_compose! {
+    fn locality()(
+        dt in data_type(),
+        initiators in prop::collection::vec(0u32..32, 1..5),
+        targets in prop::collection::vec(0u32..32, 1..5),
+        seed in any::<u64>(),
+    ) -> SystemLocalityLatencyBandwidth {
+        let mut m = SystemLocalityLatencyBandwidth::new(dt, initiators.clone(), targets.clone());
+        // Deterministically fill some entries.
+        let mut x = seed;
+        for &i in &initiators {
+            for &t in &targets {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                if x % 3 != 0 {
+                    m.set(i, t, (x >> 32) as u32 % 1_000_000);
+                }
+            }
+        }
+        m
+    }
+}
+
+prop_compose! {
+    fn hmat()(
+        localities in prop::collection::vec(locality(), 0..4),
+        proximity in prop::collection::vec(
+            (any::<bool>(), 0u32..32, 0u32..32).prop_map(|(has, i, m)| MemProximityAttrs {
+                initiator_pd: has.then_some(i),
+                memory_pd: m,
+            }),
+            0..5
+        ),
+        caches in prop::collection::vec(
+            (0u32..32, 1u64..1 << 45, prop::sample::select(vec![64u32, 128]), 1u8..3)
+                .prop_map(|(pd, size, line, level)| MemorySideCacheInfo {
+                    memory_pd: pd, size, line_size: line, level,
+                }),
+            0..3
+        ),
+    ) -> Hmat {
+        Hmat { proximity, localities, caches }
+    }
+}
+
+prop_compose! {
+    fn srat()(
+        processors in prop::collection::vec(
+            (0u32..16, 0u32..256).prop_map(|(pd, cpu)| SratProcessorAffinity { pd, cpu }),
+            0..64
+        ),
+        memory in prop::collection::vec(
+            (0u32..16, 1u64..1 << 45, any::<bool>())
+                .prop_map(|(pd, bytes, hotplug)| SratMemoryAffinity { pd, bytes, hotplug }),
+            0..16
+        ),
+    ) -> Srat {
+        Srat { processors, memory }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn hmat_roundtrip(h in hmat()) {
+        let bin = encode_hmat(&h);
+        prop_assert_eq!(decode_hmat(&bin).expect("roundtrip"), h);
+    }
+
+    #[test]
+    fn srat_roundtrip(s in srat()) {
+        let bin = encode_srat(&s);
+        prop_assert_eq!(decode_srat(&bin).expect("roundtrip"), s);
+    }
+
+    #[test]
+    fn single_byte_corruption_detected(h in hmat(), pos_seed in any::<u64>(), flip in 1u8..=255) {
+        let bin = encode_hmat(&h).to_vec();
+        let pos = (pos_seed % bin.len() as u64) as usize;
+        let mut bad = bin.clone();
+        bad[pos] ^= flip;
+        // Either the checksum/length/signature rejects it, or — if the
+        // flipped byte was the checksum itself... no: flipping the
+        // checksum breaks the sum too. Decoding must never *succeed
+        // silently with the same content and pass*; it may only fail.
+        match decode_hmat(&bytes::Bytes::from(bad)) {
+            Err(_) => {}
+            Ok(decoded) => prop_assert!(
+                false,
+                "corruption at byte {pos} (flip {flip:#04x}) went undetected: {decoded:?}"
+            ),
+        }
+    }
+
+    #[test]
+    fn truncation_detected(h in hmat(), cut in 1usize..16) {
+        let bin = encode_hmat(&h).to_vec();
+        if bin.len() > cut {
+            let mut bad = bin;
+            let n = bad.len() - cut;
+            bad.truncate(n);
+            prop_assert!(decode_hmat(&bytes::Bytes::from(bad)).is_err());
+        }
+    }
+
+    #[test]
+    fn sysfs_view_never_widens(h in hmat(), s in srat()) {
+        // The Linux reduction only keeps values that exist in the HMAT.
+        let view = hetmem_hmat::SysfsView::from_tables(&h, &s);
+        for n in view.nodes() {
+            for (val, dt) in [
+                (n.access_latency, DataType::AccessLatency),
+                (n.access_bandwidth, DataType::AccessBandwidth),
+                (n.read_latency, DataType::ReadLatency),
+                (n.write_latency, DataType::WriteLatency),
+                (n.read_bandwidth, DataType::ReadBandwidth),
+                (n.write_bandwidth, DataType::WriteBandwidth),
+            ] {
+                if let Some(v) = val {
+                    prop_assert_eq!(h.value(dt, n.initiator_pd, n.target), Some(v));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Pointer-chase latency measurement (lmbench's `lat_mem_rd`).
+//!
+//! A single thread walks a dependency chain through a buffer much
+//! larger than the LLC; every load misses and must wait the full
+//! memory latency, so `time / misses` *is* the latency.
+
+use crate::BenchContext;
+use hetmem_bitmap::Bitmap;
+use hetmem_memsim::{AccessPattern, AllocPolicy, BufferAccess, Phase};
+use hetmem_topology::NodeId;
+
+/// Measures idle read latency (ns) from one PU of `initiator` to
+/// `node`. Returns `None` when the chase buffer can't be bound there.
+pub fn latency_ns(ctx: &mut BenchContext, initiator: &Bitmap, node: NodeId) -> Option<f64> {
+    let bytes = ctx.buffer_bytes(node);
+    let region = ctx.mm().alloc(bytes, AllocPolicy::Bind(node)).ok()?;
+    // lmbench pins a single thread.
+    let mut one = initiator.clone();
+    one.singlify();
+    let phase = Phase {
+        name: "lat_mem_rd".into(),
+        accesses: vec![BufferAccess::new(region, bytes, 0, AccessPattern::PointerChase)],
+        threads: 1,
+        initiator: one,
+        compute_ns: 0.0,
+    };
+    let report = ctx.engine().run_phase(&ctx.mm, &phase);
+    ctx.mm().free(region);
+    let misses = report.buffers[0].llc_misses as f64;
+    (misses > 0.0).then(|| report.time_ns / misses)
+}
+
+/// lmbench's classic latency-vs-working-set curve: chase latency for a
+/// sweep of buffer sizes. Small working sets resolve in the CPU caches
+/// (near-zero effective memory latency in our model), large ones expose
+/// the full device latency — the knee marks the LLC capacity.
+pub fn latency_curve(
+    ctx: &mut BenchContext,
+    initiator: &Bitmap,
+    node: NodeId,
+    sizes: &[u64],
+) -> Vec<(u64, f64)> {
+    let mut out = Vec::with_capacity(sizes.len());
+    for &bytes in sizes {
+        let Ok(region) = ctx.mm().alloc(bytes, AllocPolicy::Bind(node)) else {
+            continue;
+        };
+        let mut one = initiator.clone();
+        one.singlify();
+        // Walk the buffer several times so per-access cost is stable.
+        let passes = 8u64;
+        let phase = Phase {
+            name: "lat_mem_rd-curve".into(),
+            accesses: vec![BufferAccess::new(region, bytes * passes, 0, AccessPattern::PointerChase)],
+            threads: 1,
+            initiator: one,
+            compute_ns: 0.0,
+        };
+        let report = ctx.engine().run_phase(&ctx.mm, &phase);
+        ctx.mm().free(region);
+        let accesses = (bytes * passes / 64) as f64;
+        out.push((bytes, report.time_ns / accesses));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetmem_memsim::Machine;
+    use std::sync::Arc;
+
+    #[test]
+    fn xeon_latencies_ranked_correctly() {
+        let mut ctx = BenchContext::new(Arc::new(Machine::xeon_1lm_no_snc()));
+        let cpus: Bitmap = "0-19".parse().unwrap();
+        let dram = latency_ns(&mut ctx, &cpus, NodeId(0)).unwrap();
+        let nv = latency_ns(&mut ctx, &cpus, NodeId(2)).unwrap();
+        // Idle-ish latencies: ~85-110 DRAM, ~310-360 NVDIMM.
+        assert!((75.0..120.0).contains(&dram), "DRAM latency {dram:.0} ns");
+        assert!((290.0..400.0).contains(&nv), "NVDIMM latency {nv:.0} ns");
+        assert!(nv > 2.5 * dram);
+    }
+
+    #[test]
+    fn knl_latencies_are_similar() {
+        // The paper's key KNL observation: MCDRAM does NOT win on
+        // latency.
+        let mut ctx = BenchContext::new(Arc::new(Machine::knl_snc4_flat()));
+        let c0: Bitmap = "0-15".parse().unwrap();
+        let dram = latency_ns(&mut ctx, &c0, NodeId(0)).unwrap();
+        let hbm = latency_ns(&mut ctx, &c0, NodeId(4)).unwrap();
+        let ratio = hbm / dram;
+        assert!((0.9..1.25).contains(&ratio), "HBM/DRAM latency ratio {ratio:.2}");
+    }
+
+    #[test]
+    fn latency_curve_shows_llc_knee() {
+        let mut ctx = BenchContext::new(Arc::new(Machine::xeon_1lm_no_snc()));
+        let cpus: Bitmap = "0".parse().unwrap();
+        let sizes: Vec<u64> = [1u64 << 20, 8 << 20, 64 << 20, 512 << 20, 2 << 30].to_vec();
+        let curve = latency_curve(&mut ctx, &cpus, NodeId(0), &sizes);
+        assert_eq!(curve.len(), sizes.len());
+        // Monotone non-decreasing with working set.
+        for w in curve.windows(2) {
+            assert!(w[1].1 >= w[0].1 - 1e-9, "curve not monotone: {curve:?}");
+        }
+        // Cache-resident point is far below the memory plateau.
+        let first = curve.first().unwrap().1;
+        let last = curve.last().unwrap().1;
+        assert!(last > 5.0 * first, "no LLC knee visible: {curve:?}");
+        // The plateau approximates the device's idle latency.
+        assert!((60.0..120.0).contains(&last), "plateau {last:.0} ns");
+    }
+
+    #[test]
+    fn remote_latency_higher_than_local() {
+        let mut ctx = BenchContext::new(Arc::new(Machine::xeon_1lm_no_snc()));
+        let pkg0: Bitmap = "0-19".parse().unwrap();
+        let local = latency_ns(&mut ctx, &pkg0, NodeId(0)).unwrap();
+        let remote = latency_ns(&mut ctx, &pkg0, NodeId(1)).unwrap();
+        assert!(remote > local + 40.0, "remote {remote:.0} vs local {local:.0}");
+    }
+}

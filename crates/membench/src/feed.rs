@@ -1,0 +1,206 @@
+//! Feeding measured values into the attributes registry.
+//!
+//! This is the external-source path of the paper's Table I: when the
+//! firmware provides no (or incomplete) HMAT data, run benchmarks and
+//! `set_value` the results into hwloc — here, into [`MemAttrs`].
+
+use crate::chase;
+use crate::multichase;
+use crate::stream::{self, StreamKernel};
+use crate::BenchContext;
+use hetmem_bitmap::Bitmap;
+use hetmem_core::{attr, AttrError, AttrFlags, AttrId, MemAttrs};
+use hetmem_memsim::Machine;
+use std::sync::Arc;
+
+/// What to measure and from where.
+#[derive(Debug, Clone)]
+pub struct BenchOptions {
+    /// Also measure remote (initiator, target) pairs — the capability
+    /// the paper highlights benchmarks have over Linux HMAT (§VIII).
+    pub include_remote: bool,
+    /// Measure separate read/write bandwidths (Table I's second row).
+    pub read_write_variants: bool,
+    /// Use loaded latency (multichase) instead of idle latency
+    /// (lmbench) for the Latency attribute.
+    pub loaded_latency: bool,
+}
+
+impl Default for BenchOptions {
+    fn default() -> Self {
+        BenchOptions { include_remote: false, read_write_variants: true, loaded_latency: false }
+    }
+}
+
+/// Distinct initiator cpusets of the machine: one per NUMA locality
+/// that contains processors.
+fn initiators(machine: &Machine) -> Vec<Bitmap> {
+    let mut out: Vec<Bitmap> = Vec::new();
+    for node in machine.topology().node_ids() {
+        let obj = machine.topology().numa_by_os_index(node).expect("node exists");
+        if obj.cpuset.is_zero() {
+            continue;
+        }
+        if !out.contains(&obj.cpuset) {
+            out.push(obj.cpuset.clone());
+        }
+    }
+    out
+}
+
+/// Runs the benchmark suite and stores results into a fresh
+/// [`MemAttrs`]. Nodes whose benchmark buffer cannot be allocated are
+/// skipped (they simply get no measured value).
+pub fn feed_attrs(machine: &Arc<Machine>, opts: &BenchOptions) -> Result<MemAttrs, AttrError> {
+    let topology = Arc::new(machine.topology().clone());
+    let mut attrs = MemAttrs::new(topology);
+    let mut ctx = BenchContext::new(machine.clone());
+    for ini in initiators(machine) {
+        for node in machine.topology().node_ids() {
+            let node_cpus = &machine.topology().numa_by_os_index(node).expect("node exists").cpuset;
+            let local = node_cpus.includes(&ini) || node_cpus.intersects(&ini);
+            if !local && !opts.include_remote {
+                continue;
+            }
+            let set = |attrs: &mut MemAttrs, id: AttrId, v: Option<f64>| -> Result<(), AttrError> {
+                if let Some(v) = v {
+                    attrs.set_value(id, node, Some(&ini), v.round() as u64)?;
+                }
+                Ok(())
+            };
+            set(&mut attrs, attr::BANDWIDTH, stream::triad_mbps(&mut ctx, &ini, node))?;
+            let lat = if opts.loaded_latency {
+                multichase::loaded_latency_ns(&mut ctx, &ini, node)
+            } else {
+                chase::latency_ns(&mut ctx, &ini, node)
+            };
+            set(&mut attrs, attr::LATENCY, lat)?;
+            if opts.read_write_variants {
+                set(
+                    &mut attrs,
+                    attr::READ_BANDWIDTH,
+                    stream::measure(&mut ctx, &ini, node, StreamKernel::ReadOnly),
+                )?;
+                set(
+                    &mut attrs,
+                    attr::WRITE_BANDWIDTH,
+                    stream::measure(&mut ctx, &ini, node, StreamKernel::WriteOnly),
+                )?;
+            }
+        }
+    }
+    Ok(attrs)
+}
+
+/// Registers the paper's example custom attribute: a STREAM-Triad
+/// metric "combining Read and Write bandwidths" (§IV), and fills it
+/// from measurements.
+pub fn register_stream_triad_attr(
+    attrs: &mut MemAttrs,
+    machine: &Arc<Machine>,
+) -> Result<AttrId, AttrError> {
+    let id = attrs.register(
+        "StreamTriad",
+        AttrFlags { higher_is_best: true, need_initiator: true },
+    )?;
+    let mut ctx = BenchContext::new(machine.clone());
+    for ini in initiators(machine) {
+        for node in machine.topology().node_ids() {
+            if let Some(v) = stream::triad_mbps(&mut ctx, &ini, node) {
+                attrs.set_value(id, node, Some(&ini), v.round() as u64)?;
+            }
+        }
+    }
+    Ok(id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetmem_topology::{MemoryKind, NodeId};
+
+    #[test]
+    fn measured_rankings_match_datasheet_rankings() {
+        // The paper's point: HMAT values are theoretical, benchmark
+        // values are real, but both *rank* memories identically.
+        let machine = Arc::new(Machine::knl_snc4_flat());
+        let measured = feed_attrs(&machine, &BenchOptions::default()).unwrap();
+        let firmware = hetmem_core::discovery::from_firmware(&machine, true).unwrap();
+        let c0: Bitmap = "0-15".parse().unwrap();
+        for id in [attr::BANDWIDTH, attr::LATENCY] {
+            let m: Vec<NodeId> =
+                measured.rank_local_targets(id, &c0).unwrap().iter().map(|t| t.node).collect();
+            let f: Vec<NodeId> =
+                firmware.rank_local_targets(id, &c0).unwrap().iter().map(|t| t.node).collect();
+            assert_eq!(m, f, "ranking mismatch for attribute {:?}", measured.name(id));
+        }
+    }
+
+    #[test]
+    fn remote_measurements_fill_full_matrix() {
+        let machine = Arc::new(Machine::xeon_1lm_no_snc());
+        let opts = BenchOptions { include_remote: true, ..Default::default() };
+        let attrs = feed_attrs(&machine, &opts).unwrap();
+        let pkg0: Bitmap = "0-19".parse().unwrap();
+        // Benchmarks CAN compare local DRAM with the other package's
+        // DRAM — unlike the Linux HMAT view.
+        let local = attrs.get_value(attr::LATENCY, NodeId(0), Some(&pkg0)).unwrap().unwrap();
+        let remote = attrs.get_value(attr::LATENCY, NodeId(1), Some(&pkg0)).unwrap().unwrap();
+        assert!(remote > local);
+        let rank = attrs.rank_targets(attr::LATENCY, &pkg0).unwrap();
+        assert_eq!(rank.len(), 4);
+        assert_eq!(rank[0].node, NodeId(0));
+    }
+
+    #[test]
+    fn read_write_asymmetry_captured() {
+        let machine = Arc::new(Machine::xeon_1lm_no_snc());
+        let attrs = feed_attrs(&machine, &BenchOptions::default()).unwrap();
+        let pkg0: Bitmap = "0-19".parse().unwrap();
+        let r = attrs.get_value(attr::READ_BANDWIDTH, NodeId(2), Some(&pkg0)).unwrap().unwrap();
+        let w = attrs.get_value(attr::WRITE_BANDWIDTH, NodeId(2), Some(&pkg0)).unwrap().unwrap();
+        assert!(r > w, "NVDIMM read bw {r} should beat write bw {w}");
+    }
+
+    #[test]
+    fn loaded_latency_option_changes_values() {
+        let machine = Arc::new(Machine::xeon_1lm_no_snc());
+        let idle =
+            feed_attrs(&machine, &BenchOptions { loaded_latency: false, ..Default::default() })
+                .unwrap();
+        let loaded =
+            feed_attrs(&machine, &BenchOptions { loaded_latency: true, ..Default::default() })
+                .unwrap();
+        let pkg0: Bitmap = "0-19".parse().unwrap();
+        let li = idle.get_value(attr::LATENCY, NodeId(0), Some(&pkg0)).unwrap().unwrap();
+        let ll = loaded.get_value(attr::LATENCY, NodeId(0), Some(&pkg0)).unwrap().unwrap();
+        assert!(ll > li);
+        // Both rank DRAM before NVDIMM regardless.
+        for a in [&idle, &loaded] {
+            let rank = a.rank_local_targets(attr::LATENCY, &pkg0).unwrap();
+            assert_eq!(rank[0].node, NodeId(0));
+        }
+    }
+
+    #[test]
+    fn custom_triad_attribute_prefers_hbm() {
+        let machine = Arc::new(Machine::knl_snc4_flat());
+        let mut attrs = feed_attrs(&machine, &BenchOptions::default()).unwrap();
+        let triad = register_stream_triad_attr(&mut attrs, &machine).unwrap();
+        let c0: Bitmap = "0-15".parse().unwrap();
+        let (best, _) = attrs.get_best_target(triad, &c0).unwrap();
+        assert_eq!(machine.topology().node_kind(best), Some(MemoryKind::Hbm));
+    }
+
+    #[test]
+    fn fictitious_all_kinds_measured() {
+        let machine = Arc::new(Machine::fictitious());
+        let attrs = feed_attrs(&machine, &BenchOptions::default()).unwrap();
+        let cluster: Bitmap = "0-3".parse().unwrap();
+        let bw = attrs.rank_local_targets(attr::BANDWIDTH, &cluster).unwrap();
+        let kinds: Vec<MemoryKind> =
+            bw.iter().map(|tv| machine.topology().node_kind(tv.node).unwrap()).collect();
+        assert_eq!(kinds[0], MemoryKind::Hbm);
+        assert_eq!(*kinds.last().unwrap(), MemoryKind::NetworkAttached);
+    }
+}

@@ -1,0 +1,79 @@
+//! Micro-benchmarks measuring memory attributes — the paper's
+//! "External Sources: Benchmarks" column of Table I.
+//!
+//! Until firmware HMAT tables are universal, hwloc "may use
+//! experimentally measured attribute values" (§IV-A2); the paper names
+//! STREAM for bandwidth, lmbench for latency and Google multichase for
+//! both. This crate provides the same three instruments, executed
+//! against the `hetmem-memsim` machine:
+//!
+//! * [`stream`] — Copy/Scale/Add/Triad kernels, plus read-only and
+//!   write-only streams for the Read/Write bandwidth attributes;
+//! * [`chase`] — a dependent pointer chase measuring idle latency
+//!   (lmbench's `lat_mem_rd`);
+//! * [`multichase`] — loaded latency: one chaser while bandwidth
+//!   threads hammer the same node.
+//!
+//! [`feed_attrs`] runs the suite over every (initiator, target) pair —
+//! including *remote* pairs, which the paper points out Linux/HMAT
+//! cannot describe but benchmarks can (§VIII) — and stores the results
+//! in a [`MemAttrs`] registry.
+
+
+#![warn(missing_docs)]
+pub mod chase;
+pub mod stream;
+
+mod feed;
+mod multichase;
+
+pub use feed::{feed_attrs, register_stream_triad_attr, BenchOptions};
+pub use multichase::loaded_latency_ns;
+
+use hetmem_bitmap::Bitmap;
+use hetmem_memsim::{AccessEngine, Machine, MemoryManager};
+use hetmem_topology::NodeId;
+use std::sync::Arc;
+
+/// A scratch context for running micro-benchmarks on a machine: its
+/// own memory manager, so measurements never disturb application
+/// allocations.
+pub struct BenchContext {
+    engine: AccessEngine,
+    mm: MemoryManager,
+}
+
+impl BenchContext {
+    /// Creates a context for `machine`.
+    pub fn new(machine: Arc<Machine>) -> Self {
+        BenchContext {
+            engine: AccessEngine::new(machine.clone()),
+            mm: MemoryManager::new(machine),
+        }
+    }
+
+    /// The machine under test.
+    pub fn machine(&self) -> &Arc<Machine> {
+        self.engine.machine()
+    }
+
+    pub(crate) fn engine(&self) -> &AccessEngine {
+        &self.engine
+    }
+
+    pub(crate) fn mm(&mut self) -> &mut MemoryManager {
+        &mut self.mm
+    }
+
+    /// Picks a benchmark buffer size for `node`: large enough to defeat
+    /// the LLC, small enough to fit comfortably.
+    pub(crate) fn buffer_bytes(&self, node: NodeId) -> u64 {
+        let usable = self.engine.machine().usable_capacity(node);
+        (usable / 4).clamp(64 * 1024 * 1024, 1024 * 1024 * 1024)
+    }
+}
+
+/// Number of worker threads an initiator cpuset provides.
+pub(crate) fn threads_of(initiator: &Bitmap) -> usize {
+    initiator.weight().unwrap_or(1).max(1)
+}

@@ -1,0 +1,91 @@
+//! Loaded-latency measurement (Google multichase's `-m` mode).
+//!
+//! One thread chases pointers while the remaining threads of the
+//! initiator stream through a separate buffer on the same node,
+//! driving its utilization up. The chaser then observes the *loaded*
+//! latency — the figure the paper quotes for Cascade Lake DRAM
+//! (285 ns loaded vs ~80 ns idle).
+
+use crate::BenchContext;
+use hetmem_bitmap::Bitmap;
+use hetmem_memsim::{AccessPattern, AllocPolicy, BufferAccess, Phase};
+use hetmem_topology::NodeId;
+
+/// Measures loaded latency (ns) to `node`: one chaser plus
+/// `initiator.weight() - 1` bandwidth loaders. Returns `None` when the
+/// buffers can't be bound to the node.
+pub fn loaded_latency_ns(ctx: &mut BenchContext, initiator: &Bitmap, node: NodeId) -> Option<f64> {
+    let bytes = ctx.buffer_bytes(node);
+    let chase_buf = ctx.mm().alloc(bytes, AllocPolicy::Bind(node)).ok()?;
+    let load_buf = match ctx.mm().alloc(bytes, AllocPolicy::Bind(node)) {
+        Ok(r) => r,
+        Err(_) => {
+            ctx.mm().free(chase_buf);
+            return None;
+        }
+    };
+    let threads = crate::threads_of(initiator);
+    // The loaders stream enough traffic to keep the node busy for the
+    // whole chase.
+    let load_passes = 16;
+    let phase = Phase {
+        name: "multichase-loaded".into(),
+        accesses: vec![
+            BufferAccess::new(chase_buf, bytes, 0, AccessPattern::PointerChase),
+            BufferAccess::new(load_buf, bytes * load_passes, 0, AccessPattern::Sequential),
+        ],
+        threads,
+        initiator: initiator.clone(),
+        compute_ns: 0.0,
+    };
+    let report = ctx.engine().run_phase(&ctx.mm, &phase);
+    ctx.mm().free(chase_buf);
+    ctx.mm().free(load_buf);
+    report
+        .buffers
+        .iter()
+        .find(|b| b.loads == bytes / 64 && b.stores == 0 && b.llc_misses > 0)
+        .map(|b| b.avg_latency_ns)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chase;
+    use hetmem_memsim::Machine;
+    use std::sync::Arc;
+
+    #[test]
+    fn loaded_latency_exceeds_idle() {
+        let mut ctx = BenchContext::new(Arc::new(Machine::xeon_1lm_no_snc()));
+        let cpus: Bitmap = "0-19".parse().unwrap();
+        let idle = chase::latency_ns(&mut ctx, &cpus, NodeId(0)).unwrap();
+        let loaded = loaded_latency_ns(&mut ctx, &cpus, NodeId(0)).unwrap();
+        assert!(loaded > 1.5 * idle, "loaded {loaded:.0} vs idle {idle:.0}");
+        // Calibration target: ~285 ns on loaded Cascade Lake DRAM.
+        assert!((180.0..320.0).contains(&loaded), "loaded DRAM latency {loaded:.0}");
+    }
+
+    #[test]
+    fn nvdimm_loaded_latency_is_much_worse() {
+        let mut ctx = BenchContext::new(Arc::new(Machine::xeon_1lm_no_snc()));
+        let cpus: Bitmap = "0-19".parse().unwrap();
+        let dram = loaded_latency_ns(&mut ctx, &cpus, NodeId(0)).unwrap();
+        let nv = loaded_latency_ns(&mut ctx, &cpus, NodeId(2)).unwrap();
+        assert!(nv > 2.0 * dram, "NVDIMM loaded {nv:.0} vs DRAM {dram:.0}");
+    }
+
+    #[test]
+    fn cleans_up_buffers_even_on_partial_failure() {
+        let machine = Arc::new(Machine::knl_snc4_flat());
+        let mut ctx = BenchContext::new(machine);
+        let c0: Bitmap = "0-15".parse().unwrap();
+        // Leave room for only one buffer on MCDRAM.
+        let avail = ctx.mm().available(NodeId(4));
+        let hog = ctx.mm().alloc(avail - 200 * 1024 * 1024, AllocPolicy::Bind(NodeId(4))).unwrap();
+        let before = ctx.mm().available(NodeId(4));
+        assert_eq!(loaded_latency_ns(&mut ctx, &c0, NodeId(4)), None);
+        assert_eq!(ctx.mm().available(NodeId(4)), before);
+        ctx.mm().free(hog);
+    }
+}

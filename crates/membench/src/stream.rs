@@ -1,0 +1,166 @@
+//! STREAM-style bandwidth kernels (McCalpin).
+//!
+//! The four classic kernels plus pure read/write streams. Each kernel
+//! is expressed as a phase over a buffer bound to the target node; the
+//! reported figure is `bytes_moved / time`, exactly how STREAM scores.
+
+use crate::{threads_of, BenchContext};
+use hetmem_bitmap::Bitmap;
+use hetmem_memsim::{AccessPattern, AllocPolicy, BufferAccess, Phase};
+use hetmem_topology::NodeId;
+
+/// The STREAM kernel variants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamKernel {
+    /// `c[i] = a[i]` — 1 read + 1 write per element.
+    Copy,
+    /// `b[i] = s*c[i]` — 1 read + 1 write.
+    Scale,
+    /// `c[i] = a[i] + b[i]` — 2 reads + 1 write.
+    Add,
+    /// `a[i] = b[i] + s*c[i]` — 2 reads + 1 write.
+    Triad,
+    /// Pure read stream (for the ReadBandwidth attribute).
+    ReadOnly,
+    /// Pure write stream (for the WriteBandwidth attribute).
+    WriteOnly,
+}
+
+impl StreamKernel {
+    /// (reads, writes) per element, in array-lengths.
+    pub fn traffic(self) -> (u64, u64) {
+        match self {
+            StreamKernel::Copy | StreamKernel::Scale => (1, 1),
+            StreamKernel::Add | StreamKernel::Triad => (2, 1),
+            StreamKernel::ReadOnly => (1, 0),
+            StreamKernel::WriteOnly => (0, 1),
+        }
+    }
+
+    /// Kernel name as STREAM prints it.
+    pub fn name(self) -> &'static str {
+        match self {
+            StreamKernel::Copy => "Copy",
+            StreamKernel::Scale => "Scale",
+            StreamKernel::Add => "Add",
+            StreamKernel::Triad => "Triad",
+            StreamKernel::ReadOnly => "Read",
+            StreamKernel::WriteOnly => "Write",
+        }
+    }
+}
+
+/// Runs one STREAM kernel against a buffer bound to `node`, accessed
+/// from `initiator`. Returns MiB/s (total bytes moved over time).
+///
+/// Returns `None` when the bench buffer cannot be allocated on the
+/// node (it never falls back — a benchmark must measure what it says
+/// it measures).
+pub fn measure(
+    ctx: &mut BenchContext,
+    initiator: &Bitmap,
+    node: NodeId,
+    kernel: StreamKernel,
+) -> Option<f64> {
+    let bytes = ctx.buffer_bytes(node);
+    let region = ctx.mm().alloc(bytes, AllocPolicy::Bind(node)).ok()?;
+    let (r, w) = kernel.traffic();
+    let phase = Phase {
+        name: format!("stream-{}", kernel.name()),
+        accesses: vec![BufferAccess::new(region, bytes * r, bytes * w, AccessPattern::Sequential)],
+        threads: threads_of(initiator),
+        initiator: initiator.clone(),
+        compute_ns: 0.0,
+    };
+    let report = ctx.engine().run_phase(&ctx.mm, &phase);
+    ctx.mm().free(region);
+    let moved = (bytes * (r + w)) as f64;
+    Some(moved / (report.time_ns / 1e9) / (1024.0 * 1024.0))
+}
+
+/// Convenience: Triad bandwidth in MiB/s.
+pub fn triad_mbps(ctx: &mut BenchContext, initiator: &Bitmap, node: NodeId) -> Option<f64> {
+    measure(ctx, initiator, node, StreamKernel::Triad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetmem_memsim::Machine;
+    use std::sync::Arc;
+
+    fn ctx_xeon() -> BenchContext {
+        BenchContext::new(Arc::new(Machine::xeon_1lm_no_snc()))
+    }
+
+    #[test]
+    fn triad_matches_paper_scale_on_xeon() {
+        let mut ctx = ctx_xeon();
+        let cpus: Bitmap = "0-19".parse().unwrap();
+        let dram = triad_mbps(&mut ctx, &cpus, NodeId(0)).unwrap() / 1024.0;
+        let nv = triad_mbps(&mut ctx, &cpus, NodeId(2)).unwrap() / 1024.0;
+        assert!((70.0..80.0).contains(&dram), "DRAM triad {dram:.1} GiB/s");
+        assert!((25.0..38.0).contains(&nv), "NVDIMM triad {nv:.1} GiB/s");
+        assert!(dram > 2.0 * nv);
+    }
+
+    #[test]
+    fn read_exceeds_write_exceeds_triad_on_nvdimm() {
+        // Optane asymmetry: read ≫ write; triad mixes both.
+        let mut ctx = ctx_xeon();
+        let cpus: Bitmap = "0-19".parse().unwrap();
+        let read = measure(&mut ctx, &cpus, NodeId(2), StreamKernel::ReadOnly).unwrap();
+        let write = measure(&mut ctx, &cpus, NodeId(2), StreamKernel::WriteOnly).unwrap();
+        let triad = measure(&mut ctx, &cpus, NodeId(2), StreamKernel::Triad).unwrap();
+        assert!(read > write, "read {read:.0} vs write {write:.0}");
+        assert!(triad < read && triad > write);
+    }
+
+    #[test]
+    fn all_kernels_report_positive_bandwidth() {
+        let mut ctx = ctx_xeon();
+        let cpus: Bitmap = "0-19".parse().unwrap();
+        for k in [
+            StreamKernel::Copy,
+            StreamKernel::Scale,
+            StreamKernel::Add,
+            StreamKernel::Triad,
+            StreamKernel::ReadOnly,
+            StreamKernel::WriteOnly,
+        ] {
+            let v = measure(&mut ctx, &cpus, NodeId(0), k).unwrap();
+            assert!(v > 0.0, "{} must be positive", k.name());
+        }
+    }
+
+    #[test]
+    fn remote_bandwidth_is_lower() {
+        let mut ctx = ctx_xeon();
+        let pkg0: Bitmap = "0-19".parse().unwrap();
+        let local = triad_mbps(&mut ctx, &pkg0, NodeId(0)).unwrap();
+        let remote = triad_mbps(&mut ctx, &pkg0, NodeId(1)).unwrap();
+        assert!(remote < 0.6 * local, "remote triad {remote:.0} vs local {local:.0}");
+    }
+
+    #[test]
+    fn measurement_frees_its_buffer() {
+        let mut ctx = ctx_xeon();
+        let cpus: Bitmap = "0-19".parse().unwrap();
+        let before = ctx.mm.available(NodeId(0));
+        let _ = triad_mbps(&mut ctx, &cpus, NodeId(0)).unwrap();
+        assert_eq!(ctx.mm.available(NodeId(0)), before);
+    }
+
+    #[test]
+    fn unallocatable_node_returns_none() {
+        // MCDRAM on KNL can't hold the bench buffer if we fill it first.
+        let machine = Arc::new(Machine::knl_snc4_flat());
+        let mut ctx = BenchContext::new(machine);
+        let c0: Bitmap = "0-15".parse().unwrap();
+        let avail = ctx.mm.available(NodeId(4));
+        let hog = ctx.mm().alloc(avail, AllocPolicy::Bind(NodeId(4))).unwrap();
+        assert_eq!(triad_mbps(&mut ctx, &c0, NodeId(4)), None);
+        ctx.mm().free(hog);
+        assert!(triad_mbps(&mut ctx, &c0, NodeId(4)).is_some());
+    }
+}

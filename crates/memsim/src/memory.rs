@@ -1,0 +1,527 @@
+//! Capacity accounting, NUMA allocation policies and migration.
+//!
+//! Models the OS view of memory: every allocation becomes a *region*
+//! placed on one or more NUMA nodes at page granularity, under a policy
+//! mirroring Linux `set_mempolicy`/`mbind` semantics — including the
+//! quirk from the paper's footnote 21: the kernel's *preferred* policy
+//! only spills to nodes with a **higher index** than the preferred one,
+//! which is why "prefer MCDRAM, fall back to DRAM" is impossible on KNL
+//! (MCDRAM nodes are numbered last) and why the paper's allocator does
+//! its own explicit fallback instead.
+
+use crate::machine::Machine;
+use crate::PAGE_SIZE;
+use hetmem_topology::NodeId;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Handle to an allocated region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RegionId(pub u64);
+
+/// Allocation policies, mirroring Linux NUMA memory policies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AllocPolicy {
+    /// Strict binding: fail if the node cannot hold the whole region.
+    Bind(NodeId),
+    /// Linux `MPOL_PREFERRED`: fill the node, spill the rest — but only
+    /// onto nodes with a **higher OS index** (footnote 21 quirk).
+    Preferred(NodeId),
+    /// Explicit ordered fallback with partial spill, at page
+    /// granularity. This is the mechanism the paper's heterogeneous
+    /// allocator builds on top of the ranking.
+    PreferredMany(Vec<NodeId>),
+    /// Round-robin page interleave across the given nodes; nodes that
+    /// fill up drop out of the rotation.
+    Interleave(Vec<NodeId>),
+}
+
+/// Why an allocation failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AllocError {
+    /// Strict bind: the node lacks capacity.
+    InsufficientCapacity {
+        /// The node that could not hold the region.
+        node: NodeId,
+        /// Bytes requested.
+        requested: u64,
+        /// Bytes actually available.
+        available: u64,
+    },
+    /// No combination of permitted nodes can hold the region.
+    OutOfMemory {
+        /// Bytes requested.
+        requested: u64,
+        /// Bytes available across all permitted nodes.
+        available: u64,
+    },
+    /// A policy referenced a node that does not exist.
+    InvalidNode(NodeId),
+    /// A policy carried an empty node list.
+    EmptyNodeList,
+}
+
+impl std::fmt::Display for AllocError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AllocError::InsufficientCapacity { node, requested, available } => write!(
+                f,
+                "cannot bind {requested} bytes to {node}: only {available} available"
+            ),
+            AllocError::OutOfMemory { requested, available } => {
+                write!(f, "out of memory: {requested} requested, {available} available")
+            }
+            AllocError::InvalidNode(n) => write!(f, "unknown NUMA node {n}"),
+            AllocError::EmptyNodeList => write!(f, "policy with empty node list"),
+        }
+    }
+}
+
+impl std::error::Error for AllocError {}
+
+/// An allocated region: ordered per-node chunks covering `size` bytes.
+#[derive(Debug, Clone)]
+pub struct Region {
+    /// The region handle.
+    pub id: RegionId,
+    /// Requested size in bytes.
+    pub size: u64,
+    /// Ordered placement: virtual-address-ordered chunks and the node
+    /// backing each.
+    pub placement: Vec<(NodeId, u64)>,
+    /// The policy the region was allocated under.
+    pub policy: AllocPolicy,
+}
+
+impl Region {
+    /// Bytes of this region on `node`.
+    pub fn bytes_on(&self, node: NodeId) -> u64 {
+        self.placement.iter().filter(|(n, _)| *n == node).map(|(_, b)| b).sum()
+    }
+
+    /// True when the whole region lives on a single node.
+    pub fn single_node(&self) -> Option<NodeId> {
+        match self.placement.as_slice() {
+            [(n, _)] => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+/// Outcome of a migration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MigrationReport {
+    /// Bytes actually moved (bytes already on the target don't move).
+    pub bytes_moved: u64,
+    /// Modelled cost: per-page kernel overhead plus copy time.
+    pub cost_ns: f64,
+}
+
+/// The simulated OS memory manager for one machine.
+#[derive(Debug, Clone)]
+pub struct MemoryManager {
+    machine: Arc<Machine>,
+    free: BTreeMap<NodeId, u64>,
+    regions: BTreeMap<RegionId, Region>,
+    next_id: u64,
+}
+
+/// Per-page kernel overhead for `move_pages` (the paper cites [23]:
+/// migration "is quite expensive in operating systems").
+const MIGRATE_PAGE_OVERHEAD_NS: f64 = 1_200.0;
+
+impl MemoryManager {
+    /// Creates a manager with every node's usable capacity free.
+    pub fn new(machine: Arc<Machine>) -> Self {
+        let free = machine
+            .topology()
+            .node_ids()
+            .into_iter()
+            .map(|n| (n, machine.usable_capacity(n)))
+            .collect();
+        MemoryManager { machine, free, regions: BTreeMap::new(), next_id: 0 }
+    }
+
+    /// The machine this manager operates on.
+    pub fn machine(&self) -> &Arc<Machine> {
+        &self.machine
+    }
+
+    /// Free bytes on `node`.
+    pub fn available(&self, node: NodeId) -> u64 {
+        self.free.get(&node).copied().unwrap_or(0)
+    }
+
+    /// Used bytes on `node` (excluding the OS reservation).
+    pub fn used(&self, node: NodeId) -> u64 {
+        self.machine.usable_capacity(node) - self.available(node)
+    }
+
+    /// Looks up a live region.
+    pub fn region(&self, id: RegionId) -> Option<&Region> {
+        self.regions.get(&id)
+    }
+
+    /// All live regions.
+    pub fn regions(&self) -> impl Iterator<Item = &Region> {
+        self.regions.values()
+    }
+
+    /// Validates a policy node list and deduplicates it, preserving
+    /// order — Linux nodemasks are sets, and a repeated node must not
+    /// double-count its capacity.
+    fn check_nodes(&self, nodes: &[NodeId]) -> Result<Vec<NodeId>, AllocError> {
+        if nodes.is_empty() {
+            return Err(AllocError::EmptyNodeList);
+        }
+        let mut deduped = Vec::with_capacity(nodes.len());
+        for &n in nodes {
+            if !self.free.contains_key(&n) {
+                return Err(AllocError::InvalidNode(n));
+            }
+            if !deduped.contains(&n) {
+                deduped.push(n);
+            }
+        }
+        Ok(deduped)
+    }
+
+    /// Allocates `size` bytes under `policy`. Sizes are rounded up to
+    /// whole pages, like a real kernel.
+    pub fn alloc(&mut self, size: u64, policy: AllocPolicy) -> Result<RegionId, AllocError> {
+        let size = size.div_ceil(PAGE_SIZE) * PAGE_SIZE;
+        let placement = match &policy {
+            AllocPolicy::Bind(node) => {
+                let _ = self.check_nodes(std::slice::from_ref(node))?;
+                let avail = self.available(*node);
+                if avail < size {
+                    return Err(AllocError::InsufficientCapacity {
+                        node: *node,
+                        requested: size,
+                        available: avail,
+                    });
+                }
+                vec![(*node, size)]
+            }
+            AllocPolicy::Preferred(node) => {
+                let _ = self.check_nodes(std::slice::from_ref(node))?;
+                // Linux quirk: spill only to higher-index nodes.
+                let mut order = vec![*node];
+                order.extend(self.free.keys().copied().filter(|n| n.0 > node.0));
+                self.fill_in_order(size, &order)?
+            }
+            AllocPolicy::PreferredMany(order) => {
+                let order = self.check_nodes(order)?;
+                self.fill_in_order(size, &order)?
+            }
+            AllocPolicy::Interleave(nodes) => {
+                let nodes = self.check_nodes(nodes)?;
+                self.interleave(size, &nodes)?
+            }
+        };
+        for (node, bytes) in &placement {
+            *self.free.get_mut(node).expect("validated node") -= bytes;
+        }
+        let id = RegionId(self.next_id);
+        self.next_id += 1;
+        self.regions.insert(id, Region { id, size, placement, policy });
+        Ok(id)
+    }
+
+    fn fill_in_order(&self, size: u64, order: &[NodeId]) -> Result<Vec<(NodeId, u64)>, AllocError> {
+        let mut remaining = size;
+        let mut placement = Vec::new();
+        for &node in order {
+            if remaining == 0 {
+                break;
+            }
+            let take = self.available(node).min(remaining) / PAGE_SIZE * PAGE_SIZE;
+            if take > 0 {
+                placement.push((node, take));
+                remaining -= take;
+            }
+        }
+        if remaining > 0 {
+            let available: u64 = order.iter().map(|&n| self.available(n)).sum();
+            return Err(AllocError::OutOfMemory { requested: size, available });
+        }
+        Ok(placement)
+    }
+
+    fn interleave(&self, size: u64, nodes: &[NodeId]) -> Result<Vec<(NodeId, u64)>, AllocError> {
+        let pages = size / PAGE_SIZE;
+        let mut left: Vec<(NodeId, u64)> =
+            nodes.iter().map(|&n| (n, self.available(n) / PAGE_SIZE)).collect();
+        let mut counts: BTreeMap<NodeId, u64> = BTreeMap::new();
+        let mut placed = 0;
+        // Round-robin whole rounds at a time for efficiency.
+        while placed < pages {
+            left.retain(|(_, cap)| *cap > 0);
+            if left.is_empty() {
+                let available: u64 = nodes.iter().map(|&n| self.available(n)).sum();
+                return Err(AllocError::OutOfMemory { requested: size, available });
+            }
+            let min_cap = left.iter().map(|(_, c)| *c).min().expect("non-empty");
+            let per_node = ((pages - placed) / left.len() as u64).max(1).min(min_cap);
+            for (node, cap) in &mut left {
+                let take = per_node.min(pages - placed);
+                if take == 0 {
+                    break;
+                }
+                *counts.entry(*node).or_insert(0) += take;
+                *cap -= take;
+                placed += take;
+            }
+        }
+        Ok(counts.into_iter().map(|(n, p)| (n, p * PAGE_SIZE)).collect())
+    }
+
+    /// Frees a region, returning its capacity to the nodes.
+    pub fn free(&mut self, id: RegionId) -> bool {
+        match self.regions.remove(&id) {
+            Some(region) => {
+                for (node, bytes) in region.placement {
+                    *self.free.get_mut(&node).expect("placement node exists") += bytes;
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Migrates a region so it is entirely on `target` (strict), like
+    /// `migrate_pages`. Returns the modelled cost; fails without side
+    /// effects if the target can't take the extra bytes.
+    pub fn migrate(&mut self, id: RegionId, target: NodeId) -> Result<MigrationReport, AllocError> {
+        if !self.free.contains_key(&target) {
+            return Err(AllocError::InvalidNode(target));
+        }
+        let region = self.regions.get(&id).ok_or(AllocError::InvalidNode(target))?;
+        let already = region.bytes_on(target);
+        let to_move = region.size - already;
+        let avail = self.available(target);
+        if avail < to_move {
+            return Err(AllocError::InsufficientCapacity {
+                node: target,
+                requested: to_move,
+                available: avail,
+            });
+        }
+        // Cost: per-page kernel work plus the copy, limited by the
+        // slower of source-read and target-write bandwidth.
+        let mut cost_ns = 0.0;
+        let old_placement = region.placement.clone();
+        for (src, bytes) in &old_placement {
+            if *src == target {
+                continue;
+            }
+            let pages = bytes / PAGE_SIZE;
+            let src_bw = self.machine.timing(*src).peak_read_bw_mbps;
+            let dst_bw = self.machine.timing(target).peak_write_bw_mbps;
+            let copy_bw = src_bw.min(dst_bw);
+            cost_ns += pages as f64 * MIGRATE_PAGE_OVERHEAD_NS
+                + crate::ns_for_bytes(*bytes as f64, copy_bw);
+        }
+        // Apply: return old chunks, take from target.
+        for (src, bytes) in &old_placement {
+            *self.free.get_mut(src).expect("placement node") += bytes;
+        }
+        *self.free.get_mut(&target).expect("validated") -= region.size;
+        let region = self.regions.get_mut(&id).expect("checked above");
+        region.placement = vec![(target, region.size)];
+        Ok(MigrationReport { bytes_moved: to_move, cost_ns })
+    }
+
+    /// Sum of free bytes across all nodes.
+    pub fn total_available(&self) -> u64 {
+        self.free.values().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetmem_topology::GIB;
+
+    fn manager() -> MemoryManager {
+        MemoryManager::new(Arc::new(Machine::knl_snc4_flat()))
+    }
+
+    #[test]
+    fn bind_respects_capacity() {
+        let mut mm = manager();
+        // MCDRAM node 4 has ~3.8 GiB usable.
+        let id = mm.alloc(3 * GIB, AllocPolicy::Bind(NodeId(4))).unwrap();
+        assert_eq!(mm.region(id).unwrap().single_node(), Some(NodeId(4)));
+        let err = mm.alloc(2 * GIB, AllocPolicy::Bind(NodeId(4))).unwrap_err();
+        assert!(matches!(err, AllocError::InsufficientCapacity { node: NodeId(4), .. }));
+        // Free and retry.
+        assert!(mm.free(id));
+        assert!(mm.alloc(2 * GIB, AllocPolicy::Bind(NodeId(4))).is_ok());
+    }
+
+    #[test]
+    fn size_rounds_to_pages() {
+        let mut mm = manager();
+        let before = mm.available(NodeId(0));
+        let id = mm.alloc(1, AllocPolicy::Bind(NodeId(0))).unwrap();
+        assert_eq!(before - mm.available(NodeId(0)), PAGE_SIZE);
+        assert_eq!(mm.region(id).unwrap().size, PAGE_SIZE);
+    }
+
+    #[test]
+    fn preferred_spills_only_to_higher_indexes() {
+        let mut mm = manager();
+        // Fill DRAM node 0 almost completely.
+        let avail0 = mm.available(NodeId(0));
+        mm.alloc(avail0 - GIB, AllocPolicy::Bind(NodeId(0))).unwrap();
+        // Preferred(0) for 3 GiB: 1 GiB on node 0, spill to node 1.
+        let id = mm.alloc(3 * GIB, AllocPolicy::Preferred(NodeId(0))).unwrap();
+        let r = mm.region(id).unwrap();
+        assert_eq!(r.bytes_on(NodeId(0)), GIB);
+        assert_eq!(r.bytes_on(NodeId(1)), 2 * GIB);
+    }
+
+    #[test]
+    fn preferred_mcdram_cannot_fall_back_to_dram() {
+        // Footnote 21: MCDRAM is node 7 (highest index), so Preferred
+        // can only spill to... nothing on this machine.
+        let mut mm = manager();
+        let avail = mm.available(NodeId(7));
+        let err = mm.alloc(avail + GIB, AllocPolicy::Preferred(NodeId(7))).unwrap_err();
+        assert!(matches!(err, AllocError::OutOfMemory { .. }));
+        // Whereas the explicit ordered fallback handles it fine.
+        let id = mm
+            .alloc(avail + GIB, AllocPolicy::PreferredMany(vec![NodeId(7), NodeId(3)]))
+            .unwrap();
+        let r = mm.region(id).unwrap();
+        assert_eq!(r.bytes_on(NodeId(7)), avail);
+        assert_eq!(r.bytes_on(NodeId(3)), GIB);
+    }
+
+    #[test]
+    fn interleave_spreads_pages() {
+        let mut mm = manager();
+        let nodes = vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)];
+        let id = mm.alloc(4 * GIB, AllocPolicy::Interleave(nodes.clone())).unwrap();
+        let r = mm.region(id).unwrap();
+        for n in nodes {
+            assert_eq!(r.bytes_on(n), GIB);
+        }
+    }
+
+    #[test]
+    fn interleave_drops_full_nodes() {
+        let mut mm = manager();
+        // Nearly fill MCDRAM node 4.
+        let avail4 = mm.available(NodeId(4));
+        mm.alloc(avail4 - GIB, AllocPolicy::Bind(NodeId(4))).unwrap();
+        let id = mm
+            .alloc(6 * GIB, AllocPolicy::Interleave(vec![NodeId(4), NodeId(0)]))
+            .unwrap();
+        let r = mm.region(id).unwrap();
+        assert_eq!(r.bytes_on(NodeId(4)), GIB);
+        assert_eq!(r.bytes_on(NodeId(0)), 5 * GIB);
+    }
+
+    #[test]
+    fn interleave_oom_when_all_full() {
+        let mut mm = manager();
+        let a4 = mm.available(NodeId(4));
+        let a5 = mm.available(NodeId(5));
+        let err = mm
+            .alloc(a4 + a5 + GIB, AllocPolicy::Interleave(vec![NodeId(4), NodeId(5)]))
+            .unwrap_err();
+        assert!(matches!(err, AllocError::OutOfMemory { .. }));
+    }
+
+    #[test]
+    fn failed_alloc_has_no_side_effects() {
+        let mut mm = manager();
+        let snapshot: Vec<u64> =
+            mm.machine.topology().node_ids().iter().map(|&n| mm.available(n)).collect();
+        let _ = mm.alloc(10_000 * GIB, AllocPolicy::PreferredMany(vec![NodeId(0)])).unwrap_err();
+        let after: Vec<u64> =
+            mm.machine.topology().node_ids().iter().map(|&n| mm.available(n)).collect();
+        assert_eq!(snapshot, after);
+    }
+
+    #[test]
+    fn migration_moves_and_costs() {
+        let mut mm = manager();
+        let id = mm.alloc(2 * GIB, AllocPolicy::Bind(NodeId(0))).unwrap();
+        let before0 = mm.available(NodeId(0));
+        let report = mm.migrate(id, NodeId(4)).unwrap();
+        assert_eq!(report.bytes_moved, 2 * GIB);
+        assert!(report.cost_ns > 0.0);
+        assert_eq!(mm.available(NodeId(0)), before0 + 2 * GIB);
+        assert_eq!(mm.region(id).unwrap().single_node(), Some(NodeId(4)));
+        // Page overhead dominates: ≥ pages × overhead.
+        let pages = (2 * GIB / PAGE_SIZE) as f64;
+        assert!(report.cost_ns >= pages * 1_200.0);
+    }
+
+    #[test]
+    fn migration_to_full_node_fails_cleanly() {
+        let mut mm = manager();
+        let big = mm.alloc(10 * GIB, AllocPolicy::Bind(NodeId(0))).unwrap();
+        let err = mm.migrate(big, NodeId(4)).unwrap_err();
+        assert!(matches!(err, AllocError::InsufficientCapacity { node: NodeId(4), .. }));
+        // Region untouched.
+        assert_eq!(mm.region(big).unwrap().single_node(), Some(NodeId(0)));
+    }
+
+    #[test]
+    fn migrate_noop_when_already_there() {
+        let mut mm = manager();
+        let id = mm.alloc(GIB, AllocPolicy::Bind(NodeId(0))).unwrap();
+        let report = mm.migrate(id, NodeId(0)).unwrap();
+        assert_eq!(report.bytes_moved, 0);
+    }
+
+    #[test]
+    fn double_free_returns_false() {
+        let mut mm = manager();
+        let id = mm.alloc(GIB, AllocPolicy::Bind(NodeId(0))).unwrap();
+        assert!(mm.free(id));
+        assert!(!mm.free(id));
+    }
+
+    #[test]
+    fn duplicate_nodes_in_policy_count_once() {
+        // Regression: PreferredMany(vec![n, n]) must not double-count
+        // the node's capacity (caught by the workspace proptests).
+        let mut mm = manager();
+        let avail = mm.available(NodeId(4));
+        let err = mm
+            .alloc(avail * 2, AllocPolicy::PreferredMany(vec![NodeId(4), NodeId(4)]))
+            .unwrap_err();
+        assert!(matches!(err, AllocError::OutOfMemory { .. }));
+        let id = mm
+            .alloc(avail, AllocPolicy::PreferredMany(vec![NodeId(4), NodeId(4)]))
+            .unwrap();
+        assert_eq!(mm.region(id).unwrap().bytes_on(NodeId(4)), avail);
+        assert_eq!(mm.available(NodeId(4)), 0);
+        // Interleave with duplicates likewise counts once.
+        mm.free(id);
+        let id = mm
+            .alloc(GIB, AllocPolicy::Interleave(vec![NodeId(0), NodeId(0), NodeId(1)]))
+            .unwrap();
+        let r = mm.region(id).unwrap();
+        assert_eq!(r.bytes_on(NodeId(0)), GIB / 2);
+        assert_eq!(r.bytes_on(NodeId(1)), GIB / 2);
+    }
+
+    #[test]
+    fn invalid_node_rejected() {
+        let mut mm = manager();
+        assert!(matches!(
+            mm.alloc(GIB, AllocPolicy::Bind(NodeId(99))),
+            Err(AllocError::InvalidNode(NodeId(99)))
+        ));
+        assert!(matches!(
+            mm.alloc(GIB, AllocPolicy::PreferredMany(vec![])),
+            Err(AllocError::EmptyNodeList)
+        ));
+    }
+}

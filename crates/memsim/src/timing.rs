@@ -1,0 +1,345 @@
+//! Per-node hardware timing parameters.
+
+/// Timing model of one NUMA node's memory device(s).
+///
+/// Two families of values coexist deliberately:
+///
+/// * the **datasheet** values (`hmat_latency_ns`, `hmat_bandwidth_mbps`)
+///   that firmware would advertise in the ACPI HMAT — e.g. 26 ns /
+///   131072 MB/s for local DRAM in the paper's Fig. 5;
+/// * the **behavioural** values (everything else) that drive the
+///   simulation — e.g. the ~81 ns idle / ~285 ns loaded latency and
+///   ~75 GB/s triad the paper quotes from benchmarking (§IV-A2,
+///   van Renen et al. for NVDIMMs).
+///
+/// The gap between the two is a point the paper makes: HMAT values are
+/// theoretical, benchmarks measure reality, but *both are sufficient to
+/// rank memories*.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeTiming {
+    /// Unloaded read latency in ns.
+    pub idle_read_lat_ns: f64,
+    /// Unloaded write latency in ns.
+    pub idle_write_lat_ns: f64,
+    /// Latency multiplier when the device is fully utilized; effective
+    /// latency interpolates linearly with utilization.
+    pub loaded_lat_factor: f64,
+    /// Peak read bandwidth in MiB/s, all threads combined.
+    pub peak_read_bw_mbps: f64,
+    /// Peak write bandwidth in MiB/s.
+    pub peak_write_bw_mbps: f64,
+    /// Bandwidth one thread can extract, MiB/s (limits small runs).
+    pub per_thread_bw_mbps: f64,
+    /// Optane AIT-cache coverage: when a phase's footprint on this node
+    /// exceeds this many bytes, bandwidth degrades. `None` for DRAM/HBM.
+    pub ait_window_bytes: Option<u64>,
+    /// Bandwidth multiplier applied beyond the AIT window (0 < f ≤ 1).
+    pub ait_degraded_factor: f64,
+    /// Extra latency per access paid by the fraction of the footprint
+    /// outside the AIT window (on-DIMM address-indirection cache
+    /// misses), ns.
+    pub ait_extra_lat_ns: f64,
+    /// Datasheet access latency for the HMAT, ns.
+    pub hmat_latency_ns: u32,
+    /// Datasheet access bandwidth for the HMAT, MB/s.
+    pub hmat_bandwidth_mbps: u32,
+}
+
+impl NodeTiming {
+    /// Calibrated Xeon Cascade Lake DDR4-2933 (one socket, 6 channels).
+    ///
+    /// Datasheet 26 ns / 131072 MB/s per SNC half (Fig. 5); measured
+    /// idle ≈ 81 ns, loaded ≈ 285 ns, triad ≈ 75 GB/s (§VI).
+    pub fn xeon_dram() -> Self {
+        NodeTiming {
+            idle_read_lat_ns: 81.0,
+            idle_write_lat_ns: 86.0,
+            loaded_lat_factor: 285.0 / 81.0,
+            peak_read_bw_mbps: 104_857.0, // 100 GiB/s
+            peak_write_bw_mbps: 52_428.0, // 50 GiB/s
+            per_thread_bw_mbps: 12_288.0, // 12 GiB/s
+            ait_window_bytes: None,
+            ait_degraded_factor: 1.0,
+            ait_extra_lat_ns: 0.0,
+            hmat_latency_ns: 26,
+            hmat_bandwidth_mbps: 131_072,
+        }
+    }
+
+    /// Calibrated Optane DC NVDIMM (one socket, 6 DIMMs, App Direct /
+    /// 1LM). Measured ≈ 305 ns idle, 860 ns loaded (van Renen et al.,
+    /// cited in §IV-A2); bandwidth collapses once the footprint
+    /// outgrows the on-DIMM AIT cache coverage.
+    pub fn xeon_nvdimm() -> Self {
+        NodeTiming {
+            idle_read_lat_ns: 305.0,
+            idle_write_lat_ns: 94.0, // writes buffer in the controller
+            loaded_lat_factor: 860.0 / 305.0,
+            peak_read_bw_mbps: 46_080.0, // 45 GiB/s
+            peak_write_bw_mbps: 21_504.0, // 21 GiB/s
+            per_thread_bw_mbps: 6_144.0,
+            ait_window_bytes: Some(28 * 1024 * 1024 * 1024), // ~28 GiB
+            ait_degraded_factor: 0.31,
+            ait_extra_lat_ns: 1400.0,
+            hmat_latency_ns: 77,
+            hmat_bandwidth_mbps: 78_644,
+        }
+    }
+
+    /// Calibrated KNL DDR4 (per SNC-4 cluster: 1/4 of ~90 GB/s).
+    pub fn knl_dram() -> Self {
+        NodeTiming {
+            idle_read_lat_ns: 130.0,
+            idle_write_lat_ns: 135.0,
+            loaded_lat_factor: 1.8,
+            peak_read_bw_mbps: 40_960.0, // 40 GiB/s per cluster
+            peak_write_bw_mbps: 20_480.0,
+            per_thread_bw_mbps: 4_096.0, // KNL cores are weak
+            ait_window_bytes: None,
+            ait_degraded_factor: 1.0,
+            ait_extra_lat_ns: 0.0,
+            hmat_latency_ns: 130,
+            hmat_bandwidth_mbps: 23_040,
+        }
+    }
+
+    /// Calibrated KNL MCDRAM (per SNC-4 cluster: 1/4 of ~350 GB/s).
+    /// Slightly *worse* idle latency than DRAM — the paper notes the
+    /// latencies are similar and that HBM wins on bandwidth only.
+    pub fn knl_mcdram() -> Self {
+        NodeTiming {
+            idle_read_lat_ns: 140.0,
+            idle_write_lat_ns: 145.0,
+            loaded_lat_factor: 1.5,
+            peak_read_bw_mbps: 122_880.0, // 120 GiB/s per cluster
+            peak_write_bw_mbps: 61_440.0,
+            per_thread_bw_mbps: 8_192.0,
+            ait_window_bytes: None,
+            ait_degraded_factor: 1.0,
+            ait_extra_lat_ns: 0.0,
+            hmat_latency_ns: 135,
+            hmat_bandwidth_mbps: 89_600,
+        }
+    }
+
+    /// Generic HBM2 stack (per stack).
+    pub fn hbm2() -> Self {
+        NodeTiming {
+            idle_read_lat_ns: 110.0,
+            idle_write_lat_ns: 115.0,
+            loaded_lat_factor: 1.6,
+            peak_read_bw_mbps: 262_144.0, // 256 GiB/s
+            peak_write_bw_mbps: 131_072.0,
+            per_thread_bw_mbps: 16_384.0,
+            ait_window_bytes: None,
+            ait_degraded_factor: 1.0,
+            ait_extra_lat_ns: 0.0,
+            // Datasheet latency close to DRAM's (Eq. 2: DRAM ≈ HBM),
+            // well below NVDIMM's 77 ns.
+            hmat_latency_ns: 30,
+            hmat_bandwidth_mbps: 512_000,
+        }
+    }
+
+    /// Network-attached memory: very high capacity, high latency,
+    /// modest bandwidth (§II-C).
+    pub fn network_attached() -> Self {
+        NodeTiming {
+            idle_read_lat_ns: 1_500.0,
+            idle_write_lat_ns: 1_500.0,
+            loaded_lat_factor: 2.0,
+            peak_read_bw_mbps: 12_288.0,
+            peak_write_bw_mbps: 12_288.0,
+            per_thread_bw_mbps: 4_096.0,
+            ait_window_bytes: None,
+            ait_degraded_factor: 1.0,
+            ait_extra_lat_ns: 0.0,
+            hmat_latency_ns: 1_200,
+            hmat_bandwidth_mbps: 12_288,
+        }
+    }
+
+    /// GPU memory accessed from host cores over NVLink (§II-C).
+    pub fn gpu_over_nvlink() -> Self {
+        NodeTiming {
+            idle_read_lat_ns: 600.0,
+            idle_write_lat_ns: 600.0,
+            loaded_lat_factor: 1.8,
+            peak_read_bw_mbps: 61_440.0,
+            peak_write_bw_mbps: 61_440.0,
+            per_thread_bw_mbps: 8_192.0,
+            ait_window_bytes: None,
+            ait_degraded_factor: 1.0,
+            ait_extra_lat_ns: 0.0,
+            hmat_latency_ns: 500,
+            hmat_bandwidth_mbps: 61_440,
+        }
+    }
+
+    /// Effective read bandwidth for a phase: capped by thread count and
+    /// degraded beyond the AIT window.
+    pub fn effective_read_bw(&self, threads: usize, footprint_on_node: u64) -> f64 {
+        self.effective_bw(self.peak_read_bw_mbps, threads, footprint_on_node)
+    }
+
+    /// Effective write bandwidth for a phase.
+    pub fn effective_write_bw(&self, threads: usize, footprint_on_node: u64) -> f64 {
+        self.effective_bw(self.peak_write_bw_mbps, threads, footprint_on_node)
+    }
+
+    fn effective_bw(&self, peak: f64, threads: usize, footprint: u64) -> f64 {
+        let mut bw = peak.min(threads as f64 * self.per_thread_bw_mbps);
+        if let Some(window) = self.ait_window_bytes {
+            if footprint > window {
+                // Transition to a degraded floor: once the footprint is
+                // 2x the AIT coverage, nearly every access misses the
+                // indirection cache and the device runs at its floor
+                // rate (measured Optane behaviour: Table IIIa's 10.49
+                // at 89 GiB barely drops further at 223 GiB).
+                let t = ((footprint - window) as f64 / window as f64).min(1.0);
+                bw *= 1.0 - t * (1.0 - self.ait_degraded_factor);
+            }
+        }
+        bw
+    }
+
+    /// Read latency at a given utilization (0..=1).
+    pub fn read_latency_at(&self, utilization: f64) -> f64 {
+        let u = utilization.clamp(0.0, 1.0);
+        self.idle_read_lat_ns * (1.0 + (self.loaded_lat_factor - 1.0) * u)
+    }
+
+    /// Write latency at a given utilization (0..=1).
+    pub fn write_latency_at(&self, utilization: f64) -> f64 {
+        let u = utilization.clamp(0.0, 1.0);
+        self.idle_write_lat_ns * (1.0 + (self.loaded_lat_factor - 1.0) * u)
+    }
+
+    /// Extra average latency from AIT-cache misses for a footprint on
+    /// this node: the uncovered fraction of accesses pays
+    /// `ait_extra_lat_ns`.
+    pub fn ait_latency_penalty(&self, footprint: u64) -> f64 {
+        match self.ait_window_bytes {
+            Some(window) if footprint > window => {
+                let t = ((footprint - window) as f64 / window as f64).min(1.0);
+                t * self.ait_extra_lat_ns
+            }
+            _ => 0.0,
+        }
+    }
+}
+
+/// Timing of a memory-side cache (KNL Cache mode, Xeon 2LM): the cache
+/// device is itself an MCDRAM/DRAM with its own bandwidth and latency.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemSideCacheTiming {
+    /// Cache capacity in bytes.
+    pub capacity: u64,
+    /// Bandwidth served on hits, MiB/s.
+    pub hit_bw_mbps: f64,
+    /// Latency on hits, ns.
+    pub hit_lat_ns: f64,
+    /// Extra latency on misses (tag check + fill), ns.
+    pub miss_penalty_ns: f64,
+}
+
+impl MemSideCacheTiming {
+    /// KNL Cache mode: 16 GB MCDRAM in front of DRAM.
+    pub fn knl_cache_mode() -> Self {
+        MemSideCacheTiming {
+            capacity: 16 * 1024 * 1024 * 1024,
+            hit_bw_mbps: 350_000.0,
+            hit_lat_ns: 140.0,
+            miss_penalty_ns: 60.0,
+        }
+    }
+
+    /// Xeon 2LM: 192 GB DRAM in front of NVDIMMs (per socket).
+    pub fn xeon_2lm() -> Self {
+        MemSideCacheTiming {
+            capacity: 192 * 1024 * 1024 * 1024,
+            hit_bw_mbps: 104_857.0,
+            hit_lat_ns: 85.0,
+            miss_penalty_ns: 40.0,
+        }
+    }
+
+    /// Hit ratio for a working set: direct-mapped-ish capacity model —
+    /// full hits while the footprint fits, proportional beyond.
+    pub fn hit_ratio(&self, footprint: u64) -> f64 {
+        if footprint == 0 {
+            return 1.0;
+        }
+        (self.capacity as f64 / footprint as f64).min(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_cap_limits_bandwidth() {
+        let t = NodeTiming::xeon_dram();
+        let one = t.effective_read_bw(1, 0);
+        let twenty = t.effective_read_bw(20, 0);
+        assert_eq!(one, t.per_thread_bw_mbps);
+        assert_eq!(twenty, t.peak_read_bw_mbps);
+        assert!(twenty > one);
+    }
+
+    #[test]
+    fn ait_window_degrades_bandwidth() {
+        let t = NodeTiming::xeon_nvdimm();
+        let small = t.effective_read_bw(20, 8 << 30);
+        let large = t.effective_read_bw(20, 200 << 30);
+        assert_eq!(small, t.peak_read_bw_mbps);
+        assert!(large < small * 0.45, "large-footprint bw {large} should collapse vs {small}");
+        // Transition region is monotone; beyond ~2x the window the
+        // degraded floor is flat.
+        let mid = t.effective_read_bw(20, 40 << 30);
+        assert!(large < mid && mid < small);
+        let very_large = t.effective_read_bw(20, 400 << 30);
+        assert!((very_large - large).abs() < 1e-9, "floor should be flat");
+    }
+
+    #[test]
+    fn dram_has_no_ait_effect() {
+        let t = NodeTiming::xeon_dram();
+        assert_eq!(t.effective_read_bw(20, 1 << 40), t.peak_read_bw_mbps);
+    }
+
+    #[test]
+    fn loaded_latency_interpolates() {
+        let t = NodeTiming::xeon_dram();
+        assert!((t.read_latency_at(0.0) - 81.0).abs() < 1e-9);
+        assert!((t.read_latency_at(1.0) - 285.0).abs() < 1e-6);
+        let half = t.read_latency_at(0.5);
+        assert!(half > 81.0 && half < 285.0);
+        // Clamped outside [0,1].
+        assert_eq!(t.read_latency_at(7.0), t.read_latency_at(1.0));
+    }
+
+    #[test]
+    fn paper_orderings_hold() {
+        // Eq. 1: HBM > DRAM > NVDIMM by bandwidth.
+        assert!(NodeTiming::knl_mcdram().peak_read_bw_mbps > NodeTiming::knl_dram().peak_read_bw_mbps);
+        assert!(NodeTiming::xeon_dram().peak_read_bw_mbps > NodeTiming::xeon_nvdimm().peak_read_bw_mbps);
+        // Eq. 2: DRAM ≈ HBM ≪ NVDIMM by latency.
+        let knl_gap = (NodeTiming::knl_mcdram().idle_read_lat_ns
+            - NodeTiming::knl_dram().idle_read_lat_ns)
+            .abs();
+        assert!(knl_gap < 20.0);
+        assert!(NodeTiming::xeon_nvdimm().idle_read_lat_ns > 2.0 * NodeTiming::xeon_dram().idle_read_lat_ns);
+    }
+
+    #[test]
+    fn cache_hit_ratio_model() {
+        let c = MemSideCacheTiming::knl_cache_mode();
+        assert_eq!(c.hit_ratio(0), 1.0);
+        assert_eq!(c.hit_ratio(8 << 30), 1.0);
+        let r = c.hit_ratio(32 << 30);
+        assert!((r - 0.5).abs() < 1e-9);
+        assert!(c.hit_ratio(64 << 30) < r);
+    }
+}

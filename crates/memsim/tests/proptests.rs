@@ -1,0 +1,162 @@
+//! Property tests for the simulator: engine monotonicity laws, cache
+//! and AIT model sanity, migration conservation.
+
+use hetmem_memsim::{
+    AccessEngine, AccessPattern, AllocPolicy, BufferAccess, Machine, MemoryManager, NodeTiming,
+    Phase,
+};
+use hetmem_topology::NodeId;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+const GIB: u64 = 1 << 30;
+
+fn xeon() -> (AccessEngine, MemoryManager) {
+    let machine = Arc::new(Machine::xeon_1lm_no_snc());
+    (AccessEngine::new(machine.clone()), MemoryManager::new(machine))
+}
+
+fn pattern(sel: u8) -> AccessPattern {
+    match sel % 4 {
+        0 => AccessPattern::Sequential,
+        1 => AccessPattern::Strided,
+        2 => AccessPattern::Random,
+        _ => AccessPattern::PointerChase,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// More threads never slow a phase down (bandwidth caps lift,
+    /// latency chains divide).
+    #[test]
+    fn more_threads_never_slower(mib in 64u64..2048, sel in 0u8..4, t1 in 1usize..19) {
+        let (engine, mut mm) = xeon();
+        let r = mm.alloc(4 * GIB, AllocPolicy::Bind(NodeId(0))).expect("fits");
+        let mk = |threads| Phase {
+            name: "p".into(),
+            accesses: vec![BufferAccess::new(r, mib << 20, 0, pattern(sel))],
+            threads,
+            initiator: "0-19".parse().expect("cpuset"),
+            compute_ns: 0.0,
+        };
+        let slow = engine.run_phase(&mm, &mk(t1)).time_ns;
+        let fast = engine.run_phase(&mm, &mk(t1 + 1)).time_ns;
+        prop_assert!(fast <= slow * 1.0001, "t={t1}: {slow} -> t={}: {fast}", t1 + 1);
+    }
+
+    /// Miss ratios are probabilities and monotone in working-set size.
+    #[test]
+    fn miss_ratio_laws(ws1 in 1u64..1 << 40, ws2 in 1u64..1 << 40, llc in 1u64..1 << 30, sel in 0u8..4) {
+        let p = pattern(sel);
+        let m1 = p.llc_miss_ratio(ws1, llc);
+        let m2 = p.llc_miss_ratio(ws2, llc);
+        prop_assert!((0.0..=1.0).contains(&m1));
+        prop_assert!((0.0..=1.0).contains(&m2));
+        if ws1 <= ws2 {
+            prop_assert!(m1 <= m2 + 1e-12, "miss ratio not monotone: ws {ws1}->{ws2}: {m1}->{m2}");
+        }
+    }
+
+    /// Effective bandwidth is monotone in thread count, bounded by the
+    /// peak, and AIT degradation never increases it.
+    #[test]
+    fn effective_bw_laws(threads in 1usize..64, fp1 in 0u64..1 << 41, fp2 in 0u64..1 << 41) {
+        let t = NodeTiming::xeon_nvdimm();
+        let b1 = t.effective_read_bw(threads, fp1);
+        let b2 = t.effective_read_bw(threads + 1, fp1);
+        prop_assert!(b2 >= b1);
+        prop_assert!(b1 <= t.peak_read_bw_mbps);
+        if fp1 <= fp2 {
+            prop_assert!(
+                t.effective_read_bw(threads, fp2) <= t.effective_read_bw(threads, fp1) + 1e-9
+            );
+        }
+        // Latency penalty likewise monotone and bounded.
+        let l1 = t.ait_latency_penalty(fp1);
+        prop_assert!((0.0..=t.ait_extra_lat_ns).contains(&l1));
+        if fp1 <= fp2 {
+            prop_assert!(t.ait_latency_penalty(fp2) >= l1);
+        }
+    }
+
+    /// Loaded latency interpolates monotonically with utilization.
+    #[test]
+    fn loaded_latency_monotone(u1 in 0.0f64..1.0, u2 in 0.0f64..1.0) {
+        let t = NodeTiming::xeon_dram();
+        if u1 <= u2 {
+            prop_assert!(t.read_latency_at(u1) <= t.read_latency_at(u2));
+        }
+        prop_assert!(t.read_latency_at(u1) >= t.idle_read_lat_ns);
+    }
+
+    /// Migration conserves bytes: after migrate, the region is whole
+    /// on the target and every pool balances.
+    #[test]
+    fn migration_conserves(mib in 1u64..4096, to_sel in 0u8..4) {
+        let machine = Arc::new(Machine::knl_snc4_flat());
+        let mut mm = MemoryManager::new(machine.clone());
+        let initial: Vec<u64> =
+            machine.topology().node_ids().iter().map(|&n| mm.available(n)).collect();
+        let id = mm.alloc(mib << 20, AllocPolicy::Bind(NodeId(0))).expect("fits");
+        let target = NodeId([0u32, 1, 2, 4][to_sel as usize % 4]);
+        if let Ok(report) = mm.migrate(id, target) {
+            let r = mm.region(id).expect("live");
+            prop_assert_eq!(r.single_node(), Some(target));
+            prop_assert!(report.bytes_moved <= r.size);
+        }
+        mm.free(id);
+        let after: Vec<u64> =
+            machine.topology().node_ids().iter().map(|&n| mm.available(n)).collect();
+        prop_assert_eq!(initial, after);
+    }
+
+    /// Phase reports are internally consistent: per-node bytes sum to
+    /// the post-LLC traffic, utilization ≤ 1, achieved bw ≥ 0.
+    #[test]
+    fn phase_report_consistency(
+        mib_r in 1u64..4096,
+        mib_w in 0u64..4096,
+        sel in 0u8..4,
+        threads in 1usize..20,
+    ) {
+        let (engine, mut mm) = xeon();
+        let r = mm.alloc(2 * GIB, AllocPolicy::Bind(NodeId(2))).expect("fits");
+        let phase = Phase {
+            name: "p".into(),
+            accesses: vec![BufferAccess::new(r, mib_r << 20, mib_w << 20, pattern(sel))],
+            threads,
+            initiator: "0-19".parse().expect("cpuset"),
+            compute_ns: 0.0,
+        };
+        let rep = engine.run_phase(&mm, &phase);
+        prop_assert!(rep.time_ns.is_finite() && rep.time_ns > 0.0);
+        for traffic in rep.per_node.values() {
+            prop_assert!((0.0..=1.0).contains(&traffic.utilization));
+            prop_assert!(traffic.achieved_bw_mbps >= 0.0);
+            prop_assert!(traffic.busy_ns >= 0.0);
+        }
+        let b = &rep.buffers[0];
+        prop_assert!(b.llc_misses <= b.loads);
+        prop_assert!((0.0..=1.0).contains(&b.llc_miss_ratio));
+        prop_assert!(b.stall_ns >= 0.0);
+    }
+
+    /// Interleave splits pages near-evenly when nodes have room.
+    #[test]
+    fn interleave_is_even(mib in 2u64..2048) {
+        let machine = Arc::new(Machine::knl_snc4_flat());
+        let mut mm = MemoryManager::new(machine);
+        let nodes = vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)];
+        let id = mm.alloc(mib << 20, AllocPolicy::Interleave(nodes.clone())).expect("fits");
+        let r = mm.region(id).expect("live");
+        let per: Vec<u64> = nodes.iter().map(|&n| r.bytes_on(n)).collect();
+        let max = *per.iter().max().expect("nonempty");
+        let min = *per.iter().min().expect("nonempty");
+        // Within one round-robin stripe of each other.
+        prop_assert!(max - min <= hetmem_memsim::PAGE_SIZE * (mib / 4 + 1),
+            "uneven interleave: {per:?}");
+        prop_assert_eq!(per.iter().sum::<u64>(), r.size);
+    }
+}

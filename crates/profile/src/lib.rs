@@ -1,0 +1,635 @@
+//! A VTune-style memory-access profiler for the simulator.
+//!
+//! §VI-B of the paper uses the Intel VTune Profiler's *Memory Access*
+//! analysis to decide buffer sensitivity: the execution **summary**
+//! (Table IV) says whether the application is DRAM-bound /
+//! PMem-bound (latency) or bandwidth-bound, and the **per-object
+//! view** (Fig. 7) ranks buffers by LLC misses and shows where they
+//! were allocated. "We believe similar results could be obtained with
+//! many other profiling tools" — this crate is that other tool.
+//!
+//! It consumes the deterministic [`PhaseReport`]s the simulator
+//! produces and computes:
+//!
+//! * per-memory-kind **Bound %clockticks** — the share of execution
+//!   time cores spend stalled on that kind of memory (latency stalls
+//!   plus a calibrated share of bandwidth-saturated phases, matching
+//!   VTune's cycles-with-pending-loads semantics);
+//! * per-kind **Bandwidth Bound %elapsed** — the share of time during
+//!   which that kind's achieved bandwidth exceeds a high-water
+//!   threshold derived from the *platform's* fastest memory (this is
+//!   why the paper's Table IV shows STREAM-on-NVDIMM as *not*
+//!   bandwidth-bound: 10 GB/s is far below the platform's DRAM-class
+//!   thresholds even though it saturates the device);
+//! * the per-object table of Fig. 7 (loads, stores, LLC misses,
+//!   average latency, allocation site), sorted by LLC misses;
+//! * a sensitivity classification per run and per buffer, the input
+//!   the paper feeds back into its heterogeneous allocator.
+
+
+#![warn(missing_docs)]
+use hetmem_memsim::{Machine, PhaseReport, RegionId};
+use hetmem_topology::{MemoryKind, NodeId};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// A tracked memory object: a region plus its allocation site, like
+/// VTune's "memory objects" (`xmalloc at bfs.rs:31`).
+#[derive(Debug, Clone)]
+pub struct MemoryObject {
+    /// The simulator region.
+    pub region: RegionId,
+    /// Allocation-site label shown in reports.
+    pub site: String,
+    /// Object size in bytes.
+    pub size: u64,
+    /// Placement snapshot taken at tracking time (objects may be freed
+    /// before the report is rendered).
+    pub placement: Vec<(NodeId, u64)>,
+}
+
+/// What a run (or a buffer) is most sensitive to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sensitivity {
+    /// Dominated by memory latency (graph traversal, pointer chasing).
+    Latency,
+    /// Dominated by memory bandwidth (streaming kernels).
+    Bandwidth,
+    /// Not memory-bound.
+    Compute,
+}
+
+impl std::fmt::Display for Sensitivity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Sensitivity::Latency => write!(f, "latency"),
+            Sensitivity::Bandwidth => write!(f, "bandwidth"),
+            Sensitivity::Compute => write!(f, "compute"),
+        }
+    }
+}
+
+/// The Table IV-style execution summary.
+#[derive(Debug, Clone)]
+pub struct BoundnessSummary {
+    /// Total profiled time, ns.
+    pub total_ns: f64,
+    /// Per-kind Bound %clockticks (VTune's "DRAM Bound", "Persistent
+    /// Memory Bound").
+    pub bound_pct: BTreeMap<MemoryKind, f64>,
+    /// Per-kind Bandwidth Bound %elapsed.
+    pub bw_bound_pct: BTreeMap<MemoryKind, f64>,
+    /// Indicators VTune would flag (metric names above threshold).
+    pub flagged: Vec<String>,
+    /// The run-level sensitivity classification.
+    pub sensitivity: Sensitivity,
+}
+
+impl BoundnessSummary {
+    /// Convenience accessor with 0.0 default.
+    pub fn bound(&self, kind: MemoryKind) -> f64 {
+        self.bound_pct.get(&kind).copied().unwrap_or(0.0)
+    }
+
+    /// Convenience accessor with 0.0 default.
+    pub fn bw_bound(&self, kind: MemoryKind) -> f64 {
+        self.bw_bound_pct.get(&kind).copied().unwrap_or(0.0)
+    }
+}
+
+/// One row of the Fig. 7 per-object view.
+#[derive(Debug, Clone)]
+pub struct ObjectProfile {
+    /// Allocation-site label.
+    pub site: String,
+    /// Object size, bytes.
+    pub size: u64,
+    /// Demand loads.
+    pub loads: u64,
+    /// Stores.
+    pub stores: u64,
+    /// LLC misses — "important here because it is the last and
+    /// longest-latency [level] before main memory".
+    pub llc_misses: u64,
+    /// Average memory latency observed, ns.
+    pub avg_latency_ns: f64,
+    /// Core-stall time attributed to this object, ns.
+    pub stall_ns: f64,
+    /// Which kinds of memory backed it (bytes per kind).
+    pub kinds: BTreeMap<MemoryKind, u64>,
+    /// The object's inferred sensitivity.
+    pub sensitivity: Sensitivity,
+}
+
+/// Thresholds mirroring VTune's indicator logic.
+const BOUND_FLAG_PCT: f64 = 20.0;
+const BW_FLAG_PCT: f64 = 30.0;
+/// A kind counts as "high bandwidth utilization" when its achieved
+/// bandwidth exceeds this fraction of the platform's fastest memory.
+const HIGH_BW_FRACTION: f64 = 0.5;
+/// Share of a bandwidth-saturated phase that cores spend with pending
+/// memory requests (calibrated against Table IV's 63.3% for STREAM).
+const BW_STALL_SHARE: f64 = 0.65;
+
+/// The profiler: registers objects, records phases, renders reports.
+pub struct Profiler {
+    machine: Arc<Machine>,
+    objects: Vec<MemoryObject>,
+    phases: Vec<PhaseReport>,
+}
+
+impl Profiler {
+    /// Creates a profiler for a machine.
+    pub fn new(machine: Arc<Machine>) -> Self {
+        Profiler { machine, objects: Vec::new(), phases: Vec::new() }
+    }
+
+    /// Registers a memory object (call at allocation time, while the
+    /// region is live — its placement is snapshotted here).
+    pub fn track(
+        &mut self,
+        mm: &hetmem_memsim::MemoryManager,
+        region: RegionId,
+        site: &str,
+        size: u64,
+    ) {
+        let placement = mm.region(region).map(|r| r.placement.clone()).unwrap_or_default();
+        self.objects.push(MemoryObject { region, site: site.to_string(), size, placement });
+    }
+
+    /// Records a completed phase.
+    pub fn record(&mut self, report: PhaseReport) {
+        self.phases.push(report);
+    }
+
+    /// Recorded phases.
+    pub fn phases(&self) -> &[PhaseReport] {
+        &self.phases
+    }
+
+    fn kind_of(&self, node: NodeId) -> MemoryKind {
+        self.machine.topology().node_kind(node).unwrap_or(MemoryKind::Dram)
+    }
+
+    /// Computes the Table IV-style summary.
+    pub fn summary(&self) -> BoundnessSummary {
+        let total_ns: f64 = self.phases.iter().map(|p| p.time_ns).sum();
+        let peak_platform_bw = self
+            .machine
+            .topology()
+            .node_ids()
+            .iter()
+            .map(|&n| self.machine.timing(n).peak_read_bw_mbps)
+            .fold(0.0f64, f64::max);
+
+        let mut stall_by_kind: BTreeMap<MemoryKind, f64> = BTreeMap::new();
+        let mut bw_stall_by_kind: BTreeMap<MemoryKind, f64> = BTreeMap::new();
+        let mut bw_high_time: BTreeMap<MemoryKind, f64> = BTreeMap::new();
+
+        for phase in &self.phases {
+            // Latency stalls, attributed per kind.
+            for buf in &phase.buffers {
+                for &(node, stall) in &buf.stall_by_node {
+                    *stall_by_kind.entry(self.kind_of(node)).or_insert(0.0) += stall;
+                }
+            }
+            let core_time = phase.compute_ns + phase.stall_ns;
+            let bw_dominated = core_time < 0.5 * phase.time_ns;
+            for (&node, traffic) in &phase.per_node {
+                let kind = self.kind_of(node);
+                if bw_dominated {
+                    // Streaming phases: cores wait for the saturated
+                    // controller most of the time.
+                    *bw_stall_by_kind.entry(kind).or_insert(0.0) +=
+                        BW_STALL_SHARE * traffic.busy_ns;
+                }
+                // Platform-relative high-bandwidth detection (the VTune
+                // semantics that makes NVDIMM streaming look *not*
+                // bandwidth-bound in Table IV).
+                if traffic.achieved_bw_mbps > HIGH_BW_FRACTION * peak_platform_bw {
+                    *bw_high_time.entry(kind).or_insert(0.0) +=
+                        phase.time_ns * traffic.utilization;
+                }
+            }
+        }
+
+        let mut bound_pct = BTreeMap::new();
+        let mut bw_bound_pct = BTreeMap::new();
+        if total_ns > 0.0 {
+            let kinds: std::collections::BTreeSet<MemoryKind> = stall_by_kind
+                .keys()
+                .chain(bw_stall_by_kind.keys())
+                .chain(bw_high_time.keys())
+                .copied()
+                .collect();
+            for kind in kinds {
+                let stall = stall_by_kind.get(&kind).copied().unwrap_or(0.0)
+                    + bw_stall_by_kind.get(&kind).copied().unwrap_or(0.0);
+                bound_pct.insert(kind, (100.0 * stall / total_ns).min(99.0));
+                let hi = bw_high_time.get(&kind).copied().unwrap_or(0.0);
+                bw_bound_pct.insert(kind, (100.0 * hi / total_ns).min(99.0));
+            }
+        }
+
+        let mut flagged = Vec::new();
+        for (&kind, &pct) in &bound_pct {
+            if pct > BOUND_FLAG_PCT {
+                flagged.push(format!("{kind} Bound"));
+            }
+        }
+        for (&kind, &pct) in &bw_bound_pct {
+            if pct > BW_FLAG_PCT {
+                flagged.push(format!("{kind} Bandwidth Bound"));
+            }
+        }
+
+        let any_bw = bw_bound_pct.values().any(|&p| p > BW_FLAG_PCT);
+        let any_bound = bound_pct.values().any(|&p| p > BOUND_FLAG_PCT);
+        let sensitivity = if any_bw {
+            Sensitivity::Bandwidth
+        } else if any_bound {
+            Sensitivity::Latency
+        } else {
+            Sensitivity::Compute
+        };
+
+        BoundnessSummary { total_ns, bound_pct, bw_bound_pct, flagged, sensitivity }
+    }
+
+    /// Computes the Fig. 7-style per-object table, sorted by LLC
+    /// misses (descending) — "the list of buffers ordered by
+    /// importance".
+    pub fn object_report(&self) -> Vec<ObjectProfile> {
+        let mut rows: Vec<ObjectProfile> = self
+            .objects
+            .iter()
+            .map(|obj| {
+                let mut loads = 0;
+                let mut stores = 0;
+                let mut misses = 0;
+                let mut stall = 0.0;
+                let mut lat_weight = 0.0;
+                let mut dependent_misses = 0u64;
+                for phase in &self.phases {
+                    for buf in &phase.buffers {
+                        if buf.region == obj.region {
+                            loads += buf.loads;
+                            stores += buf.stores;
+                            misses += buf.llc_misses;
+                            stall += buf.stall_ns;
+                            lat_weight += buf.avg_latency_ns * buf.llc_misses as f64;
+                            if matches!(
+                                buf.pattern,
+                                hetmem_memsim::AccessPattern::Random
+                                    | hetmem_memsim::AccessPattern::PointerChase
+                            ) {
+                                dependent_misses += buf.llc_misses;
+                            }
+                        }
+                    }
+                }
+                let mut kinds = BTreeMap::new();
+                for &(node, bytes) in &obj.placement {
+                    *kinds.entry(self.kind_of(node)).or_insert(0) += bytes;
+                }
+                let traffic = (loads + stores) * hetmem_memsim::LINE;
+                let sensitivity = classify_object(misses, dependent_misses, traffic, stores);
+                ObjectProfile {
+                    site: obj.site.clone(),
+                    size: obj.size,
+                    loads,
+                    stores,
+                    llc_misses: misses,
+                    avg_latency_ns: if misses > 0 { lat_weight / misses as f64 } else { 0.0 },
+                    stall_ns: stall,
+                    kinds,
+                    sensitivity,
+                }
+            })
+            .collect();
+        rows.sort_by_key(|r| std::cmp::Reverse(r.llc_misses));
+        rows
+    }
+
+    /// The Figure 6 output: per-allocation-site sensitivity advice,
+    /// hottest first — "this sensitivity is exposed to the runtime as
+    /// additional criteria in allocation requests".
+    pub fn advise(&self) -> Vec<(String, Sensitivity)> {
+        self.object_report()
+            .into_iter()
+            .map(|o| (o.site, o.sensitivity))
+            .collect()
+    }
+
+    /// Renders the summary like VTune's text report (Table IV rows).
+    pub fn render_summary(&self) -> String {
+        let s = self.summary();
+        let mut out = String::new();
+        writeln!(out, "Memory Access analysis — elapsed {:.3} ms", s.total_ns / 1e6).unwrap();
+        for (kind, pct) in &s.bound_pct {
+            let flag = if s.flagged.iter().any(|f| f == &format!("{kind} Bound")) { "  <-- flagged" } else { "" };
+            writeln!(out, "  {kind} Bound:            {pct:5.1}% of Clockticks{flag}").unwrap();
+        }
+        for (kind, pct) in &s.bw_bound_pct {
+            let name = format!("{kind} Bandwidth Bound");
+            let flag = if s.flagged.iter().any(|f| f == &name) { "  <-- flagged" } else { "" };
+            writeln!(out, "  {name}:  {pct:5.1}% of Elapsed Time{flag}").unwrap();
+        }
+        writeln!(out, "  => application is {} sensitive", s.sensitivity).unwrap();
+        out
+    }
+
+    /// Renders the Fig. 7 bandwidth timeline: one row per recorded
+    /// phase, with read/write bandwidth bars (VTune draws read in
+    /// turquoise and write stacked on top; we use '=' and '#').
+    pub fn render_timeline(&self) -> String {
+        const WIDTH: f64 = 50.0;
+        let peak = self
+            .phases
+            .iter()
+            .map(|p| p.total_bw_mbps())
+            .fold(0.0f64, f64::max)
+            .max(1.0);
+        let mut out = String::new();
+        writeln!(out, "{:<16} {:>10} {:>9} {:>9}  bandwidth (= read, # write)", "phase", "time ms", "rd GiB/s", "wr GiB/s")
+            .expect("string write");
+        for phase in &self.phases {
+            let secs = phase.time_ns / 1e9;
+            let rd: f64 = phase
+                .per_node
+                .values()
+                .map(|t| t.bytes_read as f64 / secs / (1u64 << 30) as f64)
+                .sum();
+            let wr: f64 = phase
+                .per_node
+                .values()
+                .map(|t| t.bytes_written as f64 / secs / (1u64 << 30) as f64)
+                .sum();
+            let total_mbps = phase.total_bw_mbps();
+            let bar_len = (total_mbps / peak * WIDTH) as usize;
+            let rd_len = if rd + wr > 0.0 {
+                ((rd / (rd + wr)) * bar_len as f64) as usize
+            } else {
+                0
+            };
+            let mut bar = "=".repeat(rd_len);
+            bar.push_str(&"#".repeat(bar_len.saturating_sub(rd_len)));
+            writeln!(
+                out,
+                "{:<16} {:>10.2} {:>9.2} {:>9.2}  |{bar}",
+                phase.name,
+                phase.time_ns / 1e6,
+                rd,
+                wr
+            )
+            .expect("string write");
+        }
+        out
+    }
+
+    /// Renders the per-object view (Fig. 7).
+    pub fn render_objects(&self) -> String {
+        let mut out = String::new();
+        writeln!(
+            out,
+            "{:<28} {:>12} {:>14} {:>14} {:>10} {:>12}  Placement",
+            "Memory Object", "Size", "Loads", "LLC Miss Count", "Avg Lat", "Sensitivity"
+        )
+        .unwrap();
+        for row in self.object_report() {
+            let placement: Vec<String> =
+                row.kinds.iter().map(|(k, b)| format!("{k}:{}MB", b / (1024 * 1024))).collect();
+            writeln!(
+                out,
+                "{:<28} {:>12} {:>14} {:>14} {:>8.0}ns {:>12}  {}",
+                row.site,
+                row.size,
+                row.loads,
+                row.llc_misses,
+                row.avg_latency_ns,
+                row.sensitivity.to_string(),
+                placement.join("+")
+            )
+            .unwrap();
+        }
+        out
+    }
+}
+
+/// Per-object classification: objects whose misses come from
+/// dependent/random access chains are latency-sensitive; objects with
+/// heavy streamed traffic (reads *or* posted stores — a write-only
+/// STREAM array never read-misses but is pure bandwidth) are
+/// bandwidth-sensitive; objects that barely touch memory are not
+/// memory-relevant.
+fn classify_object(
+    misses: u64,
+    dependent_misses: u64,
+    traffic_bytes: u64,
+    stores: u64,
+) -> Sensitivity {
+    if traffic_bytes == 0 {
+        return Sensitivity::Compute;
+    }
+    let lines = traffic_bytes / hetmem_memsim::LINE;
+    if misses >= lines / 20 {
+        if dependent_misses * 2 >= misses {
+            Sensitivity::Latency
+        } else {
+            Sensitivity::Bandwidth
+        }
+    } else if stores >= lines / 2 {
+        // Mostly-store object: posted writes stress bandwidth, not
+        // load latency.
+        Sensitivity::Bandwidth
+    } else {
+        Sensitivity::Compute
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    
+    use hetmem_memsim::{
+        AccessEngine, AccessPattern, AllocPolicy, BufferAccess, MemoryManager, Phase,
+    };
+    use hetmem_topology::GIB;
+
+    struct Setup {
+        machine: Arc<Machine>,
+        engine: AccessEngine,
+        mm: MemoryManager,
+        profiler: Profiler,
+    }
+
+    fn xeon() -> Setup {
+        let machine = Arc::new(Machine::xeon_1lm_no_snc());
+        Setup {
+            machine: machine.clone(),
+            engine: AccessEngine::new(machine.clone()),
+            mm: MemoryManager::new(machine.clone()),
+            profiler: Profiler::new(machine),
+        }
+    }
+
+    fn stream_phase(region: hetmem_memsim::RegionId, bytes: u64) -> Phase {
+        Phase {
+            name: "triad".into(),
+            accesses: vec![BufferAccess::new(region, bytes * 2 / 3, bytes / 3, AccessPattern::Sequential)],
+            threads: 20,
+            initiator: "0-19".parse().unwrap(),
+            compute_ns: 0.0,
+        }
+    }
+
+    fn graph_phase(region: hetmem_memsim::RegionId, bytes: u64) -> Phase {
+        Phase {
+            name: "bfs".into(),
+            accesses: vec![BufferAccess::new(region, bytes, 0, AccessPattern::Random)],
+            threads: 16,
+            initiator: "0-15".parse().unwrap(),
+            compute_ns: 0.0,
+        }
+    }
+
+    #[test]
+    fn stream_on_dram_is_dram_bandwidth_bound() {
+        let mut s = xeon();
+        let size = 16 * GIB;
+        let r = s.mm.alloc(size, AllocPolicy::Bind(hetmem_topology::NodeId(0))).unwrap();
+        s.profiler.track(&s.mm, r, "stream arrays", size);
+        let rep = s.engine.run_phase(&s.mm, &stream_phase(r, size));
+        s.profiler.record(rep);
+        let sum = s.profiler.summary();
+        assert!(sum.bw_bound(MemoryKind::Dram) > 50.0, "{:?}", sum.bw_bound_pct);
+        assert!(sum.bound(MemoryKind::Dram) > 30.0);
+        assert_eq!(sum.bw_bound(MemoryKind::Nvdimm), 0.0);
+        assert_eq!(sum.sensitivity, Sensitivity::Bandwidth);
+        assert!(sum.flagged.iter().any(|f| f == "DRAM Bandwidth Bound"));
+    }
+
+    #[test]
+    fn stream_on_nvdimm_not_bandwidth_flagged() {
+        // Table IV's surprising row: STREAM on NVDIMM saturates the
+        // device but VTune's platform-relative thresholds don't flag
+        // bandwidth — the PMem *Bound* (stall) metric reacts instead.
+        let mut s = xeon();
+        let size = 16 * GIB;
+        let r = s.mm.alloc(size, AllocPolicy::Bind(hetmem_topology::NodeId(2))).unwrap();
+        s.profiler.track(&s.mm, r, "stream arrays", size);
+        let rep = s.engine.run_phase(&s.mm, &stream_phase(r, size));
+        s.profiler.record(rep);
+        let sum = s.profiler.summary();
+        assert!(
+            sum.bw_bound(MemoryKind::Nvdimm) < 10.0,
+            "platform-relative threshold should not flag NVDIMM bw: {:?}",
+            sum.bw_bound_pct
+        );
+        assert!(sum.bound(MemoryKind::Nvdimm) > 30.0, "{:?}", sum.bound_pct);
+    }
+
+    #[test]
+    fn graph_on_dram_is_latency_sensitive() {
+        let mut s = xeon();
+        let size = 8 * GIB;
+        let r = s.mm.alloc(size, AllocPolicy::Bind(hetmem_topology::NodeId(0))).unwrap();
+        s.profiler.track(&s.mm, r, "xmalloc at bfs.c:31", size);
+        let rep = s.engine.run_phase(&s.mm, &graph_phase(r, size));
+        s.profiler.record(rep);
+        let sum = s.profiler.summary();
+        assert!(sum.bound(MemoryKind::Dram) > BOUND_FLAG_PCT);
+        assert!(sum.bw_bound(MemoryKind::Dram) < 20.0, "{:?}", sum.bw_bound_pct);
+        assert_eq!(sum.sensitivity, Sensitivity::Latency);
+    }
+
+    #[test]
+    fn graph_on_nvdimm_flags_pmem_bound() {
+        let mut s = xeon();
+        let size = 8 * GIB;
+        let r = s.mm.alloc(size, AllocPolicy::Bind(hetmem_topology::NodeId(2))).unwrap();
+        s.profiler.track(&s.mm, r, "xmalloc at bfs.c:31", size);
+        let rep = s.engine.run_phase(&s.mm, &graph_phase(r, size));
+        s.profiler.record(rep);
+        let sum = s.profiler.summary();
+        assert!(sum.bound(MemoryKind::Nvdimm) > BOUND_FLAG_PCT);
+        assert!(sum.flagged.iter().any(|f| f == "NVDIMM Bound"));
+        assert_eq!(sum.sensitivity, Sensitivity::Latency);
+    }
+
+    #[test]
+    fn object_report_ranks_by_misses_and_classifies() {
+        let mut s = xeon();
+        let big = 8 * GIB;
+        let small = GIB;
+        let graph = s.mm.alloc(big, AllocPolicy::Bind(hetmem_topology::NodeId(0))).unwrap();
+        let stream = s.mm.alloc(small, AllocPolicy::Bind(hetmem_topology::NodeId(0))).unwrap();
+        s.profiler.track(&s.mm, graph, "xmalloc at bfs.c:31", big);
+        s.profiler.track(&s.mm, stream, "stream.c:120", small);
+        let phase = Phase {
+            name: "mixed".into(),
+            accesses: vec![
+                BufferAccess::new(graph, big, 0, AccessPattern::PointerChase),
+                BufferAccess::new(stream, small / 2, small / 2, AccessPattern::Sequential),
+            ],
+            threads: 16,
+            initiator: "0-15".parse().unwrap(),
+            compute_ns: 0.0,
+        };
+        let rep = s.engine.run_phase(&s.mm, &phase);
+        s.profiler.record(rep);
+        let rows = s.profiler.object_report();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].site, "xmalloc at bfs.c:31"); // most misses first
+        assert_eq!(rows[0].sensitivity, Sensitivity::Latency);
+        assert_eq!(rows[1].sensitivity, Sensitivity::Bandwidth);
+        assert!(rows[0].kinds.contains_key(&MemoryKind::Dram));
+    }
+
+    #[test]
+    fn renders_contain_landmarks() {
+        let mut s = xeon();
+        let size = 4 * GIB;
+        let r = s.mm.alloc(size, AllocPolicy::Bind(hetmem_topology::NodeId(0))).unwrap();
+        s.profiler.track(&s.mm, r, "xmalloc at bfs.c:31", size);
+        let rep = s.engine.run_phase(&s.mm, &graph_phase(r, size));
+        s.profiler.record(rep);
+        let summary = s.profiler.render_summary();
+        assert!(summary.contains("DRAM Bound"));
+        assert!(summary.contains("flagged"));
+        let objects = s.profiler.render_objects();
+        assert!(objects.contains("xmalloc at bfs.c:31"));
+        assert!(objects.contains("LLC Miss Count"));
+    }
+
+    #[test]
+    fn timeline_renders_phases_with_bars() {
+        let mut s = xeon();
+        let size = 8 * GIB;
+        let r = s.mm.alloc(size, AllocPolicy::Bind(hetmem_topology::NodeId(0))).unwrap();
+        s.profiler.track(&s.mm, r, "arrays", size);
+        for _ in 0..3 {
+            let rep = s.engine.run_phase(&s.mm, &stream_phase(r, size));
+            s.profiler.record(rep);
+        }
+        let tl = s.profiler.render_timeline();
+        assert_eq!(tl.lines().count(), 4); // header + 3 phases
+        assert!(tl.contains("triad"));
+        // Triad is 2 reads : 1 write — both bar glyphs present.
+        assert!(tl.contains('=') && tl.contains('#'));
+        // The bars are equal for equal phases.
+        let bars: Vec<&str> = tl.lines().skip(1).map(|l| l.split('|').nth(1).unwrap()).collect();
+        assert_eq!(bars[0], bars[1]);
+    }
+
+    #[test]
+    fn empty_profile_is_compute_bound() {
+        let s = xeon();
+        let sum = s.profiler.summary();
+        assert_eq!(sum.sensitivity, Sensitivity::Compute);
+        assert!(sum.flagged.is_empty());
+        assert_eq!(sum.total_ns, 0.0);
+        let _ = s.machine; // keep machine alive for clarity
+    }
+}

@@ -1,0 +1,70 @@
+//! CLI for the scenario DSL: `hetmem-run <file> [--objects] [--timeline]`.
+
+use hetmem_scenario::{execute, parse};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut file = None;
+    let mut show_objects = false;
+    let mut show_timeline = false;
+    for a in &args {
+        match a.as_str() {
+            "--objects" => show_objects = true,
+            "--timeline" => show_timeline = true,
+            "--help" | "-h" => {
+                eprintln!("usage: hetmem-run <scenario-file> [--objects] [--timeline]");
+                eprintln!("platforms: {}", hetmem_scenario::PLATFORM_NAMES.join(", "));
+                return;
+            }
+            other => file = Some(other.to_string()),
+        }
+    }
+    let Some(file) = file else {
+        eprintln!("hetmem-run: no scenario file (try --help)");
+        std::process::exit(2);
+    };
+    let text = std::fs::read_to_string(&file).unwrap_or_else(|e| {
+        eprintln!("hetmem-run: cannot read {file}: {e}");
+        std::process::exit(1);
+    });
+    let scenario = parse(&text).unwrap_or_else(|e| {
+        eprintln!("hetmem-run: {file}: {e}");
+        std::process::exit(1);
+    });
+    let report = execute(&scenario).unwrap_or_else(|e| {
+        eprintln!("hetmem-run: {e}");
+        std::process::exit(1);
+    });
+
+    println!("scenario: {file} on {}", scenario.machine);
+    for p in &report.phases {
+        println!(
+            "  phase {:<16} {:>10.3} ms   {:>8.2} GiB/s",
+            p.name,
+            p.time_ns / 1e6,
+            p.bw_mbps / 1024.0
+        );
+    }
+    for (i, m) in report.migrations_ns.iter().enumerate() {
+        println!("  migration #{i}: {:.3} ms", m / 1e6);
+    }
+    println!("  total: {:.3} ms", report.total_ns / 1e6);
+    if !report.final_placements.is_empty() {
+        println!("final placements:");
+        for (name, placement) in &report.final_placements {
+            let spots: Vec<String> =
+                placement.iter().map(|(n, b)| format!("{n}:{}MiB", b >> 20)).collect();
+            println!("  {name:<16} {}", spots.join(" + "));
+        }
+    }
+    println!();
+    print!("{}", report.profiler.render_summary());
+    if show_objects {
+        println!();
+        print!("{}", report.profiler.render_objects());
+    }
+    if show_timeline {
+        println!();
+        print!("{}", report.profiler.render_timeline());
+    }
+}

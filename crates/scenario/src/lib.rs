@@ -1,0 +1,72 @@
+//! A small scenario DSL for driving the simulator from text files.
+//!
+//! The repo's applications (Graph500, STREAM, SpMV) hardcode their
+//! phase structure; this crate lets a user describe *any* workload —
+//! buffers, criteria, phases, migrations — in a plain text file and
+//! run it against any built-in platform, without recompiling:
+//!
+//! ```text
+//! # two-phase capacity conflict on the KNL
+//! machine knl-flat
+//! initiator 0-15
+//! threads 16
+//!
+//! alloc hot   3GiB bandwidth spill
+//! alloc bulk 10GiB capacity  next
+//!
+//! phase traverse
+//!   read  hot  12GiB seq
+//!   read  bulk  2GiB random
+//!   compute 5ms
+//! end
+//!
+//! free hot
+//! migrate bulk bandwidth
+//!
+//! phase drain
+//!   write bulk 10GiB seq
+//! end
+//! ```
+//!
+//! Run with `hetmem-run scenario.txt` (see the `scenarios/` directory
+//! for ready-made files) or programmatically via [`parse`] and
+//! [`execute`].
+
+
+#![warn(missing_docs)]
+mod exec;
+mod parse;
+
+pub use exec::{execute, ExecError, PhaseOutcome, ScenarioReport};
+pub use parse::{parse, AccessSpec, Command, ParseError, PhaseSpec, Scenario};
+
+use hetmem_memsim::Machine;
+
+/// Resolves a platform name from the DSL's `machine` statement.
+pub fn machine_by_name(name: &str) -> Option<Machine> {
+    Some(match name {
+        "knl-flat" => Machine::knl_snc4_flat(),
+        "knl-cache" => Machine::knl_quadrant_cache(),
+        "xeon" => Machine::xeon_1lm_no_snc(),
+        "xeon-snc" => Machine::xeon_1lm_snc(),
+        "xeon-2lm" => Machine::xeon_2lm(),
+        "xeon-4s" => Machine::xeon_4s_snc(),
+        "fictitious" => Machine::fictitious(),
+        "power9" => Machine::power9_gpu(),
+        "fugaku" => Machine::fugaku_like(),
+        _ => return None,
+    })
+}
+
+/// The platform names [`machine_by_name`] accepts.
+pub const PLATFORM_NAMES: &[&str] = &[
+    "knl-flat",
+    "knl-cache",
+    "xeon",
+    "xeon-snc",
+    "xeon-2lm",
+    "xeon-4s",
+    "fictitious",
+    "power9",
+    "fugaku",
+];

@@ -1,0 +1,515 @@
+//! Parser for the scenario DSL.
+//!
+//! Line-oriented; `#` starts a comment. Grammar (one statement per
+//! line):
+//!
+//! ```text
+//! machine <platform>
+//! initiator <cpuset>              # hwloc list format, e.g. 0-15
+//! threads <n>
+//! discover firmware|benchmarks    # attribute source (default firmware)
+//!
+//! alloc <name> <size> <criterion> [strict|next|spill] [global]
+//! free <name>
+//! migrate <name> <criterion>
+//! rebalance [criterion]           # run the tiering daemon (default bandwidth)
+//!
+//! phase <name>
+//!   read  <buffer> <size> seq|strided|random|chase [hot=<0..1>]
+//!   write <buffer> <size> seq|strided|random|chase [hot=<0..1>]
+//!   compute <duration>            # e.g. 5ms, 300us, 2s
+//! end
+//! ```
+//!
+//! Sizes accept `B`, `KiB`, `MiB`, `GiB` suffixes (and bare bytes);
+//! criteria are `bandwidth`, `latency`, `capacity`, `readbandwidth`,
+//! `writebandwidth`, `readlatency`, `writelatency`.
+
+use hetmem_alloc::Fallback;
+use hetmem_core::{attr, AttrId};
+use hetmem_memsim::AccessPattern;
+
+/// A parse failure with its line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line.
+    pub line: usize,
+    /// Problem description.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// One access line inside a phase.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AccessSpec {
+    /// Buffer name.
+    pub buffer: String,
+    /// Bytes read.
+    pub bytes_read: u64,
+    /// Bytes written.
+    pub bytes_written: u64,
+    /// Pattern.
+    pub pattern: AccessPattern,
+    /// Fraction of the buffer that is hot (working set), 0..=1.
+    pub hot_fraction: f64,
+}
+
+/// A phase block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseSpec {
+    /// Phase name.
+    pub name: String,
+    /// Accesses.
+    pub accesses: Vec<AccessSpec>,
+    /// Pure compute, ns.
+    pub compute_ns: f64,
+}
+
+/// A top-level statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `alloc name size criterion fallback [global]`.
+    Alloc {
+        /// Buffer name.
+        name: String,
+        /// Bytes.
+        size: u64,
+        /// Attribute criterion.
+        criterion: AttrId,
+        /// Fallback mode.
+        fallback: Fallback,
+        /// Rank all targets (remote included) instead of local only —
+        /// the §VIII mode; needs `discover benchmarks`.
+        global: bool,
+    },
+    /// `free name`.
+    Free(String),
+    /// `migrate name criterion`.
+    Migrate {
+        /// Buffer name.
+        name: String,
+        /// Attribute criterion for the new placement.
+        criterion: AttrId,
+    },
+    /// A `phase ... end` block.
+    Phase(PhaseSpec),
+    /// `rebalance [criterion]`: run the tiering daemon.
+    Rebalance {
+        /// The hot-tier criterion.
+        criterion: AttrId,
+    },
+}
+
+/// Which attribute source to discover with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Discovery {
+    /// ACPI SRAT/HMAT (local-only, like Linux).
+    #[default]
+    Firmware,
+    /// Benchmark the full matrix.
+    Benchmarks,
+}
+
+/// A parsed scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Platform name (resolved by [`crate::machine_by_name`]).
+    pub machine: String,
+    /// Initiator cpuset in hwloc list format.
+    pub initiator: String,
+    /// Worker threads.
+    pub threads: usize,
+    /// Attribute source.
+    pub discovery: Discovery,
+    /// The statements, in order.
+    pub commands: Vec<Command>,
+}
+
+fn parse_size(tok: &str, line: usize) -> Result<u64, ParseError> {
+    let err = |m: String| ParseError { line, message: m };
+    let lower = tok.to_ascii_lowercase();
+    let (num, mult) = if let Some(n) = lower.strip_suffix("gib") {
+        (n, 1u64 << 30)
+    } else if let Some(n) = lower.strip_suffix("mib") {
+        (n, 1u64 << 20)
+    } else if let Some(n) = lower.strip_suffix("kib") {
+        (n, 1u64 << 10)
+    } else if let Some(n) = lower.strip_suffix('b') {
+        (n, 1)
+    } else {
+        (lower.as_str(), 1)
+    };
+    let v: f64 = num.parse().map_err(|_| err(format!("bad size {tok:?}")))?;
+    if v < 0.0 {
+        return Err(err(format!("negative size {tok:?}")));
+    }
+    Ok((v * mult as f64) as u64)
+}
+
+fn parse_duration_ns(tok: &str, line: usize) -> Result<f64, ParseError> {
+    let err = |m: String| ParseError { line, message: m };
+    let lower = tok.to_ascii_lowercase();
+    let (num, mult) = if let Some(n) = lower.strip_suffix("ms") {
+        (n, 1e6)
+    } else if let Some(n) = lower.strip_suffix("us") {
+        (n, 1e3)
+    } else if let Some(n) = lower.strip_suffix("ns") {
+        (n, 1.0)
+    } else if let Some(n) = lower.strip_suffix('s') {
+        (n, 1e9)
+    } else {
+        return Err(err(format!("duration {tok:?} needs a unit (ns/us/ms/s)")));
+    };
+    let v: f64 = num.parse().map_err(|_| err(format!("bad duration {tok:?}")))?;
+    Ok(v * mult)
+}
+
+fn parse_criterion(tok: &str, line: usize) -> Result<AttrId, ParseError> {
+    Ok(match tok.to_ascii_lowercase().as_str() {
+        "bandwidth" => attr::BANDWIDTH,
+        "latency" => attr::LATENCY,
+        "capacity" => attr::CAPACITY,
+        "locality" => attr::LOCALITY,
+        "readbandwidth" => attr::READ_BANDWIDTH,
+        "writebandwidth" => attr::WRITE_BANDWIDTH,
+        "readlatency" => attr::READ_LATENCY,
+        "writelatency" => attr::WRITE_LATENCY,
+        other => {
+            return Err(ParseError { line, message: format!("unknown criterion {other:?}") })
+        }
+    })
+}
+
+fn parse_pattern(tok: &str, line: usize) -> Result<AccessPattern, ParseError> {
+    Ok(match tok.to_ascii_lowercase().as_str() {
+        "seq" | "sequential" => AccessPattern::Sequential,
+        "strided" => AccessPattern::Strided,
+        "random" => AccessPattern::Random,
+        "chase" | "pointerchase" => AccessPattern::PointerChase,
+        other => return Err(ParseError { line, message: format!("unknown pattern {other:?}") }),
+    })
+}
+
+/// Parses a scenario file.
+pub fn parse(text: &str) -> Result<Scenario, ParseError> {
+    let mut machine = None;
+    let mut initiator = None;
+    let mut threads = None;
+    let mut discovery = Discovery::default();
+    let mut commands = Vec::new();
+    let mut current_phase: Option<PhaseSpec> = None;
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line = idx + 1;
+        let err = |m: String| ParseError { line, message: m };
+        let content = raw.split('#').next().unwrap_or("").trim();
+        if content.is_empty() {
+            continue;
+        }
+        let toks: Vec<&str> = content.split_whitespace().collect();
+        let kw = toks[0].to_ascii_lowercase();
+
+        if let Some(phase) = current_phase.as_mut() {
+            match kw.as_str() {
+                "read" | "write" => {
+                    if !(4..=5).contains(&toks.len()) {
+                        return Err(err(format!(
+                            "{kw} needs: {kw} <buffer> <size> <pattern> [hot=<f>]"
+                        )));
+                    }
+                    let bytes = parse_size(toks[2], line)?;
+                    let pattern = parse_pattern(toks[3], line)?;
+                    let hot_fraction = match toks.get(4) {
+                        None => 1.0,
+                        Some(tok) => {
+                            let v: f64 = tok
+                                .strip_prefix("hot=")
+                                .ok_or_else(|| err(format!("unknown option {tok:?}")))?
+                                .parse()
+                                .map_err(|_| err(format!("bad hot= value {tok:?}")))?;
+                            if !(0.0..=1.0).contains(&v) {
+                                return Err(err(format!("hot= out of range in {tok:?}")));
+                            }
+                            v
+                        }
+                    };
+                    let (r, w) = if kw == "read" { (bytes, 0) } else { (0, bytes) };
+                    phase.accesses.push(AccessSpec {
+                        buffer: toks[1].to_string(),
+                        bytes_read: r,
+                        bytes_written: w,
+                        pattern,
+                        hot_fraction,
+                    });
+                }
+                "compute" => {
+                    if toks.len() != 2 {
+                        return Err(err("compute needs a duration".into()));
+                    }
+                    phase.compute_ns += parse_duration_ns(toks[1], line)?;
+                }
+                "end" => {
+                    let phase = current_phase.take().expect("in phase");
+                    commands.push(Command::Phase(phase));
+                }
+                other => {
+                    return Err(err(format!("unexpected {other:?} inside phase (missing end?)")))
+                }
+            }
+            continue;
+        }
+
+        match kw.as_str() {
+            "machine" => {
+                if toks.len() != 2 {
+                    return Err(err("machine needs a platform name".into()));
+                }
+                machine = Some(toks[1].to_string());
+            }
+            "initiator" => {
+                if toks.len() != 2 {
+                    return Err(err("initiator needs a cpuset".into()));
+                }
+                initiator = Some(toks[1].to_string());
+            }
+            "threads" => {
+                if toks.len() != 2 {
+                    return Err(err("threads needs a count".into()));
+                }
+                threads =
+                    Some(toks[1].parse().map_err(|_| err(format!("bad count {:?}", toks[1])))?);
+            }
+            "discover" => {
+                discovery = match toks.get(1).copied() {
+                    Some("firmware") => Discovery::Firmware,
+                    Some("benchmarks") => Discovery::Benchmarks,
+                    other => return Err(err(format!("discover firmware|benchmarks, got {other:?}"))),
+                };
+            }
+            "alloc" => {
+                if !(4..=6).contains(&toks.len()) {
+                    return Err(err(
+                        "alloc needs: alloc <name> <size> <criterion> [strict|next|spill] [global]"
+                            .into(),
+                    ));
+                }
+                let mut fallback = Fallback::NextTarget;
+                let mut global = false;
+                for &tok in &toks[4..] {
+                    match tok {
+                        "next" => fallback = Fallback::NextTarget,
+                        "strict" => fallback = Fallback::Strict,
+                        "spill" => fallback = Fallback::PartialSpill,
+                        "global" => global = true,
+                        other => return Err(err(format!("unknown alloc option {other:?}"))),
+                    }
+                }
+                commands.push(Command::Alloc {
+                    name: toks[1].to_string(),
+                    size: parse_size(toks[2], line)?,
+                    criterion: parse_criterion(toks[3], line)?,
+                    fallback,
+                    global,
+                });
+            }
+            "free" => {
+                if toks.len() != 2 {
+                    return Err(err("free needs a buffer name".into()));
+                }
+                commands.push(Command::Free(toks[1].to_string()));
+            }
+            "migrate" => {
+                if toks.len() != 3 {
+                    return Err(err("migrate needs: migrate <name> <criterion>".into()));
+                }
+                commands.push(Command::Migrate {
+                    name: toks[1].to_string(),
+                    criterion: parse_criterion(toks[2], line)?,
+                });
+            }
+            "rebalance" => {
+                let criterion = match toks.get(1) {
+                    Some(tok) => parse_criterion(tok, line)?,
+                    None => attr::BANDWIDTH,
+                };
+                commands.push(Command::Rebalance { criterion });
+            }
+            "phase" => {
+                if toks.len() != 2 {
+                    return Err(err("phase needs a name".into()));
+                }
+                current_phase = Some(PhaseSpec {
+                    name: toks[1].to_string(),
+                    accesses: Vec::new(),
+                    compute_ns: 0.0,
+                });
+            }
+            "end" => return Err(err("end outside a phase".into())),
+            other => return Err(err(format!("unknown statement {other:?}"))),
+        }
+    }
+
+    if current_phase.is_some() {
+        return Err(ParseError { line: text.lines().count(), message: "unterminated phase".into() });
+    }
+    Ok(Scenario {
+        machine: machine.ok_or(ParseError { line: 0, message: "missing machine".into() })?,
+        initiator: initiator.unwrap_or_else(|| "0-".to_string()),
+        threads: threads.unwrap_or(1),
+        discovery,
+        commands,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+# comment
+machine knl-flat
+initiator 0-15
+threads 16
+alloc hot 3GiB bandwidth spill
+alloc bulk 10GiB capacity
+phase traverse
+  read hot 12GiB seq
+  read bulk 2GiB random
+  compute 5ms
+end
+free hot
+migrate bulk bandwidth
+"#;
+
+    #[test]
+    fn parses_sample() {
+        let s = parse(SAMPLE).expect("valid");
+        assert_eq!(s.machine, "knl-flat");
+        assert_eq!(s.initiator, "0-15");
+        assert_eq!(s.threads, 16);
+        assert_eq!(s.commands.len(), 5);
+        match &s.commands[0] {
+            Command::Alloc { name, size, criterion, fallback, global } => {
+                assert_eq!(name, "hot");
+                assert_eq!(*size, 3 << 30);
+                assert_eq!(*criterion, attr::BANDWIDTH);
+                assert_eq!(*fallback, Fallback::PartialSpill);
+                assert!(!global);
+            }
+            other => panic!("expected alloc, got {other:?}"),
+        }
+        match &s.commands[2] {
+            Command::Phase(p) => {
+                assert_eq!(p.name, "traverse");
+                assert_eq!(p.accesses.len(), 2);
+                assert_eq!(p.accesses[0].bytes_read, 12 << 30);
+                assert_eq!(p.accesses[1].pattern, AccessPattern::Random);
+                assert_eq!(p.accesses[0].hot_fraction, 1.0);
+                assert!((p.compute_ns - 5e6).abs() < 1e-9);
+            }
+            other => panic!("expected phase, got {other:?}"),
+        }
+        assert_eq!(s.commands[3], Command::Free("hot".into()));
+    }
+
+    #[test]
+    fn sizes_and_durations() {
+        assert_eq!(parse_size("512MiB", 1).unwrap(), 512 << 20);
+        assert_eq!(parse_size("2KiB", 1).unwrap(), 2048);
+        assert_eq!(parse_size("1.5GiB", 1).unwrap(), 3 << 29);
+        assert_eq!(parse_size("4096", 1).unwrap(), 4096);
+        assert_eq!(parse_size("64B", 1).unwrap(), 64);
+        assert!(parse_size("xx", 1).is_err());
+        assert!((parse_duration_ns("2s", 1).unwrap() - 2e9).abs() < 1.0);
+        assert!((parse_duration_ns("300us", 1).unwrap() - 3e5).abs() < 1e-9);
+        assert!(parse_duration_ns("5", 1).is_err());
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let bad = "machine knl-flat\nallocate x 1GiB bandwidth\n";
+        let e = parse(bad).expect_err("bad keyword");
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("unknown statement"));
+
+        let e = parse("machine knl-flat\nphase p\n  read a 1GiB seq\n").expect_err("no end");
+        assert!(e.message.contains("unterminated"));
+
+        let e = parse("alloc x 1GiB bandwidth\n").expect_err("no machine");
+        assert!(e.message.contains("missing machine"));
+
+        let e = parse("machine m\nphase p\n  alloc y 1GiB latency\nend\n")
+            .expect_err("alloc inside phase");
+        assert!(e.message.contains("inside phase"));
+    }
+
+    #[test]
+    fn hot_fraction_option() {
+        let s = parse("machine xeon
+phase p
+  read a 1GiB random hot=0.25
+end
+").expect("valid");
+        match &s.commands[0] {
+            Command::Phase(p) => assert_eq!(p.accesses[0].hot_fraction, 0.25),
+            other => panic!("expected phase, got {other:?}"),
+        }
+        assert!(parse("machine m
+phase p
+  read a 1GiB random hot=2
+end
+").is_err());
+        assert!(parse("machine m
+phase p
+  read a 1GiB random bogus
+end
+").is_err());
+    }
+
+    #[test]
+    fn rebalance_statement() {
+        let s = parse("machine knl-flat
+rebalance
+rebalance latency
+").expect("valid");
+        assert_eq!(s.commands[0], Command::Rebalance { criterion: attr::BANDWIDTH });
+        assert_eq!(s.commands[1], Command::Rebalance { criterion: attr::LATENCY });
+        assert!(parse("machine m
+rebalance bogus
+").is_err());
+    }
+
+    #[test]
+    fn global_alloc_option() {
+        let s = parse("machine xeon-4s
+alloc w 1GiB latency next global
+").expect("valid");
+        match &s.commands[0] {
+            Command::Alloc { global, fallback, .. } => {
+                assert!(*global);
+                assert_eq!(*fallback, Fallback::NextTarget);
+            }
+            other => panic!("expected alloc, got {other:?}"),
+        }
+        assert!(parse("machine m
+alloc w 1GiB latency bogus
+").is_err());
+    }
+
+    #[test]
+    fn defaults() {
+        let s = parse("machine xeon\n").expect("minimal");
+        assert_eq!(s.initiator, "0-");
+        assert_eq!(s.threads, 1);
+        assert_eq!(s.discovery, Discovery::Firmware);
+        let s = parse("machine xeon\ndiscover benchmarks\n").expect("valid");
+        assert_eq!(s.discovery, Discovery::Benchmarks);
+    }
+}

@@ -1,0 +1,46 @@
+//! Robustness: the scenario parser never panics, whatever the input.
+
+use hetmem_scenario::parse;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn parser_never_panics(text in ".{0,400}") {
+        let _ = parse(&text);
+    }
+
+    /// Lines assembled from DSL-ish tokens either parse or produce a
+    /// located error — never a panic, never a bogus line number.
+    #[test]
+    fn token_soup_errors_are_located(
+        lines in prop::collection::vec(
+            prop::sample::select(vec![
+                "machine knl-flat",
+                "machine xeon",
+                "initiator 0-15",
+                "threads 16",
+                "alloc a 1GiB bandwidth",
+                "alloc b 2MiB latency spill",
+                "free a",
+                "migrate a capacity",
+                "phase p",
+                "  read a 1GiB seq",
+                "  write b 4KiB random",
+                "  compute 1ms",
+                "end",
+                "# comment",
+                "",
+                "garbage tokens here",
+            ]),
+            0..20
+        )
+    ) {
+        let text = lines.join("\n");
+        match parse(&text) {
+            Ok(s) => prop_assert!(!s.machine.is_empty()),
+            Err(e) => prop_assert!(e.line <= lines.len() + 1, "line {} of {}", e.line, lines.len()),
+        }
+    }
+}

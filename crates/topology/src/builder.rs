@@ -1,0 +1,411 @@
+//! Construction of topologies.
+//!
+//! A [`TopologyBuilder`] accumulates objects top-down; [`finish`]
+//! computes cpusets/nodesets bottom-up, assigns logical indexes in
+//! depth-first order (hwloc semantics) and validates structural
+//! invariants.
+//!
+//! [`finish`]: TopologyBuilder::finish
+
+use crate::object::{ObjId, Object};
+use crate::topo::Topology;
+use crate::types::{CacheAttrs, MemoryKind, NumaAttrs, ObjectAttrs, ObjectType};
+use hetmem_bitmap::Bitmap;
+
+/// Errors detected while finishing a topology.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// A non-PU leaf was found in the CPU hierarchy.
+    EmptyInternalObject(ObjectType),
+    /// Two PUs share an OS index.
+    DuplicatePuIndex(u32),
+    /// Two NUMA nodes share an OS index.
+    DuplicateNumaIndex(u32),
+    /// A memory object was attached as a normal child or vice versa.
+    MisattachedObject(ObjectType),
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::EmptyInternalObject(t) => {
+                write!(f, "internal object of type {t} has no PU below it")
+            }
+            BuildError::DuplicatePuIndex(i) => write!(f, "duplicate PU os_index {i}"),
+            BuildError::DuplicateNumaIndex(i) => write!(f, "duplicate NUMA os_index {i}"),
+            BuildError::MisattachedObject(t) => write!(f, "object of type {t} misattached"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Incremental builder for a [`Topology`].
+pub struct TopologyBuilder {
+    objects: Vec<Object>,
+    root: ObjId,
+    next_pu_os_index: u32,
+    next_numa_os_index: u32,
+}
+
+impl TopologyBuilder {
+    /// Starts a new topology whose root Machine carries `name`.
+    pub fn new(name: &str) -> Self {
+        let root = Object {
+            id: ObjId(0),
+            obj_type: ObjectType::Machine,
+            logical_index: 0,
+            os_index: u32::MAX,
+            name: Some(name.to_string()),
+            cpuset: Bitmap::new(),
+            nodeset: Bitmap::new(),
+            parent: None,
+            children: Vec::new(),
+            memory_children: Vec::new(),
+            attrs: ObjectAttrs::None,
+        };
+        TopologyBuilder {
+            objects: vec![root],
+            root: ObjId(0),
+            next_pu_os_index: 0,
+            next_numa_os_index: 0,
+        }
+    }
+
+    /// The root Machine object.
+    pub fn root(&self) -> ObjId {
+        self.root
+    }
+
+    fn push(&mut self, parent: ObjId, obj_type: ObjectType, attrs: ObjectAttrs, os_index: u32) -> ObjId {
+        let id = ObjId(self.objects.len() as u32);
+        self.objects.push(Object {
+            id,
+            obj_type,
+            logical_index: 0,
+            os_index,
+            name: None,
+            cpuset: Bitmap::new(),
+            nodeset: Bitmap::new(),
+            parent: Some(parent),
+            children: Vec::new(),
+            memory_children: Vec::new(),
+            attrs,
+        });
+        if obj_type.is_memory() {
+            self.objects[parent.index()].memory_children.push(id);
+        } else {
+            self.objects[parent.index()].children.push(id);
+        }
+        id
+    }
+
+    /// Adds a package (socket) under `parent`.
+    pub fn package(&mut self, parent: ObjId) -> ObjId {
+        self.push(parent, ObjectType::Package, ObjectAttrs::None, u32::MAX)
+    }
+
+    /// Adds a Group (e.g. Sub-NUMA Cluster) under `parent`.
+    pub fn group(&mut self, parent: ObjId) -> ObjId {
+        self.push(parent, ObjectType::Group, ObjectAttrs::None, u32::MAX)
+    }
+
+    /// Adds an L3 cache under `parent`.
+    pub fn l3(&mut self, parent: ObjId, size: u64) -> ObjId {
+        self.push(
+            parent,
+            ObjectType::L3Cache,
+            ObjectAttrs::Cache(CacheAttrs { size, line_size: 64, associativity: 11 }),
+            u32::MAX,
+        )
+    }
+
+    /// Adds an L2 cache under `parent`.
+    pub fn l2(&mut self, parent: ObjId, size: u64) -> ObjId {
+        self.push(
+            parent,
+            ObjectType::L2Cache,
+            ObjectAttrs::Cache(CacheAttrs { size, line_size: 64, associativity: 16 }),
+            u32::MAX,
+        )
+    }
+
+    /// Adds a core with `n_pus` hardware threads; PU OS indexes are
+    /// auto-assigned in creation order.
+    pub fn core_with_pus(&mut self, parent: ObjId, n_pus: usize) -> ObjId {
+        let core = self.push(parent, ObjectType::Core, ObjectAttrs::None, u32::MAX);
+        for _ in 0..n_pus {
+            let idx = self.next_pu_os_index;
+            self.next_pu_os_index += 1;
+            self.push(core, ObjectType::Pu, ObjectAttrs::None, idx);
+        }
+        core
+    }
+
+    /// Adds a PU with an explicit OS index under `parent` (used by the
+    /// importer; duplicates are caught at `finish`).
+    pub fn pu_os(&mut self, parent: ObjId, os_index: u32) -> ObjId {
+        self.next_pu_os_index = self.next_pu_os_index.max(os_index + 1);
+        self.push(parent, ObjectType::Pu, ObjectAttrs::None, os_index)
+    }
+
+    /// Adds `n_cores` single-thread cores under `parent`.
+    pub fn cores(&mut self, parent: ObjId, n_cores: usize) {
+        for _ in 0..n_cores {
+            self.core_with_pus(parent, 1);
+        }
+    }
+
+    /// Attaches a NUMA node (memory child) to `parent`; OS index is
+    /// auto-assigned in creation order (like Linux node numbering).
+    pub fn numa(&mut self, parent: ObjId, bytes: u64, kind: MemoryKind) -> ObjId {
+        let idx = self.next_numa_os_index;
+        self.numa_os(parent, bytes, kind, idx)
+    }
+
+    /// Attaches a NUMA node with an explicit OS index. Needed when the
+    /// platform's node numbering does not follow creation order (e.g.
+    /// KNL numbers all DRAM nodes before all MCDRAM nodes so that default
+    /// allocations never land on MCDRAM by mistake — paper footnote 21).
+    pub fn numa_os(&mut self, parent: ObjId, bytes: u64, kind: MemoryKind, os_index: u32) -> ObjId {
+        self.next_numa_os_index = self.next_numa_os_index.max(os_index + 1);
+        self.push(
+            parent,
+            ObjectType::NumaNode,
+            ObjectAttrs::Numa(NumaAttrs { local_memory: bytes, kind }),
+            os_index,
+        )
+    }
+
+    /// Attaches a memory-side cache to `parent` and returns it; the NUMA
+    /// node(s) it fronts should then be attached to the returned cache.
+    pub fn memory_side_cache(&mut self, parent: ObjId, size: u64) -> ObjId {
+        self.push(
+            parent,
+            ObjectType::MemCache,
+            ObjectAttrs::Cache(CacheAttrs { size, line_size: 64, associativity: 1 }),
+            u32::MAX,
+        )
+    }
+
+    /// Sets the display name of an object.
+    pub fn set_name(&mut self, obj: ObjId, name: &str) {
+        self.objects[obj.index()].name = Some(name.to_string());
+    }
+
+    /// Finishes the topology: computes cpusets and nodesets bottom-up,
+    /// assigns `L#` logical indexes depth-first, validates invariants.
+    pub fn finish(mut self) -> Result<Topology, BuildError> {
+        self.compute_sets(self.root);
+        self.assign_logical_indexes();
+        self.validate()?;
+        Ok(Topology::from_parts(self.objects, self.root))
+    }
+
+    /// Convenience wrapper: panics on structural errors. All built-in
+    /// platform builders use it since their structure is static.
+    pub fn finish_unchecked(self) -> Topology {
+        self.finish().expect("static platform must be structurally valid")
+    }
+
+    fn compute_sets(&mut self, id: ObjId) {
+        let children = self.objects[id.index()].children.clone();
+        let memory_children = self.objects[id.index()].memory_children.clone();
+        let mut cpuset = Bitmap::new();
+        let mut nodeset = Bitmap::new();
+
+        if self.objects[id.index()].obj_type == ObjectType::Pu {
+            cpuset.set(self.objects[id.index()].os_index as usize);
+        }
+        for &c in &children {
+            self.compute_sets(c);
+            cpuset.or_assign(&self.objects[c.index()].cpuset);
+            nodeset.or_assign(&self.objects[c.index()].nodeset);
+        }
+        for &m in &memory_children {
+            self.compute_memory_sets(m, id);
+            nodeset.or_assign(&self.objects[m.index()].nodeset);
+        }
+        self.objects[id.index()].cpuset = cpuset;
+        self.objects[id.index()].nodeset = nodeset;
+    }
+
+    /// Memory objects inherit the cpuset of the normal object they are
+    /// attached under (their locality); their nodeset covers the NUMA
+    /// nodes at or below them.
+    fn compute_memory_sets(&mut self, id: ObjId, locality_parent: ObjId) {
+        let memory_children = self.objects[id.index()].memory_children.clone();
+        let mut nodeset = Bitmap::new();
+        if self.objects[id.index()].obj_type == ObjectType::NumaNode {
+            nodeset.set(self.objects[id.index()].os_index as usize);
+        }
+        for &m in &memory_children {
+            self.compute_memory_sets(m, locality_parent);
+            nodeset.or_assign(&self.objects[m.index()].nodeset);
+        }
+        self.objects[id.index()].nodeset = nodeset;
+        // cpuset is filled after the locality parent's own children are
+        // done; but children of the parent never change after this point
+        // in the DFS, so compute directly from the parent's descendants.
+        let parent_cpuset = self.descendant_cpuset(locality_parent);
+        self.objects[id.index()].cpuset = parent_cpuset;
+    }
+
+    fn descendant_cpuset(&self, id: ObjId) -> Bitmap {
+        let obj = &self.objects[id.index()];
+        let mut set = Bitmap::new();
+        if obj.obj_type == ObjectType::Pu {
+            set.set(obj.os_index as usize);
+        }
+        for &c in &obj.children {
+            set.or_assign(&self.descendant_cpuset(c));
+        }
+        set
+    }
+
+    fn assign_logical_indexes(&mut self) {
+        let mut counters = std::collections::HashMap::new();
+        let mut stack = vec![self.root];
+        // Depth-first, normal children before memory children at each
+        // level: NUMA nodes attached deep in the hierarchy (SNC-group
+        // DRAM) get lower L# than shallow ones (package NVDIMM), which
+        // is the ordering hwloc/Fig. 5 exhibits — and the reason
+        // default allocations go to DRAM first.
+        while let Some(id) = stack.pop() {
+            let t = self.objects[id.index()].obj_type;
+            let c = counters.entry(t).or_insert(0u32);
+            self.objects[id.index()].logical_index = *c;
+            *c += 1;
+            let obj = &self.objects[id.index()];
+            // Push in reverse so iteration order matches creation order.
+            let mut next: Vec<ObjId> = Vec::with_capacity(obj.children.len() + obj.memory_children.len());
+            next.extend(obj.children.iter().copied());
+            next.extend(obj.memory_children.iter().copied());
+            for &n in next.iter().rev() {
+                stack.push(n);
+            }
+        }
+    }
+
+    fn validate(&self) -> Result<(), BuildError> {
+        let mut pu_seen = std::collections::HashSet::new();
+        let mut numa_seen = std::collections::HashSet::new();
+        for obj in &self.objects {
+            match obj.obj_type {
+                ObjectType::Pu
+                    if !pu_seen.insert(obj.os_index) => {
+                        return Err(BuildError::DuplicatePuIndex(obj.os_index));
+                    }
+                ObjectType::NumaNode
+                    if !numa_seen.insert(obj.os_index) => {
+                        return Err(BuildError::DuplicateNumaIndex(obj.os_index));
+                    }
+                t if !t.is_memory() && t != ObjectType::Machine
+                    && obj.cpuset.is_zero() => {
+                        return Err(BuildError::EmptyInternalObject(t));
+                    }
+                _ => {}
+            }
+            // Memory objects must be reachable via memory-children only.
+            if let Some(p) = obj.parent {
+                let parent = &self.objects[p.index()];
+                let in_mem = parent.memory_children.contains(&obj.id);
+                let in_normal = parent.children.contains(&obj.id);
+                if obj.obj_type.is_memory() && !in_mem {
+                    return Err(BuildError::MisattachedObject(obj.obj_type));
+                }
+                if !obj.obj_type.is_memory() && !in_normal {
+                    return Err(BuildError::MisattachedObject(obj.obj_type));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GIB;
+
+    fn tiny() -> Topology {
+        // 1 package, 2 cores, 1 DRAM node.
+        let mut b = TopologyBuilder::new("tiny");
+        let root = b.root();
+        let pkg = b.package(root);
+        b.numa(pkg, 4 * GIB, MemoryKind::Dram);
+        b.cores(pkg, 2);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn cpusets_propagate_up() {
+        let t = tiny();
+        let machine = t.object(t.root());
+        assert_eq!(machine.cpuset.to_string(), "0-1");
+        assert_eq!(machine.nodeset.to_string(), "0");
+    }
+
+    #[test]
+    fn numa_inherits_parent_locality() {
+        let t = tiny();
+        let numa = t.objects_of_type(ObjectType::NumaNode).next().unwrap();
+        assert_eq!(numa.cpuset.to_string(), "0-1");
+        assert_eq!(numa.nodeset.to_string(), "0");
+    }
+
+    #[test]
+    fn logical_indexes_are_dense_per_type() {
+        let mut b = TopologyBuilder::new("two-socket");
+        let root = b.root();
+        for _ in 0..2 {
+            let pkg = b.package(root);
+            b.numa(pkg, GIB, MemoryKind::Dram);
+            b.cores(pkg, 2);
+        }
+        let t = b.finish().unwrap();
+        let pkgs: Vec<u32> =
+            t.objects_of_type(ObjectType::Package).map(|o| o.logical_index).collect();
+        assert_eq!(pkgs, vec![0, 1]);
+        let pus: Vec<u32> = t.objects_of_type(ObjectType::Pu).map(|o| o.logical_index).collect();
+        assert_eq!(pus, vec![0, 1, 2, 3]);
+        let numas: Vec<u32> =
+            t.objects_of_type(ObjectType::NumaNode).map(|o| o.logical_index).collect();
+        assert_eq!(numas, vec![0, 1]);
+    }
+
+    #[test]
+    fn memory_side_cache_chain() {
+        // DRAM cache in front of an NVDIMM node (Xeon 2LM).
+        let mut b = TopologyBuilder::new("2lm");
+        let root = b.root();
+        let pkg = b.package(root);
+        let cache = b.memory_side_cache(pkg, 192 * GIB);
+        b.numa(cache, 768 * GIB, MemoryKind::Nvdimm);
+        b.cores(pkg, 4);
+        let t = b.finish().unwrap();
+        let cache_obj = t.objects_of_type(ObjectType::MemCache).next().unwrap();
+        assert_eq!(cache_obj.memory_children.len(), 1);
+        assert_eq!(cache_obj.cpuset.to_string(), "0-3");
+        assert_eq!(cache_obj.nodeset.to_string(), "0");
+    }
+
+    #[test]
+    fn empty_internal_object_rejected() {
+        let mut b = TopologyBuilder::new("bad");
+        let root = b.root();
+        let pkg = b.package(root);
+        let _empty_group = b.group(pkg); // no PUs below
+        b.cores(pkg, 1);
+        assert!(matches!(b.finish(), Err(BuildError::EmptyInternalObject(ObjectType::Group))));
+    }
+
+    #[test]
+    fn machine_may_be_memoryless_cpuless() {
+        // A machine with nothing but one PU is fine.
+        let mut b = TopologyBuilder::new("bare");
+        let root = b.root();
+        b.cores(root, 1);
+        assert!(b.finish().is_ok());
+    }
+}

@@ -1,0 +1,180 @@
+//! NUMA distances matrices (hwloc's `hwloc_distances_s`).
+//!
+//! A distances matrix records a relative value (classically the ACPI
+//! SLIT latency ratio, 10 = local) between every pair of NUMA nodes.
+//! The memory-attributes API supersedes this for heterogeneous memory,
+//! but hwloc still exposes distances and some allocation policies use
+//! them, so we keep a faithful implementation.
+
+use crate::NodeId;
+
+/// Convenience constructor for [`DistanceKind::RelativeLatency`]
+/// usable without importing the enum.
+pub fn distance_kind_latency() -> DistanceKind {
+    DistanceKind::RelativeLatency
+}
+
+/// What the matrix values mean.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DistanceKind {
+    /// Relative latency (ACPI SLIT convention, 10 = local).
+    RelativeLatency,
+    /// Relative bandwidth (higher is better).
+    RelativeBandwidth,
+}
+
+/// A dense node-to-node distances matrix.
+#[derive(Debug, Clone)]
+pub struct DistancesMatrix {
+    kind: DistanceKind,
+    nodes: Vec<NodeId>,
+    /// Row-major `nodes.len() × nodes.len()` values.
+    values: Vec<u64>,
+}
+
+impl DistancesMatrix {
+    /// Builds a matrix; `values` must be `nodes.len()²` row-major
+    /// entries.
+    pub fn new(kind: DistanceKind, nodes: Vec<NodeId>, values: Vec<u64>) -> Result<Self, String> {
+        if values.len() != nodes.len() * nodes.len() {
+            return Err(format!(
+                "distances need {} values for {} nodes, got {}",
+                nodes.len() * nodes.len(),
+                nodes.len(),
+                values.len()
+            ));
+        }
+        Ok(DistancesMatrix { kind, nodes, values })
+    }
+
+    /// Builds a classic SLIT-style latency matrix from a closure.
+    pub fn from_fn(
+        kind: DistanceKind,
+        nodes: Vec<NodeId>,
+        f: impl Fn(NodeId, NodeId) -> u64,
+    ) -> Self {
+        let mut values = Vec::with_capacity(nodes.len() * nodes.len());
+        for &a in &nodes {
+            for &b in &nodes {
+                values.push(f(a, b));
+            }
+        }
+        DistancesMatrix { kind, nodes, values }
+    }
+
+    /// The matrix kind.
+    pub fn kind(&self) -> DistanceKind {
+        self.kind
+    }
+
+    /// Nodes covered by this matrix, in row/column order.
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// Looks up the distance from `a` to `b`.
+    pub fn value(&self, a: NodeId, b: NodeId) -> Option<u64> {
+        let ia = self.nodes.iter().position(|&n| n == a)?;
+        let ib = self.nodes.iter().position(|&n| n == b)?;
+        Some(self.values[ia * self.nodes.len() + ib])
+    }
+
+    /// True when the matrix is symmetric.
+    pub fn is_symmetric(&self) -> bool {
+        let n = self.nodes.len();
+        for i in 0..n {
+            for j in 0..i {
+                if self.values[i * n + j] != self.values[j * n + i] {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// The nearest other node to `a` (lowest latency / highest
+    /// bandwidth, depending on kind).
+    pub fn nearest(&self, a: NodeId) -> Option<NodeId> {
+        let candidates = self.nodes.iter().copied().filter(|&b| b != a);
+        match self.kind {
+            DistanceKind::RelativeLatency => {
+                candidates.min_by_key(|&b| self.value(a, b).unwrap_or(u64::MAX))
+            }
+            DistanceKind::RelativeBandwidth => {
+                candidates.max_by_key(|&b| self.value(a, b).unwrap_or(0))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn slit2() -> DistancesMatrix {
+        DistancesMatrix::new(
+            DistanceKind::RelativeLatency,
+            vec![NodeId(0), NodeId(1)],
+            vec![10, 21, 21, 10],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn lookup() {
+        let d = slit2();
+        assert_eq!(d.value(NodeId(0), NodeId(0)), Some(10));
+        assert_eq!(d.value(NodeId(0), NodeId(1)), Some(21));
+        assert_eq!(d.value(NodeId(0), NodeId(7)), None);
+    }
+
+    #[test]
+    fn symmetry() {
+        assert!(slit2().is_symmetric());
+        let asym = DistancesMatrix::new(
+            DistanceKind::RelativeLatency,
+            vec![NodeId(0), NodeId(1)],
+            vec![10, 21, 31, 10],
+        )
+        .unwrap();
+        assert!(!asym.is_symmetric());
+    }
+
+    #[test]
+    fn bad_size_rejected() {
+        assert!(DistancesMatrix::new(
+            DistanceKind::RelativeLatency,
+            vec![NodeId(0), NodeId(1)],
+            vec![10, 21, 21],
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn nearest_node() {
+        let d = DistancesMatrix::from_fn(
+            DistanceKind::RelativeLatency,
+            vec![NodeId(0), NodeId(1), NodeId(2)],
+            |a, b| {
+                if a == b {
+                    10
+                } else {
+                    10 + 7 * (a.0 as i64 - b.0 as i64).unsigned_abs()
+                }
+            },
+        );
+        assert_eq!(d.nearest(NodeId(0)), Some(NodeId(1)));
+        assert_eq!(d.nearest(NodeId(2)), Some(NodeId(1)));
+    }
+
+    #[test]
+    fn nearest_by_bandwidth_prefers_max() {
+        let d = DistancesMatrix::new(
+            DistanceKind::RelativeBandwidth,
+            vec![NodeId(0), NodeId(1), NodeId(2)],
+            vec![100, 20, 80, 20, 100, 30, 80, 30, 100],
+        )
+        .unwrap();
+        assert_eq!(d.nearest(NodeId(0)), Some(NodeId(2)));
+    }
+}

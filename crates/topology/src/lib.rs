@@ -1,0 +1,72 @@
+//! hwloc-style hardware topology model.
+//!
+//! This crate is the structural substrate of the `hetmem` workspace: it
+//! models a machine as a tree of objects (Machine → Package → Group/SNC →
+//! Core → PU) with *memory objects* (NUMA nodes and memory-side caches)
+//! attached to the CPU hierarchy at the level that expresses their
+//! locality, exactly like hwloc ≥ 2.0 does (Goglin, MEMSYS'16).
+//!
+//! It deliberately contains **no performance information**: bandwidth,
+//! latency and other metrics live in `hetmem-core` (the memory-attributes
+//! API reproduced from the paper), and timing behaviour lives in
+//! `hetmem-memsim`.
+//!
+//! The [`platforms`] module builds the machines used throughout the
+//! paper: the KNL Xeon Phi 7230 in several modes (Fig. 1), the dual Xeon
+//! Cascade Lake 6230 with NVDIMMs (Fig. 2), the fictitious
+//! four-kinds-of-memory platform (Fig. 3), and a few extras.
+//!
+//! # Example
+//!
+//! ```
+//! use hetmem_topology::platforms;
+//! use hetmem_topology::{LocalityFlags, ObjectType};
+//!
+//! let topo = platforms::knl_snc4_flat();
+//! // 4 SNC clusters, each with one DRAM and one MCDRAM node:
+//! assert_eq!(topo.objects_of_type(ObjectType::NumaNode).count(), 8);
+//!
+//! // A thread on PU#0 sees exactly two local NUMA nodes (its cluster's
+//! // DRAM and MCDRAM, both attached at a larger locality than one PU).
+//! let pu0 = topo.pu_by_os_index(0).unwrap();
+//! let local = topo.local_numa_nodes(topo.cpuset(pu0), LocalityFlags::larger());
+//! assert_eq!(local.len(), 2);
+//! ```
+
+
+#![warn(missing_docs)]
+mod builder;
+mod distances;
+mod locality;
+mod object;
+pub mod platforms;
+mod render;
+mod serialize;
+mod topo;
+mod types;
+
+pub use builder::TopologyBuilder;
+pub use distances::{distance_kind_latency, DistanceKind, DistancesMatrix};
+pub use locality::LocalityFlags;
+pub use object::{ObjId, Object};
+pub use serialize::ImportError;
+pub use topo::Topology;
+pub use types::{CacheAttrs, MemoryKind, NumaAttrs, ObjectAttrs, ObjectType};
+
+/// Identifier of a NUMA node: its OS index (like a Linux node number).
+///
+/// This is the cross-crate currency for referring to memory targets; the
+/// simulator, the attributes API and the allocator all use it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "node#{}", self.0)
+    }
+}
+
+/// Convenience constant: gibibytes.
+pub const GIB: u64 = 1024 * 1024 * 1024;
+/// Convenience constant: mebibytes.
+pub const MIB: u64 = 1024 * 1024;

@@ -1,0 +1,61 @@
+//! Topology objects and their arena handle.
+
+use crate::types::{ObjectAttrs, ObjectType};
+use hetmem_bitmap::Bitmap;
+
+/// Handle to an object inside a [`crate::Topology`] arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ObjId(pub(crate) u32);
+
+impl ObjId {
+    /// Index into the topology's object arena.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One node in the topology tree.
+///
+/// Mirrors `hwloc_obj`: normal children form the CPU hierarchy, memory
+/// children attach NUMA nodes and memory-side caches at their locality.
+#[derive(Debug, Clone)]
+pub struct Object {
+    /// This object's arena handle.
+    pub id: ObjId,
+    /// The object type.
+    pub obj_type: ObjectType,
+    /// Index among objects of the same type, in depth-first order
+    /// (hwloc's `L#`). Assigned by the builder.
+    pub logical_index: u32,
+    /// OS-assigned index (hwloc's `P#`): PU number for PUs, Linux node
+    /// number for NUMA nodes. `u32::MAX` when not applicable.
+    pub os_index: u32,
+    /// Optional name (e.g. a platform model string on the Machine).
+    pub name: Option<String>,
+    /// Set of PUs covered by (or local to) this object.
+    pub cpuset: Bitmap,
+    /// Set of NUMA nodes attached at or below this object.
+    pub nodeset: Bitmap,
+    /// Parent object (`None` for the root Machine).
+    pub parent: Option<ObjId>,
+    /// Normal children (CPU hierarchy).
+    pub children: Vec<ObjId>,
+    /// Memory children (NUMA nodes, memory-side caches). A memory-side
+    /// cache in front of a NUMA node holds that node as its own memory
+    /// child, like hwloc 2.x.
+    pub memory_children: Vec<ObjId>,
+    /// Type-specific attributes.
+    pub attrs: ObjectAttrs,
+}
+
+impl Object {
+    /// True when `os_index` carries a meaningful value.
+    pub fn has_os_index(&self) -> bool {
+        self.os_index != u32::MAX
+    }
+
+    /// Capacity in bytes for NUMA nodes, 0 otherwise.
+    pub fn local_memory(&self) -> u64 {
+        self.attrs.as_numa().map_or(0, |n| n.local_memory)
+    }
+}

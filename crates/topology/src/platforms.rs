@@ -1,0 +1,382 @@
+//! Builders for the machines used in the paper (and a few extras).
+//!
+//! | Builder | Paper reference |
+//! |---|---|
+//! | [`knl_snc4_hybrid50`] | Fig. 1 — Xeon Phi in SNC4/Hybrid50 mode |
+//! | [`knl_snc4_flat`] | §VI use case — Xeon Phi 7230 SNC-4 Flat |
+//! | [`knl_quadrant_cache`] | §II-A — KNL Cache mode |
+//! | [`xeon_1lm`] | Fig. 2 / Fig. 5 — dual Xeon 6230, NVDIMMs as NUMA |
+//! | [`xeon_1lm_no_snc`] | §VI use case — same machine, SNC disabled |
+//! | [`xeon_2lm`] | §II-B — DRAM as memory-side cache of NVDIMMs |
+//! | [`fictitious`] | Fig. 3 — HBM + DRAM + NVDIMM + network-attached |
+//! | [`homogeneous`] | §IV — plain NUMA platform |
+//! | [`power9_gpu`] | §II-C — GPU memory exposed as host NUMA nodes |
+//! | [`fugaku_like`] | §II-C — HBM-only A64FX-style node |
+
+use crate::builder::TopologyBuilder;
+use crate::topo::Topology;
+use crate::types::MemoryKind;
+use crate::{GIB, MIB};
+
+/// Fig. 1: Xeon Phi 7290-style processor in **SNC4 / Hybrid50** mode.
+///
+/// 4 Sub-NUMA Clusters of 18 cores; each cluster has 12 GB of DRAM
+/// behind a 2 GB MCDRAM memory-side cache, plus 2 GB of flat MCDRAM
+/// exposed as a separate NUMA node. DRAM nodes are numbered 0–3,
+/// MCDRAM nodes 4–7.
+pub fn knl_snc4_hybrid50() -> Topology {
+    let mut b = TopologyBuilder::new("Intel Xeon Phi (KNL) SNC4/Hybrid50");
+    let root = b.root();
+    let pkg = b.package(root);
+    let mut clusters = Vec::new();
+    for _ in 0..4 {
+        let g = b.group(pkg);
+        clusters.push(g);
+        // 18 cores = 9 tiles of 2 cores sharing 1MB L2.
+        for _ in 0..9 {
+            let l2 = b.l2(g, MIB);
+            b.cores(l2, 2);
+        }
+    }
+    for (i, &g) in clusters.iter().enumerate() {
+        let cache = b.memory_side_cache(g, 2 * GIB);
+        b.numa_os(cache, 12 * GIB, MemoryKind::Dram, i as u32);
+    }
+    for (i, &g) in clusters.iter().enumerate() {
+        b.numa_os(g, 2 * GIB, MemoryKind::Hbm, 4 + i as u32);
+    }
+    b.finish_unchecked()
+}
+
+/// §VI use case: Xeon Phi **7230 in SNC-4 Flat** mode (memory-side cache
+/// disabled).
+///
+/// 64 cores in 4 clusters of 16; per cluster 24 GB DRAM (nodes 0–3) and
+/// 4 GB MCDRAM exposed flat (nodes 4–7).
+pub fn knl_snc4_flat() -> Topology {
+    let mut b = TopologyBuilder::new("Intel Xeon Phi 7230 (KNL) SNC-4 Flat");
+    let root = b.root();
+    let pkg = b.package(root);
+    let mut clusters = Vec::new();
+    for _ in 0..4 {
+        let g = b.group(pkg);
+        clusters.push(g);
+        for _ in 0..8 {
+            let l2 = b.l2(g, MIB);
+            b.cores(l2, 2);
+        }
+    }
+    for (i, &g) in clusters.iter().enumerate() {
+        b.numa_os(g, 24 * GIB, MemoryKind::Dram, i as u32);
+    }
+    for (i, &g) in clusters.iter().enumerate() {
+        b.numa_os(g, 4 * GIB, MemoryKind::Hbm, 4 + i as u32);
+    }
+    b.finish_unchecked()
+}
+
+/// §II-A: KNL in **Quadrant / Cache** mode: the whole 16 GB of MCDRAM is
+/// a hardware-managed memory-side cache in front of 96 GB of DRAM; a
+/// single NUMA node is visible.
+pub fn knl_quadrant_cache() -> Topology {
+    let mut b = TopologyBuilder::new("Intel Xeon Phi 7230 (KNL) Quadrant/Cache");
+    let root = b.root();
+    let pkg = b.package(root);
+    for _ in 0..32 {
+        let l2 = b.l2(pkg, MIB);
+        b.cores(l2, 2);
+    }
+    let cache = b.memory_side_cache(pkg, 16 * GIB);
+    b.numa_os(cache, 96 * GIB, MemoryKind::Dram, 0);
+    b.finish_unchecked()
+}
+
+/// Fig. 2 / Fig. 5: dual **Xeon Gold 6230** (20 cores each) with
+/// Sub-NUMA Clustering enabled and NVDIMMs in 1-Level-Memory mode.
+///
+/// Per package: 2 SNC clusters of 10 cores with 96 GB DRAM each, plus
+/// one 768 GB NVDIMM node at package locality. Node numbering matches
+/// Fig. 5: package 0 → DRAM 0,1 + NVDIMM 2; package 1 → DRAM 3,4 +
+/// NVDIMM 5.
+pub fn xeon_1lm() -> Topology {
+    let mut b = TopologyBuilder::new("dual Xeon Gold 6230, 1LM, SNC2");
+    let root = b.root();
+    for p in 0..2u32 {
+        let pkg = b.package(root);
+        let l3 = b.l3(pkg, 27904 * 1024); // 27.5 MB shared LLC
+        for s in 0..2u32 {
+            let g = b.group(l3);
+            b.cores(g, 10);
+            b.numa_os(g, 96 * GIB, MemoryKind::Dram, p * 3 + s);
+        }
+        b.numa_os(pkg, 768 * GIB, MemoryKind::Nvdimm, p * 3 + 2);
+    }
+    b.finish_unchecked()
+}
+
+/// §VI use case: the same dual Xeon 6230 with **SNC disabled**: one
+/// 192 GB DRAM node per package (nodes 0–1) and one 768 GB NVDIMM per
+/// package (nodes 2–3).
+pub fn xeon_1lm_no_snc() -> Topology {
+    let mut b = TopologyBuilder::new("dual Xeon Gold 6230, 1LM, SNC off");
+    let root = b.root();
+    let mut pkgs = Vec::new();
+    for p in 0..2u32 {
+        let pkg = b.package(root);
+        pkgs.push(pkg);
+        let l3 = b.l3(pkg, 27904 * 1024);
+        b.cores(l3, 20);
+        b.numa_os(pkg, 192 * GIB, MemoryKind::Dram, p);
+    }
+    for (p, &pkg) in pkgs.iter().enumerate() {
+        b.numa_os(pkg, 768 * GIB, MemoryKind::Nvdimm, 2 + p as u32);
+    }
+    b.finish_unchecked()
+}
+
+/// §II-B: the Xeon machine in **2-Level-Memory** mode: per package the
+/// 192 GB of DRAM acts as a memory-side cache in front of the 768 GB
+/// NVDIMM node; only the NVDIMM-backed nodes are visible.
+pub fn xeon_2lm() -> Topology {
+    let mut b = TopologyBuilder::new("dual Xeon Gold 6230, 2LM");
+    let root = b.root();
+    for p in 0..2u32 {
+        let pkg = b.package(root);
+        let l3 = b.l3(pkg, 27904 * 1024);
+        b.cores(l3, 20);
+        let cache = b.memory_side_cache(pkg, 192 * GIB);
+        b.numa_os(cache, 768 * GIB, MemoryKind::Nvdimm, p);
+    }
+    b.finish_unchecked()
+}
+
+/// Fig. 3: the fictitious platform with **four kinds of memory**.
+///
+/// 2 packages; each has a DRAM node and an NVDIMM node at package
+/// locality, and 2 Sub-NUMA Clusters each with a local HBM node. A
+/// network-attached memory (NAM) hangs off the whole machine.
+///
+/// Node numbering: per package DRAM first then NVDIMM then cluster HBMs
+/// (pkg0 → 0:DRAM 1:NVDIMM 2,3:HBM; pkg1 → 4:DRAM 5:NVDIMM 6,7:HBM),
+/// NAM last (8).
+pub fn fictitious() -> Topology {
+    let mut b = TopologyBuilder::new("fictitious heterogeneous platform (Fig. 3)");
+    let root = b.root();
+    for p in 0..2u32 {
+        let pkg = b.package(root);
+        let base = p * 4;
+        b.numa_os(pkg, 64 * GIB, MemoryKind::Dram, base);
+        b.numa_os(pkg, 512 * GIB, MemoryKind::Nvdimm, base + 1);
+        for s in 0..2u32 {
+            let g = b.group(pkg);
+            b.cores(g, 4);
+            b.numa_os(g, 8 * GIB, MemoryKind::Hbm, base + 2 + s);
+        }
+    }
+    b.numa_os(root, 1024 * GIB, MemoryKind::NetworkAttached, 8);
+    b.finish_unchecked()
+}
+
+/// §VIII: a four-socket Xeon with SNC2 — "8 NUMA nodes DRAM (each
+/// processor can be configured in 2 SubNUMA Clusters as in the Figure
+/// 3) and 4 NVDIMMs (one per processor)". Node numbering per package:
+/// 2 DRAM then 1 NVDIMM (0,1,2 / 3,4,5 / ...).
+pub fn xeon_4s_snc() -> Topology {
+    let mut b = TopologyBuilder::new("quad Xeon, SNC2, NVDIMMs in 1LM");
+    let root = b.root();
+    for p in 0..4u32 {
+        let pkg = b.package(root);
+        let l3 = b.l3(pkg, 27904 * 1024);
+        for s in 0..2u32 {
+            let g = b.group(l3);
+            b.cores(g, 10);
+            b.numa_os(g, 96 * GIB, MemoryKind::Dram, p * 3 + s);
+        }
+        b.numa_os(pkg, 768 * GIB, MemoryKind::Nvdimm, p * 3 + 2);
+    }
+    b.finish_unchecked()
+}
+
+/// A plain homogeneous NUMA machine: `n_packages` sockets of
+/// `cores_per_package` cores with `mem_per_package` bytes of DRAM each.
+///
+/// §IV notes the attributes API "could actually also be used for
+/// homogeneous NUMA platforms since latency or bandwidth indicate
+/// whether NUMA nodes are close or far away from cores".
+pub fn homogeneous(n_packages: u32, cores_per_package: u32, mem_per_package: u64) -> Topology {
+    let mut b = TopologyBuilder::new("homogeneous NUMA");
+    let root = b.root();
+    for p in 0..n_packages {
+        let pkg = b.package(root);
+        b.cores(pkg, cores_per_package as usize);
+        b.numa_os(pkg, mem_per_package, MemoryKind::Dram, p);
+    }
+    b.finish_unchecked()
+}
+
+/// §II-C: POWER9-style platform where **GPU memory appears as host NUMA
+/// nodes**: 2 packages with DRAM (nodes 0–1) and 2 V100-style 16 GB GPU
+/// memory nodes per package (nodes 2–5).
+pub fn power9_gpu() -> Topology {
+    let mut b = TopologyBuilder::new("POWER9 + V100 GPUs");
+    let root = b.root();
+    let mut pkgs = Vec::new();
+    for p in 0..2u32 {
+        let pkg = b.package(root);
+        pkgs.push(pkg);
+        b.cores(pkg, 16);
+        b.numa_os(pkg, 256 * GIB, MemoryKind::Dram, p);
+    }
+    for (p, &pkg) in pkgs.iter().enumerate() {
+        for g in 0..2u32 {
+            b.numa_os(pkg, 16 * GIB, MemoryKind::GpuMemory, 2 + 2 * p as u32 + g);
+        }
+    }
+    b.finish_unchecked()
+}
+
+/// §II-C: A64FX/Fugaku-style node: **HBM only** (no second memory kind,
+/// hence no performance/productivity trade-off). 4 core-memory-groups
+/// of 12 cores with 8 GB HBM2 each.
+pub fn fugaku_like() -> Topology {
+    let mut b = TopologyBuilder::new("A64FX-style HBM-only node");
+    let root = b.root();
+    let pkg = b.package(root);
+    for c in 0..4u32 {
+        let g = b.group(pkg);
+        b.cores(g, 12);
+        b.numa_os(g, 8 * GIB, MemoryKind::Hbm, c);
+    }
+    b.finish_unchecked()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{NodeId, ObjectType};
+
+    #[test]
+    fn knl_flat_structure() {
+        let t = knl_snc4_flat();
+        assert_eq!(t.count(ObjectType::Group), 4);
+        assert_eq!(t.count(ObjectType::Pu), 64);
+        assert_eq!(t.count(ObjectType::NumaNode), 8);
+        // DRAM numbered before MCDRAM (footnote 21).
+        for i in 0..4 {
+            assert_eq!(t.node_kind(NodeId(i)), Some(MemoryKind::Dram));
+            assert_eq!(t.node_kind(NodeId(4 + i)), Some(MemoryKind::Hbm));
+        }
+        assert_eq!(t.node_capacity(NodeId(0)), Some(24 * GIB));
+        assert_eq!(t.node_capacity(NodeId(4)), Some(4 * GIB));
+    }
+
+    #[test]
+    fn knl_hybrid_has_memory_side_caches() {
+        let t = knl_snc4_hybrid50();
+        assert_eq!(t.count(ObjectType::MemCache), 4);
+        assert_eq!(t.count(ObjectType::Pu), 72);
+        assert_eq!(t.node_capacity(NodeId(0)), Some(12 * GIB));
+        assert_eq!(t.node_capacity(NodeId(4)), Some(2 * GIB));
+        // The DRAM node sits behind a 2GB cache.
+        let cache = t.memory_side_cache_of(NodeId(0)).unwrap();
+        assert_eq!(cache.attrs.as_cache().unwrap().size, 2 * GIB);
+        // The flat MCDRAM has no cache in front.
+        assert!(t.memory_side_cache_of(NodeId(4)).is_none());
+    }
+
+    #[test]
+    fn knl_cache_mode_single_node() {
+        let t = knl_quadrant_cache();
+        assert_eq!(t.count(ObjectType::NumaNode), 1);
+        let cache = t.memory_side_cache_of(NodeId(0)).unwrap();
+        assert_eq!(cache.attrs.as_cache().unwrap().size, 16 * GIB);
+    }
+
+    #[test]
+    fn xeon_1lm_matches_fig5_numbering() {
+        let t = xeon_1lm();
+        assert_eq!(t.count(ObjectType::NumaNode), 6);
+        assert_eq!(t.count(ObjectType::Pu), 40);
+        assert_eq!(t.node_kind(NodeId(0)), Some(MemoryKind::Dram));
+        assert_eq!(t.node_kind(NodeId(1)), Some(MemoryKind::Dram));
+        assert_eq!(t.node_kind(NodeId(2)), Some(MemoryKind::Nvdimm));
+        assert_eq!(t.node_kind(NodeId(3)), Some(MemoryKind::Dram));
+        assert_eq!(t.node_kind(NodeId(5)), Some(MemoryKind::Nvdimm));
+        assert_eq!(t.node_capacity(NodeId(0)), Some(96 * GIB));
+        assert_eq!(t.node_capacity(NodeId(5)), Some(768 * GIB));
+        // DRAM is group-local, NVDIMM package-local.
+        let dram = t.numa_by_os_index(NodeId(0)).unwrap();
+        let nv = t.numa_by_os_index(NodeId(2)).unwrap();
+        assert_eq!(dram.cpuset.weight(), Some(10));
+        assert_eq!(nv.cpuset.weight(), Some(20));
+        assert!(nv.cpuset.includes(&dram.cpuset));
+    }
+
+    #[test]
+    fn xeon_no_snc_structure() {
+        let t = xeon_1lm_no_snc();
+        assert_eq!(t.count(ObjectType::NumaNode), 4);
+        assert_eq!(t.node_capacity(NodeId(0)), Some(192 * GIB));
+        assert_eq!(t.node_capacity(NodeId(2)), Some(768 * GIB));
+        // DRAM and NVDIMM of one package share locality.
+        let dram = t.numa_by_os_index(NodeId(0)).unwrap();
+        let nv = t.numa_by_os_index(NodeId(2)).unwrap();
+        assert_eq!(dram.cpuset, nv.cpuset);
+        assert_eq!(dram.cpuset.weight(), Some(20));
+    }
+
+    #[test]
+    fn xeon_2lm_hides_dram() {
+        let t = xeon_2lm();
+        assert_eq!(t.count(ObjectType::NumaNode), 2);
+        assert_eq!(t.count(ObjectType::MemCache), 2);
+        assert_eq!(t.node_kind(NodeId(0)), Some(MemoryKind::Nvdimm));
+        let cache = t.memory_side_cache_of(NodeId(0)).unwrap();
+        assert_eq!(cache.attrs.as_cache().unwrap().size, 192 * GIB);
+    }
+
+    #[test]
+    fn fictitious_has_four_kinds() {
+        let t = fictitious();
+        assert_eq!(t.count(ObjectType::NumaNode), 9);
+        let kinds: std::collections::HashSet<_> =
+            t.node_ids().iter().map(|&n| t.node_kind(n).unwrap()).collect();
+        assert_eq!(kinds.len(), 4);
+        // NAM is machine-local.
+        let nam = t.numa_by_os_index(NodeId(8)).unwrap();
+        assert_eq!(&nam.cpuset, t.machine_cpuset());
+    }
+
+    #[test]
+    fn four_socket_has_twelve_nodes() {
+        let t = xeon_4s_snc();
+        assert_eq!(t.count(ObjectType::NumaNode), 12);
+        assert_eq!(t.count(ObjectType::Pu), 80);
+        let drams = t.node_ids().iter().filter(|&&n| t.node_kind(n) == Some(MemoryKind::Dram)).count();
+        assert_eq!(drams, 8);
+    }
+
+    #[test]
+    fn homogeneous_builds() {
+        let t = homogeneous(4, 8, 32 * GIB);
+        assert_eq!(t.count(ObjectType::NumaNode), 4);
+        assert_eq!(t.count(ObjectType::Pu), 32);
+        assert_eq!(t.total_memory(), 128 * GIB);
+    }
+
+    #[test]
+    fn power9_gpu_nodes() {
+        let t = power9_gpu();
+        assert_eq!(t.count(ObjectType::NumaNode), 6);
+        assert_eq!(t.node_kind(NodeId(3)), Some(MemoryKind::GpuMemory));
+    }
+
+    #[test]
+    fn fugaku_hbm_only() {
+        let t = fugaku_like();
+        let kinds: std::collections::HashSet<_> =
+            t.node_ids().iter().map(|&n| t.node_kind(n).unwrap()).collect();
+        assert_eq!(kinds, std::collections::HashSet::from([MemoryKind::Hbm]));
+        assert_eq!(t.count(ObjectType::Pu), 48);
+    }
+}

@@ -1,0 +1,175 @@
+//! lstopo-like ASCII rendering of a topology.
+//!
+//! Produces an indented tree close to `lstopo --of console`, used to
+//! regenerate the paper's Figures 1–3.
+
+use crate::object::ObjId;
+use crate::topo::Topology;
+use crate::types::{ObjectAttrs, ObjectType};
+use std::fmt::Write;
+
+/// Formats a byte count the way lstopo does (GB/MB with no decimals for
+/// round values).
+pub fn format_bytes(bytes: u64) -> String {
+    const GIB: u64 = 1024 * 1024 * 1024;
+    const MIB: u64 = 1024 * 1024;
+    const KIB: u64 = 1024;
+    if bytes >= GIB && bytes.is_multiple_of(GIB) {
+        format!("{}GB", bytes / GIB)
+    } else if bytes >= GIB {
+        format!("{:.1}GB", bytes as f64 / GIB as f64)
+    } else if bytes >= MIB && bytes.is_multiple_of(MIB) {
+        format!("{}MB", bytes / MIB)
+    } else if bytes >= KIB {
+        format!("{}KB", bytes / KIB)
+    } else {
+        format!("{bytes}B")
+    }
+}
+
+impl Topology {
+    /// Renders the whole topology as an indented ASCII tree.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_obj(self.root(), 0, &mut out);
+        out
+    }
+
+    fn render_obj(&self, id: ObjId, depth: usize, out: &mut String) {
+        let obj = self.object(id);
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+        match obj.obj_type {
+            ObjectType::Machine => {
+                let name = obj.name.as_deref().unwrap_or("Machine");
+                let total = format_bytes(self.total_memory());
+                writeln!(out, "Machine ({total} total) \"{name}\"").unwrap();
+            }
+            ObjectType::NumaNode => {
+                let n = obj.attrs.as_numa().unwrap();
+                writeln!(
+                    out,
+                    "NUMANode L#{} (P#{} {}) [{}]",
+                    obj.logical_index,
+                    obj.os_index,
+                    format_bytes(n.local_memory),
+                    n.kind
+                )
+                .unwrap();
+            }
+            ObjectType::MemCache => {
+                let c = obj.attrs.as_cache().unwrap();
+                writeln!(out, "MemCache L#{} ({})", obj.logical_index, format_bytes(c.size))
+                    .unwrap();
+            }
+            ObjectType::L2Cache | ObjectType::L3Cache => {
+                let c = match &obj.attrs {
+                    ObjectAttrs::Cache(c) => c,
+                    _ => unreachable!("cache object without cache attrs"),
+                };
+                writeln!(
+                    out,
+                    "{} L#{} ({})",
+                    obj.obj_type.short_name(),
+                    obj.logical_index,
+                    format_bytes(c.size)
+                )
+                .unwrap();
+            }
+            ObjectType::Pu => {
+                writeln!(out, "PU L#{} (P#{})", obj.logical_index, obj.os_index).unwrap();
+            }
+            ObjectType::Package | ObjectType::Group | ObjectType::Core => {
+                writeln!(out, "{} L#{}", obj.obj_type.short_name(), obj.logical_index).unwrap();
+            }
+        }
+        // Memory children first (lstopo draws memory above the cores).
+        for &m in &obj.memory_children {
+            self.render_obj(m, depth + 1, out);
+        }
+        for &c in &obj.children {
+            self.render_obj(c, depth + 1, out);
+        }
+    }
+
+    /// Renders a compact one-line-per-NUMA-node summary, convenient for
+    /// tables and logs.
+    pub fn render_numa_summary(&self) -> String {
+        let mut out = String::new();
+        for node in self.objects_of_type(ObjectType::NumaNode) {
+            let n = node.attrs.as_numa().unwrap();
+            writeln!(
+                out,
+                "NUMANode P#{} [{}] {} cpuset={}",
+                node.os_index,
+                n.kind,
+                format_bytes(n.local_memory),
+                node.cpuset
+            )
+            .unwrap();
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platforms;
+
+    #[test]
+    fn bytes_formatting() {
+        assert_eq!(format_bytes(24 * 1024 * 1024 * 1024), "24GB");
+        assert_eq!(format_bytes(1536 * 1024 * 1024), "1.5GB");
+        assert_eq!(format_bytes(1024 * 1024), "1MB");
+        assert_eq!(format_bytes(512), "512B");
+        assert_eq!(format_bytes(2048), "2KB");
+    }
+
+    #[test]
+    fn knl_render_contains_structure() {
+        let r = platforms::knl_snc4_flat().render();
+        assert!(r.contains("Machine"));
+        assert_eq!(r.matches("Group0").count(), 4);
+        assert_eq!(r.matches("NUMANode").count(), 8);
+        assert!(r.contains("[DRAM]"));
+        assert!(r.contains("[HBM]"));
+        assert!(r.contains("24GB"));
+        assert!(r.contains("4GB"));
+    }
+
+    #[test]
+    fn hybrid_render_shows_memcache() {
+        let r = platforms::knl_snc4_hybrid50().render();
+        assert_eq!(r.matches("MemCache").count(), 4);
+        assert!(r.contains("MemCache L#0 (2GB)"));
+        assert!(r.contains("12GB"));
+    }
+
+    #[test]
+    fn xeon_render_matches_fig2_shape() {
+        let r = platforms::xeon_1lm().render();
+        assert_eq!(r.matches("Package").count(), 2);
+        assert_eq!(r.matches("[NVDIMM]").count(), 2);
+        assert_eq!(r.matches("[DRAM]").count(), 4);
+        assert!(r.contains("768GB"));
+        assert!(r.contains("96GB"));
+    }
+
+    #[test]
+    fn numa_summary_lists_all_nodes() {
+        let t = platforms::fictitious();
+        let s = t.render_numa_summary();
+        assert_eq!(s.lines().count(), 9);
+        assert!(s.contains("[NAM]"));
+    }
+
+    #[test]
+    fn memory_children_render_before_cores() {
+        let r = platforms::knl_snc4_flat().render();
+        let numa_pos = r.find("NUMANode").unwrap();
+        let core_pos = r.find("Core").unwrap();
+        assert!(numa_pos < core_pos);
+    }
+}

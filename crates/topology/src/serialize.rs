@@ -1,0 +1,302 @@
+//! Topology export/import (hwloc's XML analogue, as indented text).
+//!
+//! hwloc can serialize a topology to XML so tools can load a remote
+//! machine's topology without running on it (`lstopo --input file`).
+//! We provide the same capability with a simple line-oriented format:
+//!
+//! ```text
+//! machine "name"
+//!   package
+//!     numa os=0 bytes=103079215104 kind=DRAM
+//!     l3 bytes=28573696
+//!       core
+//!         pu os=0
+//! ```
+//!
+//! Indentation (2 spaces per level) encodes the tree; memory objects
+//! are recognized by their keyword and re-attached as memory children.
+//! `export` → `import` is a lossless roundtrip for everything the
+//! builder can express (verified by tests and a property test).
+
+use crate::builder::TopologyBuilder;
+use crate::object::ObjId;
+use crate::topo::Topology;
+use crate::types::{MemoryKind, ObjectType};
+use std::fmt::Write as _;
+
+/// Import failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ImportError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Problem description.
+    pub message: String,
+}
+
+impl std::fmt::Display for ImportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ImportError {}
+
+fn kind_token(kind: MemoryKind) -> &'static str {
+    match kind {
+        MemoryKind::Dram => "DRAM",
+        MemoryKind::Hbm => "HBM",
+        MemoryKind::Nvdimm => "NVDIMM",
+        MemoryKind::NetworkAttached => "NAM",
+        MemoryKind::GpuMemory => "GPU",
+    }
+}
+
+fn parse_kind(s: &str) -> Option<MemoryKind> {
+    Some(match s {
+        "DRAM" => MemoryKind::Dram,
+        "HBM" => MemoryKind::Hbm,
+        "NVDIMM" => MemoryKind::Nvdimm,
+        "NAM" => MemoryKind::NetworkAttached,
+        "GPU" => MemoryKind::GpuMemory,
+        _ => return None,
+    })
+}
+
+impl Topology {
+    /// Serializes the topology to the text format.
+    pub fn export(&self) -> String {
+        let mut out = String::new();
+        self.export_obj(self.root(), 0, &mut out);
+        out
+    }
+
+    fn export_obj(&self, id: ObjId, depth: usize, out: &mut String) {
+        let obj = self.object(id);
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+        match obj.obj_type {
+            ObjectType::Machine => {
+                let name = obj.name.as_deref().unwrap_or("machine");
+                writeln!(out, "machine \"{name}\"").expect("string write");
+            }
+            ObjectType::Package => writeln!(out, "package").expect("string write"),
+            ObjectType::Group => writeln!(out, "group").expect("string write"),
+            ObjectType::L3Cache | ObjectType::L2Cache => {
+                let c = obj.attrs.as_cache().expect("cache attrs");
+                let kw = if obj.obj_type == ObjectType::L3Cache { "l3" } else { "l2" };
+                writeln!(out, "{kw} bytes={}", c.size).expect("string write");
+            }
+            ObjectType::Core => writeln!(out, "core").expect("string write"),
+            ObjectType::Pu => writeln!(out, "pu os={}", obj.os_index).expect("string write"),
+            ObjectType::NumaNode => {
+                let n = obj.attrs.as_numa().expect("numa attrs");
+                writeln!(
+                    out,
+                    "numa os={} bytes={} kind={}",
+                    obj.os_index,
+                    n.local_memory,
+                    kind_token(n.kind)
+                )
+                .expect("string write");
+            }
+            ObjectType::MemCache => {
+                let c = obj.attrs.as_cache().expect("cache attrs");
+                writeln!(out, "memcache bytes={}", c.size).expect("string write");
+            }
+        }
+        // Memory children first, then normal children — the importer
+        // accepts either order, but keep export stable.
+        for &m in &obj.memory_children {
+            self.export_obj(m, depth + 1, out);
+        }
+        for &c in &obj.children {
+            self.export_obj(c, depth + 1, out);
+        }
+    }
+
+    /// Parses the text format back into a topology.
+    pub fn import(text: &str) -> Result<Topology, ImportError> {
+        let err = |line: usize, message: &str| ImportError { line, message: message.to_string() };
+        let mut builder: Option<TopologyBuilder> = None;
+        // Stack of (depth, ObjId); the machine is depth 0.
+        let mut stack: Vec<(usize, ObjId)> = Vec::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line_no = idx + 1;
+            if raw.trim().is_empty() {
+                continue;
+            }
+            let indent = raw.len() - raw.trim_start_matches(' ').len();
+            if indent % 2 != 0 {
+                return Err(err(line_no, "odd indentation"));
+            }
+            let depth = indent / 2;
+            let line = raw.trim();
+            let mut fields = line.split_whitespace();
+            let keyword = fields.next().ok_or_else(|| err(line_no, "empty line"))?;
+
+            // Attribute parsing helper.
+            let attrs: std::collections::HashMap<&str, &str> = fields
+                .clone()
+                .filter_map(|f| f.split_once('='))
+                .collect();
+            let get_u64 = |key: &str| -> Result<u64, ImportError> {
+                attrs
+                    .get(key)
+                    .ok_or_else(|| err(line_no, &format!("missing {key}=")))?
+                    .parse()
+                    .map_err(|_| err(line_no, &format!("bad {key}= value")))
+            };
+
+            if keyword == "machine" {
+                if builder.is_some() {
+                    return Err(err(line_no, "second machine"));
+                }
+                let name = line
+                    .split_once('"')
+                    .and_then(|(_, rest)| rest.rsplit_once('"'))
+                    .map(|(name, _)| name)
+                    .unwrap_or("imported");
+                let b = TopologyBuilder::new(name);
+                let root = b.root();
+                builder = Some(b);
+                stack.push((0, root));
+                continue;
+            }
+            let b = builder.as_mut().ok_or_else(|| err(line_no, "object before machine"))?;
+            // Find the parent: nearest stack entry with depth-1.
+            while stack.last().is_some_and(|&(d, _)| d >= depth) {
+                stack.pop();
+            }
+            let &(pdepth, parent) = stack.last().ok_or_else(|| err(line_no, "no parent"))?;
+            if pdepth != depth - 1 {
+                return Err(err(line_no, "indentation skips a level"));
+            }
+            let id = match keyword {
+                "package" => b.package(parent),
+                "group" => b.group(parent),
+                "l3" => b.l3(parent, get_u64("bytes")?),
+                "l2" => b.l2(parent, get_u64("bytes")?),
+                "core" => {
+                    // Bare core: PUs follow as children.
+                    b.core_with_pus(parent, 0)
+                }
+                "pu" => b.pu_os(parent, get_u64("os")? as u32),
+                "numa" => {
+                    let kind = attrs
+                        .get("kind")
+                        .and_then(|s| parse_kind(s))
+                        .ok_or_else(|| err(line_no, "missing or bad kind="))?;
+                    b.numa_os(parent, get_u64("bytes")?, kind, get_u64("os")? as u32)
+                }
+                "memcache" => b.memory_side_cache(parent, get_u64("bytes")?),
+                other => return Err(err(line_no, &format!("unknown keyword {other:?}"))),
+            };
+            stack.push((depth, id));
+        }
+        let b = builder.ok_or_else(|| err(0, "no machine line"))?;
+        b.finish().map_err(|e| err(0, &format!("invalid structure: {e}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platforms;
+
+    fn roundtrip(t: &Topology) -> Topology {
+        Topology::import(&t.export()).expect("roundtrip import")
+    }
+
+    fn assert_same(a: &Topology, b: &Topology) {
+        assert_eq!(a.len(), b.len());
+        for t in [
+            ObjectType::Machine,
+            ObjectType::Package,
+            ObjectType::Group,
+            ObjectType::L3Cache,
+            ObjectType::L2Cache,
+            ObjectType::Core,
+            ObjectType::Pu,
+            ObjectType::NumaNode,
+            ObjectType::MemCache,
+        ] {
+            assert_eq!(a.count(t), b.count(t), "count mismatch for {t}");
+        }
+        for node in a.node_ids() {
+            assert_eq!(a.node_kind(node), b.node_kind(node));
+            assert_eq!(a.node_capacity(node), b.node_capacity(node));
+            let oa = a.numa_by_os_index(node).expect("node");
+            let ob = b.numa_by_os_index(node).expect("node");
+            assert_eq!(oa.cpuset, ob.cpuset, "locality mismatch for {node}");
+            assert_eq!(oa.logical_index, ob.logical_index);
+        }
+        assert_eq!(a.machine_cpuset(), b.machine_cpuset());
+    }
+
+    #[test]
+    fn all_platforms_roundtrip() {
+        for topo in [
+            platforms::knl_snc4_flat(),
+            platforms::knl_snc4_hybrid50(),
+            platforms::knl_quadrant_cache(),
+            platforms::xeon_1lm(),
+            platforms::xeon_1lm_no_snc(),
+            platforms::xeon_2lm(),
+            platforms::fictitious(),
+            platforms::homogeneous(3, 5, 1 << 30),
+            platforms::power9_gpu(),
+            platforms::fugaku_like(),
+        ] {
+            assert_same(&topo, &roundtrip(&topo));
+        }
+    }
+
+    #[test]
+    fn export_is_stable() {
+        let a = platforms::xeon_1lm().export();
+        let b = roundtrip(&platforms::xeon_1lm()).export();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn import_errors_are_located() {
+        let cases = [
+            ("package\n", "object before machine"),
+            ("machine \"x\"\nmachine \"y\"\n", "second machine"),
+            ("machine \"x\"\n  widget\n", "unknown keyword"),
+            ("machine \"x\"\n   package\n", "odd indentation"),
+            ("machine \"x\"\n    package\n", "skips a level"),
+            ("machine \"x\"\n  numa os=0 bytes=1\n", "missing or bad kind="),
+            ("machine \"x\"\n  numa os=0 kind=DRAM\n", "missing bytes="),
+            ("machine \"x\"\n  l3 bytes=zz\n", "bad bytes= value"),
+        ];
+        for (text, needle) in cases {
+            let e = Topology::import(text).expect_err(text);
+            assert!(e.to_string().contains(needle), "{text:?} gave {e}");
+        }
+    }
+
+    #[test]
+    fn import_rejects_duplicate_pu() {
+        let text = "machine \"x\"\n  core\n    pu os=0\n    pu os=0\n";
+        assert!(Topology::import(text).is_err());
+    }
+
+    #[test]
+    fn hand_written_minimal_machine() {
+        let text = r#"machine "mini"
+  package
+    numa os=0 bytes=1073741824 kind=DRAM
+    numa os=1 bytes=8589934592 kind=NVDIMM
+    core
+      pu os=0
+    core
+      pu os=1
+"#;
+        let t = Topology::import(text).expect("valid");
+        assert_eq!(t.count(ObjectType::Pu), 2);
+        assert_eq!(t.node_kind(crate::NodeId(1)), Some(MemoryKind::Nvdimm));
+        assert_eq!(t.machine_cpuset().to_string(), "0-1");
+    }
+}

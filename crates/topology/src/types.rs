@@ -1,0 +1,180 @@
+//! Object and memory type definitions.
+
+use std::fmt;
+
+/// The type of a topology object, mirroring hwloc's `hwloc_obj_type_t`
+/// (trimmed to what the paper's platforms need).
+///
+/// `NumaNode` and `MemCache` are *memory object* types: they hang off a
+/// normal object's memory-children list rather than the main hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ObjectType {
+    /// The whole machine (root of the tree).
+    Machine,
+    /// A physical processor package (socket).
+    Package,
+    /// An intermediate grouping, e.g. a Sub-NUMA Cluster or a NUMA-attached
+    /// device group. hwloc calls these `Group0`, `Group1`, ...
+    Group,
+    /// A level-3 cache shared by several cores.
+    L3Cache,
+    /// A level-2 cache.
+    L2Cache,
+    /// A processor core (may host several PUs when SMT is on).
+    Core,
+    /// A processing unit: one logical processor (hardware thread).
+    Pu,
+    /// A NUMA node — a memory bank with a locality (memory object).
+    NumaNode,
+    /// A memory-side cache in front of one or more NUMA nodes
+    /// (memory object): KNL Cache-mode MCDRAM, Xeon 2LM DRAM cache.
+    MemCache,
+}
+
+impl ObjectType {
+    /// Memory objects are attached via memory-children lists.
+    pub fn is_memory(self) -> bool {
+        matches!(self, ObjectType::NumaNode | ObjectType::MemCache)
+    }
+
+    /// Short name used by the lstopo-like renderer.
+    pub fn short_name(self) -> &'static str {
+        match self {
+            ObjectType::Machine => "Machine",
+            ObjectType::Package => "Package",
+            ObjectType::Group => "Group0",
+            ObjectType::L3Cache => "L3",
+            ObjectType::L2Cache => "L2",
+            ObjectType::Core => "Core",
+            ObjectType::Pu => "PU",
+            ObjectType::NumaNode => "NUMANode",
+            ObjectType::MemCache => "MemCache",
+        }
+    }
+}
+
+impl fmt::Display for ObjectType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.short_name())
+    }
+}
+
+/// The *kind* of memory behind a NUMA node.
+///
+/// Important: per the paper (§III-A), applications should **not** rely on
+/// this label — it is a debugging/display aid, the portable way to choose
+/// a node is to compare performance attributes. The builders set it so
+/// tests can verify that attribute-driven selection agrees with ground
+/// truth without ever exposing the label through the allocation API.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum MemoryKind {
+    /// Conventional DDR memory.
+    Dram,
+    /// High-bandwidth on-package memory (MCDRAM, HBM2, ...).
+    Hbm,
+    /// Non-volatile DIMMs (e.g. Intel Optane DCPMM) used as memory.
+    Nvdimm,
+    /// Network-attached / disaggregated memory.
+    NetworkAttached,
+    /// Device memory exposed as a host NUMA node (e.g. V100 on POWER9).
+    GpuMemory,
+}
+
+impl MemoryKind {
+    /// The human-readable subtype string hwloc would report.
+    pub fn subtype(self) -> &'static str {
+        match self {
+            MemoryKind::Dram => "DRAM",
+            MemoryKind::Hbm => "HBM",
+            MemoryKind::Nvdimm => "NVDIMM",
+            MemoryKind::NetworkAttached => "NAM",
+            MemoryKind::GpuMemory => "GPUMemory",
+        }
+    }
+}
+
+impl fmt::Display for MemoryKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.subtype())
+    }
+}
+
+/// Attributes of a NUMA node object.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NumaAttrs {
+    /// Total capacity of the node in bytes.
+    pub local_memory: u64,
+    /// Ground-truth memory kind (display/verification only — see
+    /// [`MemoryKind`]).
+    pub kind: MemoryKind,
+}
+
+/// Attributes of a cache object (CPU-side or memory-side).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheAttrs {
+    /// Capacity in bytes.
+    pub size: u64,
+    /// Cache line size in bytes.
+    pub line_size: u32,
+    /// Associativity (0 = fully associative, -1 unknown ⇒ use 0).
+    pub associativity: u32,
+}
+
+/// Type-specific payload of an object.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ObjectAttrs {
+    /// No extra attributes.
+    None,
+    /// NUMA node payload.
+    Numa(NumaAttrs),
+    /// Cache payload (L2/L3/memory-side).
+    Cache(CacheAttrs),
+}
+
+impl ObjectAttrs {
+    /// Returns the NUMA payload, if this is a NUMA node.
+    pub fn as_numa(&self) -> Option<&NumaAttrs> {
+        match self {
+            ObjectAttrs::Numa(n) => Some(n),
+            _ => None,
+        }
+    }
+
+    /// Returns the cache payload, if this is a cache.
+    pub fn as_cache(&self) -> Option<&CacheAttrs> {
+        match self {
+            ObjectAttrs::Cache(c) => Some(c),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_types_flagged() {
+        assert!(ObjectType::NumaNode.is_memory());
+        assert!(ObjectType::MemCache.is_memory());
+        assert!(!ObjectType::Package.is_memory());
+        assert!(!ObjectType::Pu.is_memory());
+    }
+
+    #[test]
+    fn subtype_strings() {
+        assert_eq!(MemoryKind::Dram.subtype(), "DRAM");
+        assert_eq!(MemoryKind::Hbm.to_string(), "HBM");
+        assert_eq!(MemoryKind::Nvdimm.subtype(), "NVDIMM");
+    }
+
+    #[test]
+    fn attrs_accessors() {
+        let a = ObjectAttrs::Numa(NumaAttrs { local_memory: 42, kind: MemoryKind::Dram });
+        assert_eq!(a.as_numa().unwrap().local_memory, 42);
+        assert!(a.as_cache().is_none());
+        let c = ObjectAttrs::Cache(CacheAttrs { size: 1024, line_size: 64, associativity: 8 });
+        assert_eq!(c.as_cache().unwrap().line_size, 64);
+        assert!(c.as_numa().is_none());
+    }
+}

@@ -1,0 +1,150 @@
+//! Property tests: arbitrary builder trees satisfy the structural
+//! invariants and survive the export/import roundtrip.
+
+use hetmem_bitmap::Bitmap;
+use hetmem_topology::{MemoryKind, ObjectType, Topology, TopologyBuilder};
+use proptest::prelude::*;
+
+/// A compact random machine description.
+#[derive(Debug, Clone)]
+struct Spec {
+    packages: Vec<PackageSpec>,
+    machine_numa: Option<u64>,
+}
+
+#[derive(Debug, Clone)]
+struct PackageSpec {
+    /// (cores, numa bytes, kind-selector) per group; empty = flat pkg.
+    groups: Vec<(u8, u64, u8)>,
+    /// Cores directly under the package.
+    cores: u8,
+    /// Package-level NUMA nodes (bytes, kind-selector).
+    numas: Vec<(u64, u8)>,
+}
+
+fn kind_of(sel: u8) -> MemoryKind {
+    match sel % 5 {
+        0 => MemoryKind::Dram,
+        1 => MemoryKind::Hbm,
+        2 => MemoryKind::Nvdimm,
+        3 => MemoryKind::NetworkAttached,
+        _ => MemoryKind::GpuMemory,
+    }
+}
+
+fn spec_strategy() -> impl Strategy<Value = Spec> {
+    let group = (1u8..4, 1u64..1 << 36, 0u8..5);
+    let package = (
+        prop::collection::vec(group, 0..3),
+        1u8..4,
+        prop::collection::vec((1u64..1 << 38, 0u8..5), 0..3),
+    )
+        .prop_map(|(groups, cores, numas)| PackageSpec { groups, cores, numas });
+    (prop::collection::vec(package, 1..4), prop::option::of(1u64..1 << 40))
+        .prop_map(|(packages, machine_numa)| Spec { packages, machine_numa })
+}
+
+fn build(spec: &Spec) -> Topology {
+    let mut b = TopologyBuilder::new("prop");
+    let root = b.root();
+    for pkg_spec in &spec.packages {
+        let pkg = b.package(root);
+        for &(cores, bytes, ksel) in &pkg_spec.groups {
+            let g = b.group(pkg);
+            b.cores(g, cores as usize);
+            b.numa(g, bytes, kind_of(ksel));
+        }
+        b.cores(pkg, pkg_spec.cores as usize);
+        for &(bytes, ksel) in &pkg_spec.numas {
+            b.numa(pkg, bytes, kind_of(ksel));
+        }
+    }
+    if let Some(bytes) = spec.machine_numa {
+        b.numa(root, bytes, MemoryKind::NetworkAttached);
+    }
+    b.finish().expect("random spec is structurally valid")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn structural_invariants(spec in spec_strategy()) {
+        let t = build(&spec);
+        // Machine cpuset is the union of PU singletons, dense from 0.
+        let pu_count = t.count(ObjectType::Pu);
+        prop_assert_eq!(t.machine_cpuset(), &Bitmap::from_range(0, pu_count - 1));
+        // Logical indexes are dense per type.
+        for ty in [
+            ObjectType::Package,
+            ObjectType::Group,
+            ObjectType::Core,
+            ObjectType::Pu,
+            ObjectType::NumaNode,
+        ] {
+            let idx: Vec<u32> = t.objects_of_type(ty).map(|o| o.logical_index).collect();
+            let expect: Vec<u32> = (0..idx.len() as u32).collect();
+            prop_assert_eq!(idx, expect, "dense L# for {}", ty);
+        }
+        // Every NUMA node's cpuset equals its attach parent's cpuset.
+        for node in t.objects_of_type(ObjectType::NumaNode) {
+            let parent = node.parent.expect("numa has a parent");
+            prop_assert_eq!(&node.cpuset, t.cpuset(parent));
+        }
+        // Nodesets: the machine's nodeset covers every node os index.
+        let root = t.object(t.root());
+        for node in t.node_ids() {
+            prop_assert!(root.nodeset.is_set(node.0 as usize));
+        }
+        // total_memory equals the sum over nodes.
+        let sum: u64 = t.node_ids().iter().map(|&n| t.node_capacity(n).expect("node")).sum();
+        prop_assert_eq!(t.total_memory(), sum);
+    }
+
+    #[test]
+    fn export_import_roundtrip(spec in spec_strategy()) {
+        let t = build(&spec);
+        let back = Topology::import(&t.export()).expect("roundtrip");
+        prop_assert_eq!(t.len(), back.len());
+        for ty in [ObjectType::Package, ObjectType::Group, ObjectType::Core, ObjectType::Pu,
+                   ObjectType::NumaNode, ObjectType::MemCache] {
+            prop_assert_eq!(t.count(ty), back.count(ty));
+        }
+        for node in t.node_ids() {
+            prop_assert_eq!(t.node_kind(node), back.node_kind(node));
+            prop_assert_eq!(t.node_capacity(node), back.node_capacity(node));
+            let a = t.numa_by_os_index(node).expect("node");
+            let b = back.numa_by_os_index(node).expect("node");
+            prop_assert_eq!(&a.cpuset, &b.cpuset);
+            prop_assert_eq!(a.logical_index, b.logical_index);
+        }
+        // Export is a fixed point.
+        prop_assert_eq!(t.export(), back.export());
+    }
+
+    #[test]
+    fn locality_queries_partition_sensibly(spec in spec_strategy()) {
+        let t = build(&spec);
+        let machine = t.machine_cpuset().clone();
+        // ALL returns every node; EXACT+LARGER+SMALLER from the machine
+        // set covers everything too (every locality ⊆ machine).
+        let all = t.local_numa_nodes(&machine, hetmem_topology::LocalityFlags::all());
+        prop_assert_eq!(all.len(), t.count(ObjectType::NumaNode));
+        let branch = t.local_numa_nodes(&machine, hetmem_topology::LocalityFlags::branch());
+        prop_assert_eq!(branch.len(), t.count(ObjectType::NumaNode));
+        // From a single PU, every local node's cpuset contains it.
+        let one: Bitmap = Bitmap::only(0);
+        for node in t.local_numa_nodes(&one, hetmem_topology::LocalityFlags::larger()) {
+            prop_assert!(node.cpuset.is_set(0));
+        }
+    }
+
+    #[test]
+    fn render_mentions_every_numa_node(spec in spec_strategy()) {
+        let t = build(&spec);
+        let r = t.render();
+        prop_assert_eq!(r.matches("NUMANode").count(), t.count(ObjectType::NumaNode));
+        let s = t.render_numa_summary();
+        prop_assert_eq!(s.lines().count(), t.count(ObjectType::NumaNode));
+    }
+}

@@ -1,0 +1,67 @@
+//! The two discovery paths of Table I side by side: ACPI HMAT firmware
+//! tables (theoretical, local-only on today's platforms) versus
+//! benchmarking (measured, can cover remote pairs too) — and the
+//! paper's point that both produce the *same ranking*.
+//!
+//! ```text
+//! cargo run --release --example discover_attributes
+//! ```
+
+use hetmem::core::{attr, discovery, render_fig5, MemAttrs};
+use hetmem::membench::{feed_attrs, register_stream_triad_attr, BenchOptions};
+use hetmem::memsim::Machine;
+use hetmem::Bitmap;
+use std::sync::Arc;
+
+fn ranking(attrs: &MemAttrs, id: hetmem::AttrId, ini: &Bitmap) -> String {
+    attrs
+        .rank_local_targets(id, ini)
+        .expect("known attribute")
+        .iter()
+        .map(|tv| format!("{}({})", tv.node, tv.value))
+        .collect::<Vec<_>>()
+        .join(" > ")
+}
+
+fn main() {
+    let machine = Arc::new(Machine::xeon_1lm_snc());
+    let socket0: Bitmap = "0-19".parse().expect("cpuset");
+
+    println!("== native discovery: ACPI SRAT+HMAT, Linux local-only view ==");
+    let firmware = discovery::from_firmware(&machine, true).expect("firmware discovery");
+    println!("{}", render_fig5(&firmware));
+
+    println!("== benchmark discovery: STREAM + pointer chase (incl. remote pairs) ==");
+    let mut measured = feed_attrs(
+        &machine,
+        &BenchOptions { include_remote: true, read_write_variants: true, loaded_latency: false },
+    )
+    .expect("benchmark discovery");
+    let triad = register_stream_triad_attr(&mut measured, &machine).expect("custom attribute");
+
+    for (name, id) in [("Bandwidth", attr::BANDWIDTH), ("Latency", attr::LATENCY)] {
+        println!("{name} ranking from socket 0:");
+        println!("  firmware : {}", ranking(&firmware, id, &socket0));
+        println!("  measured : {}", ranking(&measured, id, &socket0));
+    }
+    println!("custom StreamTriad ranking: {}", ranking(&measured, triad, &socket0));
+
+    // The values differ (theoretical vs measured) but the *order* is
+    // identical — which is all the allocator needs.
+    for id in [attr::BANDWIDTH, attr::LATENCY] {
+        let f: Vec<_> = firmware
+            .rank_local_targets(id, &socket0)
+            .expect("rank")
+            .iter()
+            .map(|t| t.node)
+            .collect();
+        let m: Vec<_> = measured
+            .rank_local_targets(id, &socket0)
+            .expect("rank")
+            .iter()
+            .map(|t| t.node)
+            .collect();
+        assert_eq!(f, m, "rankings must agree");
+    }
+    println!("\nrankings agree between firmware and benchmarks — either source drives the allocator");
+}

@@ -1,0 +1,72 @@
+//! OpenMP 5.x memory spaces over the attributes (§IV / §VIII): the
+//! same `omp_alloc` calls resolve to the right physical memory on
+//! every machine, because each space maps to an attribute criterion
+//! instead of a technology.
+//!
+//! ```text
+//! cargo run --example openmp_spaces
+//! ```
+
+use hetmem::alloc::omp::{omp_alloc, omp_free, OmpAllocator, OmpMemSpace, OmpPartition};
+use hetmem::alloc::HetAllocator;
+use hetmem::core::discovery;
+use hetmem::memsim::{Machine, MemoryManager};
+use hetmem::Bitmap;
+use std::sync::Arc;
+
+fn demo(machine: Machine, initiator: &str) {
+    let machine = Arc::new(machine);
+    let attrs = Arc::new(discovery::from_firmware(&machine, true).expect("discovery"));
+    let mut het = HetAllocator::new(attrs, MemoryManager::new(machine.clone()));
+    let cpus: Bitmap = initiator.parse().expect("cpuset");
+
+    println!("machine: {}", machine.name());
+    for (label, space) in [
+        ("omp_default_mem_space ", OmpMemSpace::Default),
+        ("omp_high_bw_mem_space ", OmpMemSpace::HighBw),
+        ("omp_low_lat_mem_space ", OmpMemSpace::LowLat),
+        ("omp_large_cap_mem_space", OmpMemSpace::LargeCap),
+    ] {
+        let allocator = OmpAllocator::for_space(space);
+        match omp_alloc(&mut het, 1 << 30, &allocator, &cpus) {
+            Ok(id) => {
+                let node = het.memory().region(id).expect("live").single_node().expect("one");
+                println!(
+                    "  {label} -> {node} [{}]",
+                    machine.topology().node_kind(node).expect("known").subtype()
+                );
+                omp_free(&mut het, id);
+            }
+            Err(e) => println!("  {label} -> failed: {e}"),
+        }
+    }
+    // partition(interleaved) spreads across the space's candidates.
+    let interleaved = OmpAllocator {
+        space: OmpMemSpace::LowLat,
+        partition: OmpPartition::Interleaved,
+        ..Default::default()
+    };
+    if let Ok(id) = omp_alloc(&mut het, 2 << 30, &interleaved, &cpus) {
+        let region = het.memory().region(id).expect("live");
+        let spots: Vec<String> = region
+            .placement
+            .iter()
+            .map(|&(n, b)| {
+                format!(
+                    "{}:{}GiB",
+                    machine.topology().node_kind(n).expect("known").subtype(),
+                    b >> 30
+                )
+            })
+            .collect();
+        println!("  interleaved(low_lat)    -> {}", spots.join(" + "));
+        omp_free(&mut het, id);
+    }
+    println!();
+}
+
+fn main() {
+    demo(Machine::knl_snc4_flat(), "0-15");
+    demo(Machine::xeon_1lm_no_snc(), "0-19");
+    demo(Machine::fugaku_like(), "0-11");
+}

@@ -1,0 +1,52 @@
+//! STREAM Triad with the Bandwidth criterion (§VI / Table IIIb): fast
+//! while the arrays fit the high-bandwidth memory, graceful spill when
+//! they outgrow it.
+//!
+//! ```text
+//! cargo run --release --example stream_triad
+//! ```
+
+use hetmem::alloc::{Fallback, HetAllocator};
+use hetmem::apps::stream::{run, StreamConfig};
+use hetmem::apps::Placement;
+use hetmem::core::{attr, discovery};
+use hetmem::memsim::{AccessEngine, Machine, MemoryManager};
+use std::sync::Arc;
+
+fn main() {
+    let machine = Arc::new(Machine::knl_snc4_flat());
+    let attrs = Arc::new(discovery::from_firmware(&machine, true).expect("discovery"));
+    let engine = AccessEngine::new(machine.clone());
+    const GIB: f64 = (1u64 << 30) as f64;
+
+    println!("KNL SNC-4 cluster: MCDRAM ~3.8 GiB usable, DRAM ~17.5 GiB usable");
+    println!("{:<12} {:>12}   placement", "arrays", "Triad GiB/s");
+    for total in [1.1, 3.4, 8.0, 17.9] {
+        let mut alloc = HetAllocator::new(attrs.clone(), MemoryManager::new(machine.clone()));
+        let cfg = StreamConfig::knl_paper((total * GIB) as u64);
+        let placement = Placement::Criterion {
+            attr: attr::BANDWIDTH,
+            fallback: Fallback::PartialSpill,
+        };
+        match run(&mut alloc, &engine, &cfg, &placement, None) {
+            Ok(res) => {
+                let mut spots: Vec<String> = Vec::new();
+                for (name, pl) in &res.placements {
+                    let desc: Vec<String> = pl
+                        .iter()
+                        .map(|&(n, b)| {
+                            format!(
+                                "{}:{:.1}GiB",
+                                machine.topology().node_kind(n).expect("known").subtype(),
+                                b as f64 / GIB
+                            )
+                        })
+                        .collect();
+                    spots.push(format!("{}={}", name.split(' ').next().unwrap_or(name), desc.join("+")));
+                }
+                println!("{:<12} {:>12.2}   {}", format!("{total} GiB"), res.triad_gibps, spots.join("  "));
+            }
+            Err(e) => println!("{:<12} {:>12}   {e}", format!("{total} GiB"), "-"),
+        }
+    }
+}

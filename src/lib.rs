@@ -1,0 +1,39 @@
+//! # hetmem — performance attributes for heterogeneous memory
+//!
+//! Umbrella crate re-exporting the whole workspace: a reproduction of
+//! *"Using Performance Attributes for Managing Heterogeneous Memory in
+//! HPC Applications"* (Goglin & Rubio Proaño, PDSEC/IPDPS-W 2022).
+//!
+//! See the README for the architecture tour; in short:
+//!
+//! * [`topology`] — hwloc-style object tree and the paper's platforms;
+//! * [`hmat`] — simulated ACPI SRAT/HMAT firmware tables;
+//! * [`memsim`] — the deterministic memory-system simulator replacing
+//!   the paper's physical machines;
+//! * [`core`] — the memory-attributes API (the contribution);
+//! * [`membench`] — STREAM/lmbench/multichase-style benchmarks that
+//!   feed measured attribute values;
+//! * [`alloc`] — the heterogeneous allocator `mem_alloc(.., attribute)`
+//!   plus the baselines it is compared against;
+//! * [`profile`] — the VTune-like memory-access profiler;
+//! * [`apps`] — Graph500 BFS, STREAM, SpMV and a two-phase migration
+//!   workload;
+//! * [`scenario`] — a text DSL to drive custom workloads through the
+//!   whole stack without recompiling (`hetmem-run`).
+
+
+#![warn(missing_docs)]
+pub use hetmem_alloc as alloc;
+pub use hetmem_apps as apps;
+pub use hetmem_bitmap as bitmap;
+pub use hetmem_core as core;
+pub use hetmem_hmat as hmat;
+pub use hetmem_membench as membench;
+pub use hetmem_memsim as memsim;
+pub use hetmem_profile as profile;
+pub use hetmem_scenario as scenario;
+pub use hetmem_topology as topology;
+
+pub use hetmem_bitmap::Bitmap;
+pub use hetmem_core::{attr, AttrFlags, AttrId, LocalityFlags, MemAttrs, NodeId};
+pub use hetmem_memsim::Machine;

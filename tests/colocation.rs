@@ -1,0 +1,93 @@
+//! §III-B-3: "If several applications are running on the same machine,
+//! their dynamic behavior could moreover impose to consider the
+//! available capacity rather than the total capacity."
+//!
+//! Two applications share one memory manager; the second one's
+//! attribute-driven decisions adapt to what the first left available.
+
+use hetmem::alloc::{Fallback, HetAllocator};
+use hetmem::core::{attr, discovery};
+use hetmem::memsim::{Machine, MemoryManager};
+use hetmem::topology::MemoryKind;
+use hetmem::{Bitmap, NodeId};
+use std::sync::Arc;
+
+const GIB: u64 = 1 << 30;
+
+fn shared_allocator(machine: &Arc<Machine>) -> HetAllocator {
+    let attrs = Arc::new(discovery::from_firmware(machine, true).expect("discovery"));
+    HetAllocator::new(attrs, MemoryManager::new(machine.clone()))
+}
+
+/// App A fills the MCDRAM; app B's bandwidth request degrades
+/// gracefully to DRAM instead of failing — and recovers once A exits.
+#[test]
+fn second_app_adapts_to_remaining_capacity() {
+    let machine = Arc::new(Machine::knl_snc4_flat());
+    let mut alloc = shared_allocator(&machine);
+    let c0: Bitmap = "0-15".parse().expect("cpuset");
+
+    // App A: grabs nearly all fast memory.
+    let avail = alloc.memory().available(NodeId(4));
+    let app_a = alloc
+        .mem_alloc(avail - GIB / 2, attr::BANDWIDTH, &c0, Fallback::Strict)
+        .expect("fits");
+
+    // App B: wants 2 GiB of bandwidth; only DRAM can take it now.
+    let app_b = alloc.mem_alloc(2 * GIB, attr::BANDWIDTH, &c0, Fallback::NextTarget).expect("adapts");
+    let node_b = alloc.memory().region(app_b).expect("live").single_node().expect("one");
+    assert_eq!(machine.topology().node_kind(node_b), Some(MemoryKind::Dram));
+
+    // App A exits; B's next buffer gets the fast memory again.
+    alloc.free(app_a);
+    let app_b2 = alloc.mem_alloc(GIB, attr::BANDWIDTH, &c0, Fallback::NextTarget).expect("fits");
+    let node_b2 = alloc.memory().region(app_b2).expect("live").single_node().expect("one");
+    assert_eq!(machine.topology().node_kind(node_b2), Some(MemoryKind::Hbm));
+}
+
+/// The capacity *criterion* ranks by total capacity (an attribute), but
+/// the allocator's fallback handles the dynamic part: when the
+/// top-capacity node is occupied, the request lands on the next one
+/// rather than failing.
+#[test]
+fn capacity_criterion_vs_available_capacity() {
+    let machine = Arc::new(Machine::xeon_1lm_no_snc());
+    let mut alloc = shared_allocator(&machine);
+    let pkg0: Bitmap = "0-19".parse().expect("cpuset");
+
+    // Occupy almost the entire NVDIMM (the capacity-best target).
+    let nv_avail = alloc.memory().available(NodeId(2));
+    let hog = alloc
+        .memory_mut()
+        .alloc(nv_avail - GIB, hetmem::memsim::AllocPolicy::Bind(NodeId(2)))
+        .expect("fits");
+
+    // A 100 GiB capacity request cannot fit the "best" target anymore;
+    // NextTarget places it on the DRAM node instead.
+    let big = alloc.mem_alloc(100 * GIB, attr::CAPACITY, &pkg0, Fallback::NextTarget).expect("adapts");
+    let node = alloc.memory().region(big).expect("live").single_node().expect("one");
+    assert_eq!(machine.topology().node_kind(node), Some(MemoryKind::Dram));
+
+    // Strict would have failed — the distinction §VII draws.
+    let err = alloc.mem_alloc(100 * GIB, attr::CAPACITY, &pkg0, Fallback::Strict).unwrap_err();
+    assert!(matches!(err, hetmem::alloc::HetAllocError::Os(_)));
+    alloc.free(hog);
+}
+
+/// Co-located apps on different clusters don't fight: each cluster's
+/// initiator scopes candidates to its own branch.
+#[test]
+fn cluster_isolation_under_colocation() {
+    let machine = Arc::new(Machine::knl_snc4_flat());
+    let mut alloc = shared_allocator(&machine);
+    let c0: Bitmap = "0-15".parse().expect("cpuset");
+    let c1: Bitmap = "16-31".parse().expect("cpuset");
+
+    // App on cluster 0 fills its MCDRAM completely.
+    let avail0 = alloc.memory().available(NodeId(4));
+    alloc.mem_alloc(avail0, attr::BANDWIDTH, &c0, Fallback::Strict).expect("fits");
+
+    // App on cluster 1 still gets *its* MCDRAM.
+    let b = alloc.mem_alloc(GIB, attr::BANDWIDTH, &c1, Fallback::Strict).expect("unaffected");
+    assert_eq!(alloc.memory().region(b).expect("live").single_node(), Some(NodeId(5)));
+}

@@ -1,0 +1,176 @@
+//! End-to-end integration: firmware → discovery → attributes →
+//! allocator → applications → profiler, across machines.
+
+use hetmem::alloc::{Fallback, HetAllocator};
+use hetmem::apps::graph500::{self, Graph500Config};
+use hetmem::apps::stream::{self, StreamConfig};
+use hetmem::apps::Placement;
+use hetmem::core::{attr, discovery};
+use hetmem::memsim::{AccessEngine, Machine, MemoryManager};
+use hetmem::profile::{Profiler, Sensitivity};
+use hetmem::topology::MemoryKind;
+use hetmem::{Bitmap, NodeId};
+use std::sync::Arc;
+
+fn pipeline(machine: Machine) -> (Arc<Machine>, HetAllocator, AccessEngine) {
+    let machine = Arc::new(machine);
+    let attrs = Arc::new(discovery::from_firmware(&machine, true).expect("discovery"));
+    let engine = AccessEngine::new(machine.clone());
+    let alloc = HetAllocator::new(attrs, MemoryManager::new(machine.clone()));
+    (machine, alloc, engine)
+}
+
+/// The complete §VI workflow on the Xeon: profile both placements,
+/// conclude latency sensitivity, then allocate with the latency
+/// attribute and verify it matches the best manual placement.
+#[test]
+fn profile_then_fix_allocation_on_xeon() {
+    let (machine, mut alloc, engine) = pipeline(Machine::xeon_1lm_no_snc());
+    let cfg = Graph500Config::xeon_paper(26);
+
+    // Step 1 (§V-B): profile on each memory.
+    let mut teps = Vec::new();
+    let mut sensitivities = Vec::new();
+    for node in [NodeId(0), NodeId(2)] {
+        let mut prof = Profiler::new(machine.clone());
+        let res = graph500::run(&mut alloc, &engine, &cfg, &Placement::BindAll(node), Some(&mut prof))
+            .expect("fits");
+        teps.push(res.teps_harmonic);
+        sensitivities.push(prof.summary().sensitivity);
+        // The hottest object is the paper's pred buffer at bfs.c:31.
+        let objects = prof.object_report();
+        assert!(objects[0].site.contains("bfs.c:31"), "hot object: {}", objects[0].site);
+    }
+    assert!(sensitivities.iter().all(|&s| s == Sensitivity::Latency));
+
+    // Step 2: feed the conclusion back as an allocation criterion.
+    let fixed = graph500::run(
+        &mut alloc,
+        &engine,
+        &cfg,
+        &Placement::Criterion { attr: attr::LATENCY, fallback: Fallback::NextTarget },
+        None,
+    )
+    .expect("fits");
+    let best_manual = teps[0].max(teps[1]);
+    assert!(
+        (fixed.teps_harmonic - best_manual).abs() / best_manual < 0.01,
+        "criterion-driven run {:.3e} should match best manual {:.3e}",
+        fixed.teps_harmonic,
+        best_manual
+    );
+}
+
+/// The same workflow classifies STREAM as bandwidth sensitive, and the
+/// bandwidth criterion then picks MCDRAM on the KNL.
+#[test]
+fn profile_then_fix_allocation_on_knl() {
+    let (machine, mut alloc, engine) = pipeline(Machine::knl_snc4_flat());
+    let cfg = StreamConfig::knl_paper(3 << 30);
+
+    let mut prof = Profiler::new(machine.clone());
+    stream::run(&mut alloc, &engine, &cfg, &Placement::BindAll(NodeId(4)), Some(&mut prof))
+        .expect("fits");
+    assert_eq!(prof.summary().sensitivity, Sensitivity::Bandwidth);
+
+    let res = stream::run(
+        &mut alloc,
+        &engine,
+        &cfg,
+        &Placement::Criterion { attr: attr::BANDWIDTH, fallback: Fallback::NextTarget },
+        None,
+    )
+    .expect("fits");
+    for (_, placement) in &res.placements {
+        assert_eq!(machine.topology().node_kind(placement[0].0), Some(MemoryKind::Hbm));
+    }
+    assert!(res.triad_gibps > 60.0);
+}
+
+/// Discovery → allocation works on every built-in platform without
+/// touching memory-kind labels anywhere in the flow.
+#[test]
+fn attribute_flow_works_on_all_platforms() {
+    for machine in [
+        Machine::xeon_1lm_no_snc(),
+        Machine::xeon_1lm_snc(),
+        Machine::knl_snc4_flat(),
+        Machine::fictitious(),
+        Machine::homogeneous(2, 8, 32 << 30),
+        Machine::power9_gpu(),
+        Machine::fugaku_like(),
+    ] {
+        let name = machine.name().to_string();
+        let (machine, mut alloc, _) = pipeline(machine);
+        // Initiator: the first core's locality.
+        let first_pu = machine.topology().pu_by_os_index(0).expect("has cpus");
+        let mut ini: Bitmap = machine.topology().cpuset(first_pu).clone();
+        if ini.is_zero() {
+            ini = machine.topology().machine_cpuset().clone();
+        }
+        for criterion in [attr::BANDWIDTH, attr::LATENCY, attr::CAPACITY] {
+            let id = alloc
+                .mem_alloc(1 << 20, criterion, &ini, Fallback::NextTarget)
+                .unwrap_or_else(|e| panic!("{name}: criterion {criterion:?} failed: {e}"));
+            assert!(alloc.free(id));
+        }
+    }
+}
+
+/// The 2LM machine: a single visible NUMA node behind a DRAM cache —
+/// allocation degrades gracefully to the only target, and the
+/// memory-side cache shapes bandwidth.
+#[test]
+fn two_level_memory_mode() {
+    let (machine, mut alloc, engine) = pipeline(Machine::xeon_2lm());
+    let ini: Bitmap = "0-19".parse().expect("cpuset");
+    let id = alloc
+        .mem_alloc(8 << 30, attr::BANDWIDTH, &ini, Fallback::NextTarget)
+        .expect("single target");
+    assert_eq!(machine.topology().node_kind(NodeId(0)), Some(MemoryKind::Nvdimm));
+
+    // Small working set: served by the DRAM cache at DRAM-like speed.
+    use hetmem::memsim::{AccessPattern, BufferAccess, Phase};
+    let small_phase = Phase {
+        name: "cached".into(),
+        accesses: vec![BufferAccess {
+            region: id,
+            bytes_read: 8 << 30,
+            bytes_written: 0,
+            pattern: AccessPattern::Sequential,
+            hot_fraction: 0.25, // 2 GiB hot: fits the 192 GiB cache easily
+        }],
+        threads: 20,
+        initiator: ini.clone(),
+        compute_ns: 0.0,
+    };
+    let cached = engine.run_phase(alloc.memory(), &small_phase);
+    let gibps = (8u64 << 30) as f64 / (cached.time_ns / 1e9) / (1u64 << 30) as f64;
+    assert!(gibps > 50.0, "2LM cached streaming should be DRAM-class, got {gibps:.1}");
+}
+
+/// Benchmark-fed attributes drive the allocator identically to
+/// firmware-fed ones (§IV-A2: either source suffices for ranking).
+#[test]
+fn benchmark_and_firmware_attrs_agree_for_allocation() {
+    let machine = Arc::new(Machine::knl_snc4_flat());
+    let engine = AccessEngine::new(machine.clone());
+    let firmware = Arc::new(discovery::from_firmware(&machine, true).expect("fw"));
+    let measured = Arc::new(
+        hetmem::membench::feed_attrs(&machine, &hetmem::membench::BenchOptions::default())
+            .expect("bench"),
+    );
+    let ini: Bitmap = "0-15".parse().expect("cpuset");
+    let _ = engine;
+    for criterion in [attr::BANDWIDTH, attr::LATENCY, attr::CAPACITY] {
+        let mut a1 = HetAllocator::new(firmware.clone(), MemoryManager::new(machine.clone()));
+        let mut a2 = HetAllocator::new(measured.clone(), MemoryManager::new(machine.clone()));
+        let r1 = a1.mem_alloc(1 << 30, criterion, &ini, Fallback::NextTarget).expect("fw alloc");
+        let r2 = a2.mem_alloc(1 << 30, criterion, &ini, Fallback::NextTarget).expect("bench alloc");
+        assert_eq!(
+            a1.memory().region(r1).expect("live").single_node(),
+            a2.memory().region(r2).expect("live").single_node(),
+            "criterion {criterion:?} must pick the same node from either source"
+        );
+    }
+}

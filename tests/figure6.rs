@@ -1,0 +1,147 @@
+//! The complete Figure 6 framework, end to end:
+//!
+//! ```text
+//! benchmark/profile → per-buffer sensitivity → criteria in allocation
+//! requests → heterogeneous allocator matches them with the hardware
+//! attributes
+//! ```
+//!
+//! A naive first run is profiled; the advice then drives a per-buffer
+//! criteria placement which must (a) place each buffer on the memory
+//! its sensitivity calls for and (b) never be slower than the naive
+//! run.
+
+use hetmem::alloc::HetAllocator;
+use hetmem::apps::graph500::{self, Graph500Config};
+use hetmem::apps::stream::{self, StreamConfig};
+use hetmem::apps::{criterion_for, Placement};
+use hetmem::core::discovery;
+use hetmem::memsim::{AccessEngine, Machine, MemoryManager};
+use hetmem::profile::{Profiler, Sensitivity};
+use hetmem::topology::MemoryKind;
+use hetmem::NodeId;
+use std::sync::Arc;
+
+fn setup(machine: Machine) -> (Arc<Machine>, Arc<hetmem::MemAttrs>, AccessEngine) {
+    let machine = Arc::new(machine);
+    let attrs = Arc::new(discovery::from_firmware(&machine, true).expect("discovery"));
+    let engine = AccessEngine::new(machine.clone());
+    (machine, attrs, engine)
+}
+
+#[test]
+fn figure6_loop_on_graph500() {
+    let (machine, attrs, engine) = setup(Machine::xeon_1lm_no_snc());
+    let cfg = Graph500Config::xeon_paper(26);
+
+    // Step 1: a naive run (everything on the roomiest memory — the
+    // NVDIMM — as a capacity-first runtime would do), profiled.
+    let mut alloc = HetAllocator::new(attrs.clone(), MemoryManager::new(machine.clone()));
+    let mut prof = Profiler::new(machine.clone());
+    let naive = graph500::run(
+        &mut alloc,
+        &engine,
+        &cfg,
+        &Placement::BindAll(NodeId(2)),
+        Some(&mut prof),
+    )
+    .expect("fits");
+
+    // Step 2: the profiler's advice, hottest buffer first.
+    let advice = prof.advise();
+    assert_eq!(advice.len(), 4);
+    assert!(advice[0].0.contains("bfs.c:31"), "hot object first: {}", advice[0].0);
+    assert_eq!(advice[0].1, Sensitivity::Latency);
+    let criteria: Vec<(String, hetmem::AttrId)> =
+        advice.iter().map(|(site, s)| (site.clone(), criterion_for(*s))).collect();
+
+    // Step 3: re-run with per-buffer criteria.
+    let mut alloc = HetAllocator::new(attrs, MemoryManager::new(machine.clone()));
+    let advised = graph500::run(&mut alloc, &engine, &cfg, &Placement::Advised(criteria), None)
+        .expect("fits");
+
+    // The latency-sensitive buffers moved to DRAM...
+    let pred = advised
+        .placements
+        .iter()
+        .find(|(l, _)| l.contains("bfs.c:31"))
+        .expect("pred placement");
+    assert_eq!(machine.topology().node_kind(pred.1[0].0), Some(MemoryKind::Dram));
+    // ...and the run got faster than the naive placement.
+    assert!(
+        advised.teps_harmonic > 1.3 * naive.teps_harmonic,
+        "advised {:.3e} should clearly beat naive {:.3e}",
+        advised.teps_harmonic,
+        naive.teps_harmonic
+    );
+}
+
+#[test]
+fn figure6_loop_on_stream_knl() {
+    let (machine, attrs, engine) = setup(Machine::knl_snc4_flat());
+    let cfg = StreamConfig::knl_paper(3 << 30);
+
+    // Naive: default placement (lowest-index node = cluster DRAM).
+    let mut alloc = HetAllocator::new(attrs.clone(), MemoryManager::new(machine.clone()));
+    let mut prof = Profiler::new(machine.clone());
+    let naive = stream::run(
+        &mut alloc,
+        &engine,
+        &cfg,
+        &Placement::BindAll(NodeId(0)),
+        Some(&mut prof),
+    )
+    .expect("fits");
+
+    let advice = prof.advise();
+    assert!(advice.iter().all(|(_, s)| *s == Sensitivity::Bandwidth));
+    let criteria: Vec<(String, hetmem::AttrId)> =
+        advice.iter().map(|(site, s)| (site.clone(), criterion_for(*s))).collect();
+
+    let mut alloc = HetAllocator::new(attrs, MemoryManager::new(machine.clone()));
+    let advised = stream::run(&mut alloc, &engine, &cfg, &Placement::Advised(criteria), None)
+        .expect("fits");
+    for (_, placement) in &advised.placements {
+        assert_eq!(machine.topology().node_kind(placement[0].0), Some(MemoryKind::Hbm));
+    }
+    assert!(
+        advised.triad_gibps > 2.0 * naive.triad_gibps,
+        "advised {:.1} GiB/s should be ~3x the naive {:.1}",
+        advised.triad_gibps,
+        naive.triad_gibps
+    );
+}
+
+/// Compute-classified buffers fall back to the capacity criterion and
+/// do not steal fast memory.
+#[test]
+fn compute_buffers_do_not_steal_fast_memory() {
+    let (machine, attrs, engine) = setup(Machine::knl_snc4_flat());
+    // Advice that marks the queues buffer compute-bound.
+    let criteria = vec![
+        ("pred".to_string(), criterion_for(Sensitivity::Latency)),
+        ("csr".to_string(), criterion_for(Sensitivity::Latency)),
+        ("visited".to_string(), criterion_for(Sensitivity::Latency)),
+        ("queues".to_string(), criterion_for(Sensitivity::Compute)),
+    ];
+    let mut alloc = HetAllocator::new(attrs, MemoryManager::new(machine.clone()));
+    let res = graph500::run(
+        &mut alloc,
+        &engine,
+        &Graph500Config::knl_paper(24),
+        &Placement::Advised(criteria),
+        None,
+    )
+    .expect("fits");
+    for (label, placement) in &res.placements {
+        // Everything lands on DRAM: latency prefers it, and capacity
+        // prefers it too (24 GB > 4 GB MCDRAM). MCDRAM is left free for
+        // buffers that actually need bandwidth.
+        assert_eq!(
+            machine.topology().node_kind(placement[0].0),
+            Some(MemoryKind::Dram),
+            "{label}"
+        );
+    }
+    assert_eq!(alloc.memory().used(NodeId(4)), 0, "MCDRAM untouched");
+}

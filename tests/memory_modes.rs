@@ -1,0 +1,196 @@
+//! §II-A / §II-B: the hardware-managed-cache vs explicit-allocation
+//! trade-off.
+//!
+//! "The Cache mode is an automatic hardware-based way to benefit from
+//! MCDRAM performance and DRAM capacity, but its performance may be
+//! lower than the Flat mode if the application memory allocations are
+//! carefully tuned for this platform." (§II-A) — and the same question
+//! for Xeon 2LM (§II-B). These tests run the same workloads in both
+//! modes and verify the paper's qualitative claims.
+
+use hetmem::alloc::{Fallback, HetAllocator};
+use hetmem::apps::stream::{self, StreamConfig};
+use hetmem::apps::{graph500, Placement};
+use hetmem::core::{attr, discovery};
+use hetmem::memsim::{AccessEngine, Machine, MemoryManager};
+use hetmem::NodeId;
+use std::sync::Arc;
+
+const GIB: u64 = 1 << 30;
+
+fn setup(machine: Machine) -> (HetAllocator, AccessEngine) {
+    let machine = Arc::new(machine);
+    let attrs = Arc::new(discovery::from_firmware(&machine, true).expect("discovery"));
+    (
+        HetAllocator::new(attrs, MemoryManager::new(machine.clone())),
+        AccessEngine::new(machine),
+    )
+}
+
+/// Small working sets: KNL Cache mode ≈ tuned Flat mode (both serve
+/// from MCDRAM).
+#[test]
+fn knl_cache_mode_good_when_fitting() {
+    // Cache mode: one node, hardware cache in front.
+    let (mut cache_alloc, cache_engine) = setup(Machine::knl_quadrant_cache());
+    let cfg_cache = StreamConfig { total_bytes: 3 * GIB, threads: 64, first_cpu: 0, iterations: 5 };
+    let cache = stream::run(
+        &mut cache_alloc,
+        &cache_engine,
+        &cfg_cache,
+        &Placement::BindAll(NodeId(0)),
+        None,
+    )
+    .expect("fits");
+
+    // Flat mode, tuned: bandwidth criterion puts arrays on MCDRAM.
+    // (One cluster = 1/4 of the machine, so compare per-cluster scale.)
+    let (mut flat_alloc, flat_engine) = setup(Machine::knl_snc4_flat());
+    let cfg_flat = StreamConfig::knl_paper(3 * GIB / 4);
+    let flat = stream::run(
+        &mut flat_alloc,
+        &flat_engine,
+        &cfg_flat,
+        &Placement::Criterion { attr: attr::BANDWIDTH, fallback: Fallback::PartialSpill },
+        None,
+    )
+    .expect("fits");
+
+    // Whole-chip cache mode ≈ 4× one tuned cluster, within 25%.
+    let ratio = cache.triad_gibps / (4.0 * flat.triad_gibps);
+    assert!(
+        (0.75..1.25).contains(&ratio),
+        "fitting working set: cache {:.1} vs 4x flat cluster {:.1} (ratio {ratio:.2})",
+        cache.triad_gibps,
+        4.0 * flat.triad_gibps
+    );
+}
+
+/// Large working sets: Cache mode degrades (capacity misses), while
+/// tuned Flat keeps its *hot* buffer fast — §II-A's "performance may
+/// be lower than the Flat mode".
+#[test]
+fn knl_cache_mode_degrades_beyond_capacity() {
+    let (mut cache_alloc, cache_engine) = setup(Machine::knl_quadrant_cache());
+    // 48 GiB of arrays: 3× the 16 GiB MCDRAM cache.
+    let big = StreamConfig { total_bytes: 48 * GIB, threads: 64, first_cpu: 0, iterations: 5 };
+    let cache_big = stream::run(
+        &mut cache_alloc,
+        &cache_engine,
+        &big,
+        &Placement::BindAll(NodeId(0)),
+        None,
+    )
+    .expect("fits");
+    let small = StreamConfig { total_bytes: 4 * GIB, threads: 64, first_cpu: 0, iterations: 5 };
+    let cache_small = stream::run(
+        &mut cache_alloc,
+        &cache_engine,
+        &small,
+        &Placement::BindAll(NodeId(0)),
+        None,
+    )
+    .expect("fits");
+    assert!(
+        cache_small.triad_gibps > 1.5 * cache_big.triad_gibps,
+        "cache-mode capacity cliff: {:.1} -> {:.1}",
+        cache_small.triad_gibps,
+        cache_big.triad_gibps
+    );
+
+    // Flat mode with explicit tuning: give MCDRAM to one hot array's
+    // worth of data; throughput on the hot part stays MCDRAM-class.
+    let (mut flat_alloc, flat_engine) = setup(Machine::knl_snc4_flat());
+    let hot = StreamConfig::knl_paper(3 * GIB);
+    let flat_hot = stream::run(
+        &mut flat_alloc,
+        &flat_engine,
+        &hot,
+        &Placement::Criterion { attr: attr::BANDWIDTH, fallback: Fallback::PartialSpill },
+        None,
+    )
+    .expect("fits");
+    // Per-cluster MCDRAM-class (≈90) ≫ whole-chip cache-mode-thrashing
+    // per-cluster share (cache_big/4).
+    assert!(
+        flat_hot.triad_gibps > 1.5 * cache_big.triad_gibps / 4.0,
+        "tuned flat hot buffer {:.1} vs thrashing cache mode per-cluster {:.1}",
+        flat_hot.triad_gibps,
+        cache_big.triad_gibps / 4.0
+    );
+}
+
+/// Xeon 2LM: the DRAM cache gives DRAM-class streaming while the
+/// footprint fits — "let the hardware manage the DRAM as a cache" is
+/// fine at small scale...
+#[test]
+fn xeon_2lm_fast_when_fitting() {
+    let (mut alloc, engine) = setup(Machine::xeon_2lm());
+    let cfg = StreamConfig::xeon_paper(22 * GIB); // ≪ 192 GiB DRAM cache
+    let two_lm = stream::run(&mut alloc, &engine, &cfg, &Placement::BindAll(NodeId(0)), None)
+        .expect("fits");
+    // The cache model serves hits at flat DRAM bandwidth without the
+    // read/write channel asymmetry, so it can slightly exceed the 1LM
+    // triad figure.
+    assert!(
+        (55.0..115.0).contains(&two_lm.triad_gibps),
+        "2LM cached triad should be DRAM-class: {:.1}",
+        two_lm.triad_gibps
+    );
+}
+
+/// ...but 1LM with explicit placement beats 2LM once the footprint
+/// exceeds the DRAM cache, because 1LM lets the application keep the
+/// latency-critical structures on real DRAM (§II-B's open question,
+/// answered).
+#[test]
+fn xeon_1lm_tuned_beats_2lm_beyond_cache() {
+    // 2LM: a 230 GiB working set thrashes the 192 GiB DRAM cache.
+    let (mut alloc2, engine2) = setup(Machine::xeon_2lm());
+    let big = StreamConfig::xeon_paper(230 * GIB);
+    let two_lm = stream::run(&mut alloc2, &engine2, &big, &Placement::BindAll(NodeId(0)), None)
+        .expect("768 GB NVDIMM holds it");
+
+    // 1LM: the same total, explicitly split — latency row impossible,
+    // but capacity placement goes straight to NVDIMM with *known*
+    // behaviour; and the hot subset can be pinned to DRAM.
+    let (mut alloc1, engine1) = setup(Machine::xeon_1lm_no_snc());
+    let hot = StreamConfig::xeon_paper(22 * GIB);
+    let tuned_hot = stream::run(
+        &mut alloc1,
+        &engine1,
+        &hot,
+        &Placement::Criterion { attr: attr::LATENCY, fallback: Fallback::Strict },
+        None,
+    )
+    .expect("fits DRAM");
+    assert!(
+        tuned_hot.triad_gibps > 1.5 * two_lm.triad_gibps,
+        "tuned 1LM hot set {:.1} vs thrashed 2LM {:.1}",
+        tuned_hot.triad_gibps,
+        two_lm.triad_gibps
+    );
+}
+
+/// Graph500 in 2LM: the DRAM cache absorbs the latency-critical
+/// accesses while the graph fits, approaching 1LM-DRAM TEPS.
+#[test]
+fn graph500_2lm_close_to_1lm_dram_when_fitting() {
+    let (mut alloc2, engine2) = setup(Machine::xeon_2lm());
+    let cfg = graph500::Graph500Config::xeon_paper(27); // 4.3 GB ≪ cache
+    let two_lm =
+        graph500::run(&mut alloc2, &engine2, &cfg, &Placement::BindAll(NodeId(0)), None)
+            .expect("fits");
+
+    let (mut alloc1, engine1) = setup(Machine::xeon_1lm_no_snc());
+    let one_lm =
+        graph500::run(&mut alloc1, &engine1, &cfg, &Placement::BindAll(NodeId(0)), None)
+            .expect("fits");
+    let ratio = two_lm.teps_harmonic / one_lm.teps_harmonic;
+    assert!(
+        (0.8..1.15).contains(&ratio),
+        "2LM {:.3e} vs 1LM DRAM {:.3e} (ratio {ratio:.2})",
+        two_lm.teps_harmonic,
+        one_lm.teps_harmonic
+    );
+}

@@ -1,0 +1,204 @@
+//! Cross-crate property-based tests: allocator/manager conservation
+//! invariants, engine monotonicity, planner optimality.
+
+use hetmem::alloc::planner::{plan, PlanOrder, PlannedAlloc};
+use hetmem::alloc::{Fallback, HetAllocator};
+use hetmem::core::{attr, discovery};
+use hetmem::memsim::{
+    AccessEngine, AccessPattern, AllocPolicy, BufferAccess, Machine, MemoryManager, Phase,
+    PAGE_SIZE,
+};
+use hetmem::{Bitmap, NodeId};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn knl() -> Arc<Machine> {
+    Arc::new(Machine::knl_snc4_flat())
+}
+
+/// Arbitrary alloc/free scripts against the memory manager.
+#[derive(Debug, Clone)]
+enum Op {
+    Alloc { size: u64, policy_sel: u8, node: u8 },
+    Free { idx: usize },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (1u64..8 * 1024 * 1024 * 1024u64, 0u8..4, 0u8..8)
+            .prop_map(|(size, policy_sel, node)| Op::Alloc { size, policy_sel, node }),
+        (0usize..32).prop_map(|idx| Op::Free { idx }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Capacity conservation: after any alloc/free script, per-node
+    /// used + available == usable capacity, regions never overlap
+    /// books, and freeing everything restores the initial state.
+    #[test]
+    fn memory_manager_conserves_capacity(ops in prop::collection::vec(op_strategy(), 1..40)) {
+        let machine = knl();
+        let mut mm = MemoryManager::new(machine.clone());
+        let initial: Vec<u64> =
+            machine.topology().node_ids().iter().map(|&n| mm.available(n)).collect();
+        let mut live = Vec::new();
+        for op in ops {
+            match op {
+                Op::Alloc { size, policy_sel, node } => {
+                    let node = NodeId(node as u32);
+                    let policy = match policy_sel {
+                        0 => AllocPolicy::Bind(node),
+                        1 => AllocPolicy::Preferred(node),
+                        2 => AllocPolicy::Interleave(vec![NodeId(0), NodeId(4)]),
+                        _ => AllocPolicy::PreferredMany(vec![NodeId(4), node]),
+                    };
+                    if let Ok(id) = mm.alloc(size, policy) {
+                        live.push(id);
+                        // Placement covers exactly the rounded size.
+                        let r = mm.region(id).expect("live");
+                        let placed: u64 = r.placement.iter().map(|&(_, b)| b).sum();
+                        prop_assert_eq!(placed, r.size);
+                        prop_assert_eq!(r.size % PAGE_SIZE, 0);
+                    }
+                }
+                Op::Free { idx } => {
+                    if !live.is_empty() {
+                        let id = live.remove(idx % live.len());
+                        prop_assert!(mm.free(id));
+                    }
+                }
+            }
+            // Invariant: books balance on every node, at every step.
+            for (&node, &init) in machine.topology().node_ids().iter().zip(&initial) {
+                prop_assert_eq!(mm.available(node) + mm.used(node), init);
+            }
+        }
+        for id in live {
+            prop_assert!(mm.free(id));
+        }
+        for (&node, &init) in machine.topology().node_ids().iter().zip(&initial) {
+            prop_assert_eq!(mm.available(node), init);
+        }
+    }
+
+    /// Engine monotonicity: more traffic never takes less time, and
+    /// time is always positive and finite.
+    #[test]
+    fn engine_time_monotone_in_traffic(
+        base_mib in 64u64..4096,
+        extra_mib in 0u64..4096,
+        threads in 1usize..20,
+        pattern_sel in 0u8..4,
+    ) {
+        let machine = Arc::new(Machine::xeon_1lm_no_snc());
+        let engine = AccessEngine::new(machine.clone());
+        let mut mm = MemoryManager::new(machine);
+        let region = mm.alloc(8 << 30, AllocPolicy::Bind(NodeId(0))).expect("fits");
+        let pattern = match pattern_sel {
+            0 => AccessPattern::Sequential,
+            1 => AccessPattern::Strided,
+            2 => AccessPattern::Random,
+            _ => AccessPattern::PointerChase,
+        };
+        let mk = |mib: u64| Phase {
+            name: "p".into(),
+            accesses: vec![BufferAccess::new(region, mib << 20, 0, pattern)],
+            threads,
+            initiator: "0-19".parse().expect("cpuset"),
+            compute_ns: 0.0,
+        };
+        let t1 = engine.run_phase(&mm, &mk(base_mib)).time_ns;
+        let t2 = engine.run_phase(&mm, &mk(base_mib + extra_mib)).time_ns;
+        prop_assert!(t1.is_finite() && t1 > 0.0);
+        prop_assert!(t2 >= t1 * 0.999, "time decreased: {t1} -> {t2}");
+    }
+
+    /// Faster memory never loses: the same phase on MCDRAM is never
+    /// slower than on the KNL cluster DRAM for bandwidth-bound
+    /// streams.
+    #[test]
+    fn hbm_never_loses_streaming(mib in 64u64..2048, threads in 4usize..16) {
+        let machine = knl();
+        let engine = AccessEngine::new(machine.clone());
+        let mut mm = MemoryManager::new(machine);
+        let dram = mm.alloc(3 << 30, AllocPolicy::Bind(NodeId(0))).expect("fits");
+        let hbm = mm.alloc(3 << 30, AllocPolicy::Bind(NodeId(4))).expect("fits");
+        let mk = |region| Phase {
+            name: "stream".into(),
+            accesses: vec![BufferAccess::new(region, mib << 20, (mib << 20) / 2, AccessPattern::Sequential)],
+            threads,
+            initiator: "0-15".parse().expect("cpuset"),
+            compute_ns: 0.0,
+        };
+        let t_dram = engine.run_phase(&mm, &mk(dram)).time_ns;
+        let t_hbm = engine.run_phase(&mm, &mk(hbm)).time_ns;
+        prop_assert!(t_hbm <= t_dram * 1.001, "HBM slower: {t_hbm} vs {t_dram}");
+    }
+
+    /// Planner optimality: under priority order, the highest-priority
+    /// request always gets the best target if it could fit there alone.
+    #[test]
+    fn priority_planner_serves_highest_first(
+        sizes in prop::collection::vec(256u64..3000, 2..6),
+        prios in prop::collection::vec(0i32..100, 2..6),
+    ) {
+        let machine = knl();
+        let attrs = Arc::new(discovery::from_firmware(&machine, true).expect("discovery"));
+        let mut alloc = HetAllocator::new(attrs, MemoryManager::new(machine));
+        let n = sizes.len().min(prios.len());
+        let reqs: Vec<PlannedAlloc> = (0..n)
+            .map(|i| PlannedAlloc {
+                name: format!("b{i}"),
+                size: sizes[i] << 20,
+                criterion: attr::BANDWIDTH,
+                priority: prios[i],
+            })
+            .collect();
+        let cluster: Bitmap = "0-15".parse().expect("cpuset");
+        let hbm_avail = alloc.memory().available(NodeId(4));
+        let placed = plan(&mut alloc, &reqs, &cluster, PlanOrder::Priority).expect("fits");
+        let top = (0..n).max_by_key(|&i| (prios[i], std::cmp::Reverse(i))).expect("nonempty");
+        if (sizes[top] << 20) <= hbm_avail {
+            prop_assert!(
+                placed[top].got_best,
+                "highest priority request (idx {top}) displaced: {:?}",
+                placed[top].placement
+            );
+        }
+    }
+
+    /// mem_alloc never lies: the returned region's placement respects
+    /// the fallback mode (strict ⇒ single best node; spill ⇒ ordered
+    /// along the ranking).
+    #[test]
+    fn mem_alloc_respects_fallback_contract(mib in 1u64..6000) {
+        let machine = knl();
+        let attrs = Arc::new(discovery::from_firmware(&machine, true).expect("discovery"));
+        let mut alloc = HetAllocator::new(attrs, MemoryManager::new(machine));
+        let cluster: Bitmap = "0-15".parse().expect("cpuset");
+        let size = mib << 20;
+        let cands = alloc.candidates(attr::BANDWIDTH, &cluster).expect("candidates");
+        if let Ok(id) = alloc.mem_alloc(size, attr::BANDWIDTH, &cluster, Fallback::Strict) {
+            prop_assert_eq!(
+                alloc.memory().region(id).expect("live").single_node(),
+                Some(cands[0])
+            );
+            alloc.free(id);
+        }
+        if let Ok(id) = alloc.mem_alloc(size, attr::BANDWIDTH, &cluster, Fallback::PartialSpill) {
+            let region = alloc.memory().region(id).expect("live");
+            // Placement order follows the candidate ranking.
+            let order: Vec<usize> = region
+                .placement
+                .iter()
+                .map(|(n, _)| cands.iter().position(|c| c == n).expect("candidate"))
+                .collect();
+            let mut sorted = order.clone();
+            sorted.sort_unstable();
+            prop_assert_eq!(order, sorted);
+            alloc.free(id);
+        }
+    }
+}

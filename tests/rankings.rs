@@ -1,0 +1,149 @@
+//! The paper's Equations 1–3 as integration tests, on every platform
+//! and from both discovery sources.
+
+use hetmem::core::{attr, discovery, MemAttrs};
+use hetmem::membench::{feed_attrs, BenchOptions};
+use hetmem::memsim::Machine;
+use hetmem::topology::MemoryKind;
+use hetmem::Bitmap;
+use std::sync::Arc;
+
+fn kinds_ranked(
+    machine: &Machine,
+    attrs: &MemAttrs,
+    id: hetmem::AttrId,
+    ini: &Bitmap,
+) -> Vec<MemoryKind> {
+    attrs
+        .rank_local_targets(id, ini)
+        .expect("known attribute")
+        .iter()
+        .map(|tv| machine.topology().node_kind(tv.node).expect("known node"))
+        .collect()
+}
+
+/// Eq. 1 on the fictitious platform: HBM > DRAM > NVDIMM by bandwidth.
+#[test]
+fn eq1_bandwidth_order() {
+    let machine = Arc::new(Machine::fictitious());
+    let attrs = discovery::from_firmware(&machine, true).expect("discovery");
+    let cluster: Bitmap = "0-3".parse().expect("cpuset");
+    let kinds = kinds_ranked(&machine, &attrs, attr::BANDWIDTH, &cluster);
+    assert_eq!(
+        kinds,
+        vec![
+            MemoryKind::Hbm,
+            MemoryKind::Dram,
+            MemoryKind::Nvdimm,
+            MemoryKind::NetworkAttached
+        ]
+    );
+}
+
+/// Eq. 2: DRAM ≈ HBM ≫ NVDIMM by latency priority. The top two are
+/// DRAM and HBM (either order, they are close); NVDIMM is behind.
+#[test]
+fn eq2_latency_order() {
+    let machine = Arc::new(Machine::fictitious());
+    let attrs = discovery::from_firmware(&machine, true).expect("discovery");
+    let cluster: Bitmap = "0-3".parse().expect("cpuset");
+    let kinds = kinds_ranked(&machine, &attrs, attr::LATENCY, &cluster);
+    assert!(kinds[..2].contains(&MemoryKind::Dram));
+    assert!(kinds[..2].contains(&MemoryKind::Hbm));
+    assert_eq!(kinds[2], MemoryKind::Nvdimm);
+}
+
+/// Eq. 3: NVDIMM > DRAM > HBM by capacity.
+#[test]
+fn eq3_capacity_order() {
+    let machine = Arc::new(Machine::fictitious());
+    let attrs = discovery::from_firmware(&machine, true).expect("discovery");
+    let cluster: Bitmap = "0-3".parse().expect("cpuset");
+    let kinds = kinds_ranked(&machine, &attrs, attr::CAPACITY, &cluster);
+    // NAM (1 TiB) tops everything; then NVDIMM > DRAM > HBM.
+    assert_eq!(
+        kinds,
+        vec![
+            MemoryKind::NetworkAttached,
+            MemoryKind::Nvdimm,
+            MemoryKind::Dram,
+            MemoryKind::Hbm
+        ]
+    );
+}
+
+/// The equations hold identically when values come from benchmarks
+/// instead of firmware.
+#[test]
+fn equations_hold_from_benchmarks() {
+    let machine = Arc::new(Machine::fictitious());
+    let attrs = feed_attrs(&machine, &BenchOptions::default()).expect("benchmarks");
+    let cluster: Bitmap = "0-3".parse().expect("cpuset");
+    let bw = kinds_ranked(&machine, &attrs, attr::BANDWIDTH, &cluster);
+    assert_eq!(bw[0], MemoryKind::Hbm);
+    assert_eq!(*bw.last().expect("nonempty"), MemoryKind::NetworkAttached);
+    let lat = kinds_ranked(&machine, &attrs, attr::LATENCY, &cluster);
+    assert!(lat[..2].contains(&MemoryKind::Dram) && lat[..2].contains(&MemoryKind::Hbm));
+}
+
+/// On the KNL, the latency values of DRAM and HBM are within 10% —
+/// "the application will not know if it should allocate on DRAM or
+/// HBM since their priority are similar. But it can look at other
+/// criteria such as the capacity to finalize its choice."
+#[test]
+fn knl_latency_tie_broken_by_capacity() {
+    let machine = Arc::new(Machine::knl_snc4_flat());
+    let attrs = discovery::from_firmware(&machine, true).expect("discovery");
+    let cluster: Bitmap = "0-15".parse().expect("cpuset");
+    let lat = attrs.rank_local_targets(attr::LATENCY, &cluster).expect("rank");
+    let spread = (lat[1].value as f64 - lat[0].value as f64) / lat[0].value as f64;
+    assert!(spread < 0.10, "KNL latency spread {spread:.3}");
+    // Capacity separates them decisively.
+    let cap = attrs.rank_local_targets(attr::CAPACITY, &cluster).expect("rank");
+    assert!(cap[0].value >= 5 * cap[1].value);
+    assert_eq!(machine.topology().node_kind(cap[0].node), Some(MemoryKind::Dram));
+}
+
+/// Homogeneous platforms (§IV): latency/bandwidth attributes express
+/// plain NUMA distance, with no heterogeneity anywhere.
+#[test]
+fn homogeneous_numa_distance_via_attributes() {
+    let machine = Arc::new(Machine::homogeneous(4, 4, 16 << 30));
+    // Full-matrix firmware (future platforms) or benchmarks both work;
+    // use benchmarks with remote measurement.
+    let attrs = feed_attrs(
+        &machine,
+        &BenchOptions { include_remote: true, ..Default::default() },
+    )
+    .expect("benchmarks");
+    for pkg in 0..4u32 {
+        let ini: Bitmap = Bitmap::from_range(pkg as usize * 4, pkg as usize * 4 + 3);
+        let rank = attrs.rank_targets(attr::LATENCY, &ini).expect("rank");
+        assert_eq!(rank[0].node.0, pkg, "local node first from package {pkg}");
+        assert_eq!(rank.len(), 4);
+        assert!(rank[1].value > rank[0].value);
+    }
+}
+
+/// Identification without labels: on the Fig. 2 Xeon, the attributes
+/// alone separate DRAM-class from NVDIMM-class nodes — the paper's
+/// §III-A question "how does an application know the first 2 NUMA
+/// nodes are DRAM while the others are NVDIMMs?".
+#[test]
+fn identification_by_attributes_not_labels() {
+    let machine = Arc::new(Machine::xeon_1lm_snc());
+    let attrs = discovery::from_firmware(&machine, true).expect("discovery");
+    let g0: Bitmap = "0-9".parse().expect("cpuset");
+    let ranked = attrs.rank_local_targets(attr::LATENCY, &g0).expect("rank");
+    // Two classes of latency emerge; the fast class is exactly the
+    // ground-truth DRAM set.
+    let fast: Vec<_> = ranked.iter().filter(|tv| tv.value < 50).map(|tv| tv.node).collect();
+    let slow: Vec<_> = ranked.iter().filter(|tv| tv.value >= 50).map(|tv| tv.node).collect();
+    assert!(!fast.is_empty() && !slow.is_empty());
+    for n in fast {
+        assert_eq!(machine.topology().node_kind(n), Some(MemoryKind::Dram));
+    }
+    for n in slow {
+        assert_eq!(machine.topology().node_kind(n), Some(MemoryKind::Nvdimm));
+    }
+}

@@ -1,0 +1,144 @@
+//! §VIII open questions, answered on the simulator.
+//!
+//! "On a server with four Xeon processors with NVDIMMs [...] if the
+//! application is irregular and the local DRAM is full, is it better
+//! to allocate in the local NVDIMM or in another DRAM?" — the paper
+//! leaves this open because Linux exposes no remote performance
+//! values; benchmarks can measure them (§VIII), and then the answer
+//! falls out of the ranking.
+
+use hetmem::alloc::{Fallback, HetAllocator};
+use hetmem::core::attr;
+use hetmem::membench::{feed_attrs, BenchOptions};
+use hetmem::memsim::{
+    AccessEngine, AccessPattern, BufferAccess, Machine, MemoryManager, Phase,
+};
+use hetmem::topology::MemoryKind;
+use hetmem::{Bitmap, NodeId};
+use std::sync::Arc;
+
+const GIB: u64 = 1 << 30;
+
+fn four_socket() -> (Arc<Machine>, HetAllocator, AccessEngine) {
+    let machine = Arc::new(Machine::xeon_4s_snc());
+    // Benchmarks measure the full matrix, remote pairs included.
+    let attrs = Arc::new(
+        feed_attrs(
+            &machine,
+            &BenchOptions { include_remote: true, read_write_variants: false, loaded_latency: false },
+        )
+        .expect("benchmark discovery"),
+    );
+    let engine = AccessEngine::new(machine.clone());
+    let alloc = HetAllocator::new(attrs, MemoryManager::new(machine.clone()));
+    (machine, alloc, engine)
+}
+
+/// Fill the local SNC-group DRAM (node 0), leaving other memories free.
+fn fill_local_dram(alloc: &mut HetAllocator) {
+    let avail = alloc.memory().available(NodeId(0));
+    alloc
+        .memory_mut()
+        .alloc(avail, hetmem::memsim::AllocPolicy::Bind(NodeId(0)))
+        .expect("hog fits");
+}
+
+#[test]
+fn twelve_node_machine_is_fully_ranked() {
+    let (machine, alloc, _) = four_socket();
+    assert_eq!(machine.topology().node_ids().len(), 12);
+    let g0: Bitmap = "0-9".parse().expect("cpuset");
+    // Global latency ranking covers all 12 nodes.
+    let all = alloc.candidates_any(attr::LATENCY, &g0).expect("ranked");
+    assert_eq!(all.len(), 12);
+    // Local branch knowledge covers only the group DRAM + package NVDIMM.
+    let local = alloc.candidates(attr::LATENCY, &g0).expect("ranked");
+    assert_eq!(local, vec![NodeId(0), NodeId(2)]);
+}
+
+/// The §VIII answer: with full-matrix knowledge, a latency-critical
+/// buffer displaced from the local DRAM goes to a *sibling DRAM*, not
+/// to the local NVDIMM — and that is measurably faster.
+#[test]
+fn remote_dram_beats_local_nvdimm_for_latency() {
+    let (machine, mut alloc, engine) = four_socket();
+    let g0: Bitmap = "0-9".parse().expect("cpuset");
+    fill_local_dram(&mut alloc);
+
+    // Local-only knowledge: the only remaining local target is NVDIMM.
+    let local_choice = alloc
+        .mem_alloc(2 * GIB, attr::LATENCY, &g0, Fallback::NextTarget)
+        .expect("NVDIMM has room");
+    let local_node = alloc.memory().region(local_choice).expect("live").single_node().expect("one");
+    assert_eq!(machine.topology().node_kind(local_node), Some(MemoryKind::Nvdimm));
+
+    // Full-matrix knowledge: the next-best latency target is the
+    // sibling SNC group's DRAM.
+    let global_choice = alloc
+        .mem_alloc_any(2 * GIB, attr::LATENCY, &g0, Fallback::NextTarget)
+        .expect("sibling DRAM has room");
+    let global_node =
+        alloc.memory().region(global_choice).expect("live").single_node().expect("one");
+    assert_eq!(machine.topology().node_kind(global_node), Some(MemoryKind::Dram));
+    assert_eq!(global_node, NodeId(1), "sibling SNC DRAM preferred over remote sockets");
+
+    // And it is actually faster for an irregular workload.
+    let mk = |region| Phase {
+        name: "irregular".into(),
+        accesses: vec![BufferAccess::new(region, GIB, 0, AccessPattern::Random)],
+        threads: 10,
+        initiator: g0.clone(),
+        compute_ns: 0.0,
+    };
+    let t_nvdimm = engine.run_phase(alloc.memory(), &mk(local_choice)).time_ns;
+    let t_sibling = engine.run_phase(alloc.memory(), &mk(global_choice)).time_ns;
+    assert!(
+        t_sibling < 0.6 * t_nvdimm,
+        "sibling DRAM ({t_sibling:.0} ns) should clearly beat local NVDIMM ({t_nvdimm:.0} ns)"
+    );
+}
+
+/// For a *bandwidth*-bound buffer the trade-off flips at the UPI: a
+/// cross-socket DRAM loses enough bandwidth that the local NVDIMM
+/// becomes competitive — the ranking captures that, too.
+#[test]
+fn bandwidth_ranking_downgrades_cross_socket_dram() {
+    let (_, alloc, _) = four_socket();
+    let g0: Bitmap = "0-9".parse().expect("cpuset");
+    let ranked = alloc.candidates_any(attr::BANDWIDTH, &g0).expect("ranked");
+    // Same-package nodes (0,1,2) must all rank above any cross-socket
+    // node for bandwidth: the UPI cap (0.45×) is harsher than the
+    // NVDIMM's own bandwidth deficit.
+    let cross_pos = ranked
+        .iter()
+        .position(|n| n.0 >= 3)
+        .expect("cross-socket nodes in ranking");
+    let local_positions: Vec<usize> = [0u32, 1, 2]
+        .iter()
+        .map(|&n| ranked.iter().position(|x| x.0 == n).expect("present"))
+        .collect();
+    for p in local_positions {
+        assert!(p < cross_pos, "package-local nodes must outrank cross-socket DRAM");
+    }
+}
+
+/// Migration epilogue for the §VIII scenario: once the local DRAM
+/// frees up, the displaced buffer migrates home.
+#[test]
+fn displaced_buffer_migrates_home() {
+    let (_, mut alloc, _) = four_socket();
+    let g0: Bitmap = "0-9".parse().expect("cpuset");
+    let avail = alloc.memory().available(NodeId(0));
+    let hog = alloc
+        .memory_mut()
+        .alloc(avail, hetmem::memsim::AllocPolicy::Bind(NodeId(0)))
+        .expect("hog fits");
+    let buf = alloc
+        .mem_alloc_any(2 * GIB, attr::LATENCY, &g0, Fallback::NextTarget)
+        .expect("sibling DRAM");
+    assert_eq!(alloc.memory().region(buf).expect("live").single_node(), Some(NodeId(1)));
+    alloc.memory_mut().free(hog);
+    let (node, report) = alloc.migrate_to_best(buf, attr::LATENCY, &g0).expect("home free");
+    assert_eq!(node, NodeId(0));
+    assert_eq!(report.bytes_moved, 2 * GIB);
+}
