@@ -15,9 +15,9 @@
 //! * [`bind_process`] — whole-process binding (§V-A benchmarking):
 //!   every allocation goes to one node.
 
+use hetmem_bitmap::Bitmap;
 use hetmem_memsim::{AllocError, AllocPolicy, MemoryManager, RegionId};
 use hetmem_topology::{MemoryKind, NodeId};
-use hetmem_bitmap::Bitmap;
 
 /// The memory kinds a memkind-style API exposes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -226,10 +226,7 @@ mod tests {
         let mid = auto.malloc(16 * 1024 * 1024).unwrap(); // in window → HBM
         let big = auto.malloc(2 * GIB).unwrap(); // above window → DRAM
         let kind = |id: RegionId| {
-            machine
-                .topology()
-                .node_kind(mm.region(id).unwrap().single_node().unwrap())
-                .unwrap()
+            machine.topology().node_kind(mm.region(id).unwrap().single_node().unwrap()).unwrap()
         };
         assert_eq!(kind(small), MemoryKind::Dram);
         assert_eq!(kind(mid), MemoryKind::Hbm);

@@ -3,11 +3,31 @@
 //! The paper's allocator "may be summarized with a single function
 //! `mem_alloc(..., attribute)` which allocates on the best local
 //! memory target for the specified attribute, for instance Bandwidth,
-//! Latency or Capacity". This crate reproduces it:
+//! Latency or Capacity". This crate reproduces it around a single
+//! entry point, [`HetAllocator::alloc`], driven by an [`AllocRequest`]
+//! built with a fluent builder:
 //!
-//! * [`HetAllocator::mem_alloc`] ranks the initiator's **local**
-//!   targets by the requested attribute (via `hetmem-core`) and
-//!   allocates on the best one;
+//! ```
+//! # use hetmem_alloc::{AllocRequest, Fallback, HetAllocator, Machine};
+//! # use hetmem_core::{attr, discovery};
+//! # use hetmem_memsim::MemoryManager;
+//! # use std::sync::Arc;
+//! # let machine = Arc::new(Machine::knl_snc4_flat());
+//! # let attrs = Arc::new(discovery::from_firmware(&machine, true).unwrap());
+//! # let mut a = HetAllocator::new(attrs, MemoryManager::new(machine));
+//! # let cpuset = "0-15".parse().unwrap();
+//! let req = AllocRequest::new(1 << 30)
+//!     .criterion(attr::LATENCY)
+//!     .initiator(&cpuset)
+//!     .fallback(Fallback::PartialSpill);
+//! let buf = a.alloc(&req).unwrap();
+//! # assert!(a.free(buf));
+//! ```
+//!
+//! * the allocator ranks the initiator's **local** targets by the
+//!   requested attribute (via `hetmem-core`) and allocates on the best
+//!   one ([`AllocRequest::any_locality`] widens the ranking to remote
+//!   targets, the paper's §VIII escape hatch);
 //! * if the best target is full, it **falls back along the ranking**
 //!   ([`Fallback::NextTarget`] retries whole buffers on the next
 //!   target, [`Fallback::PartialSpill`] splits at page granularity,
@@ -20,12 +40,17 @@
 //!   (Latency), never a *technology* (HBM). The same call returns DRAM
 //!   on a DRAM+NVDIMM Xeon and can return either memory on KNL.
 //!
+//! Every decision is observable: when the memory manager carries a
+//! `hetmem_telemetry::Recorder` (see [`HetAllocator::set_recorder`]),
+//! each allocation emits an `AllocDecision` event with the ranked
+//! candidates, every fallback hop and the final placement split, and
+//! attribute substitutions emit `AttrFallback` events.
+//!
 //! The [`baselines`] module implements what the paper compares
 //! against — a memkind-style hardwired-kind API, AutoHBW size
 //! thresholds, and whole-process binding — and [`planner`] implements
 //! the §VII capacity-conflict discussion (FCFS vs priority ordering,
 //! plus migration).
-
 
 #![warn(missing_docs)]
 pub mod baselines;
@@ -34,12 +59,15 @@ pub mod planner;
 pub mod tiering;
 
 use hetmem_bitmap::Bitmap;
-use hetmem_core::{attr, AttrError, AttrId, MemAttrs};
+use hetmem_core::{attr, AttrError, AttrId, HetMemError, MemAttrs, TargetValue};
 use hetmem_memsim::{AllocError, AllocPolicy, MemoryManager, MigrationReport, RegionId};
+use hetmem_telemetry as telemetry;
+use hetmem_telemetry::Recorder;
 use hetmem_topology::NodeId;
 use std::sync::Arc;
 
 pub use hetmem_memsim::Machine;
+pub use hetmem_telemetry::Scope;
 
 /// What to do when the best target cannot hold the buffer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -53,6 +81,16 @@ pub enum Fallback {
     /// Fill targets in ranking order at page granularity
     /// (paper: "or at least partially").
     PartialSpill,
+}
+
+impl Fallback {
+    fn as_telemetry(self) -> telemetry::FallbackMode {
+        match self {
+            Fallback::Strict => telemetry::FallbackMode::Strict,
+            Fallback::NextTarget => telemetry::FallbackMode::NextTarget,
+            Fallback::PartialSpill => telemetry::FallbackMode::PartialSpill,
+        }
+    }
 }
 
 /// Allocation failure from the heterogeneous allocator.
@@ -92,6 +130,117 @@ impl From<AttrError> for HetAllocError {
     }
 }
 
+impl From<HetAllocError> for HetMemError {
+    fn from(e: HetAllocError) -> Self {
+        match e {
+            HetAllocError::NoCandidates => HetMemError::NoCandidates,
+            HetAllocError::Os(e) => HetMemError::Os(e),
+            HetAllocError::Attr(e) => HetMemError::Attr(e),
+        }
+    }
+}
+
+/// A fully described allocation request: what to allocate, by which
+/// criterion, from where, and how to degrade under capacity pressure.
+///
+/// Only the size is mandatory. The defaults mirror the paper's
+/// baseline behaviour: rank by Capacity (always available), consider
+/// the whole machine as the initiator, retry whole buffers down the
+/// ranking.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AllocRequest {
+    size: u64,
+    criterion: AttrId,
+    initiator: Option<Bitmap>,
+    fallback: Fallback,
+    any_locality: bool,
+    label: Option<String>,
+}
+
+impl AllocRequest {
+    /// A request for `size` bytes with default criterion (Capacity),
+    /// whole-machine initiator, and [`Fallback::NextTarget`].
+    pub fn new(size: u64) -> AllocRequest {
+        AllocRequest {
+            size,
+            criterion: attr::CAPACITY,
+            initiator: None,
+            fallback: Fallback::default(),
+            any_locality: false,
+            label: None,
+        }
+    }
+
+    /// Ranks targets by this attribute (e.g. `attr::LATENCY`).
+    pub fn criterion(mut self, criterion: AttrId) -> AllocRequest {
+        self.criterion = criterion;
+        self
+    }
+
+    /// The cpuset performing the accesses; scopes the ranking to its
+    /// local targets (unless [`Self::any_locality`] is set) and
+    /// selects the per-initiator attribute values.
+    pub fn initiator(mut self, cpuset: &Bitmap) -> AllocRequest {
+        self.initiator = Some(cpuset.clone());
+        self
+    }
+
+    /// Capacity-pressure behaviour (default [`Fallback::NextTarget`]).
+    pub fn fallback(mut self, fallback: Fallback) -> AllocRequest {
+        self.fallback = fallback;
+        self
+    }
+
+    /// Ranks **all** targets, local or remote — the §VIII scenario
+    /// where a remote DRAM may beat the local NVDIMM once local DRAM
+    /// is full. Only meaningful with attribute sources covering remote
+    /// pairs (benchmarks, or full-matrix HMAT).
+    pub fn any_locality(mut self) -> AllocRequest {
+        self.any_locality = true;
+        self
+    }
+
+    /// A display label for traces and reports.
+    pub fn label(mut self, label: impl Into<String>) -> AllocRequest {
+        self.label = Some(label.into());
+        self
+    }
+
+    /// Requested bytes.
+    pub fn size(&self) -> u64 {
+        self.size
+    }
+
+    /// The ranking attribute.
+    pub fn get_criterion(&self) -> AttrId {
+        self.criterion
+    }
+
+    /// The initiator, if one was set.
+    pub fn get_initiator(&self) -> Option<&Bitmap> {
+        self.initiator.as_ref()
+    }
+
+    /// The fallback mode.
+    pub fn get_fallback(&self) -> Fallback {
+        self.fallback
+    }
+
+    /// The locality scope the ranking will use.
+    pub fn scope(&self) -> Scope {
+        if self.any_locality {
+            Scope::Any
+        } else {
+            Scope::Local
+        }
+    }
+
+    /// The display label, if one was set.
+    pub fn get_label(&self) -> Option<&str> {
+        self.label.as_deref()
+    }
+}
+
 /// The heterogeneous allocator: attribute registry + OS memory
 /// manager.
 pub struct HetAllocator {
@@ -122,6 +271,12 @@ impl HetAllocator {
         &mut self.mm
     }
 
+    /// Routes allocation decisions (and the memory manager's capacity
+    /// events) into `recorder`.
+    pub fn set_recorder(&mut self, recorder: Arc<dyn Recorder>) {
+        self.mm.set_recorder(recorder);
+    }
+
     /// Attribute fallback chain (§IV-B: "the allocator may also
     /// fallback to other similar attributes, for instance Bandwidth
     /// instead of Read Bandwidth"), ending at Capacity which is always
@@ -139,25 +294,187 @@ impl HetAllocator {
         chain
     }
 
-    /// The ranked candidate targets for a criterion and initiator,
-    /// after attribute fallback.
-    pub fn candidates(
+    /// Walks the attribute-fallback chain and returns the attribute
+    /// actually used plus its non-empty ranking.
+    fn ranked_candidates(
         &self,
         criterion: AttrId,
         initiator: &Bitmap,
-    ) -> Result<Vec<NodeId>, HetAllocError> {
+        scope: Scope,
+    ) -> Result<(AttrId, Vec<TargetValue>), HetAllocError> {
         for id in Self::similar_attrs(criterion) {
-            let ranked = self.attrs.rank_local_targets(id, initiator)?;
+            let ranked = match scope {
+                Scope::Local => self.attrs.rank_local_targets(id, initiator)?,
+                Scope::Any => self.attrs.rank_targets(id, initiator)?,
+            };
             if !ranked.is_empty() {
-                return Ok(ranked.into_iter().map(|tv| tv.node).collect());
+                return Ok((id, ranked));
             }
         }
         Err(HetAllocError::NoCandidates)
     }
 
+    /// The ranked candidate targets for a criterion and initiator
+    /// under the given locality scope, after attribute fallback.
+    pub fn candidates_scoped(
+        &self,
+        criterion: AttrId,
+        initiator: &Bitmap,
+        scope: Scope,
+    ) -> Result<Vec<NodeId>, HetAllocError> {
+        let (_, ranked) = self.ranked_candidates(criterion, initiator, scope)?;
+        Ok(ranked.into_iter().map(|tv| tv.node).collect())
+    }
+
+    /// [`Self::candidates_scoped`] over the initiator's local targets
+    /// (the paper's default).
+    pub fn candidates(
+        &self,
+        criterion: AttrId,
+        initiator: &Bitmap,
+    ) -> Result<Vec<NodeId>, HetAllocError> {
+        self.candidates_scoped(criterion, initiator, Scope::Local)
+    }
+
+    /// [`Self::candidates_scoped`] over **all** targets, local or not.
+    pub fn candidates_any(
+        &self,
+        criterion: AttrId,
+        initiator: &Bitmap,
+    ) -> Result<Vec<NodeId>, HetAllocError> {
+        self.candidates_scoped(criterion, initiator, Scope::Any)
+    }
+
+    /// The single allocation entry point: places `req.size()` bytes on
+    /// the best target for the request's criterion, with attribute and
+    /// capacity fallback, emitting a telemetry `AllocDecision` that
+    /// explains the outcome.
+    pub fn alloc(&mut self, req: &AllocRequest) -> Result<RegionId, HetAllocError> {
+        let initiator = match &req.initiator {
+            Some(cpus) => cpus.clone(),
+            None => self.mm.machine().topology().machine_cpuset().clone(),
+        };
+        let scope = req.scope();
+        let recorder = self.mm.recorder().clone();
+        let tracing = recorder.enabled();
+
+        let (used, ranked) = match self.ranked_candidates(req.criterion, &initiator, scope) {
+            Ok(ok) => ok,
+            Err(e) => {
+                if tracing {
+                    recorder.record(telemetry::Event::AllocDecision(telemetry::AllocDecision {
+                        region: None,
+                        size: req.size,
+                        requested: req.criterion.0,
+                        used: req.criterion.0,
+                        scope,
+                        fallback: req.fallback.as_telemetry(),
+                        candidates: vec![],
+                        hops: vec![],
+                        placement: vec![],
+                        error: Some(e.to_string()),
+                    }));
+                }
+                return Err(e);
+            }
+        };
+        if tracing && used != req.criterion {
+            recorder.record(telemetry::Event::AttrFallback(telemetry::AttrFallback {
+                requested: req.criterion.0,
+                used: used.0,
+            }));
+        }
+        let candidates: Vec<NodeId> = ranked.iter().map(|tv| tv.node).collect();
+
+        let mut hops: Vec<telemetry::Hop> = Vec::new();
+        let result: Result<RegionId, HetAllocError> = match req.fallback {
+            Fallback::Strict => {
+                self.mm.alloc(req.size, AllocPolicy::Bind(candidates[0])).map_err(|e| {
+                    hops.push(telemetry::Hop { node: candidates[0], reason: e.to_string() });
+                    HetAllocError::Os(e)
+                })
+            }
+            Fallback::NextTarget => {
+                let mut last_err = None;
+                let mut placed = None;
+                for &node in &candidates {
+                    match self.mm.alloc(req.size, AllocPolicy::Bind(node)) {
+                        Ok(id) => {
+                            placed = Some(id);
+                            break;
+                        }
+                        Err(e) => {
+                            hops.push(telemetry::Hop { node, reason: e.to_string() });
+                            last_err = Some(e);
+                        }
+                    }
+                }
+                placed.ok_or_else(|| {
+                    last_err.map(HetAllocError::Os).unwrap_or(HetAllocError::NoCandidates)
+                })
+            }
+            Fallback::PartialSpill => {
+                let r = self
+                    .mm
+                    .alloc(req.size, AllocPolicy::PreferredMany(candidates.clone()))
+                    .map_err(HetAllocError::Os);
+                if let Ok(id) = r {
+                    // Reconstruct the hops: every candidate before the
+                    // last node that took bytes either filled up
+                    // (partial contribution) or was already full
+                    // (skipped entirely).
+                    let placement = &self.mm.region(id).expect("just allocated").placement;
+                    if placement.len() > 1 || placement[0].0 != candidates[0] {
+                        let last = placement.last().expect("non-empty placement").0;
+                        for &node in &candidates {
+                            if node == last {
+                                break;
+                            }
+                            let reason = if placement.iter().any(|&(n, _)| n == node) {
+                                "filled to capacity; spilled remainder".to_string()
+                            } else {
+                                "full; skipped".to_string()
+                            };
+                            hops.push(telemetry::Hop { node, reason });
+                        }
+                    }
+                }
+                r
+            }
+        };
+
+        if tracing {
+            let (region, placement, error) = match &result {
+                Ok(id) => (
+                    Some(id.0),
+                    self.mm.region(*id).expect("just allocated").placement.clone(),
+                    None,
+                ),
+                Err(e) => (None, vec![], Some(e.to_string())),
+            };
+            recorder.record(telemetry::Event::AllocDecision(telemetry::AllocDecision {
+                region,
+                size: req.size,
+                requested: req.criterion.0,
+                used: used.0,
+                scope,
+                fallback: req.fallback.as_telemetry(),
+                candidates: ranked
+                    .iter()
+                    .map(|tv| telemetry::Candidate { node: tv.node, value: tv.value })
+                    .collect(),
+                hops,
+                placement,
+                error,
+            }));
+        }
+        result
+    }
+
     /// The paper's `mem_alloc(..., attribute)`: allocates `size` bytes
     /// on the best local target for `criterion` as seen from
     /// `initiator`, with the chosen fallback behaviour.
+    #[deprecated(note = "build an AllocRequest and call HetAllocator::alloc instead")]
     pub fn mem_alloc(
         &mut self,
         size: u64,
@@ -165,32 +482,15 @@ impl HetAllocator {
         initiator: &Bitmap,
         fallback: Fallback,
     ) -> Result<RegionId, HetAllocError> {
-        let candidates = self.candidates(criterion, initiator)?;
-        self.alloc_on(size, candidates, fallback)
-    }
-
-    /// Like [`Self::candidates`] but ranking **all** targets, local or
-    /// not — the paper's §IV escape hatch ("if NUMA-locality is not
-    /// strictly required, one may fall back to `get_value()` for
-    /// manually comparing targets") and the §VIII scenario: when the
-    /// local DRAM is full, a *remote* DRAM may beat the local NVDIMM.
-    /// Only meaningful with attribute sources that cover remote pairs
-    /// (benchmarks, or full-matrix HMAT).
-    pub fn candidates_any(
-        &self,
-        criterion: AttrId,
-        initiator: &Bitmap,
-    ) -> Result<Vec<NodeId>, HetAllocError> {
-        for id in Self::similar_attrs(criterion) {
-            let ranked = self.attrs.rank_targets(id, initiator)?;
-            if !ranked.is_empty() {
-                return Ok(ranked.into_iter().map(|tv| tv.node).collect());
-            }
-        }
-        Err(HetAllocError::NoCandidates)
+        self.alloc(
+            &AllocRequest::new(size).criterion(criterion).initiator(initiator).fallback(fallback),
+        )
     }
 
     /// `mem_alloc` over the global (local + remote) ranking.
+    #[deprecated(
+        note = "build an AllocRequest with .any_locality() and call HetAllocator::alloc instead"
+    )]
     pub fn mem_alloc_any(
         &mut self,
         size: u64,
@@ -198,32 +498,13 @@ impl HetAllocator {
         initiator: &Bitmap,
         fallback: Fallback,
     ) -> Result<RegionId, HetAllocError> {
-        let candidates = self.candidates_any(criterion, initiator)?;
-        self.alloc_on(size, candidates, fallback)
-    }
-
-    fn alloc_on(
-        &mut self,
-        size: u64,
-        candidates: Vec<NodeId>,
-        fallback: Fallback,
-    ) -> Result<RegionId, HetAllocError> {
-        match fallback {
-            Fallback::Strict => Ok(self.mm.alloc(size, AllocPolicy::Bind(candidates[0]))?),
-            Fallback::NextTarget => {
-                let mut last_err = None;
-                for &node in &candidates {
-                    match self.mm.alloc(size, AllocPolicy::Bind(node)) {
-                        Ok(id) => return Ok(id),
-                        Err(e) => last_err = Some(e),
-                    }
-                }
-                Err(last_err.map(HetAllocError::Os).unwrap_or(HetAllocError::NoCandidates))
-            }
-            Fallback::PartialSpill => {
-                Ok(self.mm.alloc(size, AllocPolicy::PreferredMany(candidates))?)
-            }
-        }
+        self.alloc(
+            &AllocRequest::new(size)
+                .criterion(criterion)
+                .initiator(initiator)
+                .fallback(fallback)
+                .any_locality(),
+        )
     }
 
     /// Frees a buffer.
@@ -263,6 +544,7 @@ impl HetAllocator {
 mod tests {
     use super::*;
     use hetmem_core::discovery;
+    use hetmem_telemetry::{Event, RingRecorder};
     use hetmem_topology::{MemoryKind, GIB};
 
     fn knl_allocator() -> HetAllocator {
@@ -284,18 +566,22 @@ mod tests {
         a.memory().machine().topology().node_kind(node).unwrap()
     }
 
+    fn req(size: u64, criterion: AttrId, initiator: &Bitmap, fallback: Fallback) -> AllocRequest {
+        AllocRequest::new(size).criterion(criterion).initiator(initiator).fallback(fallback)
+    }
+
     #[test]
     fn same_code_portable_across_machines() {
         // The paper's headline: request *Latency*, get the right
         // memory everywhere without naming a technology.
         let c0: Bitmap = "0-15".parse().unwrap();
         let mut knl = knl_allocator();
-        let id = knl.mem_alloc(GIB, attr::LATENCY, &c0, Fallback::NextTarget).unwrap();
+        let id = knl.alloc(&req(GIB, attr::LATENCY, &c0, Fallback::NextTarget)).unwrap();
         assert_eq!(kind_of(&knl, id), MemoryKind::Dram); // DRAM ≈ HBM, DRAM ranked first
 
         let pkg0: Bitmap = "0-19".parse().unwrap();
         let mut xeon = xeon_allocator();
-        let id = xeon.mem_alloc(GIB, attr::LATENCY, &pkg0, Fallback::NextTarget).unwrap();
+        let id = xeon.alloc(&req(GIB, attr::LATENCY, &pkg0, Fallback::NextTarget)).unwrap();
         assert_eq!(kind_of(&xeon, id), MemoryKind::Dram); // not NVDIMM
     }
 
@@ -303,7 +589,7 @@ mod tests {
     fn bandwidth_criterion_picks_hbm_on_knl_only() {
         let c0: Bitmap = "0-15".parse().unwrap();
         let mut knl = knl_allocator();
-        let id = knl.mem_alloc(GIB, attr::BANDWIDTH, &c0, Fallback::NextTarget).unwrap();
+        let id = knl.alloc(&req(GIB, attr::BANDWIDTH, &c0, Fallback::NextTarget)).unwrap();
         assert_eq!(kind_of(&knl, id), MemoryKind::Hbm);
 
         // On the Xeon the very same request lands on DRAM — "our
@@ -311,7 +597,7 @@ mod tests {
         // DRAM on a platform with DRAM and NVDIMMs but no HBM".
         let pkg0: Bitmap = "0-19".parse().unwrap();
         let mut xeon = xeon_allocator();
-        let id = xeon.mem_alloc(GIB, attr::BANDWIDTH, &pkg0, Fallback::NextTarget).unwrap();
+        let id = xeon.alloc(&req(GIB, attr::BANDWIDTH, &pkg0, Fallback::NextTarget)).unwrap();
         assert_eq!(kind_of(&xeon, id), MemoryKind::Dram);
     }
 
@@ -319,7 +605,8 @@ mod tests {
     fn capacity_criterion_picks_biggest() {
         let pkg0: Bitmap = "0-19".parse().unwrap();
         let mut xeon = xeon_allocator();
-        let id = xeon.mem_alloc(GIB, attr::CAPACITY, &pkg0, Fallback::NextTarget).unwrap();
+        // Capacity is the builder default — no .criterion() call.
+        let id = xeon.alloc(&AllocRequest::new(GIB).initiator(&pkg0)).unwrap();
         assert_eq!(kind_of(&xeon, id), MemoryKind::Nvdimm);
     }
 
@@ -329,13 +616,13 @@ mod tests {
         let mut knl = knl_allocator();
         // Fill MCDRAM.
         let hbm_avail = knl.memory().available(NodeId(4));
-        let hog = knl.mem_alloc(hbm_avail, attr::BANDWIDTH, &c0, Fallback::Strict).unwrap();
+        let hog = knl.alloc(&req(hbm_avail, attr::BANDWIDTH, &c0, Fallback::Strict)).unwrap();
         assert_eq!(kind_of(&knl, hog), MemoryKind::Hbm);
         // Bandwidth request now falls back to the cluster DRAM.
-        let id = knl.mem_alloc(GIB, attr::BANDWIDTH, &c0, Fallback::NextTarget).unwrap();
+        let id = knl.alloc(&req(GIB, attr::BANDWIDTH, &c0, Fallback::NextTarget)).unwrap();
         assert_eq!(kind_of(&knl, id), MemoryKind::Dram);
         // Strict instead fails.
-        let err = knl.mem_alloc(GIB, attr::BANDWIDTH, &c0, Fallback::Strict).unwrap_err();
+        let err = knl.alloc(&req(GIB, attr::BANDWIDTH, &c0, Fallback::Strict)).unwrap_err();
         assert!(matches!(err, HetAllocError::Os(AllocError::InsufficientCapacity { .. })));
     }
 
@@ -346,7 +633,7 @@ mod tests {
         let hbm_avail = knl.memory().available(NodeId(4));
         // Ask for more than MCDRAM holds, spillable.
         let id = knl
-            .mem_alloc(hbm_avail + 2 * GIB, attr::BANDWIDTH, &c0, Fallback::PartialSpill)
+            .alloc(&req(hbm_avail + 2 * GIB, attr::BANDWIDTH, &c0, Fallback::PartialSpill))
             .unwrap();
         let region = knl.memory().region(id).unwrap();
         assert_eq!(region.bytes_on(NodeId(4)), hbm_avail);
@@ -360,7 +647,7 @@ mod tests {
         let c0: Bitmap = "0-15".parse().unwrap();
         let mut knl = knl_allocator();
         assert!(knl.attrs().targets(attr::READ_BANDWIDTH).is_empty());
-        let id = knl.mem_alloc(GIB, attr::READ_BANDWIDTH, &c0, Fallback::NextTarget).unwrap();
+        let id = knl.alloc(&req(GIB, attr::READ_BANDWIDTH, &c0, Fallback::NextTarget)).unwrap();
         assert_eq!(kind_of(&knl, id), MemoryKind::Hbm);
     }
 
@@ -373,7 +660,7 @@ mod tests {
         let mm = MemoryManager::new(machine);
         let mut a = HetAllocator::new(attrs, mm);
         let c0: Bitmap = "0-15".parse().unwrap();
-        let id = a.mem_alloc(GIB, attr::BANDWIDTH, &c0, Fallback::NextTarget).unwrap();
+        let id = a.alloc(&req(GIB, attr::BANDWIDTH, &c0, Fallback::NextTarget)).unwrap();
         // Capacity ranking puts the 24 GB DRAM first.
         assert_eq!(kind_of(&a, id), MemoryKind::Dram);
     }
@@ -384,10 +671,7 @@ mod tests {
         let xeon = xeon_allocator();
         let topo_kind = |n: NodeId| xeon.memory().machine().topology().node_kind(n).unwrap();
         assert_eq!(topo_kind(xeon.best_target(attr::LATENCY, &pkg0).unwrap()), MemoryKind::Dram);
-        assert_eq!(
-            topo_kind(xeon.best_target(attr::CAPACITY, &pkg0).unwrap()),
-            MemoryKind::Nvdimm
-        );
+        assert_eq!(topo_kind(xeon.best_target(attr::CAPACITY, &pkg0).unwrap()), MemoryKind::Nvdimm);
     }
 
     #[test]
@@ -395,9 +679,9 @@ mod tests {
         let c0: Bitmap = "0-15".parse().unwrap();
         let mut knl = knl_allocator();
         let hbm_avail = knl.memory().available(NodeId(4));
-        let hog = knl.mem_alloc(hbm_avail, attr::BANDWIDTH, &c0, Fallback::Strict).unwrap();
+        let hog = knl.alloc(&req(hbm_avail, attr::BANDWIDTH, &c0, Fallback::Strict)).unwrap();
         // Bandwidth-sensitive buffer lands on DRAM (fallback).
-        let buf = knl.mem_alloc(GIB, attr::BANDWIDTH, &c0, Fallback::NextTarget).unwrap();
+        let buf = knl.alloc(&req(GIB, attr::BANDWIDTH, &c0, Fallback::NextTarget)).unwrap();
         assert_eq!(kind_of(&knl, buf), MemoryKind::Dram);
         // Phase ends, the hog goes away; migrate to the freed MCDRAM.
         knl.free(hog);
@@ -415,7 +699,7 @@ mod tests {
         let cands = knl.candidates(attr::BANDWIDTH, &c1).unwrap();
         // Only cluster 1's DRAM (1) and MCDRAM (5).
         assert_eq!(cands, vec![NodeId(5), NodeId(1)]);
-        let id = knl.mem_alloc(GIB, attr::BANDWIDTH, &c1, Fallback::NextTarget).unwrap();
+        let id = knl.alloc(&req(GIB, attr::BANDWIDTH, &c1, Fallback::NextTarget)).unwrap();
         assert_eq!(knl.memory().region(id).unwrap().single_node(), Some(NodeId(5)));
     }
 
@@ -429,7 +713,108 @@ mod tests {
         let mm = MemoryManager::new(machine);
         let mut a = HetAllocator::new(attrs, mm);
         let pkg0: Bitmap = "0-19".parse().unwrap();
-        let id = a.mem_alloc(GIB, attr::LATENCY, &pkg0, Fallback::NextTarget).unwrap();
+        let id = a.alloc(&req(GIB, attr::LATENCY, &pkg0, Fallback::NextTarget)).unwrap();
         assert_eq!(kind_of(&a, id), MemoryKind::Dram);
+    }
+
+    #[test]
+    fn default_initiator_is_whole_machine() {
+        let mut knl = knl_allocator();
+        let id = knl.alloc(&AllocRequest::new(GIB).criterion(attr::BANDWIDTH)).unwrap();
+        // All four MCDRAMs are local to the machine cpuset; the
+        // best-ranked one wins.
+        assert_eq!(kind_of(&knl, id), MemoryKind::Hbm);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_still_work() {
+        let c0: Bitmap = "0-15".parse().unwrap();
+        let mut knl = knl_allocator();
+        let id = knl.mem_alloc(GIB, attr::BANDWIDTH, &c0, Fallback::NextTarget).unwrap();
+        assert_eq!(kind_of(&knl, id), MemoryKind::Hbm);
+        let id = knl.mem_alloc_any(GIB, attr::CAPACITY, &c0, Fallback::NextTarget).unwrap();
+        assert!(knl.memory().region(id).is_some());
+    }
+
+    #[test]
+    fn candidates_scoped_folds_both_paths() {
+        let knl = knl_allocator();
+        let c1: Bitmap = "16-31".parse().unwrap();
+        assert_eq!(
+            knl.candidates_scoped(attr::BANDWIDTH, &c1, Scope::Local).unwrap(),
+            knl.candidates(attr::BANDWIDTH, &c1).unwrap()
+        );
+        assert_eq!(
+            knl.candidates_scoped(attr::CAPACITY, &c1, Scope::Any).unwrap(),
+            knl.candidates_any(attr::CAPACITY, &c1).unwrap()
+        );
+        // Any-scope capacity ranking sees every node, not just local.
+        let any = knl.candidates_any(attr::CAPACITY, &c1).unwrap();
+        let local = knl.candidates(attr::CAPACITY, &c1).unwrap();
+        assert!(any.len() > local.len());
+    }
+
+    #[test]
+    fn alloc_decision_records_hops_and_split() {
+        let c0: Bitmap = "0-15".parse().unwrap();
+        let mut knl = knl_allocator();
+        let ring = Arc::new(RingRecorder::new(128));
+        knl.set_recorder(ring.clone());
+        let hbm_avail = knl.memory().available(NodeId(4));
+        let id = knl
+            .alloc(&req(hbm_avail + 2 * GIB, attr::BANDWIDTH, &c0, Fallback::PartialSpill))
+            .unwrap();
+        let decisions: Vec<_> = ring
+            .events()
+            .into_iter()
+            .filter_map(|e| match e {
+                Event::AllocDecision(d) => Some(d),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(decisions.len(), 1);
+        let d = &decisions[0];
+        assert_eq!(d.region, Some(id.0));
+        assert_eq!(d.requested, attr::BANDWIDTH.0);
+        assert_eq!(d.used, attr::BANDWIDTH.0);
+        assert_eq!(d.fallback, telemetry::FallbackMode::PartialSpill);
+        assert_eq!(d.candidates.first().map(|c| c.node), Some(NodeId(4)));
+        assert_eq!(d.hops.len(), 1);
+        assert_eq!(d.hops[0].node, NodeId(4));
+        assert_eq!(d.placement, vec![(NodeId(4), hbm_avail), (NodeId(0), 2 * GIB)]);
+        assert!(d.error.is_none());
+    }
+
+    #[test]
+    fn attr_fallback_emits_event() {
+        let c0: Bitmap = "0-15".parse().unwrap();
+        let mut knl = knl_allocator();
+        let ring = Arc::new(RingRecorder::new(128));
+        knl.set_recorder(ring.clone());
+        knl.alloc(&req(GIB, attr::READ_BANDWIDTH, &c0, Fallback::NextTarget)).unwrap();
+        let events = ring.events();
+        assert!(events.iter().any(|e| matches!(
+            e,
+            Event::AttrFallback(a)
+                if a.requested == attr::READ_BANDWIDTH.0 && a.used == attr::BANDWIDTH.0
+        )));
+        assert!(events.iter().any(|e| matches!(
+            e,
+            Event::AllocDecision(d)
+                if d.requested == attr::READ_BANDWIDTH.0 && d.used == attr::BANDWIDTH.0
+        )));
+    }
+
+    #[test]
+    fn het_alloc_error_converts_to_hetmem_error() {
+        let c0: Bitmap = "0-15".parse().unwrap();
+        let mut knl = knl_allocator();
+        let hbm_avail = knl.memory().available(NodeId(4));
+        knl.alloc(&req(hbm_avail, attr::BANDWIDTH, &c0, Fallback::Strict)).unwrap();
+        let err = knl.alloc(&req(GIB, attr::BANDWIDTH, &c0, Fallback::Strict)).unwrap_err();
+        let unified: HetMemError = err.into();
+        assert!(matches!(unified, HetMemError::Os(AllocError::InsufficientCapacity { .. })));
+        assert_eq!(HetMemError::from(HetAllocError::NoCandidates), HetMemError::NoCandidates);
     }
 }

@@ -17,14 +17,13 @@
 //! | `omp_high_bw_mem_space` | Bandwidth |
 //! | `omp_low_lat_mem_space` | Latency |
 
-use crate::{Fallback, HetAllocator, HetAllocError};
+use crate::{AllocRequest, Fallback, HetAllocError, HetAllocator};
 use hetmem_bitmap::Bitmap;
 use hetmem_core::{attr, AttrId};
 use hetmem_memsim::{AllocError, AllocPolicy, RegionId};
 
 /// The predefined OpenMP memory spaces.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum OmpMemSpace {
     /// `omp_default_mem_space`.
     #[default]
@@ -89,7 +88,6 @@ pub struct OmpAllocator {
     pub partition: OmpPartition,
 }
 
-
 impl OmpAllocator {
     /// A predefined allocator for a space with default traits (e.g.
     /// `omp_high_bw_mem_alloc`).
@@ -113,16 +111,18 @@ pub fn omp_alloc(
                 OmpFallback::DefaultMem => Fallback::NextTarget,
                 OmpFallback::Abort | OmpFallback::Null => Fallback::Strict,
             };
-            match het.mem_alloc(size, criterion, initiator, fb) {
+            let req =
+                AllocRequest::new(size).criterion(criterion).initiator(initiator).fallback(fb);
+            match het.alloc(&req) {
                 Ok(id) => Ok(id),
                 Err(e) => match allocator.fallback {
                     // default_mem_fb: one more try through the default
                     // space before giving up.
-                    OmpFallback::DefaultMem if criterion != attr::LOCALITY => het.mem_alloc(
-                        size,
-                        OmpMemSpace::Default.criterion(),
-                        initiator,
-                        Fallback::NextTarget,
+                    OmpFallback::DefaultMem if criterion != attr::LOCALITY => het.alloc(
+                        &AllocRequest::new(size)
+                            .criterion(OmpMemSpace::Default.criterion())
+                            .initiator(initiator)
+                            .fallback(Fallback::NextTarget),
                     ),
                     _ => Err(e),
                 },
@@ -136,8 +136,15 @@ pub fn omp_alloc(
             let candidates = het.candidates(criterion, initiator)?;
             match het.memory_mut().alloc(size, AllocPolicy::Interleave(candidates)) {
                 Ok(id) => Ok(id),
-                Err(AllocError::OutOfMemory { .. }) if allocator.fallback == OmpFallback::DefaultMem => {
-                    het.mem_alloc(size, attr::LOCALITY, initiator, Fallback::NextTarget)
+                Err(AllocError::OutOfMemory { .. })
+                    if allocator.fallback == OmpFallback::DefaultMem =>
+                {
+                    het.alloc(
+                        &AllocRequest::new(size)
+                            .criterion(attr::LOCALITY)
+                            .initiator(initiator)
+                            .fallback(Fallback::NextTarget),
+                    )
                 }
                 Err(e) => Err(e.into()),
             }
@@ -217,10 +224,7 @@ mod tests {
         // Exhaust both local targets for bandwidth... fill MCDRAM only;
         // the DRAM can still serve the default-space retry.
         let hbm_avail = k.memory().available(NodeId(4));
-        let hog = k
-            .memory_mut()
-            .alloc(hbm_avail, AllocPolicy::Bind(NodeId(4)))
-            .expect("fits");
+        let hog = k.memory_mut().alloc(hbm_avail, AllocPolicy::Bind(NodeId(4))).expect("fits");
         let a = OmpAllocator {
             space: OmpMemSpace::HighBw,
             fallback: OmpFallback::DefaultMem,

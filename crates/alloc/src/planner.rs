@@ -11,7 +11,7 @@
 //! reporting where each buffer landed — the ablation the repo's
 //! benches run.
 
-use crate::{Fallback, HetAllocator, HetAllocError};
+use crate::{AllocRequest, Fallback, HetAllocError, HetAllocator};
 use hetmem_bitmap::Bitmap;
 use hetmem_core::AttrId;
 use hetmem_memsim::RegionId;
@@ -69,11 +69,17 @@ pub fn plan(
     let mut placed: Vec<Option<PlacedAlloc>> = vec![None; requests.len()];
     for i in indices {
         let req = &requests[i];
-        let best = allocator
-            .best_target(req.criterion, initiator)
-            .ok_or(HetAllocError::NoCandidates)?;
-        let region = allocator.mem_alloc(req.size, req.criterion, initiator, Fallback::PartialSpill)?;
-        let placement = allocator.memory().region(region).expect("just allocated").placement.clone();
+        let best =
+            allocator.best_target(req.criterion, initiator).ok_or(HetAllocError::NoCandidates)?;
+        let region = allocator.alloc(
+            &AllocRequest::new(req.size)
+                .criterion(req.criterion)
+                .initiator(initiator)
+                .fallback(Fallback::PartialSpill)
+                .label(&req.name),
+        )?;
+        let placement =
+            allocator.memory().region(region).expect("just allocated").placement.clone();
         let got_best = placement.len() == 1 && placement[0].0 == best;
         placed[i] = Some(PlacedAlloc { name: req.name.clone(), region, placement, got_best });
     }
@@ -106,8 +112,7 @@ mod tests {
         let mut a = knl_allocator();
         let c0: Bitmap = "0-15".parse().unwrap();
         // Unimportant buffer first (low priority), important second.
-        let reqs =
-            vec![bw("unimportant", 3 * GIB, 1), bw("important", 3 * GIB, 10)];
+        let reqs = vec![bw("unimportant", 3 * GIB, 1), bw("important", 3 * GIB, 10)];
         let placed = plan(&mut a, &reqs, &c0, PlanOrder::Fcfs).unwrap();
         // FCFS: the unimportant one grabbed MCDRAM.
         assert!(placed[0].got_best);
@@ -118,8 +123,7 @@ mod tests {
     fn priority_order_fixes_the_conflict() {
         let mut a = knl_allocator();
         let c0: Bitmap = "0-15".parse().unwrap();
-        let reqs =
-            vec![bw("unimportant", 3 * GIB, 1), bw("important", 3 * GIB, 10)];
+        let reqs = vec![bw("unimportant", 3 * GIB, 1), bw("important", 3 * GIB, 10)];
         let placed = plan(&mut a, &reqs, &c0, PlanOrder::Priority).unwrap();
         assert!(!placed[0].got_best, "low priority pushed off MCDRAM");
         assert!(placed[1].got_best, "high priority got MCDRAM");

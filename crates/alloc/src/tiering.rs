@@ -6,8 +6,8 @@
 //! likely be avoided unless the application behavior changes
 //! significantly between phases"). This module packages that judgement
 //! into a small daemon, in the spirit of Linux's memory tiering and of
-//! the object-level migration literature the paper cites ([15], Liu et
-//! al.):
+//! the object-level migration literature the paper cites (\[15\], Liu
+//! et al.):
 //!
 //! * it **observes** phase reports, maintaining a sliding activity
 //!   window per region;
@@ -18,7 +18,7 @@
 //! * **hysteresis** (a minimum number of observations between moves of
 //!   the same region) prevents ping-pong when two buffers alternate.
 
-use crate::{HetAllocator, HetAllocError};
+use crate::{HetAllocError, HetAllocator};
 use hetmem_bitmap::Bitmap;
 use hetmem_core::{attr, AttrId};
 use hetmem_memsim::{PhaseReport, RegionId};
@@ -103,7 +103,8 @@ impl TieringDaemon {
                 (buf.loads + buf.stores) * hetmem_memsim::LINE;
         }
         // Every known region gets a window entry (0 when untouched).
-        let keys: Vec<RegionId> = self.activity.keys().copied().chain(touched.keys().copied()).collect();
+        let keys: Vec<RegionId> =
+            self.activity.keys().copied().chain(touched.keys().copied()).collect();
         for region in keys {
             let entry = self.activity.entry(region).or_default();
             entry.window.push_back(touched.get(&region).copied().unwrap_or(0));
@@ -180,7 +181,11 @@ impl TieringDaemon {
                     allocator.migrate_to_best(region, attr::CAPACITY, initiator)
                 {
                     if to != hot_target {
-                        actions.push(TieringAction::Demoted { region, to, cost_ns: report.cost_ns });
+                        actions.push(TieringAction::Demoted {
+                            region,
+                            to,
+                            cost_ns: report.cost_ns,
+                        });
                         self.activity.entry(region).or_default().since_move = 0;
                     }
                 }
@@ -199,9 +204,7 @@ impl TieringDaemon {
             if allocator.memory().available(hot_target) < size {
                 continue; // no room; maybe after the next demotion round
             }
-            if let Ok((to, report)) =
-                allocator.migrate_to_best(region, hot_criterion, initiator)
-            {
+            if let Ok((to, report)) = allocator.migrate_to_best(region, hot_criterion, initiator) {
                 if to == hot_target {
                     actions.push(TieringAction::Promoted { region, to, cost_ns: report.cost_ns });
                     self.activity.entry(region).or_default().since_move = 0;
@@ -215,12 +218,10 @@ impl TieringDaemon {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::Fallback;
+    use crate::{AllocRequest, Fallback};
     use hetmem_bitmap::Bitmap;
     use hetmem_core::discovery;
-    use hetmem_memsim::{
-        AccessEngine, AccessPattern, BufferAccess, Machine, MemoryManager, Phase,
-    };
+    use hetmem_memsim::{AccessEngine, AccessPattern, BufferAccess, Machine, MemoryManager, Phase};
     use hetmem_topology::{MemoryKind, GIB};
     use std::sync::Arc;
 
@@ -262,9 +263,23 @@ mod tests {
     #[test]
     fn daemon_swaps_on_phase_change() {
         let mut s = knl();
-        let a = s.alloc.mem_alloc(3 * GIB, attr::BANDWIDTH, &s.initiator, Fallback::NextTarget)
+        let a = s
+            .alloc
+            .alloc(
+                &AllocRequest::new(3 * GIB)
+                    .criterion(attr::BANDWIDTH)
+                    .initiator(&s.initiator)
+                    .fallback(Fallback::NextTarget),
+            )
             .expect("fits MCDRAM");
-        let b = s.alloc.mem_alloc(3 * GIB, attr::BANDWIDTH, &s.initiator, Fallback::NextTarget)
+        let b = s
+            .alloc
+            .alloc(
+                &AllocRequest::new(3 * GIB)
+                    .criterion(attr::BANDWIDTH)
+                    .initiator(&s.initiator)
+                    .fallback(Fallback::NextTarget),
+            )
             .expect("falls back to DRAM");
         assert_eq!(kind(&s, a), MemoryKind::Hbm);
         assert_eq!(kind(&s, b), MemoryKind::Dram);
@@ -285,11 +300,15 @@ mod tests {
         }
         let actions = daemon.rebalance(&mut s.alloc, &s.initiator).expect("ok");
         assert!(
-            actions.iter().any(|x| matches!(x, TieringAction::Demoted { region, .. } if *region == a)),
+            actions
+                .iter()
+                .any(|x| matches!(x, TieringAction::Demoted { region, .. } if *region == a)),
             "A should be demoted: {actions:?}"
         );
         assert!(
-            actions.iter().any(|x| matches!(x, TieringAction::Promoted { region, .. } if *region == b)),
+            actions
+                .iter()
+                .any(|x| matches!(x, TieringAction::Promoted { region, .. } if *region == b)),
             "B should be promoted: {actions:?}"
         );
         assert_eq!(kind(&s, a), MemoryKind::Dram);
@@ -301,9 +320,23 @@ mod tests {
     #[test]
     fn hysteresis_prevents_ping_pong() {
         let mut s = knl();
-        let a = s.alloc.mem_alloc(3 * GIB, attr::BANDWIDTH, &s.initiator, Fallback::NextTarget)
+        let a = s
+            .alloc
+            .alloc(
+                &AllocRequest::new(3 * GIB)
+                    .criterion(attr::BANDWIDTH)
+                    .initiator(&s.initiator)
+                    .fallback(Fallback::NextTarget),
+            )
             .expect("fits");
-        let b = s.alloc.mem_alloc(3 * GIB, attr::BANDWIDTH, &s.initiator, Fallback::NextTarget)
+        let b = s
+            .alloc
+            .alloc(
+                &AllocRequest::new(3 * GIB)
+                    .criterion(attr::BANDWIDTH)
+                    .initiator(&s.initiator)
+                    .fallback(Fallback::NextTarget),
+            )
             .expect("fits");
         let mut daemon = TieringDaemon::new(TieringPolicy::default());
         for _ in 0..2 {
@@ -322,9 +355,23 @@ mod tests {
     #[test]
     fn no_move_when_both_hot() {
         let mut s = knl();
-        let a = s.alloc.mem_alloc(3 * GIB, attr::BANDWIDTH, &s.initiator, Fallback::NextTarget)
+        let a = s
+            .alloc
+            .alloc(
+                &AllocRequest::new(3 * GIB)
+                    .criterion(attr::BANDWIDTH)
+                    .initiator(&s.initiator)
+                    .fallback(Fallback::NextTarget),
+            )
             .expect("fits");
-        let b = s.alloc.mem_alloc(3 * GIB, attr::BANDWIDTH, &s.initiator, Fallback::NextTarget)
+        let b = s
+            .alloc
+            .alloc(
+                &AllocRequest::new(3 * GIB)
+                    .criterion(attr::BANDWIDTH)
+                    .initiator(&s.initiator)
+                    .fallback(Fallback::NextTarget),
+            )
             .expect("fits");
         let mut daemon = TieringDaemon::new(TieringPolicy::default());
         for _ in 0..3 {
@@ -351,7 +398,14 @@ mod tests {
     #[test]
     fn forget_freed_regions() {
         let mut s = knl();
-        let a = s.alloc.mem_alloc(GIB, attr::BANDWIDTH, &s.initiator, Fallback::NextTarget)
+        let a = s
+            .alloc
+            .alloc(
+                &AllocRequest::new(GIB)
+                    .criterion(attr::BANDWIDTH)
+                    .initiator(&s.initiator)
+                    .fallback(Fallback::NextTarget),
+            )
             .expect("fits");
         let mut daemon = TieringDaemon::new(TieringPolicy::default());
         let rep = s.engine.run_phase(s.alloc.memory(), &stream_phase(a, GIB, &s.initiator));

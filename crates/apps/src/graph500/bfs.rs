@@ -179,8 +179,8 @@ pub fn bfs_direction_optimizing(csr: &Csr, root: u64) -> Bfs {
         let mut next_size = 0u64;
         if frontier_size <= threshold {
             // Top-down.
-            for v in 0..n {
-                if !in_frontier[v] {
+            for (v, &active) in in_frontier.iter().enumerate() {
+                if !active {
                     continue;
                 }
                 for &nbr in csr.neighbours(v as u64) {

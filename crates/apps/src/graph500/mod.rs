@@ -10,7 +10,7 @@
 //! * [`bfs`] — level-synchronous parallel BFS plus the validation
 //!   pass (parent tree sanity, depth consistency, edge membership).
 //!
-//! [`run`] drives paper-scale executions: buffers are allocated
+//! [`mod@run`] drives paper-scale executions: buffers are allocated
 //! through the heterogeneous allocator and every BFS is charged to the
 //! memory simulator as a phase whose traffic is derived from the
 //! graph's edge and vertex counts (calibrated in `run.rs`). Scores are
@@ -24,4 +24,4 @@ pub mod run;
 pub use bfs::{bfs_direction_optimizing, validate_bfs, Bfs};
 pub use csr::Csr;
 pub use kronecker::{EdgeList, KroneckerParams};
-pub use run::{Graph500Config, Graph500Result, run};
+pub use run::{run, Graph500Config, Graph500Result};

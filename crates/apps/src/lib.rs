@@ -18,7 +18,6 @@
 //! paper's proposal) or a memkind-style hardwired kind (the baseline
 //! it outperforms on portability).
 
-
 #![warn(missing_docs)]
 pub mod graph500;
 pub mod multiphase;

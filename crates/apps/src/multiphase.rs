@@ -22,7 +22,7 @@
 //! the `alloc_policies` bench sweep it.
 
 use crate::AppError;
-use hetmem_alloc::{Fallback, HetAllocator};
+use hetmem_alloc::{AllocRequest, Fallback, HetAllocator};
 use hetmem_bitmap::Bitmap;
 use hetmem_core::attr;
 use hetmem_memsim::{AccessEngine, AccessPattern, BufferAccess, Phase, RegionId};
@@ -100,31 +100,33 @@ pub fn run(
     strategy: Strategy,
 ) -> Result<MultiPhaseResult, AppError> {
     let err = |e: hetmem_alloc::HetAllocError| AppError::Alloc(e.to_string());
+    let req = |label: &str| {
+        AllocRequest::new(cfg.buffer_bytes)
+            .criterion(attr::BANDWIDTH)
+            .initiator(&cfg.initiator)
+            .fallback(Fallback::NextTarget)
+            .label(label)
+    };
     // Program order: phase-1's buffer allocates first.
     let (a, b) = match strategy {
         Strategy::PriorityStatic if cfg.phase2_passes > cfg.phase1_passes => {
             // Allocate the dominant phase's buffer first so it gets
             // the fast memory.
-            let b = allocator
-                .mem_alloc(cfg.buffer_bytes, attr::BANDWIDTH, &cfg.initiator, Fallback::NextTarget)
-                .map_err(err)?;
-            let a = allocator
-                .mem_alloc(cfg.buffer_bytes, attr::BANDWIDTH, &cfg.initiator, Fallback::NextTarget)
-                .map_err(err)?;
+            let b = allocator.alloc(&req("phase2-buffer")).map_err(err)?;
+            let a = allocator.alloc(&req("phase1-buffer")).map_err(err)?;
             (a, b)
         }
         _ => {
-            let a = allocator
-                .mem_alloc(cfg.buffer_bytes, attr::BANDWIDTH, &cfg.initiator, Fallback::NextTarget)
-                .map_err(err)?;
-            let b = allocator
-                .mem_alloc(cfg.buffer_bytes, attr::BANDWIDTH, &cfg.initiator, Fallback::NextTarget)
-                .map_err(err)?;
+            let a = allocator.alloc(&req("phase1-buffer")).map_err(err)?;
+            let b = allocator.alloc(&req("phase2-buffer")).map_err(err)?;
             (a, b)
         }
     };
 
-    let p1 = engine.run_phase(allocator.memory(), &stream_phase("phase1", a, cfg.buffer_bytes, cfg.phase1_passes, cfg));
+    let p1 = engine.run_phase(
+        allocator.memory(),
+        &stream_phase("phase1", a, cfg.buffer_bytes, cfg.phase1_passes, cfg),
+    );
 
     let mut migration_ns = 0.0;
     if strategy == Strategy::Migrate {
@@ -132,11 +134,15 @@ pub fn run(
         // then bring b in.
         let (_, out) = allocator.migrate_to_best(a, attr::CAPACITY, &cfg.initiator).map_err(err)?;
         migration_ns += out.cost_ns;
-        let (_, back) = allocator.migrate_to_best(b, attr::BANDWIDTH, &cfg.initiator).map_err(err)?;
+        let (_, back) =
+            allocator.migrate_to_best(b, attr::BANDWIDTH, &cfg.initiator).map_err(err)?;
         migration_ns += back.cost_ns;
     }
 
-    let p2 = engine.run_phase(allocator.memory(), &stream_phase("phase2", b, cfg.buffer_bytes, cfg.phase2_passes, cfg));
+    let p2 = engine.run_phase(
+        allocator.memory(),
+        &stream_phase("phase2", b, cfg.buffer_bytes, cfg.phase2_passes, cfg),
+    );
 
     allocator.free(a);
     allocator.free(b);
@@ -154,10 +160,7 @@ mod tests {
     fn knl() -> (HetAllocator, AccessEngine) {
         let machine = Arc::new(Machine::knl_snc4_flat());
         let attrs = Arc::new(discovery::from_firmware(&machine, true).expect("discovery"));
-        (
-            HetAllocator::new(attrs, MemoryManager::new(machine.clone())),
-            AccessEngine::new(machine),
-        )
+        (HetAllocator::new(attrs, MemoryManager::new(machine.clone())), AccessEngine::new(machine))
     }
 
     fn cfg(p1: u32, p2: u32) -> MultiPhaseConfig {

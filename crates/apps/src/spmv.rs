@@ -15,7 +15,7 @@
 
 use crate::{AppError, Placement};
 use hetmem_alloc::baselines::MemkindAllocator;
-use hetmem_alloc::HetAllocator;
+use hetmem_alloc::{AllocRequest, HetAllocator};
 use hetmem_bitmap::Bitmap;
 use hetmem_memsim::{AccessEngine, AccessPattern, AllocPolicy, BufferAccess, Phase, RegionId};
 use hetmem_profile::Profiler;
@@ -157,7 +157,13 @@ pub fn run(
                 .alloc(bytes, AllocPolicy::Preferred(*node))
                 .map_err(|e| AppError::Alloc(format!("{label}: {e}"))),
             Placement::Criterion { attr, fallback } => allocator
-                .mem_alloc(bytes, *attr, &initiator, *fallback)
+                .alloc(
+                    &AllocRequest::new(bytes)
+                        .criterion(*attr)
+                        .initiator(&initiator)
+                        .fallback(*fallback)
+                        .label(label),
+                )
                 .map_err(|e| AppError::Alloc(format!("{label}: {e}"))),
             Placement::HardwiredKind(kind) => {
                 let mut mk = MemkindAllocator::new(allocator.memory_mut(), initiator.clone());
@@ -170,7 +176,13 @@ pub fn run(
                     .map(|&(_, a)| a)
                     .unwrap_or(hetmem_core::attr::CAPACITY);
                 allocator
-                    .mem_alloc(bytes, criterion, &initiator, hetmem_alloc::Fallback::PartialSpill)
+                    .alloc(
+                        &AllocRequest::new(bytes)
+                            .criterion(criterion)
+                            .initiator(&initiator)
+                            .fallback(hetmem_alloc::Fallback::PartialSpill)
+                            .label(label),
+                    )
                     .map_err(|e| AppError::Alloc(format!("{label}: {e}")))
             }
         };
@@ -267,10 +279,7 @@ mod tests {
     fn knl() -> (HetAllocator, AccessEngine) {
         let machine = Arc::new(Machine::knl_snc4_flat());
         let attrs = Arc::new(discovery::from_firmware(&machine, true).expect("discovery"));
-        (
-            HetAllocator::new(attrs, MemoryManager::new(machine.clone())),
-            AccessEngine::new(machine),
-        )
+        (HetAllocator::new(attrs, MemoryManager::new(machine.clone())), AccessEngine::new(machine))
     }
 
     fn paper_cfg() -> SpmvConfig {
@@ -281,8 +290,8 @@ mod tests {
     fn advised_beats_single_criterion_placements() {
         let (mut alloc, engine) = knl();
         let cfg = paper_cfg(); // matrix ~8 GiB — exceeds MCDRAM; x is 256 MiB
-        // Pure-bandwidth placement: everything tries MCDRAM; the
-        // matrix spills so x may or may not land fast.
+                               // Pure-bandwidth placement: everything tries MCDRAM; the
+                               // matrix spills so x may or may not land fast.
         let bw = run(
             &mut alloc,
             &engine,
@@ -314,14 +323,8 @@ mod tests {
     fn profiler_sees_mixed_sensitivity() {
         let (mut alloc, engine) = knl();
         let mut prof = Profiler::new(engine.machine().clone());
-        run(
-            &mut alloc,
-            &engine,
-            &paper_cfg(),
-            &Placement::BindAll(NodeId(0)),
-            Some(&mut prof),
-        )
-        .expect("fits");
+        run(&mut alloc, &engine, &paper_cfg(), &Placement::BindAll(NodeId(0)), Some(&mut prof))
+            .expect("fits");
         let advice = prof.advise();
         let of = |prefix: &str| {
             advice.iter().find(|(l, _)| l.starts_with(prefix)).map(|(_, s)| *s).expect("buffer")

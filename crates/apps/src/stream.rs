@@ -11,7 +11,7 @@
 
 use crate::{AppError, Placement};
 use hetmem_alloc::baselines::MemkindAllocator;
-use hetmem_alloc::HetAllocator;
+use hetmem_alloc::{AllocRequest, HetAllocator};
 use hetmem_bitmap::Bitmap;
 use hetmem_memsim::{AccessEngine, AccessPattern, AllocPolicy, BufferAccess, Phase, RegionId};
 use hetmem_profile::Profiler;
@@ -92,7 +92,13 @@ pub fn run(
                 .alloc(array, AllocPolicy::Preferred(*node))
                 .map_err(|e| AppError::Alloc(format!("{name}: {e}"))),
             Placement::Criterion { attr, fallback } => allocator
-                .mem_alloc(array, *attr, &initiator, *fallback)
+                .alloc(
+                    &AllocRequest::new(array)
+                        .criterion(*attr)
+                        .initiator(&initiator)
+                        .fallback(*fallback)
+                        .label(name),
+                )
                 .map_err(|e| AppError::Alloc(format!("{name}: {e}"))),
             Placement::HardwiredKind(kind) => {
                 let mut mk = MemkindAllocator::new(allocator.memory_mut(), initiator.clone());
@@ -105,7 +111,13 @@ pub fn run(
                     .map(|&(_, a)| a)
                     .unwrap_or(hetmem_core::attr::CAPACITY);
                 allocator
-                    .mem_alloc(array, criterion, &initiator, hetmem_alloc::Fallback::PartialSpill)
+                    .alloc(
+                        &AllocRequest::new(array)
+                            .criterion(criterion)
+                            .initiator(&initiator)
+                            .fallback(hetmem_alloc::Fallback::PartialSpill)
+                            .label(name),
+                    )
                     .map_err(|e| AppError::Alloc(format!("{name}: {e}")))
             }
         };
@@ -204,10 +216,7 @@ mod tests {
             &mut alloc,
             &engine,
             &cfg,
-            &Placement::Criterion {
-                attr: attr::LATENCY,
-                fallback: hetmem_alloc::Fallback::Strict,
-            },
+            &Placement::Criterion { attr: attr::LATENCY, fallback: hetmem_alloc::Fallback::Strict },
             None,
         )
         .unwrap();
@@ -248,10 +257,7 @@ mod tests {
             &mut alloc,
             &engine,
             &StreamConfig::xeon_paper(gib(223.5)),
-            &Placement::Criterion {
-                attr: attr::LATENCY,
-                fallback: hetmem_alloc::Fallback::Strict,
-            },
+            &Placement::Criterion { attr: attr::LATENCY, fallback: hetmem_alloc::Fallback::Strict },
             None,
         )
         .unwrap_err();
@@ -293,10 +299,8 @@ mod tests {
     #[test]
     fn knl_latency_row_matches_dram_then_blank() {
         let (mut alloc, engine) = setup(Machine::knl_snc4_flat());
-        let crit = Placement::Criterion {
-            attr: attr::LATENCY,
-            fallback: hetmem_alloc::Fallback::Strict,
-        };
+        let crit =
+            Placement::Criterion { attr: attr::LATENCY, fallback: hetmem_alloc::Fallback::Strict };
         let small =
             run(&mut alloc, &engine, &StreamConfig::knl_paper(gib(1.1)), &crit, None).unwrap();
         let mid =
@@ -306,8 +310,8 @@ mod tests {
         assert!((24.0..34.0).contains(&mid.triad_gibps));
         // 17.9 GiB: blank — the cluster DRAM (24 GB minus OS reserve)
         // cannot hold it.
-        let err = run(&mut alloc, &engine, &StreamConfig::knl_paper(gib(17.9)), &crit, None)
-            .unwrap_err();
+        let err =
+            run(&mut alloc, &engine, &StreamConfig::knl_paper(gib(17.9)), &crit, None).unwrap_err();
         assert!(matches!(err, AppError::Alloc(_)));
     }
 

@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use hetmem_alloc::planner::{plan, PlanOrder, PlannedAlloc};
-use hetmem_alloc::Fallback;
+use hetmem_alloc::{AllocRequest, Fallback};
 use hetmem_bench::Ctx;
 use hetmem_core::attr;
 use hetmem_topology::{NodeId, GIB};
@@ -16,12 +16,12 @@ fn mem_alloc_modes(c: &mut Criterion) {
         ("next_target", Fallback::NextTarget),
         ("partial_spill", Fallback::PartialSpill),
     ] {
+        let req =
+            AllocRequest::new(GIB).criterion(attr::BANDWIDTH).initiator(&cluster).fallback(fb);
         c.bench_function(&format!("mem_alloc_{label}"), |b| {
             b.iter(|| {
                 let mut alloc = ctx.allocator();
-                let id = alloc
-                    .mem_alloc(GIB, attr::BANDWIDTH, &cluster, fb)
-                    .expect("MCDRAM holds 1 GiB");
+                let id = alloc.alloc(&req).expect("MCDRAM holds 1 GiB");
                 alloc.free(id)
             })
         });
@@ -31,9 +31,21 @@ fn mem_alloc_modes(c: &mut Criterion) {
         b.iter(|| {
             let mut alloc = ctx.allocator();
             let avail = alloc.memory().available(NodeId(4));
-            let hog = alloc.mem_alloc(avail, attr::BANDWIDTH, &cluster, Fallback::Strict).expect("fits");
+            let hog = alloc
+                .alloc(
+                    &AllocRequest::new(avail)
+                        .criterion(attr::BANDWIDTH)
+                        .initiator(&cluster)
+                        .fallback(Fallback::Strict),
+                )
+                .expect("fits");
             let spilled = alloc
-                .mem_alloc(GIB, attr::BANDWIDTH, &cluster, Fallback::NextTarget)
+                .alloc(
+                    &AllocRequest::new(GIB)
+                        .criterion(attr::BANDWIDTH)
+                        .initiator(&cluster)
+                        .fallback(Fallback::NextTarget),
+                )
                 .expect("falls back to DRAM");
             alloc.free(hog);
             alloc.free(spilled)
@@ -68,7 +80,14 @@ fn migration(c: &mut Criterion) {
     c.bench_function("migrate_1gib_dram_to_mcdram", |b| {
         b.iter(|| {
             let mut alloc = ctx.allocator();
-            let id = alloc.mem_alloc(GIB, attr::LATENCY, &cluster, Fallback::Strict).expect("fits");
+            let id = alloc
+                .alloc(
+                    &AllocRequest::new(GIB)
+                        .criterion(attr::LATENCY)
+                        .initiator(&cluster)
+                        .fallback(Fallback::Strict),
+                )
+                .expect("fits");
             let (_, report) =
                 alloc.migrate_to_best(id, attr::BANDWIDTH, &cluster).expect("MCDRAM free");
             std::hint::black_box(report.cost_ns)
@@ -119,10 +138,8 @@ mod extra {
             )
             .expect("benchmark discovery"),
         );
-        let alloc = hetmem_alloc::HetAllocator::new(
-            attrs,
-            hetmem_memsim::MemoryManager::new(machine),
-        );
+        let alloc =
+            hetmem_alloc::HetAllocator::new(attrs, hetmem_memsim::MemoryManager::new(machine));
         let g0: hetmem_bitmap::Bitmap = "0-9".parse().expect("cpuset");
         c.bench_function("candidates_local_12node", |b| {
             b.iter(|| alloc.candidates(attr::LATENCY, &g0).expect("ranked").len())

@@ -23,9 +23,15 @@ fn table3a(c: &mut Criterion) {
             let cfg = StreamConfig::xeon_paper((gib * GIB as f64) as u64);
             b.iter(|| {
                 let mut alloc = ctx.allocator();
-                run(&mut alloc, &ctx.engine, &cfg, &Placement::Criterion { attr: a, fallback: fb }, None)
-                    .expect("fits")
-                    .triad_gibps
+                run(
+                    &mut alloc,
+                    &ctx.engine,
+                    &cfg,
+                    &Placement::Criterion { attr: a, fallback: fb },
+                    None,
+                )
+                .expect("fits")
+                .triad_gibps
             })
         });
     }
@@ -47,9 +53,15 @@ fn table3b(c: &mut Criterion) {
             let cfg = StreamConfig::knl_paper((gib * GIB as f64) as u64);
             b.iter(|| {
                 let mut alloc = ctx.allocator();
-                run(&mut alloc, &ctx.engine, &cfg, &Placement::Criterion { attr: a, fallback: fb }, None)
-                    .expect("fits")
-                    .triad_gibps
+                run(
+                    &mut alloc,
+                    &ctx.engine,
+                    &cfg,
+                    &Placement::Criterion { attr: a, fallback: fb },
+                    None,
+                )
+                .expect("fits")
+                .triad_gibps
             })
         });
     }

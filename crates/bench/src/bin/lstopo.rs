@@ -91,8 +91,7 @@ fn main() {
         match machine_by_name(&platform) {
             Some(machine) => {
                 let machine = Arc::new(machine);
-                let attrs =
-                    discovery::from_firmware(&machine, true).expect("firmware discovery");
+                let attrs = discovery::from_firmware(&machine, true).expect("firmware discovery");
                 println!();
                 print!("{}", render_memattrs(&attrs));
             }

@@ -2,7 +2,12 @@
 //!
 //! ```text
 //! repro_tables [--table1|--table2a|--table2b|--table3a|--table3b|--table4|--portability|--capacity|--all]
+//!              [--trace <out.jsonl>]
 //! ```
+//!
+//! `--trace` streams every allocation decision, migration and
+//! occupancy change of the capacity-conflict demo to a JSONL file and
+//! prints the aggregated placement report.
 
 use hetmem_alloc::planner::{plan, PlanOrder, PlannedAlloc};
 use hetmem_alloc::{baselines, Fallback};
@@ -15,7 +20,20 @@ use hetmem_profile::Profiler;
 use hetmem_topology::{MemoryKind, NodeId, GIB};
 
 fn main() {
-    let arg = std::env::args().nth(1).unwrap_or_else(|| "--all".to_string());
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let trace = match args.iter().position(|a| a == "--trace") {
+        Some(i) if i + 1 < args.len() => {
+            let path = args.remove(i + 1);
+            args.remove(i);
+            Some(path)
+        }
+        Some(_) => {
+            eprintln!("repro_tables: --trace needs a file argument");
+            std::process::exit(2);
+        }
+        None => None,
+    };
+    let arg = args.first().cloned().unwrap_or_else(|| "--all".to_string());
     let all = arg == "--all";
     if all || arg == "--table1" {
         table1();
@@ -39,7 +57,7 @@ fn main() {
         portability();
     }
     if all || arg == "--capacity" {
-        capacity();
+        capacity(trace.as_deref());
     }
     if all || arg == "--section8" {
         section8();
@@ -77,7 +95,11 @@ fn table1() {
         ("WriteLatency", attr::WRITE_LATENCY),
     ] {
         let have = |a: &hetmem_core::MemAttrs| {
-            if a.targets(id).is_empty() { "-" } else { "supported" }
+            if a.targets(id).is_empty() {
+                "-"
+            } else {
+                "supported"
+            }
         };
         println!(
             "{:<18} {:>14} {:>18} {:>14}",
@@ -87,10 +109,7 @@ fn table1() {
             have(&benched)
         );
     }
-    println!(
-        "{:<18} {:>14} {:>18} {:>14}",
-        "Custom metrics", "-", "-", "user-specified"
-    );
+    println!("{:<18} {:>14} {:>18} {:>14}", "Custom metrics", "-", "-", "user-specified");
     println!();
 }
 
@@ -309,14 +328,9 @@ fn portability() {
         ("KNL", Ctx::knl(), Graph500Config::knl_paper(26), NodeId(0)),
     ] {
         let mut alloc = ctx.allocator();
-        let manual = graph500::run(
-            &mut alloc,
-            &ctx.engine,
-            &cfg,
-            &Placement::BindAll(manual_node),
-            None,
-        )
-        .expect("manual placement fits");
+        let manual =
+            graph500::run(&mut alloc, &ctx.engine, &cfg, &Placement::BindAll(manual_node), None)
+                .expect("manual placement fits");
         let mut alloc = ctx.allocator();
         let portable = graph500::run(
             &mut alloc,
@@ -403,18 +417,17 @@ fn section8() {
         .expect("benchmark discovery"),
     );
     let engine = hetmem_memsim::AccessEngine::new(machine.clone());
-    let mut alloc =
-        hetmem_alloc::HetAllocator::new(attrs, MemoryManager::new(machine.clone()));
+    let mut alloc = hetmem_alloc::HetAllocator::new(attrs, MemoryManager::new(machine.clone()));
     let g0: hetmem_bitmap::Bitmap = "0-9".parse().expect("cpuset");
     let avail = alloc.memory().available(NodeId(0));
     alloc.memory_mut().alloc(avail, AllocPolicy::Bind(NodeId(0))).expect("hog");
     println!("local SNC DRAM (node 0) filled; allocating a latency-critical 2 GiB buffer:");
-    let local = alloc
-        .mem_alloc(2 << 30, attr::LATENCY, &g0, Fallback::NextTarget)
-        .expect("local fallback");
-    let global = alloc
-        .mem_alloc_any(2 << 30, attr::LATENCY, &g0, Fallback::NextTarget)
-        .expect("global fallback");
+    let latency_2g = hetmem_alloc::AllocRequest::new(2 << 30)
+        .criterion(attr::LATENCY)
+        .initiator(&g0)
+        .fallback(Fallback::NextTarget);
+    let local = alloc.alloc(&latency_2g).expect("local fallback");
+    let global = alloc.alloc(&latency_2g.clone().any_locality()).expect("global fallback");
     let mk = |region| Phase {
         name: "irregular".into(),
         accesses: vec![BufferAccess::new(region, 1 << 30, 0, AccessPattern::Random)],
@@ -436,8 +449,20 @@ fn section8() {
 }
 
 /// §VII: capacity conflicts — FCFS vs priorities on the KNL MCDRAM.
-fn capacity() {
+fn capacity(trace: Option<&str>) {
+    use hetmem_telemetry::{JsonlWriter, NullRecorder, Recorder, Summary};
+    use std::sync::Arc;
     println!("== Capacity conflicts (SVII): two 3GiB bandwidth buffers on a ~3.8GiB MCDRAM ==");
+    let writer: Option<Arc<JsonlWriter>> = trace.map(|path| {
+        Arc::new(JsonlWriter::create(path).unwrap_or_else(|e| {
+            eprintln!("repro_tables: cannot create {path}: {e}");
+            std::process::exit(1);
+        }))
+    });
+    let recorder: Arc<dyn Recorder> = match &writer {
+        Some(w) => w.clone(),
+        None => Arc::new(NullRecorder),
+    };
     let ctx = Ctx::knl();
     let reqs = vec![
         PlannedAlloc {
@@ -455,8 +480,8 @@ fn capacity() {
     ];
     for order in [PlanOrder::Fcfs, PlanOrder::Priority] {
         let mut alloc = ctx.allocator();
-        let placed =
-            plan(&mut alloc, &reqs, &"0-15".parse().unwrap(), order).expect("plan fits");
+        alloc.set_recorder(recorder.clone());
+        let placed = plan(&mut alloc, &reqs, &"0-15".parse().unwrap(), order).expect("plan fits");
         println!("{order:?} order:");
         for p in &placed {
             let where_: Vec<String> = p
@@ -474,8 +499,9 @@ fn capacity() {
     }
     // Migration epilogue: free the cold buffer, migrate the hot one.
     let mut alloc = ctx.allocator();
-    let placed = plan(&mut alloc, &reqs, &"0-15".parse().unwrap(), PlanOrder::Fcfs)
-        .expect("plan fits");
+    alloc.set_recorder(recorder.clone());
+    let placed =
+        plan(&mut alloc, &reqs, &"0-15".parse().unwrap(), PlanOrder::Fcfs).expect("plan fits");
     let hot = placed[1].region;
     alloc.free(placed[0].region);
     let (node, report) = alloc
@@ -487,5 +513,16 @@ fn capacity() {
         report.bytes_moved / (1024 * 1024),
         report.cost_ns / 1e6
     );
+    if let (Some(w), Some(path)) = (&writer, trace) {
+        let _ = w.flush();
+        let text = std::fs::read_to_string(path).unwrap_or_default();
+        match hetmem_telemetry::read_jsonl(&text) {
+            Ok(events) => {
+                print!("{}", Summary::from_events(&events).render());
+                println!("trace: {} events -> {path}", events.len());
+            }
+            Err(e) => eprintln!("repro_tables: trace readback failed: {e}"),
+        }
+    }
     println!();
 }

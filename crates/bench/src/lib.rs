@@ -23,8 +23,7 @@ impl Ctx {
     /// Builds the context with firmware-discovered attributes.
     pub fn new(machine: Machine) -> Self {
         let machine = Arc::new(machine);
-        let attrs =
-            Arc::new(discovery::from_firmware(&machine, true).expect("firmware discovery"));
+        let attrs = Arc::new(discovery::from_firmware(&machine, true).expect("firmware discovery"));
         let engine = AccessEngine::new(machine.clone());
         Ctx { machine, attrs, engine }
     }
@@ -66,14 +65,11 @@ mod tests {
         let k = Ctx::knl();
         assert_eq!(k.machine.topology().node_ids().len(), 8);
         let mut a = k.allocator();
-        assert!(a
-            .mem_alloc(
-                1 << 20,
-                hetmem_core::attr::BANDWIDTH,
-                &"0-15".parse().unwrap(),
-                hetmem_alloc::Fallback::NextTarget
-            )
-            .is_ok());
+        let req = hetmem_alloc::AllocRequest::new(1 << 20)
+            .criterion(hetmem_core::attr::BANDWIDTH)
+            .initiator(&"0-15".parse().unwrap())
+            .fallback(hetmem_alloc::Fallback::NextTarget);
+        assert!(a.alloc(&req).is_ok());
     }
 
     #[test]

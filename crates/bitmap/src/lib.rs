@@ -26,7 +26,6 @@
 //! assert!(full.includes(&set));
 //! ```
 
-
 #![warn(missing_docs)]
 mod parse;
 
@@ -382,10 +381,8 @@ impl Bitmap {
 
     /// Returns the complement.
     pub fn not(&self) -> Bitmap {
-        let mut r = Bitmap {
-            words: self.words.iter().map(|w| !w).collect(),
-            infinite: !self.infinite,
-        };
+        let mut r =
+            Bitmap { words: self.words.iter().map(|w| !w).collect(), infinite: !self.infinite };
         r.normalize();
         r
     }

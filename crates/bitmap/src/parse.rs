@@ -36,12 +36,23 @@ impl std::error::Error for ParseBitmapError {}
 
 impl fmt::Display for Bitmap {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Every index at or above this point is set; a run reaching it
+        // never ends and must print as "begin-" (extending it via
+        // `next()` would loop forever).
+        let inf_from = self.is_infinite().then(|| self.words.len() * crate::BITS_PER_WORD);
         let mut first = true;
         let mut cur = self.first();
         while let Some(begin) = cur {
+            if !first {
+                write!(f, ",")?;
+            }
+            first = false;
             // Extend the run as far as it goes.
             let mut end = begin;
             loop {
+                if inf_from.is_some_and(|s| end + 1 >= s) {
+                    return write!(f, "{begin}-");
+                }
                 match self.next(end) {
                     Some(n) if n == end + 1 => end = n,
                     other => {
@@ -49,15 +60,6 @@ impl fmt::Display for Bitmap {
                         break;
                     }
                 }
-            }
-            if !first {
-                write!(f, ",")?;
-            }
-            first = false;
-            // An infinite tail prints as "begin-".
-            if self.is_infinite() && cur.is_none() && self.last().is_none_or(|l| l < begin) {
-                write!(f, "{begin}-")?;
-                break;
             }
             if begin == end {
                 write!(f, "{begin}")?;
@@ -236,10 +238,7 @@ mod tests {
     fn taskset_parse() {
         assert_eq!(Bitmap::from_taskset("0xf").unwrap(), Bitmap::from_range(0, 3));
         assert_eq!(Bitmap::from_taskset("11").unwrap(), Bitmap::from_indices([0, 4]));
-        assert_eq!(
-            Bitmap::from_taskset("0x1,0000").unwrap(),
-            Bitmap::only(16)
-        );
+        assert_eq!(Bitmap::from_taskset("0x1,0000").unwrap(), Bitmap::only(16));
         assert!(Bitmap::from_taskset("0xzz").is_err());
         assert!(Bitmap::from_taskset("").is_err());
     }

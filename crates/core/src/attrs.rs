@@ -278,10 +278,7 @@ impl MemAttrs {
     /// The best target for `id` from `initiator`
     /// (`hwloc_memattr_get_best_target`).
     pub fn get_best_target(&self, id: AttrId, initiator: &Bitmap) -> Option<(NodeId, u64)> {
-        self.rank_targets(id, initiator)
-            .ok()?
-            .first()
-            .map(|tv| (tv.node, tv.value))
+        self.rank_targets(id, initiator).ok()?.first().map(|tv| (tv.node, tv.value))
     }
 
     /// The best initiator for accessing `target` under `id`
@@ -305,10 +302,7 @@ impl MemAttrs {
         self.values
             .get(&(id, target))
             .map(|stored| {
-                stored
-                    .iter()
-                    .filter_map(|s| s.initiator.clone().map(|i| (i, s.value)))
-                    .collect()
+                stored.iter().filter_map(|s| s.initiator.clone().map(|i| (i, s.value))).collect()
             })
             .unwrap_or_default()
     }
@@ -319,12 +313,8 @@ impl MemAttrs {
         if id == attr::CAPACITY || id == attr::LOCALITY {
             return self.topology.node_ids();
         }
-        let mut v: Vec<NodeId> = self
-            .values
-            .keys()
-            .filter(|(a, _)| *a == id)
-            .map(|&(_, n)| n)
-            .collect();
+        let mut v: Vec<NodeId> =
+            self.values.keys().filter(|(a, _)| *a == id).map(|&(_, n)| n).collect();
         v.sort();
         v
     }
@@ -459,10 +449,7 @@ mod tests {
     #[test]
     fn missing_initiator_is_error() {
         let a = knl_attrs();
-        assert_eq!(
-            a.get_value(attr::BANDWIDTH, NodeId(0), None),
-            Err(AttrError::NeedInitiator)
-        );
+        assert_eq!(a.get_value(attr::BANDWIDTH, NodeId(0), None), Err(AttrError::NeedInitiator));
     }
 
     #[test]

@@ -16,7 +16,9 @@
 //! running STREAM/lmbench/multichase feeds hwloc).
 
 use crate::attrs::{attr, AttrError, AttrId, MemAttrs};
-use hetmem_hmat::{decode_hmat, decode_srat, encode_hmat, encode_srat, DataType, DecodeError, SysfsView};
+use hetmem_hmat::{
+    decode_hmat, decode_srat, encode_hmat, encode_srat, DataType, DecodeError, SysfsView,
+};
 use hetmem_memsim::Machine;
 use std::sync::Arc;
 
@@ -115,7 +117,12 @@ pub fn from_firmware_with_options(
                 if ini.is_zero() {
                     continue;
                 }
-                attrs.set_value(id, hetmem_topology::NodeId(target_pd), Some(&ini), value as u64)?;
+                attrs.set_value(
+                    id,
+                    hetmem_topology::NodeId(target_pd),
+                    Some(&ini),
+                    value as u64,
+                )?;
             }
         }
     }
@@ -160,8 +167,7 @@ mod tests {
     }
 
     #[test]
-    fn local_only_cannot_compare_remote(
-    ) {
+    fn local_only_cannot_compare_remote() {
         let machine = Arc::new(Machine::xeon_1lm_snc());
         let attrs = from_firmware(&machine, true).unwrap();
         // From package 1's cores, package 0's DRAM has no value — the
@@ -221,17 +227,13 @@ mod tests {
             .cpuset
             .clone();
         let bw = attrs.rank_local_targets(attr::BANDWIDTH, &cluster).unwrap();
-        let kinds: Vec<&str> = bw
-            .iter()
-            .map(|tv| machine.topology().node_kind(tv.node).unwrap().subtype())
-            .collect();
+        let kinds: Vec<&str> =
+            bw.iter().map(|tv| machine.topology().node_kind(tv.node).unwrap().subtype()).collect();
         // Eq. 1: HBM > DRAM > NVDIMM (> NAM).
         assert_eq!(kinds, vec!["HBM", "DRAM", "NVDIMM", "NAM"]);
         let lat = attrs.rank_local_targets(attr::LATENCY, &cluster).unwrap();
-        let kinds: Vec<&str> = lat
-            .iter()
-            .map(|tv| machine.topology().node_kind(tv.node).unwrap().subtype())
-            .collect();
+        let kinds: Vec<&str> =
+            lat.iter().map(|tv| machine.topology().node_kind(tv.node).unwrap().subtype()).collect();
         // Eq. 2: DRAM/HBM close, NVDIMM after, NAM last.
         assert_eq!(kinds.last().unwrap(), &"NAM");
         assert!(kinds[..2].contains(&"DRAM") && kinds[..2].contains(&"HBM"));

@@ -1,0 +1,72 @@
+//! The unified error type of the hetmem stack.
+
+use crate::AttrError;
+use hetmem_memsim::AllocError;
+
+/// Any failure the heterogeneous memory stack can report: attribute
+/// registry errors, OS allocation errors, or the allocator finding no
+/// candidate target.
+///
+/// Callers that combine the attribute API with allocation (the common
+/// case — look up a ranking, then place buffers) can bubble everything
+/// up as one type via `?`; the layer-specific errors (`AttrError`,
+/// `AllocError`, `hetmem_alloc::HetAllocError`) all convert `Into`
+/// this.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum HetMemError {
+    /// Attribute registry error.
+    Attr(AttrError),
+    /// OS-level allocation or migration error.
+    Os(AllocError),
+    /// No memory target qualifies for the requested criterion.
+    NoCandidates,
+}
+
+impl std::fmt::Display for HetMemError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HetMemError::Attr(e) => write!(f, "{e}"),
+            HetMemError::Os(e) => write!(f, "{e}"),
+            HetMemError::NoCandidates => write!(f, "no candidate target for criterion"),
+        }
+    }
+}
+
+impl std::error::Error for HetMemError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            HetMemError::Attr(e) => Some(e),
+            HetMemError::Os(e) => Some(e),
+            HetMemError::NoCandidates => None,
+        }
+    }
+}
+
+impl From<AttrError> for HetMemError {
+    fn from(e: AttrError) -> Self {
+        HetMemError::Attr(e)
+    }
+}
+
+impl From<AllocError> for HetMemError {
+    fn from(e: AllocError) -> Self {
+        HetMemError::Os(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetmem_topology::NodeId;
+
+    #[test]
+    fn converts_and_displays() {
+        let e: HetMemError = AttrError::NeedInitiator.into();
+        assert_eq!(e, HetMemError::Attr(AttrError::NeedInitiator));
+        let e: HetMemError = AllocError::InvalidNode(NodeId(9)).into();
+        assert!(e.to_string().contains("unknown NUMA node"));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(std::error::Error::source(&HetMemError::NoCandidates).is_none());
+    }
+}

@@ -44,13 +44,14 @@
 //! assert_eq!(machine.topology().node_kind(best_cap).unwrap().subtype(), "DRAM");
 //! ```
 
-
 #![warn(missing_docs)]
 mod attrs;
 pub mod discovery;
+mod error;
 mod report;
 
 pub use attrs::{attr, AttrError, AttrFlags, AttrId, MemAttrs, TargetValue};
+pub use error::HetMemError;
 pub use report::{render_fig5, render_memattrs};
 
 pub use hetmem_topology::{LocalityFlags, NodeId, Topology};

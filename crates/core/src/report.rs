@@ -36,10 +36,7 @@ pub fn render_memattrs(attrs: &MemAttrs) -> String {
         writeln!(out, "Memory attribute #{} name '{}'", id.0, name).unwrap();
         let flags = attrs.flags(id).expect("listed attribute exists");
         for node in attrs.targets(id) {
-            let logical = topo
-                .numa_by_os_index(node)
-                .map(|o| o.logical_index)
-                .unwrap_or(node.0);
+            let logical = topo.numa_by_os_index(node).map(|o| o.logical_index).unwrap_or(node.0);
             if flags.need_initiator {
                 for (ini, value) in attrs.initiators(id, node) {
                     writeln!(
@@ -69,10 +66,7 @@ pub fn render_fig5(attrs: &MemAttrs) -> String {
         writeln!(out, "Memory attribute #{} name '{}'", id.0, name).unwrap();
         let flags = attrs.flags(id).expect("predefined");
         for node in attrs.targets(id) {
-            let logical = topo
-                .numa_by_os_index(node)
-                .map(|o| o.logical_index)
-                .unwrap_or(node.0);
+            let logical = topo.numa_by_os_index(node).map(|o| o.logical_index).unwrap_or(node.0);
             if flags.need_initiator {
                 for (ini, value) in attrs.initiators(id, node) {
                     writeln!(

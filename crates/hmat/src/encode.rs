@@ -165,8 +165,8 @@ pub fn decode_hmat(data: &Bytes) -> Result<Hmat, DecodeError> {
                 if body.remaining() < 9 {
                     return Err(DecodeError::Truncated);
                 }
-                let dt = DataType::from_code(body.get_u8())
-                    .ok_or(DecodeError::BadValue("data type"))?;
+                let dt =
+                    DataType::from_code(body.get_u8()).ok_or(DecodeError::BadValue("data type"))?;
                 let ni = body.get_u32_le() as usize;
                 let nt = body.get_u32_le() as usize;
                 if body.remaining() < 4 * (ni + nt + ni * nt) {
@@ -307,9 +307,7 @@ mod tests {
     #[test]
     fn srat_roundtrip() {
         let s = Srat {
-            processors: (0..40)
-                .map(|c| SratProcessorAffinity { pd: c / 10, cpu: c })
-                .collect(),
+            processors: (0..40).map(|c| SratProcessorAffinity { pd: c / 10, cpu: c }).collect(),
             memory: vec![
                 SratMemoryAffinity { pd: 0, bytes: 96 << 30, hotplug: false },
                 SratMemoryAffinity { pd: 2, bytes: 768 << 30, hotplug: true },

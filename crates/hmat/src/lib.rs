@@ -20,14 +20,13 @@
 //! [`SysfsView`] reproduces exactly that reduction, which is why
 //! Figure 5 of the paper shows local-only values.
 
-
 #![warn(missing_docs)]
 mod encode;
 mod srat;
 mod sysfs;
 mod tables;
 
-pub use encode::{DecodeError, decode_hmat, decode_srat, encode_hmat, encode_srat};
+pub use encode::{decode_hmat, decode_srat, encode_hmat, encode_srat, DecodeError};
 pub use srat::{Srat, SratMemoryAffinity, SratProcessorAffinity};
 pub use sysfs::SysfsView;
 pub use tables::{

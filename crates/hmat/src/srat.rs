@@ -41,9 +41,7 @@ pub struct Srat {
 impl Srat {
     /// The set of CPUs in a proximity domain.
     pub fn cpus_of(&self, pd: ProximityDomain) -> Bitmap {
-        Bitmap::from_indices(
-            self.processors.iter().filter(|p| p.pd == pd).map(|p| p.cpu as usize),
-        )
+        Bitmap::from_indices(self.processors.iter().filter(|p| p.pd == pd).map(|p| p.cpu as usize))
     }
 
     /// Total memory bytes in a proximity domain.
@@ -53,12 +51,8 @@ impl Srat {
 
     /// All proximity domains mentioned, sorted.
     pub fn domains(&self) -> Vec<ProximityDomain> {
-        let mut v: Vec<ProximityDomain> = self
-            .processors
-            .iter()
-            .map(|p| p.pd)
-            .chain(self.memory.iter().map(|m| m.pd))
-            .collect();
+        let mut v: Vec<ProximityDomain> =
+            self.processors.iter().map(|p| p.pd).chain(self.memory.iter().map(|m| m.pd)).collect();
         v.sort();
         v.dedup();
         v
@@ -87,9 +81,7 @@ mod tests {
 
     fn sample() -> Srat {
         Srat {
-            processors: (0..4)
-                .map(|c| SratProcessorAffinity { pd: c / 2, cpu: c })
-                .collect(),
+            processors: (0..4).map(|c| SratProcessorAffinity { pd: c / 2, cpu: c }).collect(),
             memory: vec![
                 SratMemoryAffinity { pd: 0, bytes: 1 << 30, hotplug: false },
                 SratMemoryAffinity { pd: 1, bytes: 1 << 30, hotplug: false },

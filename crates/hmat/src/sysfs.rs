@@ -126,9 +126,7 @@ mod tests {
     /// Two initiators (PD 0, PD 1); target 2 is NVDIMM local to PD 0.
     fn tables() -> (Hmat, Srat) {
         let srat = Srat {
-            processors: (0..8)
-                .map(|c| SratProcessorAffinity { pd: c / 4, cpu: c })
-                .collect(),
+            processors: (0..8).map(|c| SratProcessorAffinity { pd: c / 4, cpu: c }).collect(),
             memory: vec![
                 SratMemoryAffinity { pd: 0, bytes: 96 << 30, hotplug: false },
                 SratMemoryAffinity { pd: 1, bytes: 96 << 30, hotplug: false },

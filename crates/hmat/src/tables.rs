@@ -232,7 +232,12 @@ mod tests {
                 MemProximityAttrs { initiator_pd: None, memory_pd: 8 },
             ],
             localities: vec![sample_matrix()],
-            caches: vec![MemorySideCacheInfo { memory_pd: 2, size: 1 << 30, line_size: 64, level: 1 }],
+            caches: vec![MemorySideCacheInfo {
+                memory_pd: 2,
+                size: 1 << 30,
+                line_size: 64,
+                level: 1,
+            }],
         };
         assert_eq!(hmat.value(DataType::AccessBandwidth, 0, 2), Some(78644));
         assert_eq!(hmat.value(DataType::AccessLatency, 0, 2), None);

@@ -51,7 +51,12 @@ pub fn latency_curve(
         let passes = 8u64;
         let phase = Phase {
             name: "lat_mem_rd-curve".into(),
-            accesses: vec![BufferAccess::new(region, bytes * passes, 0, AccessPattern::PointerChase)],
+            accesses: vec![BufferAccess::new(
+                region,
+                bytes * passes,
+                0,
+                AccessPattern::PointerChase,
+            )],
             threads: 1,
             initiator: one,
             compute_ns: 0.0,

@@ -99,10 +99,8 @@ pub fn register_stream_triad_attr(
     attrs: &mut MemAttrs,
     machine: &Arc<Machine>,
 ) -> Result<AttrId, AttrError> {
-    let id = attrs.register(
-        "StreamTriad",
-        AttrFlags { higher_is_best: true, need_initiator: true },
-    )?;
+    let id =
+        attrs.register("StreamTriad", AttrFlags { higher_is_best: true, need_initiator: true })?;
     let mut ctx = BenchContext::new(machine.clone());
     for ini in initiators(machine) {
         for node in machine.topology().node_ids() {

@@ -11,14 +11,13 @@
 //!   write-only streams for the Read/Write bandwidth attributes;
 //! * [`chase`] — a dependent pointer chase measuring idle latency
 //!   (lmbench's `lat_mem_rd`);
-//! * [`multichase`] — loaded latency: one chaser while bandwidth
-//!   threads hammer the same node.
+//! * [`loaded_latency_ns`] (multichase) — loaded latency: one chaser
+//!   while bandwidth threads hammer the same node.
 //!
 //! [`feed_attrs`] runs the suite over every (initiator, target) pair —
 //! including *remote* pairs, which the paper points out Linux/HMAT
 //! cannot describe but benchmarks can (§VIII) — and stores the results
-//! in a [`MemAttrs`] registry.
-
+//! in a [`MemAttrs`](hetmem_core::MemAttrs) registry.
 
 #![warn(missing_docs)]
 pub mod chase;
@@ -46,10 +45,7 @@ pub struct BenchContext {
 impl BenchContext {
     /// Creates a context for `machine`.
     pub fn new(machine: Arc<Machine>) -> Self {
-        BenchContext {
-            engine: AccessEngine::new(machine.clone()),
-            mm: MemoryManager::new(machine),
-        }
+        BenchContext { engine: AccessEngine::new(machine.clone()), mm: MemoryManager::new(machine) }
     }
 
     /// The machine under test.

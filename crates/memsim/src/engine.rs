@@ -25,6 +25,8 @@ use crate::machine::Machine;
 use crate::memory::{MemoryManager, RegionId};
 use crate::ns_for_bytes;
 use hetmem_bitmap::Bitmap;
+use hetmem_telemetry as telemetry;
+use hetmem_telemetry::{NullRecorder, Recorder};
 use hetmem_topology::NodeId;
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -118,7 +120,12 @@ pub struct BufferAccess {
 
 impl BufferAccess {
     /// Whole-buffer access with the given traffic.
-    pub fn new(region: RegionId, bytes_read: u64, bytes_written: u64, pattern: AccessPattern) -> Self {
+    pub fn new(
+        region: RegionId,
+        bytes_read: u64,
+        bytes_written: u64,
+        pattern: AccessPattern,
+    ) -> Self {
         BufferAccess { region, bytes_read, bytes_written, pattern, hot_fraction: 1.0 }
     }
 }
@@ -208,20 +215,32 @@ impl PhaseReport {
 }
 
 /// The phase cost engine for one machine.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct AccessEngine {
     machine: Arc<Machine>,
+    recorder: Arc<dyn Recorder>,
+}
+
+impl std::fmt::Debug for AccessEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AccessEngine").field("machine", &self.machine).finish_non_exhaustive()
+    }
 }
 
 impl AccessEngine {
     /// Creates an engine for `machine`.
     pub fn new(machine: Arc<Machine>) -> Self {
-        AccessEngine { machine }
+        AccessEngine { machine, recorder: Arc::new(NullRecorder) }
     }
 
     /// The machine being simulated.
     pub fn machine(&self) -> &Arc<Machine> {
         &self.machine
+    }
+
+    /// Routes phase spans into `recorder` (default: discard).
+    pub fn set_recorder(&mut self, recorder: Arc<dyn Recorder>) {
+        self.recorder = recorder;
     }
 
     /// Costs one phase against the current placements in `mm`.
@@ -328,7 +347,11 @@ impl AccessEngine {
                     llc_misses: res.misses,
                     llc_miss_ratio: res.miss_ratio,
                     pattern: res.pattern,
-                    avg_latency_ns: if traffic_total > 0.0 { lat_weighted / traffic_total } else { 0.0 },
+                    avg_latency_ns: if traffic_total > 0.0 {
+                        lat_weighted / traffic_total
+                    } else {
+                        0.0
+                    },
                     stall_ns: stall,
                     stall_by_node,
                 });
@@ -353,7 +376,7 @@ impl AccessEngine {
             );
         }
 
-        PhaseReport {
+        let report = PhaseReport {
             name: phase.name.clone(),
             time_ns: phase_time,
             threads,
@@ -361,7 +384,25 @@ impl AccessEngine {
             stall_ns: stall_total,
             per_node,
             buffers: buffer_stats,
+        };
+        if self.recorder.enabled() {
+            self.recorder.record(telemetry::Event::PhaseSpan(telemetry::PhaseSpan {
+                name: report.name.clone(),
+                time_ns: report.time_ns,
+                threads: report.threads as u64,
+                per_node: report
+                    .per_node
+                    .iter()
+                    .map(|(&node, t)| telemetry::NodeTrafficSample {
+                        node,
+                        bytes_read: t.bytes_read,
+                        bytes_written: t.bytes_written,
+                        achieved_bw_mbps: t.achieved_bw_mbps,
+                    })
+                    .collect(),
+            }));
         }
+        report
     }
 
     /// Controller busy time for (r, w) bytes on a node, including
@@ -547,9 +588,7 @@ mod tests {
         let (engine, mut mm) = setup();
         // Half DRAM, half NVDIMM.
         let size = 32 * GIB;
-        let id = mm
-            .alloc(size, AllocPolicy::Interleave(vec![NodeId(0), NodeId(2)]))
-            .unwrap();
+        let id = mm.alloc(size, AllocPolicy::Interleave(vec![NodeId(0), NodeId(2)])).unwrap();
         let report = engine.run_phase(&mm, &stream_phase(id, size, 20));
         let gibps = size as f64 / (report.time_ns / 1e9) / GIB as f64;
         // Faster than pure NVDIMM (~31), slower than pure DRAM (~75).
@@ -580,14 +619,20 @@ mod tests {
         let all: Bitmap = "0-63".parse().unwrap();
         let mk = |r, bytes| Phase {
             name: "triad".into(),
-            accesses: vec![BufferAccess::new(r, bytes * 2 / 3, bytes / 3, AccessPattern::Sequential)],
+            accesses: vec![BufferAccess::new(
+                r,
+                bytes * 2 / 3,
+                bytes / 3,
+                AccessPattern::Sequential,
+            )],
             threads: 64,
             initiator: all.clone(),
             compute_ns: 0.0,
         };
         let small = 8 * GIB; // fits the 16 GiB MCDRAM cache
         let r1 = mm.alloc(small, AllocPolicy::Bind(NodeId(0))).unwrap();
-        let g_small = small as f64 / (engine.run_phase(&mm, &mk(r1, small)).time_ns / 1e9) / GIB as f64;
+        let g_small =
+            small as f64 / (engine.run_phase(&mm, &mk(r1, small)).time_ns / 1e9) / GIB as f64;
         mm.free(r1);
         let big = 64 * GIB; // 4× the cache
         let r2 = mm.alloc(big, AllocPolicy::Bind(NodeId(0))).unwrap();

@@ -32,7 +32,6 @@
 //!
 //! Everything is deterministic: no wall-clock timing anywhere.
 
-
 #![warn(missing_docs)]
 mod engine;
 mod machine;

@@ -59,7 +59,11 @@ impl Machine {
 
     /// Builds a machine by assigning one timing per memory kind, with no
     /// OS reservations — convenient for synthetic platforms.
-    pub fn from_kinds(name: &str, topology: Topology, f: impl Fn(MemoryKind) -> NodeTiming) -> Self {
+    pub fn from_kinds(
+        name: &str,
+        topology: Topology,
+        f: impl Fn(MemoryKind) -> NodeTiming,
+    ) -> Self {
         let timings = topology
             .node_ids()
             .into_iter()
@@ -289,17 +293,17 @@ impl Machine {
         let Some(obj) = self.topology.numa_by_os_index(node) else {
             return AccessAdjust::LOCAL;
         };
-        if obj.cpuset.intersects(initiator) || obj.cpuset.includes(initiator) || obj.cpuset.is_zero()
+        if obj.cpuset.intersects(initiator)
+            || obj.cpuset.includes(initiator)
+            || obj.cpuset.is_zero()
         {
             return AccessAdjust::LOCAL;
         }
         // Machine-attached memory (e.g. NAM) has the whole machine as
         // locality and is caught above. Here the node belongs to some
         // package/cluster the initiator is not in.
-        let node_pkg = self
-            .topology
-            .ancestor_of_type(obj.id, ObjectType::Package)
-            .map(|p| p.cpuset.clone());
+        let node_pkg =
+            self.topology.ancestor_of_type(obj.id, ObjectType::Package).map(|p| p.cpuset.clone());
         match node_pkg {
             Some(pkg) if pkg.intersects(initiator) => {
                 AccessAdjust { extra_lat_ns: 20.0, bw_factor: 0.85 }
@@ -334,11 +338,8 @@ impl Machine {
     pub fn slit(&self) -> hetmem_topology::DistancesMatrix {
         let nodes = self.topology.node_ids();
         let one_way = |from: NodeId, to: NodeId| -> u64 {
-            let src_cpus = self
-                .topology
-                .numa_by_os_index(from)
-                .map(|o| o.cpuset.clone())
-                .unwrap_or_default();
+            let src_cpus =
+                self.topology.numa_by_os_index(from).map(|o| o.cpuset.clone()).unwrap_or_default();
             let adjust = self.access_adjust(&src_cpus, to);
             let device = match self.topology.node_kind(to) {
                 Some(MemoryKind::Nvdimm) => 7,
@@ -420,8 +421,11 @@ impl Machine {
         let pds = self.initiator_pds();
         let initiators: Vec<u32> = pds.iter().map(|(pd, _)| *pd).collect();
         let targets: Vec<u32> = self.topology.node_ids().iter().map(|n| n.0).collect();
-        let mut lat =
-            SystemLocalityLatencyBandwidth::new(DataType::AccessLatency, initiators.clone(), targets.clone());
+        let mut lat = SystemLocalityLatencyBandwidth::new(
+            DataType::AccessLatency,
+            initiators.clone(),
+            targets.clone(),
+        );
         let mut bw = SystemLocalityLatencyBandwidth::new(
             DataType::AccessBandwidth,
             initiators.clone(),

@@ -11,6 +11,8 @@
 
 use crate::machine::Machine;
 use crate::PAGE_SIZE;
+use hetmem_telemetry as telemetry;
+use hetmem_telemetry::{NullRecorder, Recorder};
 use hetmem_topology::NodeId;
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -64,10 +66,9 @@ pub enum AllocError {
 impl std::fmt::Display for AllocError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            AllocError::InsufficientCapacity { node, requested, available } => write!(
-                f,
-                "cannot bind {requested} bytes to {node}: only {available} available"
-            ),
+            AllocError::InsufficientCapacity { node, requested, available } => {
+                write!(f, "cannot bind {requested} bytes to {node}: only {available} available")
+            }
             AllocError::OutOfMemory { requested, available } => {
                 write!(f, "out of memory: {requested} requested, {available} available")
             }
@@ -118,12 +119,24 @@ pub struct MigrationReport {
 }
 
 /// The simulated OS memory manager for one machine.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct MemoryManager {
     machine: Arc<Machine>,
     free: BTreeMap<NodeId, u64>,
     regions: BTreeMap<RegionId, Region>,
     next_id: u64,
+    high_water: BTreeMap<NodeId, u64>,
+    recorder: Arc<dyn Recorder>,
+}
+
+impl std::fmt::Debug for MemoryManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MemoryManager")
+            .field("free", &self.free)
+            .field("regions", &self.regions.len())
+            .field("next_id", &self.next_id)
+            .finish_non_exhaustive()
+    }
 }
 
 /// Per-page kernel overhead for `move_pages` (the paper cites [23]:
@@ -139,12 +152,57 @@ impl MemoryManager {
             .into_iter()
             .map(|n| (n, machine.usable_capacity(n)))
             .collect();
-        MemoryManager { machine, free, regions: BTreeMap::new(), next_id: 0 }
+        MemoryManager {
+            machine,
+            free,
+            regions: BTreeMap::new(),
+            next_id: 0,
+            high_water: BTreeMap::new(),
+            recorder: Arc::new(NullRecorder),
+        }
     }
 
     /// The machine this manager operates on.
     pub fn machine(&self) -> &Arc<Machine> {
         &self.machine
+    }
+
+    /// Routes capacity events (occupancy gauges, migrations, frees)
+    /// into `recorder`. The default is a [`NullRecorder`].
+    pub fn set_recorder(&mut self, recorder: Arc<dyn Recorder>) {
+        self.recorder = recorder;
+    }
+
+    /// The recorder capacity events go to.
+    pub fn recorder(&self) -> &Arc<dyn Recorder> {
+        &self.recorder
+    }
+
+    /// Highest used-bytes watermark seen on `node` since creation.
+    pub fn high_water(&self, node: NodeId) -> u64 {
+        self.high_water.get(&node).copied().unwrap_or(0)
+    }
+
+    /// Updates watermarks and emits an occupancy gauge for each node
+    /// whose allocation changed.
+    fn gauge(&mut self, touched: impl IntoIterator<Item = NodeId>) {
+        let mut nodes: Vec<NodeId> = touched.into_iter().collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        for node in nodes {
+            let used = self.used(node);
+            let hw = self.high_water.entry(node).or_insert(0);
+            *hw = (*hw).max(used);
+            let hw = *hw;
+            if self.recorder.enabled() {
+                self.recorder.record(telemetry::Event::OccupancyGauge(telemetry::OccupancyGauge {
+                    node,
+                    used,
+                    high_water: hw,
+                    total: self.machine.usable_capacity(node),
+                }));
+            }
+        }
     }
 
     /// Free bytes on `node`.
@@ -224,7 +282,9 @@ impl MemoryManager {
         }
         let id = RegionId(self.next_id);
         self.next_id += 1;
+        let touched: Vec<NodeId> = placement.iter().map(|&(n, _)| n).collect();
         self.regions.insert(id, Region { id, size, placement, policy });
+        self.gauge(touched);
         Ok(id)
     }
 
@@ -280,9 +340,16 @@ impl MemoryManager {
     pub fn free(&mut self, id: RegionId) -> bool {
         match self.regions.remove(&id) {
             Some(region) => {
-                for (node, bytes) in region.placement {
+                for &(node, bytes) in &region.placement {
                     *self.free.get_mut(&node).expect("placement node exists") += bytes;
                 }
+                if self.recorder.enabled() {
+                    self.recorder.record(telemetry::Event::Free(telemetry::FreeEvent {
+                        region: id.0,
+                        placement: region.placement.clone(),
+                    }));
+                }
+                self.gauge(region.placement.iter().map(|&(n, _)| n));
                 true
             }
             None => false,
@@ -329,6 +396,18 @@ impl MemoryManager {
         *self.free.get_mut(&target).expect("validated") -= region.size;
         let region = self.regions.get_mut(&id).expect("checked above");
         region.placement = vec![(target, region.size)];
+        if self.recorder.enabled() {
+            self.recorder.record(telemetry::Event::Migration(telemetry::Migration {
+                region: id.0,
+                from: old_placement.clone(),
+                to: target,
+                bytes_moved: to_move,
+                cost_ns,
+            }));
+        }
+        let mut touched: Vec<NodeId> = old_placement.iter().map(|&(n, _)| n).collect();
+        touched.push(target);
+        self.gauge(touched);
         Ok(MigrationReport { bytes_moved: to_move, cost_ns })
     }
 
@@ -391,9 +470,8 @@ mod tests {
         let err = mm.alloc(avail + GIB, AllocPolicy::Preferred(NodeId(7))).unwrap_err();
         assert!(matches!(err, AllocError::OutOfMemory { .. }));
         // Whereas the explicit ordered fallback handles it fine.
-        let id = mm
-            .alloc(avail + GIB, AllocPolicy::PreferredMany(vec![NodeId(7), NodeId(3)]))
-            .unwrap();
+        let id =
+            mm.alloc(avail + GIB, AllocPolicy::PreferredMany(vec![NodeId(7), NodeId(3)])).unwrap();
         let r = mm.region(id).unwrap();
         assert_eq!(r.bytes_on(NodeId(7)), avail);
         assert_eq!(r.bytes_on(NodeId(3)), GIB);
@@ -416,9 +494,7 @@ mod tests {
         // Nearly fill MCDRAM node 4.
         let avail4 = mm.available(NodeId(4));
         mm.alloc(avail4 - GIB, AllocPolicy::Bind(NodeId(4))).unwrap();
-        let id = mm
-            .alloc(6 * GIB, AllocPolicy::Interleave(vec![NodeId(4), NodeId(0)]))
-            .unwrap();
+        let id = mm.alloc(6 * GIB, AllocPolicy::Interleave(vec![NodeId(4), NodeId(0)])).unwrap();
         let r = mm.region(id).unwrap();
         assert_eq!(r.bytes_on(NodeId(4)), GIB);
         assert_eq!(r.bytes_on(NodeId(0)), 5 * GIB);
@@ -497,19 +573,50 @@ mod tests {
             .alloc(avail * 2, AllocPolicy::PreferredMany(vec![NodeId(4), NodeId(4)]))
             .unwrap_err();
         assert!(matches!(err, AllocError::OutOfMemory { .. }));
-        let id = mm
-            .alloc(avail, AllocPolicy::PreferredMany(vec![NodeId(4), NodeId(4)]))
-            .unwrap();
+        let id = mm.alloc(avail, AllocPolicy::PreferredMany(vec![NodeId(4), NodeId(4)])).unwrap();
         assert_eq!(mm.region(id).unwrap().bytes_on(NodeId(4)), avail);
         assert_eq!(mm.available(NodeId(4)), 0);
         // Interleave with duplicates likewise counts once.
         mm.free(id);
-        let id = mm
-            .alloc(GIB, AllocPolicy::Interleave(vec![NodeId(0), NodeId(0), NodeId(1)]))
-            .unwrap();
+        let id =
+            mm.alloc(GIB, AllocPolicy::Interleave(vec![NodeId(0), NodeId(0), NodeId(1)])).unwrap();
         let r = mm.region(id).unwrap();
         assert_eq!(r.bytes_on(NodeId(0)), GIB / 2);
         assert_eq!(r.bytes_on(NodeId(1)), GIB / 2);
+    }
+
+    #[test]
+    fn telemetry_tracks_capacity_lifecycle() {
+        use hetmem_telemetry::{Event, RingRecorder};
+        let mut mm = manager();
+        let ring = Arc::new(RingRecorder::new(64));
+        mm.set_recorder(ring.clone());
+        let id = mm.alloc(2 * GIB, AllocPolicy::Bind(NodeId(0))).unwrap();
+        mm.migrate(id, NodeId(4)).unwrap();
+        mm.free(id);
+        let events = ring.events();
+        assert!(events.iter().any(|e| matches!(
+            e,
+            Event::Migration(m) if m.region == id.0 && m.to == NodeId(4) && m.bytes_moved == 2 * GIB
+        )));
+        assert!(events.iter().any(|e| matches!(
+            e,
+            Event::Free(f) if f.region == id.0 && f.placement == vec![(NodeId(4), 2 * GIB)]
+        )));
+        // Gauges: node 0 rose to 2 GiB then drained; high water sticks.
+        assert_eq!(mm.used(NodeId(0)), 0);
+        assert_eq!(mm.high_water(NodeId(0)), 2 * GIB);
+        assert_eq!(mm.high_water(NodeId(4)), 2 * GIB);
+        let last_gauge0 = events
+            .iter()
+            .rev()
+            .find_map(|e| match e {
+                Event::OccupancyGauge(g) if g.node == NodeId(0) => Some(*g),
+                _ => None,
+            })
+            .expect("node 0 gauges");
+        assert_eq!(last_gauge0.used, 0);
+        assert_eq!(last_gauge0.high_water, 2 * GIB);
     }
 
     #[test]

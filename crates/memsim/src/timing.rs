@@ -75,7 +75,7 @@ impl NodeTiming {
             idle_read_lat_ns: 305.0,
             idle_write_lat_ns: 94.0, // writes buffer in the controller
             loaded_lat_factor: 860.0 / 305.0,
-            peak_read_bw_mbps: 46_080.0, // 45 GiB/s
+            peak_read_bw_mbps: 46_080.0,  // 45 GiB/s
             peak_write_bw_mbps: 21_504.0, // 21 GiB/s
             per_thread_bw_mbps: 6_144.0,
             ait_window_bytes: Some(28 * 1024 * 1024 * 1024), // ~28 GiB
@@ -323,14 +323,21 @@ mod tests {
     #[test]
     fn paper_orderings_hold() {
         // Eq. 1: HBM > DRAM > NVDIMM by bandwidth.
-        assert!(NodeTiming::knl_mcdram().peak_read_bw_mbps > NodeTiming::knl_dram().peak_read_bw_mbps);
-        assert!(NodeTiming::xeon_dram().peak_read_bw_mbps > NodeTiming::xeon_nvdimm().peak_read_bw_mbps);
+        assert!(
+            NodeTiming::knl_mcdram().peak_read_bw_mbps > NodeTiming::knl_dram().peak_read_bw_mbps
+        );
+        assert!(
+            NodeTiming::xeon_dram().peak_read_bw_mbps > NodeTiming::xeon_nvdimm().peak_read_bw_mbps
+        );
         // Eq. 2: DRAM ≈ HBM ≪ NVDIMM by latency.
         let knl_gap = (NodeTiming::knl_mcdram().idle_read_lat_ns
             - NodeTiming::knl_dram().idle_read_lat_ns)
             .abs();
         assert!(knl_gap < 20.0);
-        assert!(NodeTiming::xeon_nvdimm().idle_read_lat_ns > 2.0 * NodeTiming::xeon_dram().idle_read_lat_ns);
+        assert!(
+            NodeTiming::xeon_nvdimm().idle_read_lat_ns
+                > 2.0 * NodeTiming::xeon_dram().idle_read_lat_ns
+        );
     }
 
     #[test]

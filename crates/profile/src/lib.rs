@@ -26,7 +26,6 @@
 //! * a sensitivity classification per run and per buffer, the input
 //!   the paper feeds back into its heterogeneous allocator.
 
-
 #![warn(missing_docs)]
 use hetmem_memsim::{Machine, PhaseReport, RegionId};
 use hetmem_topology::{MemoryKind, NodeId};
@@ -110,7 +109,7 @@ pub struct ObjectProfile {
     /// Stores.
     pub stores: u64,
     /// LLC misses — "important here because it is the last and
-    /// longest-latency [level] before main memory".
+    /// longest-latency \[level\] before main memory".
     pub llc_misses: u64,
     /// Average memory latency observed, ns.
     pub avg_latency_ns: f64,
@@ -208,8 +207,7 @@ impl Profiler {
                 // semantics that makes NVDIMM streaming look *not*
                 // bandwidth-bound in Table IV).
                 if traffic.achieved_bw_mbps > HIGH_BW_FRACTION * peak_platform_bw {
-                    *bw_high_time.entry(kind).or_insert(0.0) +=
-                        phase.time_ns * traffic.utilization;
+                    *bw_high_time.entry(kind).or_insert(0.0) += phase.time_ns * traffic.utilization;
                 }
             }
         }
@@ -316,10 +314,7 @@ impl Profiler {
     /// hottest first — "this sensitivity is exposed to the runtime as
     /// additional criteria in allocation requests".
     pub fn advise(&self) -> Vec<(String, Sensitivity)> {
-        self.object_report()
-            .into_iter()
-            .map(|o| (o.site, o.sensitivity))
-            .collect()
+        self.object_report().into_iter().map(|o| (o.site, o.sensitivity)).collect()
     }
 
     /// Renders the summary like VTune's text report (Table IV rows).
@@ -328,7 +323,11 @@ impl Profiler {
         let mut out = String::new();
         writeln!(out, "Memory Access analysis — elapsed {:.3} ms", s.total_ns / 1e6).unwrap();
         for (kind, pct) in &s.bound_pct {
-            let flag = if s.flagged.iter().any(|f| f == &format!("{kind} Bound")) { "  <-- flagged" } else { "" };
+            let flag = if s.flagged.iter().any(|f| f == &format!("{kind} Bound")) {
+                "  <-- flagged"
+            } else {
+                ""
+            };
             writeln!(out, "  {kind} Bound:            {pct:5.1}% of Clockticks{flag}").unwrap();
         }
         for (kind, pct) in &s.bw_bound_pct {
@@ -345,15 +344,14 @@ impl Profiler {
     /// turquoise and write stacked on top; we use '=' and '#').
     pub fn render_timeline(&self) -> String {
         const WIDTH: f64 = 50.0;
-        let peak = self
-            .phases
-            .iter()
-            .map(|p| p.total_bw_mbps())
-            .fold(0.0f64, f64::max)
-            .max(1.0);
+        let peak = self.phases.iter().map(|p| p.total_bw_mbps()).fold(0.0f64, f64::max).max(1.0);
         let mut out = String::new();
-        writeln!(out, "{:<16} {:>10} {:>9} {:>9}  bandwidth (= read, # write)", "phase", "time ms", "rd GiB/s", "wr GiB/s")
-            .expect("string write");
+        writeln!(
+            out,
+            "{:<16} {:>10} {:>9} {:>9}  bandwidth (= read, # write)",
+            "phase", "time ms", "rd GiB/s", "wr GiB/s"
+        )
+        .expect("string write");
         for phase in &self.phases {
             let secs = phase.time_ns / 1e9;
             let rd: f64 = phase
@@ -368,11 +366,8 @@ impl Profiler {
                 .sum();
             let total_mbps = phase.total_bw_mbps();
             let bar_len = (total_mbps / peak * WIDTH) as usize;
-            let rd_len = if rd + wr > 0.0 {
-                ((rd / (rd + wr)) * bar_len as f64) as usize
-            } else {
-                0
-            };
+            let rd_len =
+                if rd + wr > 0.0 { ((rd / (rd + wr)) * bar_len as f64) as usize } else { 0 };
             let mut bar = "=".repeat(rd_len);
             bar.push_str(&"#".repeat(bar_len.saturating_sub(rd_len)));
             writeln!(
@@ -384,6 +379,34 @@ impl Profiler {
                 wr
             )
             .expect("string write");
+        }
+        out
+    }
+
+    /// Renders the VTune-style summary followed by the allocator's
+    /// placement report from a telemetry trace — what the profiler
+    /// *observed* next to what the allocator *decided*. Also flags
+    /// tracked objects whose snapshotted placement disagrees with the
+    /// trace's live-region reconstruction (a region that migrated after
+    /// tracking, or a trace from a different run).
+    pub fn render_with_trace(&self, trace: &hetmem_telemetry::Summary) -> String {
+        let mut out = self.render_summary();
+        out.push('\n');
+        out.push_str(&trace.render());
+        let mut stale: Vec<&str> = Vec::new();
+        for obj in &self.objects {
+            if let Some(live) = trace.live.get(&obj.region.0) {
+                if live != &obj.placement {
+                    stale.push(&obj.site);
+                }
+            }
+        }
+        if !stale.is_empty() {
+            out.push_str(&format!(
+                "note: {} object(s) moved since tracking: {}\n",
+                stale.len(),
+                stale.join(", ")
+            ));
         }
         out
     }
@@ -451,7 +474,7 @@ fn classify_object(
 #[cfg(test)]
 mod tests {
     use super::*;
-    
+
     use hetmem_memsim::{
         AccessEngine, AccessPattern, AllocPolicy, BufferAccess, MemoryManager, Phase,
     };
@@ -477,7 +500,12 @@ mod tests {
     fn stream_phase(region: hetmem_memsim::RegionId, bytes: u64) -> Phase {
         Phase {
             name: "triad".into(),
-            accesses: vec![BufferAccess::new(region, bytes * 2 / 3, bytes / 3, AccessPattern::Sequential)],
+            accesses: vec![BufferAccess::new(
+                region,
+                bytes * 2 / 3,
+                bytes / 3,
+                AccessPattern::Sequential,
+            )],
             threads: 20,
             initiator: "0-19".parse().unwrap(),
             compute_ns: 0.0,

@@ -1,23 +1,40 @@
-//! CLI for the scenario DSL: `hetmem-run <file> [--objects] [--timeline]`.
+//! CLI for the scenario DSL:
+//! `hetmem-run <file> [--objects] [--timeline] [--trace <out.jsonl>]`.
 
-use hetmem_scenario::{execute, parse};
+use hetmem_scenario::{execute, execute_with_recorder, parse};
+use hetmem_telemetry::{read_jsonl, JsonlWriter, Summary};
+use std::sync::Arc;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut file = None;
     let mut show_objects = false;
     let mut show_timeline = false;
+    let mut trace: Option<String> = None;
+    let mut want_trace_path = false;
     for a in &args {
+        if want_trace_path {
+            trace = Some(a.clone());
+            want_trace_path = false;
+            continue;
+        }
         match a.as_str() {
             "--objects" => show_objects = true,
             "--timeline" => show_timeline = true,
+            "--trace" => want_trace_path = true,
             "--help" | "-h" => {
-                eprintln!("usage: hetmem-run <scenario-file> [--objects] [--timeline]");
+                eprintln!(
+                    "usage: hetmem-run <scenario-file> [--objects] [--timeline] [--trace <out.jsonl>]"
+                );
                 eprintln!("platforms: {}", hetmem_scenario::PLATFORM_NAMES.join(", "));
                 return;
             }
             other => file = Some(other.to_string()),
         }
+    }
+    if want_trace_path {
+        eprintln!("hetmem-run: --trace needs a file argument");
+        std::process::exit(2);
     }
     let Some(file) = file else {
         eprintln!("hetmem-run: no scenario file (try --help)");
@@ -31,7 +48,20 @@ fn main() {
         eprintln!("hetmem-run: {file}: {e}");
         std::process::exit(1);
     });
-    let report = execute(&scenario).unwrap_or_else(|e| {
+    let result = match &trace {
+        Some(path) => {
+            let writer = JsonlWriter::create(path).unwrap_or_else(|e| {
+                eprintln!("hetmem-run: cannot create {path}: {e}");
+                std::process::exit(1);
+            });
+            let writer = Arc::new(writer);
+            let r = execute_with_recorder(&scenario, writer.clone());
+            let _ = writer.flush();
+            r
+        }
+        None => execute(&scenario),
+    };
+    let report = result.unwrap_or_else(|e| {
         eprintln!("hetmem-run: {e}");
         std::process::exit(1);
     });
@@ -66,5 +96,16 @@ fn main() {
     if show_timeline {
         println!();
         print!("{}", report.profiler.render_timeline());
+    }
+    if let Some(path) = &trace {
+        let text = std::fs::read_to_string(path).unwrap_or_default();
+        match read_jsonl(&text) {
+            Ok(events) => {
+                println!();
+                print!("{}", Summary::from_events(&events).render());
+                eprintln!("trace: {} events -> {path}", events.len());
+            }
+            Err(e) => eprintln!("hetmem-run: trace readback failed: {e}"),
+        }
     }
 }

@@ -1,11 +1,12 @@
 //! Executes a parsed scenario against the simulator.
 
 use crate::parse::{Command, Discovery, Scenario};
-use hetmem_alloc::HetAllocator;
+use hetmem_alloc::{AllocRequest, HetAllocator};
 use hetmem_bitmap::Bitmap;
 use hetmem_core::MemAttrs;
 use hetmem_memsim::{AccessEngine, BufferAccess, MemoryManager, Phase, RegionId};
 use hetmem_profile::Profiler;
+use hetmem_telemetry::{NullRecorder, Recorder};
 use hetmem_topology::NodeId;
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -76,6 +77,16 @@ pub struct ScenarioReport {
 
 /// Runs a scenario; deterministic like everything else.
 pub fn execute(scenario: &Scenario) -> Result<ScenarioReport, ExecError> {
+    execute_with_recorder(scenario, Arc::new(NullRecorder))
+}
+
+/// [`execute`] with every allocation decision, migration, phase span
+/// and occupancy change streamed into `recorder` (the `--trace`
+/// backend of `hetmem-run`).
+pub fn execute_with_recorder(
+    scenario: &Scenario,
+    recorder: Arc<dyn Recorder>,
+) -> Result<ScenarioReport, ExecError> {
     let machine = crate::machine_by_name(&scenario.machine)
         .ok_or_else(|| ExecError::UnknownMachine(scenario.machine.clone()))?;
     let machine = Arc::new(machine);
@@ -99,8 +110,10 @@ pub fn execute(scenario: &Scenario) -> Result<ScenarioReport, ExecError> {
             .map_err(|e| ExecError::Discovery(e.to_string()))?,
         ),
     };
-    let engine = AccessEngine::new(machine.clone());
+    let mut engine = AccessEngine::new(machine.clone());
+    engine.set_recorder(recorder.clone());
     let mut allocator = HetAllocator::new(attrs, MemoryManager::new(machine.clone()));
+    allocator.set_recorder(recorder);
     let mut profiler = Profiler::new(machine.clone());
 
     let mut buffers: BTreeMap<String, RegionId> = BTreeMap::new();
@@ -113,11 +126,15 @@ pub fn execute(scenario: &Scenario) -> Result<ScenarioReport, ExecError> {
     for cmd in &scenario.commands {
         match cmd {
             Command::Alloc { name, size, criterion, fallback, global } => {
-                let result = if *global {
-                    allocator.mem_alloc_any(*size, *criterion, &initiator, *fallback)
-                } else {
-                    allocator.mem_alloc(*size, *criterion, &initiator, *fallback)
-                };
+                let mut req = AllocRequest::new(*size)
+                    .criterion(*criterion)
+                    .initiator(&initiator)
+                    .fallback(*fallback)
+                    .label(name.clone());
+                if *global {
+                    req = req.any_locality();
+                }
+                let result = allocator.alloc(&req);
                 let id = result
                     .map_err(|e| ExecError::Alloc { name: name.clone(), message: e.to_string() })?;
                 profiler.track(allocator.memory(), id, name, *size);
@@ -170,7 +187,10 @@ pub fn execute(scenario: &Scenario) -> Result<ScenarioReport, ExecError> {
             Command::Rebalance { criterion } => {
                 let actions = daemon
                     .rebalance_with_criterion(&mut allocator, &initiator, *criterion)
-                    .map_err(|e| ExecError::Alloc { name: "rebalance".into(), message: e.to_string() })?;
+                    .map_err(|e| ExecError::Alloc {
+                        name: "rebalance".into(),
+                        message: e.to_string(),
+                    })?;
                 for a in &actions {
                     let cost = match a {
                         hetmem_alloc::tiering::TieringAction::Promoted { cost_ns, .. }
@@ -194,7 +214,14 @@ pub fn execute(scenario: &Scenario) -> Result<ScenarioReport, ExecError> {
         .collect();
     let total_ns =
         phases.iter().map(|p| p.time_ns).sum::<f64>() + migrations_ns.iter().sum::<f64>();
-    Ok(ScenarioReport { phases, migrations_ns, final_placements, profiler, total_ns, tiering_actions })
+    Ok(ScenarioReport {
+        phases,
+        migrations_ns,
+        final_placements,
+        profiler,
+        total_ns,
+        tiering_actions,
+    })
 }
 
 #[cfg(test)]

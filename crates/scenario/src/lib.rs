@@ -32,12 +32,11 @@
 //! for ready-made files) or programmatically via [`parse`] and
 //! [`execute`].
 
-
 #![warn(missing_docs)]
 mod exec;
 mod parse;
 
-pub use exec::{execute, ExecError, PhaseOutcome, ScenarioReport};
+pub use exec::{execute, execute_with_recorder, ExecError, PhaseOutcome, ScenarioReport};
 pub use parse::{parse, AccessSpec, Command, ParseError, PhaseSpec, Scenario};
 
 use hetmem_memsim::Machine;

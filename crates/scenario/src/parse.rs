@@ -181,9 +181,7 @@ fn parse_criterion(tok: &str, line: usize) -> Result<AttrId, ParseError> {
         "writebandwidth" => attr::WRITE_BANDWIDTH,
         "readlatency" => attr::READ_LATENCY,
         "writelatency" => attr::WRITE_LATENCY,
-        other => {
-            return Err(ParseError { line, message: format!("unknown criterion {other:?}") })
-        }
+        other => return Err(ParseError { line, message: format!("unknown criterion {other:?}") }),
     })
 }
 
@@ -290,7 +288,9 @@ pub fn parse(text: &str) -> Result<Scenario, ParseError> {
                 discovery = match toks.get(1).copied() {
                     Some("firmware") => Discovery::Firmware,
                     Some("benchmarks") => Discovery::Benchmarks,
-                    other => return Err(err(format!("discover firmware|benchmarks, got {other:?}"))),
+                    other => {
+                        return Err(err(format!("discover firmware|benchmarks, got {other:?}")))
+                    }
                 };
             }
             "alloc" => {
@@ -357,7 +357,10 @@ pub fn parse(text: &str) -> Result<Scenario, ParseError> {
     }
 
     if current_phase.is_some() {
-        return Err(ParseError { line: text.lines().count(), message: "unterminated phase".into() });
+        return Err(ParseError {
+            line: text.lines().count(),
+            message: "unterminated phase".into(),
+        });
     }
     Ok(Scenario {
         machine: machine.ok_or(ParseError { line: 0, message: "missing machine".into() })?,
@@ -452,45 +455,63 @@ migrate bulk bandwidth
 
     #[test]
     fn hot_fraction_option() {
-        let s = parse("machine xeon
+        let s = parse(
+            "machine xeon
 phase p
   read a 1GiB random hot=0.25
 end
-").expect("valid");
+",
+        )
+        .expect("valid");
         match &s.commands[0] {
             Command::Phase(p) => assert_eq!(p.accesses[0].hot_fraction, 0.25),
             other => panic!("expected phase, got {other:?}"),
         }
-        assert!(parse("machine m
+        assert!(parse(
+            "machine m
 phase p
   read a 1GiB random hot=2
 end
-").is_err());
-        assert!(parse("machine m
+"
+        )
+        .is_err());
+        assert!(parse(
+            "machine m
 phase p
   read a 1GiB random bogus
 end
-").is_err());
+"
+        )
+        .is_err());
     }
 
     #[test]
     fn rebalance_statement() {
-        let s = parse("machine knl-flat
+        let s = parse(
+            "machine knl-flat
 rebalance
 rebalance latency
-").expect("valid");
+",
+        )
+        .expect("valid");
         assert_eq!(s.commands[0], Command::Rebalance { criterion: attr::BANDWIDTH });
         assert_eq!(s.commands[1], Command::Rebalance { criterion: attr::LATENCY });
-        assert!(parse("machine m
+        assert!(parse(
+            "machine m
 rebalance bogus
-").is_err());
+"
+        )
+        .is_err());
     }
 
     #[test]
     fn global_alloc_option() {
-        let s = parse("machine xeon-4s
+        let s = parse(
+            "machine xeon-4s
 alloc w 1GiB latency next global
-").expect("valid");
+",
+        )
+        .expect("valid");
         match &s.commands[0] {
             Command::Alloc { global, fallback, .. } => {
                 assert!(*global);
@@ -498,9 +519,12 @@ alloc w 1GiB latency next global
             }
             other => panic!("expected alloc, got {other:?}"),
         }
-        assert!(parse("machine m
+        assert!(parse(
+            "machine m
 alloc w 1GiB latency bogus
-").is_err());
+"
+        )
+        .is_err());
     }
 
     #[test]

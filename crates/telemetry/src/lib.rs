@@ -1,0 +1,731 @@
+//! Structured telemetry for heterogeneous-memory placement decisions.
+//!
+//! The paper's whole point is that placement should be *explainable*
+//! by performance attributes; this crate is the layer that makes every
+//! decision observable. The allocator, memory manager and access
+//! engine emit [`Event`]s into a shared [`Recorder`]:
+//!
+//! * [`AllocDecision`] — why a buffer landed where it did: the
+//!   requested criterion, the attribute actually used after fallback,
+//!   the ranked candidates with their attribute values, every fallback
+//!   hop (target tried and rejected, with the reason), and the final
+//!   placement split when a `PartialSpill` divides the buffer.
+//! * [`AttrFallback`] — an attribute substitution, e.g.
+//!   ReadBandwidth → Bandwidth when firmware carries no read-specific
+//!   values (§IV-B of the paper).
+//! * [`Migration`] / [`FreeEvent`] — region lifecycle after placement,
+//!   so a trace alone reconstructs the live placement map.
+//! * [`PhaseSpan`] — per-node bytes and achieved bandwidth of one
+//!   simulated kernel phase.
+//! * [`OccupancyGauge`] — per-node used bytes and high-water marks,
+//!   sampled at every capacity change.
+//!
+//! Recorders are lock-cheap: the default [`NullRecorder`] reports
+//! `enabled() == false` so instrumented hot paths skip building events
+//! entirely; [`RingRecorder`] keeps the last N events in memory;
+//! [`JsonlWriter`] streams one JSON object per line, the format the
+//! `--trace` flag of the repro binaries produces. [`Summary`] folds a
+//! stream of events into a per-run placement report.
+
+#![warn(missing_docs)]
+
+mod json;
+mod summary;
+
+pub use json::ParseError;
+pub use summary::{OccupancyStats, PhaseSample, Summary};
+
+use hetmem_topology::NodeId;
+use json::JsonValue;
+use std::collections::VecDeque;
+use std::io::Write;
+use std::sync::Mutex;
+
+/// Whether a ranking considered only the initiator's local targets or
+/// every target on the machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scope {
+    /// Targets local to the initiator (the paper's default).
+    Local,
+    /// All targets, local or remote (the §VIII escape hatch).
+    Any,
+}
+
+impl Scope {
+    fn as_str(self) -> &'static str {
+        match self {
+            Scope::Local => "local",
+            Scope::Any => "any",
+        }
+    }
+}
+
+/// The fallback mode an allocation ran under (mirrors
+/// `hetmem_alloc::Fallback` without depending on it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FallbackMode {
+    /// Fail if the best target cannot hold the buffer.
+    Strict,
+    /// Retry whole buffers down the ranking.
+    NextTarget,
+    /// Split across the ranking at page granularity.
+    PartialSpill,
+}
+
+impl FallbackMode {
+    fn as_str(self) -> &'static str {
+        match self {
+            FallbackMode::Strict => "strict",
+            FallbackMode::NextTarget => "next_target",
+            FallbackMode::PartialSpill => "partial_spill",
+        }
+    }
+}
+
+/// One ranked candidate target and its attribute value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Candidate {
+    /// The target node.
+    pub node: NodeId,
+    /// The attribute value the ranking used (MiB/s, ns or bytes,
+    /// depending on the attribute).
+    pub value: u64,
+}
+
+/// One fallback hop: a target that was tried and could not take the
+/// allocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hop {
+    /// The rejected target.
+    pub node: NodeId,
+    /// Why it was rejected (stringified allocation error).
+    pub reason: String,
+}
+
+/// A fully explained allocation decision.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AllocDecision {
+    /// The region created, `None` when the allocation failed.
+    pub region: Option<u64>,
+    /// Requested bytes.
+    pub size: u64,
+    /// The attribute the caller asked for.
+    pub requested: u32,
+    /// The attribute actually used after attribute fallback.
+    pub used: u32,
+    /// Locality scope of the ranking.
+    pub scope: Scope,
+    /// Capacity-fallback mode.
+    pub fallback: FallbackMode,
+    /// The ranked candidates, best first, with attribute values.
+    pub candidates: Vec<Candidate>,
+    /// Targets tried and rejected before the decision resolved.
+    pub hops: Vec<Hop>,
+    /// Final placement split `(node, bytes)`; more than one entry
+    /// means a spill. Empty when the allocation failed.
+    pub placement: Vec<(NodeId, u64)>,
+    /// The failure, if the allocation failed.
+    pub error: Option<String>,
+}
+
+/// An attribute substitution (e.g. ReadBandwidth → Bandwidth).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AttrFallback {
+    /// The attribute the caller asked for.
+    pub requested: u32,
+    /// The similar attribute used instead.
+    pub used: u32,
+}
+
+/// A region moved between nodes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Migration {
+    /// The migrated region.
+    pub region: u64,
+    /// Placement before the move.
+    pub from: Vec<(NodeId, u64)>,
+    /// Destination node.
+    pub to: NodeId,
+    /// Bytes actually moved.
+    pub bytes_moved: u64,
+    /// Modelled migration cost in nanoseconds.
+    pub cost_ns: f64,
+}
+
+/// A region freed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FreeEvent {
+    /// The freed region.
+    pub region: u64,
+    /// Placement the region held when freed.
+    pub placement: Vec<(NodeId, u64)>,
+}
+
+/// Per-node traffic of one simulated phase.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeTrafficSample {
+    /// The node.
+    pub node: NodeId,
+    /// Bytes read from the node.
+    pub bytes_read: u64,
+    /// Bytes written to the node.
+    pub bytes_written: u64,
+    /// Achieved bandwidth, MiB/s.
+    pub achieved_bw_mbps: f64,
+}
+
+/// One simulated kernel phase.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseSpan {
+    /// Phase name.
+    pub name: String,
+    /// Modelled wall time, ns.
+    pub time_ns: f64,
+    /// Thread count.
+    pub threads: u64,
+    /// Per-node traffic.
+    pub per_node: Vec<NodeTrafficSample>,
+}
+
+/// A capacity sample for one node, emitted at every change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OccupancyGauge {
+    /// The node.
+    pub node: NodeId,
+    /// Bytes currently allocated.
+    pub used: u64,
+    /// Highest `used` observed so far.
+    pub high_water: u64,
+    /// Usable capacity of the node.
+    pub total: u64,
+}
+
+/// A telemetry event.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Event {
+    /// An allocation decision (success or failure).
+    AllocDecision(AllocDecision),
+    /// An attribute substitution.
+    AttrFallback(AttrFallback),
+    /// A region migration.
+    Migration(Migration),
+    /// A region free.
+    Free(FreeEvent),
+    /// A simulated phase.
+    PhaseSpan(PhaseSpan),
+    /// A node occupancy sample.
+    OccupancyGauge(OccupancyGauge),
+}
+
+/// Human-readable name for the well-known attribute ids of
+/// `hetmem-core` (custom attributes render as `attr#N`).
+pub fn attr_name(id: u32) -> String {
+    match id {
+        0 => "Capacity".into(),
+        1 => "Locality".into(),
+        2 => "Bandwidth".into(),
+        3 => "Latency".into(),
+        4 => "ReadBandwidth".into(),
+        5 => "WriteBandwidth".into(),
+        6 => "ReadLatency".into(),
+        7 => "WriteLatency".into(),
+        n => format!("attr#{n}"),
+    }
+}
+
+fn placement_json(placement: &[(NodeId, u64)]) -> JsonValue {
+    JsonValue::Array(
+        placement
+            .iter()
+            .map(|&(n, b)| {
+                JsonValue::Array(vec![JsonValue::num(n.0 as f64), JsonValue::num(b as f64)])
+            })
+            .collect(),
+    )
+}
+
+fn placement_from_json(v: &JsonValue) -> Result<Vec<(NodeId, u64)>, ParseError> {
+    v.array()?
+        .iter()
+        .map(|pair| {
+            let pair = pair.array()?;
+            if pair.len() != 2 {
+                return Err(ParseError::new("placement pair must have two entries"));
+            }
+            Ok((NodeId(pair[0].u64()? as u32), pair[1].u64()?))
+        })
+        .collect()
+}
+
+impl Event {
+    /// Encodes the event as a single-line JSON object.
+    pub fn to_json(&self) -> String {
+        let obj = match self {
+            Event::AllocDecision(d) => {
+                let mut fields = vec![
+                    ("event", JsonValue::str("alloc_decision")),
+                    ("region", d.region.map_or(JsonValue::Null, |r| JsonValue::num(r as f64))),
+                    ("size", JsonValue::num(d.size as f64)),
+                    ("requested", JsonValue::str(&attr_name(d.requested))),
+                    ("used", JsonValue::str(&attr_name(d.used))),
+                    ("scope", JsonValue::str(d.scope.as_str())),
+                    ("fallback", JsonValue::str(d.fallback.as_str())),
+                    (
+                        "candidates",
+                        JsonValue::Array(
+                            d.candidates
+                                .iter()
+                                .map(|c| {
+                                    JsonValue::Object(vec![
+                                        ("node".into(), JsonValue::num(c.node.0 as f64)),
+                                        ("value".into(), JsonValue::num(c.value as f64)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                    (
+                        "hops",
+                        JsonValue::Array(
+                            d.hops
+                                .iter()
+                                .map(|h| {
+                                    JsonValue::Object(vec![
+                                        ("node".into(), JsonValue::num(h.node.0 as f64)),
+                                        ("reason".into(), JsonValue::str(&h.reason)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                    ("placement", placement_json(&d.placement)),
+                ];
+                if let Some(e) = &d.error {
+                    fields.push(("error", JsonValue::str(e)));
+                }
+                fields
+            }
+            Event::AttrFallback(a) => vec![
+                ("event", JsonValue::str("attr_fallback")),
+                ("requested", JsonValue::str(&attr_name(a.requested))),
+                ("used", JsonValue::str(&attr_name(a.used))),
+            ],
+            Event::Migration(m) => vec![
+                ("event", JsonValue::str("migration")),
+                ("region", JsonValue::num(m.region as f64)),
+                ("from", placement_json(&m.from)),
+                ("to", JsonValue::num(m.to.0 as f64)),
+                ("bytes_moved", JsonValue::num(m.bytes_moved as f64)),
+                ("cost_ns", JsonValue::num(m.cost_ns)),
+            ],
+            Event::Free(f) => vec![
+                ("event", JsonValue::str("free")),
+                ("region", JsonValue::num(f.region as f64)),
+                ("placement", placement_json(&f.placement)),
+            ],
+            Event::PhaseSpan(p) => vec![
+                ("event", JsonValue::str("phase_span")),
+                ("name", JsonValue::str(&p.name)),
+                ("time_ns", JsonValue::num(p.time_ns)),
+                ("threads", JsonValue::num(p.threads as f64)),
+                (
+                    "per_node",
+                    JsonValue::Array(
+                        p.per_node
+                            .iter()
+                            .map(|t| {
+                                JsonValue::Object(vec![
+                                    ("node".into(), JsonValue::num(t.node.0 as f64)),
+                                    ("bytes_read".into(), JsonValue::num(t.bytes_read as f64)),
+                                    (
+                                        "bytes_written".into(),
+                                        JsonValue::num(t.bytes_written as f64),
+                                    ),
+                                    ("achieved_bw_mbps".into(), JsonValue::num(t.achieved_bw_mbps)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ],
+            Event::OccupancyGauge(g) => vec![
+                ("event", JsonValue::str("occupancy")),
+                ("node", JsonValue::num(g.node.0 as f64)),
+                ("used", JsonValue::num(g.used as f64)),
+                ("high_water", JsonValue::num(g.high_water as f64)),
+                ("total", JsonValue::num(g.total as f64)),
+            ],
+        };
+        JsonValue::Object(obj.into_iter().map(|(k, v)| (k.to_string(), v)).collect()).render()
+    }
+
+    /// Parses one JSON line produced by [`Event::to_json`].
+    pub fn from_json(line: &str) -> Result<Event, ParseError> {
+        let v = json::parse(line)?;
+        let kind = v.get("event")?.string()?;
+        match kind.as_str() {
+            "alloc_decision" => {
+                let region = match v.get("region")? {
+                    JsonValue::Null => None,
+                    other => Some(other.u64()?),
+                };
+                Ok(Event::AllocDecision(AllocDecision {
+                    region,
+                    size: v.get("size")?.u64()?,
+                    requested: attr_id(&v.get("requested")?.string()?)?,
+                    used: attr_id(&v.get("used")?.string()?)?,
+                    scope: match v.get("scope")?.string()?.as_str() {
+                        "local" => Scope::Local,
+                        "any" => Scope::Any,
+                        other => return Err(ParseError::new(format!("bad scope {other:?}"))),
+                    },
+                    fallback: match v.get("fallback")?.string()?.as_str() {
+                        "strict" => FallbackMode::Strict,
+                        "next_target" => FallbackMode::NextTarget,
+                        "partial_spill" => FallbackMode::PartialSpill,
+                        other => return Err(ParseError::new(format!("bad fallback {other:?}"))),
+                    },
+                    candidates: v
+                        .get("candidates")?
+                        .array()?
+                        .iter()
+                        .map(|c| {
+                            Ok(Candidate {
+                                node: NodeId(c.get("node")?.u64()? as u32),
+                                value: c.get("value")?.u64()?,
+                            })
+                        })
+                        .collect::<Result<_, ParseError>>()?,
+                    hops: v
+                        .get("hops")?
+                        .array()?
+                        .iter()
+                        .map(|h| {
+                            Ok(Hop {
+                                node: NodeId(h.get("node")?.u64()? as u32),
+                                reason: h.get("reason")?.string()?,
+                            })
+                        })
+                        .collect::<Result<_, ParseError>>()?,
+                    placement: placement_from_json(&v.get("placement")?)?,
+                    error: match v.get("error") {
+                        Ok(e) => Some(e.string()?),
+                        Err(_) => None,
+                    },
+                }))
+            }
+            "attr_fallback" => Ok(Event::AttrFallback(AttrFallback {
+                requested: attr_id(&v.get("requested")?.string()?)?,
+                used: attr_id(&v.get("used")?.string()?)?,
+            })),
+            "migration" => Ok(Event::Migration(Migration {
+                region: v.get("region")?.u64()?,
+                from: placement_from_json(&v.get("from")?)?,
+                to: NodeId(v.get("to")?.u64()? as u32),
+                bytes_moved: v.get("bytes_moved")?.u64()?,
+                cost_ns: v.get("cost_ns")?.f64()?,
+            })),
+            "free" => Ok(Event::Free(FreeEvent {
+                region: v.get("region")?.u64()?,
+                placement: placement_from_json(&v.get("placement")?)?,
+            })),
+            "phase_span" => Ok(Event::PhaseSpan(PhaseSpan {
+                name: v.get("name")?.string()?,
+                time_ns: v.get("time_ns")?.f64()?,
+                threads: v.get("threads")?.u64()?,
+                per_node: v
+                    .get("per_node")?
+                    .array()?
+                    .iter()
+                    .map(|t| {
+                        Ok(NodeTrafficSample {
+                            node: NodeId(t.get("node")?.u64()? as u32),
+                            bytes_read: t.get("bytes_read")?.u64()?,
+                            bytes_written: t.get("bytes_written")?.u64()?,
+                            achieved_bw_mbps: t.get("achieved_bw_mbps")?.f64()?,
+                        })
+                    })
+                    .collect::<Result<_, ParseError>>()?,
+            })),
+            "occupancy" => Ok(Event::OccupancyGauge(OccupancyGauge {
+                node: NodeId(v.get("node")?.u64()? as u32),
+                used: v.get("used")?.u64()?,
+                high_water: v.get("high_water")?.u64()?,
+                total: v.get("total")?.u64()?,
+            })),
+            other => Err(ParseError::new(format!("unknown event kind {other:?}"))),
+        }
+    }
+}
+
+fn attr_id(name: &str) -> Result<u32, ParseError> {
+    Ok(match name {
+        "Capacity" => 0,
+        "Locality" => 1,
+        "Bandwidth" => 2,
+        "Latency" => 3,
+        "ReadBandwidth" => 4,
+        "WriteBandwidth" => 5,
+        "ReadLatency" => 6,
+        "WriteLatency" => 7,
+        other => other
+            .strip_prefix("attr#")
+            .and_then(|n| n.parse().ok())
+            .ok_or_else(|| ParseError::new(format!("unknown attribute {other:?}")))?,
+    })
+}
+
+/// Sink for telemetry events. Implementations must be cheap when
+/// disabled and safe to share across threads.
+pub trait Recorder: Send + Sync {
+    /// Whether events are being kept. Hot paths skip building events
+    /// when this is `false`.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Records one event.
+    fn record(&self, event: Event);
+}
+
+/// Discards everything; `enabled()` is `false` so instrumented code
+/// pays only a virtual call per decision.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullRecorder;
+
+impl Recorder for NullRecorder {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn record(&self, _event: Event) {}
+}
+
+/// Keeps the most recent `capacity` events in memory.
+#[derive(Debug)]
+pub struct RingRecorder {
+    capacity: usize,
+    buf: Mutex<VecDeque<Event>>,
+}
+
+impl RingRecorder {
+    /// A ring holding up to `capacity` events; older events are
+    /// dropped.
+    pub fn new(capacity: usize) -> RingRecorder {
+        RingRecorder { capacity, buf: Mutex::new(VecDeque::new()) }
+    }
+
+    /// A snapshot of the retained events, oldest first.
+    pub fn events(&self) -> Vec<Event> {
+        self.buf.lock().expect("ring poisoned").iter().cloned().collect()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.buf.lock().expect("ring poisoned").len()
+    }
+
+    /// True when no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Folds the retained events into a [`Summary`].
+    pub fn summary(&self) -> Summary {
+        let mut s = Summary::default();
+        for e in self.buf.lock().expect("ring poisoned").iter() {
+            s.add(e);
+        }
+        s
+    }
+}
+
+impl Recorder for RingRecorder {
+    fn record(&self, event: Event) {
+        let mut buf = self.buf.lock().expect("ring poisoned");
+        if buf.len() == self.capacity {
+            buf.pop_front();
+        }
+        buf.push_back(event);
+    }
+}
+
+/// Streams events as JSON lines (the `--trace` file format).
+pub struct JsonlWriter {
+    out: Mutex<Box<dyn Write + Send>>,
+}
+
+impl JsonlWriter {
+    /// Wraps any writer.
+    pub fn new(out: impl Write + Send + 'static) -> JsonlWriter {
+        JsonlWriter { out: Mutex::new(Box::new(out)) }
+    }
+
+    /// Creates (truncating) a trace file at `path`.
+    pub fn create(path: impl AsRef<std::path::Path>) -> std::io::Result<JsonlWriter> {
+        Ok(JsonlWriter::new(std::io::BufWriter::new(std::fs::File::create(path)?)))
+    }
+
+    /// Flushes buffered output.
+    pub fn flush(&self) -> std::io::Result<()> {
+        self.out.lock().expect("writer poisoned").flush()
+    }
+}
+
+impl Drop for JsonlWriter {
+    fn drop(&mut self) {
+        let _ = self.flush();
+    }
+}
+
+impl Recorder for JsonlWriter {
+    fn record(&self, event: Event) {
+        let line = event.to_json();
+        let mut out = self.out.lock().expect("writer poisoned");
+        // A full disk mid-trace must not take the experiment down.
+        let _ = writeln!(out, "{line}");
+    }
+}
+
+/// Parses a JSONL trace back into events.
+pub fn read_jsonl(text: &str) -> Result<Vec<Event>, ParseError> {
+    text.lines().map(str::trim).filter(|l| !l.is_empty()).map(Event::from_json).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_decision() -> Event {
+        Event::AllocDecision(AllocDecision {
+            region: Some(7),
+            size: 3 << 30,
+            requested: 4,
+            used: 2,
+            scope: Scope::Local,
+            fallback: FallbackMode::PartialSpill,
+            candidates: vec![
+                Candidate { node: NodeId(4), value: 380_000 },
+                Candidate { node: NodeId(0), value: 90_000 },
+            ],
+            hops: vec![Hop { node: NodeId(4), reason: "insufficient capacity".into() }],
+            placement: vec![(NodeId(4), 1 << 30), (NodeId(0), 2 << 30)],
+            error: None,
+        })
+    }
+
+    #[test]
+    fn jsonl_roundtrip_every_variant() {
+        let events = vec![
+            sample_decision(),
+            Event::AllocDecision(AllocDecision {
+                region: None,
+                size: 1 << 40,
+                requested: 3,
+                used: 3,
+                scope: Scope::Any,
+                fallback: FallbackMode::Strict,
+                candidates: vec![Candidate { node: NodeId(0), value: 81 }],
+                hops: vec![],
+                placement: vec![],
+                error: Some("insufficient capacity on node 0".into()),
+            }),
+            Event::AttrFallback(AttrFallback { requested: 4, used: 2 }),
+            Event::Migration(Migration {
+                region: 7,
+                from: vec![(NodeId(0), 2 << 30)],
+                to: NodeId(4),
+                bytes_moved: 2 << 30,
+                cost_ns: 643_000_000.25,
+            }),
+            Event::Free(FreeEvent { region: 7, placement: vec![(NodeId(4), 3 << 30)] }),
+            Event::PhaseSpan(PhaseSpan {
+                name: "bfs \"root0\"\\n".into(),
+                time_ns: 1.25e9,
+                threads: 16,
+                per_node: vec![NodeTrafficSample {
+                    node: NodeId(0),
+                    bytes_read: 123,
+                    bytes_written: 456,
+                    achieved_bw_mbps: 8123.5,
+                }],
+            }),
+            Event::OccupancyGauge(OccupancyGauge {
+                node: NodeId(2),
+                used: 5 << 30,
+                high_water: 9 << 30,
+                total: 768 << 30,
+            }),
+        ];
+        let text: String = events.iter().map(|e| e.to_json() + "\n").collect();
+        let back = read_jsonl(&text).expect("roundtrip");
+        assert_eq!(back, events);
+    }
+
+    #[test]
+    fn json_lines_are_single_lines() {
+        let line = sample_decision().to_json();
+        assert!(!line.contains('\n'));
+        assert!(line.starts_with('{') && line.ends_with('}'));
+    }
+
+    #[test]
+    fn ring_recorder_caps_and_orders() {
+        let ring = RingRecorder::new(2);
+        assert!(ring.is_empty());
+        for n in 0..4u32 {
+            ring.record(Event::OccupancyGauge(OccupancyGauge {
+                node: NodeId(n),
+                used: 0,
+                high_water: 0,
+                total: 1,
+            }));
+        }
+        let kept = ring.events();
+        assert_eq!(kept.len(), 2);
+        let nodes: Vec<u32> = kept
+            .iter()
+            .map(|e| match e {
+                Event::OccupancyGauge(g) => g.node.0,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(nodes, vec![2, 3]);
+    }
+
+    #[test]
+    fn null_recorder_is_disabled() {
+        assert!(!NullRecorder.enabled());
+    }
+
+    #[test]
+    fn jsonl_writer_streams_lines() {
+        let buf = std::sync::Arc::new(Mutex::new(Vec::<u8>::new()));
+        struct Shared(std::sync::Arc<Mutex<Vec<u8>>>);
+        impl Write for Shared {
+            fn write(&mut self, b: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().expect("buf").extend_from_slice(b);
+                Ok(b.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let w = JsonlWriter::new(Shared(buf.clone()));
+        w.record(sample_decision());
+        w.record(Event::AttrFallback(AttrFallback { requested: 6, used: 3 }));
+        w.flush().expect("flush");
+        let text = String::from_utf8(buf.lock().expect("buf").clone()).expect("utf8");
+        let back = read_jsonl(&text).expect("parse");
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[0], sample_decision());
+    }
+
+    #[test]
+    fn attr_names_roundtrip() {
+        for id in 0..12u32 {
+            assert_eq!(attr_id(&attr_name(id)).expect("roundtrip"), id);
+        }
+    }
+}

@@ -1,0 +1,326 @@
+//! Folds an event stream into a per-run placement report.
+
+use crate::{attr_name, Event};
+use hetmem_topology::NodeId;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Occupancy statistics for one node.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OccupancyStats {
+    /// Bytes allocated at the end of the run.
+    pub used: u64,
+    /// Highest used-bytes sample seen.
+    pub high_water: u64,
+    /// Usable capacity.
+    pub total: u64,
+}
+
+/// One phase as aggregated from [`crate::PhaseSpan`] events.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseSample {
+    /// Phase name.
+    pub name: String,
+    /// Modelled wall time, ns.
+    pub time_ns: f64,
+    /// Bytes touched per node (read + written).
+    pub bytes_per_node: BTreeMap<NodeId, u64>,
+}
+
+/// Aggregated view of one run's telemetry.
+///
+/// Feed events in order via [`Summary::add`] (or build from a ring or
+/// a parsed JSONL trace); the summary tracks allocation counts and
+/// bytes per target, fallback activity, migrations, per-node occupancy
+/// high-water marks, phases, and the *live placement map* — region →
+/// per-node byte split — maintained through allocs, migrations and
+/// frees. The live map is what integration tests diff against the
+/// `MemoryManager`'s ground truth.
+#[derive(Debug, Clone, Default)]
+pub struct Summary {
+    /// Successful allocations.
+    pub allocs: u64,
+    /// Failed allocations.
+    pub alloc_failures: u64,
+    /// Bytes placed per node, cumulative over all allocations.
+    pub bytes_per_node: BTreeMap<NodeId, u64>,
+    /// Allocations that spilled across more than one node.
+    pub spills: u64,
+    /// Total capacity-fallback hops (targets tried and rejected).
+    pub fallback_hops: u64,
+    /// Attribute substitutions, `(requested, used)` → count.
+    pub attr_fallbacks: BTreeMap<(u32, u32), u64>,
+    /// Migrations seen.
+    pub migrations: u64,
+    /// Bytes moved by migrations.
+    pub migrated_bytes: u64,
+    /// Frees seen.
+    pub frees: u64,
+    /// Per-node occupancy, latest and high-water.
+    pub occupancy: BTreeMap<NodeId, OccupancyStats>,
+    /// Phases in arrival order.
+    pub phases: Vec<PhaseSample>,
+    /// Live region placement: region id → `(node, bytes)` split.
+    pub live: BTreeMap<u64, Vec<(NodeId, u64)>>,
+}
+
+impl Summary {
+    /// Folds one event into the aggregate.
+    pub fn add(&mut self, event: &Event) {
+        match event {
+            Event::AllocDecision(d) => {
+                self.fallback_hops += d.hops.len() as u64;
+                if d.error.is_some() || d.region.is_none() {
+                    self.alloc_failures += 1;
+                } else {
+                    self.allocs += 1;
+                    if d.placement.len() > 1 {
+                        self.spills += 1;
+                    }
+                    for &(node, bytes) in &d.placement {
+                        *self.bytes_per_node.entry(node).or_default() += bytes;
+                    }
+                    if let Some(region) = d.region {
+                        self.live.insert(region, d.placement.clone());
+                    }
+                }
+                if d.used != d.requested {
+                    *self.attr_fallbacks.entry((d.requested, d.used)).or_default() += 1;
+                }
+            }
+            Event::AttrFallback(a) => {
+                // Counted via AllocDecision when one follows; a bare
+                // AttrFallback (e.g. from candidates()) counts here.
+                *self.attr_fallbacks.entry((a.requested, a.used)).or_default() += 1;
+            }
+            Event::Migration(m) => {
+                self.migrations += 1;
+                self.migrated_bytes += m.bytes_moved;
+                let total: u64 = m.from.iter().map(|&(_, b)| b).sum();
+                self.live.insert(m.region, vec![(m.to, total)]);
+            }
+            Event::Free(f) => {
+                self.frees += 1;
+                self.live.remove(&f.region);
+            }
+            Event::PhaseSpan(p) => {
+                let mut bytes = BTreeMap::new();
+                for t in &p.per_node {
+                    *bytes.entry(t.node).or_default() += t.bytes_read + t.bytes_written;
+                }
+                self.phases.push(PhaseSample {
+                    name: p.name.clone(),
+                    time_ns: p.time_ns,
+                    bytes_per_node: bytes,
+                });
+            }
+            Event::OccupancyGauge(g) => {
+                let s = self.occupancy.entry(g.node).or_default();
+                s.used = g.used;
+                s.high_water = s.high_water.max(g.high_water);
+                s.total = g.total;
+            }
+            // Event is non_exhaustive for forward compatibility;
+            // unknown variants simply don't aggregate.
+            #[allow(unreachable_patterns)]
+            _ => {}
+        }
+    }
+
+    /// Builds a summary from a slice of events.
+    pub fn from_events(events: &[Event]) -> Summary {
+        let mut s = Summary::default();
+        for e in events {
+            s.add(e);
+        }
+        s
+    }
+
+    /// Live bytes currently placed on `node` according to the trace.
+    pub fn live_bytes_on(&self, node: NodeId) -> u64 {
+        self.live
+            .values()
+            .flat_map(|split| split.iter())
+            .filter(|&&(n, _)| n == node)
+            .map(|&(_, b)| b)
+            .sum()
+    }
+
+    /// Renders the human-readable placement report printed by the
+    /// repro binaries alongside a `--trace` file.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "placement report");
+        let _ = writeln!(
+            out,
+            "  allocations: {} ok, {} failed, {} spilled, {} fallback hops",
+            self.allocs, self.alloc_failures, self.spills, self.fallback_hops
+        );
+        for (node, bytes) in &self.bytes_per_node {
+            let _ = writeln!(out, "    node {}: {} allocated", node.0, fmt_bytes(*bytes));
+        }
+        if !self.attr_fallbacks.is_empty() {
+            let _ = writeln!(out, "  attribute fallbacks:");
+            for (&(req, used), count) in &self.attr_fallbacks {
+                let _ = writeln!(out, "    {} -> {}: {count}x", attr_name(req), attr_name(used));
+            }
+        }
+        if self.migrations > 0 {
+            let _ = writeln!(
+                out,
+                "  migrations: {} moving {}",
+                self.migrations,
+                fmt_bytes(self.migrated_bytes)
+            );
+        }
+        if !self.occupancy.is_empty() {
+            let _ = writeln!(out, "  occupancy (high water / total):");
+            for (node, s) in &self.occupancy {
+                let pct =
+                    if s.total > 0 { 100.0 * s.high_water as f64 / s.total as f64 } else { 0.0 };
+                let _ = writeln!(
+                    out,
+                    "    node {}: {} / {} ({pct:.1}%)",
+                    node.0,
+                    fmt_bytes(s.high_water),
+                    fmt_bytes(s.total)
+                );
+            }
+        }
+        if !self.phases.is_empty() {
+            let _ = writeln!(out, "  phases:");
+            for p in &self.phases {
+                let touched: u64 = p.bytes_per_node.values().sum();
+                let _ = writeln!(
+                    out,
+                    "    {}: {:.3} ms, {} touched across {} node(s)",
+                    p.name,
+                    p.time_ns / 1e6,
+                    fmt_bytes(touched),
+                    p.bytes_per_node.len()
+                );
+            }
+        }
+        out
+    }
+}
+
+fn fmt_bytes(b: u64) -> String {
+    const GIB: u64 = 1 << 30;
+    const MIB: u64 = 1 << 20;
+    const KIB: u64 = 1 << 10;
+    if b >= GIB {
+        format!("{:.2} GiB", b as f64 / GIB as f64)
+    } else if b >= MIB {
+        format!("{:.2} MiB", b as f64 / MIB as f64)
+    } else if b >= KIB {
+        format!("{:.2} KiB", b as f64 / KIB as f64)
+    } else {
+        format!("{b} B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{
+        AllocDecision, AttrFallback, Candidate, FallbackMode, FreeEvent, Hop, Migration,
+        OccupancyGauge, Scope,
+    };
+
+    fn decision(region: u64, placement: Vec<(NodeId, u64)>, hops: usize) -> Event {
+        Event::AllocDecision(AllocDecision {
+            region: Some(region),
+            size: placement.iter().map(|&(_, b)| b).sum(),
+            requested: 2,
+            used: 2,
+            scope: Scope::Local,
+            fallback: FallbackMode::PartialSpill,
+            candidates: vec![Candidate { node: NodeId(4), value: 380_000 }],
+            hops: (0..hops)
+                .map(|i| Hop { node: NodeId(i as u32), reason: "full".into() })
+                .collect(),
+            placement,
+            error: None,
+        })
+    }
+
+    #[test]
+    fn live_placement_tracks_alloc_migrate_free() {
+        let mut s = Summary::default();
+        s.add(&decision(1, vec![(NodeId(4), 100), (NodeId(0), 50)], 1));
+        s.add(&decision(2, vec![(NodeId(0), 30)], 0));
+        assert_eq!(s.live_bytes_on(NodeId(4)), 100);
+        assert_eq!(s.live_bytes_on(NodeId(0)), 80);
+        assert_eq!(s.spills, 1);
+        assert_eq!(s.fallback_hops, 1);
+
+        s.add(&Event::Migration(Migration {
+            region: 1,
+            from: vec![(NodeId(4), 100), (NodeId(0), 50)],
+            to: NodeId(4),
+            bytes_moved: 50,
+            cost_ns: 10.0,
+        }));
+        assert_eq!(s.live_bytes_on(NodeId(4)), 150);
+        assert_eq!(s.live_bytes_on(NodeId(0)), 30);
+
+        s.add(&Event::Free(FreeEvent { region: 1, placement: vec![(NodeId(4), 150)] }));
+        assert_eq!(s.live_bytes_on(NodeId(4)), 0);
+        assert_eq!(s.live_bytes_on(NodeId(0)), 30);
+        assert_eq!(s.frees, 1);
+        assert_eq!(s.migrations, 1);
+        assert_eq!(s.migrated_bytes, 50);
+    }
+
+    #[test]
+    fn failures_and_attr_fallbacks_counted() {
+        let mut s = Summary::default();
+        s.add(&Event::AllocDecision(AllocDecision {
+            region: None,
+            size: 10,
+            requested: 4,
+            used: 2,
+            scope: Scope::Local,
+            fallback: FallbackMode::Strict,
+            candidates: vec![],
+            hops: vec![],
+            placement: vec![],
+            error: Some("no candidates".into()),
+        }));
+        s.add(&Event::AttrFallback(AttrFallback { requested: 6, used: 3 }));
+        assert_eq!(s.alloc_failures, 1);
+        assert_eq!(s.allocs, 0);
+        assert_eq!(s.attr_fallbacks.get(&(4, 2)), Some(&1));
+        assert_eq!(s.attr_fallbacks.get(&(6, 3)), Some(&1));
+    }
+
+    #[test]
+    fn occupancy_keeps_high_water_across_samples() {
+        let mut s = Summary::default();
+        for (used, hw) in [(10u64, 10u64), (50, 50), (20, 50)] {
+            s.add(&Event::OccupancyGauge(OccupancyGauge {
+                node: NodeId(1),
+                used,
+                high_water: hw,
+                total: 100,
+            }));
+        }
+        let o = s.occupancy[&NodeId(1)];
+        assert_eq!(o.used, 20);
+        assert_eq!(o.high_water, 50);
+        assert_eq!(o.total, 100);
+    }
+
+    #[test]
+    fn render_mentions_key_facts() {
+        let mut s = Summary::default();
+        s.add(&decision(1, vec![(NodeId(4), 1 << 30), (NodeId(0), 2 << 30)], 2));
+        let text = s.render();
+        assert!(text.contains("1 ok"));
+        assert!(text.contains("1 spilled"));
+        assert!(text.contains("2 fallback hops"));
+        assert!(text.contains("node 4: 1.00 GiB"));
+        assert!(text.contains("node 0: 2.00 GiB"));
+    }
+}

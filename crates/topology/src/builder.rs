@@ -77,7 +77,13 @@ impl TopologyBuilder {
         self.root
     }
 
-    fn push(&mut self, parent: ObjId, obj_type: ObjectType, attrs: ObjectAttrs, os_index: u32) -> ObjId {
+    fn push(
+        &mut self,
+        parent: ObjId,
+        obj_type: ObjectType,
+        attrs: ObjectAttrs,
+        os_index: u32,
+    ) -> ObjId {
         let id = ObjId(self.objects.len() as u32);
         self.objects.push(Object {
             id,
@@ -278,7 +284,8 @@ impl TopologyBuilder {
             *c += 1;
             let obj = &self.objects[id.index()];
             // Push in reverse so iteration order matches creation order.
-            let mut next: Vec<ObjId> = Vec::with_capacity(obj.children.len() + obj.memory_children.len());
+            let mut next: Vec<ObjId> =
+                Vec::with_capacity(obj.children.len() + obj.memory_children.len());
             next.extend(obj.children.iter().copied());
             next.extend(obj.memory_children.iter().copied());
             for &n in next.iter().rev() {
@@ -292,18 +299,15 @@ impl TopologyBuilder {
         let mut numa_seen = std::collections::HashSet::new();
         for obj in &self.objects {
             match obj.obj_type {
-                ObjectType::Pu
-                    if !pu_seen.insert(obj.os_index) => {
-                        return Err(BuildError::DuplicatePuIndex(obj.os_index));
-                    }
-                ObjectType::NumaNode
-                    if !numa_seen.insert(obj.os_index) => {
-                        return Err(BuildError::DuplicateNumaIndex(obj.os_index));
-                    }
-                t if !t.is_memory() && t != ObjectType::Machine
-                    && obj.cpuset.is_zero() => {
-                        return Err(BuildError::EmptyInternalObject(t));
-                    }
+                ObjectType::Pu if !pu_seen.insert(obj.os_index) => {
+                    return Err(BuildError::DuplicatePuIndex(obj.os_index));
+                }
+                ObjectType::NumaNode if !numa_seen.insert(obj.os_index) => {
+                    return Err(BuildError::DuplicateNumaIndex(obj.os_index));
+                }
+                t if !t.is_memory() && t != ObjectType::Machine && obj.cpuset.is_zero() => {
+                    return Err(BuildError::EmptyInternalObject(t));
+                }
                 _ => {}
             }
             // Memory objects must be reachable via memory-children only.

@@ -33,7 +33,6 @@
 //! assert_eq!(local.len(), 2);
 //! ```
 
-
 #![warn(missing_docs)]
 mod builder;
 mod distances;

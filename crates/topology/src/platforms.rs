@@ -352,7 +352,8 @@ mod tests {
         let t = xeon_4s_snc();
         assert_eq!(t.count(ObjectType::NumaNode), 12);
         assert_eq!(t.count(ObjectType::Pu), 80);
-        let drams = t.node_ids().iter().filter(|&&n| t.node_kind(n) == Some(MemoryKind::Dram)).count();
+        let drams =
+            t.node_ids().iter().filter(|&&n| t.node_kind(n) == Some(MemoryKind::Dram)).count();
         assert_eq!(drams, 8);
     }
 

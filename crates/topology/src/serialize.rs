@@ -136,10 +136,8 @@ impl Topology {
             let keyword = fields.next().ok_or_else(|| err(line_no, "empty line"))?;
 
             // Attribute parsing helper.
-            let attrs: std::collections::HashMap<&str, &str> = fields
-                .clone()
-                .filter_map(|f| f.split_once('='))
-                .collect();
+            let attrs: std::collections::HashMap<&str, &str> =
+                fields.clone().filter_map(|f| f.split_once('=')).collect();
             let get_u64 = |key: &str| -> Result<u64, ImportError> {
                 attrs
                     .get(key)

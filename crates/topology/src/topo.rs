@@ -64,17 +64,12 @@ impl Topology {
 
     /// Finds the PU with a given OS index.
     pub fn pu_by_os_index(&self, os: u32) -> Option<ObjId> {
-        self.objects
-            .iter()
-            .find(|o| o.obj_type == ObjectType::Pu && o.os_index == os)
-            .map(|o| o.id)
+        self.objects.iter().find(|o| o.obj_type == ObjectType::Pu && o.os_index == os).map(|o| o.id)
     }
 
     /// Finds the NUMA node object with a given OS index.
     pub fn numa_by_os_index(&self, node: NodeId) -> Option<&Object> {
-        self.objects
-            .iter()
-            .find(|o| o.obj_type == ObjectType::NumaNode && o.os_index == node.0)
+        self.objects.iter().find(|o| o.obj_type == ObjectType::NumaNode && o.os_index == node.0)
     }
 
     /// All NUMA node ids in OS-index order.
@@ -182,7 +177,8 @@ impl Topology {
         while let Some(id) = stack.pop() {
             out.push(id);
             let obj = &self.objects[id.index()];
-            let mut next: Vec<ObjId> = Vec::with_capacity(obj.children.len() + obj.memory_children.len());
+            let mut next: Vec<ObjId> =
+                Vec::with_capacity(obj.children.len() + obj.memory_children.len());
             next.extend(obj.memory_children.iter().copied());
             next.extend(obj.children.iter().copied());
             for &n in next.iter().rev() {

@@ -45,8 +45,18 @@ fn main() {
     // Two bandwidth-hungry buffers compete for one small MCDRAM; the
     // important one is allocated *last* in program order.
     let reqs = vec![
-        PlannedAlloc { name: "scratch (cold)".into(), size: 3 * GIB, criterion: attr::BANDWIDTH, priority: 1 },
-        PlannedAlloc { name: "frontier (hot)".into(), size: 3 * GIB, criterion: attr::BANDWIDTH, priority: 10 },
+        PlannedAlloc {
+            name: "scratch (cold)".into(),
+            size: 3 * GIB,
+            criterion: attr::BANDWIDTH,
+            priority: 1,
+        },
+        PlannedAlloc {
+            name: "frontier (hot)".into(),
+            size: 3 * GIB,
+            criterion: attr::BANDWIDTH,
+            priority: 10,
+        },
     ];
 
     println!("-- First Come First Served (what naive runtimes do) --");

@@ -63,5 +63,7 @@ fn main() {
             .collect();
         assert_eq!(f, m, "rankings must agree");
     }
-    println!("\nrankings agree between firmware and benchmarks — either source drives the allocator");
+    println!(
+        "\nrankings agree between firmware and benchmarks — either source drives the allocator"
+    );
 }

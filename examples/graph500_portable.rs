@@ -29,16 +29,17 @@ fn run_on(machine: Machine, cfg: Graph500Config, manual_best: NodeId) {
     };
 
     let manual = run_with(&Placement::BindAll(manual_best)).expect("manual fits");
-    let portable = run_with(&Placement::Criterion {
-        attr: attr::LATENCY,
-        fallback: Fallback::NextTarget,
-    })
-    .expect("criterion fits");
+    let portable =
+        run_with(&Placement::Criterion { attr: attr::LATENCY, fallback: Fallback::NextTarget })
+            .expect("criterion fits");
     let hardwired = run_with(&Placement::HardwiredKind(Kind::HighBandwidth));
 
     println!("machine: {name}");
     println!("  manual best node     : {:.3} TEPSe+8", manual.teps_harmonic / 1e8);
-    println!("  attr(Latency)        : {:.3} TEPSe+8  <- same code on every machine", portable.teps_harmonic / 1e8);
+    println!(
+        "  attr(Latency)        : {:.3} TEPSe+8  <- same code on every machine",
+        portable.teps_harmonic / 1e8
+    );
     match hardwired {
         Ok(r) => println!("  memkind hbw_malloc   : {:.3} TEPSe+8", r.teps_harmonic / 1e8),
         Err(e) => println!("  memkind hbw_malloc   : FAILS ({e})"),

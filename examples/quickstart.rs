@@ -5,9 +5,10 @@
 //! cargo run --example quickstart
 //! ```
 
-use hetmem::alloc::{Fallback, HetAllocator};
+use hetmem::alloc::{AllocRequest, Fallback, HetAllocator};
 use hetmem::core::{attr, discovery};
 use hetmem::memsim::{Machine, MemoryManager};
+use hetmem::telemetry::RingRecorder;
 use hetmem::Bitmap;
 use std::sync::Arc;
 
@@ -31,14 +32,29 @@ fn main() {
     println!("best latency target:   {lat_node} ({lat} ns)");
     println!("best capacity target:  {cap_node} ({} GiB)", cap >> 30);
 
-    // 4. Allocate through the heterogeneous allocator: one call, one
-    //    criterion, ranked fallback when the best target is full.
+    // 4. Allocate through the heterogeneous allocator: one request
+    //    builder, one criterion, ranked fallback when the best target
+    //    is full — with every decision recorded.
     let mut allocator = HetAllocator::new(attrs, MemoryManager::new(machine.clone()));
+    let recorder = Arc::new(RingRecorder::new(64));
+    allocator.set_recorder(recorder.clone());
     let hot = allocator
-        .mem_alloc(1 << 30, attr::BANDWIDTH, &cluster0, Fallback::NextTarget)
+        .alloc(
+            &AllocRequest::new(1 << 30)
+                .criterion(attr::BANDWIDTH)
+                .initiator(&cluster0)
+                .fallback(Fallback::NextTarget)
+                .label("hot"),
+        )
         .expect("1 GiB fits MCDRAM");
     let big = allocator
-        .mem_alloc(10 << 30, attr::CAPACITY, &cluster0, Fallback::NextTarget)
+        .alloc(
+            &AllocRequest::new(10 << 30)
+                .criterion(attr::CAPACITY)
+                .initiator(&cluster0)
+                .fallback(Fallback::NextTarget)
+                .label("big"),
+        )
         .expect("10 GiB fits DRAM");
     for (label, id) in [("hot (bandwidth)", hot), ("big (capacity)", big)] {
         let region = allocator.memory().region(id).expect("live");
@@ -48,4 +64,8 @@ fn main() {
             machine.topology().node_kind(node).expect("known").subtype()
         );
     }
+
+    // 5. The telemetry subsystem saw every decision.
+    println!();
+    print!("{}", recorder.summary().render());
 }

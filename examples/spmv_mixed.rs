@@ -59,7 +59,11 @@ fn main() {
                             )
                         })
                         .collect();
-                    println!("    {:<20} -> {}", name.split(' ').next().unwrap_or(name), spots.join(" + "));
+                    println!(
+                        "    {:<20} -> {}",
+                        name.split(' ').next().unwrap_or(name),
+                        spots.join(" + ")
+                    );
                 }
             }
             Err(e) => println!("{label:<30} failed: {e}"),

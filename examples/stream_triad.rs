@@ -24,10 +24,8 @@ fn main() {
     for total in [1.1, 3.4, 8.0, 17.9] {
         let mut alloc = HetAllocator::new(attrs.clone(), MemoryManager::new(machine.clone()));
         let cfg = StreamConfig::knl_paper((total * GIB) as u64);
-        let placement = Placement::Criterion {
-            attr: attr::BANDWIDTH,
-            fallback: Fallback::PartialSpill,
-        };
+        let placement =
+            Placement::Criterion { attr: attr::BANDWIDTH, fallback: Fallback::PartialSpill };
         match run(&mut alloc, &engine, &cfg, &placement, None) {
             Ok(res) => {
                 let mut spots: Vec<String> = Vec::new();
@@ -42,9 +40,18 @@ fn main() {
                             )
                         })
                         .collect();
-                    spots.push(format!("{}={}", name.split(' ').next().unwrap_or(name), desc.join("+")));
+                    spots.push(format!(
+                        "{}={}",
+                        name.split(' ').next().unwrap_or(name),
+                        desc.join("+")
+                    ));
                 }
-                println!("{:<12} {:>12.2}   {}", format!("{total} GiB"), res.triad_gibps, spots.join("  "));
+                println!(
+                    "{:<12} {:>12.2}   {}",
+                    format!("{total} GiB"),
+                    res.triad_gibps,
+                    spots.join("  ")
+                );
             }
             Err(e) => println!("{:<12} {:>12}   {e}", format!("{total} GiB"), "-"),
         }

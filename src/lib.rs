@@ -19,8 +19,9 @@
 //! * [`apps`] — Graph500 BFS, STREAM, SpMV and a two-phase migration
 //!   workload;
 //! * [`scenario`] — a text DSL to drive custom workloads through the
-//!   whole stack without recompiling (`hetmem-run`).
-
+//!   whole stack without recompiling (`hetmem-run`);
+//! * [`telemetry`] — allocation-decision events, recorders (ring
+//!   buffer, JSONL) and the per-run placement report behind `--trace`.
 
 #![warn(missing_docs)]
 pub use hetmem_alloc as alloc;
@@ -32,6 +33,7 @@ pub use hetmem_membench as membench;
 pub use hetmem_memsim as memsim;
 pub use hetmem_profile as profile;
 pub use hetmem_scenario as scenario;
+pub use hetmem_telemetry as telemetry;
 pub use hetmem_topology as topology;
 
 pub use hetmem_bitmap::Bitmap;

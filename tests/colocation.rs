@@ -5,7 +5,7 @@
 //! Two applications share one memory manager; the second one's
 //! attribute-driven decisions adapt to what the first left available.
 
-use hetmem::alloc::{Fallback, HetAllocator};
+use hetmem::alloc::{AllocRequest, Fallback, HetAllocator};
 use hetmem::core::{attr, discovery};
 use hetmem::memsim::{Machine, MemoryManager};
 use hetmem::topology::MemoryKind;
@@ -19,6 +19,10 @@ fn shared_allocator(machine: &Arc<Machine>) -> HetAllocator {
     HetAllocator::new(attrs, MemoryManager::new(machine.clone()))
 }
 
+fn req(size: u64, criterion: hetmem::core::AttrId, who: &Bitmap, fb: Fallback) -> AllocRequest {
+    AllocRequest::new(size).criterion(criterion).initiator(who).fallback(fb)
+}
+
 /// App A fills the MCDRAM; app B's bandwidth request degrades
 /// gracefully to DRAM instead of failing — and recovers once A exits.
 #[test]
@@ -29,18 +33,18 @@ fn second_app_adapts_to_remaining_capacity() {
 
     // App A: grabs nearly all fast memory.
     let avail = alloc.memory().available(NodeId(4));
-    let app_a = alloc
-        .mem_alloc(avail - GIB / 2, attr::BANDWIDTH, &c0, Fallback::Strict)
-        .expect("fits");
+    let app_a =
+        alloc.alloc(&req(avail - GIB / 2, attr::BANDWIDTH, &c0, Fallback::Strict)).expect("fits");
 
     // App B: wants 2 GiB of bandwidth; only DRAM can take it now.
-    let app_b = alloc.mem_alloc(2 * GIB, attr::BANDWIDTH, &c0, Fallback::NextTarget).expect("adapts");
+    let app_b =
+        alloc.alloc(&req(2 * GIB, attr::BANDWIDTH, &c0, Fallback::NextTarget)).expect("adapts");
     let node_b = alloc.memory().region(app_b).expect("live").single_node().expect("one");
     assert_eq!(machine.topology().node_kind(node_b), Some(MemoryKind::Dram));
 
     // App A exits; B's next buffer gets the fast memory again.
     alloc.free(app_a);
-    let app_b2 = alloc.mem_alloc(GIB, attr::BANDWIDTH, &c0, Fallback::NextTarget).expect("fits");
+    let app_b2 = alloc.alloc(&req(GIB, attr::BANDWIDTH, &c0, Fallback::NextTarget)).expect("fits");
     let node_b2 = alloc.memory().region(app_b2).expect("live").single_node().expect("one");
     assert_eq!(machine.topology().node_kind(node_b2), Some(MemoryKind::Hbm));
 }
@@ -64,12 +68,13 @@ fn capacity_criterion_vs_available_capacity() {
 
     // A 100 GiB capacity request cannot fit the "best" target anymore;
     // NextTarget places it on the DRAM node instead.
-    let big = alloc.mem_alloc(100 * GIB, attr::CAPACITY, &pkg0, Fallback::NextTarget).expect("adapts");
+    let big =
+        alloc.alloc(&req(100 * GIB, attr::CAPACITY, &pkg0, Fallback::NextTarget)).expect("adapts");
     let node = alloc.memory().region(big).expect("live").single_node().expect("one");
     assert_eq!(machine.topology().node_kind(node), Some(MemoryKind::Dram));
 
     // Strict would have failed — the distinction §VII draws.
-    let err = alloc.mem_alloc(100 * GIB, attr::CAPACITY, &pkg0, Fallback::Strict).unwrap_err();
+    let err = alloc.alloc(&req(100 * GIB, attr::CAPACITY, &pkg0, Fallback::Strict)).unwrap_err();
     assert!(matches!(err, hetmem::alloc::HetAllocError::Os(_)));
     alloc.free(hog);
 }
@@ -85,9 +90,9 @@ fn cluster_isolation_under_colocation() {
 
     // App on cluster 0 fills its MCDRAM completely.
     let avail0 = alloc.memory().available(NodeId(4));
-    alloc.mem_alloc(avail0, attr::BANDWIDTH, &c0, Fallback::Strict).expect("fits");
+    alloc.alloc(&req(avail0, attr::BANDWIDTH, &c0, Fallback::Strict)).expect("fits");
 
     // App on cluster 1 still gets *its* MCDRAM.
-    let b = alloc.mem_alloc(GIB, attr::BANDWIDTH, &c1, Fallback::Strict).expect("unaffected");
+    let b = alloc.alloc(&req(GIB, attr::BANDWIDTH, &c1, Fallback::Strict)).expect("unaffected");
     assert_eq!(alloc.memory().region(b).expect("live").single_node(), Some(NodeId(5)));
 }

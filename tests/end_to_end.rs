@@ -1,7 +1,7 @@
 //! End-to-end integration: firmware → discovery → attributes →
 //! allocator → applications → profiler, across machines.
 
-use hetmem::alloc::{Fallback, HetAllocator};
+use hetmem::alloc::{AllocRequest, Fallback, HetAllocator};
 use hetmem::apps::graph500::{self, Graph500Config};
 use hetmem::apps::stream::{self, StreamConfig};
 use hetmem::apps::Placement;
@@ -33,8 +33,9 @@ fn profile_then_fix_allocation_on_xeon() {
     let mut sensitivities = Vec::new();
     for node in [NodeId(0), NodeId(2)] {
         let mut prof = Profiler::new(machine.clone());
-        let res = graph500::run(&mut alloc, &engine, &cfg, &Placement::BindAll(node), Some(&mut prof))
-            .expect("fits");
+        let res =
+            graph500::run(&mut alloc, &engine, &cfg, &Placement::BindAll(node), Some(&mut prof))
+                .expect("fits");
         teps.push(res.teps_harmonic);
         sensitivities.push(prof.summary().sensitivity);
         // The hottest object is the paper's pred buffer at bfs.c:31.
@@ -109,8 +110,12 @@ fn attribute_flow_works_on_all_platforms() {
             ini = machine.topology().machine_cpuset().clone();
         }
         for criterion in [attr::BANDWIDTH, attr::LATENCY, attr::CAPACITY] {
+            let req = AllocRequest::new(1 << 20)
+                .criterion(criterion)
+                .initiator(&ini)
+                .fallback(Fallback::NextTarget);
             let id = alloc
-                .mem_alloc(1 << 20, criterion, &ini, Fallback::NextTarget)
+                .alloc(&req)
                 .unwrap_or_else(|e| panic!("{name}: criterion {criterion:?} failed: {e}"));
             assert!(alloc.free(id));
         }
@@ -125,7 +130,12 @@ fn two_level_memory_mode() {
     let (machine, mut alloc, engine) = pipeline(Machine::xeon_2lm());
     let ini: Bitmap = "0-19".parse().expect("cpuset");
     let id = alloc
-        .mem_alloc(8 << 30, attr::BANDWIDTH, &ini, Fallback::NextTarget)
+        .alloc(
+            &AllocRequest::new(8 << 30)
+                .criterion(attr::BANDWIDTH)
+                .initiator(&ini)
+                .fallback(Fallback::NextTarget),
+        )
         .expect("single target");
     assert_eq!(machine.topology().node_kind(NodeId(0)), Some(MemoryKind::Nvdimm));
 
@@ -165,8 +175,12 @@ fn benchmark_and_firmware_attrs_agree_for_allocation() {
     for criterion in [attr::BANDWIDTH, attr::LATENCY, attr::CAPACITY] {
         let mut a1 = HetAllocator::new(firmware.clone(), MemoryManager::new(machine.clone()));
         let mut a2 = HetAllocator::new(measured.clone(), MemoryManager::new(machine.clone()));
-        let r1 = a1.mem_alloc(1 << 30, criterion, &ini, Fallback::NextTarget).expect("fw alloc");
-        let r2 = a2.mem_alloc(1 << 30, criterion, &ini, Fallback::NextTarget).expect("bench alloc");
+        let req = AllocRequest::new(1 << 30)
+            .criterion(criterion)
+            .initiator(&ini)
+            .fallback(Fallback::NextTarget);
+        let r1 = a1.alloc(&req).expect("fw alloc");
+        let r2 = a2.alloc(&req).expect("bench alloc");
         assert_eq!(
             a1.memory().region(r1).expect("live").single_node(),
             a2.memory().region(r2).expect("live").single_node(),

@@ -38,14 +38,9 @@ fn figure6_loop_on_graph500() {
     // NVDIMM — as a capacity-first runtime would do), profiled.
     let mut alloc = HetAllocator::new(attrs.clone(), MemoryManager::new(machine.clone()));
     let mut prof = Profiler::new(machine.clone());
-    let naive = graph500::run(
-        &mut alloc,
-        &engine,
-        &cfg,
-        &Placement::BindAll(NodeId(2)),
-        Some(&mut prof),
-    )
-    .expect("fits");
+    let naive =
+        graph500::run(&mut alloc, &engine, &cfg, &Placement::BindAll(NodeId(2)), Some(&mut prof))
+            .expect("fits");
 
     // Step 2: the profiler's advice, hottest buffer first.
     let advice = prof.advise();
@@ -61,11 +56,8 @@ fn figure6_loop_on_graph500() {
         .expect("fits");
 
     // The latency-sensitive buffers moved to DRAM...
-    let pred = advised
-        .placements
-        .iter()
-        .find(|(l, _)| l.contains("bfs.c:31"))
-        .expect("pred placement");
+    let pred =
+        advised.placements.iter().find(|(l, _)| l.contains("bfs.c:31")).expect("pred placement");
     assert_eq!(machine.topology().node_kind(pred.1[0].0), Some(MemoryKind::Dram));
     // ...and the run got faster than the naive placement.
     assert!(
@@ -84,14 +76,9 @@ fn figure6_loop_on_stream_knl() {
     // Naive: default placement (lowest-index node = cluster DRAM).
     let mut alloc = HetAllocator::new(attrs.clone(), MemoryManager::new(machine.clone()));
     let mut prof = Profiler::new(machine.clone());
-    let naive = stream::run(
-        &mut alloc,
-        &engine,
-        &cfg,
-        &Placement::BindAll(NodeId(0)),
-        Some(&mut prof),
-    )
-    .expect("fits");
+    let naive =
+        stream::run(&mut alloc, &engine, &cfg, &Placement::BindAll(NodeId(0)), Some(&mut prof))
+            .expect("fits");
 
     let advice = prof.advise();
     assert!(advice.iter().all(|(_, s)| *s == Sensitivity::Bandwidth));
@@ -99,8 +86,8 @@ fn figure6_loop_on_stream_knl() {
         advice.iter().map(|(site, s)| (site.clone(), criterion_for(*s))).collect();
 
     let mut alloc = HetAllocator::new(attrs, MemoryManager::new(machine.clone()));
-    let advised = stream::run(&mut alloc, &engine, &cfg, &Placement::Advised(criteria), None)
-        .expect("fits");
+    let advised =
+        stream::run(&mut alloc, &engine, &cfg, &Placement::Advised(criteria), None).expect("fits");
     for (_, placement) in &advised.placements {
         assert_eq!(machine.topology().node_kind(placement[0].0), Some(MemoryKind::Hbm));
     }
@@ -137,11 +124,7 @@ fn compute_buffers_do_not_steal_fast_memory() {
         // Everything lands on DRAM: latency prefers it, and capacity
         // prefers it too (24 GB > 4 GB MCDRAM). MCDRAM is left free for
         // buffers that actually need bandwidth.
-        assert_eq!(
-            machine.topology().node_kind(placement[0].0),
-            Some(MemoryKind::Dram),
-            "{label}"
-        );
+        assert_eq!(machine.topology().node_kind(placement[0].0), Some(MemoryKind::Dram), "{label}");
     }
     assert_eq!(alloc.memory().used(NodeId(4)), 0, "MCDRAM untouched");
 }

@@ -21,10 +21,7 @@ const GIB: u64 = 1 << 30;
 fn setup(machine: Machine) -> (HetAllocator, AccessEngine) {
     let machine = Arc::new(machine);
     let attrs = Arc::new(discovery::from_firmware(&machine, true).expect("discovery"));
-    (
-        HetAllocator::new(attrs, MemoryManager::new(machine.clone())),
-        AccessEngine::new(machine),
-    )
+    (HetAllocator::new(attrs, MemoryManager::new(machine.clone())), AccessEngine::new(machine))
 }
 
 /// Small working sets: KNL Cache mode ≈ tuned Flat mode (both serve
@@ -74,23 +71,13 @@ fn knl_cache_mode_degrades_beyond_capacity() {
     let (mut cache_alloc, cache_engine) = setup(Machine::knl_quadrant_cache());
     // 48 GiB of arrays: 3× the 16 GiB MCDRAM cache.
     let big = StreamConfig { total_bytes: 48 * GIB, threads: 64, first_cpu: 0, iterations: 5 };
-    let cache_big = stream::run(
-        &mut cache_alloc,
-        &cache_engine,
-        &big,
-        &Placement::BindAll(NodeId(0)),
-        None,
-    )
-    .expect("fits");
+    let cache_big =
+        stream::run(&mut cache_alloc, &cache_engine, &big, &Placement::BindAll(NodeId(0)), None)
+            .expect("fits");
     let small = StreamConfig { total_bytes: 4 * GIB, threads: 64, first_cpu: 0, iterations: 5 };
-    let cache_small = stream::run(
-        &mut cache_alloc,
-        &cache_engine,
-        &small,
-        &Placement::BindAll(NodeId(0)),
-        None,
-    )
-    .expect("fits");
+    let cache_small =
+        stream::run(&mut cache_alloc, &cache_engine, &small, &Placement::BindAll(NodeId(0)), None)
+            .expect("fits");
     assert!(
         cache_small.triad_gibps > 1.5 * cache_big.triad_gibps,
         "cache-mode capacity cliff: {:.1} -> {:.1}",
@@ -127,8 +114,8 @@ fn knl_cache_mode_degrades_beyond_capacity() {
 fn xeon_2lm_fast_when_fitting() {
     let (mut alloc, engine) = setup(Machine::xeon_2lm());
     let cfg = StreamConfig::xeon_paper(22 * GIB); // ≪ 192 GiB DRAM cache
-    let two_lm = stream::run(&mut alloc, &engine, &cfg, &Placement::BindAll(NodeId(0)), None)
-        .expect("fits");
+    let two_lm =
+        stream::run(&mut alloc, &engine, &cfg, &Placement::BindAll(NodeId(0)), None).expect("fits");
     // The cache model serves hits at flat DRAM bandwidth without the
     // read/write channel asymmetry, so it can slightly exceed the 1LM
     // triad figure.
@@ -178,14 +165,12 @@ fn xeon_1lm_tuned_beats_2lm_beyond_cache() {
 fn graph500_2lm_close_to_1lm_dram_when_fitting() {
     let (mut alloc2, engine2) = setup(Machine::xeon_2lm());
     let cfg = graph500::Graph500Config::xeon_paper(27); // 4.3 GB ≪ cache
-    let two_lm =
-        graph500::run(&mut alloc2, &engine2, &cfg, &Placement::BindAll(NodeId(0)), None)
-            .expect("fits");
+    let two_lm = graph500::run(&mut alloc2, &engine2, &cfg, &Placement::BindAll(NodeId(0)), None)
+        .expect("fits");
 
     let (mut alloc1, engine1) = setup(Machine::xeon_1lm_no_snc());
-    let one_lm =
-        graph500::run(&mut alloc1, &engine1, &cfg, &Placement::BindAll(NodeId(0)), None)
-            .expect("fits");
+    let one_lm = graph500::run(&mut alloc1, &engine1, &cfg, &Placement::BindAll(NodeId(0)), None)
+        .expect("fits");
     let ratio = two_lm.teps_harmonic / one_lm.teps_harmonic;
     assert!(
         (0.8..1.15).contains(&ratio),

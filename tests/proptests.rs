@@ -2,7 +2,7 @@
 //! invariants, engine monotonicity, planner optimality.
 
 use hetmem::alloc::planner::{plan, PlanOrder, PlannedAlloc};
-use hetmem::alloc::{Fallback, HetAllocator};
+use hetmem::alloc::{AllocRequest, Fallback, HetAllocator};
 use hetmem::core::{attr, discovery};
 use hetmem::memsim::{
     AccessEngine, AccessPattern, AllocPolicy, BufferAccess, Machine, MemoryManager, Phase,
@@ -180,14 +180,22 @@ proptest! {
         let cluster: Bitmap = "0-15".parse().expect("cpuset");
         let size = mib << 20;
         let cands = alloc.candidates(attr::BANDWIDTH, &cluster).expect("candidates");
-        if let Ok(id) = alloc.mem_alloc(size, attr::BANDWIDTH, &cluster, Fallback::Strict) {
+        let strict = AllocRequest::new(size)
+            .criterion(attr::BANDWIDTH)
+            .initiator(&cluster)
+            .fallback(Fallback::Strict);
+        if let Ok(id) = alloc.alloc(&strict) {
             prop_assert_eq!(
                 alloc.memory().region(id).expect("live").single_node(),
                 Some(cands[0])
             );
             alloc.free(id);
         }
-        if let Ok(id) = alloc.mem_alloc(size, attr::BANDWIDTH, &cluster, Fallback::PartialSpill) {
+        let spill = AllocRequest::new(size)
+            .criterion(attr::BANDWIDTH)
+            .initiator(&cluster)
+            .fallback(Fallback::PartialSpill);
+        if let Ok(id) = alloc.alloc(&spill) {
             let region = alloc.memory().region(id).expect("live");
             // Placement order follows the candidate ranking.
             let order: Vec<usize> = region

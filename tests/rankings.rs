@@ -31,12 +31,7 @@ fn eq1_bandwidth_order() {
     let kinds = kinds_ranked(&machine, &attrs, attr::BANDWIDTH, &cluster);
     assert_eq!(
         kinds,
-        vec![
-            MemoryKind::Hbm,
-            MemoryKind::Dram,
-            MemoryKind::Nvdimm,
-            MemoryKind::NetworkAttached
-        ]
+        vec![MemoryKind::Hbm, MemoryKind::Dram, MemoryKind::Nvdimm, MemoryKind::NetworkAttached]
     );
 }
 
@@ -63,12 +58,7 @@ fn eq3_capacity_order() {
     // NAM (1 TiB) tops everything; then NVDIMM > DRAM > HBM.
     assert_eq!(
         kinds,
-        vec![
-            MemoryKind::NetworkAttached,
-            MemoryKind::Nvdimm,
-            MemoryKind::Dram,
-            MemoryKind::Hbm
-        ]
+        vec![MemoryKind::NetworkAttached, MemoryKind::Nvdimm, MemoryKind::Dram, MemoryKind::Hbm]
     );
 }
 
@@ -111,11 +101,8 @@ fn homogeneous_numa_distance_via_attributes() {
     let machine = Arc::new(Machine::homogeneous(4, 4, 16 << 30));
     // Full-matrix firmware (future platforms) or benchmarks both work;
     // use benchmarks with remote measurement.
-    let attrs = feed_attrs(
-        &machine,
-        &BenchOptions { include_remote: true, ..Default::default() },
-    )
-    .expect("benchmarks");
+    let attrs = feed_attrs(&machine, &BenchOptions { include_remote: true, ..Default::default() })
+        .expect("benchmarks");
     for pkg in 0..4u32 {
         let ini: Bitmap = Bitmap::from_range(pkg as usize * 4, pkg as usize * 4 + 3);
         let rank = attrs.rank_targets(attr::LATENCY, &ini).expect("rank");

@@ -7,12 +7,10 @@
 //! values; benchmarks can measure them (§VIII), and then the answer
 //! falls out of the ranking.
 
-use hetmem::alloc::{Fallback, HetAllocator};
+use hetmem::alloc::{AllocRequest, Fallback, HetAllocator};
 use hetmem::core::attr;
 use hetmem::membench::{feed_attrs, BenchOptions};
-use hetmem::memsim::{
-    AccessEngine, AccessPattern, BufferAccess, Machine, MemoryManager, Phase,
-};
+use hetmem::memsim::{AccessEngine, AccessPattern, BufferAccess, Machine, MemoryManager, Phase};
 use hetmem::topology::MemoryKind;
 use hetmem::{Bitmap, NodeId};
 use std::sync::Arc;
@@ -25,7 +23,11 @@ fn four_socket() -> (Arc<Machine>, HetAllocator, AccessEngine) {
     let attrs = Arc::new(
         feed_attrs(
             &machine,
-            &BenchOptions { include_remote: true, read_write_variants: false, loaded_latency: false },
+            &BenchOptions {
+                include_remote: true,
+                read_write_variants: false,
+                loaded_latency: false,
+            },
         )
         .expect("benchmark discovery"),
     );
@@ -67,7 +69,12 @@ fn remote_dram_beats_local_nvdimm_for_latency() {
 
     // Local-only knowledge: the only remaining local target is NVDIMM.
     let local_choice = alloc
-        .mem_alloc(2 * GIB, attr::LATENCY, &g0, Fallback::NextTarget)
+        .alloc(
+            &AllocRequest::new(2 * GIB)
+                .criterion(attr::LATENCY)
+                .initiator(&g0)
+                .fallback(Fallback::NextTarget),
+        )
         .expect("NVDIMM has room");
     let local_node = alloc.memory().region(local_choice).expect("live").single_node().expect("one");
     assert_eq!(machine.topology().node_kind(local_node), Some(MemoryKind::Nvdimm));
@@ -75,7 +82,13 @@ fn remote_dram_beats_local_nvdimm_for_latency() {
     // Full-matrix knowledge: the next-best latency target is the
     // sibling SNC group's DRAM.
     let global_choice = alloc
-        .mem_alloc_any(2 * GIB, attr::LATENCY, &g0, Fallback::NextTarget)
+        .alloc(
+            &AllocRequest::new(2 * GIB)
+                .criterion(attr::LATENCY)
+                .initiator(&g0)
+                .fallback(Fallback::NextTarget)
+                .any_locality(),
+        )
         .expect("sibling DRAM has room");
     let global_node =
         alloc.memory().region(global_choice).expect("live").single_node().expect("one");
@@ -109,10 +122,7 @@ fn bandwidth_ranking_downgrades_cross_socket_dram() {
     // Same-package nodes (0,1,2) must all rank above any cross-socket
     // node for bandwidth: the UPI cap (0.45×) is harsher than the
     // NVDIMM's own bandwidth deficit.
-    let cross_pos = ranked
-        .iter()
-        .position(|n| n.0 >= 3)
-        .expect("cross-socket nodes in ranking");
+    let cross_pos = ranked.iter().position(|n| n.0 >= 3).expect("cross-socket nodes in ranking");
     let local_positions: Vec<usize> = [0u32, 1, 2]
         .iter()
         .map(|&n| ranked.iter().position(|x| x.0 == n).expect("present"))
@@ -134,7 +144,13 @@ fn displaced_buffer_migrates_home() {
         .alloc(avail, hetmem::memsim::AllocPolicy::Bind(NodeId(0)))
         .expect("hog fits");
     let buf = alloc
-        .mem_alloc_any(2 * GIB, attr::LATENCY, &g0, Fallback::NextTarget)
+        .alloc(
+            &AllocRequest::new(2 * GIB)
+                .criterion(attr::LATENCY)
+                .initiator(&g0)
+                .fallback(Fallback::NextTarget)
+                .any_locality(),
+        )
         .expect("sibling DRAM");
     assert_eq!(alloc.memory().region(buf).expect("live").single_node(), Some(NodeId(1)));
     alloc.memory_mut().free(hog);

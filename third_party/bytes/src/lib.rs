@@ -1,0 +1,237 @@
+//! Offline drop-in replacement for the subset of `bytes` 1.x this
+//! workspace uses (the HMAT/SRAT binary codec in `hetmem-hmat`):
+//! [`Bytes`], [`BytesMut`], and the little-endian accessors of the
+//! [`Buf`]/[`BufMut`] traits.
+//!
+//! The real crate's zero-copy `Arc`-backed buffers are replaced with a
+//! plain `Vec<u8>` plus a cursor — the tables involved are a few
+//! kilobytes, so copying slices is irrelevant, and the API contract
+//! (panics on overrun, cursor semantics) is preserved.
+
+use std::ops::{Bound, Deref, DerefMut, RangeBounds};
+
+/// An immutable byte buffer with a read cursor, mirroring
+/// `bytes::Bytes`. Dereferences to the *remaining* bytes.
+#[derive(Debug, Clone, Default)]
+pub struct Bytes {
+    data: Vec<u8>,
+    pos: usize,
+}
+
+impl Bytes {
+    /// Returns a new `Bytes` covering the given sub-range of the
+    /// remaining bytes.
+    ///
+    /// # Panics
+    /// Panics if the range is out of bounds, like the real crate.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let rem = &self.data[self.pos..];
+        let start = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => rem.len(),
+        };
+        Bytes { data: rem[start..end].to_vec(), pos: 0 }
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data[self.pos..]
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Bytes {
+        Bytes { data, pos: 0 }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(data: &[u8]) -> Bytes {
+        Bytes { data: data.to_vec(), pos: 0 }
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Bytes) -> bool {
+        **self == **other
+    }
+}
+
+impl Eq for Bytes {}
+
+/// A growable byte buffer, mirroring `bytes::BytesMut`. Dereferences
+/// to the written bytes.
+#[derive(Debug, Clone, Default)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer with at least the given capacity.
+    pub fn with_capacity(cap: usize) -> BytesMut {
+        BytesMut { data: Vec::with_capacity(cap) }
+    }
+
+    /// Converts the buffer into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes { data: self.data, pos: 0 }
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+}
+
+/// Read access to a byte cursor, mirroring `bytes::Buf`.
+///
+/// All `get_*` accessors advance the cursor and panic when fewer bytes
+/// remain than requested, matching the real crate's contract.
+pub trait Buf {
+    /// Bytes left between the cursor and the end of the buffer.
+    fn remaining(&self) -> usize;
+    /// Advances the cursor by `n` bytes.
+    fn advance(&mut self, n: usize);
+    /// Copies `dst.len()` bytes from the cursor and advances past them.
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
+
+    /// True while any bytes remain.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        b[0]
+    }
+    /// Reads a little-endian `u16`.
+    fn get_u16_le(&mut self) -> u16 {
+        let mut b = [0u8; 2];
+        self.copy_to_slice(&mut b);
+        u16::from_le_bytes(b)
+    }
+    /// Reads a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_le_bytes(b)
+    }
+    /// Reads a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_le_bytes(b)
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    fn advance(&mut self, n: usize) {
+        assert!(n <= self.remaining(), "advance past end of buffer");
+        self.pos += n;
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(dst.len() <= self.remaining(), "read past end of buffer");
+        dst.copy_from_slice(&self.data[self.pos..self.pos + dst.len()]);
+        self.pos += dst.len();
+    }
+}
+
+/// Write access to a growable byte buffer, mirroring `bytes::BufMut`.
+pub trait BufMut {
+    /// Appends a slice.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+    /// Appends a little-endian `u16`.
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{Buf, BufMut, Bytes, BytesMut};
+
+    #[test]
+    fn roundtrip_all_widths() {
+        let mut w = BytesMut::with_capacity(32);
+        w.put_u8(0xAB);
+        w.put_u16_le(0xBEEF);
+        w.put_u32_le(0xDEAD_BEEF);
+        w.put_u64_le(0x0123_4567_89AB_CDEF);
+        w.put_slice(b"xyz");
+        let mut r = w.freeze();
+        assert_eq!(r.remaining(), 1 + 2 + 4 + 8 + 3);
+        assert_eq!(r.get_u8(), 0xAB);
+        assert_eq!(r.get_u16_le(), 0xBEEF);
+        assert_eq!(r.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64_le(), 0x0123_4567_89AB_CDEF);
+        assert_eq!(&r[..], b"xyz");
+        r.advance(3);
+        assert!(!r.has_remaining());
+    }
+
+    #[test]
+    fn slice_is_relative_to_cursor() {
+        let mut b = Bytes::from(vec![0, 1, 2, 3, 4, 5]);
+        b.advance(2);
+        assert_eq!(&b.slice(1..)[..], &[3, 4, 5]);
+        assert_eq!(&b.slice(..2)[..], &[2, 3]);
+        assert_eq!(b.len(), 4);
+    }
+
+    #[test]
+    fn mutation_through_index() {
+        let mut w = BytesMut::with_capacity(8);
+        w.put_u32_le(0);
+        w[0..4].copy_from_slice(&7u32.to_le_bytes());
+        w[3] = 1;
+        assert_eq!(w.iter().copied().collect::<Vec<_>>(), vec![7, 0, 0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "read past end")]
+    fn overrun_panics() {
+        let mut b = Bytes::from(vec![1u8]);
+        b.get_u16_le();
+    }
+}

@@ -1,0 +1,149 @@
+//! Offline drop-in replacement for the subset of `criterion` 0.5 this
+//! workspace's benches use: `criterion_group!`/`criterion_main!`,
+//! `Criterion::bench_function`, benchmark groups with
+//! `bench_function`/`bench_with_input`, `BenchmarkId` and `black_box`.
+//!
+//! The build environment has no access to a crates.io mirror, so the
+//! real harness cannot be vendored. This stub keeps every bench target
+//! compiling and runnable (`cargo bench` prints a mean wall-clock time
+//! per benchmark) without the statistical machinery.
+
+use std::time::Instant;
+
+/// Prevents the optimizer from discarding a value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Passed to bench closures; [`Bencher::iter`] times the routine.
+pub struct Bencher {
+    /// Mean nanoseconds per iteration of the last `iter` call.
+    mean_ns: f64,
+}
+
+impl Bencher {
+    /// Times `f` over a fixed number of iterations (one untimed
+    /// warm-up, then 16 timed runs).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        const ITERS: u32 = 16;
+        black_box(f());
+        let start = Instant::now();
+        for _ in 0..ITERS {
+            black_box(f());
+        }
+        self.mean_ns = start.elapsed().as_nanos() as f64 / ITERS as f64;
+    }
+}
+
+/// A benchmark identifier: function name plus an optional parameter.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id like `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+}
+
+fn run_one(id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher { mean_ns: 0.0 };
+    f(&mut b);
+    if b.mean_ns >= 1e6 {
+        println!("{id:<48} {:>12.3} ms/iter", b.mean_ns / 1e6);
+    } else if b.mean_ns >= 1e3 {
+        println!("{id:<48} {:>12.3} µs/iter", b.mean_ns / 1e3);
+    } else {
+        println!("{id:<48} {:>12.1} ns/iter", b.mean_ns);
+    }
+}
+
+/// The benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_one(id, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        BenchmarkGroup { name: name.to_string() }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup {
+    name: String,
+}
+
+impl BenchmarkGroup {
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: BenchmarkId, mut f: F) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id.id), &mut f);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id.id), &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (a no-op here, kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Declares a function running a list of benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_times_closure() {
+        let mut c = Criterion::default();
+        let mut runs = 0u32;
+        c.bench_function("smoke", |b| b.iter(|| runs += 1));
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn group_with_input() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("grp");
+        g.bench_with_input(BenchmarkId::new("double", 21), &21u64, |b, &n| {
+            b.iter(|| assert_eq!(n * 2, 42));
+        });
+        g.bench_function(BenchmarkId::new("label", "param"), |b| b.iter(|| ()));
+        g.finish();
+    }
+}

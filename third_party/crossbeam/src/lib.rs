@@ -1,0 +1,95 @@
+//! Offline drop-in replacement for the subset of `crossbeam` 0.8 this
+//! workspace uses: `crossbeam::thread::scope` with scoped spawn/join.
+//!
+//! The build environment has no access to a crates.io mirror; since
+//! Rust 1.63 the standard library provides scoped threads, so this
+//! stub is a thin adapter from the crossbeam signatures (closure takes
+//! a `&Scope` argument, `scope` and `join` return `Result`) to
+//! `std::thread::scope`.
+
+/// Scoped threads, mirroring `crossbeam::thread`.
+pub mod thread {
+    /// A scope handle that can spawn threads borrowing from the
+    /// enclosing stack frame.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// A handle to a scoped thread, joinable before the scope ends.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread to finish, returning its result or the
+        /// panic payload.
+        pub fn join(self) -> std::thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. As in crossbeam, the closure
+        /// receives the scope so it can spawn nested threads.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle { inner: inner.spawn(move || f(&Scope { inner })) }
+        }
+    }
+
+    /// Creates a scope in which threads borrowing `'env` data can be
+    /// spawned; all spawned threads are joined before `scope` returns.
+    ///
+    /// Unlike `std::thread::scope` this returns a `Result`, matching
+    /// crossbeam's signature. With the std backend an unjoined child
+    /// panic propagates as a panic from `scope` itself rather than an
+    /// `Err`, which is equivalent for this workspace's callers — they
+    /// all `.expect()` the result.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_joins_and_borrows() {
+        let mut data = vec![0u64; 64];
+        let total: u64 = crate::thread::scope(|s| {
+            let handles: Vec<_> = data
+                .chunks_mut(16)
+                .enumerate()
+                .map(|(i, chunk)| {
+                    s.spawn(move |_| {
+                        for (j, v) in chunk.iter_mut().enumerate() {
+                            *v = (i * 16 + j) as u64;
+                        }
+                        chunk.iter().sum::<u64>()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("worker")).sum()
+        })
+        .expect("scope");
+        assert_eq!(total, (0..64).sum::<u64>());
+        assert_eq!(data[63], 63);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let n = crate::thread::scope(|s| {
+            s.spawn(|inner| inner.spawn(|_| 21).join().expect("nested") * 2)
+                .join()
+                .expect("outer")
+        })
+        .expect("scope");
+        assert_eq!(n, 42);
+    }
+}
