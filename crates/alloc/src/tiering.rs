@@ -22,6 +22,7 @@ use crate::{HetAllocError, HetAllocator};
 use hetmem_bitmap::Bitmap;
 use hetmem_core::{attr, AttrId};
 use hetmem_memsim::{PhaseReport, RegionId};
+use hetmem_telemetry::{Event, TieringEvent};
 use hetmem_topology::NodeId;
 use std::collections::BTreeMap;
 use std::collections::VecDeque;
@@ -162,6 +163,7 @@ impl TieringDaemon {
         hot_criterion: AttrId,
     ) -> Result<Vec<TieringAction>, HetAllocError> {
         let mut actions = Vec::new();
+        let recorder = allocator.memory().recorder().clone();
         let hot_target = allocator
             .candidates(hot_criterion, initiator)?
             .first()
@@ -181,6 +183,14 @@ impl TieringDaemon {
                     allocator.migrate_to_best(region, attr::CAPACITY, initiator)
                 {
                     if to != hot_target {
+                        if recorder.enabled() {
+                            recorder.record(Event::TieringAction(TieringEvent {
+                                region: region.0,
+                                promoted: false,
+                                to,
+                                cost_ns: report.cost_ns,
+                            }));
+                        }
                         actions.push(TieringAction::Demoted {
                             region,
                             to,
@@ -206,6 +216,14 @@ impl TieringDaemon {
             }
             if let Ok((to, report)) = allocator.migrate_to_best(region, hot_criterion, initiator) {
                 if to == hot_target {
+                    if recorder.enabled() {
+                        recorder.record(Event::TieringAction(TieringEvent {
+                            region: region.0,
+                            promoted: true,
+                            to,
+                            cost_ns: report.cost_ns,
+                        }));
+                    }
                     actions.push(TieringAction::Promoted { region, to, cost_ns: report.cost_ns });
                     self.activity.entry(region).or_default().since_move = 0;
                 }

@@ -1,7 +1,7 @@
 //! Regenerates every table of the paper's evaluation.
 //!
 //! ```text
-//! repro_tables [--table1|--table2a|--table2b|--table3a|--table3b|--table4|--portability|--capacity|--all]
+//! repro_tables [--table1|--table2a|--table2b|--table3a|--table3b|--table4|--portability|--capacity|--guidance|--all]
 //!              [--trace <out.jsonl>]
 //! ```
 //!
@@ -64,6 +64,9 @@ fn main() {
     }
     if all || arg == "--migration" {
         migration();
+    }
+    if all || arg == "--guidance" {
+        guidance();
     }
 }
 
@@ -524,5 +527,146 @@ fn capacity(trace: Option<&str>) {
             Err(e) => eprintln!("repro_tables: trace readback failed: {e}"),
         }
     }
+    println!();
+}
+
+/// Online guidance table: a two-era KNL workload (2 GiB buffers `a`
+/// and `b`, 16 GiB of sequential traffic per phase; the working set
+/// switches from `a` to `b` after three phases) placed by four
+/// strategies. Static placement never reacts; the phase-boundary
+/// tiering daemon reacts after whole cold phases; the online guidance
+/// engine reacts mid-phase from sampled hotness, sooner (and at more
+/// overhead) the shorter the sampling period; perfect information
+/// migrates exactly at the era boundary.
+fn guidance() {
+    use hetmem_alloc::tiering::{TieringDaemon, TieringPolicy};
+    use hetmem_alloc::AllocRequest;
+    use hetmem_guidance::{GuidanceEngine, GuidancePolicy, SamplerConfig};
+    use hetmem_memsim::{AccessPattern, BufferAccess, Phase, RegionId};
+
+    const PHASE_BYTES: u64 = 16 * GIB;
+    const ERA1: usize = 3;
+    const ERA2: usize = 9;
+
+    println!("== Online guidance: reacting to an era change from sampled hotness (KNL) ==");
+    println!(
+        "{:<26} {:>10} {:>12} {:>12} {:>12} {:>10}",
+        "strategy", "total ms", "GB/s", "migrations", "hot-set acc", "overhead"
+    );
+
+    let ctx = Ctx::knl();
+    let initiator: hetmem_bitmap::Bitmap = "0-15".parse().expect("cpuset");
+    let total_bytes = ((ERA1 + ERA2) as u64 * PHASE_BYTES) as f64;
+
+    let setup = |ctx: &Ctx| {
+        let mut alloc = ctx.allocator();
+        let a = alloc
+            .alloc(&AllocRequest::new(2 * GIB).criterion(attr::BANDWIDTH).initiator(&initiator))
+            .expect("alloc a");
+        let b = alloc
+            .alloc(&AllocRequest::new(2 * GIB).criterion(attr::BANDWIDTH).initiator(&initiator))
+            .expect("alloc b");
+        (alloc, a, b)
+    };
+    let phase = |name: String, region: RegionId| Phase {
+        name,
+        accesses: vec![BufferAccess::new(region, PHASE_BYTES, 0, AccessPattern::Sequential)],
+        threads: 16,
+        initiator: initiator.clone(),
+        compute_ns: 0.0,
+    };
+    let schedule = |a: RegionId, b: RegionId| -> Vec<Phase> {
+        (0..ERA1)
+            .map(|i| phase(format!("era1.{i}"), a))
+            .chain((0..ERA2).map(|i| phase(format!("era2.{i}"), b)))
+            .collect()
+    };
+    let row = |label: &str, total_ns: f64, migrations: u64, acc: Option<f64>, overhead_ns: f64| {
+        println!(
+            "{:<26} {:>10.1} {:>12.2} {:>12} {:>12} {:>9.2}%",
+            label,
+            total_ns / 1e6,
+            total_bytes / total_ns, // bytes/ns = GB/s (decimal)
+            migrations,
+            acc.map_or_else(|| "-".to_string(), |a| format!("{:.1}%", a * 100.0)),
+            100.0 * overhead_ns / total_ns
+        );
+        total_ns
+    };
+
+    // Static: initial bandwidth placement, never revisited.
+    let (alloc, a, b) = setup(&ctx);
+    let mut static_ns = 0.0;
+    for p in schedule(a, b) {
+        static_ns += ctx.engine.run_phase(alloc.memory(), &p).time_ns;
+    }
+    row("static", static_ns, 0, None, 0.0);
+
+    // Phase-boundary tiering: observe + rebalance between phases.
+    let (mut alloc, a, b) = setup(&ctx);
+    let mut daemon = TieringDaemon::new(TieringPolicy::default());
+    let mut tiering_ns = 0.0;
+    let mut tiering_moves = 0;
+    for p in schedule(a, b) {
+        let report = ctx.engine.run_phase(alloc.memory(), &p);
+        tiering_ns += report.time_ns;
+        daemon.observe(&report);
+        for action in daemon
+            .rebalance_with_criterion(&mut alloc, &initiator, attr::BANDWIDTH)
+            .expect("rebalance")
+        {
+            use hetmem_alloc::tiering::TieringAction::*;
+            let (Promoted { cost_ns, .. } | Demoted { cost_ns, .. }) = action;
+            tiering_ns += cost_ns;
+            tiering_moves += 1;
+        }
+    }
+    let tiering_total = row("tiering (phase boundary)", tiering_ns, tiering_moves, None, 0.0);
+
+    // Online guidance at decreasing sampling periods.
+    let mut guided_totals = Vec::new();
+    for period in [262_144u64, 65_536, 16_384] {
+        let (mut alloc, a, b) = setup(&ctx);
+        let mut g = GuidanceEngine::new(
+            ctx.attrs.clone(),
+            GuidancePolicy::default(),
+            SamplerConfig { period, ..Default::default() },
+        );
+        let mut total_ns = 0.0;
+        for p in schedule(a, b) {
+            total_ns += g.run_phase(&ctx.engine, alloc.memory_mut(), &p).time_ns();
+        }
+        let stats = g.stats();
+        guided_totals.push(row(
+            &format!("guidance (period {period})"),
+            total_ns,
+            stats.promotions + stats.demotions,
+            Some(stats.mean_accuracy()),
+            stats.overhead_ns,
+        ));
+    }
+
+    // Perfect information: migrate both exactly at the era boundary.
+    let (mut alloc, a, b) = setup(&ctx);
+    let mut perfect_ns = 0.0;
+    for (i, p) in schedule(a, b).into_iter().enumerate() {
+        if i == ERA1 {
+            let dram = alloc.memory().region(b).expect("b").placement[0].0;
+            perfect_ns += alloc.memory_mut().migrate(a, dram).expect("demote a").cost_ns;
+            let mcdram = NodeId(4);
+            perfect_ns += alloc.memory_mut().migrate(b, mcdram).expect("promote b").cost_ns;
+        }
+        perfect_ns += ctx.engine.run_phase(alloc.memory(), &p).time_ns;
+    }
+    let perfect_total = row("perfect information", perfect_ns, 2, None, 0.0);
+
+    let monotone = guided_totals.windows(2).all(|w| w[1] <= w[0]);
+    let beats_tiering = guided_totals.iter().all(|&t| t <= tiering_total);
+    println!(
+        "  => guidance {} phase-boundary tiering; gap to perfect information {} as the period shrinks",
+        if beats_tiering { "beats" } else { "does NOT beat" },
+        if monotone { "shrinks monotonically" } else { "is NOT monotone" }
+    );
+    let _ = perfect_total;
     println!();
 }

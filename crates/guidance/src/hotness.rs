@@ -1,0 +1,183 @@
+//! Per-region hotness estimated from samples alone.
+//!
+//! The map never sees ground truth: it folds [`SampleBatch`]es into an
+//! exponentially weighted moving average of each region's *share* of
+//! sampled traffic. The decay rate is tied to observed traffic volume
+//! rather than to wall intervals — an interval that moved `B` bytes
+//! shifts the average by `B / (B + window)` — so hysteresis behaviour
+//! does not change when the guidance loop slices phases more finely.
+
+use crate::sampler::SampleBatch;
+use hetmem_memsim::RegionId;
+use std::collections::BTreeMap;
+
+/// EWMA hotness per region, fed exclusively by the sampler.
+#[derive(Debug, Clone)]
+pub struct HotnessMap {
+    shares: BTreeMap<RegionId, f64>,
+    window_bytes: u64,
+    observed_bytes: u64,
+}
+
+impl HotnessMap {
+    /// Creates an empty map with the given decay window: roughly the
+    /// bytes of traffic after which old behaviour has faded to `1/e`.
+    pub fn new(window_bytes: u64) -> Self {
+        HotnessMap { shares: BTreeMap::new(), window_bytes: window_bytes.max(1), observed_bytes: 0 }
+    }
+
+    /// Folds one interval's samples in. Empty batches (nothing seen)
+    /// leave the map untouched — no information, no decay.
+    pub fn observe(&mut self, batch: &SampleBatch) {
+        if batch.total == 0 {
+            return;
+        }
+        self.observed_bytes =
+            self.observed_bytes.saturating_add(batch.total * batch.bytes_per_sample);
+        let interval_bytes = (batch.total * batch.bytes_per_sample) as f64;
+        // Exponential decay in *bytes of traffic*: observing traffic B
+        // in one batch or split across many leaves identical decay
+        // (e^-B/W factors compose), so slicing granularity doesn't
+        // change how fast old behaviour fades.
+        let decay = (-interval_bytes / self.window_bytes as f64).exp();
+        for share in self.shares.values_mut() {
+            *share *= decay;
+        }
+        for s in &batch.samples {
+            *self.shares.entry(s.region).or_insert(0.0) +=
+                (1.0 - decay) * s.count as f64 / batch.total as f64;
+        }
+        self.shares.retain(|_, share| *share > 1e-6);
+    }
+
+    /// Total (estimated) bytes of traffic observed so far. Shares are
+    /// still warming up — rising from zero rather than tracking — until
+    /// this reaches roughly the decay window, so callers should not
+    /// treat a low share as *cold* before then.
+    pub fn observed_bytes(&self) -> u64 {
+        self.observed_bytes
+    }
+
+    /// The current hotness estimate (EWMA traffic share) for `region`.
+    pub fn share(&self, region: RegionId) -> f64 {
+        self.shares.get(&region).copied().unwrap_or(0.0)
+    }
+
+    /// Regions whose estimated share is at least `threshold`.
+    pub fn hot_set(&self, threshold: f64) -> Vec<RegionId> {
+        self.shares.iter().filter(|&(_, s)| *s >= threshold).map(|(&r, _)| r).collect()
+    }
+
+    /// Drops a region (freed, or otherwise out of scope).
+    pub fn forget(&mut self, region: RegionId) {
+        self.shares.remove(&region);
+    }
+
+    /// Number of regions currently tracked.
+    pub fn len(&self) -> usize {
+        self.shares.len()
+    }
+
+    /// Whether nothing has been observed yet.
+    pub fn is_empty(&self) -> bool {
+        self.shares.is_empty()
+    }
+}
+
+/// Jaccard similarity between the estimated hot set and the hot set a
+/// perfect profiler would compute from ground-truth shares, both cut
+/// at the same `threshold`. `1.0` when the sets match exactly (also
+/// when both are empty), `0.0` when they are disjoint.
+pub fn hot_set_accuracy(
+    estimated: &HotnessMap,
+    truth_shares: &BTreeMap<RegionId, f64>,
+    threshold: f64,
+) -> f64 {
+    let est: Vec<RegionId> = estimated.hot_set(threshold);
+    let truth: Vec<RegionId> =
+        truth_shares.iter().filter(|&(_, s)| *s >= threshold).map(|(&r, _)| r).collect();
+    if est.is_empty() && truth.is_empty() {
+        return 1.0;
+    }
+    let inter = est.iter().filter(|r| truth.contains(r)).count();
+    let union = est.len() + truth.len() - inter;
+    inter as f64 / union as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sampler::AccessSample;
+
+    fn batch(pairs: &[(u64, u64)], bytes_per_sample: u64) -> SampleBatch {
+        let samples: Vec<AccessSample> =
+            pairs.iter().map(|&(r, count)| AccessSample { region: RegionId(r), count }).collect();
+        let total = samples.iter().map(|s| s.count).sum();
+        SampleBatch { samples, total, bytes_per_sample, overhead_ns: 0.0 }
+    }
+
+    #[test]
+    fn shares_track_observed_traffic() {
+        let mut map = HotnessMap::new(1 << 20);
+        // Traffic far exceeding the window: shares converge fast.
+        for _ in 0..4 {
+            map.observe(&batch(&[(1, 900), (2, 100)], 1 << 16));
+        }
+        assert!(map.share(RegionId(1)) > 0.8, "{}", map.share(RegionId(1)));
+        assert!(map.share(RegionId(2)) < 0.2);
+        assert_eq!(map.hot_set(0.25), vec![RegionId(1)]);
+    }
+
+    #[test]
+    fn byte_window_decay_is_slicing_invariant() {
+        // One big interval vs. the same traffic in four slices must
+        // leave (approximately) the same estimate for a region that
+        // stopped being touched.
+        let mut coarse = HotnessMap::new(1 << 24);
+        coarse.observe(&batch(&[(1, 1024)], 1 << 16));
+        coarse.observe(&batch(&[(2, 1024)], 1 << 16));
+
+        let mut fine = HotnessMap::new(1 << 24);
+        fine.observe(&batch(&[(1, 1024)], 1 << 16));
+        for _ in 0..4 {
+            fine.observe(&batch(&[(2, 256)], 1 << 16));
+        }
+        let (c, f) = (coarse.share(RegionId(1)), fine.share(RegionId(1)));
+        assert!((c - f).abs() < 1e-9, "coarse {c} vs fine {f}");
+    }
+
+    #[test]
+    fn empty_batches_do_not_decay() {
+        let mut map = HotnessMap::new(1 << 20);
+        map.observe(&batch(&[(1, 512)], 1 << 16));
+        let before = map.share(RegionId(1));
+        map.observe(&batch(&[], 1 << 16));
+        assert_eq!(map.share(RegionId(1)), before);
+    }
+
+    #[test]
+    fn forget_removes_region() {
+        let mut map = HotnessMap::new(1 << 20);
+        map.observe(&batch(&[(1, 512), (2, 512)], 1 << 16));
+        assert_eq!(map.len(), 2);
+        map.forget(RegionId(1));
+        assert_eq!(map.share(RegionId(1)), 0.0);
+        assert_eq!(map.len(), 1);
+    }
+
+    #[test]
+    fn accuracy_compares_hot_sets() {
+        let mut map = HotnessMap::new(1 << 10);
+        map.observe(&batch(&[(1, 90), (2, 10)], 1 << 16));
+        let mut truth = BTreeMap::new();
+        truth.insert(RegionId(1), 0.9);
+        truth.insert(RegionId(2), 0.1);
+        assert_eq!(hot_set_accuracy(&map, &truth, 0.25), 1.0);
+        // A wrong truth set halves the Jaccard score.
+        truth.insert(RegionId(2), 0.5);
+        assert_eq!(hot_set_accuracy(&map, &truth, 0.25), 0.5);
+        // Both empty counts as perfect.
+        let empty = HotnessMap::new(1 << 10);
+        assert_eq!(hot_set_accuracy(&empty, &BTreeMap::new(), 0.25), 1.0);
+    }
+}

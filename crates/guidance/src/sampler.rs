@@ -1,0 +1,192 @@
+//! The PEBS-like access sampler.
+//!
+//! Real hardware cannot attribute every access to an object; units
+//! like Intel PEBS record roughly one sample every `period` memory
+//! events, and the profile is both *noisy* (a finite sample population
+//! resolves a region's traffic share only to `1/sqrt(samples)`) and
+//! *costly* (every sample buffered and decoded steals CPU time from
+//! the application). This module models both effects on top of the
+//! simulator's ground-truth [`PhaseReport`] counters: expected sample
+//! counts come straight from the per-buffer traffic, a seeded
+//! [`SmallRng`] perturbs them with relative noise that shrinks as the
+//! population grows, and a per-sample cost yields the runtime overhead
+//! the guidance loop must charge against the phase.
+
+use hetmem_memsim::{PhaseReport, RegionId, LINE};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+
+/// Sampler configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SamplerConfig {
+    /// Accesses (cache-line loads + stores) per sample. Smaller
+    /// periods give more samples: better hotness estimates, more
+    /// overhead.
+    pub period: u64,
+    /// Seed for the deterministic sampling noise. Fixed by default so
+    /// identical runs produce byte-identical traces.
+    pub seed: u64,
+    /// Modelled cost of collecting and processing one sample, ns.
+    pub sample_cost_ns: f64,
+    /// Relative noise scale; `0.0` makes the sampler exact.
+    pub noise: f64,
+}
+
+impl Default for SamplerConfig {
+    fn default() -> Self {
+        SamplerConfig { period: 32768, seed: 0x5EED_CAFE, sample_cost_ns: 25.0, noise: 1.0 }
+    }
+}
+
+/// Samples attributed to one region over one interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessSample {
+    /// The sampled region.
+    pub region: RegionId,
+    /// Samples attributed to it.
+    pub count: u64,
+}
+
+/// Everything the sampler saw over one interval.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SampleBatch {
+    /// Per-region samples; regions whose traffic sampled to zero are
+    /// absent (the profile simply cannot see them).
+    pub samples: Vec<AccessSample>,
+    /// Total samples drawn.
+    pub total: u64,
+    /// Bytes of traffic one sample stands for (`period × LINE`).
+    pub bytes_per_sample: u64,
+    /// Modelled runtime overhead of the interval's sampling, ns.
+    pub overhead_ns: f64,
+}
+
+/// The deterministic PEBS-like sampler.
+#[derive(Debug)]
+pub struct Sampler {
+    cfg: SamplerConfig,
+    rng: SmallRng,
+}
+
+impl Sampler {
+    /// Creates a sampler; all randomness derives from `cfg.seed`.
+    pub fn new(cfg: SamplerConfig) -> Self {
+        Sampler { rng: SmallRng::seed_from_u64(cfg.seed), cfg }
+    }
+
+    /// The configuration the sampler runs with.
+    pub fn config(&self) -> &SamplerConfig {
+        &self.cfg
+    }
+
+    /// Converts one interval's ground-truth counters into sampled
+    /// counts. The relative error of each region's count shrinks as
+    /// `1/sqrt(expected samples)` — exactly the accuracy/overhead
+    /// trade-off the sampling period controls.
+    pub fn sample(&mut self, report: &PhaseReport) -> SampleBatch {
+        let mut traffic: BTreeMap<RegionId, u64> = BTreeMap::new();
+        for buf in &report.buffers {
+            *traffic.entry(buf.region).or_insert(0) += buf.loads + buf.stores;
+        }
+        let period = self.cfg.period.max(1);
+        let mut samples = Vec::new();
+        let mut total = 0;
+        for (region, accesses) in traffic {
+            let expected = accesses as f64 / period as f64;
+            let jitter = (self.rng.gen::<f64>() * 2.0 - 1.0) * self.cfg.noise;
+            let count = (expected * (1.0 + jitter / (expected.sqrt() + 1.0))).round();
+            let count = if count > 0.0 { count as u64 } else { 0 };
+            if count > 0 {
+                samples.push(AccessSample { region, count });
+                total += count;
+            }
+        }
+        SampleBatch {
+            samples,
+            total,
+            bytes_per_sample: period * LINE,
+            overhead_ns: total as f64 * self.cfg.sample_cost_ns,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetmem_memsim::{
+        AccessEngine, AccessPattern, AllocPolicy, BufferAccess, Machine, MemoryManager, Phase,
+    };
+    use hetmem_topology::{NodeId, GIB};
+    use std::sync::Arc;
+
+    fn report(bytes: u64) -> (PhaseReport, RegionId) {
+        let machine = Arc::new(Machine::knl_snc4_flat());
+        let engine = AccessEngine::new(machine.clone());
+        let mut mm = MemoryManager::new(machine);
+        let r = mm.alloc(2 * GIB, AllocPolicy::Bind(NodeId(0))).unwrap();
+        let phase = Phase {
+            name: "p".into(),
+            accesses: vec![BufferAccess::new(r, bytes, 0, AccessPattern::Sequential)],
+            threads: 16,
+            initiator: "0-15".parse().unwrap(),
+            compute_ns: 0.0,
+        };
+        (engine.run_phase(&mm, &phase), r)
+    }
+
+    #[test]
+    fn same_seed_same_samples() {
+        let (rep, _) = report(4 * GIB);
+        let cfg = SamplerConfig::default();
+        let a: Vec<SampleBatch> =
+            (0..3).scan(Sampler::new(cfg), |s, _| Some(s.sample(&rep))).collect();
+        let b: Vec<SampleBatch> =
+            (0..3).scan(Sampler::new(cfg), |s, _| Some(s.sample(&rep))).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn error_shrinks_with_period() {
+        let (rep, r) = report(4 * GIB);
+        let truth = (4 * GIB / LINE) as f64;
+        let mut err = Vec::new();
+        for period in [1 << 20, 1 << 14, 1 << 8] {
+            let cfg = SamplerConfig { period, ..Default::default() };
+            let mut s = Sampler::new(cfg);
+            // Average the estimate over several draws.
+            let mut est = 0.0;
+            for _ in 0..8 {
+                let batch = s.sample(&rep);
+                let count = batch.samples.iter().find(|x| x.region == r).map_or(0, |x| x.count);
+                est += count as f64 * period as f64 / 8.0;
+            }
+            err.push((est - truth).abs() / truth);
+        }
+        assert!(err[2] <= err[0], "finer sampling should not be less accurate: {err:?}");
+        assert!(err[2] < 0.01, "dense sampling should be nearly exact: {err:?}");
+    }
+
+    #[test]
+    fn overhead_grows_as_period_shrinks() {
+        let (rep, _) = report(4 * GIB);
+        let mut prev = 0.0;
+        for period in [1 << 18, 1 << 14, 1 << 10] {
+            let mut s = Sampler::new(SamplerConfig { period, ..Default::default() });
+            let batch = s.sample(&rep);
+            assert!(batch.overhead_ns > prev * 2.0, "period {period}: {}", batch.overhead_ns);
+            assert_eq!(batch.overhead_ns, batch.total as f64 * 25.0);
+            prev = batch.overhead_ns;
+        }
+    }
+
+    #[test]
+    fn zero_noise_is_exact() {
+        let (rep, r) = report(GIB);
+        let mut s = Sampler::new(SamplerConfig { noise: 0.0, period: 1024, ..Default::default() });
+        let batch = s.sample(&rep);
+        let count = batch.samples.iter().find(|x| x.region == r).unwrap().count;
+        assert_eq!(count, GIB / LINE / 1024);
+        assert_eq!(batch.bytes_per_sample, 1024 * LINE);
+    }
+}

@@ -145,6 +145,41 @@ pub struct Phase {
     pub compute_ns: f64,
 }
 
+impl Phase {
+    /// The `idx`-th of `n` equal time slices of this phase.
+    ///
+    /// Traffic and compute are divided evenly, with byte remainders
+    /// spread so the slices sum exactly to the whole phase. Working
+    /// sets (`hot_fraction`), thread count and initiator are
+    /// unchanged — slicing splits *time*, not the data. Slice names
+    /// get a `#idx` suffix so per-slice reports stay tellable apart.
+    pub fn interval_slice(&self, idx: usize, n: usize) -> Phase {
+        assert!(n > 0, "cannot slice a phase into 0 intervals");
+        assert!(idx < n, "slice index {idx} out of range for {n} intervals");
+        let part = |total: u64| -> u64 {
+            let (i, n) = (idx as u64, n as u64);
+            total * (i + 1) / n - total * i / n
+        };
+        Phase {
+            name: if n == 1 { self.name.clone() } else { format!("{}#{idx}", self.name) },
+            accesses: self
+                .accesses
+                .iter()
+                .map(|a| BufferAccess {
+                    region: a.region,
+                    bytes_read: part(a.bytes_read),
+                    bytes_written: part(a.bytes_written),
+                    pattern: a.pattern,
+                    hot_fraction: a.hot_fraction,
+                })
+                .collect(),
+            threads: self.threads,
+            initiator: self.initiator.clone(),
+            compute_ns: self.compute_ns / n as f64,
+        }
+    }
+}
+
 /// Traffic and utilization of one node during a phase.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct NodeTraffic {
@@ -403,6 +438,35 @@ impl AccessEngine {
             }));
         }
         report
+    }
+
+    /// Costs `phase` in `n` equal slices, invoking `between` after
+    /// each slice with mutable access to the memory manager — the hook
+    /// an online guidance policy uses to migrate regions *mid-phase*,
+    /// so later slices are costed against the new placement.
+    ///
+    /// Returns the per-slice reports, in order. With `n == 1` (or 0,
+    /// clamped) this degenerates to [`AccessEngine::run_phase`] plus
+    /// one callback at the phase boundary.
+    pub fn run_phase_sliced<F>(
+        &self,
+        mm: &mut MemoryManager,
+        phase: &Phase,
+        n: usize,
+        mut between: F,
+    ) -> Vec<PhaseReport>
+    where
+        F: FnMut(&mut MemoryManager, &PhaseReport, usize),
+    {
+        let n = n.max(1);
+        let mut reports = Vec::with_capacity(n);
+        for idx in 0..n {
+            let slice = phase.interval_slice(idx, n);
+            let report = self.run_phase(mm, &slice);
+            between(mm, &report, idx);
+            reports.push(report);
+        }
+        reports
     }
 
     /// Controller busy time for (r, w) bytes on a node, including
@@ -696,6 +760,62 @@ mod tests {
         let w34 = p.tlb_walk_ns(34 * GIB);
         assert!(w17 > 0.0 && w34 > w17);
         assert_eq!(AccessPattern::Sequential.tlb_walk_ns(100 * GIB), 0.0);
+    }
+
+    #[test]
+    fn slices_preserve_traffic_and_time() {
+        let (engine, mut mm) = setup();
+        let size = 8 * GIB;
+        let r = mm.alloc(size, AllocPolicy::Bind(NodeId(0))).unwrap();
+        let mut phase = stream_phase(r, size + 12345 * LINE, 20);
+        phase.compute_ns = 1e6;
+        let whole = engine.run_phase(&mm, &phase);
+        for n in [1usize, 3, 7, 16] {
+            let slices = engine.run_phase_sliced(&mut mm, &phase, n, |_, _, _| {});
+            assert_eq!(slices.len(), n);
+            let bytes: u64 = slices.iter().map(|s| s.total_bytes()).sum();
+            assert_eq!(bytes, whole.total_bytes(), "traffic lost slicing into {n}");
+            let time: f64 = slices.iter().map(|s| s.time_ns).sum();
+            let rel = (time - whole.time_ns).abs() / whole.time_ns;
+            assert!(rel < 0.01, "sliced time drifted {rel:.4} at n={n}");
+        }
+    }
+
+    #[test]
+    fn slice_names_and_bounds() {
+        let (_, mut mm) = setup();
+        let r = mm.alloc(GIB, AllocPolicy::Bind(NodeId(0))).unwrap();
+        let phase = stream_phase(r, GIB, 20);
+        assert_eq!(phase.interval_slice(0, 1).name, "triad");
+        assert_eq!(phase.interval_slice(2, 4).name, "triad#2");
+        assert!((phase.interval_slice(1, 4).compute_ns - phase.compute_ns / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn callback_migration_speeds_up_later_slices() {
+        let (engine, mut mm) = knl_setup();
+        let size = 3 * GIB;
+        let r = mm.alloc(size, AllocPolicy::Bind(NodeId(0))).unwrap();
+        let cluster: Bitmap = "0-15".parse().unwrap();
+        let phase = Phase {
+            name: "triad".into(),
+            accesses: vec![BufferAccess::new(r, size * 2 / 3, size / 3, AccessPattern::Sequential)],
+            threads: 16,
+            initiator: cluster,
+            compute_ns: 0.0,
+        };
+        let dram_only = engine.run_phase(&mm, &phase).time_ns;
+        let slices = engine.run_phase_sliced(&mut mm, &phase, 4, |mm, _, idx| {
+            if idx == 0 {
+                mm.migrate(r, NodeId(4)).expect("fits MCDRAM");
+            }
+        });
+        let total: f64 = slices.iter().map(|s| s.time_ns).sum();
+        assert!(
+            total < dram_only * 0.6,
+            "mid-phase promotion should pay: sliced {total:.0} vs DRAM {dram_only:.0}"
+        );
+        assert!(slices[0].time_ns > 2.0 * slices[1].time_ns);
     }
 
     #[test]

@@ -1,9 +1,12 @@
 //! CLI for the scenario DSL:
-//! `hetmem-run <file> [--objects] [--timeline] [--trace <out.jsonl>]`.
+//! `hetmem-run <file> [--objects] [--timeline] [--trace <out.jsonl>] [--guidance [period]]`.
 
-use hetmem_scenario::{execute, execute_with_recorder, parse};
-use hetmem_telemetry::{read_jsonl, JsonlWriter, Summary};
+use hetmem_scenario::{execute_with_options, parse, ExecOptions};
+use hetmem_telemetry::{read_jsonl, JsonlWriter, NullRecorder, Recorder, Summary};
 use std::sync::Arc;
+
+/// Default sampling period for `--guidance` without a value.
+const DEFAULT_PERIOD: u64 = 32768;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -12,19 +15,42 @@ fn main() {
     let mut show_timeline = false;
     let mut trace: Option<String> = None;
     let mut want_trace_path = false;
+    let mut guidance: Option<u64> = None;
+    let mut want_period = false;
     for a in &args {
         if want_trace_path {
             trace = Some(a.clone());
             want_trace_path = false;
             continue;
         }
+        if want_period {
+            want_period = false;
+            if let Ok(p) = a.parse::<u64>() {
+                if p == 0 {
+                    eprintln!("hetmem-run: --guidance period must be at least 1");
+                    std::process::exit(2);
+                }
+                guidance = Some(p);
+                continue;
+            }
+            // Not a number: fall through and treat it as the next arg.
+        }
         match a.as_str() {
             "--objects" => show_objects = true,
             "--timeline" => show_timeline = true,
             "--trace" => want_trace_path = true,
+            "--guidance" => {
+                guidance = Some(DEFAULT_PERIOD);
+                want_period = true;
+            }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: hetmem-run <scenario-file> [--objects] [--timeline] [--trace <out.jsonl>]"
+                    "usage: hetmem-run <scenario-file> [--objects] [--timeline] \
+                     [--trace <out.jsonl>] [--guidance [period]]"
+                );
+                eprintln!(
+                    "  --guidance: run every phase under the online sampling engine \
+                     (default period {DEFAULT_PERIOD} accesses/sample)"
                 );
                 eprintln!("platforms: {}", hetmem_scenario::PLATFORM_NAMES.join(", "));
                 return;
@@ -48,6 +74,8 @@ fn main() {
         eprintln!("hetmem-run: {file}: {e}");
         std::process::exit(1);
     });
+    let options =
+        ExecOptions { guidance: guidance.map(|period| (period, hetmem_core::attr::BANDWIDTH)) };
     let result = match &trace {
         Some(path) => {
             let writer = JsonlWriter::create(path).unwrap_or_else(|e| {
@@ -55,14 +83,17 @@ fn main() {
                 std::process::exit(1);
             });
             let writer = Arc::new(writer);
-            let r = execute_with_recorder(&scenario, writer.clone());
+            let r = execute_with_options(&scenario, writer.clone(), options);
             let _ = writer.flush();
             r
         }
-        None => execute(&scenario),
+        None => {
+            let recorder: Arc<dyn Recorder> = Arc::new(NullRecorder);
+            execute_with_options(&scenario, recorder, options)
+        }
     };
     let report = result.unwrap_or_else(|e| {
-        eprintln!("hetmem-run: {e}");
+        eprintln!("hetmem-run: {file}: {e}");
         std::process::exit(1);
     });
 
@@ -79,6 +110,18 @@ fn main() {
         println!("  migration #{i}: {:.3} ms", m / 1e6);
     }
     println!("  total: {:.3} ms", report.total_ns / 1e6);
+    if let Some(g) = &report.guidance {
+        println!(
+            "  guidance: {} intervals, {} promotions, {} demotions, \
+             {:.3} ms migrating, {:.3} ms sampling, {:.1}% hot-set accuracy",
+            g.intervals,
+            g.promotions,
+            g.demotions,
+            g.migration_ns / 1e6,
+            g.overhead_ns / 1e6,
+            g.mean_accuracy() * 100.0
+        );
+    }
     if !report.final_placements.is_empty() {
         println!("final placements:");
         for (name, placement) in &report.final_placements {

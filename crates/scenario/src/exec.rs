@@ -4,6 +4,7 @@ use crate::parse::{Command, Discovery, Scenario};
 use hetmem_alloc::{AllocRequest, HetAllocator};
 use hetmem_bitmap::Bitmap;
 use hetmem_core::MemAttrs;
+use hetmem_guidance::{GuidanceEngine, GuidancePolicy, GuidanceStats, SamplerConfig};
 use hetmem_memsim::{AccessEngine, BufferAccess, MemoryManager, Phase, RegionId};
 use hetmem_profile::Profiler;
 use hetmem_telemetry::{NullRecorder, Recorder};
@@ -11,7 +12,9 @@ use hetmem_topology::NodeId;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-/// Execution failure.
+/// Execution failure. Statement-level failures carry the 1-based
+/// source line of the statement that caused them and the buffer name
+/// involved, so `hetmem-run` can point at the scenario file.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ExecError {
     /// The `machine` statement named an unknown platform.
@@ -20,15 +23,32 @@ pub enum ExecError {
     BadInitiator(String),
     /// Attribute discovery failed.
     Discovery(String),
-    /// An allocation failed.
+    /// An allocation (or an operation reported through one, like a
+    /// failed rebalance) failed.
     Alloc {
         /// Buffer name.
         name: String,
+        /// Source line of the failing statement.
+        line: usize,
+        /// The underlying failure.
+        message: String,
+    },
+    /// An explicit `migrate` failed.
+    Migrate {
+        /// Buffer name.
+        name: String,
+        /// Source line of the failing statement.
+        line: usize,
         /// The underlying failure.
         message: String,
     },
     /// A statement referenced an unknown buffer.
-    UnknownBuffer(String),
+    UnknownBuffer {
+        /// The name that did not resolve.
+        name: String,
+        /// Source line of the failing statement.
+        line: usize,
+    },
 }
 
 impl std::fmt::Display for ExecError {
@@ -39,8 +59,15 @@ impl std::fmt::Display for ExecError {
             }
             ExecError::BadInitiator(e) => write!(f, "bad initiator cpuset: {e}"),
             ExecError::Discovery(e) => write!(f, "discovery failed: {e}"),
-            ExecError::Alloc { name, message } => write!(f, "alloc {name:?} failed: {message}"),
-            ExecError::UnknownBuffer(b) => write!(f, "unknown buffer {b:?}"),
+            ExecError::Alloc { name, line, message } => {
+                write!(f, "line {line}: alloc {name:?} failed: {message}")
+            }
+            ExecError::Migrate { name, line, message } => {
+                write!(f, "line {line}: migrate {name:?} failed: {message}")
+            }
+            ExecError::UnknownBuffer { name, line } => {
+                write!(f, "line {line}: unknown buffer {name:?}")
+            }
         }
     }
 }
@@ -52,10 +79,20 @@ impl std::error::Error for ExecError {}
 pub struct PhaseOutcome {
     /// Phase name.
     pub name: String,
-    /// Time, ns.
+    /// Time, ns. For guided phases this includes sampling overhead
+    /// and mid-phase migration costs.
     pub time_ns: f64,
     /// Aggregate achieved bandwidth, MiB/s.
     pub bw_mbps: f64,
+}
+
+/// Knobs for [`execute_with_options`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExecOptions {
+    /// Enable online guidance for every phase, as if the scenario
+    /// started with `guidance <period> <criterion>`. A `guidance`
+    /// statement inside the scenario replaces these settings.
+    pub guidance: Option<(u64, hetmem_core::AttrId)>,
 }
 
 /// The full scenario outcome.
@@ -63,10 +100,13 @@ pub struct ScenarioReport {
     /// Per-phase results, in execution order.
     pub phases: Vec<PhaseOutcome>,
     /// Migration costs paid, ns, in order (explicit `migrate` and
-    /// daemon rebalances combined).
+    /// daemon rebalances combined; guided mid-phase migrations are
+    /// inside their phase's time instead).
     pub migrations_ns: Vec<f64>,
     /// Actions the tiering daemon took across `rebalance` statements.
     pub tiering_actions: Vec<hetmem_alloc::tiering::TieringAction>,
+    /// Lifetime counters of the guidance engine, when one ran.
+    pub guidance: Option<GuidanceStats>,
     /// Final placement of each live buffer.
     pub final_placements: Vec<(String, Vec<(NodeId, u64)>)>,
     /// The profiler, loaded with every phase (for summaries/objects).
@@ -86,6 +126,16 @@ pub fn execute(scenario: &Scenario) -> Result<ScenarioReport, ExecError> {
 pub fn execute_with_recorder(
     scenario: &Scenario,
     recorder: Arc<dyn Recorder>,
+) -> Result<ScenarioReport, ExecError> {
+    execute_with_options(scenario, recorder, ExecOptions::default())
+}
+
+/// [`execute_with_recorder`] with extra execution options (the
+/// `--guidance` backend of `hetmem-run`).
+pub fn execute_with_options(
+    scenario: &Scenario,
+    recorder: Arc<dyn Recorder>,
+    options: ExecOptions,
 ) -> Result<ScenarioReport, ExecError> {
     let machine = crate::machine_by_name(&scenario.machine)
         .ok_or_else(|| ExecError::UnknownMachine(scenario.machine.clone()))?;
@@ -112,9 +162,21 @@ pub fn execute_with_recorder(
     };
     let mut engine = AccessEngine::new(machine.clone());
     engine.set_recorder(recorder.clone());
-    let mut allocator = HetAllocator::new(attrs, MemoryManager::new(machine.clone()));
-    allocator.set_recorder(recorder);
+    let mut allocator = HetAllocator::new(attrs.clone(), MemoryManager::new(machine.clone()));
+    allocator.set_recorder(recorder.clone());
     let mut profiler = Profiler::new(machine.clone());
+
+    let make_guidance = |period: u64, criterion: hetmem_core::AttrId| {
+        let mut g = GuidanceEngine::new(
+            attrs.clone(),
+            GuidancePolicy { criterion, ..Default::default() },
+            SamplerConfig { period, ..Default::default() },
+        );
+        g.set_recorder(recorder.clone());
+        g
+    };
+    let mut guidance: Option<GuidanceEngine> =
+        options.guidance.map(|(period, criterion)| make_guidance(period, criterion));
 
     let mut buffers: BTreeMap<String, RegionId> = BTreeMap::new();
     let mut phases = Vec::new();
@@ -123,8 +185,9 @@ pub fn execute_with_recorder(
     let mut daemon =
         hetmem_alloc::tiering::TieringDaemon::new(hetmem_alloc::tiering::TieringPolicy::default());
 
-    for cmd in &scenario.commands {
-        match cmd {
+    for stmt in &scenario.commands {
+        let line = stmt.line;
+        match &stmt.cmd {
             Command::Alloc { name, size, criterion, fallback, global } => {
                 let mut req = AllocRequest::new(*size)
                     .criterion(*criterion)
@@ -135,23 +198,32 @@ pub fn execute_with_recorder(
                     req = req.any_locality();
                 }
                 let result = allocator.alloc(&req);
-                let id = result
-                    .map_err(|e| ExecError::Alloc { name: name.clone(), message: e.to_string() })?;
+                let id = result.map_err(|e| ExecError::Alloc {
+                    name: name.clone(),
+                    line,
+                    message: e.to_string(),
+                })?;
                 profiler.track(allocator.memory(), id, name, *size);
                 buffers.insert(name.clone(), id);
             }
             Command::Free(name) => {
-                let id =
-                    buffers.remove(name).ok_or_else(|| ExecError::UnknownBuffer(name.clone()))?;
+                let id = buffers
+                    .remove(name)
+                    .ok_or_else(|| ExecError::UnknownBuffer { name: name.clone(), line })?;
                 allocator.free(id);
                 daemon.forget(id);
+                if let Some(g) = guidance.as_mut() {
+                    g.forget(id);
+                }
             }
             Command::Migrate { name, criterion } => {
-                let id =
-                    *buffers.get(name).ok_or_else(|| ExecError::UnknownBuffer(name.clone()))?;
-                let (_, report) = allocator
-                    .migrate_to_best(id, *criterion, &initiator)
-                    .map_err(|e| ExecError::Alloc { name: name.clone(), message: e.to_string() })?;
+                let id = *buffers
+                    .get(name)
+                    .ok_or_else(|| ExecError::UnknownBuffer { name: name.clone(), line })?;
+                let (_, report) =
+                    allocator.migrate_to_best(id, *criterion, &initiator).map_err(|e| {
+                        ExecError::Migrate { name: name.clone(), line, message: e.to_string() }
+                    })?;
                 migrations_ns.push(report.cost_ns);
             }
             Command::Phase(spec) => {
@@ -159,7 +231,7 @@ pub fn execute_with_recorder(
                 for a in &spec.accesses {
                     let id = *buffers
                         .get(&a.buffer)
-                        .ok_or_else(|| ExecError::UnknownBuffer(a.buffer.clone()))?;
+                        .ok_or_else(|| ExecError::UnknownBuffer { name: a.buffer.clone(), line })?;
                     accesses.push(BufferAccess {
                         region: id,
                         bytes_read: a.bytes_read,
@@ -175,20 +247,40 @@ pub fn execute_with_recorder(
                     initiator: initiator.clone(),
                     compute_ns: spec.compute_ns,
                 };
-                let report = engine.run_phase(allocator.memory(), &phase);
-                phases.push(PhaseOutcome {
-                    name: spec.name.clone(),
-                    time_ns: report.time_ns,
-                    bw_mbps: report.total_bw_mbps(),
-                });
-                daemon.observe(&report);
-                profiler.record(report);
+                if let Some(g) = guidance.as_mut() {
+                    let report = g.run_phase(&engine, allocator.memory_mut(), &phase);
+                    let bytes: u64 = report.slices.iter().map(|s| s.total_bytes()).sum();
+                    let time_ns = report.time_ns();
+                    phases.push(PhaseOutcome {
+                        name: spec.name.clone(),
+                        time_ns,
+                        bw_mbps: if time_ns > 0.0 {
+                            bytes as f64 / (1 << 20) as f64 / (time_ns / 1e9)
+                        } else {
+                            0.0
+                        },
+                    });
+                    for slice in report.slices {
+                        daemon.observe(&slice);
+                        profiler.record(slice);
+                    }
+                } else {
+                    let report = engine.run_phase(allocator.memory(), &phase);
+                    phases.push(PhaseOutcome {
+                        name: spec.name.clone(),
+                        time_ns: report.time_ns,
+                        bw_mbps: report.total_bw_mbps(),
+                    });
+                    daemon.observe(&report);
+                    profiler.record(report);
+                }
             }
             Command::Rebalance { criterion } => {
                 let actions = daemon
                     .rebalance_with_criterion(&mut allocator, &initiator, *criterion)
                     .map_err(|e| ExecError::Alloc {
                         name: "rebalance".into(),
+                        line,
                         message: e.to_string(),
                     })?;
                 for a in &actions {
@@ -199,6 +291,9 @@ pub fn execute_with_recorder(
                     migrations_ns.push(cost);
                 }
                 tiering_actions.extend(actions);
+            }
+            Command::Guidance { period, criterion } => {
+                guidance = Some(make_guidance(*period, *criterion));
             }
         }
     }
@@ -221,6 +316,7 @@ pub fn execute_with_recorder(
         profiler,
         total_ns,
         tiering_actions,
+        guidance: guidance.map(|g| *g.stats()),
     })
 }
 
@@ -259,6 +355,7 @@ end
         assert!(r.phases[1].time_ns <= r.phases[0].time_ns * 1.01);
         assert_eq!(r.final_placements.len(), 1);
         assert_eq!(r.final_placements[0].0, "hot");
+        assert!(r.guidance.is_none());
     }
 
     #[test]
@@ -267,10 +364,23 @@ end
         assert!(matches!(execute(&s), Err(ExecError::UnknownMachine(_))));
 
         let s = parse("machine knl-flat\nfree ghost\n").expect("parses");
-        assert!(matches!(execute(&s), Err(ExecError::UnknownBuffer(_))));
+        match execute(&s) {
+            Err(ExecError::UnknownBuffer { name, line }) => {
+                assert_eq!(name, "ghost");
+                assert_eq!(line, 2);
+            }
+            other => panic!("expected unknown buffer, got {:?}", other.map(|_| ())),
+        }
 
         let s = parse("machine knl-flat\nphase p\n  read ghost 1GiB seq\nend\n").expect("parses");
-        assert!(matches!(execute(&s), Err(ExecError::UnknownBuffer(_))));
+        match execute(&s) {
+            // The phase statement starts on line 2.
+            Err(ExecError::UnknownBuffer { name, line }) => {
+                assert_eq!(name, "ghost");
+                assert_eq!(line, 2);
+            }
+            other => panic!("expected unknown buffer, got {:?}", other.map(|_| ())),
+        }
     }
 
     #[test]
@@ -278,9 +388,21 @@ end
         let s = parse("machine knl-flat\ninitiator 0-15\nalloc big 100GiB latency strict\n")
             .expect("parses");
         match execute(&s) {
-            Err(ExecError::Alloc { name, .. }) => assert_eq!(name, "big"),
+            Err(ExecError::Alloc { name, line, .. }) => {
+                assert_eq!(name, "big");
+                assert_eq!(line, 3);
+            }
             other => panic!("expected alloc failure, got {:?}", other.map(|_| ())),
         }
+    }
+
+    #[test]
+    fn error_display_points_at_source_line() {
+        let s = parse("machine knl-flat\n\nfree ghost\n").expect("parses");
+        let e = execute(&s).map(|_| ()).expect_err("unknown buffer");
+        let text = e.to_string();
+        assert!(text.contains("line 3"), "{text}");
+        assert!(text.contains("ghost"), "{text}");
     }
 
     #[test]
@@ -317,5 +439,39 @@ end
         let s = parse("machine knl-flat\nalloc a 1GiB capacity\n").expect("parses");
         let r = execute(&s).expect("runs");
         assert_eq!(r.final_placements.len(), 1);
+    }
+
+    #[test]
+    fn guidance_statement_speeds_up_era_change() {
+        // `a` wins MCDRAM; `b` falls back to DRAM entirely. The era
+        // change is only profitable if guidance reacts well before the
+        // six DRAM-speed phases are over.
+        let mut base = String::from(
+            "machine knl-flat
+initiator 0-15
+threads 16
+alloc a 2GiB bandwidth
+alloc b 2GiB bandwidth
+phase era1
+  read a 16GiB seq
+end
+",
+        );
+        for i in 0..9 {
+            base.push_str(&format!("phase era2{i}\n  read b 16GiB seq\nend\n"));
+        }
+        let guided = format!("guidance 32768 bandwidth\n{base}");
+        let plain = execute(&parse(&base).expect("valid")).expect("runs");
+        let with_g = execute(&parse(&guided).expect("valid")).expect("runs");
+        let stats = with_g.guidance.expect("guidance ran");
+        assert!(stats.promotions >= 1, "{stats:?}");
+        assert!(stats.intervals > 4);
+        // Guidance notices the era change and beats the static run.
+        assert!(
+            with_g.total_ns < plain.total_ns,
+            "guided {} vs static {}",
+            with_g.total_ns,
+            plain.total_ns
+        );
     }
 }

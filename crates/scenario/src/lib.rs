@@ -36,8 +36,11 @@
 mod exec;
 mod parse;
 
-pub use exec::{execute, execute_with_recorder, ExecError, PhaseOutcome, ScenarioReport};
-pub use parse::{parse, AccessSpec, Command, ParseError, PhaseSpec, Scenario};
+pub use exec::{
+    execute, execute_with_options, execute_with_recorder, ExecError, ExecOptions, PhaseOutcome,
+    ScenarioReport,
+};
+pub use parse::{parse, AccessSpec, Command, ParseError, PhaseSpec, Scenario, Stmt};
 
 use hetmem_memsim::Machine;
 

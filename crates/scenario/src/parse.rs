@@ -13,6 +13,8 @@
 //! free <name>
 //! migrate <name> <criterion>
 //! rebalance [criterion]           # run the tiering daemon (default bandwidth)
+//! guidance <period> [criterion]   # sample every <period> accesses and let the
+//!                                 # online engine migrate mid-phase
 //!
 //! phase <name>
 //!   read  <buffer> <size> seq|strided|random|chase [hot=<0..1>]
@@ -105,6 +107,25 @@ pub enum Command {
         /// The hot-tier criterion.
         criterion: AttrId,
     },
+    /// `guidance <period> [criterion]`: enable the online guidance
+    /// engine for all following phases.
+    Guidance {
+        /// Sampling period, accesses per sample.
+        period: u64,
+        /// Attribute whose best local target hot regions move to.
+        criterion: AttrId,
+    },
+}
+
+/// One statement with the source line it came from (for error
+/// reporting by the executor).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stmt {
+    /// 1-based line in the scenario text (`phase` blocks report the
+    /// line of the `phase` keyword).
+    pub line: usize,
+    /// The parsed statement.
+    pub cmd: Command,
 }
 
 /// Which attribute source to discover with.
@@ -129,7 +150,7 @@ pub struct Scenario {
     /// Attribute source.
     pub discovery: Discovery,
     /// The statements, in order.
-    pub commands: Vec<Command>,
+    pub commands: Vec<Stmt>,
 }
 
 fn parse_size(tok: &str, line: usize) -> Result<u64, ParseError> {
@@ -202,7 +223,7 @@ pub fn parse(text: &str) -> Result<Scenario, ParseError> {
     let mut threads = None;
     let mut discovery = Discovery::default();
     let mut commands = Vec::new();
-    let mut current_phase: Option<PhaseSpec> = None;
+    let mut current_phase: Option<(usize, PhaseSpec)> = None;
 
     for (idx, raw) in text.lines().enumerate() {
         let line = idx + 1;
@@ -214,7 +235,7 @@ pub fn parse(text: &str) -> Result<Scenario, ParseError> {
         let toks: Vec<&str> = content.split_whitespace().collect();
         let kw = toks[0].to_ascii_lowercase();
 
-        if let Some(phase) = current_phase.as_mut() {
+        if let Some((_, phase)) = current_phase.as_mut() {
             match kw.as_str() {
                 "read" | "write" => {
                     if !(4..=5).contains(&toks.len()) {
@@ -254,8 +275,8 @@ pub fn parse(text: &str) -> Result<Scenario, ParseError> {
                     phase.compute_ns += parse_duration_ns(toks[1], line)?;
                 }
                 "end" => {
-                    let phase = current_phase.take().expect("in phase");
-                    commands.push(Command::Phase(phase));
+                    let (start, phase) = current_phase.take().expect("in phase");
+                    commands.push(Stmt { line: start, cmd: Command::Phase(phase) });
                 }
                 other => {
                     return Err(err(format!("unexpected {other:?} inside phase (missing end?)")))
@@ -311,27 +332,33 @@ pub fn parse(text: &str) -> Result<Scenario, ParseError> {
                         other => return Err(err(format!("unknown alloc option {other:?}"))),
                     }
                 }
-                commands.push(Command::Alloc {
-                    name: toks[1].to_string(),
-                    size: parse_size(toks[2], line)?,
-                    criterion: parse_criterion(toks[3], line)?,
-                    fallback,
-                    global,
+                commands.push(Stmt {
+                    line,
+                    cmd: Command::Alloc {
+                        name: toks[1].to_string(),
+                        size: parse_size(toks[2], line)?,
+                        criterion: parse_criterion(toks[3], line)?,
+                        fallback,
+                        global,
+                    },
                 });
             }
             "free" => {
                 if toks.len() != 2 {
                     return Err(err("free needs a buffer name".into()));
                 }
-                commands.push(Command::Free(toks[1].to_string()));
+                commands.push(Stmt { line, cmd: Command::Free(toks[1].to_string()) });
             }
             "migrate" => {
                 if toks.len() != 3 {
                     return Err(err("migrate needs: migrate <name> <criterion>".into()));
                 }
-                commands.push(Command::Migrate {
-                    name: toks[1].to_string(),
-                    criterion: parse_criterion(toks[2], line)?,
+                commands.push(Stmt {
+                    line,
+                    cmd: Command::Migrate {
+                        name: toks[1].to_string(),
+                        criterion: parse_criterion(toks[2], line)?,
+                    },
                 });
             }
             "rebalance" => {
@@ -339,17 +366,32 @@ pub fn parse(text: &str) -> Result<Scenario, ParseError> {
                     Some(tok) => parse_criterion(tok, line)?,
                     None => attr::BANDWIDTH,
                 };
-                commands.push(Command::Rebalance { criterion });
+                commands.push(Stmt { line, cmd: Command::Rebalance { criterion } });
+            }
+            "guidance" => {
+                if !(2..=3).contains(&toks.len()) {
+                    return Err(err("guidance needs: guidance <period> [criterion]".into()));
+                }
+                let period: u64 = toks[1]
+                    .parse()
+                    .map_err(|_| err(format!("bad sampling period {:?}", toks[1])))?;
+                if period == 0 {
+                    return Err(err("sampling period must be at least 1".into()));
+                }
+                let criterion = match toks.get(2) {
+                    Some(tok) => parse_criterion(tok, line)?,
+                    None => attr::BANDWIDTH,
+                };
+                commands.push(Stmt { line, cmd: Command::Guidance { period, criterion } });
             }
             "phase" => {
                 if toks.len() != 2 {
                     return Err(err("phase needs a name".into()));
                 }
-                current_phase = Some(PhaseSpec {
-                    name: toks[1].to_string(),
-                    accesses: Vec::new(),
-                    compute_ns: 0.0,
-                });
+                current_phase = Some((
+                    line,
+                    PhaseSpec { name: toks[1].to_string(), accesses: Vec::new(), compute_ns: 0.0 },
+                ));
             }
             "end" => return Err(err("end outside a phase".into())),
             other => return Err(err(format!("unknown statement {other:?}"))),
@@ -398,7 +440,7 @@ migrate bulk bandwidth
         assert_eq!(s.initiator, "0-15");
         assert_eq!(s.threads, 16);
         assert_eq!(s.commands.len(), 5);
-        match &s.commands[0] {
+        match &s.commands[0].cmd {
             Command::Alloc { name, size, criterion, fallback, global } => {
                 assert_eq!(name, "hot");
                 assert_eq!(*size, 3 << 30);
@@ -408,7 +450,7 @@ migrate bulk bandwidth
             }
             other => panic!("expected alloc, got {other:?}"),
         }
-        match &s.commands[2] {
+        match &s.commands[2].cmd {
             Command::Phase(p) => {
                 assert_eq!(p.name, "traverse");
                 assert_eq!(p.accesses.len(), 2);
@@ -419,7 +461,35 @@ migrate bulk bandwidth
             }
             other => panic!("expected phase, got {other:?}"),
         }
-        assert_eq!(s.commands[3], Command::Free("hot".into()));
+        assert_eq!(s.commands[3].cmd, Command::Free("hot".into()));
+    }
+
+    #[test]
+    fn statements_carry_source_lines() {
+        let s = parse(SAMPLE).expect("valid");
+        // Lines of: alloc hot, alloc bulk, phase traverse, free, migrate.
+        let lines: Vec<usize> = s.commands.iter().map(|c| c.line).collect();
+        assert_eq!(lines, vec![6, 7, 8, 13, 14]);
+    }
+
+    #[test]
+    fn guidance_statement() {
+        let s = parse(
+            "machine knl-flat
+guidance 32768
+guidance 8192 latency
+",
+        )
+        .expect("valid");
+        assert_eq!(
+            s.commands[0].cmd,
+            Command::Guidance { period: 32768, criterion: attr::BANDWIDTH }
+        );
+        assert_eq!(s.commands[1].cmd, Command::Guidance { period: 8192, criterion: attr::LATENCY });
+        assert!(parse("machine m\nguidance\n").is_err());
+        assert!(parse("machine m\nguidance 0\n").is_err());
+        assert!(parse("machine m\nguidance many\n").is_err());
+        assert!(parse("machine m\nguidance 4096 bogus\n").is_err());
     }
 
     #[test]
@@ -463,7 +533,7 @@ end
 ",
         )
         .expect("valid");
-        match &s.commands[0] {
+        match &s.commands[0].cmd {
             Command::Phase(p) => assert_eq!(p.accesses[0].hot_fraction, 0.25),
             other => panic!("expected phase, got {other:?}"),
         }
@@ -494,8 +564,8 @@ rebalance latency
 ",
         )
         .expect("valid");
-        assert_eq!(s.commands[0], Command::Rebalance { criterion: attr::BANDWIDTH });
-        assert_eq!(s.commands[1], Command::Rebalance { criterion: attr::LATENCY });
+        assert_eq!(s.commands[0].cmd, Command::Rebalance { criterion: attr::BANDWIDTH });
+        assert_eq!(s.commands[1].cmd, Command::Rebalance { criterion: attr::LATENCY });
         assert!(parse(
             "machine m
 rebalance bogus
@@ -512,7 +582,7 @@ alloc w 1GiB latency next global
 ",
         )
         .expect("valid");
-        match &s.commands[0] {
+        match &s.commands[0].cmd {
             Command::Alloc { global, fallback, .. } => {
                 assert!(*global);
                 assert_eq!(*fallback, Fallback::NextTarget);

@@ -25,6 +25,11 @@ proptest! {
                 "alloc b 2MiB latency spill",
                 "free a",
                 "migrate a capacity",
+                "rebalance bandwidth",
+                "guidance 32768 bandwidth",
+                "guidance 1",
+                "guidance 0",
+                "guidance",
                 "phase p",
                 "  read a 1GiB seq",
                 "  write b 4KiB random",

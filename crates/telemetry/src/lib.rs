@@ -200,6 +200,46 @@ pub struct OccupancyGauge {
     pub total: u64,
 }
 
+/// A promotion or demotion decided by the phase-boundary tiering
+/// daemon (the underlying copy also emits a [`Migration`]; this event
+/// records *why* it happened).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TieringEvent {
+    /// The moved region.
+    pub region: u64,
+    /// `true` for a promotion to the hot tier, `false` for a demotion.
+    pub promoted: bool,
+    /// Destination node.
+    pub to: NodeId,
+    /// Migration cost, ns.
+    pub cost_ns: f64,
+}
+
+/// One action of the online guidance engine, recording the imperfect
+/// sampled hotness estimate that drove it next to the ground truth it
+/// could not see.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GuidanceDecision {
+    /// Global guidance-interval counter when the action was taken.
+    pub interval: u64,
+    /// The moved region.
+    pub region: u64,
+    /// `true` for a promotion to the hot tier, `false` for a demotion.
+    pub promoted: bool,
+    /// Destination node.
+    pub to: NodeId,
+    /// Estimated hotness — the region's EWMA share of sampled traffic
+    /// (0..=1) when the decision fired.
+    pub estimated_hotness: f64,
+    /// Ground-truth hotness — the region's share of the triggering
+    /// interval's actual traffic (0..=1).
+    pub actual_hotness: f64,
+    /// Migration cost, ns.
+    pub cost_ns: f64,
+    /// Sampling period (accesses per sample) in effect.
+    pub period: u64,
+}
+
 /// A telemetry event.
 #[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
@@ -216,6 +256,10 @@ pub enum Event {
     PhaseSpan(PhaseSpan),
     /// A node occupancy sample.
     OccupancyGauge(OccupancyGauge),
+    /// A tiering-daemon promotion or demotion.
+    TieringAction(TieringEvent),
+    /// An online-guidance promotion or demotion.
+    GuidanceDecision(GuidanceDecision),
 }
 
 /// Human-readable name for the well-known attribute ids of
@@ -356,6 +400,24 @@ impl Event {
                 ("high_water", JsonValue::num(g.high_water as f64)),
                 ("total", JsonValue::num(g.total as f64)),
             ],
+            Event::TieringAction(t) => vec![
+                ("event", JsonValue::str("tiering_action")),
+                ("region", JsonValue::num(t.region as f64)),
+                ("action", JsonValue::str(action_name(t.promoted))),
+                ("to", JsonValue::num(t.to.0 as f64)),
+                ("cost_ns", JsonValue::num(t.cost_ns)),
+            ],
+            Event::GuidanceDecision(g) => vec![
+                ("event", JsonValue::str("guidance_decision")),
+                ("interval", JsonValue::num(g.interval as f64)),
+                ("region", JsonValue::num(g.region as f64)),
+                ("action", JsonValue::str(action_name(g.promoted))),
+                ("to", JsonValue::num(g.to.0 as f64)),
+                ("estimated_hotness", JsonValue::num(g.estimated_hotness)),
+                ("actual_hotness", JsonValue::num(g.actual_hotness)),
+                ("cost_ns", JsonValue::num(g.cost_ns)),
+                ("period", JsonValue::num(g.period as f64)),
+            ],
         };
         JsonValue::Object(obj.into_iter().map(|(k, v)| (k.to_string(), v)).collect()).render()
     }
@@ -454,8 +516,40 @@ impl Event {
                 high_water: v.get("high_water")?.u64()?,
                 total: v.get("total")?.u64()?,
             })),
+            "tiering_action" => Ok(Event::TieringAction(TieringEvent {
+                region: v.get("region")?.u64()?,
+                promoted: action_promoted(&v.get("action")?.string()?)?,
+                to: NodeId(v.get("to")?.u64()? as u32),
+                cost_ns: v.get("cost_ns")?.f64()?,
+            })),
+            "guidance_decision" => Ok(Event::GuidanceDecision(GuidanceDecision {
+                interval: v.get("interval")?.u64()?,
+                region: v.get("region")?.u64()?,
+                promoted: action_promoted(&v.get("action")?.string()?)?,
+                to: NodeId(v.get("to")?.u64()? as u32),
+                estimated_hotness: v.get("estimated_hotness")?.f64()?,
+                actual_hotness: v.get("actual_hotness")?.f64()?,
+                cost_ns: v.get("cost_ns")?.f64()?,
+                period: v.get("period")?.u64()?,
+            })),
             other => Err(ParseError::new(format!("unknown event kind {other:?}"))),
         }
+    }
+}
+
+fn action_name(promoted: bool) -> &'static str {
+    if promoted {
+        "promote"
+    } else {
+        "demote"
+    }
+}
+
+fn action_promoted(name: &str) -> Result<bool, ParseError> {
+    match name {
+        "promote" => Ok(true),
+        "demote" => Ok(false),
+        other => Err(ParseError::new(format!("bad action {other:?}"))),
     }
 }
 
@@ -656,6 +750,22 @@ mod tests {
                 used: 5 << 30,
                 high_water: 9 << 30,
                 total: 768 << 30,
+            }),
+            Event::TieringAction(TieringEvent {
+                region: 3,
+                promoted: false,
+                to: NodeId(0),
+                cost_ns: 12_500.75,
+            }),
+            Event::GuidanceDecision(GuidanceDecision {
+                interval: 42,
+                region: 9,
+                promoted: true,
+                to: NodeId(4),
+                estimated_hotness: 0.8125,
+                actual_hotness: 0.96875,
+                cost_ns: 7_000.5,
+                period: 16384,
             }),
         ];
         let text: String = events.iter().map(|e| e.to_json() + "\n").collect();

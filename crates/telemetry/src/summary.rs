@@ -54,6 +54,10 @@ pub struct Summary {
     pub migrations: u64,
     /// Bytes moved by migrations.
     pub migrated_bytes: u64,
+    /// Tiering-daemon actions seen (each also emits a migration).
+    pub tiering_actions: u64,
+    /// Online-guidance actions seen (each also emits a migration).
+    pub guidance_actions: u64,
     /// Frees seen.
     pub frees: u64,
     /// Per-node occupancy, latest and high-water.
@@ -120,6 +124,8 @@ impl Summary {
                 s.high_water = s.high_water.max(g.high_water);
                 s.total = g.total;
             }
+            Event::TieringAction(_) => self.tiering_actions += 1,
+            Event::GuidanceDecision(_) => self.guidance_actions += 1,
             // Event is non_exhaustive for forward compatibility;
             // unknown variants simply don't aggregate.
             #[allow(unreachable_patterns)]
@@ -171,6 +177,13 @@ impl Summary {
                 "  migrations: {} moving {}",
                 self.migrations,
                 fmt_bytes(self.migrated_bytes)
+            );
+        }
+        if self.tiering_actions + self.guidance_actions > 0 {
+            let _ = writeln!(
+                out,
+                "  automatic actions: {} tiering, {} guidance",
+                self.tiering_actions, self.guidance_actions
             );
         }
         if !self.occupancy.is_empty() {

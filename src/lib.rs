@@ -15,6 +15,8 @@
 //!   feed measured attribute values;
 //! * [`alloc`] — the heterogeneous allocator `mem_alloc(.., attribute)`
 //!   plus the baselines it is compared against;
+//! * [`guidance`] — online access sampling (PEBS-style) feeding an
+//!   automatic mid-phase promotion/demotion engine;
 //! * [`profile`] — the VTune-like memory-access profiler;
 //! * [`apps`] — Graph500 BFS, STREAM, SpMV and a two-phase migration
 //!   workload;
@@ -28,6 +30,7 @@ pub use hetmem_alloc as alloc;
 pub use hetmem_apps as apps;
 pub use hetmem_bitmap as bitmap;
 pub use hetmem_core as core;
+pub use hetmem_guidance as guidance;
 pub use hetmem_hmat as hmat;
 pub use hetmem_membench as membench;
 pub use hetmem_memsim as memsim;

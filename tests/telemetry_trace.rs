@@ -209,3 +209,71 @@ fn trace_live_placement_matches_memory_manager() {
     assert!(report.contains("1 spilled"), "report:\n{report}");
     assert!(summary.migrations >= 1);
 }
+
+/// Satellite: the tiering daemon's automatic actions appear in the
+/// trace as `TieringAction` events, one per migration it performed,
+/// alongside the `Migration` events the memory manager emits.
+#[test]
+fn tiering_daemon_actions_are_traced() {
+    use hetmem::alloc::tiering::{TieringAction, TieringDaemon, TieringPolicy};
+    use hetmem::memsim::{AccessEngine, AccessPattern, BufferAccess, Phase};
+
+    let machine = Arc::new(Machine::knl_snc4_flat());
+    let attrs = Arc::new(discovery::from_firmware(&machine, true).expect("discovery"));
+    let engine = AccessEngine::new(machine.clone());
+    let mut alloc = HetAllocator::new(attrs, MemoryManager::new(machine));
+    let recorder = Arc::new(RingRecorder::new(256));
+    alloc.set_recorder(recorder.clone());
+    let cluster: Bitmap = "0-15".parse().expect("cpuset");
+
+    // `a` takes MCDRAM; `b` lands on DRAM. Two phases of `b`-only
+    // traffic make `a` cold, so a rebalance swaps them.
+    let mut ids = Vec::new();
+    for name in ["a", "b"] {
+        ids.push(
+            alloc
+                .alloc(
+                    &AllocRequest::new(3 * GIB)
+                        .criterion(attr::BANDWIDTH)
+                        .initiator(&cluster)
+                        .label(name),
+                )
+                .expect("fits"),
+        );
+    }
+    let mut daemon = TieringDaemon::new(TieringPolicy::default());
+    for i in 0..2 {
+        let phase = Phase {
+            name: format!("era2.{i}"),
+            accesses: vec![BufferAccess::new(ids[1], 8 * GIB, 0, AccessPattern::Sequential)],
+            threads: 16,
+            initiator: cluster.clone(),
+            compute_ns: 0.0,
+        };
+        daemon.observe(&engine.run_phase(alloc.memory(), &phase));
+    }
+    let actions = daemon.rebalance(&mut alloc, &cluster).expect("rebalances");
+    assert_eq!(actions.len(), 2, "{actions:?}");
+
+    let traced: Vec<(u64, bool, NodeId)> = recorder
+        .events()
+        .iter()
+        .filter_map(|e| match e {
+            Event::TieringAction(t) => Some((t.region, t.promoted, t.to)),
+            _ => None,
+        })
+        .collect();
+    let expected: Vec<(u64, bool, NodeId)> = actions
+        .iter()
+        .map(|a| match a {
+            TieringAction::Promoted { region, to, .. } => (region.0, true, *to),
+            TieringAction::Demoted { region, to, .. } => (region.0, false, *to),
+        })
+        .collect();
+    assert_eq!(traced, expected, "trace must mirror the daemon's actions");
+    // The daemon's migrations also show up as Migration events, and
+    // the summary counts both.
+    let summary = Summary::from_events(&recorder.events());
+    assert_eq!(summary.tiering_actions, 2);
+    assert!(summary.migrations >= 2);
+}

@@ -83,7 +83,11 @@ pub struct BenchmarkGroup {
 
 impl BenchmarkGroup {
     /// Runs one benchmark within the group.
-    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: BenchmarkId, mut f: F) -> &mut Self {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: BenchmarkId,
+        mut f: F,
+    ) -> &mut Self {
         run_one(&format!("{}/{}", self.name, id.id), &mut f);
         self
     }

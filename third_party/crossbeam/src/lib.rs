@@ -85,9 +85,7 @@ mod tests {
     #[test]
     fn nested_spawn_through_scope_arg() {
         let n = crate::thread::scope(|s| {
-            s.spawn(|inner| inner.spawn(|_| 21).join().expect("nested") * 2)
-                .join()
-                .expect("outer")
+            s.spawn(|inner| inner.spawn(|_| 21).join().expect("nested") * 2).join().expect("outer")
         })
         .expect("scope");
         assert_eq!(n, 42);

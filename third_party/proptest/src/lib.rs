@@ -555,8 +555,8 @@ macro_rules! prop_assert_ne {
 /// The glob-import module, mirroring `proptest::prelude`.
 pub mod prelude {
     pub use crate::{
-        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_compose, prop_oneof, proptest,
-        Just, ProptestConfig, Strategy,
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_compose, prop_oneof, proptest, Just,
+        ProptestConfig, Strategy,
     };
 
     /// Mirror of `proptest::prelude::prop`.
