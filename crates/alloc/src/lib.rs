@@ -471,42 +471,6 @@ impl HetAllocator {
         result
     }
 
-    /// The paper's `mem_alloc(..., attribute)`: allocates `size` bytes
-    /// on the best local target for `criterion` as seen from
-    /// `initiator`, with the chosen fallback behaviour.
-    #[deprecated(note = "build an AllocRequest and call HetAllocator::alloc instead")]
-    pub fn mem_alloc(
-        &mut self,
-        size: u64,
-        criterion: AttrId,
-        initiator: &Bitmap,
-        fallback: Fallback,
-    ) -> Result<RegionId, HetAllocError> {
-        self.alloc(
-            &AllocRequest::new(size).criterion(criterion).initiator(initiator).fallback(fallback),
-        )
-    }
-
-    /// `mem_alloc` over the global (local + remote) ranking.
-    #[deprecated(
-        note = "build an AllocRequest with .any_locality() and call HetAllocator::alloc instead"
-    )]
-    pub fn mem_alloc_any(
-        &mut self,
-        size: u64,
-        criterion: AttrId,
-        initiator: &Bitmap,
-        fallback: Fallback,
-    ) -> Result<RegionId, HetAllocError> {
-        self.alloc(
-            &AllocRequest::new(size)
-                .criterion(criterion)
-                .initiator(initiator)
-                .fallback(fallback)
-                .any_locality(),
-        )
-    }
-
     /// Frees a buffer.
     pub fn free(&mut self, id: RegionId) -> bool {
         self.mm.free(id)
@@ -724,17 +688,6 @@ mod tests {
         // All four MCDRAMs are local to the machine cpuset; the
         // best-ranked one wins.
         assert_eq!(kind_of(&knl, id), MemoryKind::Hbm);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_still_work() {
-        let c0: Bitmap = "0-15".parse().unwrap();
-        let mut knl = knl_allocator();
-        let id = knl.mem_alloc(GIB, attr::BANDWIDTH, &c0, Fallback::NextTarget).unwrap();
-        assert_eq!(kind_of(&knl, id), MemoryKind::Hbm);
-        let id = knl.mem_alloc_any(GIB, attr::CAPACITY, &c0, Fallback::NextTarget).unwrap();
-        assert!(knl.memory().region(id).is_some());
     }
 
     #[test]

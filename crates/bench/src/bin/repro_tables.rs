@@ -1,7 +1,7 @@
 //! Regenerates every table of the paper's evaluation.
 //!
 //! ```text
-//! repro_tables [--table1|--table2a|--table2b|--table3a|--table3b|--table4|--portability|--capacity|--guidance|--all]
+//! repro_tables [--table1|--table2a|--table2b|--table3a|--table3b|--table4|--portability|--capacity|--guidance|--service|--all]
 //!              [--trace <out.jsonl>]
 //! ```
 //!
@@ -67,6 +67,9 @@ fn main() {
     }
     if all || arg == "--guidance" {
         guidance();
+    }
+    if all || arg == "--service" {
+        service();
     }
 }
 
@@ -448,6 +451,72 @@ fn section8() {
         );
     }
     println!("  => another DRAM beats the local NVDIMM for latency-bound buffers");
+    println!();
+}
+
+/// Multi-tenant service sweep: the closed-loop load harness drives
+/// the allocation broker with one resident bandwidth hog and three
+/// interactive latency tenants, under each arbitration policy.
+fn service() {
+    use hetmem_bench::load::{knl_contention, run_load};
+    use hetmem_service::ArbitrationPolicy;
+    println!(
+        "== Multi-tenant service: 1 resident hog + 3 interactive tenants on the KNL MCDRAM =="
+    );
+    println!(
+        "{:<12} {:>8} {:>7} {:>9} {:>9} {:>9} {:>9} {:>7} {:>10}",
+        "policy",
+        "admitted",
+        "denied",
+        "p50 us",
+        "p99 us",
+        "alloc/s",
+        "fast-hit",
+        "clamps",
+        "stall ms"
+    );
+    let ctx = Ctx::knl();
+    let mut reports = Vec::new();
+    for policy in
+        [ArbitrationPolicy::FairShare, ArbitrationPolicy::Fcfs, ArbitrationPolicy::StaticPartition]
+    {
+        let r = run_load(ctx.machine.clone(), ctx.attrs.clone(), &knl_contention(policy));
+        println!(
+            "{:<12} {:>8} {:>7} {:>9.2} {:>9.2} {:>9.0} {:>8.1}% {:>7} {:>10.1}",
+            policy.as_str(),
+            r.admitted,
+            r.denied,
+            r.p50_alloc_ns / 1e3,
+            r.p99_alloc_ns / 1e3,
+            r.allocs_per_sec,
+            r.fast_hit() * 100.0,
+            r.clamps,
+            r.stall_ns / 1e6
+        );
+        reports.push(r);
+    }
+    println!("per-tenant fast-tier hit rate:");
+    println!(
+        "{:<16} {:<8} {:>11} {:>11} {:>11}",
+        "tenant", "class", "fair-share", "fcfs", "static"
+    );
+    for i in 0..reports[0].per_tenant.len() {
+        println!(
+            "{:<16} {:<8} {:>10.1}% {:>10.1}% {:>10.1}%",
+            reports[0].per_tenant[i].name,
+            reports[0].per_tenant[i].priority.as_str(),
+            reports[0].per_tenant[i].fast_hit() * 100.0,
+            reports[1].per_tenant[i].fast_hit() * 100.0,
+            reports[2].per_tenant[i].fast_hit() * 100.0,
+        );
+    }
+    let (fair, fcfs) = (&reports[0], &reports[1]);
+    println!(
+        "  => fair-share {} FCFS on aggregate fast-tier hit rate ({:.1}% vs {:.1}%)",
+        if fair.fast_hit() > fcfs.fast_hit() { "beats" } else { "does NOT beat" },
+        fair.fast_hit() * 100.0,
+        fcfs.fast_hit() * 100.0
+    );
     println!();
 }
 

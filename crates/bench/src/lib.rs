@@ -9,6 +9,8 @@ use hetmem_core::{discovery, MemAttrs};
 use hetmem_memsim::{AccessEngine, Machine, MemoryManager};
 use std::sync::Arc;
 
+pub mod load;
+
 /// A ready-to-run experiment context for one machine.
 pub struct Ctx {
     /// The simulated machine.

@@ -1,0 +1,412 @@
+//! Closed-loop multi-tenant load generator for the allocation broker.
+//!
+//! A population of synthetic clients drives a [`Broker`] through
+//! think → allocate → hold → release cycles on a virtual tick clock.
+//! Everything is deterministic: sizes, hold times and think times come
+//! from a seeded [`SmallRng`], and the per-request "allocation
+//! latency" is a synthetic cost model (arbitration base cost plus
+//! queueing, spill-walk and quota-clamp penalties) rather than wall
+//! clock, so the same seed always reproduces the same report.
+//!
+//! The interesting output is the *aggregate fast-tier hit rate*: the
+//! fraction of admitted bytes that landed on the machine's fast tier.
+//! Under FCFS a single long-holding bandwidth hog captures the tier
+//! and every later tenant eats DRAM; fair-share clamps the hog to its
+//! weighted guarantee and the high-turnover latency tenants keep
+//! hitting fast memory.
+
+use hetmem_alloc::{AllocRequest, Fallback};
+use hetmem_core::{AttrId, MemAttrs};
+use hetmem_memsim::Machine;
+use hetmem_service::{
+    ArbitrationPolicy, Broker, Lease, Priority, ServiceError, TenantId, TenantSpec,
+};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// Arbitration base cost per admitted request.
+const BASE_ALLOC_NS: f64 = 900.0;
+/// Added per request already served earlier in the same tick (queueing
+/// behind the batch the dispatcher drains per tick).
+const QUEUE_STEP_NS: f64 = 350.0;
+/// Added per extra placement entry (each spill hop walks one more
+/// ranked candidate).
+const SPILL_HOP_NS: f64 = 250.0;
+/// Added when the arbiter clamped the request below its ask (the
+/// fair-share bookkeeping path).
+const CLAMP_PENALTY_NS: f64 = 1200.0;
+
+/// One synthetic tenant population.
+#[derive(Debug, Clone)]
+pub struct TenantProfile {
+    /// Tenant name (also the registration name on the broker).
+    pub name: String,
+    /// Priority class, which sets the fair-share weight.
+    pub priority: Priority,
+    /// Number of closed-loop clients cycling under this tenant.
+    pub clients: u32,
+    /// Inclusive request-size range in MiB.
+    pub size_mib: (u64, u64),
+    /// Inclusive hold duration range in ticks.
+    pub hold_ticks: (u32, u32),
+    /// Inclusive think-time range in ticks between release and the
+    /// next request.
+    pub think_ticks: (u32, u32),
+    /// Ranking criterion for every request.
+    pub criterion: AttrId,
+    /// Fallback mode for every request.
+    pub fallback: Fallback,
+}
+
+/// A complete load-harness configuration.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Arbitration policy under test.
+    pub policy: ArbitrationPolicy,
+    /// The tenant populations.
+    pub tenants: Vec<TenantProfile>,
+    /// Number of virtual ticks to simulate.
+    pub ticks: u32,
+    /// Virtual duration of one tick (one service batch window).
+    pub tick_ns: f64,
+    /// RNG seed; same seed, same config, same report.
+    pub seed: u64,
+}
+
+/// Per-tenant roll-up of one load run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantLoad {
+    /// Tenant name.
+    pub name: String,
+    /// Priority class.
+    pub priority: Priority,
+    /// Requests admitted.
+    pub admitted: u64,
+    /// Requests denied outright.
+    pub denied: u64,
+    /// Admitted bytes that landed on the fast tier.
+    pub fast_bytes: u64,
+    /// Total admitted bytes.
+    pub total_bytes: u64,
+    /// Quota/fair-share clamps suffered.
+    pub clamps: u64,
+    /// Contention stalls charged.
+    pub stalls: u64,
+}
+
+impl TenantLoad {
+    /// Fraction of this tenant's admitted bytes on the fast tier.
+    pub fn fast_hit(&self) -> f64 {
+        if self.total_bytes == 0 {
+            0.0
+        } else {
+            self.fast_bytes as f64 / self.total_bytes as f64
+        }
+    }
+}
+
+/// Aggregate result of one load run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadReport {
+    /// The policy that produced this report.
+    pub policy: ArbitrationPolicy,
+    /// Requests admitted across all tenants.
+    pub admitted: u64,
+    /// Requests denied across all tenants.
+    pub denied: u64,
+    /// Median synthetic allocation latency (admitted requests).
+    pub p50_alloc_ns: f64,
+    /// 99th-percentile synthetic allocation latency.
+    pub p99_alloc_ns: f64,
+    /// Admitted requests per virtual second.
+    pub allocs_per_sec: f64,
+    /// Admitted bytes that landed on the fast tier.
+    pub fast_bytes: u64,
+    /// Total admitted bytes.
+    pub total_bytes: u64,
+    /// Quota/fair-share clamps across all tenants.
+    pub clamps: u64,
+    /// Total contention stall time charged across all tenants.
+    pub stall_ns: f64,
+    /// Per-tenant breakdown, in profile order.
+    pub per_tenant: Vec<TenantLoad>,
+}
+
+impl LoadReport {
+    /// Aggregate fast-tier hit rate: fast bytes over admitted bytes.
+    pub fn fast_hit(&self) -> f64 {
+        if self.total_bytes == 0 {
+            0.0
+        } else {
+            self.fast_bytes as f64 / self.total_bytes as f64
+        }
+    }
+}
+
+/// Inclusive uniform draw without `gen_range` (the offline `rand`
+/// stub only provides `gen`).
+fn draw(rng: &mut SmallRng, lo: u64, hi: u64) -> u64 {
+    if hi <= lo {
+        return lo;
+    }
+    let span = hi - lo + 1;
+    lo + ((rng.gen::<f64>() * span as f64) as u64).min(span - 1)
+}
+
+enum ClientState {
+    Thinking { until: u32 },
+    Holding { lease: Lease, until: u32 },
+}
+
+struct Client {
+    tenant: TenantId,
+    profile: usize,
+    state: ClientState,
+}
+
+/// Runs one closed-loop load simulation against a fresh broker.
+///
+/// Each tick is one service batch: the epoch advances, releases are
+/// settled, due clients issue their next request in a fixed
+/// deterministic order, and holding clients charge their traffic to
+/// the contention board.
+pub fn run_load(machine: Arc<Machine>, attrs: Arc<MemAttrs>, cfg: &LoadConfig) -> LoadReport {
+    let broker = Broker::new(machine, attrs, cfg.policy);
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let mut clients = Vec::new();
+    let mut tallies: Vec<(u64, u64, u64, u64)> = Vec::new(); // admitted, denied, fast, total
+    for (i, profile) in cfg.tenants.iter().enumerate() {
+        let id = broker
+            .register(TenantSpec::new(&profile.name).priority(profile.priority))
+            .expect("load tenants register");
+        tallies.push((0, 0, 0, 0));
+        for _ in 0..profile.clients {
+            // Stagger first arrivals a little so ties are not an
+            // artifact of declaration order alone.
+            let until = draw(&mut rng, 0, profile.think_ticks.1 as u64) as u32;
+            clients.push(Client { tenant: id, profile: i, state: ClientState::Thinking { until } });
+        }
+    }
+
+    let mut latencies: Vec<f64> = Vec::new();
+    let mut stall_ns = 0.0;
+    for tick in 0..cfg.ticks {
+        broker.advance_epoch();
+        let mut queue_pos = 0u32;
+        for client in &mut clients {
+            let profile = &cfg.tenants[client.profile];
+            match &mut client.state {
+                ClientState::Holding { until, .. } if tick >= *until => {
+                    let ClientState::Holding { lease, .. } = std::mem::replace(
+                        &mut client.state,
+                        ClientState::Thinking {
+                            until: tick
+                                + 1
+                                + draw(
+                                    &mut rng,
+                                    profile.think_ticks.0 as u64,
+                                    profile.think_ticks.1 as u64,
+                                ) as u32,
+                        },
+                    ) else {
+                        unreachable!()
+                    };
+                    broker.release(lease).expect("held lease releases");
+                }
+                ClientState::Holding { lease, .. } => {
+                    // Touch the whole lease once per tick.
+                    stall_ns +=
+                        broker.charge_traffic(client.tenant, lease.placement(), cfg.tick_ns);
+                }
+                ClientState::Thinking { until } if tick >= *until => {
+                    let size = draw(&mut rng, profile.size_mib.0, profile.size_mib.1) << 20;
+                    let req = AllocRequest::new(size)
+                        .criterion(profile.criterion)
+                        .fallback(profile.fallback)
+                        .any_locality();
+                    let clamps_before = tenant_clamps(&broker, client.tenant);
+                    let pos = queue_pos;
+                    queue_pos += 1;
+                    match broker.acquire(client.tenant, &req) {
+                        Ok(lease) => {
+                            let clamped = tenant_clamps(&broker, client.tenant) > clamps_before;
+                            let mut ns = BASE_ALLOC_NS
+                                + QUEUE_STEP_NS * pos as f64
+                                + SPILL_HOP_NS * lease.placement().len().saturating_sub(1) as f64;
+                            if clamped {
+                                ns += CLAMP_PENALTY_NS;
+                            }
+                            latencies.push(ns);
+                            let t = &mut tallies[client.profile];
+                            t.0 += 1;
+                            t.2 += lease.fast_bytes();
+                            t.3 += lease.size();
+                            let hold = draw(
+                                &mut rng,
+                                profile.hold_ticks.0 as u64,
+                                profile.hold_ticks.1 as u64,
+                            ) as u32;
+                            client.state = ClientState::Holding { lease, until: tick + 1 + hold };
+                        }
+                        Err(ServiceError::Admission { .. }) => {
+                            tallies[client.profile].1 += 1;
+                            let think = draw(
+                                &mut rng,
+                                profile.think_ticks.0 as u64,
+                                profile.think_ticks.1 as u64,
+                            ) as u32;
+                            client.state = ClientState::Thinking { until: tick + 1 + think };
+                        }
+                        Err(e) => panic!("load harness misconfigured: {e}"),
+                    }
+                }
+                ClientState::Thinking { .. } => {}
+            }
+        }
+    }
+    // Drain so the broker ends quiescent (and invariants can be
+    // checked by callers).
+    for client in clients {
+        if let ClientState::Holding { lease, .. } = client.state {
+            broker.release(lease).expect("drain releases");
+        }
+    }
+    broker.check_invariants().expect("broker consistent after load run");
+
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let stats = broker.tenants();
+    let per_tenant: Vec<TenantLoad> = cfg
+        .tenants
+        .iter()
+        .zip(&tallies)
+        .map(|(profile, &(admitted, denied, fast, total))| {
+            let s =
+                stats.iter().find(|s| s.name == profile.name).expect("registered tenant has stats");
+            TenantLoad {
+                name: profile.name.clone(),
+                priority: profile.priority,
+                admitted,
+                denied,
+                fast_bytes: fast,
+                total_bytes: total,
+                clamps: s.clamps,
+                stalls: s.stalls,
+            }
+        })
+        .collect();
+    let admitted: u64 = per_tenant.iter().map(|t| t.admitted).sum();
+    LoadReport {
+        policy: cfg.policy,
+        admitted,
+        denied: per_tenant.iter().map(|t| t.denied).sum(),
+        p50_alloc_ns: percentile(&latencies, 50.0),
+        p99_alloc_ns: percentile(&latencies, 99.0),
+        allocs_per_sec: admitted as f64 / (cfg.ticks as f64 * cfg.tick_ns / 1e9),
+        fast_bytes: per_tenant.iter().map(|t| t.fast_bytes).sum(),
+        total_bytes: per_tenant.iter().map(|t| t.total_bytes).sum(),
+        clamps: per_tenant.iter().map(|t| t.clamps).sum(),
+        stall_ns,
+        per_tenant,
+    }
+}
+
+fn tenant_clamps(broker: &Broker, tenant: TenantId) -> u64 {
+    broker.tenants().iter().find(|s| s.id == tenant).map_or(0, |s| s.clamps)
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// The canonical contention workload used by `repro_tables --service`:
+/// one long-holding bandwidth hog (a resident batch service) against
+/// three interactive latency tenants with small, high-turnover
+/// bandwidth requests, on the KNL's ~15 GiB MCDRAM tier.
+pub fn knl_contention(policy: ArbitrationPolicy) -> LoadConfig {
+    use hetmem_core::attr;
+    // The hog's 6 GiB ask fits inside its cross-tier fair-share
+    // guarantee (~1.2 GiB of MCDRAM + ~5.4 GiB of DRAM), so every
+    // policy admits it — fair-share and static just clamp its MCDRAM
+    // slice, while FCFS hands it 40% of the fast tier outright.
+    let mut tenants = vec![TenantProfile {
+        name: "hog".into(),
+        priority: Priority::Batch,
+        clients: 1,
+        size_mib: (6 * 1024, 6 * 1024),
+        hold_ticks: (10_000, 10_000), // never releases within the run
+        think_ticks: (0, 0),
+        criterion: attr::BANDWIDTH,
+        fallback: Fallback::PartialSpill,
+    }];
+    for name in ["interactive-a", "interactive-b", "interactive-c"] {
+        tenants.push(TenantProfile {
+            name: name.into(),
+            priority: Priority::Latency,
+            clients: 5,
+            size_mib: (512, 1536),
+            hold_ticks: (2, 6),
+            think_ticks: (1, 3),
+            criterion: attr::BANDWIDTH,
+            fallback: Fallback::PartialSpill,
+        });
+    }
+    LoadConfig { policy, tenants, ticks: 240, tick_ns: 1e6, seed: 0x5e1f_1e55 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Ctx;
+
+    #[test]
+    fn same_seed_same_report() {
+        let ctx = Ctx::knl();
+        let cfg = knl_contention(ArbitrationPolicy::FairShare);
+        let a = run_load(ctx.machine.clone(), ctx.attrs.clone(), &cfg);
+        let b = run_load(ctx.machine.clone(), ctx.attrs.clone(), &cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fair_share_beats_fcfs_on_aggregate_fast_tier_hit_rate() {
+        let ctx = Ctx::knl();
+        let fair = run_load(
+            ctx.machine.clone(),
+            ctx.attrs.clone(),
+            &knl_contention(ArbitrationPolicy::FairShare),
+        );
+        let fcfs = run_load(
+            ctx.machine.clone(),
+            ctx.attrs.clone(),
+            &knl_contention(ArbitrationPolicy::Fcfs),
+        );
+        assert!(
+            fair.fast_hit() > fcfs.fast_hit() + 0.10,
+            "fair-share {:.3} should clearly beat fcfs {:.3}",
+            fair.fast_hit(),
+            fcfs.fast_hit()
+        );
+        // The hog is the one paying for it: admitted but clamped off
+        // the fast tier under fair-share, unclamped under FCFS.
+        assert!(fair.per_tenant[0].admitted > 0);
+        assert!(fair.per_tenant[0].clamps > 0);
+        assert!(fair.per_tenant[0].fast_hit() < fcfs.per_tenant[0].fast_hit());
+        assert_eq!(fcfs.per_tenant[0].clamps, 0);
+        // And the interactive tenants get their fast tier back.
+        for t in &fair.per_tenant[1..] {
+            let twin = fcfs.per_tenant.iter().find(|f| f.name == t.name).expect("same tenants");
+            assert!(
+                t.fast_hit() > twin.fast_hit(),
+                "{}: fair {:.3} <= fcfs {:.3}",
+                t.name,
+                t.fast_hit(),
+                twin.fast_hit()
+            );
+        }
+    }
+}

@@ -36,6 +36,12 @@ pub enum AllocPolicy {
     /// Round-robin page interleave across the given nodes; nodes that
     /// fill up drop out of the rotation.
     Interleave(Vec<NodeId>),
+    /// An exact, externally decided split: place precisely these
+    /// `(node, bytes)` chunks, each rounded up to whole pages, in
+    /// order. This is how an arbiter (e.g. the multi-tenant broker)
+    /// commits a placement it already admitted — no kernel-side
+    /// spilling may second-guess it.
+    Exact(Vec<(NodeId, u64)>),
 }
 
 /// Why an allocation failed.
@@ -276,6 +282,37 @@ impl MemoryManager {
                 let nodes = self.check_nodes(nodes)?;
                 self.interleave(size, &nodes)?
             }
+            AllocPolicy::Exact(chunks) => {
+                let nodes: Vec<NodeId> = chunks.iter().map(|&(n, _)| n).collect();
+                let _ = self.check_nodes(&nodes)?;
+                let mut need: BTreeMap<NodeId, u64> = BTreeMap::new();
+                let mut placement = Vec::new();
+                for &(node, bytes) in chunks {
+                    let bytes = bytes.div_ceil(PAGE_SIZE) * PAGE_SIZE;
+                    if bytes == 0 {
+                        continue;
+                    }
+                    *need.entry(node).or_insert(0) += bytes;
+                    placement.push((node, bytes));
+                }
+                for (&node, &bytes) in &need {
+                    let avail = self.available(node);
+                    if avail < bytes {
+                        return Err(AllocError::InsufficientCapacity {
+                            node,
+                            requested: bytes,
+                            available: avail,
+                        });
+                    }
+                }
+                placement
+            }
+        };
+        // Exact splits define their own total (chunk-wise rounding).
+        let size = if matches!(policy, AllocPolicy::Exact(_)) {
+            placement.iter().map(|&(_, b)| b).sum()
+        } else {
+            size
         };
         for (node, bytes) in &placement {
             *self.free.get_mut(node).expect("validated node") -= bytes;
@@ -424,6 +461,28 @@ mod tests {
 
     fn manager() -> MemoryManager {
         MemoryManager::new(Arc::new(Machine::knl_snc4_flat()))
+    }
+
+    #[test]
+    fn exact_places_the_given_split() {
+        let mut mm = manager();
+        let split = vec![(NodeId(4), GIB), (NodeId(0), 2 * GIB + 1)];
+        let id = mm.alloc(3 * GIB + 1, AllocPolicy::Exact(split)).unwrap();
+        let region = mm.region(id).unwrap();
+        assert_eq!(region.bytes_on(NodeId(4)), GIB);
+        // The odd chunk rounds up to a whole page.
+        assert_eq!(region.bytes_on(NodeId(0)), 2 * GIB + PAGE_SIZE);
+        assert_eq!(region.size, 3 * GIB + PAGE_SIZE);
+
+        // Over-capacity chunks are rejected before any mutation.
+        let before = mm.available(NodeId(4));
+        let err = mm.alloc(64 * GIB, AllocPolicy::Exact(vec![(NodeId(4), 64 * GIB)])).unwrap_err();
+        assert!(matches!(err, AllocError::InsufficientCapacity { node: NodeId(4), .. }));
+        assert_eq!(mm.available(NodeId(4)), before);
+        assert!(matches!(
+            mm.alloc(0, AllocPolicy::Exact(vec![])).unwrap_err(),
+            AllocError::EmptyNodeList
+        ));
     }
 
     #[test]

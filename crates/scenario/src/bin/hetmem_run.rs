@@ -122,6 +122,21 @@ fn main() {
             g.mean_accuracy() * 100.0
         );
     }
+    if !report.tenants.is_empty() {
+        println!("tenants:");
+        for t in &report.tenants {
+            let held: u64 = t.held.values().sum();
+            println!(
+                "  {:<16} {:<8} {} admits, {} clamps, {} stalls, {} MiB held",
+                t.name,
+                t.priority.as_str(),
+                t.admits,
+                t.clamps,
+                t.stalls,
+                held >> 20
+            );
+        }
+    }
     if !report.final_placements.is_empty() {
         println!("final placements:");
         for (name, placement) in &report.final_placements {

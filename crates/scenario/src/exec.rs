@@ -7,6 +7,7 @@ use hetmem_core::MemAttrs;
 use hetmem_guidance::{GuidanceEngine, GuidancePolicy, GuidanceStats, SamplerConfig};
 use hetmem_memsim::{AccessEngine, BufferAccess, MemoryManager, Phase, RegionId};
 use hetmem_profile::Profiler;
+use hetmem_service::{Broker, LeaseId, TenantId, TenantSpec, TenantStats};
 use hetmem_telemetry::{NullRecorder, Recorder};
 use hetmem_topology::NodeId;
 use std::collections::BTreeMap;
@@ -49,6 +50,16 @@ pub enum ExecError {
         /// Source line of the failing statement.
         line: usize,
     },
+    /// A `serve`/`tenant` statement was misused, or the broker refused
+    /// an operation in served mode.
+    Service {
+        /// The tenant, buffer, or statement name involved.
+        name: String,
+        /// Source line of the failing statement.
+        line: usize,
+        /// The underlying failure.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for ExecError {
@@ -67,6 +78,9 @@ impl std::fmt::Display for ExecError {
             }
             ExecError::UnknownBuffer { name, line } => {
                 write!(f, "line {line}: unknown buffer {name:?}")
+            }
+            ExecError::Service { name, line, message } => {
+                write!(f, "line {line}: service {name:?}: {message}")
             }
         }
     }
@@ -113,6 +127,9 @@ pub struct ScenarioReport {
     pub profiler: Profiler,
     /// Total simulated time (phases + migrations), ns.
     pub total_ns: f64,
+    /// Per-tenant standing when the scenario ran in served mode
+    /// (`serve` statement); empty otherwise.
+    pub tenants: Vec<TenantStats>,
 }
 
 /// Runs a scenario; deterministic like everything else.
@@ -178,6 +195,16 @@ pub fn execute_with_options(
     let mut guidance: Option<GuidanceEngine> =
         options.guidance.map(|(period, criterion)| make_guidance(period, criterion));
 
+    // Served mode (`serve` statement): allocations and phases go
+    // through the multi-tenant broker instead of the single-tenant
+    // allocator. One scenario is one service tick — phases stay in
+    // one contention epoch, so tenants touching the same node charge
+    // each other stalls.
+    let mut broker: Option<Broker> = None;
+    let mut tenant_ids: BTreeMap<String, TenantId> = BTreeMap::new();
+    let mut current_tenant: Option<(String, TenantId)> = None;
+    let mut lease_ids: BTreeMap<String, LeaseId> = BTreeMap::new();
+
     let mut buffers: BTreeMap<String, RegionId> = BTreeMap::new();
     let mut phases = Vec::new();
     let mut migrations_ns = Vec::new();
@@ -188,6 +215,49 @@ pub fn execute_with_options(
     for stmt in &scenario.commands {
         let line = stmt.line;
         match &stmt.cmd {
+            Command::Serve { policy } => {
+                let misuse = |message: &str| ExecError::Service {
+                    name: "serve".into(),
+                    line,
+                    message: message.into(),
+                };
+                if broker.is_some() {
+                    return Err(misuse("serve given twice"));
+                }
+                if !buffers.is_empty() {
+                    return Err(misuse("serve must come before the first alloc"));
+                }
+                if guidance.is_some() {
+                    return Err(misuse("guidance and served mode are mutually exclusive"));
+                }
+                let mut b = Broker::new(machine.clone(), attrs.clone(), *policy);
+                b.set_recorder(recorder.clone());
+                broker = Some(b);
+            }
+            Command::Tenant { name, priority } => {
+                let Some(broker) = broker.as_ref() else {
+                    return Err(ExecError::Service {
+                        name: name.clone(),
+                        line,
+                        message: "tenant needs served mode (put `serve` first)".into(),
+                    });
+                };
+                let id = match tenant_ids.get(name) {
+                    Some(&id) => id,
+                    None => {
+                        let id = broker
+                            .register(TenantSpec::new(name.clone()).priority(*priority))
+                            .map_err(|e| ExecError::Service {
+                                name: name.clone(),
+                                line,
+                                message: e.to_string(),
+                            })?;
+                        tenant_ids.insert(name.clone(), id);
+                        id
+                    }
+                };
+                current_tenant = Some((name.clone(), id));
+            }
             Command::Alloc { name, size, criterion, fallback, global } => {
                 let mut req = AllocRequest::new(*size)
                     .criterion(*criterion)
@@ -197,16 +267,45 @@ pub fn execute_with_options(
                 if *global {
                     req = req.any_locality();
                 }
-                let result = allocator.alloc(&req);
-                let id = result.map_err(|e| ExecError::Alloc {
-                    name: name.clone(),
-                    line,
-                    message: e.to_string(),
-                })?;
-                profiler.track(allocator.memory(), id, name, *size);
-                buffers.insert(name.clone(), id);
+                if let Some(broker) = broker.as_ref() {
+                    let Some((_, tenant)) = current_tenant.as_ref() else {
+                        return Err(ExecError::Service {
+                            name: name.clone(),
+                            line,
+                            message: "no tenant selected (put a `tenant` statement first)".into(),
+                        });
+                    };
+                    let lease = broker.acquire(*tenant, &req).map_err(|e| ExecError::Service {
+                        name: name.clone(),
+                        line,
+                        message: e.to_string(),
+                    })?;
+                    buffers.insert(name.clone(), lease.region());
+                    lease_ids.insert(name.clone(), lease.id());
+                } else {
+                    let result = allocator.alloc(&req);
+                    let id = result.map_err(|e| ExecError::Alloc {
+                        name: name.clone(),
+                        line,
+                        message: e.to_string(),
+                    })?;
+                    profiler.track(allocator.memory(), id, name, *size);
+                    buffers.insert(name.clone(), id);
+                }
             }
             Command::Free(name) => {
+                if let Some(broker) = broker.as_ref() {
+                    let lease = lease_ids
+                        .remove(name)
+                        .ok_or_else(|| ExecError::UnknownBuffer { name: name.clone(), line })?;
+                    buffers.remove(name);
+                    broker.release_by_id(lease).map_err(|e| ExecError::Service {
+                        name: name.clone(),
+                        line,
+                        message: e.to_string(),
+                    })?;
+                    continue;
+                }
                 let id = buffers
                     .remove(name)
                     .ok_or_else(|| ExecError::UnknownBuffer { name: name.clone(), line })?;
@@ -217,6 +316,14 @@ pub fn execute_with_options(
                 }
             }
             Command::Migrate { name, criterion } => {
+                if broker.is_some() {
+                    return Err(ExecError::Service {
+                        name: name.clone(),
+                        line,
+                        message: "migrate is not available in served mode (leases are pinned)"
+                            .into(),
+                    });
+                }
                 let id = *buffers
                     .get(name)
                     .ok_or_else(|| ExecError::UnknownBuffer { name: name.clone(), line })?;
@@ -247,6 +354,39 @@ pub fn execute_with_options(
                     initiator: initiator.clone(),
                     compute_ns: spec.compute_ns,
                 };
+                if let Some(broker) = broker.as_ref() {
+                    let Some((tenant_name, tenant)) = current_tenant.as_ref() else {
+                        return Err(ExecError::Service {
+                            name: spec.name.clone(),
+                            line,
+                            message: "no tenant selected (put a `tenant` statement first)".into(),
+                        });
+                    };
+                    let served =
+                        broker.run_phase(*tenant, &phase).map_err(|e| ExecError::Service {
+                            name: tenant_name.clone(),
+                            line,
+                            message: e.to_string(),
+                        })?;
+                    let time_ns = served.time_ns();
+                    let bytes: u64 = served
+                        .report
+                        .per_node
+                        .values()
+                        .map(|t| t.bytes_read + t.bytes_written)
+                        .sum();
+                    phases.push(PhaseOutcome {
+                        name: spec.name.clone(),
+                        time_ns,
+                        bw_mbps: if time_ns > 0.0 {
+                            bytes as f64 / (1 << 20) as f64 / (time_ns / 1e9)
+                        } else {
+                            0.0
+                        },
+                    });
+                    profiler.record(served.report);
+                    continue;
+                }
                 if let Some(g) = guidance.as_mut() {
                     let report = g.run_phase(&engine, allocator.memory_mut(), &phase);
                     let bytes: u64 = report.slices.iter().map(|s| s.total_bytes()).sum();
@@ -276,6 +416,13 @@ pub fn execute_with_options(
                 }
             }
             Command::Rebalance { criterion } => {
+                if broker.is_some() {
+                    return Err(ExecError::Service {
+                        name: "rebalance".into(),
+                        line,
+                        message: "rebalance is not available in served mode".into(),
+                    });
+                }
                 let actions = daemon
                     .rebalance_with_criterion(&mut allocator, &initiator, *criterion)
                     .map_err(|e| ExecError::Alloc {
@@ -293,20 +440,33 @@ pub fn execute_with_options(
                 tiering_actions.extend(actions);
             }
             Command::Guidance { period, criterion } => {
+                if broker.is_some() {
+                    return Err(ExecError::Service {
+                        name: "guidance".into(),
+                        line,
+                        message: "guidance and served mode are mutually exclusive".into(),
+                    });
+                }
                 guidance = Some(make_guidance(*period, *criterion));
             }
         }
     }
 
-    let final_placements = buffers
-        .iter()
-        .map(|(name, &id)| {
-            (
-                name.clone(),
-                allocator.memory().region(id).map(|r| r.placement.clone()).unwrap_or_default(),
-            )
-        })
-        .collect();
+    let final_placements = match &broker {
+        Some(broker) => lease_ids
+            .iter()
+            .map(|(name, &id)| (name.clone(), broker.placement(id).unwrap_or_default()))
+            .collect(),
+        None => buffers
+            .iter()
+            .map(|(name, &id)| {
+                (
+                    name.clone(),
+                    allocator.memory().region(id).map(|r| r.placement.clone()).unwrap_or_default(),
+                )
+            })
+            .collect(),
+    };
     let total_ns =
         phases.iter().map(|p| p.time_ns).sum::<f64>() + migrations_ns.iter().sum::<f64>();
     Ok(ScenarioReport {
@@ -317,6 +477,7 @@ pub fn execute_with_options(
         total_ns,
         tiering_actions,
         guidance: guidance.map(|g| *g.stats()),
+        tenants: broker.map(|b| b.tenants()).unwrap_or_default(),
     })
 }
 
@@ -439,6 +600,114 @@ end
         let s = parse("machine knl-flat\nalloc a 1GiB capacity\n").expect("parses");
         let r = execute(&s).expect("runs");
         assert_eq!(r.final_placements.len(), 1);
+    }
+
+    const SERVED: &str = r#"
+machine knl-flat
+initiator 0-15
+threads 16
+serve
+
+tenant graph latency
+alloc frontier 512MiB bandwidth spill
+phase bfs
+  read frontier 8GiB random
+end
+
+tenant stream batch
+alloc vectors 14GiB bandwidth spill
+phase triad
+  read vectors 8GiB seq
+  write vectors 4GiB seq
+end
+
+free vectors
+free frontier
+"#;
+
+    #[test]
+    fn served_scenario_arbitrates_between_tenants() {
+        let s = parse(SERVED).expect("valid");
+        let r = execute(&s).expect("runs");
+        assert_eq!(r.phases.len(), 2);
+        assert_eq!(r.tenants.len(), 2, "both tenants registered");
+        let graph = r.tenants.iter().find(|t| t.name == "graph").expect("graph");
+        let stream = r.tenants.iter().find(|t| t.name == "stream").expect("stream");
+        assert_eq!(graph.admits, 1);
+        assert_eq!(stream.admits, 1);
+        // The batch tenant asked for nearly the whole HBM tier under
+        // fair share with a latency tenant present: it got clamped.
+        assert!(stream.clamps > 0, "{stream:?}");
+        // Everything was freed; placements of freed leases are gone.
+        assert!(r.final_placements.is_empty());
+        assert!(r.total_ns > 0.0);
+    }
+
+    #[test]
+    fn served_mode_misuse_errors_carry_line_and_name() {
+        // serve after an alloc.
+        let s = parse("machine knl-flat\nalloc a 1GiB capacity\nserve\n").expect("parses");
+        match execute(&s) {
+            Err(ExecError::Service { name, line, .. }) => {
+                assert_eq!(name, "serve");
+                assert_eq!(line, 3);
+            }
+            other => panic!("expected service error, got {:?}", other.map(|_| ())),
+        }
+        // tenant without serve.
+        let s = parse("machine knl-flat\ntenant graph\n").expect("parses");
+        match execute(&s) {
+            Err(ExecError::Service { name, line, message }) => {
+                assert_eq!(name, "graph");
+                assert_eq!(line, 2);
+                assert!(message.contains("serve"), "{message}");
+            }
+            other => panic!("expected service error, got {:?}", other.map(|_| ())),
+        }
+        // alloc in served mode before any tenant.
+        let s = parse("machine knl-flat\nserve\nalloc a 1GiB capacity\n").expect("parses");
+        match execute(&s) {
+            Err(ExecError::Service { name, line, .. }) => {
+                assert_eq!(name, "a");
+                assert_eq!(line, 3);
+            }
+            other => panic!("expected service error, got {:?}", other.map(|_| ())),
+        }
+        // migrate is refused in served mode.
+        let s = parse(
+            "machine knl-flat\nserve\ntenant t\nalloc a 1GiB capacity\nmigrate a bandwidth\n",
+        )
+        .expect("parses");
+        match execute(&s) {
+            Err(ExecError::Service { name, line, .. }) => {
+                assert_eq!(name, "a");
+                assert_eq!(line, 5);
+            }
+            other => panic!("expected service error, got {:?}", other.map(|_| ())),
+        }
+        // The display format points at the source line (PR 2 style).
+        let e = execute(&parse("machine knl-flat\n\ntenant x\n").expect("parses"))
+            .map(|_| ())
+            .expect_err("needs serve");
+        let text = e.to_string();
+        assert!(text.contains("line 3"), "{text}");
+        assert!(text.contains("\"x\""), "{text}");
+    }
+
+    #[test]
+    fn served_admission_failure_reports_the_buffer() {
+        // Strict fallback for more than the whole fast tier: denied.
+        let s =
+            parse("machine knl-flat\nserve\ntenant greedy\nalloc huge 40GiB bandwidth strict\n")
+                .expect("parses");
+        match execute(&s) {
+            Err(ExecError::Service { name, line, message }) => {
+                assert_eq!(name, "huge");
+                assert_eq!(line, 4);
+                assert!(message.contains("admission"), "{message}");
+            }
+            other => panic!("expected admission failure, got {:?}", other.map(|_| ())),
+        }
     }
 
     #[test]

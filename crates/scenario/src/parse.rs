@@ -16,6 +16,11 @@
 //! guidance <period> [criterion]   # sample every <period> accesses and let the
 //!                                 # online engine migrate mid-phase
 //!
+//! serve [fair-share|fcfs|static] # switch to broker-backed multi-tenant
+//!                                 # mode (before the first alloc)
+//! tenant <name> [latency|normal|batch]  # select (and register on first
+//!                                 # use) the tenant owning what follows
+//!
 //! phase <name>
 //!   read  <buffer> <size> seq|strided|random|chase [hot=<0..1>]
 //!   write <buffer> <size> seq|strided|random|chase [hot=<0..1>]
@@ -30,6 +35,7 @@
 use hetmem_alloc::Fallback;
 use hetmem_core::{attr, AttrId};
 use hetmem_memsim::AccessPattern;
+use hetmem_service::{ArbitrationPolicy, Priority};
 
 /// A parse failure with its line number.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -114,6 +120,23 @@ pub enum Command {
         period: u64,
         /// Attribute whose best local target hot regions move to.
         criterion: AttrId,
+    },
+    /// `serve [policy]`: switch execution to broker-backed
+    /// multi-tenant mode; all following allocations go through the
+    /// arbiter (must appear before the first `alloc`).
+    Serve {
+        /// The arbitration policy (default fair-share).
+        policy: ArbitrationPolicy,
+    },
+    /// `tenant <name> [priority]`: select — registering on first use —
+    /// the tenant that owns the following statements (served mode
+    /// only).
+    Tenant {
+        /// Tenant name.
+        name: String,
+        /// Priority class (default normal; only applied at
+        /// registration).
+        priority: Priority,
     },
 }
 
@@ -384,6 +407,33 @@ pub fn parse(text: &str) -> Result<Scenario, ParseError> {
                 };
                 commands.push(Stmt { line, cmd: Command::Guidance { period, criterion } });
             }
+            "serve" => {
+                if toks.len() > 2 {
+                    return Err(err("serve takes at most a policy name".into()));
+                }
+                let policy = match toks.get(1) {
+                    Some(tok) => ArbitrationPolicy::from_str_opt(tok).ok_or_else(|| {
+                        err(format!("unknown arbitration policy {tok:?} (fair-share|fcfs|static)"))
+                    })?,
+                    None => ArbitrationPolicy::FairShare,
+                };
+                commands.push(Stmt { line, cmd: Command::Serve { policy } });
+            }
+            "tenant" => {
+                if !(2..=3).contains(&toks.len()) {
+                    return Err(err("tenant needs: tenant <name> [latency|normal|batch]".into()));
+                }
+                let name = toks[1].to_string();
+                let priority = match toks.get(2) {
+                    Some(tok) => Priority::from_str_opt(tok).ok_or_else(|| {
+                        err(format!(
+                            "unknown priority {tok:?} for tenant {name:?} (latency|normal|batch)"
+                        ))
+                    })?,
+                    None => Priority::Normal,
+                };
+                commands.push(Stmt { line, cmd: Command::Tenant { name, priority } });
+            }
             "phase" => {
                 if toks.len() != 2 {
                     return Err(err("phase needs a name".into()));
@@ -595,6 +645,56 @@ alloc w 1GiB latency bogus
 "
         )
         .is_err());
+    }
+
+    #[test]
+    fn serve_and_tenant_statements() {
+        let s = parse(
+            "machine knl-flat
+serve
+tenant graph latency
+alloc frontier 1GiB bandwidth spill
+tenant stream batch
+serve fcfs
+",
+        )
+        .expect("valid");
+        assert_eq!(s.commands[0].cmd, Command::Serve { policy: ArbitrationPolicy::FairShare });
+        assert_eq!(
+            s.commands[1].cmd,
+            Command::Tenant { name: "graph".into(), priority: Priority::Latency }
+        );
+        assert_eq!(
+            s.commands[3].cmd,
+            Command::Tenant { name: "stream".into(), priority: Priority::Batch }
+        );
+        assert_eq!(s.commands[4].cmd, Command::Serve { policy: ArbitrationPolicy::Fcfs });
+        // Default priority is normal.
+        let s = parse("machine m\ntenant t\n").expect("valid");
+        assert_eq!(
+            s.commands[0].cmd,
+            Command::Tenant { name: "t".into(), priority: Priority::Normal }
+        );
+    }
+
+    #[test]
+    fn serve_and_tenant_parse_errors_carry_line_and_name() {
+        let e = parse("machine knl-flat\n\ntenant graph urgent\n").expect_err("bad priority");
+        assert_eq!(e.line, 3);
+        assert!(e.message.contains("urgent"), "{e}");
+        assert!(e.message.contains("graph"), "{e}");
+        assert!(e.to_string().contains("line 3"), "{e}");
+
+        let e = parse("machine m\nserve lottery\n").expect_err("bad policy");
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("lottery"), "{e}");
+
+        let e = parse("machine m\ntenant\n").expect_err("missing name");
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("tenant needs"), "{e}");
+
+        let e = parse("machine m\nserve fcfs extra\n").expect_err("too many args");
+        assert_eq!(e.line, 2);
     }
 
     #[test]

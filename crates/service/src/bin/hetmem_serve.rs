@@ -1,0 +1,129 @@
+//! The broker daemon:
+//! `hetmem-serve <machine> [--policy fair-share|fcfs|static] [--addr <addr>] [--trace <out.jsonl>]`.
+//!
+//! Binds a JSONL socket (default `tcp:127.0.0.1:7474`; use
+//! `unix:/path.sock` for a Unix socket) and serves allocation requests
+//! against a simulated machine until killed. See
+//! `hetmem_service::wire` for the request vocabulary.
+
+use hetmem_core::discovery;
+use hetmem_memsim::Machine;
+use hetmem_service::{server::Server, ArbitrationPolicy, Broker};
+use hetmem_telemetry::JsonlWriter;
+use std::sync::Arc;
+
+const DEFAULT_ADDR: &str = "tcp:127.0.0.1:7474";
+
+fn machine_by_name(name: &str) -> Option<Machine> {
+    Some(match name {
+        "knl-flat" => Machine::knl_snc4_flat(),
+        "knl-cache" => Machine::knl_quadrant_cache(),
+        "xeon" => Machine::xeon_1lm_no_snc(),
+        "xeon-snc" => Machine::xeon_1lm_snc(),
+        "xeon-2lm" => Machine::xeon_2lm(),
+        "xeon-4s" => Machine::xeon_4s_snc(),
+        "fictitious" => Machine::fictitious(),
+        "power9" => Machine::power9_gpu(),
+        "fugaku" => Machine::fugaku_like(),
+        _ => return None,
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut machine_name = None;
+    let mut policy = ArbitrationPolicy::FairShare;
+    let mut addr = DEFAULT_ADDR.to_string();
+    let mut trace: Option<String> = None;
+    let mut iter = args.iter();
+    while let Some(a) = iter.next() {
+        match a.as_str() {
+            "--policy" => {
+                let Some(p) = iter.next().and_then(|p| ArbitrationPolicy::from_str_opt(p)) else {
+                    eprintln!("hetmem-serve: --policy needs fair-share, fcfs, or static");
+                    std::process::exit(2);
+                };
+                policy = p;
+            }
+            "--addr" => {
+                let Some(a) = iter.next() else {
+                    eprintln!("hetmem-serve: --addr needs an address");
+                    std::process::exit(2);
+                };
+                addr = a.clone();
+            }
+            "--trace" => {
+                let Some(path) = iter.next() else {
+                    eprintln!("hetmem-serve: --trace needs a file argument");
+                    std::process::exit(2);
+                };
+                trace = Some(path.clone());
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: hetmem-serve <machine> [--policy fair-share|fcfs|static] \
+                     [--addr tcp:host:port|unix:/path.sock] [--trace <out.jsonl>]"
+                );
+                eprintln!(
+                    "machines: knl-flat, knl-cache, xeon, xeon-snc, xeon-2lm, xeon-4s, \
+                     fictitious, power9, fugaku"
+                );
+                return;
+            }
+            other => machine_name = Some(other.to_string()),
+        }
+    }
+    let Some(machine_name) = machine_name else {
+        eprintln!("hetmem-serve: no machine name (try --help)");
+        std::process::exit(2);
+    };
+    let Some(machine) = machine_by_name(&machine_name) else {
+        eprintln!("hetmem-serve: unknown machine {machine_name:?} (try --help)");
+        std::process::exit(2);
+    };
+    let machine = Arc::new(machine);
+    let attrs = match discovery::from_firmware(&machine, true) {
+        Ok(attrs) => Arc::new(attrs),
+        Err(e) => {
+            eprintln!("hetmem-serve: attribute discovery failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let mut broker = Broker::new(machine, attrs, policy);
+    let mut writer: Option<Arc<JsonlWriter>> = None;
+    if let Some(path) = &trace {
+        match JsonlWriter::create(path) {
+            Ok(w) => {
+                let w = Arc::new(w);
+                broker.set_recorder(w.clone());
+                writer = Some(w);
+            }
+            Err(e) => {
+                eprintln!("hetmem-serve: cannot create {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    let server = match Server::bind(Arc::new(broker), &addr) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("hetmem-serve: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "hetmem-serve: {} under {} arbitration on {}",
+        machine_name,
+        policy.as_str(),
+        server.local_addr()
+    );
+    println!("fast tier: {:?}", server.broker().fast_kind());
+    // The writer buffers through a BufWriter and a killed daemon never
+    // runs destructors, so push the trace to disk on a short cadence.
+    loop {
+        std::thread::sleep(std::time::Duration::from_millis(200));
+        if let Some(w) = &writer {
+            let _ = w.flush();
+        }
+    }
+}

@@ -1,0 +1,943 @@
+//! The allocation broker: one shared `MemoryManager` served to many
+//! concurrent tenants behind per-NUMA-node lock striping.
+//!
+//! An [`AllocRequest`] goes through three stages:
+//!
+//! 1. **Ranking** — candidates come from the same attribute machinery
+//!    the single-tenant allocator uses (local targets of the
+//!    initiator ranked by the requested criterion, with the paper's
+//!    attribute-fallback chain).
+//! 2. **Admission** — the arbiter walks the ranking and decides how
+//!    many bytes the tenant may take on each node under the active
+//!    [`ArbitrationPolicy`]: quota clamp first, then the fair-share
+//!    test, then ranked fallback to slower tiers. Denials emit
+//!    `QuotaClamp` telemetry and never preempt existing leases.
+//! 3. **Commit** — the plan is placed as one region with
+//!    `AllocPolicy::Exact`, a [`Lease`] is issued, and the per-node
+//!    ledgers are settled while the stripe locks are still held.
+//!
+//! Lock order is global and strict — tenant registry, then lease
+//! table, then node stripes in ascending node order, then the memory
+//! manager — so concurrent clients can never deadlock.
+
+use crate::board::TrafficBoard;
+use crate::tenant::{TenantId, TenantSpec, TenantState, TenantStats};
+use crate::ServiceError;
+use hetmem_alloc::{AllocRequest, Fallback, Scope};
+use hetmem_bitmap::Bitmap;
+use hetmem_core::{attr, AttrId, MemAttrs};
+use hetmem_memsim::{AccessEngine, AllocPolicy, Machine, MemoryManager, Phase, PhaseReport};
+use hetmem_telemetry::{ContentionStall, Event, NullRecorder, QuotaClamp, Recorder, TenantAdmit};
+use hetmem_topology::{MemoryKind, NodeId};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// How the arbiter divides scarce fast memory between tenants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ArbitrationPolicy {
+    /// Weighted fair share with work-conserving borrowing: every
+    /// tenant is guaranteed its weight-proportional share of each
+    /// tier (plus any explicit reservation); surplus beyond the
+    /// unclaimed guarantees of others may be borrowed.
+    #[default]
+    FairShare,
+    /// First come, first served: capacity is the only test. This is
+    /// what uncoordinated tenants calling the single-tenant allocator
+    /// would get.
+    Fcfs,
+    /// Hard static partitioning by the same weighted shares, with no
+    /// borrowing — predictable, but not work-conserving.
+    StaticPartition,
+}
+
+impl ArbitrationPolicy {
+    /// Stable lowercase name (CLI and report spelling).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ArbitrationPolicy::FairShare => "fair-share",
+            ArbitrationPolicy::Fcfs => "fcfs",
+            ArbitrationPolicy::StaticPartition => "static",
+        }
+    }
+
+    /// Parses the spelling produced by [`ArbitrationPolicy::as_str`]
+    /// (plus common aliases).
+    pub fn from_str_opt(s: &str) -> Option<ArbitrationPolicy> {
+        match s {
+            "fair-share" | "fair" | "fairshare" => Some(ArbitrationPolicy::FairShare),
+            "fcfs" => Some(ArbitrationPolicy::Fcfs),
+            "static" | "static-partition" => Some(ArbitrationPolicy::StaticPartition),
+            _ => None,
+        }
+    }
+}
+
+/// Opaque lease handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LeaseId(pub u64);
+
+impl std::fmt::Display for LeaseId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "lease#{}", self.0)
+    }
+}
+
+/// A granted allocation. The lease is the unit of accounting: the
+/// broker's ledgers charge its placement to the owning tenant until it
+/// is returned via [`Broker::release`]. Dropping a lease without
+/// releasing it leaks the memory (the concurrency smoke test asserts
+/// servers never do).
+#[must_use = "a lease holds real capacity; return it with Broker::release"]
+#[derive(Debug)]
+pub struct Lease {
+    id: LeaseId,
+    tenant: TenantId,
+    region: hetmem_memsim::RegionId,
+    size: u64,
+    placement: Vec<(NodeId, u64)>,
+    fast_bytes: u64,
+}
+
+impl Lease {
+    /// The lease id (wire handle).
+    pub fn id(&self) -> LeaseId {
+        self.id
+    }
+
+    /// The owning tenant.
+    pub fn tenant(&self) -> TenantId {
+        self.tenant
+    }
+
+    /// The backing region in the shared memory manager.
+    pub fn region(&self) -> hetmem_memsim::RegionId {
+        self.region
+    }
+
+    /// Bytes granted (page-rounded).
+    pub fn size(&self) -> u64 {
+        self.size
+    }
+
+    /// Placement split `(node, bytes)`.
+    pub fn placement(&self) -> &[(NodeId, u64)] {
+        &self.placement
+    }
+
+    /// Bytes that landed on the machine's fast tier.
+    pub fn fast_bytes(&self) -> u64 {
+        self.fast_bytes
+    }
+}
+
+/// Internal lease record (kept even after the `Lease` value moved to
+/// the client).
+#[derive(Debug, Clone)]
+struct LeaseRecord {
+    tenant: TenantId,
+    region: hetmem_memsim::RegionId,
+    placement: Vec<(NodeId, u64)>,
+}
+
+/// Per-node ledger stripe: the admission-time source of truth for
+/// free capacity and per-tenant holdings on one node.
+#[derive(Debug, Default)]
+struct NodeLedger {
+    free: u64,
+    used_by: BTreeMap<TenantId, u64>,
+}
+
+/// A phase executed through the broker, with contention feedback
+/// applied.
+#[derive(Debug)]
+pub struct ServedPhase {
+    /// The raw memsim report (isolated-run cost model).
+    pub report: PhaseReport,
+    /// Extra time charged because co-located tenants saturated nodes
+    /// this phase touched, ns.
+    pub stall_ns: f64,
+}
+
+impl ServedPhase {
+    /// Total phase time including the contention stall, ns.
+    pub fn time_ns(&self) -> f64 {
+        self.report.time_ns + self.stall_ns
+    }
+}
+
+/// Contention is capped: a node shared by arbitrarily many tenants
+/// slows a phase by at most this factor of the contended window.
+pub const MAX_CONTENTION_SLOWDOWN: f64 = 3.0;
+
+/// The multi-tenant allocation broker.
+pub struct Broker {
+    machine: Arc<Machine>,
+    attrs: Arc<MemAttrs>,
+    policy: ArbitrationPolicy,
+    recorder: Arc<dyn Recorder>,
+    engine: AccessEngine,
+    mm: Mutex<MemoryManager>,
+    stripes: BTreeMap<NodeId, Mutex<NodeLedger>>,
+    tenants: Mutex<BTreeMap<TenantId, TenantState>>,
+    next_tenant: AtomicU32,
+    leases: Mutex<BTreeMap<LeaseId, LeaseRecord>>,
+    next_lease: AtomicU64,
+    board: TrafficBoard,
+    node_kind: BTreeMap<NodeId, MemoryKind>,
+    tier_capacity: BTreeMap<MemoryKind, u64>,
+    fast_kind: MemoryKind,
+}
+
+impl Broker {
+    /// A broker owning a fresh [`MemoryManager`] for `machine`,
+    /// arbitrating under `policy`.
+    pub fn new(machine: Arc<Machine>, attrs: Arc<MemAttrs>, policy: ArbitrationPolicy) -> Broker {
+        let mm = MemoryManager::new(machine.clone());
+        let node_kind: BTreeMap<NodeId, MemoryKind> = machine
+            .topology()
+            .node_ids()
+            .into_iter()
+            .map(|n| (n, machine.topology().node_kind(n).unwrap_or(MemoryKind::Dram)))
+            .collect();
+        let mut tier_capacity: BTreeMap<MemoryKind, u64> = BTreeMap::new();
+        for (&node, &kind) in &node_kind {
+            *tier_capacity.entry(kind).or_insert(0) += machine.usable_capacity(node);
+        }
+        let stripes = node_kind
+            .keys()
+            .map(|&n| {
+                (n, Mutex::new(NodeLedger { free: mm.available(n), used_by: BTreeMap::new() }))
+            })
+            .collect();
+        // The fast tier is whatever kind the bandwidth ranking puts
+        // first — HBM on KNL, DRAM on an Optane Xeon. Attributes
+        // decide, not hardcoded labels (§III-A).
+        let fast_kind = attrs
+            .rank_targets(attr::BANDWIDTH, machine.topology().machine_cpuset())
+            .ok()
+            .and_then(|ranked| ranked.first().and_then(|tv| node_kind.get(&tv.node).copied()))
+            .unwrap_or(MemoryKind::Dram);
+        let board = TrafficBoard::new(node_kind.keys().copied());
+        Broker {
+            engine: AccessEngine::new(machine.clone()),
+            machine,
+            attrs,
+            policy,
+            recorder: Arc::new(NullRecorder),
+            mm: Mutex::new(mm),
+            stripes,
+            tenants: Mutex::new(BTreeMap::new()),
+            next_tenant: AtomicU32::new(0),
+            leases: Mutex::new(BTreeMap::new()),
+            next_lease: AtomicU64::new(0),
+            board,
+            node_kind,
+            tier_capacity,
+            fast_kind,
+        }
+    }
+
+    /// Streams broker telemetry (admits, clamps, stalls, plus the
+    /// memory manager's occupancy/free events) into `recorder`. Call
+    /// before sharing the broker across threads.
+    pub fn set_recorder(&mut self, recorder: Arc<dyn Recorder>) {
+        self.recorder = recorder.clone();
+        self.engine.set_recorder(recorder.clone());
+        self.mm.get_mut().expect("mm poisoned").set_recorder(recorder);
+    }
+
+    /// The machine being brokered.
+    pub fn machine(&self) -> &Arc<Machine> {
+        &self.machine
+    }
+
+    /// The arbitration policy in force.
+    pub fn policy(&self) -> ArbitrationPolicy {
+        self.policy
+    }
+
+    /// The memory kind the bandwidth ranking puts first ("fast tier").
+    pub fn fast_kind(&self) -> MemoryKind {
+        self.fast_kind
+    }
+
+    /// Registers a tenant. Fails on duplicate names and on explicit
+    /// reservations that oversubscribe a tier.
+    pub fn register(&self, spec: TenantSpec) -> Result<TenantId, ServiceError> {
+        let mut tenants = self.tenants.lock().expect("tenants poisoned");
+        if tenants.values().any(|t| t.name == spec.get_name()) {
+            return Err(ServiceError::DuplicateTenant(spec.get_name().to_string()));
+        }
+        for (&kind, &bytes) in spec.get_reserve() {
+            let capacity = self.tier_capacity.get(&kind).copied().unwrap_or(0);
+            let reserved: u64 =
+                tenants.values().map(|t| t.reserve.get(&kind).copied().unwrap_or(0)).sum();
+            if reserved + bytes > capacity {
+                return Err(ServiceError::Reservation {
+                    kind,
+                    requested: bytes,
+                    available: capacity.saturating_sub(reserved),
+                });
+            }
+        }
+        let id = TenantId(self.next_tenant.fetch_add(1, Ordering::Relaxed));
+        tenants.insert(
+            id,
+            TenantState {
+                name: spec.get_name().to_string(),
+                priority: spec.get_priority(),
+                quota: spec.get_quota().clone(),
+                reserve: spec.get_reserve().clone(),
+                admits: 0,
+                clamps: 0,
+                stalls: 0,
+            },
+        );
+        Ok(id)
+    }
+
+    /// Looks a tenant up by name.
+    pub fn tenant_id(&self, name: &str) -> Option<TenantId> {
+        self.tenants
+            .lock()
+            .expect("tenants poisoned")
+            .iter()
+            .find(|(_, t)| t.name == name)
+            .map(|(&id, _)| id)
+    }
+
+    /// Walks the paper's attribute-fallback chain and returns the
+    /// non-empty ranking (node order, best first).
+    fn ranked(
+        &self,
+        criterion: AttrId,
+        initiator: &Bitmap,
+        scope: Scope,
+    ) -> Result<Vec<NodeId>, ServiceError> {
+        let mut chain = vec![criterion];
+        match criterion {
+            attr::READ_BANDWIDTH | attr::WRITE_BANDWIDTH => chain.push(attr::BANDWIDTH),
+            attr::READ_LATENCY | attr::WRITE_LATENCY => chain.push(attr::LATENCY),
+            _ => {}
+        }
+        if !chain.contains(&attr::CAPACITY) {
+            chain.push(attr::CAPACITY);
+        }
+        for id in chain {
+            let ranked = match scope {
+                Scope::Local => self.attrs.rank_local_targets(id, initiator),
+                Scope::Any => self.attrs.rank_targets(id, initiator),
+            }
+            .map_err(|e| ServiceError::Ranking(e.to_string()))?;
+            if !ranked.is_empty() {
+                return Ok(ranked.into_iter().map(|tv| tv.node).collect());
+            }
+        }
+        Err(ServiceError::Ranking("no candidate targets".into()))
+    }
+
+    /// The guaranteed floor of tenant `id` on tier `kind`:
+    /// its explicit reservation plus its weight-proportional share of
+    /// the unreserved capacity.
+    fn guarantee(
+        &self,
+        registry: &BTreeMap<TenantId, TenantState>,
+        id: TenantId,
+        kind: MemoryKind,
+    ) -> u64 {
+        let capacity = self.tier_capacity.get(&kind).copied().unwrap_or(0);
+        let reserved: u64 =
+            registry.values().map(|t| t.reserve.get(&kind).copied().unwrap_or(0)).sum();
+        let weights: u64 = registry.values().map(|t| t.priority.weight()).sum();
+        let Some(me) = registry.get(&id) else {
+            return 0;
+        };
+        let my_reserve = me.reserve.get(&kind).copied().unwrap_or(0);
+        let unreserved = capacity.saturating_sub(reserved);
+        let share = if weights == 0 {
+            0
+        } else {
+            (unreserved as u128 * me.priority.weight() as u128 / weights as u128) as u64
+        };
+        my_reserve + share
+    }
+
+    /// Serves one allocation request for `tenant`. On success the
+    /// returned [`Lease`] holds the placed bytes until
+    /// [`Broker::release`]d; on failure nothing is committed.
+    pub fn acquire(&self, tenant: TenantId, req: &AllocRequest) -> Result<Lease, ServiceError> {
+        // Snapshot the registry so share math is stable for this
+        // request without holding the lock through planning.
+        let registry = {
+            let tenants = self.tenants.lock().expect("tenants poisoned");
+            if !tenants.contains_key(&tenant) {
+                return Err(ServiceError::UnknownTenant(format!("{tenant}")));
+            }
+            tenants.clone()
+        };
+        let mut initiator = match req.get_initiator() {
+            Some(cpus) => cpus.clone(),
+            None => self.machine.topology().machine_cpuset().clone(),
+        };
+        initiator.and_assign(self.machine.topology().machine_cpuset());
+        let ranked = self.ranked(req.get_criterion(), &initiator, req.scope())?;
+        let size = req.size();
+
+        // Lock the stripes of every node sharing a tier with a
+        // candidate, in ascending node order (deadlock freedom), so
+        // tier-level share math sees a consistent snapshot.
+        let tiers: BTreeSet<MemoryKind> =
+            ranked.iter().filter_map(|n| self.node_kind.get(n).copied()).collect();
+        let mut guards: BTreeMap<NodeId, MutexGuard<'_, NodeLedger>> = BTreeMap::new();
+        for (&node, &kind) in &self.node_kind {
+            if tiers.contains(&kind) {
+                guards.insert(node, self.stripes[&node].lock().expect("stripe poisoned"));
+            }
+        }
+
+        // Tier aggregates under the locks.
+        let tier_free = |guards: &BTreeMap<NodeId, MutexGuard<'_, NodeLedger>>,
+                         kind: MemoryKind| {
+            guards
+                .iter()
+                .filter(|(n, _)| self.node_kind.get(n) == Some(&kind))
+                .map(|(_, g)| g.free)
+                .sum::<u64>()
+        };
+        let tier_used_by = |guards: &BTreeMap<NodeId, MutexGuard<'_, NodeLedger>>,
+                            kind: MemoryKind,
+                            who: TenantId| {
+            guards
+                .iter()
+                .filter(|(n, _)| self.node_kind.get(n) == Some(&kind))
+                .map(|(_, g)| g.used_by.get(&who).copied().unwrap_or(0))
+                .sum::<u64>()
+        };
+
+        // Plan: walk the ranking, ask the policy how much is
+        // admissible on each node, honor the fallback mode.
+        let mut plan: Vec<(NodeId, u64)> = Vec::new();
+        let mut planned_tier: BTreeMap<MemoryKind, u64> = BTreeMap::new();
+        let mut clamps: Vec<QuotaClamp> = Vec::new();
+        let mut remaining = size;
+        let tenant_name = registry[&tenant].name.clone();
+        for &node in &ranked {
+            if remaining == 0 {
+                break;
+            }
+            let kind = self.node_kind[&node];
+            let node_free = guards[&node].free;
+            let already = planned_tier.get(&kind).copied().unwrap_or(0);
+            let used_mine = tier_used_by(&guards, kind, tenant) + already;
+            let free_t = tier_free(&guards, kind).saturating_sub(already);
+            let quota_head = registry[&tenant]
+                .quota
+                .get(&kind)
+                .map(|&q| q.saturating_sub(used_mine))
+                .unwrap_or(u64::MAX);
+            let policy_allowed = match self.policy {
+                ArbitrationPolicy::Fcfs => u64::MAX,
+                ArbitrationPolicy::StaticPartition => {
+                    self.guarantee(&registry, tenant, kind).saturating_sub(used_mine)
+                }
+                ArbitrationPolicy::FairShare => {
+                    let my_head = self.guarantee(&registry, tenant, kind).saturating_sub(used_mine);
+                    let others_shortfall: u64 = registry
+                        .keys()
+                        .filter(|&&id| id != tenant)
+                        .map(|&id| {
+                            self.guarantee(&registry, id, kind)
+                                .saturating_sub(tier_used_by(&guards, kind, id))
+                        })
+                        .sum();
+                    let borrowable =
+                        free_t.saturating_sub(others_shortfall).saturating_sub(my_head);
+                    my_head.saturating_add(borrowable)
+                }
+            };
+            let policy_allowed = policy_allowed.min(quota_head);
+            let capacity_allowed = node_free.min(remaining);
+            if policy_allowed < capacity_allowed {
+                clamps.push(QuotaClamp {
+                    tenant: tenant_name.clone(),
+                    node,
+                    requested: remaining,
+                    allowed: policy_allowed,
+                });
+            }
+            let take = capacity_allowed.min(policy_allowed);
+            match req.get_fallback() {
+                Fallback::Strict => {
+                    if take >= remaining {
+                        plan.push((node, remaining));
+                        remaining = 0;
+                    }
+                    break;
+                }
+                Fallback::NextTarget => {
+                    if take >= remaining {
+                        plan.push((node, remaining));
+                        remaining = 0;
+                    }
+                }
+                Fallback::PartialSpill => {
+                    if take > 0 {
+                        plan.push((node, take));
+                        *planned_tier.entry(kind).or_insert(0) += take;
+                        remaining -= take;
+                    }
+                }
+            }
+        }
+
+        let emit_clamps = |broker: &Broker, clamps: &[QuotaClamp]| {
+            if broker.recorder.enabled() {
+                for c in clamps {
+                    broker.recorder.record(Event::QuotaClamp(c.clone()));
+                }
+            }
+        };
+        if remaining > 0 {
+            emit_clamps(self, &clamps);
+            let mut tenants = self.tenants.lock().expect("tenants poisoned");
+            if let Some(t) = tenants.get_mut(&tenant) {
+                t.clamps += clamps.len() as u64;
+            }
+            return Err(ServiceError::Admission { requested: size, granted: size - remaining });
+        }
+
+        // Commit under the stripe locks; `Exact` cannot spill past
+        // what the arbiter admitted.
+        let (region, placement) = {
+            let mut mm = self.mm.lock().expect("mm poisoned");
+            let region = mm
+                .alloc(size, AllocPolicy::Exact(plan.clone()))
+                .map_err(|e| ServiceError::Commit(e.to_string()))?;
+            let placement = mm.region(region).expect("fresh region").placement.clone();
+            // Settle the ledgers to the manager's ground truth (page
+            // rounding happens there) before the stripes unlock.
+            for (node, guard) in guards.iter_mut() {
+                guard.free = mm.available(*node);
+            }
+            for &(node, bytes) in &placement {
+                if let Some(guard) = guards.get_mut(&node) {
+                    *guard.used_by.entry(tenant).or_insert(0) += bytes;
+                }
+            }
+            (region, placement)
+        };
+        drop(guards);
+
+        let granted: u64 = placement.iter().map(|&(_, b)| b).sum();
+        let fast_bytes: u64 = placement
+            .iter()
+            .filter(|(n, _)| self.node_kind.get(n) == Some(&self.fast_kind))
+            .map(|&(_, b)| b)
+            .sum();
+        let id = LeaseId(self.next_lease.fetch_add(1, Ordering::Relaxed));
+        self.leases
+            .lock()
+            .expect("leases poisoned")
+            .insert(id, LeaseRecord { tenant, region, placement: placement.clone() });
+        {
+            let mut tenants = self.tenants.lock().expect("tenants poisoned");
+            if let Some(t) = tenants.get_mut(&tenant) {
+                t.admits += 1;
+                t.clamps += clamps.len() as u64;
+            }
+        }
+        emit_clamps(self, &clamps);
+        if self.recorder.enabled() {
+            self.recorder.record(Event::TenantAdmit(TenantAdmit {
+                tenant: tenant_name,
+                lease: id.0,
+                size: granted,
+                placement: placement.clone(),
+                clamped: !clamps.is_empty(),
+                fast_bytes,
+            }));
+        }
+        Ok(Lease { id, tenant, region, size: granted, placement, fast_bytes })
+    }
+
+    /// Returns a lease's capacity to the machine.
+    pub fn release(&self, lease: Lease) -> Result<(), ServiceError> {
+        self.release_by_id(lease.id)
+    }
+
+    /// [`Broker::release`] by wire handle (for remote clients that
+    /// only hold the id).
+    pub fn release_by_id(&self, id: LeaseId) -> Result<(), ServiceError> {
+        let record = self
+            .leases
+            .lock()
+            .expect("leases poisoned")
+            .remove(&id)
+            .ok_or(ServiceError::UnknownLease(id.0))?;
+        let nodes: BTreeSet<NodeId> = record.placement.iter().map(|&(n, _)| n).collect();
+        let mut guards: BTreeMap<NodeId, MutexGuard<'_, NodeLedger>> =
+            nodes.iter().map(|&n| (n, self.stripes[&n].lock().expect("stripe poisoned"))).collect();
+        let mut mm = self.mm.lock().expect("mm poisoned");
+        mm.free(record.region);
+        for (node, guard) in guards.iter_mut() {
+            guard.free = mm.available(*node);
+        }
+        for &(node, bytes) in &record.placement {
+            if let Some(guard) = guards.get_mut(&node) {
+                let used = guard.used_by.entry(record.tenant).or_insert(0);
+                *used = used.saturating_sub(bytes);
+                if *used == 0 {
+                    guard.used_by.remove(&record.tenant);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The placement of a live lease, if it exists.
+    pub fn placement(&self, id: LeaseId) -> Option<Vec<(NodeId, u64)>> {
+        self.leases.lock().expect("leases poisoned").get(&id).map(|r| r.placement.clone())
+    }
+
+    /// The tenant holding a live lease, if it exists (the wire layer
+    /// uses this to refuse cross-tenant frees).
+    pub fn lease_owner(&self, id: LeaseId) -> Option<TenantId> {
+        self.leases.lock().expect("leases poisoned").get(&id).map(|r| r.tenant)
+    }
+
+    /// Number of live leases.
+    pub fn live_leases(&self) -> usize {
+        self.leases.lock().expect("leases poisoned").len()
+    }
+
+    /// Opens the next contention epoch (one per batching tick).
+    pub fn advance_epoch(&self) {
+        self.board.advance_epoch();
+    }
+
+    /// Posts `traffic` (`(node, bytes)` pairs) by `tenant` for the
+    /// current epoch and returns the stall charged, ns: when the
+    /// combined offered bytes at a node exceed what its controller can
+    /// drain in `window_ns`, everyone arriving at the saturated node
+    /// is slowed proportionally (capped at [`MAX_CONTENTION_SLOWDOWN`]x
+    /// the window). Emits a `ContentionStall` event per saturated node.
+    pub fn charge_traffic(
+        &self,
+        tenant: TenantId,
+        traffic: &[(NodeId, u64)],
+        window_ns: f64,
+    ) -> f64 {
+        let mut stall_ns: f64 = 0.0;
+        let mut stalled = 0u64;
+        for &(node, bytes) in traffic {
+            if bytes == 0 {
+                continue;
+            }
+            let (others, sharers) = self.board.offer(node, tenant, bytes);
+            if others == 0 {
+                continue;
+            }
+            let timing = self.machine.timing(node);
+            let capacity_bytes = timing.peak_read_bw_mbps * (1 << 20) as f64 * (window_ns / 1e9);
+            let demand = (bytes + others) as f64;
+            if demand <= capacity_bytes || capacity_bytes <= 0.0 {
+                continue;
+            }
+            let over = (demand / capacity_bytes - 1.0).min(MAX_CONTENTION_SLOWDOWN);
+            let node_stall = window_ns * over;
+            stall_ns = stall_ns.max(node_stall);
+            stalled += 1;
+            if self.recorder.enabled() {
+                let name = self
+                    .tenants
+                    .lock()
+                    .expect("tenants poisoned")
+                    .get(&tenant)
+                    .map(|t| t.name.clone())
+                    .unwrap_or_else(|| format!("{tenant}"));
+                self.recorder.record(Event::ContentionStall(ContentionStall {
+                    tenant: name,
+                    node,
+                    stall_ns: node_stall,
+                    sharers,
+                }));
+            }
+        }
+        if stalled > 0 {
+            let mut tenants = self.tenants.lock().expect("tenants poisoned");
+            if let Some(t) = tenants.get_mut(&tenant) {
+                t.stalls += stalled;
+            }
+        }
+        stall_ns
+    }
+
+    /// Runs a memsim phase for `tenant` against the shared manager,
+    /// then charges contention for the traffic it generated in the
+    /// current epoch.
+    pub fn run_phase(&self, tenant: TenantId, phase: &Phase) -> Result<ServedPhase, ServiceError> {
+        {
+            let tenants = self.tenants.lock().expect("tenants poisoned");
+            if !tenants.contains_key(&tenant) {
+                return Err(ServiceError::UnknownTenant(format!("{tenant}")));
+            }
+        }
+        let report = {
+            let mm = self.mm.lock().expect("mm poisoned");
+            self.engine.run_phase(&mm, phase)
+        };
+        let traffic: Vec<(NodeId, u64)> =
+            report.per_node.iter().map(|(&n, t)| (n, t.bytes_read + t.bytes_written)).collect();
+        let stall_ns = self.charge_traffic(tenant, &traffic, report.time_ns);
+        Ok(ServedPhase { report, stall_ns })
+    }
+
+    /// Snapshot of every tenant's standing.
+    pub fn tenants(&self) -> Vec<TenantStats> {
+        let registry = self.tenants.lock().expect("tenants poisoned").clone();
+        let mut held: BTreeMap<TenantId, BTreeMap<MemoryKind, u64>> = BTreeMap::new();
+        for (&node, stripe) in &self.stripes {
+            let kind = self.node_kind[&node];
+            let guard = stripe.lock().expect("stripe poisoned");
+            for (&tenant, &bytes) in &guard.used_by {
+                *held.entry(tenant).or_default().entry(kind).or_insert(0) += bytes;
+            }
+        }
+        registry
+            .into_iter()
+            .map(|(id, t)| TenantStats {
+                id,
+                name: t.name,
+                priority: t.priority,
+                held: held.remove(&id).unwrap_or_default(),
+                admits: t.admits,
+                clamps: t.clamps,
+                stalls: t.stalls,
+            })
+            .collect()
+    }
+
+    /// Per-node `(used, total)` according to the memory manager.
+    pub fn node_usage(&self) -> Vec<(NodeId, u64, u64)> {
+        let mm = self.mm.lock().expect("mm poisoned");
+        self.node_kind.keys().map(|&n| (n, mm.used(n), self.machine.usable_capacity(n))).collect()
+    }
+
+    /// Cross-checks every ledger against the memory manager and the
+    /// lease table. Intended for tests at quiescent points (no
+    /// in-flight requests); returns a description of the first
+    /// violation found.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let leases = self.leases.lock().expect("leases poisoned").clone();
+        let mut lease_bytes: BTreeMap<NodeId, u64> = BTreeMap::new();
+        for record in leases.values() {
+            for &(node, bytes) in &record.placement {
+                *lease_bytes.entry(node).or_insert(0) += bytes;
+            }
+        }
+        let mut guards: BTreeMap<NodeId, MutexGuard<'_, NodeLedger>> = BTreeMap::new();
+        for (&node, stripe) in &self.stripes {
+            guards.insert(node, stripe.lock().expect("stripe poisoned"));
+        }
+        let mm = self.mm.lock().expect("mm poisoned");
+        for (&node, guard) in &guards {
+            let used = mm.used(node);
+            let from_leases = lease_bytes.get(&node).copied().unwrap_or(0);
+            if used != from_leases {
+                return Err(format!(
+                    "node {node:?}: manager reports {used} used but live leases hold {from_leases}"
+                ));
+            }
+            if guard.free != mm.available(node) {
+                return Err(format!(
+                    "node {node:?}: stripe says {} free but manager says {}",
+                    guard.free,
+                    mm.available(node)
+                ));
+            }
+            let ledger_used: u64 = guard.used_by.values().sum();
+            if ledger_used != used {
+                return Err(format!(
+                    "node {node:?}: per-tenant ledger sums to {ledger_used}, manager says {used}"
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for Broker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Broker")
+            .field("policy", &self.policy)
+            .field("fast_kind", &self.fast_kind)
+            .field("live_leases", &self.live_leases())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetmem_core::discovery;
+    use hetmem_topology::GIB;
+
+    fn knl_broker(policy: ArbitrationPolicy) -> Broker {
+        let machine = Arc::new(Machine::knl_snc4_flat());
+        let attrs = Arc::new(discovery::from_firmware(&machine, true).expect("attrs"));
+        Broker::new(machine, attrs, policy)
+    }
+
+    fn bw_request(bytes: u64) -> AllocRequest {
+        AllocRequest::new(bytes).criterion(attr::BANDWIDTH).fallback(Fallback::PartialSpill)
+    }
+
+    #[test]
+    fn fast_tier_is_hbm_on_knl() {
+        let broker = knl_broker(ArbitrationPolicy::FairShare);
+        assert_eq!(broker.fast_kind(), MemoryKind::Hbm);
+    }
+
+    #[test]
+    fn unknown_tenant_is_rejected() {
+        let broker = knl_broker(ArbitrationPolicy::FairShare);
+        let err = broker.acquire(TenantId(9), &bw_request(GIB)).unwrap_err();
+        assert!(matches!(err, ServiceError::UnknownTenant(_)));
+    }
+
+    #[test]
+    fn duplicate_names_are_rejected() {
+        let broker = knl_broker(ArbitrationPolicy::FairShare);
+        broker.register(TenantSpec::new("a")).expect("first");
+        assert!(matches!(
+            broker.register(TenantSpec::new("a")),
+            Err(ServiceError::DuplicateTenant(_))
+        ));
+    }
+
+    #[test]
+    fn oversubscribed_reservations_are_rejected() {
+        let broker = knl_broker(ArbitrationPolicy::FairShare);
+        broker.register(TenantSpec::new("a").reserve(MemoryKind::Hbm, 12 * GIB)).expect("fits");
+        let err =
+            broker.register(TenantSpec::new("b").reserve(MemoryKind::Hbm, 8 * GIB)).unwrap_err();
+        assert!(matches!(err, ServiceError::Reservation { .. }));
+    }
+
+    #[test]
+    fn fcfs_lets_one_tenant_take_the_whole_fast_tier() {
+        let broker = knl_broker(ArbitrationPolicy::Fcfs);
+        let hog = broker.register(TenantSpec::new("hog")).expect("register");
+        let victim = broker.register(TenantSpec::new("victim")).expect("register");
+        // KNL has ~15.3 GiB of HBM across four MCDRAM nodes.
+        let lease = broker.acquire(hog, &bw_request(15 * GIB)).expect("admitted");
+        assert!(lease.fast_bytes() >= 14 * GIB, "{lease:?}");
+        // The victim now gets almost no fast bytes.
+        let l2 = broker.acquire(victim, &bw_request(2 * GIB)).expect("spills to DRAM");
+        assert!(l2.fast_bytes() < GIB, "{l2:?}");
+        broker.release(lease).expect("release");
+        broker.release(l2).expect("release");
+        broker.check_invariants().expect("clean");
+    }
+
+    #[test]
+    fn fair_share_clamps_the_hog_and_protects_the_victim() {
+        let broker = knl_broker(ArbitrationPolicy::FairShare);
+        let hog = broker.register(TenantSpec::new("hog")).expect("register");
+        let victim = broker.register(TenantSpec::new("victim")).expect("register");
+        // Equal weights: each is guaranteed ~half the HBM tier. The
+        // hog may not borrow the victim's unclaimed guarantee.
+        let lease = broker.acquire(hog, &bw_request(15 * GIB)).expect("spills");
+        let half_tier = broker.tier_capacity[&MemoryKind::Hbm] / 2;
+        assert!(
+            lease.fast_bytes() <= half_tier + GIB / 4,
+            "hog took {} of guarantee {half_tier}",
+            lease.fast_bytes()
+        );
+        // The victim's guarantee is still there.
+        let l2 = broker.acquire(victim, &bw_request(6 * GIB)).expect("admitted");
+        assert!(l2.fast_bytes() >= 6 * GIB - GIB / 4, "{l2:?}");
+        broker.release(lease).expect("release");
+        broker.release(l2).expect("release");
+        broker.check_invariants().expect("clean");
+    }
+
+    #[test]
+    fn fair_share_borrows_when_tier_is_otherwise_idle() {
+        let broker = knl_broker(ArbitrationPolicy::FairShare);
+        let solo = broker.register(TenantSpec::new("solo")).expect("register");
+        // A single registered tenant's shortfall set is empty, so it
+        // may borrow the whole tier: work-conserving.
+        let lease = broker.acquire(solo, &bw_request(14 * GIB)).expect("admitted");
+        assert!(lease.fast_bytes() >= 14 * GIB, "{lease:?}");
+        broker.release(lease).expect("release");
+    }
+
+    #[test]
+    fn static_partition_never_borrows() {
+        let broker = knl_broker(ArbitrationPolicy::StaticPartition);
+        let solo = broker.register(TenantSpec::new("solo")).expect("register");
+        let lease = broker.acquire(solo, &bw_request(15 * GIB)).expect("spills");
+        // Sole tenant, full weight — but a static partition of one is
+        // still the whole tier, so compare against a second tenant.
+        broker.release(lease).expect("release");
+        let other = broker.register(TenantSpec::new("other")).expect("register");
+        let _ = other;
+        let half_tier = broker.tier_capacity[&MemoryKind::Hbm] / 2;
+        let lease = broker.acquire(solo, &bw_request(15 * GIB)).expect("spills");
+        assert!(lease.fast_bytes() <= half_tier + GIB / 4, "{lease:?}");
+        broker.release(lease).expect("release");
+        broker.check_invariants().expect("clean");
+    }
+
+    #[test]
+    fn quota_caps_even_an_idle_tier() {
+        let broker = knl_broker(ArbitrationPolicy::FairShare);
+        let capped = broker
+            .register(TenantSpec::new("capped").quota(MemoryKind::Hbm, GIB))
+            .expect("register");
+        let lease = broker.acquire(capped, &bw_request(4 * GIB)).expect("spills");
+        assert!(lease.fast_bytes() <= GIB, "{lease:?}");
+        broker.release(lease).expect("release");
+    }
+
+    #[test]
+    fn strict_fallback_fails_rather_than_spill() {
+        let broker = knl_broker(ArbitrationPolicy::FairShare);
+        let t = broker.register(TenantSpec::new("t")).expect("register");
+        let req = AllocRequest::new(40 * GIB).criterion(attr::BANDWIDTH).fallback(Fallback::Strict);
+        let err = broker.acquire(t, &req).unwrap_err();
+        assert!(matches!(err, ServiceError::Admission { .. }));
+        assert_eq!(broker.live_leases(), 0);
+        broker.check_invariants().expect("nothing committed");
+    }
+
+    #[test]
+    fn release_by_unknown_id_errors() {
+        let broker = knl_broker(ArbitrationPolicy::FairShare);
+        assert!(matches!(broker.release_by_id(LeaseId(42)), Err(ServiceError::UnknownLease(42))));
+    }
+
+    #[test]
+    fn contention_charges_only_when_node_is_saturated() {
+        let broker = knl_broker(ArbitrationPolicy::FairShare);
+        let a = broker.register(TenantSpec::new("a")).expect("register");
+        let b = broker.register(TenantSpec::new("b")).expect("register");
+        let node = NodeId(4);
+        // 1 ms window on a ~89.6 GB/s MCDRAM node: capacity ~94 MB.
+        let window = 1e6;
+        // Light traffic from both: no stall.
+        assert_eq!(broker.charge_traffic(a, &[(node, 1 << 20)], window), 0.0);
+        assert_eq!(broker.charge_traffic(b, &[(node, 1 << 20)], window), 0.0);
+        broker.advance_epoch();
+        // Saturating traffic from a, then b walks into it.
+        assert_eq!(broker.charge_traffic(a, &[(node, 200 << 20)], window), 0.0);
+        let stall = broker.charge_traffic(b, &[(node, 200 << 20)], window);
+        assert!(stall > 0.0, "co-located saturation must stall");
+        assert!(stall <= window * MAX_CONTENTION_SLOWDOWN);
+        // New epoch: the board forgets.
+        broker.advance_epoch();
+        assert_eq!(broker.charge_traffic(b, &[(node, 200 << 20)], window), 0.0);
+    }
+}

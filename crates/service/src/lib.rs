@@ -1,0 +1,103 @@
+#![warn(missing_docs)]
+//! hetmem-service: a multi-tenant allocation broker for heterogeneous
+//! memory.
+//!
+//! The paper's attribute machinery answers *where* a buffer should go
+//! for one application. On production machines the fast tier (MCDRAM,
+//! HBM) is shared by several jobs at once, and uncoordinated
+//! first-come-first-served allocation lets one bandwidth-hungry tenant
+//! starve everyone else. This crate adds the missing coordination
+//! point:
+//!
+//! * [`Broker`] — owns a shared [`hetmem_memsim::MemoryManager`]
+//!   behind per-NUMA-node lock striping and serves
+//!   [`hetmem_alloc::AllocRequest`]s from concurrent clients.
+//! * [`TenantSpec`] / [`Priority`] — the tenant model: priority class
+//!   plus optional per-tier quota (hard cap) and reservation
+//!   (guaranteed floor).
+//! * [`ArbitrationPolicy`] — fair-share (weighted, work-conserving),
+//!   FCFS, or static partitioning; admission uses the same attribute
+//!   rankings as the single-tenant allocator and emits `TenantAdmit` /
+//!   `QuotaClamp` telemetry.
+//! * [`wire`] / [`server`] — a JSONL request/response protocol over a
+//!   Unix or TCP socket with a thread-per-connection pool and
+//!   per-tick request batching (`hetmem-serve` binary).
+//! * [`TrafficBoard`] — contention feedback: co-located tenants that
+//!   saturate a node charge each other bandwidth-degradation stalls,
+//!   surfaced as `ContentionStall` events.
+
+mod board;
+mod broker;
+pub mod server;
+mod tenant;
+pub mod wire;
+
+pub use board::TrafficBoard;
+pub use broker::{ArbitrationPolicy, Broker, Lease, LeaseId, ServedPhase, MAX_CONTENTION_SLOWDOWN};
+pub use tenant::{Priority, TenantId, TenantSpec, TenantStats};
+
+/// Everything that can go wrong between a wire request and a lease.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ServiceError {
+    /// The tenant id or name is not registered.
+    UnknownTenant(String),
+    /// A tenant with this name already exists.
+    DuplicateTenant(String),
+    /// The lease id does not refer to a live lease.
+    UnknownLease(u64),
+    /// Registering this reservation would oversubscribe a tier.
+    Reservation {
+        /// The oversubscribed tier.
+        kind: hetmem_topology::MemoryKind,
+        /// Bytes the new tenant asked to reserve.
+        requested: u64,
+        /// Bytes still unreserved on the tier.
+        available: u64,
+    },
+    /// Attribute ranking produced no usable candidates.
+    Ranking(String),
+    /// The arbiter could not admit the full request under the active
+    /// policy and fallback mode. Nothing was committed.
+    Admission {
+        /// Bytes requested.
+        requested: u64,
+        /// Bytes the arbiter could have granted.
+        granted: u64,
+    },
+    /// The memory manager rejected the admitted plan (a broker bug or
+    /// a race with an unmanaged allocation path).
+    Commit(String),
+    /// A malformed wire request.
+    Wire(String),
+    /// Socket-level failure.
+    Io(String),
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::UnknownTenant(who) => write!(f, "unknown tenant {who}"),
+            ServiceError::DuplicateTenant(name) => {
+                write!(f, "tenant {name:?} is already registered")
+            }
+            ServiceError::UnknownLease(id) => write!(f, "unknown lease #{id}"),
+            ServiceError::Reservation { kind, requested, available } => write!(
+                f,
+                "reservation of {requested} bytes oversubscribes the {kind:?} tier \
+                 ({available} bytes unreserved)"
+            ),
+            ServiceError::Ranking(why) => write!(f, "attribute ranking failed: {why}"),
+            ServiceError::Admission { requested, granted } => write!(
+                f,
+                "admission denied: {granted} of {requested} bytes admissible under the \
+                 arbitration policy"
+            ),
+            ServiceError::Commit(why) => write!(f, "commit failed: {why}"),
+            ServiceError::Wire(why) => write!(f, "bad request: {why}"),
+            ServiceError::Io(why) => write!(f, "i/o error: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}

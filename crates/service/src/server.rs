@@ -1,0 +1,455 @@
+//! The broker service: a JSONL socket server in front of a shared
+//! [`Broker`].
+//!
+//! One reader thread per connection parses request lines and posts
+//! them on a shared queue; a single dispatcher thread drains the queue
+//! in batches ("ticks"), opens a fresh contention epoch per batch, and
+//! serves every request in arrival order before writing the response
+//! lines back. Batching keeps the epoch semantics of the
+//! [`crate::TrafficBoard`] meaningful — requests landing in the same
+//! tick contend with each other — and gives natural backpressure: a
+//! slow broker grows the batch instead of the thread count.
+//!
+//! Addresses: `unix:/path/to.sock`, `tcp:host:port`, or a bare
+//! `host:port` (TCP). Tests bind `tcp:127.0.0.1:0` and read the
+//! chosen port back from [`Server::local_addr`].
+
+use crate::broker::Broker;
+use crate::wire::{Request, Response};
+use crate::{LeaseId, ServiceError, TenantSpec};
+use hetmem_alloc::AllocRequest;
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// A connected client stream (either family).
+#[derive(Debug)]
+enum Conn {
+    Tcp(TcpStream),
+    Unix(UnixStream),
+}
+
+impl Conn {
+    fn try_clone(&self) -> std::io::Result<Conn> {
+        Ok(match self {
+            Conn::Tcp(s) => Conn::Tcp(s.try_clone()?),
+            Conn::Unix(s) => Conn::Unix(s.try_clone()?),
+        })
+    }
+
+    fn shutdown(&self) {
+        match self {
+            Conn::Tcp(s) => {
+                let _ = s.shutdown(std::net::Shutdown::Both);
+            }
+            Conn::Unix(s) => {
+                let _ = s.shutdown(std::net::Shutdown::Both);
+            }
+        }
+    }
+}
+
+impl std::io::Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.read(buf),
+            Conn::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.write(buf),
+            Conn::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.flush(),
+            Conn::Unix(s) => s.flush(),
+        }
+    }
+}
+
+enum Bound {
+    Tcp(TcpListener),
+    Unix(UnixListener, PathBuf),
+}
+
+/// One queued request plus the handle to answer it on.
+struct Pending {
+    request: Result<Request, ServiceError>,
+    reply_to: Arc<Mutex<Conn>>,
+}
+
+#[derive(Default)]
+struct Queue {
+    pending: Mutex<VecDeque<Pending>>,
+    wakeup: Condvar,
+}
+
+/// The running service.
+pub struct Server {
+    broker: Arc<Broker>,
+    queue: Arc<Queue>,
+    stop: Arc<AtomicBool>,
+    conns: Arc<Mutex<Vec<Conn>>>,
+    accept_thread: Option<JoinHandle<()>>,
+    dispatch_thread: Option<JoinHandle<()>>,
+    local_addr: String,
+    sock_path: Option<PathBuf>,
+}
+
+impl Server {
+    /// Binds `addr` and starts the accept and dispatcher threads.
+    pub fn bind(broker: Arc<Broker>, addr: &str) -> Result<Server, ServiceError> {
+        let io = |e: std::io::Error| ServiceError::Io(e.to_string());
+        let bound = if let Some(path) = addr.strip_prefix("unix:") {
+            let path = PathBuf::from(path);
+            // A previous run's socket file would make bind fail.
+            let _ = std::fs::remove_file(&path);
+            Bound::Unix(UnixListener::bind(&path).map_err(io)?, path)
+        } else {
+            let hostport = addr.strip_prefix("tcp:").unwrap_or(addr);
+            Bound::Tcp(TcpListener::bind(hostport).map_err(io)?)
+        };
+        let (local_addr, sock_path) = match &bound {
+            Bound::Tcp(l) => (format!("tcp:{}", l.local_addr().map_err(io)?), None),
+            Bound::Unix(_, path) => (format!("unix:{}", path.display()), Some(path.clone())),
+        };
+
+        let queue = Arc::new(Queue::default());
+        let stop = Arc::new(AtomicBool::new(false));
+        let conns: Arc<Mutex<Vec<Conn>>> = Arc::new(Mutex::new(Vec::new()));
+
+        let accept_thread = {
+            let queue = queue.clone();
+            let stop = stop.clone();
+            let conns = conns.clone();
+            std::thread::spawn(move || loop {
+                let conn = match &bound {
+                    Bound::Tcp(l) => l.accept().map(|(s, _)| Conn::Tcp(s)),
+                    Bound::Unix(l, _) => l.accept().map(|(s, _)| Conn::Unix(s)),
+                };
+                if stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                let Ok(conn) = conn else {
+                    continue;
+                };
+                let Ok(write_half) = conn.try_clone() else {
+                    continue;
+                };
+                if let Ok(reader_half) = conn.try_clone() {
+                    conns.lock().expect("conns poisoned").push(reader_half);
+                }
+                let reply_to = Arc::new(Mutex::new(write_half));
+                let queue = queue.clone();
+                let stop = stop.clone();
+                std::thread::spawn(move || {
+                    let reader = BufReader::new(conn);
+                    for line in reader.lines() {
+                        if stop.load(Ordering::SeqCst) {
+                            return;
+                        }
+                        let Ok(line) = line else {
+                            return;
+                        };
+                        if line.trim().is_empty() {
+                            continue;
+                        }
+                        let pending = Pending {
+                            request: Request::from_json(&line),
+                            reply_to: reply_to.clone(),
+                        };
+                        queue.pending.lock().expect("queue poisoned").push_back(pending);
+                        queue.wakeup.notify_one();
+                    }
+                });
+            })
+        };
+
+        let dispatch_thread = {
+            let broker = broker.clone();
+            let queue = queue.clone();
+            let stop = stop.clone();
+            std::thread::spawn(move || loop {
+                // One drained batch = one service tick = one
+                // contention epoch.
+                let batch: Vec<Pending> = {
+                    let mut pending = queue.pending.lock().expect("queue poisoned");
+                    while pending.is_empty() && !stop.load(Ordering::SeqCst) {
+                        pending = queue.wakeup.wait(pending).expect("queue poisoned");
+                    }
+                    if stop.load(Ordering::SeqCst) && pending.is_empty() {
+                        return;
+                    }
+                    pending.drain(..).collect()
+                };
+                broker.advance_epoch();
+                for item in batch {
+                    let response = match item.request {
+                        Ok(request) => serve(&broker, request),
+                        Err(e) => Response::Error { error: e.to_string() },
+                    };
+                    let mut out = item.reply_to.lock().expect("conn poisoned");
+                    let _ = writeln!(out, "{}", response.to_json());
+                    let _ = out.flush();
+                }
+            })
+        };
+
+        Ok(Server {
+            broker,
+            queue,
+            stop,
+            conns,
+            accept_thread: Some(accept_thread),
+            dispatch_thread: Some(dispatch_thread),
+            local_addr,
+            sock_path,
+        })
+    }
+
+    /// The bound address in connectable form (`tcp:127.0.0.1:PORT` or
+    /// `unix:/path`).
+    pub fn local_addr(&self) -> &str {
+        &self.local_addr
+    }
+
+    /// The broker behind the socket.
+    pub fn broker(&self) -> &Arc<Broker> {
+        &self.broker
+    }
+
+    /// Stops accepting, drains nothing further, and joins the service
+    /// threads. Idempotent; also runs on drop.
+    pub fn shutdown(&mut self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the accept thread with a throwaway connection.
+        let _ = Client::connect(&self.local_addr);
+        // Unblock connection readers.
+        for conn in self.conns.lock().expect("conns poisoned").drain(..) {
+            conn.shutdown();
+        }
+        self.queue.wakeup.notify_all();
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        if let Some(t) = self.dispatch_thread.take() {
+            let _ = t.join();
+        }
+        if let Some(path) = self.sock_path.take() {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Serves one already-parsed request against the broker.
+pub fn serve(broker: &Broker, request: Request) -> Response {
+    let outcome = (|| match request {
+        Request::Register { tenant, priority, quota, reserve } => {
+            let mut spec = TenantSpec::new(tenant).priority(priority);
+            for (kind, bytes) in quota {
+                spec = spec.quota(kind, bytes);
+            }
+            for (kind, bytes) in reserve {
+                spec = spec.reserve(kind, bytes);
+            }
+            let id = broker.register(spec)?;
+            Ok(Response::Registered { tenant_id: id.0 })
+        }
+        Request::Alloc { tenant, size, criterion, fallback, label } => {
+            let id = broker
+                .tenant_id(&tenant)
+                .ok_or_else(|| ServiceError::UnknownTenant(tenant.clone()))?;
+            let mut req = AllocRequest::new(size).criterion(criterion).fallback(fallback);
+            if let Some(label) = label {
+                req = req.label(label);
+            }
+            // The broker keeps the lease record; the wire client holds
+            // only the id and frees through it.
+            let lease = broker.acquire(id, &req)?;
+            Ok(Response::Granted {
+                lease: lease.id().0,
+                size: lease.size(),
+                placement: lease.placement().to_vec(),
+                fast_bytes: lease.fast_bytes(),
+            })
+        }
+        Request::Free { tenant, lease } => {
+            let id = broker
+                .tenant_id(&tenant)
+                .ok_or_else(|| ServiceError::UnknownTenant(tenant.clone()))?;
+            let holder =
+                broker.lease_owner(LeaseId(lease)).ok_or(ServiceError::UnknownLease(lease))?;
+            if holder != id {
+                return Err(ServiceError::UnknownLease(lease));
+            }
+            broker.release_by_id(LeaseId(lease))?;
+            Ok(Response::Freed)
+        }
+        Request::Stats => {
+            Ok(Response::Stats { tenants: broker.tenants(), nodes: broker.node_usage() })
+        }
+    })();
+    outcome.unwrap_or_else(|e: ServiceError| Response::Error { error: e.to_string() })
+}
+
+/// A blocking JSONL client for the service socket.
+pub struct Client {
+    reader: BufReader<Conn>,
+    writer: Conn,
+}
+
+impl Client {
+    /// Connects to an address in [`Server::local_addr`] form.
+    pub fn connect(addr: &str) -> Result<Client, ServiceError> {
+        let io = |e: std::io::Error| ServiceError::Io(e.to_string());
+        let conn = if let Some(path) = addr.strip_prefix("unix:") {
+            Conn::Unix(UnixStream::connect(path).map_err(io)?)
+        } else {
+            let hostport = addr.strip_prefix("tcp:").unwrap_or(addr);
+            Conn::Tcp(TcpStream::connect(hostport).map_err(io)?)
+        };
+        let writer = conn.try_clone().map_err(io)?;
+        Ok(Client { reader: BufReader::new(conn), writer })
+    }
+
+    /// Sends one request and blocks for its response.
+    pub fn call(&mut self, request: &Request) -> Result<Response, ServiceError> {
+        let io = |e: std::io::Error| ServiceError::Io(e.to_string());
+        writeln!(self.writer, "{}", request.to_json()).map_err(io)?;
+        self.writer.flush().map_err(io)?;
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line).map_err(io)?;
+        if n == 0 {
+            return Err(ServiceError::Io("server closed the connection".into()));
+        }
+        Response::from_json(line.trim_end())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ArbitrationPolicy;
+    use hetmem_core::discovery;
+    use hetmem_memsim::Machine;
+
+    fn serve_knl() -> Server {
+        let machine = Arc::new(Machine::knl_snc4_flat());
+        let attrs = Arc::new(discovery::from_firmware(&machine, true).expect("attrs"));
+        let broker = Arc::new(Broker::new(machine, attrs, ArbitrationPolicy::FairShare));
+        Server::bind(broker, "tcp:127.0.0.1:0").expect("bind")
+    }
+
+    #[test]
+    fn register_alloc_free_over_the_socket() {
+        let mut server = serve_knl();
+        let mut client = Client::connect(server.local_addr()).expect("connect");
+        let resp = client
+            .call(&Request::Register {
+                tenant: "t".into(),
+                priority: crate::Priority::Normal,
+                quota: vec![],
+                reserve: vec![],
+            })
+            .expect("register");
+        assert!(matches!(resp, Response::Registered { .. }), "{resp:?}");
+        let resp = client
+            .call(&Request::Alloc {
+                tenant: "t".into(),
+                size: 1 << 20,
+                criterion: hetmem_core::attr::BANDWIDTH,
+                fallback: hetmem_alloc::Fallback::PartialSpill,
+                label: Some("buf".into()),
+            })
+            .expect("alloc");
+        let Response::Granted { lease, size, fast_bytes, .. } = resp else {
+            panic!("expected grant, got {resp:?}");
+        };
+        assert_eq!(size, 1 << 20);
+        assert_eq!(fast_bytes, 1 << 20, "KNL MCDRAM should win the bandwidth ranking");
+        assert_eq!(server.broker().live_leases(), 1);
+        let resp = client.call(&Request::Free { tenant: "t".into(), lease }).expect("free");
+        assert!(matches!(resp, Response::Freed), "{resp:?}");
+        assert_eq!(server.broker().live_leases(), 0);
+        server.broker().check_invariants().expect("clean");
+        server.shutdown();
+    }
+
+    #[test]
+    fn errors_keep_the_connection_usable() {
+        let mut server = serve_knl();
+        let mut client = Client::connect(server.local_addr()).expect("connect");
+        // Alloc for an unregistered tenant fails but does not hang up.
+        let resp = client
+            .call(&Request::Alloc {
+                tenant: "ghost".into(),
+                size: 4096,
+                criterion: hetmem_core::attr::CAPACITY,
+                fallback: hetmem_alloc::Fallback::NextTarget,
+                label: None,
+            })
+            .expect("call");
+        assert!(matches!(resp, Response::Error { .. }), "{resp:?}");
+        // Freeing someone else's lease is refused.
+        let resp = client
+            .call(&Request::Register {
+                tenant: "t".into(),
+                priority: crate::Priority::Normal,
+                quota: vec![],
+                reserve: vec![],
+            })
+            .expect("register");
+        assert!(matches!(resp, Response::Registered { .. }));
+        let resp = client.call(&Request::Free { tenant: "t".into(), lease: 99 }).expect("call");
+        assert!(matches!(resp, Response::Error { .. }), "{resp:?}");
+        let resp = client.call(&Request::Stats).expect("stats");
+        let Response::Stats { tenants, nodes } = resp else {
+            panic!("expected stats");
+        };
+        assert_eq!(tenants.len(), 1);
+        assert_eq!(nodes.len(), 8, "KNL SNC-4 flat has 8 NUMA nodes");
+        server.shutdown();
+    }
+
+    #[test]
+    fn unix_socket_roundtrip() {
+        let machine = Arc::new(Machine::knl_snc4_flat());
+        let attrs = Arc::new(discovery::from_firmware(&machine, true).expect("attrs"));
+        let broker = Arc::new(Broker::new(machine, attrs, ArbitrationPolicy::Fcfs));
+        let path =
+            std::env::temp_dir().join(format!("hetmem-serve-test-{}.sock", std::process::id()));
+        let mut server = Server::bind(broker, &format!("unix:{}", path.display())).expect("bind");
+        let mut client = Client::connect(server.local_addr()).expect("connect");
+        let resp = client
+            .call(&Request::Register {
+                tenant: "u".into(),
+                priority: crate::Priority::Batch,
+                quota: vec![],
+                reserve: vec![],
+            })
+            .expect("register");
+        assert!(matches!(resp, Response::Registered { .. }));
+        server.shutdown();
+        assert!(!path.exists(), "socket file is cleaned up on shutdown");
+    }
+}

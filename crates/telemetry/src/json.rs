@@ -1,6 +1,11 @@
 //! Minimal hand-rolled JSON, just enough for the trace format: object,
 //! array, string, number, null. No external dependencies by design —
 //! the trace schema is flat and fully under our control.
+//!
+//! Public because other crates reuse the same encoder for their own
+//! line-oriented protocols (the `hetmem-service` wire format speaks
+//! exactly this dialect); the trace schema itself stays defined by
+//! [`crate::Event`].
 
 use std::fmt::Write as _;
 
@@ -12,7 +17,8 @@ pub struct ParseError {
 }
 
 impl ParseError {
-    pub(crate) fn new(msg: impl Into<String>) -> ParseError {
+    /// A parse/schema error carrying `msg`.
+    pub fn new(msg: impl Into<String>) -> ParseError {
         ParseError { msg: msg.into() }
     }
 }
@@ -25,25 +31,37 @@ impl std::fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
+/// One JSON value. Objects keep field order (and allow duplicate
+/// keys — first match wins on lookup), which keeps rendering
+/// deterministic.
 #[derive(Debug, Clone, PartialEq)]
-pub(crate) enum JsonValue {
+pub enum JsonValue {
+    /// `null`.
     Null,
+    /// Any number; integers survive exactly below 2^53.
     Num(f64),
+    /// A string.
     Str(String),
+    /// An array.
     Array(Vec<JsonValue>),
+    /// An object as ordered `(key, value)` pairs.
     Object(Vec<(String, JsonValue)>),
 }
 
 impl JsonValue {
-    pub(crate) fn num(v: f64) -> JsonValue {
+    /// Shorthand for [`JsonValue::Num`].
+    pub fn num(v: f64) -> JsonValue {
         JsonValue::Num(v)
     }
 
-    pub(crate) fn str(v: &str) -> JsonValue {
+    /// Shorthand for [`JsonValue::Str`] from a borrowed string.
+    pub fn str(v: &str) -> JsonValue {
         JsonValue::Str(v.to_string())
     }
 
-    pub(crate) fn get(&self, key: &str) -> Result<JsonValue, ParseError> {
+    /// Looks up `key` in an object; errors if `self` is not an object
+    /// or the field is missing.
+    pub fn get(&self, key: &str) -> Result<JsonValue, ParseError> {
         match self {
             JsonValue::Object(fields) => fields
                 .iter()
@@ -54,14 +72,16 @@ impl JsonValue {
         }
     }
 
-    pub(crate) fn string(&self) -> Result<String, ParseError> {
+    /// The value as an owned string; errors on any other type.
+    pub fn string(&self) -> Result<String, ParseError> {
         match self {
             JsonValue::Str(s) => Ok(s.clone()),
             other => Err(ParseError::new(format!("expected string, got {other:?}"))),
         }
     }
 
-    pub(crate) fn f64(&self) -> Result<f64, ParseError> {
+    /// The value as a number; errors on any other type.
+    pub fn f64(&self) -> Result<f64, ParseError> {
         match self {
             JsonValue::Num(n) => Ok(*n),
             other => Err(ParseError::new(format!("expected number, got {other:?}"))),
@@ -70,7 +90,7 @@ impl JsonValue {
 
     /// Integers survive the f64 round-trip exactly below 2^53, far
     /// beyond any byte count or node id this repo models.
-    pub(crate) fn u64(&self) -> Result<u64, ParseError> {
+    pub fn u64(&self) -> Result<u64, ParseError> {
         let n = self.f64()?;
         if n < 0.0 || n.fract() != 0.0 {
             return Err(ParseError::new(format!("expected unsigned integer, got {n}")));
@@ -78,14 +98,16 @@ impl JsonValue {
         Ok(n as u64)
     }
 
-    pub(crate) fn array(&self) -> Result<&[JsonValue], ParseError> {
+    /// The value as an array slice; errors on any other type.
+    pub fn array(&self) -> Result<&[JsonValue], ParseError> {
         match self {
             JsonValue::Array(items) => Ok(items),
             other => Err(ParseError::new(format!("expected array, got {other:?}"))),
         }
     }
 
-    pub(crate) fn render(&self) -> String {
+    /// Renders the value as compact single-line JSON.
+    pub fn render(&self) -> String {
         let mut out = String::new();
         self.render_into(&mut out);
         out
@@ -146,7 +168,8 @@ impl JsonValue {
     }
 }
 
-pub(crate) fn parse(text: &str) -> Result<JsonValue, ParseError> {
+/// Parses one JSON document; rejects trailing data.
+pub fn parse(text: &str) -> Result<JsonValue, ParseError> {
     let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
     p.skip_ws();
     let v = p.value()?;

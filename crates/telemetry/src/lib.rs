@@ -29,7 +29,7 @@
 
 #![warn(missing_docs)]
 
-mod json;
+pub mod json;
 mod summary;
 
 pub use json::ParseError;
@@ -240,6 +240,55 @@ pub struct GuidanceDecision {
     pub period: u64,
 }
 
+/// A broker admission: a tenant's allocation request was granted a
+/// lease after fair-share arbitration (`hetmem-service`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantAdmit {
+    /// Tenant name.
+    pub tenant: String,
+    /// The lease id granted.
+    pub lease: u64,
+    /// Requested bytes.
+    pub size: u64,
+    /// Final placement split `(node, bytes)`.
+    pub placement: Vec<(NodeId, u64)>,
+    /// Whether any candidate was refused by quota/share enforcement
+    /// on the way to this placement.
+    pub clamped: bool,
+    /// Bytes that landed on the machine's fast tier.
+    pub fast_bytes: u64,
+}
+
+/// A fair-share denial on one node: the arbiter refused to place
+/// bytes for a tenant there because the tenant's quota or the
+/// guaranteed shares of other tenants left no room.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuotaClamp {
+    /// Tenant name.
+    pub tenant: String,
+    /// The node the bytes were refused on.
+    pub node: NodeId,
+    /// Bytes the tenant wanted on the node.
+    pub requested: u64,
+    /// Bytes the arbiter was willing to grant there.
+    pub allowed: u64,
+}
+
+/// Bandwidth degradation charged to a tenant because co-located
+/// tenants saturated a node in the same service epoch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ContentionStall {
+    /// The tenant being slowed down.
+    pub tenant: String,
+    /// The saturated node.
+    pub node: NodeId,
+    /// Extra time charged, ns.
+    pub stall_ns: f64,
+    /// Tenants driving traffic at the node this epoch (including the
+    /// stalled one).
+    pub sharers: u64,
+}
+
 /// A telemetry event.
 #[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
@@ -260,6 +309,12 @@ pub enum Event {
     TieringAction(TieringEvent),
     /// An online-guidance promotion or demotion.
     GuidanceDecision(GuidanceDecision),
+    /// A broker admission (multi-tenant service).
+    TenantAdmit(TenantAdmit),
+    /// A fair-share denial on one node (multi-tenant service).
+    QuotaClamp(QuotaClamp),
+    /// Contention-induced slowdown charged to a tenant.
+    ContentionStall(ContentionStall),
 }
 
 /// Human-readable name for the well-known attribute ids of
@@ -418,6 +473,29 @@ impl Event {
                 ("cost_ns", JsonValue::num(g.cost_ns)),
                 ("period", JsonValue::num(g.period as f64)),
             ],
+            Event::TenantAdmit(t) => vec![
+                ("event", JsonValue::str("tenant_admit")),
+                ("tenant", JsonValue::str(&t.tenant)),
+                ("lease", JsonValue::num(t.lease as f64)),
+                ("size", JsonValue::num(t.size as f64)),
+                ("placement", placement_json(&t.placement)),
+                ("clamped", JsonValue::str(if t.clamped { "yes" } else { "no" })),
+                ("fast_bytes", JsonValue::num(t.fast_bytes as f64)),
+            ],
+            Event::QuotaClamp(q) => vec![
+                ("event", JsonValue::str("quota_clamp")),
+                ("tenant", JsonValue::str(&q.tenant)),
+                ("node", JsonValue::num(q.node.0 as f64)),
+                ("requested", JsonValue::num(q.requested as f64)),
+                ("allowed", JsonValue::num(q.allowed as f64)),
+            ],
+            Event::ContentionStall(c) => vec![
+                ("event", JsonValue::str("contention_stall")),
+                ("tenant", JsonValue::str(&c.tenant)),
+                ("node", JsonValue::num(c.node.0 as f64)),
+                ("stall_ns", JsonValue::num(c.stall_ns)),
+                ("sharers", JsonValue::num(c.sharers as f64)),
+            ],
         };
         JsonValue::Object(obj.into_iter().map(|(k, v)| (k.to_string(), v)).collect()).render()
     }
@@ -531,6 +609,30 @@ impl Event {
                 actual_hotness: v.get("actual_hotness")?.f64()?,
                 cost_ns: v.get("cost_ns")?.f64()?,
                 period: v.get("period")?.u64()?,
+            })),
+            "tenant_admit" => Ok(Event::TenantAdmit(TenantAdmit {
+                tenant: v.get("tenant")?.string()?,
+                lease: v.get("lease")?.u64()?,
+                size: v.get("size")?.u64()?,
+                placement: placement_from_json(&v.get("placement")?)?,
+                clamped: match v.get("clamped")?.string()?.as_str() {
+                    "yes" => true,
+                    "no" => false,
+                    other => return Err(ParseError::new(format!("bad clamped {other:?}"))),
+                },
+                fast_bytes: v.get("fast_bytes")?.u64()?,
+            })),
+            "quota_clamp" => Ok(Event::QuotaClamp(QuotaClamp {
+                tenant: v.get("tenant")?.string()?,
+                node: NodeId(v.get("node")?.u64()? as u32),
+                requested: v.get("requested")?.u64()?,
+                allowed: v.get("allowed")?.u64()?,
+            })),
+            "contention_stall" => Ok(Event::ContentionStall(ContentionStall {
+                tenant: v.get("tenant")?.string()?,
+                node: NodeId(v.get("node")?.u64()? as u32),
+                stall_ns: v.get("stall_ns")?.f64()?,
+                sharers: v.get("sharers")?.u64()?,
             })),
             other => Err(ParseError::new(format!("unknown event kind {other:?}"))),
         }
@@ -766,6 +868,34 @@ mod tests {
                 actual_hotness: 0.96875,
                 cost_ns: 7_000.5,
                 period: 16384,
+            }),
+            Event::TenantAdmit(TenantAdmit {
+                tenant: "graph \"500\"".into(),
+                lease: 11,
+                size: 3 << 30,
+                placement: vec![(NodeId(4), 1 << 30), (NodeId(0), 2 << 30)],
+                clamped: true,
+                fast_bytes: 1 << 30,
+            }),
+            Event::TenantAdmit(TenantAdmit {
+                tenant: "stream".into(),
+                lease: 12,
+                size: 1 << 20,
+                placement: vec![(NodeId(2), 1 << 20)],
+                clamped: false,
+                fast_bytes: 0,
+            }),
+            Event::QuotaClamp(QuotaClamp {
+                tenant: "stream".into(),
+                node: NodeId(4),
+                requested: 2 << 30,
+                allowed: 512 << 20,
+            }),
+            Event::ContentionStall(ContentionStall {
+                tenant: "graph500".into(),
+                node: NodeId(4),
+                stall_ns: 125_000.5,
+                sharers: 3,
             }),
         ];
         let text: String = events.iter().map(|e| e.to_json() + "\n").collect();

@@ -60,6 +60,14 @@ pub struct Summary {
     pub guidance_actions: u64,
     /// Frees seen.
     pub frees: u64,
+    /// Broker admissions (multi-tenant service).
+    pub tenant_admits: u64,
+    /// Fair-share denials the arbiter issued.
+    pub quota_clamps: u64,
+    /// Contention stalls charged to tenants.
+    pub contention_stalls: u64,
+    /// Total contention time charged, ns.
+    pub contention_stall_ns: f64,
     /// Per-node occupancy, latest and high-water.
     pub occupancy: BTreeMap<NodeId, OccupancyStats>,
     /// Phases in arrival order.
@@ -126,6 +134,12 @@ impl Summary {
             }
             Event::TieringAction(_) => self.tiering_actions += 1,
             Event::GuidanceDecision(_) => self.guidance_actions += 1,
+            Event::TenantAdmit(_) => self.tenant_admits += 1,
+            Event::QuotaClamp(_) => self.quota_clamps += 1,
+            Event::ContentionStall(c) => {
+                self.contention_stalls += 1;
+                self.contention_stall_ns += c.stall_ns;
+            }
             // Event is non_exhaustive for forward compatibility;
             // unknown variants simply don't aggregate.
             #[allow(unreachable_patterns)]
@@ -177,6 +191,16 @@ impl Summary {
                 "  migrations: {} moving {}",
                 self.migrations,
                 fmt_bytes(self.migrated_bytes)
+            );
+        }
+        if self.tenant_admits + self.quota_clamps + self.contention_stalls > 0 {
+            let _ = writeln!(
+                out,
+                "  service: {} admissions, {} quota clamps, {} contention stalls ({:.3} ms)",
+                self.tenant_admits,
+                self.quota_clamps,
+                self.contention_stalls,
+                self.contention_stall_ns / 1e6
             );
         }
         if self.tiering_actions + self.guidance_actions > 0 {

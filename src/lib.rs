@@ -22,6 +22,9 @@
 //!   workload;
 //! * [`scenario`] — a text DSL to drive custom workloads through the
 //!   whole stack without recompiling (`hetmem-run`);
+//! * [`service`] — a multi-tenant allocation broker with fair-share
+//!   arbitration, a JSONL wire protocol (`hetmem-serve`) and
+//!   contention feedback between co-located tenants;
 //! * [`telemetry`] — allocation-decision events, recorders (ring
 //!   buffer, JSONL) and the per-run placement report behind `--trace`.
 
@@ -36,6 +39,7 @@ pub use hetmem_membench as membench;
 pub use hetmem_memsim as memsim;
 pub use hetmem_profile as profile;
 pub use hetmem_scenario as scenario;
+pub use hetmem_service as service;
 pub use hetmem_telemetry as telemetry;
 pub use hetmem_topology as topology;
 
