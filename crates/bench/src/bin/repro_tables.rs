@@ -1,13 +1,15 @@
 //! Regenerates every table of the paper's evaluation.
 //!
 //! ```text
-//! repro_tables [--table1|--table2a|--table2b|--table3a|--table3b|--table4|--portability|--capacity|--guidance|--service|--all]
+//! repro_tables [--table1|--table2a|--table2b|--table3a|--table3b|--table4|--portability|--capacity|--guidance|--service|--chaos|--all]
 //!              [--trace <out.jsonl>]
 //! ```
 //!
 //! `--trace` streams every allocation decision, migration and
 //! occupancy change of the capacity-conflict demo to a JSONL file and
-//! prints the aggregated placement report.
+//! prints the aggregated placement report. With `--chaos` it instead
+//! captures the fault sweep's lifecycle events (`tier_degraded`,
+//! `lease_expired`, `reclaim`, ...).
 
 use hetmem_alloc::planner::{plan, PlanOrder, PlannedAlloc};
 use hetmem_alloc::{baselines, Fallback};
@@ -70,6 +72,9 @@ fn main() {
     }
     if all || arg == "--service" {
         service();
+    }
+    if all || arg == "--chaos" {
+        chaos(trace.as_deref());
     }
 }
 
@@ -517,6 +522,98 @@ fn service() {
         fair.fast_hit() * 100.0,
         fcfs.fast_hit() * 100.0
     );
+    println!();
+}
+
+/// Seeded fault sweep: the contention workload under injected tier
+/// degradations, client drops, silent clients and allocation stalls.
+/// Each seed is run twice to prove the sweep is bit-identical, and the
+/// key robustness claims are checked: capacity abandoned by dead or
+/// silent clients is reclaimed within one lease TTL, and no request
+/// hard-fails while the machine still has capacity.
+fn chaos(trace: Option<&str>) {
+    use hetmem_bench::load::{knl_chaos, run_load_chaos};
+    use hetmem_service::ArbitrationPolicy;
+    use hetmem_telemetry::{JsonlWriter, Recorder};
+    use std::sync::Arc;
+    println!("== Chaos: seeded fault sweep over the multi-tenant broker (KNL, fair-share) ==");
+    println!(
+        "{:<8} {:>7} {:>7} {:>6} {:>6} {:>7} {:>8} {:>8} {:>8} {:>11} {:>10} {:>10}",
+        "seed",
+        "faults",
+        "degrade",
+        "drops",
+        "slow",
+        "stalls",
+        "retries",
+        "expired",
+        "revoked",
+        "reclaimed",
+        "hard-fail",
+        "admitted"
+    );
+    let ctx = Ctx::knl();
+    let writer: Option<Arc<JsonlWriter>> = trace.map(|path| {
+        Arc::new(JsonlWriter::create(path).unwrap_or_else(|e| {
+            eprintln!("repro_tables: cannot create {path}: {e}");
+            std::process::exit(1);
+        }))
+    });
+    let mut identical = true;
+    let mut survived = true;
+    for seed in [0xc4a0u64, 0x0dd5, 0xfa57] {
+        let (cfg, mut chaos) = knl_chaos(ArbitrationPolicy::FairShare, seed);
+        let baseline = run_load_chaos(ctx.machine.clone(), ctx.attrs.clone(), &cfg, &chaos);
+        // The recorded rerun must match the silent one bit for bit —
+        // telemetry must never perturb the simulation.
+        if let Some(w) = &writer {
+            chaos.recorder = Some(w.clone() as Arc<dyn Recorder>);
+        }
+        let rerun = run_load_chaos(ctx.machine.clone(), ctx.attrs.clone(), &cfg, &chaos);
+        identical &= baseline == rerun;
+        let s = baseline.chaos.as_ref().expect("chaos roll-up");
+        survived &= s.hard_failures == 0;
+        println!(
+            "{:<8} {:>7} {:>7} {:>6} {:>6} {:>7} {:>8} {:>8} {:>8} {:>8}MiB {:>10} {:>10}",
+            format!("{seed:#06x}"),
+            s.faults_injected,
+            s.degradations,
+            s.drops,
+            s.slowdowns,
+            s.stalls_injected,
+            s.stall_retries,
+            s.expired,
+            s.revoked,
+            s.reclaimed_bytes >> 20,
+            s.hard_failures,
+            baseline.admitted
+        );
+    }
+    println!(
+        "  => reruns bit-identical: {}; graceful degradation (no hard failures): {}",
+        if identical { "yes" } else { "NO" },
+        if survived { "yes" } else { "NO" }
+    );
+    if let (Some(w), Some(path)) = (&writer, trace) {
+        let _ = w.flush();
+        let text = std::fs::read_to_string(path).unwrap_or_default();
+        match hetmem_telemetry::read_jsonl(&text) {
+            Ok(events) => {
+                let count = |kind: &str| events.iter().filter(|e| e.kind() == kind).count();
+                println!(
+                    "trace: {} events -> {path} (tier_degraded {}, lease_expired {}, \
+                     lease_revoked {}, reclaim {}, retry_exhausted {})",
+                    events.len(),
+                    count("tier_degraded"),
+                    count("lease_expired"),
+                    count("lease_revoked"),
+                    count("reclaim"),
+                    count("retry_exhausted")
+                );
+            }
+            Err(e) => eprintln!("repro_tables: trace readback failed: {e}"),
+        }
+    }
     println!();
 }
 

@@ -1,0 +1,246 @@
+//! Deterministic fault-injection plans for chaos harnesses.
+//!
+//! A [`FaultPlan`] is a pre-computed schedule of fault events pinned to
+//! virtual *epochs* (the broker's batch clock — no wall time anywhere),
+//! so the same plan replayed against the same workload produces
+//! bit-identical results. Plans are either hand-built with
+//! [`FaultPlan::inject`] or generated from a seed with
+//! [`FaultPlan::seeded`], which draws epochs, victims and durations
+//! from an inline [`SplitMix64`] stream.
+//!
+//! The plan itself has no side effects; a harness (the bench crate's
+//! chaos load generator, a scenario script) reads [`FaultPlan::at`]
+//! each epoch and applies the faults to whatever it is driving:
+//! degrade a tier, kill a client, slow a client's renewals, or stall
+//! the allocator.
+
+use hetmem_topology::MemoryKind;
+
+/// One kind of injected failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultKind {
+    /// A memory tier degrades (device throttling, ECC storms, a
+    /// firmware-reported health drop) for `epochs` epochs, then
+    /// recovers. Placement should demote the tier to last resort, not
+    /// hard-fail.
+    TierDegraded {
+        /// The degraded tier.
+        kind: MemoryKind,
+        /// Epochs until the tier recovers.
+        epochs: u64,
+    },
+    /// Client number `victim` (modulo the population) dies without
+    /// releasing anything: its connection drops and its renewals stop.
+    ClientDrop {
+        /// Index of the client to kill.
+        victim: u64,
+    },
+    /// Client number `victim` stops renewing for `epochs` epochs (a GC
+    /// pause, a network partition) but keeps running afterwards.
+    SlowClient {
+        /// Index of the client to slow.
+        victim: u64,
+        /// Epochs of silence.
+        epochs: u64,
+    },
+    /// The broker refuses allocations for `epochs` epochs; clients are
+    /// expected to ride it out with capped-backoff retries.
+    AllocStall {
+        /// Epochs of refusal.
+        epochs: u64,
+    },
+}
+
+impl FaultKind {
+    /// Stable lowercase name of this fault kind (log and table labels).
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultKind::TierDegraded { .. } => "tier_degraded",
+            FaultKind::ClientDrop { .. } => "client_drop",
+            FaultKind::SlowClient { .. } => "slow_client",
+            FaultKind::AllocStall { .. } => "alloc_stall",
+        }
+    }
+}
+
+/// One scheduled fault: `kind` fires when the harness clock reaches
+/// `epoch`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fault {
+    /// The epoch the fault fires at.
+    pub epoch: u64,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// A deterministic schedule of faults, sorted by epoch.
+///
+/// ```
+/// use hetmem_memsim::{Fault, FaultKind, FaultPlan};
+/// use hetmem_topology::MemoryKind;
+/// let plan = FaultPlan::new()
+///     .inject(3, FaultKind::TierDegraded { kind: MemoryKind::Hbm, epochs: 4 })
+///     .inject(1, FaultKind::ClientDrop { victim: 2 });
+/// assert_eq!(plan.len(), 2);
+/// assert_eq!(plan.at(3).count(), 1);
+/// assert_eq!(plan.at(2).count(), 0);
+/// // Sorted by epoch regardless of insertion order.
+/// assert_eq!(plan.faults()[0].epoch, 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FaultPlan {
+    faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// An empty plan (a chaos run with no chaos).
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Adds one fault at `epoch`, keeping the schedule sorted.
+    pub fn inject(mut self, epoch: u64, kind: FaultKind) -> FaultPlan {
+        let at = self.faults.partition_point(|f| f.epoch <= epoch);
+        self.faults.insert(at, Fault { epoch, kind });
+        self
+    }
+
+    /// Generates a plan from `seed` covering `epochs` ticks of a run
+    /// with `clients` clients and the given vulnerable tiers. The same
+    /// arguments always produce the same plan. Roughly one tier
+    /// degradation per 60 epochs, one stall per 80, one client drop
+    /// and one slow client per 4 clients — enough pressure to exercise
+    /// every recovery path without drowning the workload.
+    pub fn seeded(seed: u64, epochs: u64, clients: u64, tiers: &[MemoryKind]) -> FaultPlan {
+        let mut rng = SplitMix64::new(seed);
+        let mut plan = FaultPlan::new();
+        let pick =
+            |rng: &mut SplitMix64, span: u64| if span == 0 { 0 } else { rng.next_u64() % span };
+        if !tiers.is_empty() {
+            for _ in 0..(epochs / 60).max(1) {
+                let kind = tiers[pick(&mut rng, tiers.len() as u64) as usize];
+                let epoch = pick(&mut rng, epochs.saturating_sub(10).max(1));
+                let dur = 4 + pick(&mut rng, 12);
+                plan = plan.inject(epoch, FaultKind::TierDegraded { kind, epochs: dur });
+            }
+        }
+        for _ in 0..(epochs / 80).max(1) {
+            let epoch = pick(&mut rng, epochs.saturating_sub(8).max(1));
+            let dur = 1 + pick(&mut rng, 3);
+            plan = plan.inject(epoch, FaultKind::AllocStall { epochs: dur });
+        }
+        if clients > 0 {
+            for _ in 0..(clients / 4).max(1) {
+                let epoch = pick(&mut rng, epochs.max(1));
+                plan =
+                    plan.inject(epoch, FaultKind::ClientDrop { victim: rng.next_u64() % clients });
+            }
+            for _ in 0..(clients / 4).max(1) {
+                let epoch = pick(&mut rng, epochs.max(1));
+                let dur = 4 + pick(&mut rng, 12);
+                plan = plan.inject(
+                    epoch,
+                    FaultKind::SlowClient { victim: rng.next_u64() % clients, epochs: dur },
+                );
+            }
+        }
+        plan
+    }
+
+    /// The faults scheduled for exactly `epoch`.
+    pub fn at(&self, epoch: u64) -> impl Iterator<Item = &Fault> {
+        let start = self.faults.partition_point(|f| f.epoch < epoch);
+        self.faults[start..].iter().take_while(move |f| f.epoch == epoch)
+    }
+
+    /// The full schedule, sorted by epoch.
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// Number of scheduled faults.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// Whether the plan is empty.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+}
+
+/// The splitmix64 generator: tiny, seedable, and plenty for spreading
+/// fault epochs around. Kept inline so fault plans need no external
+/// RNG dependency.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// A generator seeded with `seed`.
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    /// The next 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_plans_are_deterministic_and_sorted() {
+        let tiers = [MemoryKind::Hbm, MemoryKind::Dram];
+        let a = FaultPlan::seeded(42, 240, 16, &tiers);
+        let b = FaultPlan::seeded(42, 240, 16, &tiers);
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        assert!(a.faults().windows(2).all(|w| w[0].epoch <= w[1].epoch), "sorted");
+        let c = FaultPlan::seeded(43, 240, 16, &tiers);
+        assert_ne!(a, c, "different seed, different plan");
+    }
+
+    #[test]
+    fn seeded_plans_cover_every_fault_kind() {
+        let plan = FaultPlan::seeded(7, 480, 16, &[MemoryKind::Hbm]);
+        for name in ["tier_degraded", "client_drop", "slow_client", "alloc_stall"] {
+            assert!(
+                plan.faults().iter().any(|f| f.kind.name() == name),
+                "plan lacks {name}: {plan:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn at_returns_exactly_the_epochs_faults() {
+        let plan = FaultPlan::new()
+            .inject(5, FaultKind::AllocStall { epochs: 2 })
+            .inject(5, FaultKind::ClientDrop { victim: 1 })
+            .inject(9, FaultKind::SlowClient { victim: 0, epochs: 3 });
+        assert_eq!(plan.at(5).count(), 2);
+        assert_eq!(plan.at(9).count(), 1);
+        assert_eq!(plan.at(0).count(), 0);
+        assert_eq!(plan.at(10).count(), 0);
+        // Victims and epochs survive the roundtrip.
+        let drop = plan.at(5).find(|f| f.kind.name() == "client_drop").expect("drop");
+        assert_eq!(drop.kind, FaultKind::ClientDrop { victim: 1 });
+    }
+
+    #[test]
+    fn splitmix_streams_are_reproducible() {
+        let mut a = SplitMix64::new(0xdead_beef);
+        let mut b = SplitMix64::new(0xdead_beef);
+        let draws: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        assert_eq!(draws, (0..8).map(|_| b.next_u64()).collect::<Vec<u64>>());
+        assert!(draws.windows(2).any(|w| w[0] != w[1]), "not constant");
+    }
+}

@@ -34,6 +34,7 @@
 
 #![warn(missing_docs)]
 mod engine;
+mod fault;
 mod machine;
 mod memory;
 mod timing;
@@ -41,6 +42,7 @@ mod timing;
 pub use engine::{
     AccessEngine, AccessPattern, BufferAccess, BufferStats, NodeTraffic, Phase, PhaseReport, LINE,
 };
+pub use fault::{Fault, FaultKind, FaultPlan, SplitMix64};
 pub use machine::{AccessAdjust, Machine};
 pub use memory::{AllocError, AllocPolicy, MemoryManager, MigrationReport, Region, RegionId};
 pub use timing::{MemSideCacheTiming, NodeTiming};

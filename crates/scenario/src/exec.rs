@@ -7,7 +7,7 @@ use hetmem_core::MemAttrs;
 use hetmem_guidance::{GuidanceEngine, GuidancePolicy, GuidanceStats, SamplerConfig};
 use hetmem_memsim::{AccessEngine, BufferAccess, MemoryManager, Phase, RegionId};
 use hetmem_profile::Profiler;
-use hetmem_service::{Broker, LeaseId, TenantId, TenantSpec, TenantStats};
+use hetmem_service::{Broker, LeaseId, RobustnessStats, TenantId, TenantSpec, TenantStats};
 use hetmem_telemetry::{NullRecorder, Recorder};
 use hetmem_topology::NodeId;
 use std::collections::BTreeMap;
@@ -130,6 +130,9 @@ pub struct ScenarioReport {
     /// Per-tenant standing when the scenario ran in served mode
     /// (`serve` statement); empty otherwise.
     pub tenants: Vec<TenantStats>,
+    /// Lease-lifecycle counters (expirations, revocations, reclaimed
+    /// bytes) when the scenario ran in served mode; `None` otherwise.
+    pub robustness: Option<RobustnessStats>,
 }
 
 /// Runs a scenario; deterministic like everything else.
@@ -258,7 +261,7 @@ pub fn execute_with_options(
                 };
                 current_tenant = Some((name.clone(), id));
             }
-            Command::Alloc { name, size, criterion, fallback, global } => {
+            Command::Alloc { name, size, criterion, fallback, global, ttl } => {
                 let mut req = AllocRequest::new(*size)
                     .criterion(*criterion)
                     .initiator(&initiator)
@@ -275,14 +278,19 @@ pub fn execute_with_options(
                             message: "no tenant selected (put a `tenant` statement first)".into(),
                         });
                     };
-                    let lease = broker.acquire(*tenant, &req).map_err(|e| ExecError::Service {
-                        name: name.clone(),
-                        line,
-                        message: e.to_string(),
+                    let lease = broker.acquire_with_ttl(*tenant, &req, *ttl).map_err(|e| {
+                        ExecError::Service { name: name.clone(), line, message: e.to_string() }
                     })?;
                     buffers.insert(name.clone(), lease.region());
                     lease_ids.insert(name.clone(), lease.id());
                 } else {
+                    if ttl.is_some() {
+                        return Err(ExecError::Service {
+                            name: name.clone(),
+                            line,
+                            message: "ttl= needs served mode (put `serve` first)".into(),
+                        });
+                    }
                     let result = allocator.alloc(&req);
                     let id = result.map_err(|e| ExecError::Alloc {
                         name: name.clone(),
@@ -449,6 +457,38 @@ pub fn execute_with_options(
                 }
                 guidance = Some(make_guidance(*period, *criterion));
             }
+            Command::Fault { kind, degraded } => {
+                let Some(broker) = broker.as_ref() else {
+                    return Err(ExecError::Service {
+                        name: "fault".into(),
+                        line,
+                        message: "fault needs served mode (put `serve` first)".into(),
+                    });
+                };
+                broker.set_tier_degraded(*kind, *degraded);
+            }
+            Command::Tick { epochs } => {
+                let Some(broker) = broker.as_ref() else {
+                    return Err(ExecError::Service {
+                        name: "tick".into(),
+                        line,
+                        message: "tick needs served mode (put `serve` first)".into(),
+                    });
+                };
+                for _ in 0..*epochs {
+                    broker.advance_epoch();
+                }
+                // Forget buffers whose lease the sweep reclaimed, so a
+                // later phase reports "unknown buffer" instead of
+                // touching a freed region.
+                lease_ids.retain(|name, id| {
+                    let live = broker.placement(*id).is_some();
+                    if !live {
+                        buffers.remove(name);
+                    }
+                    live
+                });
+            }
         }
     }
 
@@ -477,6 +517,7 @@ pub fn execute_with_options(
         total_ns,
         tiering_actions,
         guidance: guidance.map(|g| *g.stats()),
+        robustness: broker.as_ref().map(|b| b.robustness()),
         tenants: broker.map(|b| b.tenants()).unwrap_or_default(),
     })
 }
@@ -692,6 +733,112 @@ free frontier
         let text = e.to_string();
         assert!(text.contains("line 3"), "{text}");
         assert!(text.contains("\"x\""), "{text}");
+    }
+
+    const CHAOS: &str = r#"
+machine knl-flat
+initiator 0-15
+threads 16
+serve fair-share
+
+tenant app latency
+fault degrade hbm
+alloc resilient 2GiB bandwidth spill ttl=4
+phase degraded
+  read resilient 4GiB seq
+end
+
+fault restore hbm
+alloc fresh 2GiB bandwidth spill
+phase recovered
+  read fresh 8GiB seq
+end
+
+tick 4
+free fresh
+"#;
+
+    #[test]
+    fn chaos_scenario_degrades_expires_and_recovers() {
+        let s = parse(CHAOS).expect("valid");
+        let r = execute(&s).expect("runs");
+        assert_eq!(r.phases.len(), 2);
+        // The degraded tier was avoided: the first phase ran from DRAM
+        // and the post-restore phase from MCDRAM, so it is faster per
+        // byte moved (it moved 2x the bytes in less than 2x the time).
+        assert!(
+            r.phases[1].bw_mbps > r.phases[0].bw_mbps,
+            "recovered {} <= degraded {}",
+            r.phases[1].bw_mbps,
+            r.phases[0].bw_mbps
+        );
+        // Four silent ticks outlived the ttl=4 lease: reclaimed.
+        let rob = r.robustness.expect("served mode");
+        assert_eq!(rob.expired, 1, "{rob:?}");
+        assert!(rob.reclaimed_bytes >= 2 << 30, "{rob:?}");
+        // `fresh` was freed explicitly and `resilient` expired, so no
+        // live placements remain.
+        assert!(r.final_placements.is_empty(), "{:?}", r.final_placements);
+    }
+
+    #[test]
+    fn shipped_chaos_scenario_runs() {
+        let text = std::fs::read_to_string(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../scenarios/chaos.txt"
+        ))
+        .expect("scenarios/chaos.txt");
+        let r = execute(&parse(&text).expect("parses")).expect("runs");
+        assert_eq!(r.phases.len(), 2);
+        let rob = r.robustness.expect("served mode");
+        assert_eq!(rob.expired, 1, "{rob:?}");
+    }
+
+    #[test]
+    fn expired_buffers_are_forgotten_by_tick() {
+        // Referencing an expired lease reports unknown buffer, not a
+        // panic or a stale-region access.
+        let s = parse(
+            "machine knl-flat\nserve\ntenant t\nalloc a 1GiB capacity ttl=1\ntick 2\nfree a\n",
+        )
+        .expect("parses");
+        match execute(&s) {
+            Err(ExecError::UnknownBuffer { name, line }) => {
+                assert_eq!(name, "a");
+                assert_eq!(line, 6);
+            }
+            other => panic!("expected unknown buffer, got {:?}", other.map(|_| ())),
+        }
+    }
+
+    #[test]
+    fn chaos_statements_need_served_mode() {
+        let s = parse("machine knl-flat\nfault degrade hbm\n").expect("parses");
+        match execute(&s) {
+            Err(ExecError::Service { name, line, message }) => {
+                assert_eq!(name, "fault");
+                assert_eq!(line, 2);
+                assert!(message.contains("serve"), "{message}");
+            }
+            other => panic!("expected service error, got {:?}", other.map(|_| ())),
+        }
+        let s = parse("machine knl-flat\ntick 3\n").expect("parses");
+        match execute(&s) {
+            Err(ExecError::Service { name, line, .. }) => {
+                assert_eq!(name, "tick");
+                assert_eq!(line, 2);
+            }
+            other => panic!("expected service error, got {:?}", other.map(|_| ())),
+        }
+        let s = parse("machine knl-flat\nalloc a 1GiB capacity ttl=2\n").expect("parses");
+        match execute(&s) {
+            Err(ExecError::Service { name, line, message }) => {
+                assert_eq!(name, "a");
+                assert_eq!(line, 2);
+                assert!(message.contains("ttl"), "{message}");
+            }
+            other => panic!("expected service error, got {:?}", other.map(|_| ())),
+        }
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! threads <n>
 //! discover firmware|benchmarks    # attribute source (default firmware)
 //!
-//! alloc <name> <size> <criterion> [strict|next|spill] [global]
+//! alloc <name> <size> <criterion> [strict|next|spill] [global] [ttl=<n>]
 //! free <name>
 //! migrate <name> <criterion>
 //! rebalance [criterion]           # run the tiering daemon (default bandwidth)
@@ -20,6 +20,10 @@
 //!                                 # mode (before the first alloc)
 //! tenant <name> [latency|normal|batch]  # select (and register on first
 //!                                 # use) the tenant owning what follows
+//! fault degrade|restore <tier>    # mark a tier degraded/healthy
+//!                                 # (dram|hbm|nvdimm|nam|gpu; served mode)
+//! tick [n]                        # advance the service clock n epochs
+//!                                 # (default 1; TTLs expire; served mode)
 //!
 //! phase <name>
 //!   read  <buffer> <size> seq|strided|random|chase [hot=<0..1>]
@@ -36,6 +40,7 @@ use hetmem_alloc::Fallback;
 use hetmem_core::{attr, AttrId};
 use hetmem_memsim::AccessPattern;
 use hetmem_service::{ArbitrationPolicy, Priority};
+use hetmem_topology::MemoryKind;
 
 /// A parse failure with its line number.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -83,7 +88,7 @@ pub struct PhaseSpec {
 /// A top-level statement.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
-    /// `alloc name size criterion fallback [global]`.
+    /// `alloc name size criterion fallback [global] [ttl=n]`.
     Alloc {
         /// Buffer name.
         name: String,
@@ -96,6 +101,9 @@ pub enum Command {
         /// Rank all targets (remote included) instead of local only —
         /// the §VIII mode; needs `discover benchmarks`.
         global: bool,
+        /// Lease TTL in epochs (`ttl=<n>`; served mode only — the
+        /// lease is reclaimed after `n` silent `tick`s).
+        ttl: Option<u64>,
     },
     /// `free name`.
     Free(String),
@@ -137,6 +145,22 @@ pub enum Command {
         /// Priority class (default normal; only applied at
         /// registration).
         priority: Priority,
+    },
+    /// `fault degrade <tier>` / `fault restore <tier>`: mark a memory
+    /// tier degraded or healthy again (served mode only — the broker
+    /// demotes degraded tiers to last resort).
+    Fault {
+        /// The affected tier.
+        kind: MemoryKind,
+        /// `true` for `degrade`, `false` for `restore`.
+        degraded: bool,
+    },
+    /// `tick [n]`: advance the broker's epoch clock `n` times (served
+    /// mode only). Leases whose TTL elapses without a renewal are
+    /// reclaimed during the sweep.
+    Tick {
+        /// Epochs to advance (at least 1).
+        epochs: u64,
     },
 }
 
@@ -226,6 +250,22 @@ fn parse_criterion(tok: &str, line: usize) -> Result<AttrId, ParseError> {
         "readlatency" => attr::READ_LATENCY,
         "writelatency" => attr::WRITE_LATENCY,
         other => return Err(ParseError { line, message: format!("unknown criterion {other:?}") }),
+    })
+}
+
+fn parse_tier(tok: &str, line: usize) -> Result<MemoryKind, ParseError> {
+    Ok(match tok.to_ascii_lowercase().as_str() {
+        "dram" | "ddr" => MemoryKind::Dram,
+        "hbm" | "mcdram" => MemoryKind::Hbm,
+        "nvdimm" | "optane" | "pmem" => MemoryKind::Nvdimm,
+        "nam" | "network" => MemoryKind::NetworkAttached,
+        "gpu" => MemoryKind::GpuMemory,
+        other => {
+            return Err(ParseError {
+                line,
+                message: format!("unknown tier {other:?} (dram|hbm|nvdimm|nam|gpu)"),
+            })
+        }
     })
 }
 
@@ -338,21 +378,32 @@ pub fn parse(text: &str) -> Result<Scenario, ParseError> {
                 };
             }
             "alloc" => {
-                if !(4..=6).contains(&toks.len()) {
-                    return Err(err(
-                        "alloc needs: alloc <name> <size> <criterion> [strict|next|spill] [global]"
-                            .into(),
-                    ));
+                if !(4..=7).contains(&toks.len()) {
+                    return Err(err("alloc needs: alloc <name> <size> <criterion> \
+                         [strict|next|spill] [global] [ttl=<n>]"
+                        .into()));
                 }
                 let mut fallback = Fallback::NextTarget;
                 let mut global = false;
+                let mut ttl = None;
                 for &tok in &toks[4..] {
                     match tok {
                         "next" => fallback = Fallback::NextTarget,
                         "strict" => fallback = Fallback::Strict,
                         "spill" => fallback = Fallback::PartialSpill,
                         "global" => global = true,
-                        other => return Err(err(format!("unknown alloc option {other:?}"))),
+                        other => match other.strip_prefix("ttl=") {
+                            Some(n) => {
+                                let n: u64 = n
+                                    .parse()
+                                    .map_err(|_| err(format!("bad ttl= value {other:?}")))?;
+                                if n == 0 {
+                                    return Err(err("ttl= must be at least 1 epoch".into()));
+                                }
+                                ttl = Some(n);
+                            }
+                            None => return Err(err(format!("unknown alloc option {other:?}"))),
+                        },
                     }
                 }
                 commands.push(Stmt {
@@ -363,6 +414,7 @@ pub fn parse(text: &str) -> Result<Scenario, ParseError> {
                         criterion: parse_criterion(toks[3], line)?,
                         fallback,
                         global,
+                        ttl,
                     },
                 });
             }
@@ -434,6 +486,33 @@ pub fn parse(text: &str) -> Result<Scenario, ParseError> {
                 };
                 commands.push(Stmt { line, cmd: Command::Tenant { name, priority } });
             }
+            "fault" => {
+                if toks.len() != 3 {
+                    return Err(err("fault needs: fault degrade|restore <tier>".into()));
+                }
+                let degraded = match toks[1].to_ascii_lowercase().as_str() {
+                    "degrade" => true,
+                    "restore" => false,
+                    other => return Err(err(format!("fault action {other:?} (degrade|restore)"))),
+                };
+                let kind = parse_tier(toks[2], line)?;
+                commands.push(Stmt { line, cmd: Command::Fault { kind, degraded } });
+            }
+            "tick" => {
+                if toks.len() > 2 {
+                    return Err(err("tick takes at most an epoch count".into()));
+                }
+                let epochs: u64 = match toks.get(1) {
+                    Some(tok) => {
+                        tok.parse().map_err(|_| err(format!("bad epoch count {tok:?}")))?
+                    }
+                    None => 1,
+                };
+                if epochs == 0 {
+                    return Err(err("tick needs at least 1 epoch".into()));
+                }
+                commands.push(Stmt { line, cmd: Command::Tick { epochs } });
+            }
             "phase" => {
                 if toks.len() != 2 {
                     return Err(err("phase needs a name".into()));
@@ -491,12 +570,13 @@ migrate bulk bandwidth
         assert_eq!(s.threads, 16);
         assert_eq!(s.commands.len(), 5);
         match &s.commands[0].cmd {
-            Command::Alloc { name, size, criterion, fallback, global } => {
+            Command::Alloc { name, size, criterion, fallback, global, ttl } => {
                 assert_eq!(name, "hot");
                 assert_eq!(*size, 3 << 30);
                 assert_eq!(*criterion, attr::BANDWIDTH);
                 assert_eq!(*fallback, Fallback::PartialSpill);
                 assert!(!global);
+                assert_eq!(*ttl, None);
             }
             other => panic!("expected alloc, got {other:?}"),
         }
@@ -695,6 +775,52 @@ serve fcfs
 
         let e = parse("machine m\nserve fcfs extra\n").expect_err("too many args");
         assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn fault_and_tick_statements() {
+        let s = parse(
+            "machine knl-flat
+serve
+fault degrade hbm
+tick
+tick 4
+fault restore mcdram
+",
+        )
+        .expect("valid");
+        assert_eq!(s.commands[1].cmd, Command::Fault { kind: MemoryKind::Hbm, degraded: true });
+        assert_eq!(s.commands[2].cmd, Command::Tick { epochs: 1 });
+        assert_eq!(s.commands[3].cmd, Command::Tick { epochs: 4 });
+        // mcdram is an alias for the HBM tier; restore clears the flag.
+        assert_eq!(s.commands[4].cmd, Command::Fault { kind: MemoryKind::Hbm, degraded: false });
+
+        let e = parse("machine m\nfault degrade floppy\n").expect_err("bad tier");
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("floppy"), "{e}");
+        let e = parse("machine m\nfault explode hbm\n").expect_err("bad action");
+        assert!(e.message.contains("degrade|restore"), "{e}");
+        assert!(parse("machine m\nfault degrade\n").is_err());
+        assert!(parse("machine m\ntick 0\n").is_err());
+        assert!(parse("machine m\ntick soon\n").is_err());
+        assert!(parse("machine m\ntick 2 3\n").is_err());
+    }
+
+    #[test]
+    fn alloc_ttl_option() {
+        let s = parse("machine knl-flat\nserve\ntenant t\nalloc a 1GiB bandwidth spill ttl=6\n")
+            .expect("valid");
+        match &s.commands[2].cmd {
+            Command::Alloc { ttl, fallback, .. } => {
+                assert_eq!(*ttl, Some(6));
+                assert_eq!(*fallback, Fallback::PartialSpill);
+            }
+            other => panic!("expected alloc, got {other:?}"),
+        }
+        let e = parse("machine m\nalloc a 1GiB bandwidth ttl=0\n").expect_err("zero ttl");
+        assert!(e.message.contains("at least 1"), "{e}");
+        assert!(parse("machine m\nalloc a 1GiB bandwidth ttl=many\n").is_err());
+        assert!(parse("machine m\nalloc a 1GiB bandwidth ttl\n").is_err());
     }
 
     #[test]

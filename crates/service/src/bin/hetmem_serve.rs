@@ -9,7 +9,7 @@
 use hetmem_core::discovery;
 use hetmem_memsim::Machine;
 use hetmem_service::{server::Server, ArbitrationPolicy, Broker};
-use hetmem_telemetry::JsonlWriter;
+use hetmem_telemetry::{FlushGuard, JsonlWriter, Recorder};
 use std::sync::Arc;
 
 const DEFAULT_ADDR: &str = "tcp:127.0.0.1:7474";
@@ -91,11 +91,23 @@ fn main() {
     };
     let mut broker = Broker::new(machine, attrs, policy);
     let mut writer: Option<Arc<JsonlWriter>> = None;
+    let mut _trace_guard: Option<FlushGuard> = None;
     if let Some(path) = &trace {
         match JsonlWriter::create(path) {
             Ok(w) => {
                 let w = Arc::new(w);
                 broker.set_recorder(w.clone());
+                // A panicking thread (the dispatcher included) must not
+                // take the buffered trace tail with it: flush before
+                // the default hook prints the backtrace, and again via
+                // the guard if main itself unwinds.
+                let hook_writer: Arc<dyn Recorder> = w.clone();
+                let default_hook = std::panic::take_hook();
+                std::panic::set_hook(Box::new(move |info| {
+                    hook_writer.flush_events();
+                    default_hook(info);
+                }));
+                _trace_guard = Some(FlushGuard::new(w.clone()));
                 writer = Some(w);
             }
             Err(e) => {

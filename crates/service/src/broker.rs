@@ -27,7 +27,10 @@ use hetmem_alloc::{AllocRequest, Fallback, Scope};
 use hetmem_bitmap::Bitmap;
 use hetmem_core::{attr, AttrId, MemAttrs};
 use hetmem_memsim::{AccessEngine, AllocPolicy, Machine, MemoryManager, Phase, PhaseReport};
-use hetmem_telemetry::{ContentionStall, Event, NullRecorder, QuotaClamp, Recorder, TenantAdmit};
+use hetmem_telemetry::{
+    ContentionStall, Event, LeaseExpired, LeaseRevoked, NullRecorder, QuotaClamp, Reclaim,
+    Recorder, TenantAdmit, TierDegraded,
+};
 use hetmem_topology::{MemoryKind, NodeId};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
@@ -138,6 +141,31 @@ struct LeaseRecord {
     tenant: TenantId,
     region: hetmem_memsim::RegionId,
     placement: Vec<(NodeId, u64)>,
+    /// The TTL the lease runs under, in epochs (`None` = immortal).
+    ttl: Option<u64>,
+    /// Epoch at which the lease expires unless renewed first.
+    expires_at: Option<u64>,
+}
+
+/// Why a lease was reclaimed outside the normal release path.
+#[derive(Debug, Clone)]
+enum ReclaimCause {
+    /// The TTL elapsed without a renewal.
+    Expired { ttl: u64 },
+    /// Explicit revocation (connection drop, operator, fault path).
+    Revoked { reason: String },
+}
+
+/// Lifetime counters for the robustness layer, snapshotted by
+/// [`Broker::robustness`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RobustnessStats {
+    /// Leases that aged out without renewal.
+    pub expired: u64,
+    /// Leases revoked (disconnect, operator, fault).
+    pub revoked: u64,
+    /// Total bytes returned to the pool by expiry + revocation.
+    pub reclaimed_bytes: u64,
 }
 
 /// Per-node ledger stripe: the admission-time source of truth for
@@ -187,6 +215,17 @@ pub struct Broker {
     node_kind: BTreeMap<NodeId, MemoryKind>,
     tier_capacity: BTreeMap<MemoryKind, u64>,
     fast_kind: MemoryKind,
+    /// The service clock: one epoch per dispatcher batch / load tick.
+    /// Lease TTLs and fault windows are measured in epochs so every
+    /// run is deterministic — no wall clock anywhere.
+    epoch: AtomicU64,
+    /// Tiers currently marked degraded: demoted to last-resort rank.
+    degraded: Mutex<BTreeSet<MemoryKind>>,
+    /// Epoch before which `acquire` returns `Stalled` (fault hook).
+    stall_until: AtomicU64,
+    expired_total: AtomicU64,
+    revoked_total: AtomicU64,
+    reclaimed_bytes_total: AtomicU64,
 }
 
 impl Broker {
@@ -235,6 +274,12 @@ impl Broker {
             node_kind,
             tier_capacity,
             fast_kind,
+            epoch: AtomicU64::new(0),
+            degraded: Mutex::new(BTreeSet::new()),
+            stall_until: AtomicU64::new(0),
+            expired_total: AtomicU64::new(0),
+            revoked_total: AtomicU64::new(0),
+            reclaimed_bytes_total: AtomicU64::new(0),
         }
     }
 
@@ -289,6 +334,7 @@ impl Broker {
                 priority: spec.get_priority(),
                 quota: spec.get_quota().clone(),
                 reserve: spec.get_reserve().clone(),
+                lease_ttl: spec.get_lease_ttl(),
                 admits: 0,
                 clamps: 0,
                 stalls: 0,
@@ -365,8 +411,28 @@ impl Broker {
 
     /// Serves one allocation request for `tenant`. On success the
     /// returned [`Lease`] holds the placed bytes until
-    /// [`Broker::release`]d; on failure nothing is committed.
+    /// [`Broker::release`]d (or until its TTL expires, when the tenant
+    /// was registered with [`TenantSpec::lease_ttl`]); on failure
+    /// nothing is committed.
     pub fn acquire(&self, tenant: TenantId, req: &AllocRequest) -> Result<Lease, ServiceError> {
+        self.acquire_with_ttl(tenant, req, None)
+    }
+
+    /// [`Broker::acquire`] with an explicit per-request TTL override
+    /// in epochs; `None` falls back to the tenant's default TTL. The
+    /// lease expires `ttl` epochs after the grant unless a
+    /// [`Broker::renew`] or [`Broker::heartbeat`] resets the clock.
+    pub fn acquire_with_ttl(
+        &self,
+        tenant: TenantId,
+        req: &AllocRequest,
+        ttl: Option<u64>,
+    ) -> Result<Lease, ServiceError> {
+        // Fault hook: a stalled broker refuses allocations with a
+        // typed transient error until the stall window closes.
+        if self.epoch.load(Ordering::SeqCst) < self.stall_until.load(Ordering::SeqCst) {
+            return Err(ServiceError::Stalled);
+        }
         // Snapshot the registry so share math is stable for this
         // request without holding the lock through planning.
         let registry = {
@@ -376,12 +442,27 @@ impl Broker {
             }
             tenants.clone()
         };
+        let ttl = ttl.or(registry[&tenant].lease_ttl);
         let mut initiator = match req.get_initiator() {
             Some(cpus) => cpus.clone(),
             None => self.machine.topology().machine_cpuset().clone(),
         };
         initiator.and_assign(self.machine.topology().machine_cpuset());
         let ranked = self.ranked(req.get_criterion(), &initiator, req.scope())?;
+        // Graceful degradation: nodes on degraded tiers drop to
+        // last-resort rank (stable within each group), so requests
+        // fall back to healthy tiers instead of hard-failing, yet a
+        // fully-degraded machine still serves from what it has.
+        let ranked: Vec<NodeId> = {
+            let degraded = self.degraded.lock().expect("degraded poisoned");
+            if degraded.is_empty() {
+                ranked
+            } else {
+                let (healthy, last): (Vec<NodeId>, Vec<NodeId>) =
+                    ranked.into_iter().partition(|n| !degraded.contains(&self.node_kind[n]));
+                healthy.into_iter().chain(last).collect()
+            }
+        };
         let size = req.size();
 
         // Lock the stripes of every node sharing a tier with a
@@ -536,10 +617,11 @@ impl Broker {
             .map(|&(_, b)| b)
             .sum();
         let id = LeaseId(self.next_lease.fetch_add(1, Ordering::Relaxed));
-        self.leases
-            .lock()
-            .expect("leases poisoned")
-            .insert(id, LeaseRecord { tenant, region, placement: placement.clone() });
+        let expires_at = ttl.map(|t| self.epoch.load(Ordering::SeqCst).saturating_add(t));
+        self.leases.lock().expect("leases poisoned").insert(
+            id,
+            LeaseRecord { tenant, region, placement: placement.clone(), ttl, expires_at },
+        );
         {
             let mut tenants = self.tenants.lock().expect("tenants poisoned");
             if let Some(t) = tenants.get_mut(&tenant) {
@@ -575,6 +657,13 @@ impl Broker {
             .expect("leases poisoned")
             .remove(&id)
             .ok_or(ServiceError::UnknownLease(id.0))?;
+        self.settle_free(&record);
+        Ok(())
+    }
+
+    /// Frees a removed lease record in the manager and settles the
+    /// per-node ledgers to the manager's ground truth.
+    fn settle_free(&self, record: &LeaseRecord) {
         let nodes: BTreeSet<NodeId> = record.placement.iter().map(|&(n, _)| n).collect();
         let mut guards: BTreeMap<NodeId, MutexGuard<'_, NodeLedger>> =
             nodes.iter().map(|&n| (n, self.stripes[&n].lock().expect("stripe poisoned"))).collect();
@@ -592,7 +681,183 @@ impl Broker {
                 }
             }
         }
+    }
+
+    /// Reclaims a lease outside the normal release path: frees its
+    /// capacity, bumps the robustness counters, and emits
+    /// `lease_expired`/`lease_revoked` plus `reclaim` telemetry.
+    fn reclaim_lease(&self, id: LeaseId, cause: ReclaimCause) -> Result<(), ServiceError> {
+        let record = self
+            .leases
+            .lock()
+            .expect("leases poisoned")
+            .remove(&id)
+            .ok_or(ServiceError::UnknownLease(id.0))?;
+        self.settle_free(&record);
+        let bytes: u64 = record.placement.iter().map(|&(_, b)| b).sum();
+        self.reclaimed_bytes_total.fetch_add(bytes, Ordering::Relaxed);
+        match &cause {
+            ReclaimCause::Expired { .. } => self.expired_total.fetch_add(1, Ordering::Relaxed),
+            ReclaimCause::Revoked { .. } => self.revoked_total.fetch_add(1, Ordering::Relaxed),
+        };
+        if self.recorder.enabled() {
+            let tenant = self
+                .tenants
+                .lock()
+                .expect("tenants poisoned")
+                .get(&record.tenant)
+                .map(|t| t.name.clone())
+                .unwrap_or_else(|| format!("{}", record.tenant));
+            let reason = match &cause {
+                ReclaimCause::Expired { ttl } => {
+                    self.recorder.record(Event::LeaseExpired(LeaseExpired {
+                        tenant: tenant.clone(),
+                        lease: id.0,
+                        ttl_epochs: *ttl,
+                    }));
+                    "expired".to_string()
+                }
+                ReclaimCause::Revoked { reason } => {
+                    self.recorder.record(Event::LeaseRevoked(LeaseRevoked {
+                        tenant: tenant.clone(),
+                        lease: id.0,
+                        reason: reason.clone(),
+                    }));
+                    "revoked".to_string()
+                }
+            };
+            self.recorder.record(Event::Reclaim(Reclaim {
+                tenant,
+                lease: id.0,
+                bytes,
+                placement: record.placement.clone(),
+                reason,
+            }));
+        }
         Ok(())
+    }
+
+    /// Revokes a live lease (connection drop, operator action, fault
+    /// injection) and reclaims its capacity immediately.
+    pub fn revoke(&self, id: LeaseId, reason: &str) -> Result<(), ServiceError> {
+        self.reclaim_lease(id, ReclaimCause::Revoked { reason: reason.to_string() })
+    }
+
+    /// Resets the TTL clock of one lease: the new expiry is the
+    /// current epoch plus the lease's TTL. Returns the new expiry
+    /// epoch, or `None` for an immortal lease (renewing it is a
+    /// harmless no-op). Cross-tenant renewals are refused as
+    /// [`ServiceError::UnknownLease`], mirroring `free`.
+    pub fn renew(&self, tenant: TenantId, id: LeaseId) -> Result<Option<u64>, ServiceError> {
+        let now = self.epoch.load(Ordering::SeqCst);
+        let mut leases = self.leases.lock().expect("leases poisoned");
+        let record = leases.get_mut(&id).ok_or(ServiceError::UnknownLease(id.0))?;
+        if record.tenant != tenant {
+            return Err(ServiceError::UnknownLease(id.0));
+        }
+        record.expires_at = record.ttl.map(|t| now.saturating_add(t));
+        Ok(record.expires_at)
+    }
+
+    /// Renews every lease the tenant holds in one call — the wire
+    /// heartbeat. Returns the number of leases whose clock was reset.
+    pub fn heartbeat(&self, tenant: TenantId) -> Result<u64, ServiceError> {
+        if !self.tenants.lock().expect("tenants poisoned").contains_key(&tenant) {
+            return Err(ServiceError::UnknownTenant(format!("{tenant}")));
+        }
+        let now = self.epoch.load(Ordering::SeqCst);
+        let mut renewed = 0;
+        for record in self.leases.lock().expect("leases poisoned").values_mut() {
+            if record.tenant == tenant {
+                if let Some(t) = record.ttl {
+                    record.expires_at = Some(now.saturating_add(t));
+                    renewed += 1;
+                }
+            }
+        }
+        Ok(renewed)
+    }
+
+    /// Reclaims every lease whose TTL elapsed without a renewal.
+    /// Called from [`Broker::advance_epoch`]; public so harnesses can
+    /// force a sweep. Returns the number of leases reclaimed.
+    pub fn expire_overdue(&self) -> usize {
+        let now = self.epoch.load(Ordering::SeqCst);
+        let overdue: Vec<(LeaseId, u64)> = self
+            .leases
+            .lock()
+            .expect("leases poisoned")
+            .iter()
+            .filter(|(_, r)| r.expires_at.is_some_and(|at| at <= now))
+            .map(|(&id, r)| (id, r.ttl.unwrap_or(0)))
+            .collect();
+        let mut reclaimed = 0;
+        for (id, ttl) in overdue {
+            // A concurrent release may have beaten us; that is fine.
+            if self.reclaim_lease(id, ReclaimCause::Expired { ttl }).is_ok() {
+                reclaimed += 1;
+            }
+        }
+        reclaimed
+    }
+
+    /// Marks tier `kind` degraded or healthy. Degraded tiers are
+    /// demoted to last-resort rank in every subsequent placement —
+    /// ranked fallback instead of hard failure. Emits a
+    /// `tier_degraded` event on every state change.
+    pub fn set_tier_degraded(&self, kind: MemoryKind, degraded: bool) {
+        let changed = {
+            let mut set = self.degraded.lock().expect("degraded poisoned");
+            if degraded {
+                set.insert(kind)
+            } else {
+                set.remove(&kind)
+            }
+        };
+        if changed && self.recorder.enabled() {
+            self.recorder.record(Event::TierDegraded(TierDegraded {
+                kind: crate::wire::kind_name(kind).to_string(),
+                degraded,
+            }));
+        }
+    }
+
+    /// Whether tier `kind` is currently marked degraded.
+    pub fn tier_degraded(&self, kind: MemoryKind) -> bool {
+        self.degraded.lock().expect("degraded poisoned").contains(&kind)
+    }
+
+    /// Fault hook: refuse allocations with [`ServiceError::Stalled`]
+    /// for the next `epochs` epochs.
+    pub fn set_alloc_stall(&self, epochs: u64) {
+        let until = self.epoch.load(Ordering::SeqCst).saturating_add(epochs);
+        self.stall_until.store(until, Ordering::SeqCst);
+    }
+
+    /// The current service epoch (one per dispatcher batch).
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::SeqCst)
+    }
+
+    /// The expiry epoch of a live lease: `Some(epoch)` for a TTL'd
+    /// lease, `None` when the lease is immortal or unknown.
+    pub fn lease_deadline(&self, id: LeaseId) -> Option<u64> {
+        self.leases.lock().expect("leases poisoned").get(&id).and_then(|r| r.expires_at)
+    }
+
+    /// Snapshot of the robustness counters.
+    pub fn robustness(&self) -> RobustnessStats {
+        RobustnessStats {
+            expired: self.expired_total.load(Ordering::Relaxed),
+            revoked: self.revoked_total.load(Ordering::Relaxed),
+            reclaimed_bytes: self.reclaimed_bytes_total.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The recorder the broker streams telemetry into (the server's
+    /// dispatcher guards it with a flush-on-drop handle).
+    pub fn recorder_handle(&self) -> Arc<dyn Recorder> {
+        self.recorder.clone()
     }
 
     /// The placement of a live lease, if it exists.
@@ -611,9 +876,13 @@ impl Broker {
         self.leases.lock().expect("leases poisoned").len()
     }
 
-    /// Opens the next contention epoch (one per batching tick).
+    /// Opens the next contention epoch (one per batching tick),
+    /// advances the service clock, and reclaims any lease whose TTL
+    /// elapsed without a renewal.
     pub fn advance_epoch(&self) {
         self.board.advance_epoch();
+        self.epoch.fetch_add(1, Ordering::SeqCst);
+        self.expire_overdue();
     }
 
     /// Posts `traffic` (`(node, bytes)` pairs) by `tenant` for the
@@ -917,6 +1186,146 @@ mod tests {
     fn release_by_unknown_id_errors() {
         let broker = knl_broker(ArbitrationPolicy::FairShare);
         assert!(matches!(broker.release_by_id(LeaseId(42)), Err(ServiceError::UnknownLease(42))));
+    }
+
+    #[test]
+    fn ttl_lease_expires_after_silence_and_quota_returns() {
+        let broker = knl_broker(ArbitrationPolicy::FairShare);
+        let t = broker.register(TenantSpec::new("t").lease_ttl(3)).expect("register");
+        let lease = broker.acquire(t, &bw_request(2 * GIB)).expect("admitted");
+        let id = lease.id();
+        std::mem::forget(lease); // the client "crashes" holding it
+        assert_eq!(broker.lease_deadline(id), Some(3));
+        broker.advance_epoch();
+        broker.advance_epoch();
+        assert_eq!(broker.live_leases(), 1, "not expired yet");
+        broker.advance_epoch(); // epoch 3 == deadline: reclaimed
+        assert_eq!(broker.live_leases(), 0, "expired within one TTL");
+        let stats = broker.robustness();
+        assert_eq!(stats.expired, 1);
+        assert_eq!(stats.reclaimed_bytes, 2 * GIB);
+        broker.check_invariants().expect("clean after reclaim");
+        // The quota really is back: the full tier is free again.
+        for (node, used, _) in broker.node_usage() {
+            assert_eq!(used, 0, "{node:?} still charged");
+        }
+    }
+
+    #[test]
+    fn renewal_and_heartbeat_keep_a_lease_alive() {
+        let broker = knl_broker(ArbitrationPolicy::FairShare);
+        let t = broker.register(TenantSpec::new("t").lease_ttl(2)).expect("register");
+        let lease = broker.acquire(t, &bw_request(GIB)).expect("admitted");
+        let id = lease.id();
+        for _ in 0..5 {
+            broker.advance_epoch();
+            assert_eq!(broker.renew(t, id).expect("renew"), Some(broker.epoch() + 2));
+        }
+        assert_eq!(broker.live_leases(), 1, "renewals held the lease");
+        for _ in 0..5 {
+            broker.advance_epoch();
+            assert_eq!(broker.heartbeat(t).expect("heartbeat"), 1);
+        }
+        assert_eq!(broker.live_leases(), 1, "heartbeats held the lease");
+        // Silence for a full TTL kills it.
+        broker.advance_epoch();
+        broker.advance_epoch();
+        assert_eq!(broker.live_leases(), 0);
+        std::mem::forget(lease);
+    }
+
+    #[test]
+    fn cross_tenant_renew_is_refused_and_immortal_renew_is_noop() {
+        let broker = knl_broker(ArbitrationPolicy::FairShare);
+        let a = broker.register(TenantSpec::new("a").lease_ttl(4)).expect("register");
+        let b = broker.register(TenantSpec::new("b")).expect("register");
+        let la = broker.acquire(a, &bw_request(GIB)).expect("admitted");
+        assert!(matches!(broker.renew(b, la.id()), Err(ServiceError::UnknownLease(_))));
+        let lb = broker.acquire(b, &bw_request(GIB)).expect("admitted");
+        assert_eq!(broker.renew(b, lb.id()).expect("renew"), None, "no TTL, nothing to reset");
+        broker.release(la).expect("release");
+        broker.release(lb).expect("release");
+    }
+
+    #[test]
+    fn revoke_reclaims_immediately_with_counters() {
+        let broker = knl_broker(ArbitrationPolicy::FairShare);
+        let t = broker.register(TenantSpec::new("t")).expect("register");
+        let lease = broker.acquire(t, &bw_request(GIB)).expect("admitted");
+        let id = lease.id();
+        std::mem::forget(lease);
+        broker.revoke(id, "disconnect").expect("revoke");
+        assert_eq!(broker.live_leases(), 0);
+        assert_eq!(broker.robustness().revoked, 1);
+        assert!(matches!(broker.revoke(id, "again"), Err(ServiceError::UnknownLease(_))));
+        broker.check_invariants().expect("clean");
+    }
+
+    #[test]
+    fn degraded_fast_tier_falls_back_to_dram_and_recovers() {
+        let broker = knl_broker(ArbitrationPolicy::FairShare);
+        let t = broker.register(TenantSpec::new("t")).expect("register");
+        broker.set_tier_degraded(MemoryKind::Hbm, true);
+        assert!(broker.tier_degraded(MemoryKind::Hbm));
+        // Bandwidth request with spill: would land on MCDRAM, but the
+        // degraded tier is last-resort now — DRAM takes it, nothing
+        // hard-fails.
+        let lease = broker.acquire(t, &bw_request(2 * GIB)).expect("ranked fallback, not failure");
+        assert_eq!(lease.fast_bytes(), 0, "degraded HBM must not be used while DRAM has room");
+        broker.set_tier_degraded(MemoryKind::Hbm, false);
+        let l2 = broker.acquire(t, &bw_request(2 * GIB)).expect("admitted");
+        assert_eq!(l2.fast_bytes(), 2 * GIB, "recovery restores the bandwidth ranking");
+        broker.release(lease).expect("release");
+        broker.release(l2).expect("release");
+    }
+
+    #[test]
+    fn fully_degraded_machine_still_serves() {
+        let broker = knl_broker(ArbitrationPolicy::FairShare);
+        let t = broker.register(TenantSpec::new("t")).expect("register");
+        broker.set_tier_degraded(MemoryKind::Hbm, true);
+        broker.set_tier_degraded(MemoryKind::Dram, true);
+        let lease = broker.acquire(t, &bw_request(GIB)).expect("last resort still serves");
+        assert_eq!(lease.size(), GIB);
+        broker.release(lease).expect("release");
+    }
+
+    #[test]
+    fn alloc_stall_is_typed_and_transient() {
+        let broker = knl_broker(ArbitrationPolicy::FairShare);
+        let t = broker.register(TenantSpec::new("t")).expect("register");
+        broker.set_alloc_stall(2);
+        let err = broker.acquire(t, &bw_request(GIB)).unwrap_err();
+        assert!(matches!(err, ServiceError::Stalled));
+        assert!(err.is_transient());
+        broker.advance_epoch();
+        assert!(matches!(broker.acquire(t, &bw_request(GIB)), Err(ServiceError::Stalled)));
+        broker.advance_epoch();
+        let lease = broker.acquire(t, &bw_request(GIB)).expect("stall window closed");
+        broker.release(lease).expect("release");
+    }
+
+    #[test]
+    fn lifecycle_events_flow_through_the_recorder() {
+        let machine = Arc::new(Machine::knl_snc4_flat());
+        let attrs = Arc::new(discovery::from_firmware(&machine, true).expect("attrs"));
+        let mut broker = Broker::new(machine, attrs, ArbitrationPolicy::FairShare);
+        let ring = Arc::new(hetmem_telemetry::RingRecorder::new(256));
+        broker.set_recorder(ring.clone());
+        let t = broker.register(TenantSpec::new("t").lease_ttl(1)).expect("register");
+        broker.set_tier_degraded(MemoryKind::Hbm, true);
+        broker.set_tier_degraded(MemoryKind::Hbm, true); // no duplicate event
+        let l1 = broker.acquire(t, &bw_request(GIB)).expect("admitted");
+        std::mem::forget(l1);
+        broker.advance_epoch(); // expires l1
+        let l2 = broker.acquire(t, &bw_request(GIB)).expect("admitted");
+        broker.revoke(l2.id(), "disconnect").expect("revoke");
+        std::mem::forget(l2);
+        let kinds: Vec<&str> = ring.events().iter().map(|e| e.kind()).collect();
+        assert_eq!(kinds.iter().filter(|k| **k == "tier_degraded").count(), 1);
+        assert_eq!(kinds.iter().filter(|k| **k == "lease_expired").count(), 1);
+        assert_eq!(kinds.iter().filter(|k| **k == "lease_revoked").count(), 1);
+        assert_eq!(kinds.iter().filter(|k| **k == "reclaim").count(), 2);
     }
 
     #[test]

@@ -25,6 +25,13 @@
 //! * [`TrafficBoard`] — contention feedback: co-located tenants that
 //!   saturate a node charge each other bandwidth-degradation stalls,
 //!   surfaced as `ContentionStall` events.
+//! * Lease lifecycle — leases may carry a TTL in service epochs
+//!   ([`TenantSpec::lease_ttl`]) with heartbeat renewal over the wire;
+//!   a silent or disconnected tenant's capacity is reclaimed within
+//!   one TTL, and tiers marked degraded fall to last-resort rank so
+//!   placement degrades gracefully instead of hard-failing. The wire
+//!   protocol is specified in `docs/PROTOCOL.md`; failure handling and
+//!   tuning live in `docs/OPERATIONS.md`.
 
 mod board;
 mod broker;
@@ -33,7 +40,10 @@ mod tenant;
 pub mod wire;
 
 pub use board::TrafficBoard;
-pub use broker::{ArbitrationPolicy, Broker, Lease, LeaseId, ServedPhase, MAX_CONTENTION_SLOWDOWN};
+pub use broker::{
+    ArbitrationPolicy, Broker, Lease, LeaseId, RobustnessStats, ServedPhase,
+    MAX_CONTENTION_SLOWDOWN,
+};
 pub use tenant::{Priority, TenantId, TenantSpec, TenantStats};
 
 /// Everything that can go wrong between a wire request and a lease.
@@ -72,6 +82,69 @@ pub enum ServiceError {
     Wire(String),
     /// Socket-level failure.
     Io(String),
+    /// The lease aged out: its TTL elapsed without a renewal and the
+    /// capacity was reclaimed.
+    LeaseExpired(u64),
+    /// The broker is transiently refusing allocations (a fault
+    /// injection or an operator pause). Safe to retry with backoff.
+    Stalled,
+    /// The per-request deadline elapsed before a response arrived.
+    DeadlineExceeded(String),
+}
+
+/// Stable wire codes for every [`ServiceError`] variant, in
+/// declaration order — the `code` field of an error response frame.
+/// `docs/PROTOCOL.md` coverage tests enumerate this list.
+pub const ERROR_CODES: &[&str] = &[
+    "unknown_tenant",
+    "duplicate_tenant",
+    "unknown_lease",
+    "reservation",
+    "ranking",
+    "admission",
+    "commit",
+    "wire",
+    "io",
+    "lease_expired",
+    "stalled",
+    "deadline",
+];
+
+impl ServiceError {
+    /// The stable wire code of this error — one of [`ERROR_CODES`].
+    ///
+    /// ```
+    /// use hetmem_service::{ServiceError, ERROR_CODES};
+    /// let e = ServiceError::UnknownLease(7);
+    /// assert_eq!(e.code(), "unknown_lease");
+    /// assert!(ERROR_CODES.contains(&e.code()));
+    /// ```
+    pub fn code(&self) -> &'static str {
+        match self {
+            ServiceError::UnknownTenant(_) => "unknown_tenant",
+            ServiceError::DuplicateTenant(_) => "duplicate_tenant",
+            ServiceError::UnknownLease(_) => "unknown_lease",
+            ServiceError::Reservation { .. } => "reservation",
+            ServiceError::Ranking(_) => "ranking",
+            ServiceError::Admission { .. } => "admission",
+            ServiceError::Commit(_) => "commit",
+            ServiceError::Wire(_) => "wire",
+            ServiceError::Io(_) => "io",
+            ServiceError::LeaseExpired(_) => "lease_expired",
+            ServiceError::Stalled => "stalled",
+            ServiceError::DeadlineExceeded(_) => "deadline",
+        }
+    }
+
+    /// Whether retrying the same request later can reasonably succeed
+    /// without the caller changing anything. [`server::Client`]'s
+    /// retry loop uses this to decide what its backoff applies to.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            ServiceError::Stalled | ServiceError::Io(_) | ServiceError::DeadlineExceeded(_)
+        )
+    }
 }
 
 impl std::fmt::Display for ServiceError {
@@ -96,6 +169,15 @@ impl std::fmt::Display for ServiceError {
             ServiceError::Commit(why) => write!(f, "commit failed: {why}"),
             ServiceError::Wire(why) => write!(f, "bad request: {why}"),
             ServiceError::Io(why) => write!(f, "i/o error: {why}"),
+            ServiceError::LeaseExpired(id) => {
+                write!(f, "lease #{id} expired and its capacity was reclaimed")
+            }
+            ServiceError::Stalled => {
+                write!(f, "allocation stalled; retry with backoff")
+            }
+            ServiceError::DeadlineExceeded(what) => {
+                write!(f, "deadline exceeded waiting for {what}")
+            }
         }
     }
 }

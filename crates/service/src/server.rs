@@ -10,6 +10,21 @@
 //! tick contend with each other — and gives natural backpressure: a
 //! slow broker grows the batch instead of the thread count.
 //!
+//! Robustness rules (specified in `docs/PROTOCOL.md`, operational
+//! guidance in `docs/OPERATIONS.md`):
+//!
+//! * Frames are capped at [`MAX_FRAME`] bytes. An oversized frame gets
+//!   a typed `wire` error and the rest of the line is discarded; the
+//!   connection stays usable.
+//! * A connection that drops — cleanly or mid-frame — has every lease
+//!   it acquired revoked and reclaimed on the next dispatcher tick.
+//! * The dispatcher holds a [`FlushGuard`] over the broker's recorder,
+//!   so the buffered tail of a `--trace` file survives even a panic
+//!   unwinding the dispatcher thread.
+//! * [`Client`] offers capped exponential backoff retries
+//!   ([`RetryPolicy`]) for transient errors and per-request deadlines
+//!   ([`Client::set_deadline`]).
+//!
 //! Addresses: `unix:/path/to.sock`, `tcp:host:port`, or a bare
 //! `host:port` (TCP). Tests bind `tcp:127.0.0.1:0` and read the
 //! chosen port back from [`Server::local_addr`].
@@ -18,14 +33,21 @@ use crate::broker::Broker;
 use crate::wire::{Request, Response};
 use crate::{LeaseId, ServiceError, TenantSpec};
 use hetmem_alloc::AllocRequest;
-use std::collections::VecDeque;
-use std::io::{BufRead, BufReader, Write};
+use hetmem_telemetry::{Event, FlushGuard, Recorder, RetryExhausted};
+use std::collections::{HashMap, VecDeque};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Hard cap on one request or response line, newline included. A peer
+/// that sends a longer frame gets a typed `wire` error and the rest of
+/// the oversized line is discarded.
+pub const MAX_FRAME: usize = 64 * 1024;
 
 /// A connected client stream (either family).
 #[derive(Debug)]
@@ -52,9 +74,16 @@ impl Conn {
             }
         }
     }
+
+    fn set_read_timeout(&self, dur: Option<Duration>) -> std::io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.set_read_timeout(dur),
+            Conn::Unix(s) => s.set_read_timeout(dur),
+        }
+    }
 }
 
-impl std::io::Read for Conn {
+impl Read for Conn {
     fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
         match self {
             Conn::Tcp(s) => s.read(buf),
@@ -84,16 +113,39 @@ enum Bound {
     Unix(UnixListener, PathBuf),
 }
 
-/// One queued request plus the handle to answer it on.
-struct Pending {
-    request: Result<Request, ServiceError>,
-    reply_to: Arc<Mutex<Conn>>,
+/// One unit of dispatcher work.
+enum Work {
+    /// A (possibly malformed) request frame from `conn_id`.
+    Request { conn_id: u64, request: Result<Request, ServiceError>, reply_to: Arc<Mutex<Conn>> },
+    /// `conn_id` hung up; its leases must be revoked.
+    Disconnect { conn_id: u64 },
 }
 
 #[derive(Default)]
 struct Queue {
-    pending: Mutex<VecDeque<Pending>>,
+    pending: Mutex<VecDeque<Work>>,
     wakeup: Condvar,
+}
+
+impl Queue {
+    fn post(&self, work: Work) {
+        self.pending.lock().expect("queue poisoned").push_back(work);
+        self.wakeup.notify_one();
+    }
+}
+
+/// Reads and discards bytes until a newline. Returns `false` when the
+/// stream ends first (the peer is gone).
+fn discard_to_newline<R: BufRead>(reader: &mut R) -> bool {
+    let mut chunk = Vec::new();
+    loop {
+        chunk.clear();
+        match reader.by_ref().take(MAX_FRAME as u64).read_until(b'\n', &mut chunk) {
+            Ok(0) | Err(_) => return false,
+            Ok(_) if chunk.last() == Some(&b'\n') => return true,
+            Ok(_) => continue,
+        }
+    }
 }
 
 /// The running service.
@@ -134,6 +186,7 @@ impl Server {
             let queue = queue.clone();
             let stop = stop.clone();
             let conns = conns.clone();
+            let next_conn_id = AtomicU64::new(0);
             std::thread::spawn(move || loop {
                 let conn = match &bound {
                     Bound::Tcp(l) => l.accept().map(|(s, _)| Conn::Tcp(s)),
@@ -151,27 +204,53 @@ impl Server {
                 if let Ok(reader_half) = conn.try_clone() {
                     conns.lock().expect("conns poisoned").push(reader_half);
                 }
+                let conn_id = next_conn_id.fetch_add(1, Ordering::Relaxed);
                 let reply_to = Arc::new(Mutex::new(write_half));
                 let queue = queue.clone();
                 let stop = stop.clone();
                 std::thread::spawn(move || {
-                    let reader = BufReader::new(conn);
-                    for line in reader.lines() {
+                    let mut reader = BufReader::new(conn);
+                    loop {
                         if stop.load(Ordering::SeqCst) {
                             return;
                         }
-                        let Ok(line) = line else {
+                        let mut buf = Vec::new();
+                        let n = reader
+                            .by_ref()
+                            .take(MAX_FRAME as u64 + 1)
+                            .read_until(b'\n', &mut buf)
+                            .unwrap_or_default();
+                        if n == 0 {
+                            queue.post(Work::Disconnect { conn_id });
                             return;
-                        };
-                        if line.trim().is_empty() {
+                        }
+                        let complete = buf.last() == Some(&b'\n');
+                        if !complete && buf.len() > MAX_FRAME {
+                            queue.post(Work::Request {
+                                conn_id,
+                                request: Err(ServiceError::Wire(format!(
+                                    "frame exceeds {MAX_FRAME} bytes"
+                                ))),
+                                reply_to: reply_to.clone(),
+                            });
+                            if !discard_to_newline(&mut reader) {
+                                queue.post(Work::Disconnect { conn_id });
+                                return;
+                            }
                             continue;
                         }
-                        let pending = Pending {
-                            request: Request::from_json(&line),
-                            reply_to: reply_to.clone(),
+                        if !complete {
+                            // EOF mid-frame: the peer died while
+                            // writing. Nothing to answer.
+                            queue.post(Work::Disconnect { conn_id });
+                            return;
+                        }
+                        let request = match String::from_utf8(buf) {
+                            Ok(line) if line.trim().is_empty() => continue,
+                            Ok(line) => Request::from_json(line.trim_end()),
+                            Err(_) => Err(ServiceError::Wire("frame is not valid UTF-8".into())),
                         };
-                        queue.pending.lock().expect("queue poisoned").push_back(pending);
-                        queue.wakeup.notify_one();
+                        queue.post(Work::Request { conn_id, request, reply_to: reply_to.clone() });
                     }
                 });
             })
@@ -181,28 +260,69 @@ impl Server {
             let broker = broker.clone();
             let queue = queue.clone();
             let stop = stop.clone();
-            std::thread::spawn(move || loop {
-                // One drained batch = one service tick = one
-                // contention epoch.
-                let batch: Vec<Pending> = {
-                    let mut pending = queue.pending.lock().expect("queue poisoned");
-                    while pending.is_empty() && !stop.load(Ordering::SeqCst) {
-                        pending = queue.wakeup.wait(pending).expect("queue poisoned");
-                    }
-                    if stop.load(Ordering::SeqCst) && pending.is_empty() {
-                        return;
-                    }
-                    pending.drain(..).collect()
-                };
-                broker.advance_epoch();
-                for item in batch {
-                    let response = match item.request {
-                        Ok(request) => serve(&broker, request),
-                        Err(e) => Response::Error { error: e.to_string() },
+            std::thread::spawn(move || {
+                let recorder = broker.recorder_handle();
+                // Flush the trace tail even if this thread panics.
+                let _flush_guard = FlushGuard::new(recorder.clone());
+                // Leases granted per connection, so a dropped peer's
+                // capacity can be revoked and reclaimed.
+                let mut conn_leases: HashMap<u64, Vec<LeaseId>> = HashMap::new();
+                loop {
+                    // One drained batch = one service tick = one
+                    // contention epoch.
+                    let batch: Vec<Work> = {
+                        let mut pending = queue.pending.lock().expect("queue poisoned");
+                        while pending.is_empty() && !stop.load(Ordering::SeqCst) {
+                            pending = queue.wakeup.wait(pending).expect("queue poisoned");
+                        }
+                        if stop.load(Ordering::SeqCst) && pending.is_empty() {
+                            return;
+                        }
+                        pending.drain(..).collect()
                     };
-                    let mut out = item.reply_to.lock().expect("conn poisoned");
-                    let _ = writeln!(out, "{}", response.to_json());
-                    let _ = out.flush();
+                    broker.advance_epoch();
+                    for item in batch {
+                        match item {
+                            Work::Disconnect { conn_id } => {
+                                for lease in conn_leases.remove(&conn_id).unwrap_or_default() {
+                                    // Already freed or expired ids come
+                                    // back UnknownLease; that's fine.
+                                    let _ = broker.revoke(lease, "disconnect");
+                                }
+                            }
+                            Work::Request { conn_id, request, reply_to } => {
+                                let response = match request {
+                                    Ok(request) => {
+                                        let freeing = match &request {
+                                            Request::Free { lease, .. } => Some(LeaseId(*lease)),
+                                            _ => None,
+                                        };
+                                        let resp = serve(&broker, request);
+                                        match &resp {
+                                            Response::Granted { lease, .. } => conn_leases
+                                                .entry(conn_id)
+                                                .or_default()
+                                                .push(LeaseId(*lease)),
+                                            Response::Freed => {
+                                                if let (Some(id), Some(held)) =
+                                                    (freeing, conn_leases.get_mut(&conn_id))
+                                                {
+                                                    held.retain(|l| *l != id);
+                                                }
+                                            }
+                                            _ => {}
+                                        }
+                                        resp
+                                    }
+                                    Err(e) => Response::from_error(&e),
+                                };
+                                let mut out = reply_to.lock().expect("conn poisoned");
+                                let _ = writeln!(out, "{}", response.to_json());
+                                let _ = out.flush();
+                            }
+                        }
+                    }
+                    recorder.flush_events();
                 }
             })
         };
@@ -275,7 +395,7 @@ pub fn serve(broker: &Broker, request: Request) -> Response {
             let id = broker.register(spec)?;
             Ok(Response::Registered { tenant_id: id.0 })
         }
-        Request::Alloc { tenant, size, criterion, fallback, label } => {
+        Request::Alloc { tenant, size, criterion, fallback, label, ttl } => {
             let id = broker
                 .tenant_id(&tenant)
                 .ok_or_else(|| ServiceError::UnknownTenant(tenant.clone()))?;
@@ -285,13 +405,27 @@ pub fn serve(broker: &Broker, request: Request) -> Response {
             }
             // The broker keeps the lease record; the wire client holds
             // only the id and frees through it.
-            let lease = broker.acquire(id, &req)?;
+            let lease = broker.acquire_with_ttl(id, &req, ttl)?;
             Ok(Response::Granted {
                 lease: lease.id().0,
                 size: lease.size(),
                 placement: lease.placement().to_vec(),
                 fast_bytes: lease.fast_bytes(),
             })
+        }
+        Request::Renew { tenant, lease } => {
+            let id = broker
+                .tenant_id(&tenant)
+                .ok_or_else(|| ServiceError::UnknownTenant(tenant.clone()))?;
+            let expires_at = broker.renew(id, LeaseId(lease))?;
+            Ok(Response::Renewed { lease, expires_at })
+        }
+        Request::Heartbeat { tenant } => {
+            let id = broker
+                .tenant_id(&tenant)
+                .ok_or_else(|| ServiceError::UnknownTenant(tenant.clone()))?;
+            let renewed = broker.heartbeat(id)?;
+            Ok(Response::HeartbeatAck { renewed })
         }
         Request::Free { tenant, lease } => {
             let id = broker
@@ -309,18 +443,71 @@ pub fn serve(broker: &Broker, request: Request) -> Response {
             Ok(Response::Stats { tenants: broker.tenants(), nodes: broker.node_usage() })
         }
     })();
-    outcome.unwrap_or_else(|e: ServiceError| Response::Error { error: e.to_string() })
+    outcome.unwrap_or_else(|e: ServiceError| Response::from_error(&e))
 }
 
-/// A blocking JSONL client for the service socket.
+/// Capped exponential backoff schedule for [`Client::call_with_retry`].
+///
+/// The schedule is a pure function of the attempt number, so tests can
+/// assert on it without sleeping:
+///
+/// ```
+/// use hetmem_service::server::RetryPolicy;
+/// let p = RetryPolicy { max_attempts: 5, base_delay_ms: 10, max_delay_ms: 50 };
+/// let delays: Vec<u64> = (1..5).map(|a| p.delay_ms(a)).collect();
+/// assert_eq!(delays, vec![10, 20, 40, 50]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts including the first (so 1 = no retries).
+    pub max_attempts: u32,
+    /// Delay before the first retry, milliseconds.
+    pub base_delay_ms: u64,
+    /// Ceiling on any single delay, milliseconds.
+    pub max_delay_ms: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy { max_attempts: 4, base_delay_ms: 5, max_delay_ms: 100 }
+    }
+}
+
+impl RetryPolicy {
+    /// The delay before retry number `attempt` (1-based): the base
+    /// delay doubled per prior retry, capped at `max_delay_ms`.
+    pub fn delay_ms(&self, attempt: u32) -> u64 {
+        let shift = attempt.saturating_sub(1).min(62);
+        self.base_delay_ms.saturating_mul(1u64 << shift).min(self.max_delay_ms)
+    }
+}
+
+/// A blocking JSONL client for the service socket, with optional
+/// per-request deadlines and transient-error retries.
 pub struct Client {
+    addr: String,
     reader: BufReader<Conn>,
     writer: Conn,
+    deadline: Option<Duration>,
+    retry: RetryPolicy,
+    recorder: Option<Arc<dyn Recorder>>,
 }
 
 impl Client {
     /// Connects to an address in [`Server::local_addr`] form.
     pub fn connect(addr: &str) -> Result<Client, ServiceError> {
+        let (reader, writer) = Client::open(addr)?;
+        Ok(Client {
+            addr: addr.to_string(),
+            reader,
+            writer,
+            deadline: None,
+            retry: RetryPolicy::default(),
+            recorder: None,
+        })
+    }
+
+    fn open(addr: &str) -> Result<(BufReader<Conn>, Conn), ServiceError> {
         let io = |e: std::io::Error| ServiceError::Io(e.to_string());
         let conn = if let Some(path) = addr.strip_prefix("unix:") {
             Conn::Unix(UnixStream::connect(path).map_err(io)?)
@@ -329,20 +516,114 @@ impl Client {
             Conn::Tcp(TcpStream::connect(hostport).map_err(io)?)
         };
         let writer = conn.try_clone().map_err(io)?;
-        Ok(Client { reader: BufReader::new(conn), writer })
+        Ok((BufReader::new(conn), writer))
     }
 
-    /// Sends one request and blocks for its response.
+    /// Sets (or clears) the per-request response deadline. A call that
+    /// waits longer than this returns
+    /// [`ServiceError::DeadlineExceeded`]; the retry loop then
+    /// reconnects, because a late response would desynchronise the
+    /// stream.
+    pub fn set_deadline(&mut self, deadline: Option<Duration>) -> Result<(), ServiceError> {
+        self.reader
+            .get_ref()
+            .set_read_timeout(deadline)
+            .map_err(|e| ServiceError::Io(e.to_string()))?;
+        self.deadline = deadline;
+        Ok(())
+    }
+
+    /// Replaces the retry schedule used by [`Client::call_with_retry`].
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        self.retry = policy;
+    }
+
+    /// Attaches a recorder; exhausted retries emit
+    /// [`RetryExhausted`] events through it.
+    pub fn set_recorder(&mut self, recorder: Arc<dyn Recorder>) {
+        self.recorder = Some(recorder);
+    }
+
+    /// Drops the current stream and dials the stored address again,
+    /// reapplying the deadline.
+    pub fn reconnect(&mut self) -> Result<(), ServiceError> {
+        let (reader, writer) = Client::open(&self.addr)?;
+        self.reader = reader;
+        self.writer = writer;
+        if let Some(deadline) = self.deadline {
+            self.reader
+                .get_ref()
+                .set_read_timeout(Some(deadline))
+                .map_err(|e| ServiceError::Io(e.to_string()))?;
+        }
+        Ok(())
+    }
+
+    /// Sends one request and blocks for its response (no retries).
     pub fn call(&mut self, request: &Request) -> Result<Response, ServiceError> {
         let io = |e: std::io::Error| ServiceError::Io(e.to_string());
         writeln!(self.writer, "{}", request.to_json()).map_err(io)?;
         self.writer.flush().map_err(io)?;
         let mut line = String::new();
-        let n = self.reader.read_line(&mut line).map_err(io)?;
+        let n = match self.reader.read_line(&mut line) {
+            Ok(n) => n,
+            Err(e)
+                if self.deadline.is_some()
+                    && matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+            {
+                return Err(ServiceError::DeadlineExceeded(format!("op {:?}", request.op())));
+            }
+            Err(e) => return Err(io(e)),
+        };
         if n == 0 {
             return Err(ServiceError::Io("server closed the connection".into()));
         }
         Response::from_json(line.trim_end())
+    }
+
+    /// Like [`Client::call`], but retries transient failures
+    /// ([`ServiceError::is_transient`] — stalls, socket errors, missed
+    /// deadlines) with the capped exponential backoff of the configured
+    /// [`RetryPolicy`]. Socket and deadline failures reconnect before
+    /// retrying. When the budget runs out, the last error is returned
+    /// and a `retry_exhausted` event is emitted if a recorder is
+    /// attached.
+    pub fn call_with_retry(&mut self, request: &Request) -> Result<Response, ServiceError> {
+        let mut attempt: u32 = 1;
+        loop {
+            let err = match self.call(request) {
+                // A stalled broker reports success=0 over the wire; it
+                // is the one server-side error worth retrying.
+                Ok(Response::Error { code, .. }) if code == "stalled" => ServiceError::Stalled,
+                Ok(resp) => return Ok(resp),
+                Err(e) => e,
+            };
+            if !err.is_transient() || attempt >= self.retry.max_attempts {
+                if err.is_transient() {
+                    if let Some(recorder) = &self.recorder {
+                        recorder.record(Event::RetryExhausted(RetryExhausted {
+                            tenant: request.tenant().unwrap_or("").to_string(),
+                            op: request.op().to_string(),
+                            attempts: attempt as u64,
+                            last_error: err.to_string(),
+                        }));
+                    }
+                }
+                return Err(err);
+            }
+            let delay = self.retry.delay_ms(attempt);
+            if delay > 0 {
+                std::thread::sleep(Duration::from_millis(delay));
+            }
+            if matches!(err, ServiceError::Io(_) | ServiceError::DeadlineExceeded(_)) {
+                // A failed reconnect surfaces as Io on the next call.
+                let _ = self.reconnect();
+            }
+            attempt += 1;
+        }
     }
 }
 
@@ -360,19 +641,23 @@ mod tests {
         Server::bind(broker, "tcp:127.0.0.1:0").expect("bind")
     }
 
-    #[test]
-    fn register_alloc_free_over_the_socket() {
-        let mut server = serve_knl();
-        let mut client = Client::connect(server.local_addr()).expect("connect");
+    fn register(client: &mut Client, name: &str) {
         let resp = client
             .call(&Request::Register {
-                tenant: "t".into(),
+                tenant: name.into(),
                 priority: crate::Priority::Normal,
                 quota: vec![],
                 reserve: vec![],
             })
             .expect("register");
         assert!(matches!(resp, Response::Registered { .. }), "{resp:?}");
+    }
+
+    #[test]
+    fn register_alloc_free_over_the_socket() {
+        let mut server = serve_knl();
+        let mut client = Client::connect(server.local_addr()).expect("connect");
+        register(&mut client, "t");
         let resp = client
             .call(&Request::Alloc {
                 tenant: "t".into(),
@@ -380,6 +665,7 @@ mod tests {
                 criterion: hetmem_core::attr::BANDWIDTH,
                 fallback: hetmem_alloc::Fallback::PartialSpill,
                 label: Some("buf".into()),
+                ttl: None,
             })
             .expect("alloc");
         let Response::Granted { lease, size, fast_bytes, .. } = resp else {
@@ -407,27 +693,144 @@ mod tests {
                 criterion: hetmem_core::attr::CAPACITY,
                 fallback: hetmem_alloc::Fallback::NextTarget,
                 label: None,
+                ttl: None,
             })
             .expect("call");
-        assert!(matches!(resp, Response::Error { .. }), "{resp:?}");
+        let Response::Error { code, .. } = &resp else {
+            panic!("expected error, got {resp:?}");
+        };
+        assert_eq!(code, "unknown_tenant");
         // Freeing someone else's lease is refused.
-        let resp = client
-            .call(&Request::Register {
-                tenant: "t".into(),
-                priority: crate::Priority::Normal,
-                quota: vec![],
-                reserve: vec![],
-            })
-            .expect("register");
-        assert!(matches!(resp, Response::Registered { .. }));
+        register(&mut client, "t");
         let resp = client.call(&Request::Free { tenant: "t".into(), lease: 99 }).expect("call");
-        assert!(matches!(resp, Response::Error { .. }), "{resp:?}");
+        let Response::Error { code, .. } = &resp else {
+            panic!("expected error, got {resp:?}");
+        };
+        assert_eq!(code, "unknown_lease");
         let resp = client.call(&Request::Stats).expect("stats");
         let Response::Stats { tenants, nodes } = resp else {
             panic!("expected stats");
         };
         assert_eq!(tenants.len(), 1);
         assert_eq!(nodes.len(), 8, "KNL SNC-4 flat has 8 NUMA nodes");
+        server.shutdown();
+    }
+
+    #[test]
+    fn renew_and_heartbeat_over_the_socket() {
+        let mut server = serve_knl();
+        let mut client = Client::connect(server.local_addr()).expect("connect");
+        register(&mut client, "t");
+        let resp = client
+            .call(&Request::Alloc {
+                tenant: "t".into(),
+                size: 4096,
+                criterion: hetmem_core::attr::CAPACITY,
+                fallback: hetmem_alloc::Fallback::PartialSpill,
+                label: None,
+                ttl: Some(1000),
+            })
+            .expect("alloc");
+        let Response::Granted { lease, .. } = resp else {
+            panic!("expected grant, got {resp:?}");
+        };
+        let resp = client.call(&Request::Renew { tenant: "t".into(), lease }).expect("renew");
+        let Response::Renewed { lease: renewed, expires_at } = resp else {
+            panic!("expected renewed, got {resp:?}");
+        };
+        assert_eq!(renewed, lease);
+        assert!(expires_at.is_some(), "a TTL'd lease has a deadline");
+        let resp = client.call(&Request::Heartbeat { tenant: "t".into() }).expect("heartbeat");
+        assert_eq!(resp, Response::HeartbeatAck { renewed: 1 });
+        // Renewing a lease we do not own is refused.
+        let resp = client.call(&Request::Renew { tenant: "t".into(), lease: 99 }).expect("call");
+        let Response::Error { code, .. } = &resp else {
+            panic!("expected error, got {resp:?}");
+        };
+        assert_eq!(code, "unknown_lease");
+        server.shutdown();
+    }
+
+    #[test]
+    fn disconnect_revokes_the_connections_leases() {
+        let mut server = serve_knl();
+        let mut client = Client::connect(server.local_addr()).expect("connect");
+        register(&mut client, "t");
+        let resp = client
+            .call(&Request::Alloc {
+                tenant: "t".into(),
+                size: 1 << 20,
+                criterion: hetmem_core::attr::BANDWIDTH,
+                fallback: hetmem_alloc::Fallback::PartialSpill,
+                label: None,
+                ttl: None,
+            })
+            .expect("alloc");
+        assert!(matches!(resp, Response::Granted { .. }), "{resp:?}");
+        assert_eq!(server.broker().live_leases(), 1);
+        drop(client);
+        // The reader thread posts the disconnect; the dispatcher
+        // revokes on its next tick.
+        for _ in 0..200 {
+            if server.broker().live_leases() == 0 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(server.broker().live_leases(), 0, "disconnect reclaims the lease");
+        assert_eq!(server.broker().robustness().revoked, 1);
+        server.broker().check_invariants().expect("clean");
+        server.shutdown();
+    }
+
+    #[test]
+    fn oversized_frames_get_a_typed_error_and_the_conn_survives() {
+        let mut server = serve_knl();
+        let mut client = Client::connect(server.local_addr()).expect("connect");
+        // Hand-write a frame one byte over the cap.
+        let huge = format!("{{\"op\":\"stats\",\"pad\":\"{}\"}}\n", "x".repeat(MAX_FRAME));
+        client.writer.write_all(huge.as_bytes()).expect("write");
+        client.writer.flush().expect("flush");
+        let mut line = String::new();
+        client.reader.read_line(&mut line).expect("read");
+        let resp = Response::from_json(line.trim_end()).expect("parse");
+        let Response::Error { code, error } = &resp else {
+            panic!("expected error, got {resp:?}");
+        };
+        assert_eq!(code, "wire");
+        assert!(error.contains("exceeds"), "{error}");
+        // The same connection still serves well-formed requests.
+        let resp = client.call(&Request::Stats).expect("stats");
+        assert!(matches!(resp, Response::Stats { .. }), "{resp:?}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn retry_policy_caps_and_call_with_retry_rides_out_a_stall() {
+        let p = RetryPolicy { max_attempts: 10, base_delay_ms: 1, max_delay_ms: 8 };
+        assert_eq!(
+            (1..8).map(|a| p.delay_ms(a)).collect::<Vec<_>>(),
+            vec![1, 2, 4, 8, 8, 8, 8],
+            "doubling then capped"
+        );
+        let mut server = serve_knl();
+        let mut client = Client::connect(server.local_addr()).expect("connect");
+        register(&mut client, "t");
+        // Stall the broker for two epochs; each request batch advances
+        // one epoch, so a couple of retries ride it out.
+        server.broker().set_alloc_stall(2);
+        client.set_retry_policy(RetryPolicy { max_attempts: 8, base_delay_ms: 0, max_delay_ms: 0 });
+        let resp = client
+            .call_with_retry(&Request::Alloc {
+                tenant: "t".into(),
+                size: 4096,
+                criterion: hetmem_core::attr::CAPACITY,
+                fallback: hetmem_alloc::Fallback::PartialSpill,
+                label: None,
+                ttl: None,
+            })
+            .expect("retries ride out the stall");
+        assert!(matches!(resp, Response::Granted { .. }), "{resp:?}");
         server.shutdown();
     }
 
@@ -440,15 +843,7 @@ mod tests {
             std::env::temp_dir().join(format!("hetmem-serve-test-{}.sock", std::process::id()));
         let mut server = Server::bind(broker, &format!("unix:{}", path.display())).expect("bind");
         let mut client = Client::connect(server.local_addr()).expect("connect");
-        let resp = client
-            .call(&Request::Register {
-                tenant: "u".into(),
-                priority: crate::Priority::Batch,
-                quota: vec![],
-                reserve: vec![],
-            })
-            .expect("register");
-        assert!(matches!(resp, Response::Registered { .. }));
+        register(&mut client, "u");
         server.shutdown();
         assert!(!path.exists(), "socket file is cleaned up on shutdown");
     }

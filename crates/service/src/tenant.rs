@@ -68,17 +68,20 @@ pub struct TenantSpec {
     priority: Priority,
     quota: BTreeMap<MemoryKind, u64>,
     reserve: BTreeMap<MemoryKind, u64>,
+    lease_ttl: Option<u64>,
 }
 
 impl TenantSpec {
-    /// A tenant named `name` with [`Priority::Normal`], no quota and
-    /// no reservation.
+    /// A tenant named `name` with [`Priority::Normal`], no quota, no
+    /// reservation, and no default lease TTL (leases live until
+    /// released).
     pub fn new(name: impl Into<String>) -> TenantSpec {
         TenantSpec {
             name: name.into(),
             priority: Priority::default(),
             quota: BTreeMap::new(),
             reserve: BTreeMap::new(),
+            lease_ttl: None,
         }
     }
 
@@ -118,6 +121,27 @@ impl TenantSpec {
         &self.quota
     }
 
+    /// Default lease TTL in service epochs: every lease this tenant
+    /// acquires expires `epochs` ticks after its grant (or last
+    /// renewal) unless a `renew`/`heartbeat` arrives first. Without a
+    /// TTL a crashed client leaks its quota forever; with one, the
+    /// broker reclaims it within one TTL of the client going silent.
+    ///
+    /// ```
+    /// use hetmem_service::TenantSpec;
+    /// let spec = TenantSpec::new("stream").lease_ttl(5);
+    /// assert_eq!(spec.get_lease_ttl(), Some(5));
+    /// ```
+    pub fn lease_ttl(mut self, epochs: u64) -> TenantSpec {
+        self.lease_ttl = Some(epochs);
+        self
+    }
+
+    /// The default lease TTL in epochs, if one is set.
+    pub fn get_lease_ttl(&self) -> Option<u64> {
+        self.lease_ttl
+    }
+
     /// The per-tier reservation map.
     pub fn get_reserve(&self) -> &BTreeMap<MemoryKind, u64> {
         &self.reserve
@@ -131,6 +155,8 @@ pub(crate) struct TenantState {
     pub(crate) priority: Priority,
     pub(crate) quota: BTreeMap<MemoryKind, u64>,
     pub(crate) reserve: BTreeMap<MemoryKind, u64>,
+    /// Default TTL applied to this tenant's leases, in epochs.
+    pub(crate) lease_ttl: Option<u64>,
     /// Admissions granted (lifetime counter).
     pub(crate) admits: u64,
     /// Quota clamps suffered (lifetime counter).

@@ -7,21 +7,28 @@
 //!
 //! ```json
 //! {"op":"register","tenant":"stream","priority":"batch","quota":[["hbm",1073741824]]}
-//! {"op":"alloc","tenant":"stream","size":4096,"criterion":"bandwidth","fallback":"spill"}
+//! {"op":"alloc","tenant":"stream","size":4096,"criterion":"bandwidth","fallback":"spill","ttl":5}
+//! {"op":"renew","tenant":"stream","lease":0}
+//! {"op":"heartbeat","tenant":"stream"}
 //! {"op":"free","tenant":"stream","lease":0}
 //! {"op":"stats"}
 //! ```
 //!
-//! Responses always carry `"ok"`; failures carry `"error"`:
+//! Responses always carry `"ok"`; failures carry `"error"` plus a
+//! stable machine-readable `"code"` ([`crate::ERROR_CODES`]):
 //!
 //! ```json
-//! {"ok":true,"lease":0,"size":4096,"placement":[[4,4096]],"fast_bytes":4096}
-//! {"ok":false,"error":"admission denied: ..."}
+//! {"ok":1,"lease":0,"size":4096,"placement":[[4,4096]],"fast_bytes":4096}
+//! {"ok":0,"code":"admission","error":"admission denied: ..."}
 //! ```
 //!
 //! Criterion, fallback and memory-kind spellings match the scenario
 //! DSL (`bandwidth`, `spill`, `hbm`, ...), so the same vocabulary
-//! works in scripts and over the socket.
+//! works in scripts and over the socket. The full specification —
+//! every frame, every field, every error code — lives in
+//! `docs/PROTOCOL.md` and is enforced by a coverage test over
+//! [`REQUEST_OPS`], [`RESPONSE_KINDS`] and
+//! [`hetmem_telemetry::EVENT_KINDS`].
 
 use crate::tenant::{Priority, TenantStats};
 use crate::ServiceError;
@@ -128,6 +135,21 @@ pub enum Request {
         fallback: Fallback,
         /// Optional buffer label (shows up in telemetry).
         label: Option<String>,
+        /// Optional TTL override in service epochs; `None` uses the
+        /// tenant's default (which may itself be "no TTL").
+        ttl: Option<u64>,
+    },
+    /// Reset the TTL clock of one lease.
+    Renew {
+        /// Owning tenant name.
+        tenant: String,
+        /// Lease id from the alloc response.
+        lease: u64,
+    },
+    /// Renew every lease the tenant holds (the keepalive).
+    Heartbeat {
+        /// Tenant name.
+        tenant: String,
     },
     /// Return a lease.
     Free {
@@ -140,7 +162,49 @@ pub enum Request {
     Stats,
 }
 
+/// The `op` field value of every [`Request`] variant, in declaration
+/// order. `docs/PROTOCOL.md` coverage tests enumerate this list.
+pub const REQUEST_OPS: &[&str] = &["register", "alloc", "renew", "heartbeat", "free", "stats"];
+
+/// A stable name per [`Response`] variant (responses are discriminated
+/// by field shape on the wire, not by a tag; these names exist for the
+/// spec and its coverage test).
+pub const RESPONSE_KINDS: &[&str] =
+    &["registered", "granted", "renewed", "heartbeat_ack", "freed", "stats", "error"];
+
 impl Request {
+    /// The `op` field value this variant encodes to — one of
+    /// [`REQUEST_OPS`].
+    ///
+    /// ```
+    /// use hetmem_service::wire::{Request, REQUEST_OPS};
+    /// let req = Request::Heartbeat { tenant: "stream".into() };
+    /// assert_eq!(req.op(), "heartbeat");
+    /// assert!(REQUEST_OPS.contains(&req.op()));
+    /// ```
+    pub fn op(&self) -> &'static str {
+        match self {
+            Request::Register { .. } => "register",
+            Request::Alloc { .. } => "alloc",
+            Request::Renew { .. } => "renew",
+            Request::Heartbeat { .. } => "heartbeat",
+            Request::Free { .. } => "free",
+            Request::Stats => "stats",
+        }
+    }
+
+    /// The tenant the request acts for, when it names one.
+    pub fn tenant(&self) -> Option<&str> {
+        match self {
+            Request::Register { tenant, .. }
+            | Request::Alloc { tenant, .. }
+            | Request::Renew { tenant, .. }
+            | Request::Heartbeat { tenant }
+            | Request::Free { tenant, .. } => Some(tenant),
+            Request::Stats => None,
+        }
+    }
+
     /// Renders the request as one JSON line (no trailing newline).
     pub fn to_json(&self) -> String {
         let kinds = |pairs: &[(MemoryKind, u64)]| {
@@ -164,7 +228,7 @@ impl Request {
                 ("quota".into(), kinds(quota)),
                 ("reserve".into(), kinds(reserve)),
             ],
-            Request::Alloc { tenant, size, criterion, fallback, label } => {
+            Request::Alloc { tenant, size, criterion, fallback, label, ttl } => {
                 let mut f = vec![
                     ("op".into(), JsonValue::str("alloc")),
                     ("tenant".into(), JsonValue::str(tenant)),
@@ -175,8 +239,20 @@ impl Request {
                 if let Some(label) = label {
                     f.push(("label".into(), JsonValue::str(label)));
                 }
+                if let Some(ttl) = ttl {
+                    f.push(("ttl".into(), JsonValue::num(*ttl as f64)));
+                }
                 f
             }
+            Request::Renew { tenant, lease } => vec![
+                ("op".into(), JsonValue::str("renew")),
+                ("tenant".into(), JsonValue::str(tenant)),
+                ("lease".into(), JsonValue::num(*lease as f64)),
+            ],
+            Request::Heartbeat { tenant } => vec![
+                ("op".into(), JsonValue::str("heartbeat")),
+                ("tenant".into(), JsonValue::str(tenant)),
+            ],
             Request::Free { tenant, lease } => vec![
                 ("op".into(), JsonValue::str("free")),
                 ("tenant".into(), JsonValue::str(tenant)),
@@ -251,8 +327,17 @@ impl Request {
                     Err(_) => Fallback::NextTarget,
                 };
                 let label = v.get("label").and_then(|l| l.string()).ok();
-                Ok(Request::Alloc { tenant: tenant(&v)?, size, criterion, fallback, label })
+                let ttl = match v.get("ttl") {
+                    Ok(t) => Some(t.u64().map_err(|e| bad(e.to_string()))?),
+                    Err(_) => None,
+                };
+                Ok(Request::Alloc { tenant: tenant(&v)?, size, criterion, fallback, label, ttl })
             }
+            "renew" => {
+                let lease = v.get("lease").and_then(|l| l.u64()).map_err(|e| bad(e.to_string()))?;
+                Ok(Request::Renew { tenant: tenant(&v)?, lease })
+            }
+            "heartbeat" => Ok(Request::Heartbeat { tenant: tenant(&v)? }),
             "free" => {
                 let lease = v.get("lease").and_then(|l| l.u64()).map_err(|e| bad(e.to_string()))?;
                 Ok(Request::Free { tenant: tenant(&v)?, lease })
@@ -282,6 +367,18 @@ pub enum Response {
         /// Bytes that landed on the fast tier.
         fast_bytes: u64,
     },
+    /// Lease TTL clock reset.
+    Renewed {
+        /// The renewed lease id.
+        lease: u64,
+        /// The new expiry epoch; `None` when the lease has no TTL.
+        expires_at: Option<u64>,
+    },
+    /// Heartbeat acknowledged.
+    HeartbeatAck {
+        /// Number of leases whose TTL clock was reset.
+        renewed: u64,
+    },
     /// Lease returned.
     Freed,
     /// Broker snapshot.
@@ -293,12 +390,32 @@ pub enum Response {
     },
     /// The request failed; the connection stays usable.
     Error {
+        /// Stable machine-readable code ([`crate::ERROR_CODES`]).
+        code: String,
         /// Human-readable reason (the [`ServiceError`] display).
         error: String,
     },
 }
 
 impl Response {
+    /// The stable name of this variant — one of [`RESPONSE_KINDS`].
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Response::Registered { .. } => "registered",
+            Response::Granted { .. } => "granted",
+            Response::Renewed { .. } => "renewed",
+            Response::HeartbeatAck { .. } => "heartbeat_ack",
+            Response::Freed => "freed",
+            Response::Stats { .. } => "stats",
+            Response::Error { .. } => "error",
+        }
+    }
+
+    /// An error response carrying `e`'s stable code and display text.
+    pub fn from_error(e: &ServiceError) -> Response {
+        Response::Error { code: e.code().to_string(), error: e.to_string() }
+    }
+
     /// Renders the response as one JSON line (no trailing newline).
     pub fn to_json(&self) -> String {
         let fields = match self {
@@ -325,6 +442,21 @@ impl Response {
                     ),
                 ),
                 ("fast_bytes".into(), JsonValue::num(*fast_bytes as f64)),
+            ],
+            Response::Renewed { lease, expires_at } => vec![
+                ("ok".into(), JsonValue::num(1.0)),
+                ("lease".into(), JsonValue::num(*lease as f64)),
+                (
+                    "expires_at".into(),
+                    match expires_at {
+                        Some(e) => JsonValue::num(*e as f64),
+                        None => JsonValue::Null,
+                    },
+                ),
+            ],
+            Response::HeartbeatAck { renewed } => vec![
+                ("ok".into(), JsonValue::num(1.0)),
+                ("renewed".into(), JsonValue::num(*renewed as f64)),
             ],
             Response::Freed => vec![("ok".into(), JsonValue::num(1.0))],
             Response::Stats { tenants, nodes } => vec![
@@ -377,9 +509,11 @@ impl Response {
                     ),
                 ),
             ],
-            Response::Error { error } => {
-                vec![("ok".into(), JsonValue::num(0.0)), ("error".into(), JsonValue::str(error))]
-            }
+            Response::Error { code, error } => vec![
+                ("ok".into(), JsonValue::num(0.0)),
+                ("code".into(), JsonValue::str(code)),
+                ("error".into(), JsonValue::str(error)),
+            ],
         };
         JsonValue::Object(fields).render()
     }
@@ -391,13 +525,13 @@ impl Response {
         let ok = v.get("ok").and_then(|o| o.u64()).map_err(|e| bad(e.to_string()))?;
         if ok == 0 {
             let error = v.get("error").and_then(|e| e.string()).map_err(|e| bad(e.to_string()))?;
-            return Ok(Response::Error { error });
+            let code = v.get("code").and_then(|c| c.string()).unwrap_or_default();
+            return Ok(Response::Error { code, error });
         }
-        if let Ok(lease) = v.get("lease").and_then(|l| l.u64()) {
+        if let Ok(placement) = v.get("placement") {
+            let lease = v.get("lease").and_then(|l| l.u64()).map_err(|e| bad(e.to_string()))?;
             let size = v.get("size").and_then(|s| s.u64()).map_err(|e| bad(e.to_string()))?;
-            let placement = v
-                .get("placement")
-                .map_err(|e| bad(e.to_string()))?
+            let placement = placement
                 .array()
                 .map_err(|e| bad(e.to_string()))?
                 .iter()
@@ -414,6 +548,17 @@ impl Response {
             let fast_bytes =
                 v.get("fast_bytes").and_then(|b| b.u64()).map_err(|e| bad(e.to_string()))?;
             return Ok(Response::Granted { lease, size, placement, fast_bytes });
+        }
+        if let Ok(expiry) = v.get("expires_at") {
+            let lease = v.get("lease").and_then(|l| l.u64()).map_err(|e| bad(e.to_string()))?;
+            let expires_at = match expiry {
+                JsonValue::Null => None,
+                other => Some(other.u64().map_err(|e| bad(e.to_string()))?),
+            };
+            return Ok(Response::Renewed { lease, expires_at });
+        }
+        if let Ok(renewed) = v.get("renewed").and_then(|r| r.u64()) {
+            return Ok(Response::HeartbeatAck { renewed });
         }
         if let Ok(tenant_id) = v.get("tenant_id").and_then(|t| t.u64()) {
             return Ok(Response::Registered { tenant_id: tenant_id as u32 });
@@ -514,6 +659,7 @@ mod tests {
                 criterion: attr::READ_BANDWIDTH,
                 fallback: Fallback::PartialSpill,
                 label: Some("a".into()),
+                ttl: Some(5),
             },
             Request::Alloc {
                 tenant: "stream".into(),
@@ -521,7 +667,10 @@ mod tests {
                 criterion: attr::CAPACITY,
                 fallback: Fallback::Strict,
                 label: None,
+                ttl: None,
             },
+            Request::Renew { tenant: "stream".into(), lease: 3 },
+            Request::Heartbeat { tenant: "stream".into() },
             Request::Free { tenant: "stream".into(), lease: 7 },
             Request::Stats,
         ];
@@ -542,8 +691,49 @@ mod tests {
                 criterion: attr::CAPACITY,
                 fallback: Fallback::NextTarget,
                 label: None,
+                ttl: None,
             }
         );
+    }
+
+    #[test]
+    fn every_request_op_is_listed_and_every_response_kind_is_listed() {
+        let reqs = [
+            Request::Register {
+                tenant: "t".into(),
+                priority: Priority::Normal,
+                quota: vec![],
+                reserve: vec![],
+            },
+            Request::Alloc {
+                tenant: "t".into(),
+                size: 1,
+                criterion: attr::CAPACITY,
+                fallback: Fallback::Strict,
+                label: None,
+                ttl: None,
+            },
+            Request::Renew { tenant: "t".into(), lease: 0 },
+            Request::Heartbeat { tenant: "t".into() },
+            Request::Free { tenant: "t".into(), lease: 0 },
+            Request::Stats,
+        ];
+        let ops: Vec<&str> = reqs.iter().map(|r| r.op()).collect();
+        assert_eq!(ops, REQUEST_OPS);
+        assert_eq!(reqs[0].tenant(), Some("t"));
+        assert_eq!(reqs[5].tenant(), None);
+
+        let resps = [
+            Response::Registered { tenant_id: 0 },
+            Response::Granted { lease: 0, size: 0, placement: vec![], fast_bytes: 0 },
+            Response::Renewed { lease: 0, expires_at: None },
+            Response::HeartbeatAck { renewed: 0 },
+            Response::Freed,
+            Response::Stats { tenants: vec![], nodes: vec![] },
+            Response::from_error(&ServiceError::Stalled),
+        ];
+        let kinds: Vec<&str> = resps.iter().map(|r| r.kind()).collect();
+        assert_eq!(kinds, RESPONSE_KINDS);
     }
 
     #[test]
@@ -558,6 +748,9 @@ mod tests {
                 placement: vec![(NodeId(4), 4096), (NodeId(0), 4096)],
                 fast_bytes: 4096,
             },
+            Response::Renewed { lease: 9, expires_at: Some(17) },
+            Response::Renewed { lease: 2, expires_at: None },
+            Response::HeartbeatAck { renewed: 3 },
             Response::Freed,
             Response::Stats {
                 tenants: vec![crate::TenantStats {
@@ -571,7 +764,8 @@ mod tests {
                 }],
                 nodes: vec![(NodeId(0), 0, 1 << 30), (NodeId(4), 4096, 1 << 30)],
             },
-            Response::Error { error: "admission denied".into() },
+            Response::Error { code: "admission".into(), error: "admission denied".into() },
+            Response::from_error(&ServiceError::UnknownLease(4)),
         ];
         for resp in resps {
             let line = resp.to_json();

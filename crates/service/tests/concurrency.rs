@@ -153,6 +153,7 @@ fn concurrent_wire_clients_round_trip_cleanly() {
                             criterion: attr::BANDWIDTH,
                             fallback: Fallback::PartialSpill,
                             label: None,
+                            ttl: None,
                         })
                         .expect("alloc");
                     let Response::Granted { lease, .. } = resp else {

@@ -1,0 +1,65 @@
+//! Documentation coverage tests: `docs/PROTOCOL.md` must mention
+//! every wire request op, every response kind, every error code, and
+//! every telemetry event kind. The constants these loops walk are the
+//! single source of truth (`wire::REQUEST_OPS`, `wire::RESPONSE_KINDS`,
+//! `ERROR_CODES`, `hetmem_telemetry::EVENT_KINDS`), so extending the
+//! protocol without documenting the extension fails here.
+
+use hetmem_service::{
+    wire::{REQUEST_OPS, RESPONSE_KINDS},
+    ERROR_CODES,
+};
+use hetmem_telemetry::EVENT_KINDS;
+
+const PROTOCOL: &str = include_str!("../../../docs/PROTOCOL.md");
+const OPERATIONS: &str = include_str!("../../../docs/OPERATIONS.md");
+
+/// The doc convention: every protocol identifier appears in backticks
+/// at least once (section headings and tables both satisfy this).
+fn assert_documented(doc_name: &str, doc: &str, kind: &str, names: &[&str]) {
+    let missing: Vec<&str> =
+        names.iter().copied().filter(|n| !doc.contains(&format!("`{n}`"))).collect();
+    assert!(
+        missing.is_empty(),
+        "{doc_name} does not document {kind}: {missing:?} (expected each in backticks)"
+    );
+}
+
+#[test]
+fn every_request_op_is_documented() {
+    assert_documented("docs/PROTOCOL.md", PROTOCOL, "request ops", REQUEST_OPS);
+}
+
+#[test]
+fn every_response_kind_is_documented() {
+    assert_documented("docs/PROTOCOL.md", PROTOCOL, "response kinds", RESPONSE_KINDS);
+}
+
+#[test]
+fn every_error_code_is_documented() {
+    assert_documented("docs/PROTOCOL.md", PROTOCOL, "error codes", ERROR_CODES);
+}
+
+#[test]
+fn every_telemetry_event_is_documented() {
+    assert_documented("docs/PROTOCOL.md", PROTOCOL, "telemetry events", EVENT_KINDS);
+}
+
+#[test]
+fn the_documented_frame_limit_matches_the_code() {
+    let limit = hetmem_service::server::MAX_FRAME.to_string();
+    assert!(
+        PROTOCOL.contains(&limit),
+        "docs/PROTOCOL.md does not state the frame limit ({limit} bytes)"
+    );
+}
+
+#[test]
+fn the_operator_handbook_covers_the_robustness_events() {
+    // OPERATIONS.md walks operators through the failure drills; the
+    // five robustness events are the observable surface of those
+    // drills, so the handbook must name each one.
+    let robustness =
+        ["lease_expired", "lease_revoked", "tier_degraded", "retry_exhausted", "reclaim"];
+    assert_documented("docs/OPERATIONS.md", OPERATIONS, "robustness events", &robustness);
+}

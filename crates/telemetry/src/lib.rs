@@ -289,6 +289,73 @@ pub struct ContentionStall {
     pub sharers: u64,
 }
 
+/// A lease aged out: the owning tenant stopped renewing it for a full
+/// TTL, so the broker reclaimed the capacity (paired with a
+/// [`Reclaim`] event carrying the returned bytes).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LeaseExpired {
+    /// Tenant name.
+    pub tenant: String,
+    /// The expired lease id.
+    pub lease: u64,
+    /// The TTL the lease ran under, in service epochs.
+    pub ttl_epochs: u64,
+}
+
+/// A lease was revoked before its natural release — the connection
+/// that created it dropped, or an operator/fault path pulled it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LeaseRevoked {
+    /// Tenant name.
+    pub tenant: String,
+    /// The revoked lease id.
+    pub lease: u64,
+    /// Why it was revoked (`"disconnect"`, `"operator"`, ...).
+    pub reason: String,
+}
+
+/// A memory tier changed health. Degraded tiers are demoted to
+/// last-resort rank so new placements fall back to healthy tiers
+/// instead of hard-failing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TierDegraded {
+    /// The tier, by wire name (`"hbm"`, `"dram"`, `"nvdimm"`, ...).
+    pub kind: String,
+    /// `true` when entering the degraded state, `false` on recovery.
+    pub degraded: bool,
+}
+
+/// A client exhausted its retry budget against a stalled or failing
+/// broker and surfaced the error to the application.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryExhausted {
+    /// Tenant name (empty when the failure happened before
+    /// registration).
+    pub tenant: String,
+    /// The wire op that was retried (`"alloc"`, `"renew"`, ...).
+    pub op: String,
+    /// Attempts made, including the first.
+    pub attempts: u64,
+    /// The error that ended the last attempt.
+    pub last_error: String,
+}
+
+/// Capacity returned to the shared pool outside the normal release
+/// path — the accounting side of an expiry or revocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Reclaim {
+    /// Tenant whose quota the bytes were charged against.
+    pub tenant: String,
+    /// The reclaimed lease id.
+    pub lease: u64,
+    /// Total bytes returned.
+    pub bytes: u64,
+    /// Placement split `(node, bytes)` that was freed.
+    pub placement: Vec<(NodeId, u64)>,
+    /// What triggered the reclaim (`"expired"`, `"revoked"`).
+    pub reason: String,
+}
+
 /// A telemetry event.
 #[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
@@ -315,7 +382,39 @@ pub enum Event {
     QuotaClamp(QuotaClamp),
     /// Contention-induced slowdown charged to a tenant.
     ContentionStall(ContentionStall),
+    /// A lease aged out without renewal (multi-tenant service).
+    LeaseExpired(LeaseExpired),
+    /// A lease was revoked (disconnect, operator, fault).
+    LeaseRevoked(LeaseRevoked),
+    /// A tier entered or left the degraded state.
+    TierDegraded(TierDegraded),
+    /// A client gave up after its retry budget.
+    RetryExhausted(RetryExhausted),
+    /// Capacity reclaimed from an expired or revoked lease.
+    Reclaim(Reclaim),
 }
+
+/// The `event` field value of every [`Event`] variant, in declaration
+/// order. `docs/PROTOCOL.md` coverage tests enumerate this list so the
+/// spec cannot silently fall behind the enum.
+pub const EVENT_KINDS: &[&str] = &[
+    "alloc_decision",
+    "attr_fallback",
+    "migration",
+    "free",
+    "phase_span",
+    "occupancy",
+    "tiering_action",
+    "guidance_decision",
+    "tenant_admit",
+    "quota_clamp",
+    "contention_stall",
+    "lease_expired",
+    "lease_revoked",
+    "tier_degraded",
+    "retry_exhausted",
+    "reclaim",
+];
 
 /// Human-readable name for the well-known attribute ids of
 /// `hetmem-core` (custom attributes render as `attr#N`).
@@ -358,6 +457,40 @@ fn placement_from_json(v: &JsonValue) -> Result<Vec<(NodeId, u64)>, ParseError> 
 }
 
 impl Event {
+    /// The `event` field value this variant encodes to — one of
+    /// [`EVENT_KINDS`].
+    ///
+    /// ```
+    /// use hetmem_telemetry::{Event, LeaseExpired, EVENT_KINDS};
+    /// let e = Event::LeaseExpired(LeaseExpired {
+    ///     tenant: "graph500".into(),
+    ///     lease: 7,
+    ///     ttl_epochs: 5,
+    /// });
+    /// assert_eq!(e.kind(), "lease_expired");
+    /// assert!(EVENT_KINDS.contains(&e.kind()));
+    /// ```
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::AllocDecision(_) => "alloc_decision",
+            Event::AttrFallback(_) => "attr_fallback",
+            Event::Migration(_) => "migration",
+            Event::Free(_) => "free",
+            Event::PhaseSpan(_) => "phase_span",
+            Event::OccupancyGauge(_) => "occupancy",
+            Event::TieringAction(_) => "tiering_action",
+            Event::GuidanceDecision(_) => "guidance_decision",
+            Event::TenantAdmit(_) => "tenant_admit",
+            Event::QuotaClamp(_) => "quota_clamp",
+            Event::ContentionStall(_) => "contention_stall",
+            Event::LeaseExpired(_) => "lease_expired",
+            Event::LeaseRevoked(_) => "lease_revoked",
+            Event::TierDegraded(_) => "tier_degraded",
+            Event::RetryExhausted(_) => "retry_exhausted",
+            Event::Reclaim(_) => "reclaim",
+        }
+    }
+
     /// Encodes the event as a single-line JSON object.
     pub fn to_json(&self) -> String {
         let obj = match self {
@@ -495,6 +628,38 @@ impl Event {
                 ("node", JsonValue::num(c.node.0 as f64)),
                 ("stall_ns", JsonValue::num(c.stall_ns)),
                 ("sharers", JsonValue::num(c.sharers as f64)),
+            ],
+            Event::LeaseExpired(l) => vec![
+                ("event", JsonValue::str("lease_expired")),
+                ("tenant", JsonValue::str(&l.tenant)),
+                ("lease", JsonValue::num(l.lease as f64)),
+                ("ttl_epochs", JsonValue::num(l.ttl_epochs as f64)),
+            ],
+            Event::LeaseRevoked(l) => vec![
+                ("event", JsonValue::str("lease_revoked")),
+                ("tenant", JsonValue::str(&l.tenant)),
+                ("lease", JsonValue::num(l.lease as f64)),
+                ("reason", JsonValue::str(&l.reason)),
+            ],
+            Event::TierDegraded(t) => vec![
+                ("event", JsonValue::str("tier_degraded")),
+                ("kind", JsonValue::str(&t.kind)),
+                ("degraded", JsonValue::str(if t.degraded { "yes" } else { "no" })),
+            ],
+            Event::RetryExhausted(r) => vec![
+                ("event", JsonValue::str("retry_exhausted")),
+                ("tenant", JsonValue::str(&r.tenant)),
+                ("op", JsonValue::str(&r.op)),
+                ("attempts", JsonValue::num(r.attempts as f64)),
+                ("last_error", JsonValue::str(&r.last_error)),
+            ],
+            Event::Reclaim(r) => vec![
+                ("event", JsonValue::str("reclaim")),
+                ("tenant", JsonValue::str(&r.tenant)),
+                ("lease", JsonValue::num(r.lease as f64)),
+                ("bytes", JsonValue::num(r.bytes as f64)),
+                ("placement", placement_json(&r.placement)),
+                ("reason", JsonValue::str(&r.reason)),
             ],
         };
         JsonValue::Object(obj.into_iter().map(|(k, v)| (k.to_string(), v)).collect()).render()
@@ -634,6 +799,37 @@ impl Event {
                 stall_ns: v.get("stall_ns")?.f64()?,
                 sharers: v.get("sharers")?.u64()?,
             })),
+            "lease_expired" => Ok(Event::LeaseExpired(LeaseExpired {
+                tenant: v.get("tenant")?.string()?,
+                lease: v.get("lease")?.u64()?,
+                ttl_epochs: v.get("ttl_epochs")?.u64()?,
+            })),
+            "lease_revoked" => Ok(Event::LeaseRevoked(LeaseRevoked {
+                tenant: v.get("tenant")?.string()?,
+                lease: v.get("lease")?.u64()?,
+                reason: v.get("reason")?.string()?,
+            })),
+            "tier_degraded" => Ok(Event::TierDegraded(TierDegraded {
+                kind: v.get("kind")?.string()?,
+                degraded: match v.get("degraded")?.string()?.as_str() {
+                    "yes" => true,
+                    "no" => false,
+                    other => return Err(ParseError::new(format!("bad degraded {other:?}"))),
+                },
+            })),
+            "retry_exhausted" => Ok(Event::RetryExhausted(RetryExhausted {
+                tenant: v.get("tenant")?.string()?,
+                op: v.get("op")?.string()?,
+                attempts: v.get("attempts")?.u64()?,
+                last_error: v.get("last_error")?.string()?,
+            })),
+            "reclaim" => Ok(Event::Reclaim(Reclaim {
+                tenant: v.get("tenant")?.string()?,
+                lease: v.get("lease")?.u64()?,
+                bytes: v.get("bytes")?.u64()?,
+                placement: placement_from_json(&v.get("placement")?)?,
+                reason: v.get("reason")?.string()?,
+            })),
             other => Err(ParseError::new(format!("unknown event kind {other:?}"))),
         }
     }
@@ -683,6 +879,41 @@ pub trait Recorder: Send + Sync {
 
     /// Records one event.
     fn record(&self, event: Event);
+
+    /// Pushes buffered events toward durable storage. In-memory
+    /// recorders have nothing to do; [`JsonlWriter`] flushes its
+    /// underlying writer. Failures are swallowed — a full disk must
+    /// not take the instrumented program down.
+    fn flush_events(&self) {}
+}
+
+/// Flushes a [`Recorder`] when dropped — including while a panic
+/// unwinds the owning thread — so the buffered tail of a trace
+/// survives a crash. The `hetmem-serve` dispatcher holds one of these
+/// for the lifetime of the request loop.
+///
+/// ```
+/// use hetmem_telemetry::{FlushGuard, NullRecorder, Recorder};
+/// use std::sync::Arc;
+/// let recorder: Arc<dyn Recorder> = Arc::new(NullRecorder);
+/// {
+///     let _guard = FlushGuard::new(recorder.clone());
+///     // ... record events; the guard flushes on scope exit or panic
+/// }
+/// ```
+pub struct FlushGuard(std::sync::Arc<dyn Recorder>);
+
+impl FlushGuard {
+    /// Guards `recorder`, flushing it when the guard drops.
+    pub fn new(recorder: std::sync::Arc<dyn Recorder>) -> FlushGuard {
+        FlushGuard(recorder)
+    }
+}
+
+impl Drop for FlushGuard {
+    fn drop(&mut self) {
+        self.0.flush_events();
+    }
 }
 
 /// Discards everything; `enabled()` is `false` so instrumented code
@@ -781,6 +1012,10 @@ impl Recorder for JsonlWriter {
         let mut out = self.out.lock().expect("writer poisoned");
         // A full disk mid-trace must not take the experiment down.
         let _ = writeln!(out, "{line}");
+    }
+
+    fn flush_events(&self) {
+        let _ = self.flush();
     }
 }
 
@@ -897,10 +1132,72 @@ mod tests {
                 stall_ns: 125_000.5,
                 sharers: 3,
             }),
+            Event::LeaseExpired(LeaseExpired { tenant: "stream".into(), lease: 12, ttl_epochs: 5 }),
+            Event::LeaseRevoked(LeaseRevoked {
+                tenant: "graph500".into(),
+                lease: 11,
+                reason: "disconnect".into(),
+            }),
+            Event::TierDegraded(TierDegraded { kind: "hbm".into(), degraded: true }),
+            Event::TierDegraded(TierDegraded { kind: "hbm".into(), degraded: false }),
+            Event::RetryExhausted(RetryExhausted {
+                tenant: "stream".into(),
+                op: "alloc".into(),
+                attempts: 4,
+                last_error: "allocation stalled; retry".into(),
+            }),
+            Event::Reclaim(Reclaim {
+                tenant: "graph500".into(),
+                lease: 11,
+                bytes: 3 << 30,
+                placement: vec![(NodeId(4), 1 << 30), (NodeId(0), 2 << 30)],
+                reason: "revoked".into(),
+            }),
         ];
         let text: String = events.iter().map(|e| e.to_json() + "\n").collect();
         let back = read_jsonl(&text).expect("roundtrip");
         assert_eq!(back, events);
+        // Every variant exercised above must carry a kind from the
+        // published list, and the encoded line must agree with kind().
+        for e in &events {
+            assert!(EVENT_KINDS.contains(&e.kind()), "{} missing from EVENT_KINDS", e.kind());
+            assert!(
+                e.to_json().contains(&format!("\"event\":\"{}\"", e.kind())),
+                "kind() disagrees with to_json() for {e:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn event_kinds_list_has_no_duplicates() {
+        let mut seen = std::collections::BTreeSet::new();
+        for kind in EVENT_KINDS {
+            assert!(seen.insert(*kind), "duplicate event kind {kind:?}");
+        }
+        assert_eq!(EVENT_KINDS.len(), 16);
+    }
+
+    #[test]
+    fn flush_guard_flushes_on_drop() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        #[derive(Default)]
+        struct CountingFlush(AtomicUsize);
+        impl Recorder for CountingFlush {
+            fn record(&self, _event: Event) {}
+            fn flush_events(&self) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let recorder = std::sync::Arc::new(CountingFlush::default());
+        drop(FlushGuard::new(recorder.clone()));
+        assert_eq!(recorder.0.load(Ordering::SeqCst), 1);
+        // The guard also runs while a panic unwinds its owning scope.
+        let recorder2 = recorder.clone();
+        let _ = std::panic::catch_unwind(move || {
+            let _guard = FlushGuard::new(recorder2);
+            panic!("boom");
+        });
+        assert_eq!(recorder.0.load(Ordering::SeqCst), 2);
     }
 
     #[test]
