@@ -59,8 +59,11 @@ pub mod planner;
 pub mod tiering;
 
 use hetmem_bitmap::Bitmap;
-use hetmem_core::{attr, AttrError, AttrId, HetMemError, MemAttrs, TargetValue};
+use hetmem_core::{attr, AttrError, AttrId, HetMemError, MemAttrs};
 use hetmem_memsim::{AllocError, AllocPolicy, MemoryManager, MigrationReport, RegionId};
+use hetmem_placement::{
+    normalize_initiator, PlacementEngine, PlacementError, PlanRequest, Unconstrained,
+};
 use hetmem_telemetry as telemetry;
 use hetmem_telemetry::Recorder;
 use hetmem_topology::NodeId;
@@ -84,7 +87,8 @@ pub enum Fallback {
 }
 
 impl Fallback {
-    fn as_telemetry(self) -> telemetry::FallbackMode {
+    /// The telemetry (and placement-engine) encoding of this mode.
+    pub fn as_telemetry(self) -> telemetry::FallbackMode {
         match self {
             Fallback::Strict => telemetry::FallbackMode::Strict,
             Fallback::NextTarget => telemetry::FallbackMode::NextTarget,
@@ -104,6 +108,9 @@ pub enum HetAllocError {
     Os(AllocError),
     /// Attribute registry error.
     Attr(AttrError),
+    /// The request's initiator cpuset is empty after intersection with
+    /// the machine cpuset: no CPU could perform the accesses.
+    EmptyInitiator,
 }
 
 impl std::fmt::Display for HetAllocError {
@@ -112,6 +119,9 @@ impl std::fmt::Display for HetAllocError {
             HetAllocError::NoCandidates => write!(f, "no candidate target for criterion"),
             HetAllocError::Os(e) => write!(f, "allocation failed: {e}"),
             HetAllocError::Attr(e) => write!(f, "attribute error: {e}"),
+            HetAllocError::EmptyInitiator => {
+                write!(f, "initiator cpuset is empty after machine intersection")
+            }
         }
     }
 }
@@ -130,12 +140,23 @@ impl From<AttrError> for HetAllocError {
     }
 }
 
+impl From<PlacementError> for HetAllocError {
+    fn from(e: PlacementError) -> Self {
+        match e {
+            PlacementError::NoCandidates => HetAllocError::NoCandidates,
+            PlacementError::EmptyInitiator => HetAllocError::EmptyInitiator,
+            PlacementError::Attr(e) => HetAllocError::Attr(e),
+        }
+    }
+}
+
 impl From<HetAllocError> for HetMemError {
     fn from(e: HetAllocError) -> Self {
         match e {
             HetAllocError::NoCandidates => HetMemError::NoCandidates,
             HetAllocError::Os(e) => HetMemError::Os(e),
             HetAllocError::Attr(e) => HetMemError::Attr(e),
+            HetAllocError::EmptyInitiator => HetMemError::EmptyInitiator,
         }
     }
 }
@@ -241,10 +262,11 @@ impl AllocRequest {
     }
 }
 
-/// The heterogeneous allocator: attribute registry + OS memory
-/// manager.
+/// The heterogeneous allocator: a thin plan-then-commit adapter over
+/// the [`hetmem_placement`] engine (which decides) and the OS memory
+/// manager (which commits).
 pub struct HetAllocator {
-    attrs: Arc<MemAttrs>,
+    engine: PlacementEngine,
     mm: MemoryManager,
 }
 
@@ -253,12 +275,17 @@ impl HetAllocator {
     /// given attribute registry (from firmware discovery or
     /// benchmarking).
     pub fn new(attrs: Arc<MemAttrs>, mm: MemoryManager) -> Self {
-        HetAllocator { attrs, mm }
+        HetAllocator { engine: PlacementEngine::new(attrs), mm }
     }
 
     /// The attribute registry in use.
     pub fn attrs(&self) -> &Arc<MemAttrs> {
-        &self.attrs
+        self.engine.attrs()
+    }
+
+    /// The placement engine making this allocator's decisions.
+    pub fn engine(&self) -> &PlacementEngine {
+        &self.engine
     }
 
     /// The underlying memory manager (to run phases against).
@@ -277,53 +304,18 @@ impl HetAllocator {
         self.mm.set_recorder(recorder);
     }
 
-    /// Attribute fallback chain (§IV-B: "the allocator may also
-    /// fallback to other similar attributes, for instance Bandwidth
-    /// instead of Read Bandwidth"), ending at Capacity which is always
-    /// available.
-    fn similar_attrs(criterion: AttrId) -> Vec<AttrId> {
-        let mut chain = vec![criterion];
-        match criterion {
-            attr::READ_BANDWIDTH | attr::WRITE_BANDWIDTH => chain.push(attr::BANDWIDTH),
-            attr::READ_LATENCY | attr::WRITE_LATENCY => chain.push(attr::LATENCY),
-            _ => {}
-        }
-        if !chain.contains(&attr::CAPACITY) {
-            chain.push(attr::CAPACITY);
-        }
-        chain
-    }
-
-    /// Walks the attribute-fallback chain and returns the attribute
-    /// actually used plus its non-empty ranking.
-    fn ranked_candidates(
-        &self,
-        criterion: AttrId,
-        initiator: &Bitmap,
-        scope: Scope,
-    ) -> Result<(AttrId, Vec<TargetValue>), HetAllocError> {
-        for id in Self::similar_attrs(criterion) {
-            let ranked = match scope {
-                Scope::Local => self.attrs.rank_local_targets(id, initiator)?,
-                Scope::Any => self.attrs.rank_targets(id, initiator)?,
-            };
-            if !ranked.is_empty() {
-                return Ok((id, ranked));
-            }
-        }
-        Err(HetAllocError::NoCandidates)
-    }
-
     /// The ranked candidate targets for a criterion and initiator
-    /// under the given locality scope, after attribute fallback.
+    /// under the given locality scope, after attribute fallback — the
+    /// engine's ranking with this allocator's initiator normalization.
     pub fn candidates_scoped(
         &self,
         criterion: AttrId,
         initiator: &Bitmap,
         scope: Scope,
     ) -> Result<Vec<NodeId>, HetAllocError> {
-        let (_, ranked) = self.ranked_candidates(criterion, initiator, scope)?;
-        Ok(ranked.into_iter().map(|tv| tv.node).collect())
+        let cpus =
+            normalize_initiator(Some(initiator), self.mm.machine().topology().machine_cpuset())?;
+        Ok(self.engine.rank(criterion, &cpus, scope)?.nodes())
     }
 
     /// [`Self::candidates_scoped`] over the initiator's local targets
@@ -345,102 +337,79 @@ impl HetAllocator {
         self.candidates_scoped(criterion, initiator, Scope::Any)
     }
 
-    /// The single allocation entry point: places `req.size()` bytes on
-    /// the best target for the request's criterion, with attribute and
-    /// capacity fallback, emitting a telemetry `AllocDecision` that
-    /// explains the outcome.
+    /// The single allocation entry point: plans `req.size()` bytes via
+    /// the placement engine (attribute fallback, ranking, the
+    /// Strict/NextTarget/PartialSpill capacity walk) and commits the
+    /// plan through the memory manager, emitting a telemetry
+    /// `AllocDecision` that explains the outcome.
     pub fn alloc(&mut self, req: &AllocRequest) -> Result<RegionId, HetAllocError> {
-        let initiator = match &req.initiator {
-            Some(cpus) => cpus.clone(),
-            None => self.mm.machine().topology().machine_cpuset().clone(),
-        };
         let scope = req.scope();
         let recorder = self.mm.recorder().clone();
         let tracing = recorder.enabled();
 
-        let (used, ranked) = match self.ranked_candidates(req.criterion, &initiator, scope) {
-            Ok(ok) => ok,
+        let trace_failure = |e: &HetAllocError| {
+            if tracing {
+                recorder.record(telemetry::Event::AllocDecision(telemetry::AllocDecision {
+                    region: None,
+                    size: req.size,
+                    requested: req.criterion.0,
+                    used: req.criterion.0,
+                    scope,
+                    fallback: req.fallback.as_telemetry(),
+                    candidates: vec![],
+                    hops: vec![],
+                    placement: vec![],
+                    error: Some(e.to_string()),
+                }));
+            }
+        };
+
+        let initiator = match normalize_initiator(
+            req.initiator.as_ref(),
+            self.mm.machine().topology().machine_cpuset(),
+        ) {
+            Ok(cpus) => cpus,
             Err(e) => {
-                if tracing {
-                    recorder.record(telemetry::Event::AllocDecision(telemetry::AllocDecision {
-                        region: None,
-                        size: req.size,
-                        requested: req.criterion.0,
-                        used: req.criterion.0,
-                        scope,
-                        fallback: req.fallback.as_telemetry(),
-                        candidates: vec![],
-                        hops: vec![],
-                        placement: vec![],
-                        error: Some(e.to_string()),
-                    }));
-                }
+                let e = HetAllocError::from(e);
+                trace_failure(&e);
                 return Err(e);
             }
         };
-        if tracing && used != req.criterion {
+        let ranking = match self.engine.rank(req.criterion, &initiator, scope) {
+            Ok(r) => r,
+            Err(e) => {
+                let e = HetAllocError::from(e);
+                trace_failure(&e);
+                return Err(e);
+            }
+        };
+        if tracing && ranking.attr_fell_back() {
             recorder.record(telemetry::Event::AttrFallback(telemetry::AttrFallback {
-                requested: req.criterion.0,
-                used: used.0,
+                requested: ranking.requested().0,
+                used: ranking.used().0,
             }));
         }
-        let candidates: Vec<NodeId> = ranked.iter().map(|tv| tv.node).collect();
+        let candidates = ranking.nodes();
 
-        let mut hops: Vec<telemetry::Hop> = Vec::new();
-        let result: Result<RegionId, HetAllocError> = match req.fallback {
-            Fallback::Strict => {
-                self.mm.alloc(req.size, AllocPolicy::Bind(candidates[0])).map_err(|e| {
-                    hops.push(telemetry::Hop { node: candidates[0], reason: e.to_string() });
-                    HetAllocError::Os(e)
-                })
-            }
-            Fallback::NextTarget => {
-                let mut last_err = None;
-                let mut placed = None;
-                for &node in &candidates {
-                    match self.mm.alloc(req.size, AllocPolicy::Bind(node)) {
-                        Ok(id) => {
-                            placed = Some(id);
-                            break;
-                        }
-                        Err(e) => {
-                            hops.push(telemetry::Hop { node, reason: e.to_string() });
-                            last_err = Some(e);
-                        }
-                    }
-                }
-                placed.ok_or_else(|| {
-                    last_err.map(HetAllocError::Os).unwrap_or(HetAllocError::NoCandidates)
-                })
-            }
-            Fallback::PartialSpill => {
-                let r = self
-                    .mm
-                    .alloc(req.size, AllocPolicy::PreferredMany(candidates.clone()))
-                    .map_err(HetAllocError::Os);
-                if let Ok(id) = r {
-                    // Reconstruct the hops: every candidate before the
-                    // last node that took bytes either filled up
-                    // (partial contribution) or was already full
-                    // (skipped entirely).
-                    let placement = &self.mm.region(id).expect("just allocated").placement;
-                    if placement.len() > 1 || placement[0].0 != candidates[0] {
-                        let last = placement.last().expect("non-empty placement").0;
-                        for &node in &candidates {
-                            if node == last {
-                                break;
-                            }
-                            let reason = if placement.iter().any(|&(n, _)| n == node) {
-                                "filled to capacity; spilled remainder".to_string()
-                            } else {
-                                "full; skipped".to_string()
-                            };
-                            hops.push(telemetry::Hop { node, reason });
-                        }
-                    }
-                }
-                r
-            }
+        let plan = self.engine.plan(
+            &PlanRequest { size: req.size, mode: req.fallback.as_telemetry(), page_quantize: true },
+            &candidates,
+            |n| self.mm.available(n),
+            &mut Unconstrained,
+        );
+        let result: Result<RegionId, HetAllocError> = if plan.is_complete() {
+            // A zero-byte request plans no chunks; commit it as a bind
+            // to the best target, as the whole-buffer path always did.
+            let policy = if plan.chunks.is_empty() {
+                AllocPolicy::Bind(candidates[0])
+            } else {
+                AllocPolicy::Exact(plan.chunks.clone())
+            };
+            self.mm.alloc(req.size, policy).map_err(HetAllocError::Os)
+        } else {
+            Err(HetAllocError::Os(
+                plan.failure.as_ref().expect("incomplete plans carry a failure").to_alloc_error(),
+            ))
         };
 
         if tracing {
@@ -455,15 +424,16 @@ impl HetAllocator {
             recorder.record(telemetry::Event::AllocDecision(telemetry::AllocDecision {
                 region,
                 size: req.size,
-                requested: req.criterion.0,
-                used: used.0,
+                requested: ranking.requested().0,
+                used: ranking.used().0,
                 scope,
                 fallback: req.fallback.as_telemetry(),
-                candidates: ranked
+                candidates: ranking
+                    .targets()
                     .iter()
                     .map(|tv| telemetry::Candidate { node: tv.node, value: tv.value })
                     .collect(),
-                hops,
+                hops: plan.hops,
                 placement,
                 error,
             }));
@@ -757,6 +727,22 @@ mod tests {
             Event::AllocDecision(d)
                 if d.requested == attr::READ_BANDWIDTH.0 && d.used == attr::BANDWIDTH.0
         )));
+    }
+
+    #[test]
+    fn empty_initiator_is_a_typed_error() {
+        let mut knl = knl_allocator();
+        // Cpus 100-120 don't exist on the 64-CPU KNL: after machine
+        // intersection the initiator is empty, and the allocator must
+        // say so rather than return an empty ranking.
+        let alien: Bitmap = "100-120".parse().unwrap();
+        let err = knl.alloc(&req(GIB, attr::BANDWIDTH, &alien, Fallback::NextTarget)).unwrap_err();
+        assert_eq!(err, HetAllocError::EmptyInitiator);
+        let err = knl.candidates(attr::BANDWIDTH, &alien).unwrap_err();
+        assert_eq!(err, HetAllocError::EmptyInitiator);
+        let unified: HetMemError = err.into();
+        assert_eq!(unified, HetMemError::EmptyInitiator);
+        assert!(unified.to_string().contains("initiator cpuset is empty"));
     }
 
     #[test]

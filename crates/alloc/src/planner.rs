@@ -9,7 +9,10 @@
 //! [`plan`] takes a set of intended allocations with priorities and
 //! performs them either in program order (FCFS) or priority order,
 //! reporting where each buffer landed — the ablation the repo's
-//! benches run.
+//! benches run. Each allocation is expressed as an engine request:
+//! ranking and capacity fallback happen in
+//! `hetmem_placement::PlacementEngine` via the [`HetAllocator`]
+//! adapter, never here.
 
 use crate::{AllocRequest, Fallback, HetAllocError, HetAllocator};
 use hetmem_bitmap::Bitmap;

@@ -17,6 +17,12 @@
 //!   promoted when room exists;
 //! * **hysteresis** (a minimum number of observations between moves of
 //!   the same region) prevents ping-pong when two buffers alternate.
+//!
+//! The daemon holds no ranking logic of its own: target selection
+//! (`HetAllocator::candidates` / `migrate_to_best`) routes through the
+//! shared `hetmem_placement::PlacementEngine`, so promotions and
+//! demotions use the same attribute-fallback chain and locality rules
+//! as allocation and the service broker.
 
 use crate::{HetAllocError, HetAllocator};
 use hetmem_bitmap::Bitmap;

@@ -21,6 +21,9 @@ pub enum HetMemError {
     Os(AllocError),
     /// No memory target qualifies for the requested criterion.
     NoCandidates,
+    /// The request's initiator cpuset is empty after intersection with
+    /// the machine cpuset.
+    EmptyInitiator,
 }
 
 impl std::fmt::Display for HetMemError {
@@ -29,6 +32,9 @@ impl std::fmt::Display for HetMemError {
             HetMemError::Attr(e) => write!(f, "{e}"),
             HetMemError::Os(e) => write!(f, "{e}"),
             HetMemError::NoCandidates => write!(f, "no candidate target for criterion"),
+            HetMemError::EmptyInitiator => {
+                write!(f, "initiator cpuset is empty after machine intersection")
+            }
         }
     }
 }
@@ -38,7 +44,7 @@ impl std::error::Error for HetMemError {
         match self {
             HetMemError::Attr(e) => Some(e),
             HetMemError::Os(e) => Some(e),
-            HetMemError::NoCandidates => None,
+            HetMemError::NoCandidates | HetMemError::EmptyInitiator => None,
         }
     }
 }

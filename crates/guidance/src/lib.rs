@@ -39,6 +39,7 @@ pub use sampler::{AccessSample, SampleBatch, Sampler, SamplerConfig};
 use hetmem_bitmap::Bitmap;
 use hetmem_core::{attr, AttrId, MemAttrs};
 use hetmem_memsim::{AccessEngine, MemoryManager, Phase, PhaseReport, RegionId, LINE};
+use hetmem_placement::{PlacementEngine, Scope};
 use hetmem_telemetry::{Event, NullRecorder, Recorder};
 use hetmem_topology::NodeId;
 use std::collections::BTreeMap;
@@ -155,9 +156,12 @@ impl GuidanceStats {
     }
 }
 
-/// The online guidance engine.
+/// The online guidance engine. Target selection is delegated to the
+/// shared [`hetmem_placement::PlacementEngine`], so guidance ranks
+/// memories exactly the way the allocator and the service broker do
+/// (same attribute-fallback chain, same locality scoping).
 pub struct GuidanceEngine {
-    attrs: Arc<MemAttrs>,
+    placer: PlacementEngine,
     policy: GuidancePolicy,
     sampler: Sampler,
     hotness: HotnessMap,
@@ -177,7 +181,7 @@ impl GuidanceEngine {
     /// Creates an engine over the machine's attributes.
     pub fn new(attrs: Arc<MemAttrs>, policy: GuidancePolicy, sampler: SamplerConfig) -> Self {
         GuidanceEngine {
-            attrs,
+            placer: PlacementEngine::new(attrs),
             hotness: HotnessMap::new(policy.window_bytes),
             policy,
             sampler: Sampler::new(sampler),
@@ -280,16 +284,16 @@ impl GuidanceEngine {
         self.accuracy.push(acc);
         self.stats.accuracy_sum += acc;
 
-        let Ok(ranked) = self.attrs.rank_local_targets(self.policy.criterion, initiator) else {
+        let Ok(ranking) = self.placer.rank(self.policy.criterion, initiator, Scope::Local) else {
             return;
         };
-        let Some(hot_target) = ranked.first().map(|tv| tv.node) else {
+        let Some(hot_target) = ranking.nodes().first().copied() else {
             return;
         };
         let capacity_order: Vec<NodeId> = self
-            .attrs
-            .rank_local_targets(attr::CAPACITY, initiator)
-            .map(|r| r.into_iter().map(|tv| tv.node).collect())
+            .placer
+            .rank(attr::CAPACITY, initiator, Scope::Local)
+            .map(|r| r.nodes())
             .unwrap_or_default();
 
         // Demotions first: free the hot target before filling it.

@@ -23,13 +23,16 @@
 use crate::board::TrafficBoard;
 use crate::tenant::{TenantId, TenantSpec, TenantState, TenantStats};
 use crate::ServiceError;
-use hetmem_alloc::{AllocRequest, Fallback, Scope};
-use hetmem_bitmap::Bitmap;
-use hetmem_core::{attr, AttrId, MemAttrs};
+use hetmem_alloc::AllocRequest;
+use hetmem_core::{attr, MemAttrs};
 use hetmem_memsim::{AccessEngine, AllocPolicy, Machine, MemoryManager, Phase, PhaseReport};
+use hetmem_placement::{
+    normalize_initiator, PlacementEngine, PlacementError, PlanRequest, ShareMode, TierPolicy,
+    TierSnapshot,
+};
 use hetmem_telemetry::{
-    ContentionStall, Event, LeaseExpired, LeaseRevoked, NullRecorder, QuotaClamp, Reclaim,
-    Recorder, TenantAdmit, TierDegraded,
+    AttrFallback, ContentionStall, Event, LeaseExpired, LeaseRevoked, NullRecorder, QuotaClamp,
+    Reclaim, Recorder, TenantAdmit, TierDegraded,
 };
 use hetmem_topology::{MemoryKind, NodeId};
 use std::collections::{BTreeMap, BTreeSet};
@@ -55,6 +58,15 @@ pub enum ArbitrationPolicy {
 }
 
 impl ArbitrationPolicy {
+    /// The placement-engine encoding of this policy.
+    pub fn as_share_mode(self) -> ShareMode {
+        match self {
+            ArbitrationPolicy::FairShare => ShareMode::FairShare,
+            ArbitrationPolicy::Fcfs => ShareMode::Fcfs,
+            ArbitrationPolicy::StaticPartition => ShareMode::StaticPartition,
+        }
+    }
+
     /// Stable lowercase name (CLI and report spelling).
     pub fn as_str(self) -> &'static str {
         match self {
@@ -73,6 +85,15 @@ impl ArbitrationPolicy {
             "static" | "static-partition" => Some(ArbitrationPolicy::StaticPartition),
             _ => None,
         }
+    }
+}
+
+/// Maps a placement-engine ranking failure onto the wire error model.
+fn ranking_error(e: PlacementError) -> ServiceError {
+    match e {
+        PlacementError::NoCandidates => ServiceError::Ranking("no candidate targets".into()),
+        PlacementError::EmptyInitiator => ServiceError::EmptyInitiator,
+        PlacementError::Attr(err) => ServiceError::Ranking(err.to_string()),
     }
 }
 
@@ -201,7 +222,7 @@ pub const MAX_CONTENTION_SLOWDOWN: f64 = 3.0;
 /// The multi-tenant allocation broker.
 pub struct Broker {
     machine: Arc<Machine>,
-    attrs: Arc<MemAttrs>,
+    placer: PlacementEngine,
     policy: ArbitrationPolicy,
     recorder: Arc<dyn Recorder>,
     engine: AccessEngine,
@@ -261,7 +282,7 @@ impl Broker {
         Broker {
             engine: AccessEngine::new(machine.clone()),
             machine,
-            attrs,
+            placer: PlacementEngine::new(attrs),
             policy,
             recorder: Arc::new(NullRecorder),
             mm: Mutex::new(mm),
@@ -353,36 +374,6 @@ impl Broker {
             .map(|(&id, _)| id)
     }
 
-    /// Walks the paper's attribute-fallback chain and returns the
-    /// non-empty ranking (node order, best first).
-    fn ranked(
-        &self,
-        criterion: AttrId,
-        initiator: &Bitmap,
-        scope: Scope,
-    ) -> Result<Vec<NodeId>, ServiceError> {
-        let mut chain = vec![criterion];
-        match criterion {
-            attr::READ_BANDWIDTH | attr::WRITE_BANDWIDTH => chain.push(attr::BANDWIDTH),
-            attr::READ_LATENCY | attr::WRITE_LATENCY => chain.push(attr::LATENCY),
-            _ => {}
-        }
-        if !chain.contains(&attr::CAPACITY) {
-            chain.push(attr::CAPACITY);
-        }
-        for id in chain {
-            let ranked = match scope {
-                Scope::Local => self.attrs.rank_local_targets(id, initiator),
-                Scope::Any => self.attrs.rank_targets(id, initiator),
-            }
-            .map_err(|e| ServiceError::Ranking(e.to_string()))?;
-            if !ranked.is_empty() {
-                return Ok(ranked.into_iter().map(|tv| tv.node).collect());
-            }
-        }
-        Err(ServiceError::Ranking("no candidate targets".into()))
-    }
-
     /// The guaranteed floor of tenant `id` on tier `kind`:
     /// its explicit reservation plus its weight-proportional share of
     /// the unreserved capacity.
@@ -443,26 +434,30 @@ impl Broker {
             tenants.clone()
         };
         let ttl = ttl.or(registry[&tenant].lease_ttl);
-        let mut initiator = match req.get_initiator() {
-            Some(cpus) => cpus.clone(),
-            None => self.machine.topology().machine_cpuset().clone(),
-        };
-        initiator.and_assign(self.machine.topology().machine_cpuset());
-        let ranked = self.ranked(req.get_criterion(), &initiator, req.scope())?;
+        let initiator =
+            normalize_initiator(req.get_initiator(), self.machine.topology().machine_cpuset())
+                .map_err(ranking_error)?;
+        let mut ranking = self
+            .placer
+            .rank(req.get_criterion(), &initiator, req.scope())
+            .map_err(ranking_error)?;
+        if self.recorder.enabled() && ranking.attr_fell_back() {
+            self.recorder.record(Event::AttrFallback(AttrFallback {
+                requested: ranking.requested().0,
+                used: ranking.used().0,
+            }));
+        }
         // Graceful degradation: nodes on degraded tiers drop to
         // last-resort rank (stable within each group), so requests
         // fall back to healthy tiers instead of hard-failing, yet a
         // fully-degraded machine still serves from what it has.
-        let ranked: Vec<NodeId> = {
+        {
             let degraded = self.degraded.lock().expect("degraded poisoned");
-            if degraded.is_empty() {
-                ranked
-            } else {
-                let (healthy, last): (Vec<NodeId>, Vec<NodeId>) =
-                    ranked.into_iter().partition(|n| !degraded.contains(&self.node_kind[n]));
-                healthy.into_iter().chain(last).collect()
+            if !degraded.is_empty() {
+                ranking.demote_last_resort(|n| degraded.contains(&self.node_kind[&n]));
             }
-        };
+        }
+        let ranked = ranking.nodes();
         let size = req.size();
 
         // Lock the stripes of every node sharing a tier with a
@@ -496,81 +491,54 @@ impl Broker {
                 .sum::<u64>()
         };
 
-        // Plan: walk the ranking, ask the policy how much is
-        // admissible on each node, honor the fallback mode.
-        let mut plan: Vec<(NodeId, u64)> = Vec::new();
-        let mut planned_tier: BTreeMap<MemoryKind, u64> = BTreeMap::new();
-        let mut clamps: Vec<QuotaClamp> = Vec::new();
-        let mut remaining = size;
-        let tenant_name = registry[&tenant].name.clone();
-        for &node in &ranked {
-            if remaining == 0 {
-                break;
-            }
-            let kind = self.node_kind[&node];
-            let node_free = guards[&node].free;
-            let already = planned_tier.get(&kind).copied().unwrap_or(0);
-            let used_mine = tier_used_by(&guards, kind, tenant) + already;
-            let free_t = tier_free(&guards, kind).saturating_sub(already);
-            let quota_head = registry[&tenant]
-                .quota
-                .get(&kind)
-                .map(|&q| q.saturating_sub(used_mine))
-                .unwrap_or(u64::MAX);
-            let policy_allowed = match self.policy {
-                ArbitrationPolicy::Fcfs => u64::MAX,
-                ArbitrationPolicy::StaticPartition => {
-                    self.guarantee(&registry, tenant, kind).saturating_sub(used_mine)
-                }
-                ArbitrationPolicy::FairShare => {
-                    let my_head = self.guarantee(&registry, tenant, kind).saturating_sub(used_mine);
-                    let others_shortfall: u64 = registry
-                        .keys()
-                        .filter(|&&id| id != tenant)
-                        .map(|&id| {
-                            self.guarantee(&registry, id, kind)
-                                .saturating_sub(tier_used_by(&guards, kind, id))
-                        })
-                        .sum();
-                    let borrowable =
-                        free_t.saturating_sub(others_shortfall).saturating_sub(my_head);
-                    my_head.saturating_add(borrowable)
-                }
-            };
-            let policy_allowed = policy_allowed.min(quota_head);
-            let capacity_allowed = node_free.min(remaining);
-            if policy_allowed < capacity_allowed {
-                clamps.push(QuotaClamp {
-                    tenant: tenant_name.clone(),
-                    node,
-                    requested: remaining,
-                    allowed: policy_allowed,
-                });
-            }
-            let take = capacity_allowed.min(policy_allowed);
-            match req.get_fallback() {
-                Fallback::Strict => {
-                    if take >= remaining {
-                        plan.push((node, remaining));
-                        remaining = 0;
-                    }
-                    break;
-                }
-                Fallback::NextTarget => {
-                    if take >= remaining {
-                        plan.push((node, remaining));
-                        remaining = 0;
-                    }
-                }
-                Fallback::PartialSpill => {
-                    if take > 0 {
-                        plan.push((node, take));
-                        *planned_tier.entry(kind).or_insert(0) += take;
-                        remaining -= take;
-                    }
-                }
-            }
+        // Snapshot each candidate tier under the locks; the admission
+        // arithmetic itself (quota clamp, fair-share / static test)
+        // lives in the placement engine's `TierPolicy`.
+        let mut snapshots: BTreeMap<MemoryKind, TierSnapshot> = BTreeMap::new();
+        for &kind in &tiers {
+            let others_shortfall: u64 = registry
+                .keys()
+                .filter(|&&id| id != tenant)
+                .map(|&id| {
+                    self.guarantee(&registry, id, kind)
+                        .saturating_sub(tier_used_by(&guards, kind, id))
+                })
+                .sum();
+            snapshots.insert(
+                kind,
+                TierSnapshot {
+                    free: tier_free(&guards, kind),
+                    used_by_requester: tier_used_by(&guards, kind, tenant),
+                    guarantee: self.guarantee(&registry, tenant, kind),
+                    others_shortfall,
+                    quota: registry[&tenant].quota.get(&kind).copied(),
+                },
+            );
         }
+        let mut admission =
+            TierPolicy::new(self.policy.as_share_mode(), self.node_kind.clone(), snapshots);
+
+        // Plan: the engine walks the ranking, asks the policy how much
+        // is admissible on each node, and honors the fallback mode.
+        // Ledger bytes are exact (the commit path rounds), so no page
+        // quantization here.
+        let plan = self.placer.plan(
+            &PlanRequest { size, mode: req.get_fallback().as_telemetry(), page_quantize: false },
+            &ranked,
+            |n| guards[&n].free,
+            &mut admission,
+        );
+        let tenant_name = registry[&tenant].name.clone();
+        let clamps: Vec<QuotaClamp> = plan
+            .clamps
+            .iter()
+            .map(|c| QuotaClamp {
+                tenant: tenant_name.clone(),
+                node: c.node,
+                requested: c.requested,
+                allowed: c.allowed,
+            })
+            .collect();
 
         let emit_clamps = |broker: &Broker, clamps: &[QuotaClamp]| {
             if broker.recorder.enabled() {
@@ -579,13 +547,16 @@ impl Broker {
                 }
             }
         };
-        if remaining > 0 {
+        if !plan.is_complete() {
             emit_clamps(self, &clamps);
             let mut tenants = self.tenants.lock().expect("tenants poisoned");
             if let Some(t) = tenants.get_mut(&tenant) {
                 t.clamps += clamps.len() as u64;
             }
-            return Err(ServiceError::Admission { requested: size, granted: size - remaining });
+            return Err(ServiceError::Admission {
+                requested: size,
+                granted: size - plan.shortfall,
+            });
         }
 
         // Commit under the stripe locks; `Exact` cannot spill past
@@ -593,7 +564,7 @@ impl Broker {
         let (region, placement) = {
             let mut mm = self.mm.lock().expect("mm poisoned");
             let region = mm
-                .alloc(size, AllocPolicy::Exact(plan.clone()))
+                .alloc(size, AllocPolicy::Exact(plan.chunks.clone()))
                 .map_err(|e| ServiceError::Commit(e.to_string()))?;
             let placement = mm.region(region).expect("fresh region").placement.clone();
             // Settle the ledgers to the manager's ground truth (page
@@ -1049,6 +1020,7 @@ impl std::fmt::Debug for Broker {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hetmem_alloc::Fallback;
     use hetmem_core::discovery;
     use hetmem_topology::GIB;
 
@@ -1326,6 +1298,48 @@ mod tests {
         assert_eq!(kinds.iter().filter(|k| **k == "lease_expired").count(), 1);
         assert_eq!(kinds.iter().filter(|k| **k == "lease_revoked").count(), 1);
         assert_eq!(kinds.iter().filter(|k| **k == "reclaim").count(), 2);
+    }
+
+    #[test]
+    fn attr_fallback_emits_event_through_the_broker() {
+        // Firmware discovery has no ReadBandwidth values; the engine
+        // serves the request via Bandwidth and the broker must say so
+        // — the single-tenant allocator always did, the broker's old
+        // hand-copied ranking never did.
+        let machine = Arc::new(Machine::knl_snc4_flat());
+        let attrs = Arc::new(discovery::from_firmware(&machine, true).expect("attrs"));
+        let mut broker = Broker::new(machine, attrs, ArbitrationPolicy::FairShare);
+        let ring = Arc::new(hetmem_telemetry::RingRecorder::new(256));
+        broker.set_recorder(ring.clone());
+        let t = broker.register(TenantSpec::new("t")).expect("register");
+        let req =
+            AllocRequest::new(GIB).criterion(attr::READ_BANDWIDTH).fallback(Fallback::PartialSpill);
+        let lease = broker.acquire(t, &req).expect("admitted");
+        assert!(ring.events().iter().any(|e| matches!(
+            e,
+            Event::AttrFallback(a)
+                if a.requested == attr::READ_BANDWIDTH.0 && a.used == attr::BANDWIDTH.0
+        )));
+        broker.release(lease).expect("release");
+        // A direct Bandwidth request does not fall back.
+        let lease = broker.acquire(t, &bw_request(GIB)).expect("admitted");
+        let fallbacks =
+            ring.events().iter().filter(|e| matches!(e, Event::AttrFallback(_))).count();
+        assert_eq!(fallbacks, 1);
+        broker.release(lease).expect("release");
+    }
+
+    #[test]
+    fn empty_initiator_is_a_typed_error() {
+        let broker = knl_broker(ArbitrationPolicy::FairShare);
+        let t = broker.register(TenantSpec::new("t")).expect("register");
+        // Cpus 100-120 don't exist on the 64-CPU KNL.
+        let alien: hetmem_bitmap::Bitmap = "100-120".parse().expect("cpuset");
+        let req = bw_request(GIB).initiator(&alien);
+        let err = broker.acquire(t, &req).expect_err("empty initiator");
+        assert_eq!(err, ServiceError::EmptyInitiator);
+        assert_eq!(err.code(), "empty_initiator");
+        assert!(!err.is_transient());
     }
 
     #[test]

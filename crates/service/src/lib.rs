@@ -90,6 +90,9 @@ pub enum ServiceError {
     Stalled,
     /// The per-request deadline elapsed before a response arrived.
     DeadlineExceeded(String),
+    /// The request's initiator cpuset is empty after intersection with
+    /// the machine cpuset — no CPU could perform the accesses.
+    EmptyInitiator,
 }
 
 /// Stable wire codes for every [`ServiceError`] variant, in
@@ -108,6 +111,7 @@ pub const ERROR_CODES: &[&str] = &[
     "lease_expired",
     "stalled",
     "deadline",
+    "empty_initiator",
 ];
 
 impl ServiceError {
@@ -133,6 +137,7 @@ impl ServiceError {
             ServiceError::LeaseExpired(_) => "lease_expired",
             ServiceError::Stalled => "stalled",
             ServiceError::DeadlineExceeded(_) => "deadline",
+            ServiceError::EmptyInitiator => "empty_initiator",
         }
     }
 
@@ -177,6 +182,9 @@ impl std::fmt::Display for ServiceError {
             }
             ServiceError::DeadlineExceeded(what) => {
                 write!(f, "deadline exceeded waiting for {what}")
+            }
+            ServiceError::EmptyInitiator => {
+                write!(f, "initiator cpuset is empty after machine intersection")
             }
         }
     }

@@ -13,6 +13,10 @@
 //! * [`core`] — the memory-attributes API (the contribution);
 //! * [`membench`] — STREAM/lmbench/multichase-style benchmarks that
 //!   feed measured attribute values;
+//! * [`placement`] — the unified placement engine: attribute-fallback
+//!   ranking, admission policies, and the Strict/NextTarget/
+//!   PartialSpill planning walk shared by the allocator, tiering,
+//!   guidance, and the service broker;
 //! * [`alloc`] — the heterogeneous allocator `mem_alloc(.., attribute)`
 //!   plus the baselines it is compared against;
 //! * [`guidance`] — online access sampling (PEBS-style) feeding an
@@ -37,6 +41,7 @@ pub use hetmem_guidance as guidance;
 pub use hetmem_hmat as hmat;
 pub use hetmem_membench as membench;
 pub use hetmem_memsim as memsim;
+pub use hetmem_placement as placement;
 pub use hetmem_profile as profile;
 pub use hetmem_scenario as scenario;
 pub use hetmem_service as service;
@@ -46,3 +51,6 @@ pub use hetmem_topology as topology;
 pub use hetmem_bitmap::Bitmap;
 pub use hetmem_core::{attr, AttrFlags, AttrId, LocalityFlags, MemAttrs, NodeId};
 pub use hetmem_memsim::Machine;
+pub use hetmem_placement::{
+    AdmissionPolicy, FallbackChain, PlacementEngine, PlacementPlan, RankedCandidates,
+};
