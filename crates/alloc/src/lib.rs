@@ -40,8 +40,9 @@
 //!   (Latency), never a *technology* (HBM). The same call returns DRAM
 //!   on a DRAM+NVDIMM Xeon and can return either memory on KNL.
 //!
-//! Every decision is observable: when the memory manager carries a
-//! `hetmem_telemetry::Recorder` (see [`HetAllocator::set_recorder`]),
+//! Every decision is observable: when the memory manager carries an
+//! enabled `hetmem_telemetry::TelemetrySink` (see
+//! [`HetAllocator::set_sink`]),
 //! each allocation emits an `AllocDecision` event with the ranked
 //! candidates, every fallback hop and the final placement split, and
 //! attribute substitutions emit `AttrFallback` events.
@@ -65,7 +66,7 @@ use hetmem_placement::{
     normalize_initiator, PlacementEngine, PlacementError, PlanRequest, Unconstrained,
 };
 use hetmem_telemetry as telemetry;
-use hetmem_telemetry::Recorder;
+use hetmem_telemetry::TelemetrySink;
 use hetmem_topology::NodeId;
 use std::sync::Arc;
 
@@ -299,9 +300,9 @@ impl HetAllocator {
     }
 
     /// Routes allocation decisions (and the memory manager's capacity
-    /// events) into `recorder`.
-    pub fn set_recorder(&mut self, recorder: Arc<dyn Recorder>) {
-        self.mm.set_recorder(recorder);
+    /// events) into `sink`.
+    pub fn set_sink(&mut self, sink: TelemetrySink) {
+        self.mm.set_sink(sink);
     }
 
     /// The ranked candidate targets for a criterion and initiator
@@ -344,12 +345,12 @@ impl HetAllocator {
     /// `AllocDecision` that explains the outcome.
     pub fn alloc(&mut self, req: &AllocRequest) -> Result<RegionId, HetAllocError> {
         let scope = req.scope();
-        let recorder = self.mm.recorder().clone();
-        let tracing = recorder.enabled();
+        let sink = self.mm.sink().clone();
+        let tracing = sink.enabled();
 
         let trace_failure = |e: &HetAllocError| {
             if tracing {
-                recorder.record(telemetry::Event::AllocDecision(telemetry::AllocDecision {
+                sink.emit(telemetry::Event::AllocDecision(telemetry::AllocDecision {
                     region: None,
                     size: req.size,
                     requested: req.criterion.0,
@@ -384,7 +385,7 @@ impl HetAllocator {
             }
         };
         if tracing && ranking.attr_fell_back() {
-            recorder.record(telemetry::Event::AttrFallback(telemetry::AttrFallback {
+            sink.emit(telemetry::Event::AttrFallback(telemetry::AttrFallback {
                 requested: ranking.requested().0,
                 used: ranking.used().0,
             }));
@@ -421,7 +422,7 @@ impl HetAllocator {
                 ),
                 Err(e) => (None, vec![], Some(e.to_string())),
             };
-            recorder.record(telemetry::Event::AllocDecision(telemetry::AllocDecision {
+            sink.emit(telemetry::Event::AllocDecision(telemetry::AllocDecision {
                 region,
                 size: req.size,
                 requested: ranking.requested().0,
@@ -478,7 +479,7 @@ impl HetAllocator {
 mod tests {
     use super::*;
     use hetmem_core::discovery;
-    use hetmem_telemetry::{Event, RingRecorder};
+    use hetmem_telemetry::Event;
     use hetmem_topology::{MemoryKind, GIB};
 
     fn knl_allocator() -> HetAllocator {
@@ -682,16 +683,17 @@ mod tests {
     fn alloc_decision_records_hops_and_split() {
         let c0: Bitmap = "0-15".parse().unwrap();
         let mut knl = knl_allocator();
-        let ring = Arc::new(RingRecorder::new(128));
-        knl.set_recorder(ring.clone());
+        let sink = TelemetrySink::new();
+        knl.set_sink(sink.clone());
         let hbm_avail = knl.memory().available(NodeId(4));
         let id = knl
             .alloc(&req(hbm_avail + 2 * GIB, attr::BANDWIDTH, &c0, Fallback::PartialSpill))
             .unwrap();
-        let decisions: Vec<_> = ring
-            .events()
+        let decisions: Vec<_> = sink
+            .collector()
+            .drain_sorted()
             .into_iter()
-            .filter_map(|e| match e {
+            .filter_map(|e| match e.event {
                 Event::AllocDecision(d) => Some(d),
                 _ => None,
             })
@@ -713,10 +715,11 @@ mod tests {
     fn attr_fallback_emits_event() {
         let c0: Bitmap = "0-15".parse().unwrap();
         let mut knl = knl_allocator();
-        let ring = Arc::new(RingRecorder::new(128));
-        knl.set_recorder(ring.clone());
+        let sink = TelemetrySink::new();
+        knl.set_sink(sink.clone());
         knl.alloc(&req(GIB, attr::READ_BANDWIDTH, &c0, Fallback::NextTarget)).unwrap();
-        let events = ring.events();
+        let events: Vec<Event> =
+            sink.collector().drain_sorted().into_iter().map(|e| e.event).collect();
         assert!(events.iter().any(|e| matches!(
             e,
             Event::AttrFallback(a)

@@ -169,7 +169,7 @@ impl TieringDaemon {
         hot_criterion: AttrId,
     ) -> Result<Vec<TieringAction>, HetAllocError> {
         let mut actions = Vec::new();
-        let recorder = allocator.memory().recorder().clone();
+        let sink = allocator.memory().sink().clone();
         let hot_target = allocator
             .candidates(hot_criterion, initiator)?
             .first()
@@ -189,8 +189,8 @@ impl TieringDaemon {
                     allocator.migrate_to_best(region, attr::CAPACITY, initiator)
                 {
                     if to != hot_target {
-                        if recorder.enabled() {
-                            recorder.record(Event::TieringAction(TieringEvent {
+                        if sink.enabled() {
+                            sink.emit(Event::TieringAction(TieringEvent {
                                 region: region.0,
                                 promoted: false,
                                 to,
@@ -222,8 +222,8 @@ impl TieringDaemon {
             }
             if let Ok((to, report)) = allocator.migrate_to_best(region, hot_criterion, initiator) {
                 if to == hot_target {
-                    if recorder.enabled() {
-                        recorder.record(Event::TieringAction(TieringEvent {
+                    if sink.enabled() {
+                        sink.emit(Event::TieringAction(TieringEvent {
                             region: region.0,
                             promoted: true,
                             to,

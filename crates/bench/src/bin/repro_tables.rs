@@ -3,6 +3,8 @@
 //! ```text
 //! repro_tables [--table1|--table2a|--table2b|--table3a|--table3b|--table4|--portability|--capacity|--guidance|--service|--chaos|--all]
 //!              [--trace <out.jsonl>]
+//! repro_tables --compare <baseline.json|dir> <current.json|dir> [--tolerance <frac>]
+//! repro_tables --check-bench <BENCH_*.json>...
 //! ```
 //!
 //! `--trace` streams every allocation decision, migration and
@@ -10,12 +12,20 @@
 //! prints the aggregated placement report. With `--chaos` it instead
 //! captures the fault sweep's lifecycle events (`tier_degraded`,
 //! `lease_expired`, `reclaim`, ...).
+//!
+//! The `--capacity`, `--guidance`, `--service` and `--chaos` runs also
+//! persist their key numbers as `BENCH_<area>.json` at the repo root
+//! (schema: `docs/bench_schema.json`). `--compare` diffs a fresh run
+//! against the committed baseline and exits non-zero when any metric
+//! regresses by more than the tolerance (default 10%) in its losing
+//! direction; `--check-bench` validates files against the schema.
 
 use hetmem_alloc::planner::{plan, PlanOrder, PlannedAlloc};
 use hetmem_alloc::{baselines, Fallback};
 use hetmem_apps::graph500::{self, Graph500Config};
 use hetmem_apps::stream::{self, StreamConfig};
 use hetmem_apps::Placement;
+use hetmem_bench::perf::BenchRecord;
 use hetmem_bench::{gb, teps_e8, Ctx};
 use hetmem_core::attr;
 use hetmem_profile::Profiler;
@@ -23,6 +33,11 @@ use hetmem_topology::{MemoryKind, NodeId, GIB};
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("--compare") => std::process::exit(compare_cmd(&args[1..])),
+        Some("--check-bench") => std::process::exit(check_bench_cmd(&args[1..])),
+        _ => {}
+    }
     let trace = match args.iter().position(|a| a == "--trace") {
         Some(i) if i + 1 < args.len() => {
             let path = args.remove(i + 1);
@@ -75,6 +90,102 @@ fn main() {
     }
     if all || arg == "--chaos" {
         chaos(trace.as_deref());
+    }
+}
+
+/// `--compare <baseline> <current> [--tolerance <frac>]`: regression
+/// gate over `BENCH_*.json`. Returns the process exit code.
+fn compare_cmd(args: &[String]) -> i32 {
+    use hetmem_bench::perf;
+    let mut args = args.to_vec();
+    let tolerance = match args.iter().position(|a| a == "--tolerance") {
+        Some(i) if i + 1 < args.len() => {
+            let raw = args.remove(i + 1);
+            args.remove(i);
+            match raw.parse::<f64>() {
+                Ok(t) if t >= 0.0 => t,
+                _ => {
+                    eprintln!("repro_tables: --tolerance needs a non-negative fraction");
+                    return 2;
+                }
+            }
+        }
+        Some(_) => {
+            eprintln!("repro_tables: --tolerance needs a value");
+            return 2;
+        }
+        None => 0.10,
+    };
+    let [baseline_path, current_path] = args.as_slice() else {
+        eprintln!("usage: repro_tables --compare <baseline.json|dir> <current.json|dir> [--tolerance <frac>]");
+        return 2;
+    };
+    let load = |p: &String| {
+        perf::load(std::path::Path::new(p)).unwrap_or_else(|e| {
+            eprintln!("repro_tables: {e}");
+            std::process::exit(2);
+        })
+    };
+    let (baseline, current) = (load(baseline_path), load(current_path));
+    let deltas = perf::compare(&baseline, &current, tolerance);
+    println!(
+        "{:<14} {:<36} {:>14} {:>14} {:>8}",
+        "bench", "metric", "baseline", "current", "change"
+    );
+    let mut regressions = 0;
+    for d in &deltas {
+        println!(
+            "{:<14} {:<36} {:>14.2} {:>14} {:>7.1}% {}",
+            d.bench,
+            d.metric,
+            d.baseline,
+            d.current.map_or_else(|| "missing".into(), |v| format!("{v:.2}")),
+            d.change * 100.0,
+            if d.regressed { "REGRESSED" } else { "" }
+        );
+        regressions += d.regressed as u32;
+    }
+    if regressions > 0 {
+        eprintln!(
+            "repro_tables: {regressions} metric(s) regressed beyond {:.0}%",
+            tolerance * 100.0
+        );
+        return 1;
+    }
+    println!("all {} metrics within {:.0}% of baseline", deltas.len(), tolerance * 100.0);
+    0
+}
+
+/// `--check-bench <files...>`: validates `BENCH_*.json` files against
+/// the committed schema constraints. Returns the process exit code.
+fn check_bench_cmd(args: &[String]) -> i32 {
+    use hetmem_bench::perf;
+    if args.is_empty() {
+        eprintln!("usage: repro_tables --check-bench <BENCH_*.json>...");
+        return 2;
+    }
+    let mut failed = false;
+    for path in args {
+        match perf::load(std::path::Path::new(path)) {
+            Ok(records) => println!("{path}: ok ({} records)", records.len()),
+            Err(e) => {
+                eprintln!("{path}: INVALID: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        1
+    } else {
+        0
+    }
+}
+
+/// Persists one table's key numbers as `BENCH_<area>.json`.
+fn emit_bench(area: &str, records: &[hetmem_bench::perf::BenchRecord]) {
+    match hetmem_bench::perf::emit(area, records) {
+        Ok(path) => println!("bench: wrote {}", path.display()),
+        Err(e) => eprintln!("repro_tables: cannot write BENCH_{area}.json: {e}"),
     }
 }
 
@@ -522,6 +633,34 @@ fn service() {
         fair.fast_hit() * 100.0,
         fcfs.fast_hit() * 100.0
     );
+    let mut records = Vec::new();
+    for (policy, r) in
+        [ArbitrationPolicy::FairShare, ArbitrationPolicy::Fcfs, ArbitrationPolicy::StaticPartition]
+            .iter()
+            .zip(&reports)
+    {
+        let p = policy.as_str();
+        records.extend([
+            BenchRecord::new(
+                "service_load",
+                format!("{p}_allocs_per_sec"),
+                r.allocs_per_sec,
+                "ops/s",
+                0,
+            ),
+            BenchRecord::new("service_load", format!("{p}_p50_alloc"), r.p50_alloc_ns, "ns", 0),
+            BenchRecord::new("service_load", format!("{p}_p99_alloc"), r.p99_alloc_ns, "ns", 0),
+            BenchRecord::new("service_load", format!("{p}_fast_hit"), r.fast_hit(), "frac", 0),
+            BenchRecord::new(
+                "service_load",
+                format!("{p}_admitted"),
+                r.admitted as f64,
+                "count",
+                0,
+            ),
+        ]);
+    }
+    emit_bench("service", &records);
     println!();
 }
 
@@ -534,7 +673,7 @@ fn service() {
 fn chaos(trace: Option<&str>) {
     use hetmem_bench::load::{knl_chaos, run_load_chaos};
     use hetmem_service::ArbitrationPolicy;
-    use hetmem_telemetry::{JsonlWriter, Recorder};
+    use hetmem_telemetry::{JsonlWriter, TelemetrySink};
     use std::sync::Arc;
     println!("== Chaos: seeded fault sweep over the multi-tenant broker (KNL, fair-share) ==");
     println!(
@@ -561,16 +700,21 @@ fn chaos(trace: Option<&str>) {
     });
     let mut identical = true;
     let mut survived = true;
+    let mut records = Vec::new();
     for seed in [0xc4a0u64, 0x0dd5, 0xfa57] {
         let (cfg, mut chaos) = knl_chaos(ArbitrationPolicy::FairShare, seed);
         let baseline = run_load_chaos(ctx.machine.clone(), ctx.attrs.clone(), &cfg, &chaos);
         // The recorded rerun must match the silent one bit for bit —
         // telemetry must never perturb the simulation.
-        if let Some(w) = &writer {
-            chaos.recorder = Some(w.clone() as Arc<dyn Recorder>);
-        }
+        let sink = writer.as_ref().map(|_| TelemetrySink::with_ring_words(1 << 18));
+        chaos.sink = sink.clone();
         let rerun = run_load_chaos(ctx.machine.clone(), ctx.attrs.clone(), &cfg, &chaos);
         identical &= baseline == rerun;
+        if let (Some(w), Some(sink)) = (&writer, &sink) {
+            for e in sink.collector().drain_sorted() {
+                w.write_event(&e.event);
+            }
+        }
         let s = baseline.chaos.as_ref().expect("chaos roll-up");
         survived &= s.hard_failures == 0;
         println!(
@@ -588,7 +732,25 @@ fn chaos(trace: Option<&str>) {
             s.hard_failures,
             baseline.admitted
         );
+        records.extend([
+            BenchRecord::new("chaos_sweep", "admitted", baseline.admitted as f64, "count", seed),
+            BenchRecord::new(
+                "chaos_sweep",
+                "reclaimed_mib",
+                (s.reclaimed_bytes >> 20) as f64,
+                "count",
+                seed,
+            ),
+            BenchRecord::new(
+                "chaos_sweep",
+                "allocs_per_sec",
+                baseline.allocs_per_sec,
+                "ops/s",
+                seed,
+            ),
+        ]);
     }
+    emit_bench("chaos", &records);
     println!(
         "  => reruns bit-identical: {}; graceful degradation (no hard failures): {}",
         if identical { "yes" } else { "NO" },
@@ -619,7 +781,7 @@ fn chaos(trace: Option<&str>) {
 
 /// §VII: capacity conflicts — FCFS vs priorities on the KNL MCDRAM.
 fn capacity(trace: Option<&str>) {
-    use hetmem_telemetry::{JsonlWriter, NullRecorder, Recorder, Summary};
+    use hetmem_telemetry::{JsonlWriter, Summary, TelemetrySink};
     use std::sync::Arc;
     println!("== Capacity conflicts (SVII): two 3GiB bandwidth buffers on a ~3.8GiB MCDRAM ==");
     let writer: Option<Arc<JsonlWriter>> = trace.map(|path| {
@@ -628,9 +790,10 @@ fn capacity(trace: Option<&str>) {
             std::process::exit(1);
         }))
     });
-    let recorder: Arc<dyn Recorder> = match &writer {
-        Some(w) => w.clone(),
-        None => Arc::new(NullRecorder),
+    let sink = if writer.is_some() {
+        TelemetrySink::with_ring_words(1 << 16)
+    } else {
+        TelemetrySink::disabled()
     };
     let ctx = Ctx::knl();
     let reqs = vec![
@@ -649,7 +812,7 @@ fn capacity(trace: Option<&str>) {
     ];
     for order in [PlanOrder::Fcfs, PlanOrder::Priority] {
         let mut alloc = ctx.allocator();
-        alloc.set_recorder(recorder.clone());
+        alloc.set_sink(sink.clone());
         let placed = plan(&mut alloc, &reqs, &"0-15".parse().unwrap(), order).expect("plan fits");
         println!("{order:?} order:");
         for p in &placed {
@@ -668,7 +831,7 @@ fn capacity(trace: Option<&str>) {
     }
     // Migration epilogue: free the cold buffer, migrate the hot one.
     let mut alloc = ctx.allocator();
-    alloc.set_recorder(recorder.clone());
+    alloc.set_sink(sink.clone());
     let placed =
         plan(&mut alloc, &reqs, &"0-15".parse().unwrap(), PlanOrder::Fcfs).expect("plan fits");
     let hot = placed[1].region;
@@ -682,8 +845,60 @@ fn capacity(trace: Option<&str>) {
         report.bytes_moved / (1024 * 1024),
         report.cost_ns / 1e6
     );
+    // Wall-clock cost of the management layer itself: the planner walk
+    // over both orders, and a strict attribute allocation round-trip.
+    let mut records = Vec::new();
+    for order in [PlanOrder::Fcfs, PlanOrder::Priority] {
+        const REPS: u32 = 32;
+        let mut total = std::time::Duration::ZERO;
+        for _ in 0..REPS {
+            let mut alloc = ctx.allocator();
+            let start = std::time::Instant::now();
+            let placed =
+                plan(&mut alloc, &reqs, &"0-15".parse().unwrap(), order).expect("plan fits");
+            total += start.elapsed();
+            std::hint::black_box(placed);
+        }
+        records.push(BenchRecord::new(
+            "capacity_plan",
+            format!("plan_{}", format!("{order:?}").to_lowercase()),
+            total.as_nanos() as f64 / REPS as f64,
+            "ns",
+            0,
+        ));
+    }
+    {
+        use hetmem_alloc::AllocRequest;
+        const REPS: u32 = 256;
+        let mut alloc = ctx.allocator();
+        let req = AllocRequest::new(GIB)
+            .criterion(attr::BANDWIDTH)
+            .initiator(&"0-15".parse().unwrap())
+            .fallback(Fallback::Strict);
+        let start = std::time::Instant::now();
+        for _ in 0..REPS {
+            let id = alloc.alloc(&req).expect("fits");
+            alloc.free(id);
+        }
+        records.push(BenchRecord::new(
+            "capacity_plan",
+            "alloc_free_strict",
+            start.elapsed().as_nanos() as f64 / REPS as f64,
+            "ns",
+            0,
+        ));
+    }
+    emit_bench("alloc", &records);
     if let (Some(w), Some(path)) = (&writer, trace) {
+        let mut collector = sink.collector();
+        for e in collector.drain_sorted() {
+            w.write_event(&e.event);
+        }
         let _ = w.flush();
+        let lost: u64 = collector.loss().iter().map(|l| l.lost).sum();
+        if lost > 0 {
+            eprintln!("repro_tables: trace lost {lost} events");
+        }
         let text = std::fs::read_to_string(path).unwrap_or_default();
         match hetmem_telemetry::read_jsonl(&text) {
             Ok(events) => {
@@ -833,6 +1048,22 @@ fn guidance() {
         if beats_tiering { "beats" } else { "does NOT beat" },
         if monotone { "shrinks monotonically" } else { "is NOT monotone" }
     );
-    let _ = perfect_total;
+    let mut records = vec![
+        BenchRecord::new("guidance_eras", "static_total", static_ns, "ns", 0),
+        BenchRecord::new("guidance_eras", "tiering_total", tiering_total, "ns", 0),
+        BenchRecord::new("guidance_eras", "perfect_total", perfect_total, "ns", 0),
+    ];
+    for (period, &total) in [262_144u64, 65_536, 16_384].iter().zip(&guided_totals) {
+        records.push(BenchRecord::new(
+            "guidance_eras",
+            format!("guided_total_period_{period}"),
+            total,
+            "ns",
+            0,
+        ));
+    }
+    let best = guided_totals.iter().cloned().fold(f64::INFINITY, f64::min);
+    records.push(BenchRecord::new("guidance_eras", "speedup_vs_static", static_ns / best, "x", 0));
+    emit_bench("guidance", &records);
     println!();
 }

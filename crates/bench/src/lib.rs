@@ -10,6 +10,7 @@ use hetmem_memsim::{AccessEngine, Machine, MemoryManager};
 use std::sync::Arc;
 
 pub mod load;
+pub mod perf;
 
 /// A ready-to-run experiment context for one machine.
 pub struct Ctx {

@@ -21,7 +21,7 @@ use hetmem_memsim::{FaultKind, FaultPlan, Machine};
 use hetmem_service::{
     ArbitrationPolicy, Broker, Lease, Priority, ServiceError, TenantId, TenantSpec,
 };
-use hetmem_telemetry::{Event, Recorder, RetryExhausted};
+use hetmem_telemetry::{Event, RetryExhausted, TelemetrySink};
 use hetmem_topology::MemoryKind;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -163,12 +163,12 @@ pub struct ChaosConfig {
     pub retry_attempts: u32,
     /// Telemetry sink for the broker's lifecycle events and the
     /// harness's `retry_exhausted` events.
-    pub recorder: Option<Arc<dyn Recorder>>,
+    pub sink: Option<TelemetrySink>,
 }
 
 impl Default for ChaosConfig {
     fn default() -> ChaosConfig {
-        ChaosConfig { plan: FaultPlan::new(), lease_ttl: None, retry_attempts: 4, recorder: None }
+        ChaosConfig { plan: FaultPlan::new(), lease_ttl: None, retry_attempts: 4, sink: None }
     }
 }
 
@@ -264,8 +264,8 @@ pub fn run_load_chaos(
     chaos: &ChaosConfig,
 ) -> LoadReport {
     let mut broker = Broker::new(machine, attrs, cfg.policy);
-    if let Some(recorder) = &chaos.recorder {
-        broker.set_recorder(recorder.clone());
+    if let Some(sink) = &chaos.sink {
+        broker.set_sink(sink.clone());
     }
     let broker = broker;
     let mut rng = SmallRng::seed_from_u64(cfg.seed);
@@ -407,8 +407,8 @@ pub fn run_load_chaos(
                             client.attempts += 1;
                             if client.attempts >= chaos.retry_attempts.max(1) {
                                 chaos_stats.retry_exhausted += 1;
-                                if let Some(recorder) = &chaos.recorder {
-                                    recorder.record(Event::RetryExhausted(RetryExhausted {
+                                if let Some(sink) = &chaos.sink {
+                                    sink.emit(Event::RetryExhausted(RetryExhausted {
                                         tenant: profile.name.clone(),
                                         op: "alloc".into(),
                                         attempts: client.attempts as u64,
@@ -568,7 +568,7 @@ pub fn knl_chaos(policy: ArbitrationPolicy, seed: u64) -> (LoadConfig, ChaosConf
     let cfg = knl_contention(policy);
     let clients: u64 = cfg.tenants.iter().map(|t| t.clients as u64).sum();
     let plan = FaultPlan::seeded(seed, cfg.ticks as u64, clients, &[MemoryKind::Hbm]);
-    let chaos = ChaosConfig { plan, lease_ttl: Some(8), retry_attempts: 5, recorder: None };
+    let chaos = ChaosConfig { plan, lease_ttl: Some(8), retry_attempts: 5, sink: None };
     (cfg, chaos)
 }
 
@@ -598,12 +598,10 @@ mod tests {
 
     #[test]
     fn chaos_reclaims_abandoned_capacity_and_never_hard_fails() {
-        use hetmem_telemetry::{Recorder, RingRecorder};
-        use std::sync::Arc;
         let ctx = Ctx::knl();
-        let ring = Arc::new(RingRecorder::new(100_000));
+        let sink = TelemetrySink::with_ring_words(1 << 18);
         let (cfg, mut chaos) = knl_chaos(ArbitrationPolicy::FairShare, 0xc4a0);
-        chaos.recorder = Some(ring.clone() as Arc<dyn Recorder>);
+        chaos.sink = Some(sink.clone());
         let report = run_load_chaos(ctx.machine.clone(), ctx.attrs.clone(), &cfg, &chaos);
         let stats = report.chaos.expect("chaos roll-up");
         assert!(stats.degradations > 0, "plan degrades the fast tier: {stats:?}");
@@ -615,10 +613,10 @@ mod tests {
             "no request hard-fails while the machine has capacity: {stats:?}"
         );
         // The lifecycle is observable in the trace, not just counters.
-        let events = ring.events();
+        let events = sink.collector().drain_sorted();
         for kind in ["tier_degraded", "reclaim", "lease_expired"] {
             assert!(
-                events.iter().any(|e| e.kind() == kind),
+                events.iter().any(|e| e.event.kind() == kind),
                 "trace lacks {kind} events ({} events total)",
                 events.len()
             );

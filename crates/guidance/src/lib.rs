@@ -40,7 +40,7 @@ use hetmem_bitmap::Bitmap;
 use hetmem_core::{attr, AttrId, MemAttrs};
 use hetmem_memsim::{AccessEngine, MemoryManager, Phase, PhaseReport, RegionId, LINE};
 use hetmem_placement::{PlacementEngine, Scope};
-use hetmem_telemetry::{Event, NullRecorder, Recorder};
+use hetmem_telemetry::{Event, TelemetrySink};
 use hetmem_topology::NodeId;
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -165,7 +165,7 @@ pub struct GuidanceEngine {
     policy: GuidancePolicy,
     sampler: Sampler,
     hotness: HotnessMap,
-    recorder: Arc<dyn Recorder>,
+    sink: TelemetrySink,
     /// Intervals since each region last migrated (absent = never).
     since_move: BTreeMap<RegionId, u64>,
     interval: u64,
@@ -185,7 +185,7 @@ impl GuidanceEngine {
             hotness: HotnessMap::new(policy.window_bytes),
             policy,
             sampler: Sampler::new(sampler),
-            recorder: Arc::new(NullRecorder),
+            sink: TelemetrySink::disabled(),
             since_move: BTreeMap::new(),
             interval: 0,
             stats: GuidanceStats::default(),
@@ -196,9 +196,9 @@ impl GuidanceEngine {
         }
     }
 
-    /// Routes [`Event::GuidanceDecision`] events to `recorder`.
-    pub fn set_recorder(&mut self, recorder: Arc<dyn Recorder>) {
-        self.recorder = recorder;
+    /// Routes [`Event::GuidanceDecision`] events to `sink`.
+    pub fn set_sink(&mut self, sink: TelemetrySink) {
+        self.sink = sink;
     }
 
     /// The policy the engine runs with.
@@ -380,8 +380,8 @@ impl GuidanceEngine {
             estimated_hotness: estimated,
             actual_hotness: actual,
         });
-        if self.recorder.enabled() {
-            self.recorder.record(Event::GuidanceDecision(hetmem_telemetry::GuidanceDecision {
+        if self.sink.enabled() {
+            self.sink.emit(Event::GuidanceDecision(hetmem_telemetry::GuidanceDecision {
                 interval: self.interval,
                 region: region.0,
                 promoted,
@@ -414,7 +414,6 @@ mod tests {
     use super::*;
     use hetmem_core::discovery;
     use hetmem_memsim::{AccessPattern, AllocPolicy, BufferAccess, Machine};
-    use hetmem_telemetry::RingRecorder;
     use hetmem_topology::GIB;
 
     fn setup() -> (Arc<MemAttrs>, AccessEngine, MemoryManager) {
@@ -456,11 +455,11 @@ mod tests {
     #[test]
     fn engine_promotes_hot_and_demotes_stale() {
         let (attrs, engine, mut mm) = setup();
-        let recorder = Arc::new(RingRecorder::new(256));
+        let sink = TelemetrySink::new();
         let a = mm.alloc(2 * GIB, AllocPolicy::Bind(NodeId(0))).unwrap();
         let b = mm.alloc(2 * GIB, AllocPolicy::Bind(NodeId(0))).unwrap();
         let mut g = GuidanceEngine::new(attrs, GuidancePolicy::default(), SamplerConfig::default());
-        g.set_recorder(recorder.clone());
+        g.set_sink(sink.clone());
 
         // Era 1: only `a` is touched. Guidance must move it to MCDRAM.
         let mcdram = NodeId(4);
@@ -480,9 +479,12 @@ mod tests {
         let stats = g.stats();
         assert!(stats.promotions >= 2 && stats.demotions >= 1, "{stats:?}");
         assert!(stats.mean_accuracy() > 0.5);
-        let decisions =
-            recorder.events().iter().filter(|e| matches!(e, Event::GuidanceDecision(_))).count()
-                as u64;
+        let decisions = sink
+            .collector()
+            .drain_sorted()
+            .iter()
+            .filter(|e| matches!(e.event, Event::GuidanceDecision(_)))
+            .count() as u64;
         assert_eq!(decisions, stats.promotions + stats.demotions);
     }
 

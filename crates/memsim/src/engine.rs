@@ -26,7 +26,7 @@ use crate::memory::{MemoryManager, RegionId};
 use crate::ns_for_bytes;
 use hetmem_bitmap::Bitmap;
 use hetmem_telemetry as telemetry;
-use hetmem_telemetry::{NullRecorder, Recorder};
+use hetmem_telemetry::TelemetrySink;
 use hetmem_topology::NodeId;
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -253,7 +253,7 @@ impl PhaseReport {
 #[derive(Clone)]
 pub struct AccessEngine {
     machine: Arc<Machine>,
-    recorder: Arc<dyn Recorder>,
+    sink: TelemetrySink,
 }
 
 impl std::fmt::Debug for AccessEngine {
@@ -265,7 +265,7 @@ impl std::fmt::Debug for AccessEngine {
 impl AccessEngine {
     /// Creates an engine for `machine`.
     pub fn new(machine: Arc<Machine>) -> Self {
-        AccessEngine { machine, recorder: Arc::new(NullRecorder) }
+        AccessEngine { machine, sink: TelemetrySink::disabled() }
     }
 
     /// The machine being simulated.
@@ -273,9 +273,9 @@ impl AccessEngine {
         &self.machine
     }
 
-    /// Routes phase spans into `recorder` (default: discard).
-    pub fn set_recorder(&mut self, recorder: Arc<dyn Recorder>) {
-        self.recorder = recorder;
+    /// Routes phase spans into `sink` (default: discard).
+    pub fn set_sink(&mut self, sink: TelemetrySink) {
+        self.sink = sink;
     }
 
     /// Costs one phase against the current placements in `mm`.
@@ -420,8 +420,8 @@ impl AccessEngine {
             per_node,
             buffers: buffer_stats,
         };
-        if self.recorder.enabled() {
-            self.recorder.record(telemetry::Event::PhaseSpan(telemetry::PhaseSpan {
+        if self.sink.enabled() {
+            self.sink.emit(telemetry::Event::PhaseSpan(telemetry::PhaseSpan {
                 name: report.name.clone(),
                 time_ns: report.time_ns,
                 threads: report.threads as u64,

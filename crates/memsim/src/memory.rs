@@ -12,7 +12,7 @@
 use crate::machine::Machine;
 use crate::PAGE_SIZE;
 use hetmem_telemetry as telemetry;
-use hetmem_telemetry::{NullRecorder, Recorder};
+use hetmem_telemetry::TelemetrySink;
 use hetmem_topology::NodeId;
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -132,7 +132,7 @@ pub struct MemoryManager {
     regions: BTreeMap<RegionId, Region>,
     next_id: u64,
     high_water: BTreeMap<NodeId, u64>,
-    recorder: Arc<dyn Recorder>,
+    sink: TelemetrySink,
 }
 
 impl std::fmt::Debug for MemoryManager {
@@ -164,7 +164,7 @@ impl MemoryManager {
             regions: BTreeMap::new(),
             next_id: 0,
             high_water: BTreeMap::new(),
-            recorder: Arc::new(NullRecorder),
+            sink: TelemetrySink::disabled(),
         }
     }
 
@@ -174,14 +174,14 @@ impl MemoryManager {
     }
 
     /// Routes capacity events (occupancy gauges, migrations, frees)
-    /// into `recorder`. The default is a [`NullRecorder`].
-    pub fn set_recorder(&mut self, recorder: Arc<dyn Recorder>) {
-        self.recorder = recorder;
+    /// into `sink`. The default is a disabled sink.
+    pub fn set_sink(&mut self, sink: TelemetrySink) {
+        self.sink = sink;
     }
 
-    /// The recorder capacity events go to.
-    pub fn recorder(&self) -> &Arc<dyn Recorder> {
-        &self.recorder
+    /// The sink capacity events go to.
+    pub fn sink(&self) -> &TelemetrySink {
+        &self.sink
     }
 
     /// Highest used-bytes watermark seen on `node` since creation.
@@ -200,8 +200,8 @@ impl MemoryManager {
             let hw = self.high_water.entry(node).or_insert(0);
             *hw = (*hw).max(used);
             let hw = *hw;
-            if self.recorder.enabled() {
-                self.recorder.record(telemetry::Event::OccupancyGauge(telemetry::OccupancyGauge {
+            if self.sink.enabled() {
+                self.sink.emit(telemetry::Event::OccupancyGauge(telemetry::OccupancyGauge {
                     node,
                     used,
                     high_water: hw,
@@ -380,8 +380,8 @@ impl MemoryManager {
                 for &(node, bytes) in &region.placement {
                     *self.free.get_mut(&node).expect("placement node exists") += bytes;
                 }
-                if self.recorder.enabled() {
-                    self.recorder.record(telemetry::Event::Free(telemetry::FreeEvent {
+                if self.sink.enabled() {
+                    self.sink.emit(telemetry::Event::Free(telemetry::FreeEvent {
                         region: id.0,
                         placement: region.placement.clone(),
                     }));
@@ -433,8 +433,8 @@ impl MemoryManager {
         *self.free.get_mut(&target).expect("validated") -= region.size;
         let region = self.regions.get_mut(&id).expect("checked above");
         region.placement = vec![(target, region.size)];
-        if self.recorder.enabled() {
-            self.recorder.record(telemetry::Event::Migration(telemetry::Migration {
+        if self.sink.enabled() {
+            self.sink.emit(telemetry::Event::Migration(telemetry::Migration {
                 region: id.0,
                 from: old_placement.clone(),
                 to: target,
@@ -646,14 +646,15 @@ mod tests {
 
     #[test]
     fn telemetry_tracks_capacity_lifecycle() {
-        use hetmem_telemetry::{Event, RingRecorder};
+        use hetmem_telemetry::Event;
         let mut mm = manager();
-        let ring = Arc::new(RingRecorder::new(64));
-        mm.set_recorder(ring.clone());
+        let sink = TelemetrySink::new();
+        mm.set_sink(sink.clone());
         let id = mm.alloc(2 * GIB, AllocPolicy::Bind(NodeId(0))).unwrap();
         mm.migrate(id, NodeId(4)).unwrap();
         mm.free(id);
-        let events = ring.events();
+        let events: Vec<Event> =
+            sink.collector().drain_sorted().into_iter().map(|e| e.event).collect();
         assert!(events.iter().any(|e| matches!(
             e,
             Event::Migration(m) if m.region == id.0 && m.to == NodeId(4) && m.bytes_moved == 2 * GIB

@@ -2,7 +2,7 @@
 //! `hetmem-run <file> [--objects] [--timeline] [--trace <out.jsonl>] [--guidance [period]]`.
 
 use hetmem_scenario::{execute_with_options, parse, ExecOptions};
-use hetmem_telemetry::{read_jsonl, JsonlWriter, NullRecorder, Recorder, Summary};
+use hetmem_telemetry::{read_jsonl, BackgroundCollector, JsonlWriter, Summary, TelemetrySink};
 use std::sync::Arc;
 
 /// Default sampling period for `--guidance` without a value.
@@ -83,14 +83,30 @@ fn main() {
                 std::process::exit(1);
             });
             let writer = Arc::new(writer);
-            let r = execute_with_options(&scenario, writer.clone(), options);
+            // Large rings plus a short drain cadence: a scenario trace
+            // is expected to be complete, and any loss is reported.
+            let sink = TelemetrySink::with_ring_words(1 << 16);
+            let collector = {
+                let writer = writer.clone();
+                BackgroundCollector::spawn(
+                    &sink,
+                    std::time::Duration::from_millis(5),
+                    move |batch| {
+                        for e in &batch {
+                            writer.write_event(&e.event);
+                        }
+                    },
+                )
+            };
+            let r = execute_with_options(&scenario, sink, options);
+            let lost: u64 = collector.finish().iter().map(|l| l.lost).sum();
+            if lost > 0 {
+                eprintln!("hetmem-run: trace lost {lost} events (collector outpaced)");
+            }
             let _ = writer.flush();
             r
         }
-        None => {
-            let recorder: Arc<dyn Recorder> = Arc::new(NullRecorder);
-            execute_with_options(&scenario, recorder, options)
-        }
+        None => execute_with_options(&scenario, TelemetrySink::disabled(), options),
     };
     let report = result.unwrap_or_else(|e| {
         eprintln!("hetmem-run: {file}: {e}");

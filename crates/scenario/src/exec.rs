@@ -8,7 +8,7 @@ use hetmem_guidance::{GuidanceEngine, GuidancePolicy, GuidanceStats, SamplerConf
 use hetmem_memsim::{AccessEngine, BufferAccess, MemoryManager, Phase, RegionId};
 use hetmem_profile::Profiler;
 use hetmem_service::{Broker, LeaseId, RobustnessStats, TenantId, TenantSpec, TenantStats};
-use hetmem_telemetry::{NullRecorder, Recorder};
+use hetmem_telemetry::TelemetrySink;
 use hetmem_topology::NodeId;
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -137,24 +137,24 @@ pub struct ScenarioReport {
 
 /// Runs a scenario; deterministic like everything else.
 pub fn execute(scenario: &Scenario) -> Result<ScenarioReport, ExecError> {
-    execute_with_recorder(scenario, Arc::new(NullRecorder))
+    execute_with_sink(scenario, TelemetrySink::disabled())
 }
 
 /// [`execute`] with every allocation decision, migration, phase span
-/// and occupancy change streamed into `recorder` (the `--trace`
-/// backend of `hetmem-run`).
-pub fn execute_with_recorder(
+/// and occupancy change streamed into `sink` (the `--trace` backend
+/// of `hetmem-run`).
+pub fn execute_with_sink(
     scenario: &Scenario,
-    recorder: Arc<dyn Recorder>,
+    sink: TelemetrySink,
 ) -> Result<ScenarioReport, ExecError> {
-    execute_with_options(scenario, recorder, ExecOptions::default())
+    execute_with_options(scenario, sink, ExecOptions::default())
 }
 
-/// [`execute_with_recorder`] with extra execution options (the
+/// [`execute_with_sink`] with extra execution options (the
 /// `--guidance` backend of `hetmem-run`).
 pub fn execute_with_options(
     scenario: &Scenario,
-    recorder: Arc<dyn Recorder>,
+    sink: TelemetrySink,
     options: ExecOptions,
 ) -> Result<ScenarioReport, ExecError> {
     let machine = crate::machine_by_name(&scenario.machine)
@@ -181,9 +181,9 @@ pub fn execute_with_options(
         ),
     };
     let mut engine = AccessEngine::new(machine.clone());
-    engine.set_recorder(recorder.clone());
+    engine.set_sink(sink.clone());
     let mut allocator = HetAllocator::new(attrs.clone(), MemoryManager::new(machine.clone()));
-    allocator.set_recorder(recorder.clone());
+    allocator.set_sink(sink.clone());
     let mut profiler = Profiler::new(machine.clone());
 
     let make_guidance = |period: u64, criterion: hetmem_core::AttrId| {
@@ -192,7 +192,7 @@ pub fn execute_with_options(
             GuidancePolicy { criterion, ..Default::default() },
             SamplerConfig { period, ..Default::default() },
         );
-        g.set_recorder(recorder.clone());
+        g.set_sink(sink.clone());
         g
     };
     let mut guidance: Option<GuidanceEngine> =
@@ -234,7 +234,7 @@ pub fn execute_with_options(
                     return Err(misuse("guidance and served mode are mutually exclusive"));
                 }
                 let mut b = Broker::new(machine.clone(), attrs.clone(), *policy);
-                b.set_recorder(recorder.clone());
+                b.set_sink(sink.clone());
                 broker = Some(b);
             }
             Command::Tenant { name, priority } => {

@@ -37,7 +37,7 @@ mod exec;
 mod parse;
 
 pub use exec::{
-    execute, execute_with_options, execute_with_recorder, ExecError, ExecOptions, PhaseOutcome,
+    execute, execute_with_options, execute_with_sink, ExecError, ExecOptions, PhaseOutcome,
     ScenarioReport,
 };
 pub use parse::{parse, AccessSpec, Command, ParseError, PhaseSpec, Scenario, Stmt};

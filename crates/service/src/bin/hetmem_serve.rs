@@ -9,7 +9,7 @@
 use hetmem_core::discovery;
 use hetmem_memsim::Machine;
 use hetmem_service::{server::Server, ArbitrationPolicy, Broker};
-use hetmem_telemetry::{FlushGuard, JsonlWriter, Recorder};
+use hetmem_telemetry::{BackgroundCollector, JsonlWriter, TelemetrySink};
 use std::sync::Arc;
 
 const DEFAULT_ADDR: &str = "tcp:127.0.0.1:7474";
@@ -90,25 +90,34 @@ fn main() {
         }
     };
     let mut broker = Broker::new(machine, attrs, policy);
-    let mut writer: Option<Arc<JsonlWriter>> = None;
-    let mut _trace_guard: Option<FlushGuard> = None;
+    let mut _trace_collector: Option<BackgroundCollector> = None;
     if let Some(path) = &trace {
         match JsonlWriter::create(path) {
             Ok(w) => {
+                let sink = TelemetrySink::new();
+                broker.set_sink(sink.clone());
                 let w = Arc::new(w);
-                broker.set_recorder(w.clone());
                 // A panicking thread (the dispatcher included) must not
                 // take the buffered trace tail with it: flush before
-                // the default hook prints the backtrace, and again via
-                // the guard if main itself unwinds.
-                let hook_writer: Arc<dyn Recorder> = w.clone();
+                // the default hook prints the backtrace. The collector
+                // drains the rings on a short cadence and its Drop does
+                // a final drain-and-flush if main itself unwinds.
+                let hook_writer = w.clone();
                 let default_hook = std::panic::take_hook();
                 std::panic::set_hook(Box::new(move |info| {
-                    hook_writer.flush_events();
+                    let _ = hook_writer.flush();
                     default_hook(info);
                 }));
-                _trace_guard = Some(FlushGuard::new(w.clone()));
-                writer = Some(w);
+                _trace_collector = Some(BackgroundCollector::spawn(
+                    &sink,
+                    std::time::Duration::from_millis(200),
+                    move |batch| {
+                        for e in &batch {
+                            w.write_event(&e.event);
+                        }
+                        let _ = w.flush();
+                    },
+                ));
             }
             Err(e) => {
                 eprintln!("hetmem-serve: cannot create {path}: {e}");
@@ -130,12 +139,10 @@ fn main() {
         server.local_addr()
     );
     println!("fast tier: {:?}", server.broker().fast_kind());
-    // The writer buffers through a BufWriter and a killed daemon never
-    // runs destructors, so push the trace to disk on a short cadence.
+    // The background collector owns the trace cadence; main just
+    // parks. A killed daemon never runs destructors, which is why the
+    // collector flushes the writer after every batch.
     loop {
-        std::thread::sleep(std::time::Duration::from_millis(200));
-        if let Some(w) = &writer {
-            let _ = w.flush();
-        }
+        std::thread::sleep(std::time::Duration::from_secs(3600));
     }
 }

@@ -31,8 +31,8 @@ use hetmem_placement::{
     TierSnapshot,
 };
 use hetmem_telemetry::{
-    AttrFallback, ContentionStall, Event, LeaseExpired, LeaseRevoked, NullRecorder, QuotaClamp,
-    Reclaim, Recorder, TenantAdmit, TierDegraded,
+    AttrFallback, ContentionStall, Event, LeaseExpired, LeaseRevoked, QuotaClamp, Reclaim,
+    TelemetrySink, TenantAdmit, TierDegraded,
 };
 use hetmem_topology::{MemoryKind, NodeId};
 use std::collections::{BTreeMap, BTreeSet};
@@ -224,7 +224,7 @@ pub struct Broker {
     machine: Arc<Machine>,
     placer: PlacementEngine,
     policy: ArbitrationPolicy,
-    recorder: Arc<dyn Recorder>,
+    sink: TelemetrySink,
     engine: AccessEngine,
     mm: Mutex<MemoryManager>,
     stripes: BTreeMap<NodeId, Mutex<NodeLedger>>,
@@ -284,7 +284,7 @@ impl Broker {
             machine,
             placer: PlacementEngine::new(attrs),
             policy,
-            recorder: Arc::new(NullRecorder),
+            sink: TelemetrySink::disabled(),
             mm: Mutex::new(mm),
             stripes,
             tenants: Mutex::new(BTreeMap::new()),
@@ -305,12 +305,13 @@ impl Broker {
     }
 
     /// Streams broker telemetry (admits, clamps, stalls, plus the
-    /// memory manager's occupancy/free events) into `recorder`. Call
-    /// before sharing the broker across threads.
-    pub fn set_recorder(&mut self, recorder: Arc<dyn Recorder>) {
-        self.recorder = recorder.clone();
-        self.engine.set_recorder(recorder.clone());
-        self.mm.get_mut().expect("mm poisoned").set_recorder(recorder);
+    /// memory manager's occupancy/free events) into `sink`. Call
+    /// before sharing the broker across threads; each thread that
+    /// emits through the shared broker gets its own wait-free ring.
+    pub fn set_sink(&mut self, sink: TelemetrySink) {
+        self.sink = sink.clone();
+        self.engine.set_sink(sink.clone());
+        self.mm.get_mut().expect("mm poisoned").set_sink(sink);
     }
 
     /// The machine being brokered.
@@ -441,8 +442,8 @@ impl Broker {
             .placer
             .rank(req.get_criterion(), &initiator, req.scope())
             .map_err(ranking_error)?;
-        if self.recorder.enabled() && ranking.attr_fell_back() {
-            self.recorder.record(Event::AttrFallback(AttrFallback {
+        if self.sink.enabled() && ranking.attr_fell_back() {
+            self.sink.emit(Event::AttrFallback(AttrFallback {
                 requested: ranking.requested().0,
                 used: ranking.used().0,
             }));
@@ -541,9 +542,9 @@ impl Broker {
             .collect();
 
         let emit_clamps = |broker: &Broker, clamps: &[QuotaClamp]| {
-            if broker.recorder.enabled() {
+            if broker.sink.enabled() {
                 for c in clamps {
-                    broker.recorder.record(Event::QuotaClamp(c.clone()));
+                    broker.sink.emit(Event::QuotaClamp(c.clone()));
                 }
             }
         };
@@ -601,8 +602,8 @@ impl Broker {
             }
         }
         emit_clamps(self, &clamps);
-        if self.recorder.enabled() {
-            self.recorder.record(Event::TenantAdmit(TenantAdmit {
+        if self.sink.enabled() {
+            self.sink.emit(Event::TenantAdmit(TenantAdmit {
                 tenant: tenant_name,
                 lease: id.0,
                 size: granted,
@@ -671,7 +672,7 @@ impl Broker {
             ReclaimCause::Expired { .. } => self.expired_total.fetch_add(1, Ordering::Relaxed),
             ReclaimCause::Revoked { .. } => self.revoked_total.fetch_add(1, Ordering::Relaxed),
         };
-        if self.recorder.enabled() {
+        if self.sink.enabled() {
             let tenant = self
                 .tenants
                 .lock()
@@ -681,7 +682,7 @@ impl Broker {
                 .unwrap_or_else(|| format!("{}", record.tenant));
             let reason = match &cause {
                 ReclaimCause::Expired { ttl } => {
-                    self.recorder.record(Event::LeaseExpired(LeaseExpired {
+                    self.sink.emit(Event::LeaseExpired(LeaseExpired {
                         tenant: tenant.clone(),
                         lease: id.0,
                         ttl_epochs: *ttl,
@@ -689,7 +690,7 @@ impl Broker {
                     "expired".to_string()
                 }
                 ReclaimCause::Revoked { reason } => {
-                    self.recorder.record(Event::LeaseRevoked(LeaseRevoked {
+                    self.sink.emit(Event::LeaseRevoked(LeaseRevoked {
                         tenant: tenant.clone(),
                         lease: id.0,
                         reason: reason.clone(),
@@ -697,7 +698,7 @@ impl Broker {
                     "revoked".to_string()
                 }
             };
-            self.recorder.record(Event::Reclaim(Reclaim {
+            self.sink.emit(Event::Reclaim(Reclaim {
                 tenant,
                 lease: id.0,
                 bytes,
@@ -785,8 +786,8 @@ impl Broker {
                 set.remove(&kind)
             }
         };
-        if changed && self.recorder.enabled() {
-            self.recorder.record(Event::TierDegraded(TierDegraded {
+        if changed && self.sink.enabled() {
+            self.sink.emit(Event::TierDegraded(TierDegraded {
                 kind: crate::wire::kind_name(kind).to_string(),
                 degraded,
             }));
@@ -825,10 +826,10 @@ impl Broker {
         }
     }
 
-    /// The recorder the broker streams telemetry into (the server's
-    /// dispatcher guards it with a flush-on-drop handle).
-    pub fn recorder_handle(&self) -> Arc<dyn Recorder> {
-        self.recorder.clone()
+    /// The sink the broker streams telemetry into (the server's
+    /// dispatcher and the serve binary attach collectors to it).
+    pub fn sink_handle(&self) -> TelemetrySink {
+        self.sink.clone()
     }
 
     /// The placement of a live lease, if it exists.
@@ -888,7 +889,7 @@ impl Broker {
             let node_stall = window_ns * over;
             stall_ns = stall_ns.max(node_stall);
             stalled += 1;
-            if self.recorder.enabled() {
+            if self.sink.enabled() {
                 let name = self
                     .tenants
                     .lock()
@@ -896,7 +897,7 @@ impl Broker {
                     .get(&tenant)
                     .map(|t| t.name.clone())
                     .unwrap_or_else(|| format!("{tenant}"));
-                self.recorder.record(Event::ContentionStall(ContentionStall {
+                self.sink.emit(Event::ContentionStall(ContentionStall {
                     tenant: name,
                     node,
                     stall_ns: node_stall,
@@ -1278,12 +1279,12 @@ mod tests {
     }
 
     #[test]
-    fn lifecycle_events_flow_through_the_recorder() {
+    fn lifecycle_events_flow_through_the_sink() {
         let machine = Arc::new(Machine::knl_snc4_flat());
         let attrs = Arc::new(discovery::from_firmware(&machine, true).expect("attrs"));
         let mut broker = Broker::new(machine, attrs, ArbitrationPolicy::FairShare);
-        let ring = Arc::new(hetmem_telemetry::RingRecorder::new(256));
-        broker.set_recorder(ring.clone());
+        let sink = TelemetrySink::new();
+        broker.set_sink(sink.clone());
         let t = broker.register(TenantSpec::new("t").lease_ttl(1)).expect("register");
         broker.set_tier_degraded(MemoryKind::Hbm, true);
         broker.set_tier_degraded(MemoryKind::Hbm, true); // no duplicate event
@@ -1293,7 +1294,9 @@ mod tests {
         let l2 = broker.acquire(t, &bw_request(GIB)).expect("admitted");
         broker.revoke(l2.id(), "disconnect").expect("revoke");
         std::mem::forget(l2);
-        let kinds: Vec<&str> = ring.events().iter().map(|e| e.kind()).collect();
+        let events: Vec<Event> =
+            sink.collector().drain_sorted().into_iter().map(|e| e.event).collect();
+        let kinds: Vec<&str> = events.iter().map(|e| e.kind()).collect();
         assert_eq!(kinds.iter().filter(|k| **k == "tier_degraded").count(), 1);
         assert_eq!(kinds.iter().filter(|k| **k == "lease_expired").count(), 1);
         assert_eq!(kinds.iter().filter(|k| **k == "lease_revoked").count(), 1);
@@ -1309,23 +1312,27 @@ mod tests {
         let machine = Arc::new(Machine::knl_snc4_flat());
         let attrs = Arc::new(discovery::from_firmware(&machine, true).expect("attrs"));
         let mut broker = Broker::new(machine, attrs, ArbitrationPolicy::FairShare);
-        let ring = Arc::new(hetmem_telemetry::RingRecorder::new(256));
-        broker.set_recorder(ring.clone());
+        let sink = TelemetrySink::new();
+        broker.set_sink(sink.clone());
         let t = broker.register(TenantSpec::new("t")).expect("register");
         let req =
             AllocRequest::new(GIB).criterion(attr::READ_BANDWIDTH).fallback(Fallback::PartialSpill);
         let lease = broker.acquire(t, &req).expect("admitted");
-        assert!(ring.events().iter().any(|e| matches!(
-            e,
+        let mut collector = sink.collector();
+        assert!(collector.drain_sorted().iter().any(|e| matches!(
+            &e.event,
             Event::AttrFallback(a)
                 if a.requested == attr::READ_BANDWIDTH.0 && a.used == attr::BANDWIDTH.0
         )));
         broker.release(lease).expect("release");
         // A direct Bandwidth request does not fall back.
         let lease = broker.acquire(t, &bw_request(GIB)).expect("admitted");
-        let fallbacks =
-            ring.events().iter().filter(|e| matches!(e, Event::AttrFallback(_))).count();
-        assert_eq!(fallbacks, 1);
+        let fallbacks = collector
+            .drain_sorted()
+            .iter()
+            .filter(|e| matches!(e.event, Event::AttrFallback(_)))
+            .count();
+        assert_eq!(fallbacks, 0, "no further fallback after the first drain");
         broker.release(lease).expect("release");
     }
 

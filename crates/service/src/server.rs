@@ -18,7 +18,9 @@
 //!   connection stays usable.
 //! * A connection that drops — cleanly or mid-frame — has every lease
 //!   it acquired revoked and reclaimed on the next dispatcher tick.
-//! * The dispatcher holds a [`FlushGuard`] over the broker's recorder,
+//! * Telemetry is wait-free at emission: broker events land in
+//!   per-thread rings; the serve binary's background collector drains
+//!   them to the trace file,
 //!   so the buffered tail of a `--trace` file survives even a panic
 //!   unwinding the dispatcher thread.
 //! * [`Client`] offers capped exponential backoff retries
@@ -33,7 +35,7 @@ use crate::broker::Broker;
 use crate::wire::{Request, Response};
 use crate::{LeaseId, ServiceError, TenantSpec};
 use hetmem_alloc::AllocRequest;
-use hetmem_telemetry::{Event, FlushGuard, Recorder, RetryExhausted};
+use hetmem_telemetry::{Event, RetryExhausted, TelemetrySink};
 use std::collections::{HashMap, VecDeque};
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{TcpListener, TcpStream};
@@ -261,9 +263,6 @@ impl Server {
             let queue = queue.clone();
             let stop = stop.clone();
             std::thread::spawn(move || {
-                let recorder = broker.recorder_handle();
-                // Flush the trace tail even if this thread panics.
-                let _flush_guard = FlushGuard::new(recorder.clone());
                 // Leases granted per connection, so a dropped peer's
                 // capacity can be revoked and reclaimed.
                 let mut conn_leases: HashMap<u64, Vec<LeaseId>> = HashMap::new();
@@ -322,7 +321,6 @@ impl Server {
                             }
                         }
                     }
-                    recorder.flush_events();
                 }
             })
         };
@@ -490,7 +488,7 @@ pub struct Client {
     writer: Conn,
     deadline: Option<Duration>,
     retry: RetryPolicy,
-    recorder: Option<Arc<dyn Recorder>>,
+    sink: TelemetrySink,
 }
 
 impl Client {
@@ -503,7 +501,7 @@ impl Client {
             writer,
             deadline: None,
             retry: RetryPolicy::default(),
-            recorder: None,
+            sink: TelemetrySink::disabled(),
         })
     }
 
@@ -538,10 +536,10 @@ impl Client {
         self.retry = policy;
     }
 
-    /// Attaches a recorder; exhausted retries emit
+    /// Attaches a telemetry sink; exhausted retries emit
     /// [`RetryExhausted`] events through it.
-    pub fn set_recorder(&mut self, recorder: Arc<dyn Recorder>) {
-        self.recorder = Some(recorder);
+    pub fn set_sink(&mut self, sink: TelemetrySink) {
+        self.sink = sink;
     }
 
     /// Drops the current stream and dials the stored address again,
@@ -602,15 +600,13 @@ impl Client {
                 Err(e) => e,
             };
             if !err.is_transient() || attempt >= self.retry.max_attempts {
-                if err.is_transient() {
-                    if let Some(recorder) = &self.recorder {
-                        recorder.record(Event::RetryExhausted(RetryExhausted {
-                            tenant: request.tenant().unwrap_or("").to_string(),
-                            op: request.op().to_string(),
-                            attempts: attempt as u64,
-                            last_error: err.to_string(),
-                        }));
-                    }
+                if err.is_transient() && self.sink.enabled() {
+                    self.sink.emit(Event::RetryExhausted(RetryExhausted {
+                        tenant: request.tenant().unwrap_or("").to_string(),
+                        op: request.op().to_string(),
+                        attempts: attempt as u64,
+                        last_error: err.to_string(),
+                    }));
                 }
                 return Err(err);
             }

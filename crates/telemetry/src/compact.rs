@@ -1,0 +1,542 @@
+//! Compact varint event encoding — the in-flight form carried by the
+//! wait-free rings and the binary on-disk trace form.
+//!
+//! One record is `kind byte · epoch varint · fields`, where integers
+//! are LEB128 varints, floats are 8 raw little-endian bytes
+//! (`f64::to_bits`), strings and lists are length-prefixed. A typical
+//! occupancy gauge encodes in ~12 bytes against ~90 bytes of JSONL;
+//! the ring carries these bytes, and [`read_framed`]/[`append_framed`]
+//! put the same records on disk with a varint length frame per record.
+
+use crate::{
+    AllocDecision, AttrFallback, Candidate, ContentionStall, Event, FallbackMode, FreeEvent,
+    GuidanceDecision, Hop, LeaseExpired, LeaseRevoked, Migration, NodeTrafficSample,
+    OccupancyGauge, PhaseSpan, QuotaClamp, Reclaim, RetryExhausted, Scope, TenantAdmit,
+    TierDegraded, TieringEvent,
+};
+use hetmem_topology::NodeId;
+
+/// A malformed compact record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodecError(String);
+
+impl CodecError {
+    fn new(msg: impl Into<String>) -> CodecError {
+        CodecError(msg.into())
+    }
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "compact codec: {}", self.0)
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+fn put_u64(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u64(out, s.len() as u64);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_bool(out: &mut Vec<u8>, b: bool) {
+    out.push(b as u8);
+}
+
+fn put_placement(out: &mut Vec<u8>, placement: &[(NodeId, u64)]) {
+    put_u64(out, placement.len() as u64);
+    for &(node, bytes) in placement {
+        put_u64(out, node.0 as u64);
+        put_u64(out, bytes);
+    }
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn u64(&mut self) -> Result<u64, CodecError> {
+        let mut v = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let byte =
+                *self.bytes.get(self.pos).ok_or_else(|| CodecError::new("truncated varint"))?;
+            self.pos += 1;
+            if shift == 63 && byte > 1 {
+                return Err(CodecError::new("varint overflows u64"));
+            }
+            v |= ((byte & 0x7F) as u64) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+        }
+    }
+
+    fn u32(&mut self) -> Result<u32, CodecError> {
+        u32::try_from(self.u64()?).map_err(|_| CodecError::new("value overflows u32"))
+    }
+
+    fn f64(&mut self) -> Result<f64, CodecError> {
+        let end = self.pos + 8;
+        let raw = self.bytes.get(self.pos..end).ok_or_else(|| CodecError::new("truncated f64"))?;
+        self.pos = end;
+        Ok(f64::from_bits(u64::from_le_bytes(raw.try_into().expect("8 bytes"))))
+    }
+
+    fn bool(&mut self) -> Result<bool, CodecError> {
+        let byte = *self.bytes.get(self.pos).ok_or_else(|| CodecError::new("truncated bool"))?;
+        self.pos += 1;
+        match byte {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(CodecError::new(format!("bad bool byte {other}"))),
+        }
+    }
+
+    fn str(&mut self) -> Result<String, CodecError> {
+        let len = self.u64()? as usize;
+        let end = self
+            .pos
+            .checked_add(len)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or_else(|| CodecError::new("truncated string"))?;
+        let s = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| CodecError::new("string is not UTF-8"))?
+            .to_string();
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn node(&mut self) -> Result<NodeId, CodecError> {
+        Ok(NodeId(self.u32()?))
+    }
+
+    fn placement(&mut self) -> Result<Vec<(NodeId, u64)>, CodecError> {
+        let n = self.u64()? as usize;
+        (0..n).map(|_| Ok((self.node()?, self.u64()?))).collect()
+    }
+
+    fn done(&self) -> Result<(), CodecError> {
+        if self.pos == self.bytes.len() {
+            Ok(())
+        } else {
+            Err(CodecError::new("trailing bytes after record"))
+        }
+    }
+}
+
+fn kind_byte(event: &Event) -> u8 {
+    // Matches the [`crate::EVENT_KINDS`] declaration order; a direct
+    // match keeps the hot emission path free of string comparisons
+    // (`decode_record` round-trip tests pin the correspondence).
+    match event {
+        Event::AllocDecision(_) => 0,
+        Event::AttrFallback(_) => 1,
+        Event::Migration(_) => 2,
+        Event::Free(_) => 3,
+        Event::PhaseSpan(_) => 4,
+        Event::OccupancyGauge(_) => 5,
+        Event::TieringAction(_) => 6,
+        Event::GuidanceDecision(_) => 7,
+        Event::TenantAdmit(_) => 8,
+        Event::QuotaClamp(_) => 9,
+        Event::ContentionStall(_) => 10,
+        Event::LeaseExpired(_) => 11,
+        Event::LeaseRevoked(_) => 12,
+        Event::TierDegraded(_) => 13,
+        Event::RetryExhausted(_) => 14,
+        Event::Reclaim(_) => 15,
+    }
+}
+
+/// Encodes `(epoch, event)` as one compact record appended to `out`.
+pub fn encode_record(epoch: u64, event: &Event, out: &mut Vec<u8>) {
+    out.push(kind_byte(event));
+    put_u64(out, epoch);
+    match event {
+        Event::AllocDecision(d) => {
+            match d.region {
+                Some(r) => {
+                    put_bool(out, true);
+                    put_u64(out, r);
+                }
+                None => put_bool(out, false),
+            }
+            put_u64(out, d.size);
+            put_u64(out, d.requested as u64);
+            put_u64(out, d.used as u64);
+            put_bool(out, d.scope == Scope::Any);
+            out.push(match d.fallback {
+                FallbackMode::Strict => 0,
+                FallbackMode::NextTarget => 1,
+                FallbackMode::PartialSpill => 2,
+            });
+            put_u64(out, d.candidates.len() as u64);
+            for c in &d.candidates {
+                put_u64(out, c.node.0 as u64);
+                put_u64(out, c.value);
+            }
+            put_u64(out, d.hops.len() as u64);
+            for h in &d.hops {
+                put_u64(out, h.node.0 as u64);
+                put_str(out, &h.reason);
+            }
+            put_placement(out, &d.placement);
+            match &d.error {
+                Some(e) => {
+                    put_bool(out, true);
+                    put_str(out, e);
+                }
+                None => put_bool(out, false),
+            }
+        }
+        Event::AttrFallback(a) => {
+            put_u64(out, a.requested as u64);
+            put_u64(out, a.used as u64);
+        }
+        Event::Migration(m) => {
+            put_u64(out, m.region);
+            put_placement(out, &m.from);
+            put_u64(out, m.to.0 as u64);
+            put_u64(out, m.bytes_moved);
+            put_f64(out, m.cost_ns);
+        }
+        Event::Free(f) => {
+            put_u64(out, f.region);
+            put_placement(out, &f.placement);
+        }
+        Event::PhaseSpan(p) => {
+            put_str(out, &p.name);
+            put_f64(out, p.time_ns);
+            put_u64(out, p.threads);
+            put_u64(out, p.per_node.len() as u64);
+            for t in &p.per_node {
+                put_u64(out, t.node.0 as u64);
+                put_u64(out, t.bytes_read);
+                put_u64(out, t.bytes_written);
+                put_f64(out, t.achieved_bw_mbps);
+            }
+        }
+        Event::OccupancyGauge(g) => {
+            put_u64(out, g.node.0 as u64);
+            put_u64(out, g.used);
+            put_u64(out, g.high_water);
+            put_u64(out, g.total);
+        }
+        Event::TieringAction(t) => {
+            put_u64(out, t.region);
+            put_bool(out, t.promoted);
+            put_u64(out, t.to.0 as u64);
+            put_f64(out, t.cost_ns);
+        }
+        Event::GuidanceDecision(g) => {
+            put_u64(out, g.interval);
+            put_u64(out, g.region);
+            put_bool(out, g.promoted);
+            put_u64(out, g.to.0 as u64);
+            put_f64(out, g.estimated_hotness);
+            put_f64(out, g.actual_hotness);
+            put_f64(out, g.cost_ns);
+            put_u64(out, g.period);
+        }
+        Event::TenantAdmit(t) => {
+            put_str(out, &t.tenant);
+            put_u64(out, t.lease);
+            put_u64(out, t.size);
+            put_placement(out, &t.placement);
+            put_bool(out, t.clamped);
+            put_u64(out, t.fast_bytes);
+        }
+        Event::QuotaClamp(q) => {
+            put_str(out, &q.tenant);
+            put_u64(out, q.node.0 as u64);
+            put_u64(out, q.requested);
+            put_u64(out, q.allowed);
+        }
+        Event::ContentionStall(c) => {
+            put_str(out, &c.tenant);
+            put_u64(out, c.node.0 as u64);
+            put_f64(out, c.stall_ns);
+            put_u64(out, c.sharers);
+        }
+        Event::LeaseExpired(l) => {
+            put_str(out, &l.tenant);
+            put_u64(out, l.lease);
+            put_u64(out, l.ttl_epochs);
+        }
+        Event::LeaseRevoked(l) => {
+            put_str(out, &l.tenant);
+            put_u64(out, l.lease);
+            put_str(out, &l.reason);
+        }
+        Event::TierDegraded(t) => {
+            put_str(out, &t.kind);
+            put_bool(out, t.degraded);
+        }
+        Event::RetryExhausted(r) => {
+            put_str(out, &r.tenant);
+            put_str(out, &r.op);
+            put_u64(out, r.attempts);
+            put_str(out, &r.last_error);
+        }
+        Event::Reclaim(r) => {
+            put_str(out, &r.tenant);
+            put_u64(out, r.lease);
+            put_u64(out, r.bytes);
+            put_placement(out, &r.placement);
+            put_str(out, &r.reason);
+        }
+    }
+}
+
+/// Decodes one compact record produced by [`encode_record`].
+pub fn decode_record(bytes: &[u8]) -> Result<(u64, Event), CodecError> {
+    let mut c = Cursor { bytes, pos: 0 };
+    let kind = c.u64()? as usize;
+    let epoch = c.u64()?;
+    let event = match crate::EVENT_KINDS.get(kind).copied() {
+        Some("alloc_decision") => {
+            let region = if c.bool()? { Some(c.u64()?) } else { None };
+            let size = c.u64()?;
+            let requested = c.u32()?;
+            let used = c.u32()?;
+            let scope = if c.bool()? { Scope::Any } else { Scope::Local };
+            let fallback = match c.u64()? {
+                0 => FallbackMode::Strict,
+                1 => FallbackMode::NextTarget,
+                2 => FallbackMode::PartialSpill,
+                other => return Err(CodecError::new(format!("bad fallback byte {other}"))),
+            };
+            let n = c.u64()? as usize;
+            let candidates = (0..n)
+                .map(|_| Ok(Candidate { node: c.node()?, value: c.u64()? }))
+                .collect::<Result<_, CodecError>>()?;
+            let n = c.u64()? as usize;
+            let hops = (0..n)
+                .map(|_| Ok(Hop { node: c.node()?, reason: c.str()? }))
+                .collect::<Result<_, CodecError>>()?;
+            let placement = c.placement()?;
+            let error = if c.bool()? { Some(c.str()?) } else { None };
+            Event::AllocDecision(AllocDecision {
+                region,
+                size,
+                requested,
+                used,
+                scope,
+                fallback,
+                candidates,
+                hops,
+                placement,
+                error,
+            })
+        }
+        Some("attr_fallback") => {
+            Event::AttrFallback(AttrFallback { requested: c.u32()?, used: c.u32()? })
+        }
+        Some("migration") => Event::Migration(Migration {
+            region: c.u64()?,
+            from: c.placement()?,
+            to: c.node()?,
+            bytes_moved: c.u64()?,
+            cost_ns: c.f64()?,
+        }),
+        Some("free") => Event::Free(FreeEvent { region: c.u64()?, placement: c.placement()? }),
+        Some("phase_span") => {
+            let name = c.str()?;
+            let time_ns = c.f64()?;
+            let threads = c.u64()?;
+            let n = c.u64()? as usize;
+            let per_node = (0..n)
+                .map(|_| {
+                    Ok(NodeTrafficSample {
+                        node: c.node()?,
+                        bytes_read: c.u64()?,
+                        bytes_written: c.u64()?,
+                        achieved_bw_mbps: c.f64()?,
+                    })
+                })
+                .collect::<Result<_, CodecError>>()?;
+            Event::PhaseSpan(PhaseSpan { name, time_ns, threads, per_node })
+        }
+        Some("occupancy") => Event::OccupancyGauge(OccupancyGauge {
+            node: c.node()?,
+            used: c.u64()?,
+            high_water: c.u64()?,
+            total: c.u64()?,
+        }),
+        Some("tiering_action") => Event::TieringAction(TieringEvent {
+            region: c.u64()?,
+            promoted: c.bool()?,
+            to: c.node()?,
+            cost_ns: c.f64()?,
+        }),
+        Some("guidance_decision") => Event::GuidanceDecision(GuidanceDecision {
+            interval: c.u64()?,
+            region: c.u64()?,
+            promoted: c.bool()?,
+            to: c.node()?,
+            estimated_hotness: c.f64()?,
+            actual_hotness: c.f64()?,
+            cost_ns: c.f64()?,
+            period: c.u64()?,
+        }),
+        Some("tenant_admit") => Event::TenantAdmit(TenantAdmit {
+            tenant: c.str()?,
+            lease: c.u64()?,
+            size: c.u64()?,
+            placement: c.placement()?,
+            clamped: c.bool()?,
+            fast_bytes: c.u64()?,
+        }),
+        Some("quota_clamp") => Event::QuotaClamp(QuotaClamp {
+            tenant: c.str()?,
+            node: c.node()?,
+            requested: c.u64()?,
+            allowed: c.u64()?,
+        }),
+        Some("contention_stall") => Event::ContentionStall(ContentionStall {
+            tenant: c.str()?,
+            node: c.node()?,
+            stall_ns: c.f64()?,
+            sharers: c.u64()?,
+        }),
+        Some("lease_expired") => Event::LeaseExpired(LeaseExpired {
+            tenant: c.str()?,
+            lease: c.u64()?,
+            ttl_epochs: c.u64()?,
+        }),
+        Some("lease_revoked") => Event::LeaseRevoked(LeaseRevoked {
+            tenant: c.str()?,
+            lease: c.u64()?,
+            reason: c.str()?,
+        }),
+        Some("tier_degraded") => {
+            Event::TierDegraded(TierDegraded { kind: c.str()?, degraded: c.bool()? })
+        }
+        Some("retry_exhausted") => Event::RetryExhausted(RetryExhausted {
+            tenant: c.str()?,
+            op: c.str()?,
+            attempts: c.u64()?,
+            last_error: c.str()?,
+        }),
+        Some("reclaim") => Event::Reclaim(Reclaim {
+            tenant: c.str()?,
+            lease: c.u64()?,
+            bytes: c.u64()?,
+            placement: c.placement()?,
+            reason: c.str()?,
+        }),
+        _ => return Err(CodecError::new(format!("unknown kind byte {kind}"))),
+    };
+    c.done()?;
+    Ok((epoch, event))
+}
+
+/// Appends one record to a binary trace buffer, framed with a varint
+/// byte length — the on-disk compact log format.
+pub fn append_framed(buf: &mut Vec<u8>, epoch: u64, event: &Event) {
+    let mut record = Vec::new();
+    encode_record(epoch, event, &mut record);
+    put_u64(buf, record.len() as u64);
+    buf.extend_from_slice(&record);
+}
+
+/// Parses a whole binary trace written with [`append_framed`].
+pub fn read_framed(bytes: &[u8]) -> Result<Vec<(u64, Event)>, CodecError> {
+    let mut c = Cursor { bytes, pos: 0 };
+    let mut out = Vec::new();
+    while c.pos < bytes.len() {
+        let len = c.u64()? as usize;
+        let end = c
+            .pos
+            .checked_add(len)
+            .filter(|&e| e <= bytes.len())
+            .ok_or_else(|| CodecError::new("truncated framed record"))?;
+        out.push(decode_record(&bytes[c.pos..end])?);
+        c.pos = end;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_boundaries_roundtrip() {
+        for v in [0u64, 1, 127, 128, 16383, 16384, u32::MAX as u64, u64::MAX - 1, u64::MAX] {
+            let mut buf = Vec::new();
+            put_u64(&mut buf, v);
+            let mut c = Cursor { bytes: &buf, pos: 0 };
+            assert_eq!(c.u64().expect("decode"), v);
+            c.done().expect("consumed");
+        }
+    }
+
+    #[test]
+    fn compact_is_much_smaller_than_jsonl() {
+        let event = Event::OccupancyGauge(OccupancyGauge {
+            node: NodeId(2),
+            used: 5 << 30,
+            high_water: 9 << 30,
+            total: 768 << 30,
+        });
+        let mut buf = Vec::new();
+        encode_record(7, &event, &mut buf);
+        assert!(
+            buf.len() * 3 < event.to_json().len(),
+            "compact {}B vs jsonl {}B",
+            buf.len(),
+            event.to_json().len()
+        );
+        assert_eq!(decode_record(&buf).expect("roundtrip"), (7, event));
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        let event = Event::LeaseRevoked(LeaseRevoked {
+            tenant: "graph500".into(),
+            lease: 11,
+            reason: "disconnect".into(),
+        });
+        let mut buf = Vec::new();
+        encode_record(3, &event, &mut buf);
+        for cut in 0..buf.len() {
+            assert!(decode_record(&buf[..cut]).is_err(), "cut at {cut} decoded");
+        }
+    }
+
+    #[test]
+    fn framed_log_roundtrips() {
+        let events = vec![
+            (0, Event::AttrFallback(AttrFallback { requested: 4, used: 2 })),
+            (5, Event::TierDegraded(TierDegraded { kind: "hbm".into(), degraded: true })),
+            (9, Event::Free(FreeEvent { region: 1, placement: vec![(NodeId(4), 64)] })),
+        ];
+        let mut buf = Vec::new();
+        for (epoch, event) in &events {
+            append_framed(&mut buf, *epoch, event);
+        }
+        assert_eq!(read_framed(&buf).expect("parse"), events);
+        assert!(read_framed(&buf[..buf.len() - 1]).is_err());
+    }
+}

@@ -3,7 +3,7 @@
 //! The paper's whole point is that placement should be *explainable*
 //! by performance attributes; this crate is the layer that makes every
 //! decision observable. The allocator, memory manager and access
-//! engine emit [`Event`]s into a shared [`Recorder`]:
+//! engine emit [`Event`]s into a shared [`TelemetrySink`]:
 //!
 //! * [`AllocDecision`] — why a buffer landed where it did: the
 //!   requested criterion, the attribute actually used after fallback,
@@ -20,19 +20,38 @@
 //! * [`OccupancyGauge`] — per-node used bytes and high-water marks,
 //!   sampled at every capacity change.
 //!
-//! Recorders are lock-cheap: the default [`NullRecorder`] reports
+//! The emission fast path is wait-free: a cloneable [`TelemetrySink`]
+//! hands each producing thread a [`ThreadWriter`] owning a per-thread
+//! SPSC race buffer ([`ring`], after ekotrace's verified protocol), a
+//! [`Collector`] drains every ring tolerating overwrite races with
+//! exact per-thread loss counts, and [`compact`] provides the varint
+//! on-disk encoding. A [`TelemetrySink::disabled`] sink reports
 //! `enabled() == false` so instrumented hot paths skip building events
-//! entirely; [`RingRecorder`] keeps the last N events in memory;
-//! [`JsonlWriter`] streams one JSON object per line, the format the
-//! `--trace` flag of the repro binaries produces. [`Summary`] folds a
-//! stream of events into a per-run placement report.
+//! entirely. [`JsonlWriter`] streams one JSON object per line, the
+//! format the `--trace` flag of the repro binaries produces.
+//! [`Summary`] folds a stream of events into a per-run placement
+//! report.
+//!
+//! The older shared [`Recorder`] trait (and its [`NullRecorder`] /
+//! [`RingRecorder`] implementations) is deprecated: every `record()`
+//! serialized producers behind a `Mutex`, which put telemetry on the
+//! allocation critical path. [`TelemetrySink`] implements `Recorder`
+//! as a bridge so out-of-tree callers keep compiling during the
+//! migration.
 
 #![warn(missing_docs)]
 
+pub mod compact;
 pub mod json;
+mod ring;
+mod sink;
 mod summary;
 
 pub use json::ParseError;
+pub use sink::{
+    BackgroundCollector, CollectedEvent, Collector, TelemetrySink, ThreadLoss, ThreadWriter,
+    DEFAULT_RING_WORDS,
+};
 pub use summary::{OccupancyStats, PhaseSample, Summary};
 
 use hetmem_topology::NodeId;
@@ -870,6 +889,17 @@ fn attr_id(name: &str) -> Result<u32, ParseError> {
 
 /// Sink for telemetry events. Implementations must be cheap when
 /// disabled and safe to share across threads.
+///
+/// Deprecated: `record(&self, Event)` fans every producing thread into
+/// one shared object, which in practice meant a `Mutex` on the
+/// allocation hot path. [`TelemetrySink`] implements this trait as a
+/// bridge, so code holding an `Arc<dyn Recorder>` can be handed a sink
+/// unchanged while it migrates.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `TelemetrySink` / `ThreadWriter`: per-thread wait-free rings instead of a \
+            shared mutex recorder"
+)]
 pub trait Recorder: Send + Sync {
     /// Whether events are being kept. Hot paths skip building events
     /// when this is `false`.
@@ -893,6 +923,7 @@ pub trait Recorder: Send + Sync {
 /// for the lifetime of the request loop.
 ///
 /// ```
+/// # #![allow(deprecated)]
 /// use hetmem_telemetry::{FlushGuard, NullRecorder, Recorder};
 /// use std::sync::Arc;
 /// let recorder: Arc<dyn Recorder> = Arc::new(NullRecorder);
@@ -901,8 +932,14 @@ pub trait Recorder: Send + Sync {
 ///     // ... record events; the guard flushes on scope exit or panic
 /// }
 /// ```
+#[deprecated(
+    since = "0.2.0",
+    note = "use `BackgroundCollector` (its `Drop` drains and flushes) or `Collector::drain_sorted`"
+)]
+#[allow(deprecated)]
 pub struct FlushGuard(std::sync::Arc<dyn Recorder>);
 
+#[allow(deprecated)]
 impl FlushGuard {
     /// Guards `recorder`, flushing it when the guard drops.
     pub fn new(recorder: std::sync::Arc<dyn Recorder>) -> FlushGuard {
@@ -910,6 +947,7 @@ impl FlushGuard {
     }
 }
 
+#[allow(deprecated)]
 impl Drop for FlushGuard {
     fn drop(&mut self) {
         self.0.flush_events();
@@ -918,9 +956,11 @@ impl Drop for FlushGuard {
 
 /// Discards everything; `enabled()` is `false` so instrumented code
 /// pays only a virtual call per decision.
+#[deprecated(since = "0.2.0", note = "use `TelemetrySink::disabled()`")]
 #[derive(Debug, Default, Clone, Copy)]
 pub struct NullRecorder;
 
+#[allow(deprecated)]
 impl Recorder for NullRecorder {
     fn enabled(&self) -> bool {
         false
@@ -930,17 +970,41 @@ impl Recorder for NullRecorder {
 }
 
 /// Keeps the most recent `capacity` events in memory.
-#[derive(Debug)]
+///
+/// When the ring is full the oldest event is dropped; the number of
+/// events lost this way is reported by [`RingRecorder::dropped`] and
+/// folded into [`Summary::events_lost`] by [`RingRecorder::summary`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use `TelemetrySink` with `Collector::drain_sorted` / `Collector::summarize`"
+)]
 pub struct RingRecorder {
     capacity: usize,
     buf: Mutex<VecDeque<Event>>,
+    dropped: std::sync::atomic::AtomicU64,
 }
 
+#[allow(deprecated)]
+impl std::fmt::Debug for RingRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RingRecorder")
+            .field("capacity", &self.capacity)
+            .field("len", &self.len())
+            .field("dropped", &self.dropped())
+            .finish()
+    }
+}
+
+#[allow(deprecated)]
 impl RingRecorder {
     /// A ring holding up to `capacity` events; older events are
-    /// dropped.
+    /// dropped (and counted — see [`RingRecorder::dropped`]).
     pub fn new(capacity: usize) -> RingRecorder {
-        RingRecorder { capacity, buf: Mutex::new(VecDeque::new()) }
+        RingRecorder {
+            capacity,
+            buf: Mutex::new(VecDeque::new()),
+            dropped: std::sync::atomic::AtomicU64::new(0),
+        }
     }
 
     /// A snapshot of the retained events, oldest first.
@@ -958,21 +1022,31 @@ impl RingRecorder {
         self.len() == 0
     }
 
-    /// Folds the retained events into a [`Summary`].
+    /// Events evicted because the ring was full. Previously these were
+    /// dropped silently, understating totals in capped traces.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Folds the retained events into a [`Summary`], counting evicted
+    /// events as [`Summary::events_lost`].
     pub fn summary(&self) -> Summary {
         let mut s = Summary::default();
         for e in self.buf.lock().expect("ring poisoned").iter() {
             s.add(e);
         }
+        s.events_lost += self.dropped();
         s
     }
 }
 
+#[allow(deprecated)]
 impl Recorder for RingRecorder {
     fn record(&self, event: Event) {
         let mut buf = self.buf.lock().expect("ring poisoned");
         if buf.len() == self.capacity {
             buf.pop_front();
+            self.dropped.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         }
         buf.push_back(event);
     }
@@ -1006,16 +1080,39 @@ impl Drop for JsonlWriter {
     }
 }
 
-impl Recorder for JsonlWriter {
-    fn record(&self, event: Event) {
+impl JsonlWriter {
+    /// Writes one event as a JSON line. Write errors are swallowed —
+    /// a full disk mid-trace must not take the experiment down.
+    pub fn write_event(&self, event: &Event) {
         let line = event.to_json();
         let mut out = self.out.lock().expect("writer poisoned");
-        // A full disk mid-trace must not take the experiment down.
         let _ = writeln!(out, "{line}");
+    }
+}
+
+#[allow(deprecated)]
+impl Recorder for JsonlWriter {
+    fn record(&self, event: Event) {
+        self.write_event(&event);
     }
 
     fn flush_events(&self) {
         let _ = self.flush();
+    }
+}
+
+/// Bridge shim: a [`TelemetrySink`] can stand in anywhere an
+/// `Arc<dyn Recorder>` used to go. `record` routes through
+/// [`TelemetrySink::emit`] (per-thread ring under the hood); `flush`
+/// is a no-op because collectors, not producers, own persistence.
+#[allow(deprecated)]
+impl Recorder for TelemetrySink {
+    fn enabled(&self) -> bool {
+        TelemetrySink::enabled(self)
+    }
+
+    fn record(&self, event: Event) {
+        self.emit(event);
     }
 }
 
@@ -1025,6 +1122,7 @@ pub fn read_jsonl(text: &str) -> Result<Vec<Event>, ParseError> {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // exercises the deprecated Recorder shim on purpose
 mod tests {
     use super::*;
 
@@ -1257,6 +1355,45 @@ mod tests {
         let back = read_jsonl(&text).expect("parse");
         assert_eq!(back.len(), 2);
         assert_eq!(back[0], sample_decision());
+    }
+
+    #[test]
+    fn jsonl_writer_flushes_tail_on_drop() {
+        // Regression: a function that returns early (or unwinds)
+        // without calling flush() must not lose the buffered tail —
+        // JsonlWriter's Drop does a best-effort flush.
+        let path =
+            std::env::temp_dir().join(format!("hetmem_jsonl_drop_{}.jsonl", std::process::id()));
+        fn write_and_return_early(path: &std::path::Path) {
+            let w = JsonlWriter::new(std::io::BufWriter::with_capacity(
+                1 << 20, // large enough that nothing auto-flushes
+                std::fs::File::create(path).expect("create"),
+            ));
+            w.write_event(&Event::AttrFallback(AttrFallback { requested: 4, used: 2 }));
+            w.write_event(&Event::AttrFallback(AttrFallback { requested: 6, used: 3 }));
+            // No flush: the drop glue owns the tail.
+        }
+        write_and_return_early(&path);
+        let text = std::fs::read_to_string(&path).expect("trace file");
+        let events = read_jsonl(&text).expect("parses");
+        assert_eq!(events.len(), 2, "tail lost on early return");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn ring_recorder_counts_dropped_events_into_summary() {
+        let ring = RingRecorder::new(2);
+        for n in 0..5u32 {
+            ring.record(Event::OccupancyGauge(OccupancyGauge {
+                node: NodeId(n),
+                used: 0,
+                high_water: 0,
+                total: 1,
+            }));
+        }
+        assert_eq!(ring.dropped(), 3);
+        let summary = ring.summary();
+        assert_eq!(summary.events_lost, 3, "evictions must be visible in the summary");
     }
 
     #[test]

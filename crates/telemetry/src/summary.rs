@@ -74,6 +74,14 @@ pub struct Summary {
     pub phases: Vec<PhaseSample>,
     /// Live region placement: region id → `(node, bytes)` split.
     pub live: BTreeMap<u64, Vec<(NodeId, u64)>>,
+    /// Events emitted but not collected: overwritten in a wait-free
+    /// ring before a collector reached them, or evicted from a capped
+    /// `RingRecorder`. A nonzero count means every other total above
+    /// is a lower bound.
+    pub events_lost: u64,
+    /// [`Summary::events_lost`] split by producing-thread label, as
+    /// reported by [`crate::Collector::loss`].
+    pub lost_per_thread: BTreeMap<u64, u64>,
 }
 
 impl Summary {
@@ -156,6 +164,18 @@ impl Summary {
         s
     }
 
+    /// Folds a collector's per-thread loss accounting into the
+    /// summary, so downstream readers see exactly how much of the
+    /// stream the totals are missing.
+    pub fn apply_loss(&mut self, losses: &[crate::ThreadLoss]) {
+        for l in losses {
+            if l.lost > 0 {
+                self.events_lost += l.lost;
+                *self.lost_per_thread.entry(l.thread).or_default() += l.lost;
+            }
+        }
+    }
+
     /// Live bytes currently placed on `node` according to the trace.
     pub fn live_bytes_on(&self, node: NodeId) -> u64 {
         self.live
@@ -223,6 +243,21 @@ impl Summary {
                     fmt_bytes(s.total)
                 );
             }
+        }
+        if self.events_lost > 0 {
+            let threads = self
+                .lost_per_thread
+                .iter()
+                .map(|(t, n)| format!("thread {t}: {n}"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            let _ = writeln!(
+                out,
+                "  events lost: {} (counts above are lower bounds{}{})",
+                self.events_lost,
+                if threads.is_empty() { "" } else { "; " },
+                threads
+            );
         }
         if !self.phases.is_empty() {
             let _ = writeln!(out, "  phases:");

@@ -14,7 +14,7 @@ use hetmem::guidance::{GuidanceEngine, GuidancePolicy, SamplerConfig};
 use hetmem::memsim::{
     AccessEngine, AccessPattern, AllocPolicy, BufferAccess, Machine, MemoryManager, Phase, RegionId,
 };
-use hetmem::telemetry::{Event, RingRecorder};
+use hetmem::telemetry::{Event, TelemetrySink};
 use hetmem::{Bitmap, NodeId};
 use std::sync::Arc;
 
@@ -45,9 +45,9 @@ fn main() {
     // Default policy: rank by bandwidth, promote at a 25% traffic
     // share, demote below 10%, 2-interval hysteresis. Period 32768
     // accesses per sample.
-    let recorder = Arc::new(RingRecorder::new(64));
+    let sink = TelemetrySink::new();
     let mut g = GuidanceEngine::new(attrs, GuidancePolicy::default(), SamplerConfig::default());
-    g.set_recorder(recorder.clone());
+    g.set_sink(sink.clone());
 
     println!("phase        intervals   time (ms)   moved");
     let names = ["era1.0", "era1.1", "era1.2", "era2.0", "era2.1", "era2.2", "era2.3"];
@@ -93,8 +93,8 @@ fn main() {
     // recording how hot the engine *thought* the region was vs how hot
     // it actually was in that interval.
     println!();
-    for event in recorder.events().iter() {
-        if let Event::GuidanceDecision(d) = event {
+    for event in sink.collector().drain_sorted() {
+        if let Event::GuidanceDecision(d) = &event.event {
             println!(
                 "decision @interval {}: region {} {} -> {} (estimated {:.2}, actual {:.2})",
                 d.interval,

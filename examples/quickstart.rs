@@ -8,7 +8,7 @@
 use hetmem::alloc::{AllocRequest, Fallback, HetAllocator};
 use hetmem::core::{attr, discovery};
 use hetmem::memsim::{Machine, MemoryManager};
-use hetmem::telemetry::RingRecorder;
+use hetmem::telemetry::TelemetrySink;
 use hetmem::Bitmap;
 use std::sync::Arc;
 
@@ -36,8 +36,8 @@ fn main() {
     //    builder, one criterion, ranked fallback when the best target
     //    is full — with every decision recorded.
     let mut allocator = HetAllocator::new(attrs, MemoryManager::new(machine.clone()));
-    let recorder = Arc::new(RingRecorder::new(64));
-    allocator.set_recorder(recorder.clone());
+    let sink = TelemetrySink::new();
+    allocator.set_sink(sink.clone());
     let hot = allocator
         .alloc(
             &AllocRequest::new(1 << 30)
@@ -65,7 +65,9 @@ fn main() {
         );
     }
 
-    // 5. The telemetry subsystem saw every decision.
+    // 5. The telemetry subsystem saw every decision — drained from
+    //    the wait-free per-thread rings, with exact loss accounting.
     println!();
-    print!("{}", recorder.summary().render());
+    let (_events, summary) = sink.collector().summarize();
+    print!("{}", summary.render());
 }

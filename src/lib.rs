@@ -29,8 +29,10 @@
 //! * [`service`] — a multi-tenant allocation broker with fair-share
 //!   arbitration, a JSONL wire protocol (`hetmem-serve`) and
 //!   contention feedback between co-located tenants;
-//! * [`telemetry`] — allocation-decision events, recorders (ring
-//!   buffer, JSONL) and the per-run placement report behind `--trace`.
+//! * [`telemetry`] — allocation-decision events, the wait-free
+//!   [`TelemetrySink`]/[`ThreadWriter`] emission fast path with
+//!   loss-accounted collection, JSONL traces, and the per-run
+//!   placement report behind `--trace`.
 
 #![warn(missing_docs)]
 pub use hetmem_alloc as alloc;
@@ -53,4 +55,7 @@ pub use hetmem_core::{attr, AttrFlags, AttrId, LocalityFlags, MemAttrs, NodeId};
 pub use hetmem_memsim::Machine;
 pub use hetmem_placement::{
     AdmissionPolicy, FallbackChain, PlacementEngine, PlacementPlan, RankedCandidates,
+};
+pub use hetmem_telemetry::{
+    BackgroundCollector, CollectedEvent, Collector, TelemetrySink, ThreadLoss, ThreadWriter,
 };

@@ -199,7 +199,7 @@ fn hysteresis_prevents_ping_pong_on_alternating_workload() {
 #[test]
 fn guided_trace_runs_are_byte_identical() {
     use hetmem::scenario::{execute_with_options, parse, ExecOptions};
-    use hetmem::telemetry::JsonlWriter;
+    use hetmem::telemetry::{JsonlWriter, TelemetrySink};
 
     let text =
         std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/scenarios/guidance.txt"))
@@ -210,9 +210,15 @@ fn guided_trace_runs_are_byte_identical() {
         let path = std::env::temp_dir()
             .join(format!("hetmem-guidance-determinism-{}-{tag}.jsonl", std::process::id()));
         let writer = Arc::new(JsonlWriter::create(&path).expect("trace file"));
-        execute_with_options(&scenario, writer.clone(), ExecOptions::default())
+        let sink = TelemetrySink::with_ring_words(1 << 16);
+        execute_with_options(&scenario, sink.clone(), ExecOptions::default())
             .map(|_| ())
             .expect("executes");
+        let mut collector = sink.collector();
+        for e in collector.drain_sorted() {
+            writer.write_event(&e.event);
+        }
+        assert!(collector.loss().iter().all(|l| l.lost == 0), "trace must be complete");
         writer.flush().expect("flush");
         let bytes = std::fs::read(&path).expect("read trace");
         let _ = std::fs::remove_file(&path);

@@ -8,6 +8,12 @@ use hetmem::memsim::{
     AccessEngine, AccessPattern, AllocPolicy, BufferAccess, Machine, MemoryManager, Phase,
     PAGE_SIZE,
 };
+use hetmem::telemetry::{
+    compact, AllocDecision, AttrFallback, Candidate, ContentionStall, Event, FallbackMode,
+    FreeEvent, GuidanceDecision, Hop, LeaseExpired, LeaseRevoked, Migration, NodeTrafficSample,
+    OccupancyGauge, PhaseSpan, QuotaClamp, Reclaim, RetryExhausted, Scope, TenantAdmit,
+    TierDegraded, TieringEvent,
+};
 use hetmem::{Bitmap, NodeId};
 use proptest::prelude::*;
 use std::sync::Arc;
@@ -208,5 +214,203 @@ proptest! {
             prop_assert_eq!(order, sorted);
             alloc.free(id);
         }
+    }
+}
+
+fn placement_strategy() -> impl Strategy<Value = Vec<(NodeId, u64)>> {
+    prop::collection::vec((0u32..8, 0u64..(1 << 40)).prop_map(|(n, b)| (NodeId(n), b)), 0..4)
+}
+
+/// One strategy per [`Event`] variant, so the codec properties below
+/// exercise every tag byte and every field type (strings, options,
+/// nested lists, `f64` bit patterns).
+fn event_strategy() -> impl Strategy<Value = Event> {
+    prop_oneof![
+        (
+            (prop::option::of(any::<u64>()), 1u64..(1 << 40), 0u32..8, 0u32..8),
+            (
+                prop::sample::select(vec![Scope::Local, Scope::Any]),
+                prop::sample::select(vec![
+                    FallbackMode::Strict,
+                    FallbackMode::NextTarget,
+                    FallbackMode::PartialSpill,
+                ]),
+            ),
+            prop::collection::vec(
+                (0u32..8, any::<u64>()).prop_map(|(n, v)| Candidate { node: NodeId(n), value: v }),
+                0..4,
+            ),
+            prop::collection::vec(
+                (0u32..8, ".{0,12}").prop_map(|(n, reason)| Hop { node: NodeId(n), reason }),
+                0..3,
+            ),
+            placement_strategy(),
+            prop::option::of(".{1,16}"),
+        )
+            .prop_map(|(head, modes, candidates, hops, placement, error)| {
+                let (region, size, requested, used) = head;
+                let (scope, fallback) = modes;
+                Event::AllocDecision(AllocDecision {
+                    region,
+                    size,
+                    requested,
+                    used,
+                    scope,
+                    fallback,
+                    candidates,
+                    hops,
+                    placement,
+                    error,
+                })
+            }),
+        (0u32..8, 0u32..8)
+            .prop_map(|(requested, used)| Event::AttrFallback(AttrFallback { requested, used })),
+        (any::<u64>(), placement_strategy(), 0u32..8, any::<u64>(), any::<f64>()).prop_map(
+            |(region, from, to, bytes_moved, cost)| Event::Migration(Migration {
+                region,
+                from,
+                to: NodeId(to),
+                bytes_moved,
+                cost_ns: cost * 1e9,
+            })
+        ),
+        (any::<u64>(), placement_strategy())
+            .prop_map(|(region, placement)| Event::Free(FreeEvent { region, placement })),
+        (
+            ".{1,10}",
+            any::<f64>(),
+            1u64..64,
+            prop::collection::vec(
+                (0u32..8, any::<u64>(), any::<u64>(), any::<f64>()).prop_map(|(n, r, w, bw)| {
+                    NodeTrafficSample {
+                        node: NodeId(n),
+                        bytes_read: r,
+                        bytes_written: w,
+                        achieved_bw_mbps: bw * 1e5,
+                    }
+                }),
+                0..4,
+            ),
+        )
+            .prop_map(|(name, t, threads, per_node)| {
+                Event::PhaseSpan(PhaseSpan { name, time_ns: t * 1e9, threads, per_node })
+            }),
+        (0u32..8, any::<u64>(), any::<u64>(), any::<u64>()).prop_map(
+            |(node, used, high_water, total)| Event::OccupancyGauge(OccupancyGauge {
+                node: NodeId(node),
+                used,
+                high_water,
+                total,
+            })
+        ),
+        (any::<u64>(), any::<bool>(), 0u32..8, any::<f64>()).prop_map(
+            |(region, promoted, to, cost)| Event::TieringAction(TieringEvent {
+                region,
+                promoted,
+                to: NodeId(to),
+                cost_ns: cost * 1e9,
+            })
+        ),
+        (
+            (any::<u64>(), any::<u64>(), any::<bool>(), 0u32..8),
+            (any::<f64>(), any::<f64>(), any::<f64>()),
+            1u64..(1 << 22),
+        )
+            .prop_map(|(head, hotness, period)| {
+                let (interval, region, promoted, to) = head;
+                let (est, act, cost) = hotness;
+                Event::GuidanceDecision(GuidanceDecision {
+                    interval,
+                    region,
+                    promoted,
+                    to: NodeId(to),
+                    estimated_hotness: est,
+                    actual_hotness: act,
+                    cost_ns: cost * 1e9,
+                    period,
+                })
+            }),
+        (".{1,10}", any::<u64>(), any::<u64>(), placement_strategy(), any::<bool>(), any::<u64>())
+            .prop_map(|(tenant, lease, size, placement, clamped, fast_bytes)| {
+                Event::TenantAdmit(TenantAdmit {
+                    tenant,
+                    lease,
+                    size,
+                    placement,
+                    clamped,
+                    fast_bytes,
+                })
+            }),
+        (".{1,10}", 0u32..8, any::<u64>(), any::<u64>()).prop_map(
+            |(tenant, node, requested, allowed)| Event::QuotaClamp(QuotaClamp {
+                tenant,
+                node: NodeId(node),
+                requested,
+                allowed,
+            })
+        ),
+        (".{1,10}", 0u32..8, any::<f64>(), 1u64..64).prop_map(|(tenant, node, stall, sharers)| {
+            Event::ContentionStall(ContentionStall {
+                tenant,
+                node: NodeId(node),
+                stall_ns: stall * 1e9,
+                sharers,
+            })
+        }),
+        (".{1,10}", any::<u64>(), 1u64..100).prop_map(|(tenant, lease, ttl_epochs)| {
+            Event::LeaseExpired(LeaseExpired { tenant, lease, ttl_epochs })
+        }),
+        (".{1,10}", any::<u64>(), ".{1,16}").prop_map(|(tenant, lease, reason)| {
+            Event::LeaseRevoked(LeaseRevoked { tenant, lease, reason })
+        }),
+        (".{1,10}", any::<bool>())
+            .prop_map(|(kind, degraded)| Event::TierDegraded(TierDegraded { kind, degraded })),
+        (".{1,10}", ".{1,10}", 1u64..16, ".{1,16}").prop_map(
+            |(tenant, op, attempts, last_error)| Event::RetryExhausted(RetryExhausted {
+                tenant,
+                op,
+                attempts,
+                last_error,
+            })
+        ),
+        (".{1,10}", any::<u64>(), any::<u64>(), placement_strategy(), ".{1,12}").prop_map(
+            |(tenant, lease, bytes, placement, reason)| Event::Reclaim(Reclaim {
+                tenant,
+                lease,
+                bytes,
+                placement,
+                reason,
+            })
+        ),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every event round-trips bit-exactly through the compact varint
+    /// codec used by the wait-free telemetry rings: the decoded epoch
+    /// and event equal the originals, including `f64` bit patterns.
+    #[test]
+    fn compact_record_round_trips(epoch in any::<u64>(), event in event_strategy()) {
+        let mut buf = Vec::new();
+        compact::encode_record(epoch, &event, &mut buf);
+        let (back_epoch, back_event) = compact::decode_record(&buf).expect("decodes");
+        prop_assert_eq!(back_epoch, epoch);
+        prop_assert_eq!(back_event, event);
+    }
+
+    /// Framed on-disk streams round-trip: any sequence of records
+    /// written with `append_framed` reads back verbatim.
+    #[test]
+    fn compact_framed_stream_round_trips(
+        records in prop::collection::vec((any::<u64>(), event_strategy()), 0..12),
+    ) {
+        let mut buf = Vec::new();
+        for (epoch, event) in &records {
+            compact::append_framed(&mut buf, *epoch, event);
+        }
+        let back = compact::read_framed(&buf).expect("reads");
+        prop_assert_eq!(back, records);
     }
 }

@@ -12,20 +12,30 @@ use hetmem::alloc::{AllocRequest, Fallback, HetAllocator};
 use hetmem::core::{attr, discovery};
 use hetmem::memsim::{Machine, MemoryManager};
 use hetmem::telemetry::{
-    read_jsonl, Event, FallbackMode, JsonlWriter, RingRecorder, Scope, Summary,
+    read_jsonl, Event, FallbackMode, JsonlWriter, Scope, Summary, TelemetrySink,
 };
 use hetmem::{Bitmap, NodeId};
 use std::sync::Arc;
 
 const GIB: u64 = 1 << 30;
 
-fn knl_with_recorder() -> (HetAllocator, Arc<RingRecorder>) {
+fn knl_with_sink() -> (HetAllocator, TelemetrySink) {
     let machine = Arc::new(Machine::knl_snc4_flat());
     let attrs = Arc::new(discovery::from_firmware(&machine, true).expect("discovery"));
     let mut alloc = HetAllocator::new(attrs, MemoryManager::new(machine));
-    let recorder = Arc::new(RingRecorder::new(256));
-    alloc.set_recorder(recorder.clone());
-    (alloc, recorder)
+    // Rings sized so nothing in these histories is ever overwritten —
+    // the trace must be a complete record, not a sample.
+    let sink = TelemetrySink::with_ring_words(1 << 14);
+    alloc.set_sink(sink.clone());
+    (alloc, sink)
+}
+
+/// Drains every event the sink has seen, in emission (epoch) order.
+fn drain(sink: &TelemetrySink) -> Vec<Event> {
+    let mut collector = sink.collector();
+    let events: Vec<Event> = collector.drain_sorted().into_iter().map(|e| e.event).collect();
+    assert!(collector.loss().iter().all(|l| l.lost == 0), "test rings must not overwrite");
+    events
 }
 
 /// The §VII overflow: a bandwidth request larger than the MCDRAM under
@@ -33,7 +43,7 @@ fn knl_with_recorder() -> (HetAllocator, Arc<RingRecorder>) {
 /// filled to capacity) and the exact split (MCDRAM head + DRAM tail).
 #[test]
 fn partial_spill_records_exact_hop_and_split_sequence() {
-    let (mut alloc, recorder) = knl_with_recorder();
+    let (mut alloc, sink) = knl_with_sink();
     let cluster: Bitmap = "0-15".parse().expect("cpuset");
     let hbm_avail = alloc.memory().available(NodeId(4));
 
@@ -47,7 +57,7 @@ fn partial_spill_records_exact_hop_and_split_sequence() {
         )
         .expect("spills to DRAM");
 
-    let events = recorder.events();
+    let events = drain(&sink);
     // Occupancy gauges for the touched nodes come first (the memory
     // manager speaks before the allocator's verdict), the decision is
     // the final word.
@@ -82,7 +92,7 @@ fn partial_spill_records_exact_hop_and_split_sequence() {
 /// and no placement.
 #[test]
 fn strict_failure_is_recorded() {
-    let (mut alloc, recorder) = knl_with_recorder();
+    let (mut alloc, sink) = knl_with_sink();
     let cluster: Bitmap = "0-15".parse().expect("cpuset");
     let hbm_avail = alloc.memory().available(NodeId(4));
     alloc
@@ -93,8 +103,8 @@ fn strict_failure_is_recorded() {
                 .fallback(Fallback::Strict),
         )
         .expect_err("does not fit strictly");
-    let decisions: Vec<_> = recorder
-        .events()
+    let events = drain(&sink);
+    let decisions: Vec<_> = events
         .iter()
         .filter_map(|e| match e {
             Event::AllocDecision(d) => Some(d.clone()),
@@ -105,7 +115,7 @@ fn strict_failure_is_recorded() {
     assert_eq!(decisions[0].region, None);
     assert!(decisions[0].placement.is_empty());
     assert!(decisions[0].error.is_some());
-    let summary = Summary::from_events(&recorder.events());
+    let summary = Summary::from_events(&events);
     assert_eq!(summary.allocs, 0);
     assert_eq!(summary.alloc_failures, 1);
 }
@@ -118,11 +128,11 @@ fn jsonl_file_round_trip_preserves_events() {
     let machine = Arc::new(Machine::knl_snc4_flat());
     let attrs = Arc::new(discovery::from_firmware(&machine, true).expect("discovery"));
     let mut alloc = HetAllocator::new(attrs, MemoryManager::new(machine));
-    let ring = Arc::new(RingRecorder::new(256));
-    alloc.set_recorder(ring.clone());
+    let sink = TelemetrySink::with_ring_words(1 << 14);
+    alloc.set_sink(sink.clone());
     let writer = Arc::new(JsonlWriter::create(&path).expect("temp file"));
-    // Mirror everything into the file by replaying the ring afterwards;
-    // first drive a history through the allocator.
+    // Mirror everything into the file by replaying the drained stream
+    // afterwards; first drive a history through the allocator.
     let cluster: Bitmap = "0-15".parse().expect("cpuset");
     let keep = alloc
         .alloc(
@@ -144,10 +154,10 @@ fn jsonl_file_round_trip_preserves_events() {
     alloc.migrate_to_best(keep, attr::CAPACITY, &cluster).expect("DRAM has room");
     alloc.free(gone);
 
-    use hetmem::telemetry::Recorder as _;
-    let original = ring.events();
+    let original: Vec<Event> =
+        sink.collector().drain_sorted().into_iter().map(|e| e.event).collect();
     for e in &original {
-        writer.record(e.clone());
+        writer.write_event(e);
     }
     writer.flush().expect("flush");
 
@@ -162,7 +172,7 @@ fn jsonl_file_round_trip_preserves_events() {
 /// and frees.
 #[test]
 fn trace_live_placement_matches_memory_manager() {
-    let (mut alloc, recorder) = knl_with_recorder();
+    let (mut alloc, sink) = knl_with_sink();
     let cluster: Bitmap = "0-15".parse().expect("cpuset");
     let hbm_avail = alloc.memory().available(NodeId(4));
 
@@ -195,7 +205,7 @@ fn trace_live_placement_matches_memory_manager() {
     alloc.migrate_to_best(small, attr::BANDWIDTH, &cluster).expect("MCDRAM free");
     alloc.free(doomed);
 
-    let summary = Summary::from_events(&recorder.events());
+    let summary = Summary::from_events(&drain(&sink));
     // Same live-region set...
     let truth: std::collections::BTreeMap<u64, Vec<(NodeId, u64)>> =
         alloc.memory().regions().map(|r| (r.id.0, r.placement.clone())).collect();
@@ -222,8 +232,8 @@ fn tiering_daemon_actions_are_traced() {
     let attrs = Arc::new(discovery::from_firmware(&machine, true).expect("discovery"));
     let engine = AccessEngine::new(machine.clone());
     let mut alloc = HetAllocator::new(attrs, MemoryManager::new(machine));
-    let recorder = Arc::new(RingRecorder::new(256));
-    alloc.set_recorder(recorder.clone());
+    let sink = TelemetrySink::with_ring_words(1 << 14);
+    alloc.set_sink(sink.clone());
     let cluster: Bitmap = "0-15".parse().expect("cpuset");
 
     // `a` takes MCDRAM; `b` lands on DRAM. Two phases of `b`-only
@@ -255,8 +265,8 @@ fn tiering_daemon_actions_are_traced() {
     let actions = daemon.rebalance(&mut alloc, &cluster).expect("rebalances");
     assert_eq!(actions.len(), 2, "{actions:?}");
 
-    let traced: Vec<(u64, bool, NodeId)> = recorder
-        .events()
+    let events = drain(&sink);
+    let traced: Vec<(u64, bool, NodeId)> = events
         .iter()
         .filter_map(|e| match e {
             Event::TieringAction(t) => Some((t.region, t.promoted, t.to)),
@@ -273,7 +283,7 @@ fn tiering_daemon_actions_are_traced() {
     assert_eq!(traced, expected, "trace must mirror the daemon's actions");
     // The daemon's migrations also show up as Migration events, and
     // the summary counts both.
-    let summary = Summary::from_events(&recorder.events());
+    let summary = Summary::from_events(&events);
     assert_eq!(summary.tiering_actions, 2);
     assert!(summary.migrations >= 2);
 }
