@@ -1,7 +1,7 @@
 //! Regenerates every table of the paper's evaluation.
 //!
 //! ```text
-//! repro_tables [--table1|--table2a|--table2b|--table3a|--table3b|--table4|--portability|--capacity|--guidance|--service|--chaos|--all]
+//! repro_tables [--table1|--table2a|--table2b|--table3a|--table3b|--table4|--portability|--capacity|--guidance|--service|--chaos|--replay|--all]
 //!              [--trace <out.jsonl>]
 //! repro_tables --compare <baseline.json|dir> <current.json|dir> [--tolerance <frac>]
 //! repro_tables --check-bench <BENCH_*.json>...
@@ -13,12 +13,19 @@
 //! captures the fault sweep's lifecycle events (`tier_degraded`,
 //! `lease_expired`, `reclaim`, ...).
 //!
-//! The `--capacity`, `--guidance`, `--service` and `--chaos` runs also
-//! persist their key numbers as `BENCH_<area>.json` at the repo root
-//! (schema: `docs/bench_schema.json`). `--compare` diffs a fresh run
-//! against the committed baseline and exits non-zero when any metric
-//! regresses by more than the tolerance (default 10%) in its losing
-//! direction; `--check-bench` validates files against the schema.
+//! The `--capacity`, `--guidance`, `--service`, `--chaos` and
+//! `--replay` runs also persist their key numbers as
+//! `BENCH_<area>.json` at the repo root (schema:
+//! `docs/bench_schema.json`). `--compare` diffs a fresh run against
+//! the committed baseline and exits non-zero when any metric regresses
+//! by more than the tolerance (default 10%) in its losing direction;
+//! areas listed in `perf::MACHINE_DEPENDENT_AREAS` (wall-clock
+//! timings) are skipped with an explicit message rather than gated.
+//! `--check-bench` validates files against the schema.
+//!
+//! `--replay` drives the `hetmem-snapshot` record → snapshot → restore
+//! → replay harness and exits non-zero unless every replay reproduces
+//! the recording byte for byte.
 
 use hetmem_alloc::planner::{plan, PlanOrder, PlannedAlloc};
 use hetmem_alloc::{baselines, Fallback};
@@ -91,6 +98,9 @@ fn main() {
     if all || arg == "--chaos" {
         chaos(trace.as_deref());
     }
+    if all || arg == "--replay" {
+        replay_determinism();
+    }
 }
 
 /// `--compare <baseline> <current> [--tolerance <frac>]`: regression
@@ -121,12 +131,24 @@ fn compare_cmd(args: &[String]) -> i32 {
         return 2;
     };
     let load = |p: &String| {
-        perf::load(std::path::Path::new(p)).unwrap_or_else(|e| {
-            eprintln!("repro_tables: {e}");
-            std::process::exit(2);
-        })
+        let (records, skipped) =
+            perf::load_comparable(std::path::Path::new(p)).unwrap_or_else(|e| {
+                eprintln!("repro_tables: {e}");
+                std::process::exit(2);
+            });
+        for s in skipped {
+            println!(
+                "skipping {}: machine-dependent timings are not regression-gated",
+                s.display()
+            );
+        }
+        records
     };
     let (baseline, current) = (load(baseline_path), load(current_path));
+    if baseline.is_empty() {
+        println!("nothing to compare (baseline has no machine-independent areas)");
+        return 0;
+    }
     let deltas = perf::compare(&baseline, &current, tolerance);
     println!(
         "{:<14} {:<36} {:>14} {:>14} {:>8}",
@@ -777,6 +799,92 @@ fn chaos(trace: Option<&str>) {
         }
     }
     println!();
+}
+
+/// `--replay`: the snapshot/wire-log determinism drill. Records a
+/// seeded chaos run, checkpoints it mid-flight, restores the snapshot
+/// into a fresh broker, re-executes the recorded tail and demands the
+/// final state and telemetry summary match byte for byte. Every
+/// number here is deterministic in the seed (sizes and counts, no
+/// wall clock), so `BENCH_snapshot.json` is regression-gated on all
+/// machines.
+fn replay_determinism() {
+    use hetmem_snapshot::{chaos_record_replay, HarnessConfig};
+    println!("== Replay: record -> snapshot -> restore -> replay determinism (KNL, fair-share) ==");
+    println!(
+        "{:<8} {:>7} {:>6} {:>9} {:>7} {:>9} {:>9} {:>8} {:>9}",
+        "seed", "epochs", "snap@", "requests", "frames", "snap(B)", "log(B)", "events", "verified"
+    );
+    let mut records = Vec::new();
+    let mut all_verified = true;
+    for (seed, epochs, snapshot_at) in [(0xc4a0u64, 48, 24), (0x0dd5, 96, 60)] {
+        let cfg = HarnessConfig { seed, epochs, snapshot_at, tenants: 4 };
+        let out = chaos_record_replay(&cfg).unwrap_or_else(|e| {
+            eprintln!("repro_tables: replay harness failed: {e}");
+            std::process::exit(1);
+        });
+        let verified = out.report.verified();
+        all_verified &= verified;
+        println!(
+            "{:<8} {:>7} {:>6} {:>9} {:>7} {:>9} {:>9} {:>8} {:>9}",
+            format!("{seed:#06x}"),
+            epochs,
+            snapshot_at,
+            out.requests_recorded,
+            out.frames,
+            out.snapshot_bytes,
+            out.log_bytes,
+            out.report.events,
+            if verified { "yes" } else { "NO" }
+        );
+        records.extend([
+            BenchRecord::new(
+                "record_replay",
+                "snapshot_bytes",
+                out.snapshot_bytes as f64,
+                "count",
+                seed,
+            ),
+            BenchRecord::new(
+                "record_replay",
+                "wire_log_bytes",
+                out.log_bytes as f64,
+                "count",
+                seed,
+            ),
+            BenchRecord::new("record_replay", "frames", out.frames as f64, "count", seed),
+            BenchRecord::new(
+                "record_replay",
+                "requests",
+                out.requests_recorded as f64,
+                "count",
+                seed,
+            ),
+            BenchRecord::new(
+                "record_replay",
+                "replayed_events",
+                out.report.events as f64,
+                "count",
+                seed,
+            ),
+            BenchRecord::new(
+                "record_replay",
+                "verified",
+                if verified { 1.0 } else { 0.0 },
+                "count",
+                seed,
+            ),
+        ]);
+    }
+    emit_bench("snapshot", &records);
+    println!(
+        "  => replays byte-identical (state + summary): {}",
+        if all_verified { "yes" } else { "NO" }
+    );
+    println!();
+    if !all_verified {
+        std::process::exit(1);
+    }
 }
 
 /// §VII: capacity conflicts — FCFS vs priorities on the KNL MCDRAM.

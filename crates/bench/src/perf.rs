@@ -11,6 +11,11 @@
 //! Direction is inferred from the unit: pure time units (`ns`, `us`,
 //! `ms`, `s`) are lower-is-better; everything else (`events/s`,
 //! `ops/s`, `x`, counts) is higher-is-better.
+//!
+//! Areas listed in [`MACHINE_DEPENDENT_AREAS`] carry wall-clock
+//! timings of whatever host produced them; they are schema-validated
+//! and diffable but explicitly skipped by `--compare` (see
+//! [`load_comparable`]) instead of silently drifting across runners.
 
 use hetmem_telemetry::json::{parse, JsonValue};
 use std::path::{Path, PathBuf};
@@ -147,9 +152,26 @@ pub fn load_str(text: &str) -> Result<Vec<BenchRecord>, String> {
     doc.array().map_err(|e| format!("{e}"))?.iter().map(BenchRecord::from_json).collect()
 }
 
-/// Loads one `BENCH_*.json` file, or every `BENCH_*.json` directly
-/// inside a directory.
-pub fn load(path: &Path) -> Result<Vec<BenchRecord>, String> {
+/// Areas whose `BENCH_<area>.json` numbers are wall-clock timings of
+/// the producing host (nanoseconds per alloc, events per second) and
+/// therefore meaningless to regression-gate across machines. They are
+/// still emitted, schema-checked and diffable in review.
+pub const MACHINE_DEPENDENT_AREAS: &[&str] = &["alloc", "telemetry"];
+
+/// The `<area>` of a `BENCH_<area>.json` path, if the file name has
+/// that shape.
+pub fn area_of(path: &Path) -> Option<String> {
+    let name = path.file_name()?.to_str()?;
+    Some(name.strip_prefix("BENCH_")?.strip_suffix(".json")?.to_string())
+}
+
+/// Whether a baseline file carries machine-dependent timings that
+/// `--compare` must skip (its area is in [`MACHINE_DEPENDENT_AREAS`]).
+pub fn is_machine_dependent(path: &Path) -> bool {
+    area_of(path).is_some_and(|a| MACHINE_DEPENDENT_AREAS.contains(&a.as_str()))
+}
+
+fn bench_files(path: &Path) -> Result<Vec<PathBuf>, String> {
     let mut files = Vec::new();
     if path.is_dir() {
         let entries = std::fs::read_dir(path).map_err(|e| format!("{}: {e}", path.display()))?;
@@ -164,13 +186,31 @@ pub fn load(path: &Path) -> Result<Vec<BenchRecord>, String> {
     } else {
         files.push(path.to_path_buf());
     }
+    Ok(files)
+}
+
+fn load_files(files: &[PathBuf]) -> Result<Vec<BenchRecord>, String> {
     let mut records = Vec::new();
     for file in files {
-        let text =
-            std::fs::read_to_string(&file).map_err(|e| format!("{}: {e}", file.display()))?;
+        let text = std::fs::read_to_string(file).map_err(|e| format!("{}: {e}", file.display()))?;
         records.extend(load_str(&text).map_err(|e| format!("{}: {e}", file.display()))?);
     }
     Ok(records)
+}
+
+/// Loads one `BENCH_*.json` file, or every `BENCH_*.json` directly
+/// inside a directory.
+pub fn load(path: &Path) -> Result<Vec<BenchRecord>, String> {
+    load_files(&bench_files(path)?)
+}
+
+/// [`load`] for regression comparison: machine-dependent areas are
+/// dropped rather than gated. Returns the loaded records and the
+/// skipped paths so the caller can report the skips explicitly.
+pub fn load_comparable(path: &Path) -> Result<(Vec<BenchRecord>, Vec<PathBuf>), String> {
+    let (skipped, kept): (Vec<PathBuf>, Vec<PathBuf>) =
+        bench_files(path)?.into_iter().partition(|p| is_machine_dependent(p));
+    Ok((load_files(&kept)?, skipped))
 }
 
 /// One metric's baseline-vs-current comparison.

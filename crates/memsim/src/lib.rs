@@ -44,7 +44,10 @@ pub use engine::{
 };
 pub use fault::{Fault, FaultKind, FaultPlan, SplitMix64};
 pub use machine::{AccessAdjust, Machine};
-pub use memory::{AllocError, AllocPolicy, MemoryManager, MigrationReport, Region, RegionId};
+pub use memory::{
+    AllocError, AllocPolicy, ManagerState, MemoryManager, MigrationReport, Region, RegionId,
+    RegionState, RestoreError,
+};
 pub use timing::{MemSideCacheTiming, NodeTiming};
 
 /// Simulated page size (4 KiB, like Linux).

@@ -115,6 +115,55 @@ impl Region {
     }
 }
 
+/// Plain-data image of one live [`Region`], as captured by
+/// [`MemoryManager::capture`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegionState {
+    /// The region id.
+    pub id: u64,
+    /// Requested size in bytes.
+    pub size: u64,
+    /// Ordered per-node placement chunks.
+    pub placement: Vec<(NodeId, u64)>,
+    /// The policy the region was allocated under.
+    pub policy: AllocPolicy,
+}
+
+/// Plain-data image of a whole [`MemoryManager`] at one instant:
+/// every live region, the id counter, and the per-node high-water
+/// marks. Free capacity is *derived* on restore (usable capacity minus
+/// the placements), so a state that oversubscribes a node cannot be
+/// reinstated silently. The `hetmem-snapshot` crate serializes this
+/// struct into its checkpoint files.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ManagerState {
+    /// Live regions in id order.
+    pub regions: Vec<RegionState>,
+    /// The next region id to hand out.
+    pub next_id: u64,
+    /// Per-node high-water marks, in node order.
+    pub high_water: Vec<(NodeId, u64)>,
+}
+
+/// Why a captured [`ManagerState`] could not be reinstated onto a
+/// machine (see [`MemoryManager::restore`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RestoreError(String);
+
+impl RestoreError {
+    fn new(msg: impl Into<String>) -> RestoreError {
+        RestoreError(msg.into())
+    }
+}
+
+impl std::fmt::Display for RestoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "manager restore: {}", self.0)
+    }
+}
+
+impl std::error::Error for RestoreError {}
+
 /// Outcome of a migration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MigrationReport {
@@ -452,6 +501,69 @@ impl MemoryManager {
     pub fn total_available(&self) -> u64 {
         self.free.values().sum()
     }
+
+    /// Captures the manager's full mutable state as plain data. The
+    /// telemetry sink is *not* part of the state — a restored manager
+    /// starts with a disabled sink.
+    pub fn capture(&self) -> ManagerState {
+        ManagerState {
+            regions: self
+                .regions
+                .values()
+                .map(|r| RegionState {
+                    id: r.id.0,
+                    size: r.size,
+                    placement: r.placement.clone(),
+                    policy: r.policy.clone(),
+                })
+                .collect(),
+            next_id: self.next_id,
+            high_water: self.high_water.iter().map(|(&n, &hw)| (n, hw)).collect(),
+        }
+    }
+
+    /// Reinstates a captured state onto `machine`. Free capacity is
+    /// recomputed from the placements; a state whose regions reference
+    /// unknown nodes, oversubscribe a node, reuse a region id, or use
+    /// an id at or past `next_id` is rejected with a typed error and
+    /// no manager is built.
+    pub fn restore(machine: Arc<Machine>, state: &ManagerState) -> Result<Self, RestoreError> {
+        let mut mm = MemoryManager::new(machine);
+        for r in &state.regions {
+            if r.id >= state.next_id {
+                return Err(RestoreError::new(format!(
+                    "region #{} is at or past next_id {}",
+                    r.id, state.next_id
+                )));
+            }
+            for &(node, bytes) in &r.placement {
+                let free = mm.free.get_mut(&node).ok_or_else(|| {
+                    RestoreError::new(format!("region #{} references unknown {node}", r.id))
+                })?;
+                *free = free.checked_sub(bytes).ok_or_else(|| {
+                    RestoreError::new(format!("region #{} oversubscribes {node}", r.id))
+                })?;
+            }
+            let id = RegionId(r.id);
+            let region = Region {
+                id,
+                size: r.size,
+                placement: r.placement.clone(),
+                policy: r.policy.clone(),
+            };
+            if mm.regions.insert(id, region).is_some() {
+                return Err(RestoreError::new(format!("duplicate region #{}", r.id)));
+            }
+        }
+        mm.next_id = state.next_id;
+        for &(node, hw) in &state.high_water {
+            if !mm.free.contains_key(&node) {
+                return Err(RestoreError::new(format!("high-water mark for unknown {node}")));
+            }
+            mm.high_water.insert(node, hw);
+        }
+        Ok(mm)
+    }
 }
 
 #[cfg(test)]
@@ -677,6 +789,44 @@ mod tests {
             .expect("node 0 gauges");
         assert_eq!(last_gauge0.used, 0);
         assert_eq!(last_gauge0.high_water, 2 * GIB);
+    }
+
+    #[test]
+    fn capture_restore_roundtrips_and_validates() {
+        let mut mm = manager();
+        let a = mm.alloc(2 * GIB, AllocPolicy::Bind(NodeId(4))).unwrap();
+        let b = mm.alloc(3 * GIB, AllocPolicy::PreferredMany(vec![NodeId(0), NodeId(1)])).unwrap();
+        mm.free(a);
+        let state = mm.capture();
+        let back = MemoryManager::restore(mm.machine().clone(), &state).expect("restores");
+        assert_eq!(back.capture(), state, "capture/restore round-trips");
+        for &n in &mm.machine().topology().node_ids() {
+            assert_eq!(back.available(n), mm.available(n), "free bytes agree on {n}");
+            assert_eq!(back.high_water(n), mm.high_water(n), "high water agrees on {n}");
+        }
+        // The restored manager keeps allocating where the original
+        // left off: region ids never collide with live ones.
+        let mut back = back;
+        let c = back.alloc(GIB, AllocPolicy::Bind(NodeId(0))).unwrap();
+        assert!(c > b, "fresh ids continue past the restored counter");
+
+        // Corrupted states are rejected, not applied.
+        let mut bad = state.clone();
+        bad.regions[0].placement = vec![(NodeId(99), GIB)];
+        let err = MemoryManager::restore(mm.machine().clone(), &bad).unwrap_err();
+        assert!(err.to_string().contains("unknown"), "{err}");
+        let mut bad = state.clone();
+        bad.regions[0].placement = vec![(NodeId(4), 1 << 50)];
+        let err = MemoryManager::restore(mm.machine().clone(), &bad).unwrap_err();
+        assert!(err.to_string().contains("oversubscribes"), "{err}");
+        let mut bad = state.clone();
+        bad.next_id = 0;
+        assert!(MemoryManager::restore(mm.machine().clone(), &bad).is_err());
+        let mut bad = state.clone();
+        let dup = bad.regions[0].clone();
+        bad.regions.push(dup);
+        let err = MemoryManager::restore(mm.machine().clone(), &bad).unwrap_err();
+        assert!(err.to_string().contains("duplicate"), "{err}");
     }
 
     #[test]

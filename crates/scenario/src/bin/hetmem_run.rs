@@ -1,5 +1,11 @@
 //! CLI for the scenario DSL:
-//! `hetmem-run <file> [--objects] [--timeline] [--trace <out.jsonl>] [--guidance [period]]`.
+//! `hetmem-run <file> [--objects] [--timeline] [--trace <out.jsonl>] [--guidance [period]]
+//! [--record <out.hmwl>]`.
+//!
+//! `--record` writes the served request stream as a `hetmem-snapshot`
+//! wire log (trailer included) that `hetmem-replay` can re-execute and
+//! verify; combine with a `snapshot` stanza in the scenario to
+//! checkpoint mid-run.
 
 use hetmem_scenario::{execute_with_options, parse, ExecOptions};
 use hetmem_telemetry::{read_jsonl, BackgroundCollector, JsonlWriter, Summary, TelemetrySink};
@@ -15,12 +21,19 @@ fn main() {
     let mut show_timeline = false;
     let mut trace: Option<String> = None;
     let mut want_trace_path = false;
+    let mut record: Option<String> = None;
+    let mut want_record_path = false;
     let mut guidance: Option<u64> = None;
     let mut want_period = false;
     for a in &args {
         if want_trace_path {
             trace = Some(a.clone());
             want_trace_path = false;
+            continue;
+        }
+        if want_record_path {
+            record = Some(a.clone());
+            want_record_path = false;
             continue;
         }
         if want_period {
@@ -39,6 +52,7 @@ fn main() {
             "--objects" => show_objects = true,
             "--timeline" => show_timeline = true,
             "--trace" => want_trace_path = true,
+            "--record" => want_record_path = true,
             "--guidance" => {
                 guidance = Some(DEFAULT_PERIOD);
                 want_period = true;
@@ -46,11 +60,15 @@ fn main() {
             "--help" | "-h" => {
                 eprintln!(
                     "usage: hetmem-run <scenario-file> [--objects] [--timeline] \
-                     [--trace <out.jsonl>] [--guidance [period]]"
+                     [--trace <out.jsonl>] [--guidance [period]] [--record <out.hmwl>]"
                 );
                 eprintln!(
                     "  --guidance: run every phase under the online sampling engine \
                      (default period {DEFAULT_PERIOD} accesses/sample)"
+                );
+                eprintln!(
+                    "  --record: write the served request stream as a wire log for \
+                     hetmem-replay (served scenarios without phases only)"
                 );
                 eprintln!("platforms: {}", hetmem_scenario::PLATFORM_NAMES.join(", "));
                 return;
@@ -60,6 +78,10 @@ fn main() {
     }
     if want_trace_path {
         eprintln!("hetmem-run: --trace needs a file argument");
+        std::process::exit(2);
+    }
+    if want_record_path {
+        eprintln!("hetmem-run: --record needs a file argument");
         std::process::exit(2);
     }
     let Some(file) = file else {
@@ -74,8 +96,10 @@ fn main() {
         eprintln!("hetmem-run: {file}: {e}");
         std::process::exit(1);
     });
-    let options =
-        ExecOptions { guidance: guidance.map(|period| (period, hetmem_core::attr::BANDWIDTH)) };
+    let options = ExecOptions {
+        guidance: guidance.map(|period| (period, hetmem_core::attr::BANDWIDTH)),
+        record: record.is_some(),
+    };
     let result = match &trace {
         Some(path) => {
             let writer = JsonlWriter::create(path).unwrap_or_else(|e| {
@@ -85,7 +109,10 @@ fn main() {
             let writer = Arc::new(writer);
             // Large rings plus a short drain cadence: a scenario trace
             // is expected to be complete, and any loss is reported.
-            let sink = TelemetrySink::with_ring_words(1 << 16);
+            // Record mode sizes the ring like hetmem-replay does, so
+            // overflow behavior cannot differ between the two sides.
+            let words = if record.is_some() { 1 << 18 } else { 1 << 16 };
+            let sink = TelemetrySink::with_ring_words(words);
             let collector = {
                 let writer = writer.clone();
                 BackgroundCollector::spawn(
@@ -106,12 +133,29 @@ fn main() {
             let _ = writer.flush();
             r
         }
-        None => execute_with_options(&scenario, TelemetrySink::disabled(), options),
+        None => {
+            // Record mode needs a live sink even without --trace: the
+            // trailer summary is computed from the recorded segment's
+            // events (sized like hetmem-replay's sink).
+            let sink = if record.is_some() {
+                TelemetrySink::with_ring_words(1 << 18)
+            } else {
+                TelemetrySink::disabled()
+            };
+            execute_with_options(&scenario, sink, options)
+        }
     };
     let report = result.unwrap_or_else(|e| {
         eprintln!("hetmem-run: {file}: {e}");
         std::process::exit(1);
     });
+    if let (Some(path), Some(log)) = (&record, &report.wire_log) {
+        if let Err(e) = log.write_file(std::path::Path::new(path)) {
+            eprintln!("hetmem-run: cannot write wire log {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("record: {} frames -> {path}", log.frames.len());
+    }
 
     println!("scenario: {file} on {}", scenario.machine);
     for p in &report.phases {

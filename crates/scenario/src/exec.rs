@@ -7,8 +7,10 @@ use hetmem_core::MemAttrs;
 use hetmem_guidance::{GuidanceEngine, GuidancePolicy, GuidanceStats, SamplerConfig};
 use hetmem_memsim::{AccessEngine, BufferAccess, MemoryManager, Phase, RegionId};
 use hetmem_profile::Profiler;
+use hetmem_service::wire::Request;
 use hetmem_service::{Broker, LeaseId, RobustnessStats, TenantId, TenantSpec, TenantStats};
-use hetmem_telemetry::TelemetrySink;
+use hetmem_snapshot::{Snapshot, WireFrame, WireLog};
+use hetmem_telemetry::{Summary, TelemetrySink};
 use hetmem_topology::NodeId;
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -107,6 +109,16 @@ pub struct ExecOptions {
     /// started with `guidance <period> <criterion>`. A `guidance`
     /// statement inside the scenario replaces these settings.
     pub guidance: Option<(u64, hetmem_core::AttrId)>,
+    /// Record the served request stream as a `hetmem-snapshot` wire
+    /// log (the `--record` backend of `hetmem-run`). The scenario must
+    /// run in served mode with the full-machine initiator, and may not
+    /// contain phases or `global` allocations — only state transitions
+    /// expressible over the wire protocol replay byte-for-byte. With a
+    /// `snapshot` stanza, recording starts at the checkpoint so the
+    /// log continues exactly where the snapshot leaves off; without
+    /// one it starts at `serve`. The finished log (trailer included)
+    /// is returned in [`ScenarioReport::wire_log`].
+    pub record: bool,
 }
 
 /// The full scenario outcome.
@@ -133,6 +145,10 @@ pub struct ScenarioReport {
     /// Lease-lifecycle counters (expirations, revocations, reclaimed
     /// bytes) when the scenario ran in served mode; `None` otherwise.
     pub robustness: Option<RobustnessStats>,
+    /// The recorded wire log when [`ExecOptions::record`] was set,
+    /// ending in a trailer with the final broker state and the
+    /// telemetry summary of the recorded segment; `None` otherwise.
+    pub wire_log: Option<WireLog>,
 }
 
 /// Runs a scenario; deterministic like everything else.
@@ -207,6 +223,19 @@ pub fn execute_with_options(
     let mut tenant_ids: BTreeMap<String, TenantId> = BTreeMap::new();
     let mut current_tenant: Option<(String, TenantId)> = None;
     let mut lease_ids: BTreeMap<String, LeaseId> = BTreeMap::new();
+    // Which tenant owns each served buffer, for synthesizing `free`
+    // frames in record mode.
+    let mut lease_owners: BTreeMap<String, String> = BTreeMap::new();
+
+    // Record mode (`--record`): frames accumulate here and the
+    // telemetry collector captures exactly the recorded segment's
+    // events for the trailer summary. With a `snapshot` stanza,
+    // `recording` flips on at the checkpoint.
+    let has_snapshot_stanza =
+        scenario.commands.iter().any(|s| matches!(s.cmd, Command::Snapshot { .. }));
+    let mut wire_log: Option<WireLog> = None;
+    let mut rec_collector = if options.record { Some(sink.collector()) } else { None };
+    let mut recording = false;
 
     let mut buffers: BTreeMap<String, RegionId> = BTreeMap::new();
     let mut phases = Vec::new();
@@ -233,9 +262,19 @@ pub fn execute_with_options(
                 if guidance.is_some() {
                     return Err(misuse("guidance and served mode are mutually exclusive"));
                 }
+                if options.record && initiator != *machine.topology().machine_cpuset() {
+                    return Err(misuse(
+                        "record mode needs the full-machine initiator (replayed requests \
+                         place against the whole machine)",
+                    ));
+                }
                 let mut b = Broker::new(machine.clone(), attrs.clone(), *policy);
                 b.set_sink(sink.clone());
                 broker = Some(b);
+                if options.record {
+                    wire_log = Some(WireLog::new(machine.name(), *policy));
+                    recording = !has_snapshot_stanza;
+                }
             }
             Command::Tenant { name, priority } => {
                 let Some(broker) = broker.as_ref() else {
@@ -256,6 +295,20 @@ pub fn execute_with_options(
                                 message: e.to_string(),
                             })?;
                         tenant_ids.insert(name.clone(), id);
+                        if recording {
+                            if let Some(log) = wire_log.as_mut() {
+                                log.frames.push(WireFrame::Request {
+                                    epoch: broker.epoch(),
+                                    json: Request::Register {
+                                        tenant: name.clone(),
+                                        priority: *priority,
+                                        quota: Vec::new(),
+                                        reserve: Vec::new(),
+                                    }
+                                    .to_json(),
+                                });
+                            }
+                        }
                         id
                     }
                 };
@@ -271,18 +324,44 @@ pub fn execute_with_options(
                     req = req.any_locality();
                 }
                 if let Some(broker) = broker.as_ref() {
-                    let Some((_, tenant)) = current_tenant.as_ref() else {
+                    let Some((tenant_name, tenant)) = current_tenant.as_ref() else {
                         return Err(ExecError::Service {
                             name: name.clone(),
                             line,
                             message: "no tenant selected (put a `tenant` statement first)".into(),
                         });
                     };
+                    if recording && *global {
+                        return Err(ExecError::Service {
+                            name: name.clone(),
+                            line,
+                            message: "global allocations cannot be recorded (the wire \
+                                      protocol serves whole-machine locality only)"
+                                .into(),
+                        });
+                    }
                     let lease = broker.acquire_with_ttl(*tenant, &req, *ttl).map_err(|e| {
                         ExecError::Service { name: name.clone(), line, message: e.to_string() }
                     })?;
                     buffers.insert(name.clone(), lease.region());
                     lease_ids.insert(name.clone(), lease.id());
+                    lease_owners.insert(name.clone(), tenant_name.clone());
+                    if recording {
+                        if let Some(log) = wire_log.as_mut() {
+                            log.frames.push(WireFrame::Request {
+                                epoch: broker.epoch(),
+                                json: Request::Alloc {
+                                    tenant: tenant_name.clone(),
+                                    size: *size,
+                                    criterion: *criterion,
+                                    fallback: *fallback,
+                                    label: Some(name.clone()),
+                                    ttl: *ttl,
+                                }
+                                .to_json(),
+                            });
+                        }
+                    }
                 } else {
                     if ttl.is_some() {
                         return Err(ExecError::Service {
@@ -307,11 +386,20 @@ pub fn execute_with_options(
                         .remove(name)
                         .ok_or_else(|| ExecError::UnknownBuffer { name: name.clone(), line })?;
                     buffers.remove(name);
+                    let owner = lease_owners.remove(name);
                     broker.release_by_id(lease).map_err(|e| ExecError::Service {
                         name: name.clone(),
                         line,
                         message: e.to_string(),
                     })?;
+                    if recording {
+                        if let (Some(log), Some(owner)) = (wire_log.as_mut(), owner) {
+                            log.frames.push(WireFrame::Request {
+                                epoch: broker.epoch(),
+                                json: Request::Free { tenant: owner, lease: lease.0 }.to_json(),
+                            });
+                        }
+                    }
                     continue;
                 }
                 let id = buffers
@@ -363,6 +451,15 @@ pub fn execute_with_options(
                     compute_ns: spec.compute_ns,
                 };
                 if let Some(broker) = broker.as_ref() {
+                    if options.record {
+                        return Err(ExecError::Service {
+                            name: spec.name.clone(),
+                            line,
+                            message: "phases cannot be recorded (--record covers the \
+                                      service plane only)"
+                                .into(),
+                        });
+                    }
                     let Some((tenant_name, tenant)) = current_tenant.as_ref() else {
                         return Err(ExecError::Service {
                             name: spec.name.clone(),
@@ -466,6 +563,15 @@ pub fn execute_with_options(
                     });
                 };
                 broker.set_tier_degraded(*kind, *degraded);
+                if recording {
+                    if let Some(log) = wire_log.as_mut() {
+                        log.frames.push(WireFrame::TierFault {
+                            epoch: broker.epoch(),
+                            kind: *kind,
+                            degraded: *degraded,
+                        });
+                    }
+                }
             }
             Command::Tick { epochs } => {
                 let Some(broker) = broker.as_ref() else {
@@ -485,11 +591,77 @@ pub fn execute_with_options(
                     let live = broker.placement(*id).is_some();
                     if !live {
                         buffers.remove(name);
+                        lease_owners.remove(name);
                     }
                     live
                 });
             }
+            Command::Snapshot { epoch, file } => {
+                let Some(broker) = broker.as_ref() else {
+                    return Err(ExecError::Service {
+                        name: "snapshot".into(),
+                        line,
+                        message: "snapshot needs served mode (put `serve` first)".into(),
+                    });
+                };
+                let current = broker.epoch();
+                if *epoch < current {
+                    return Err(ExecError::Service {
+                        name: file.clone(),
+                        line,
+                        message: format!(
+                            "snapshot epoch {epoch} is in the past (clock is at {current})"
+                        ),
+                    });
+                }
+                for _ in current..*epoch {
+                    broker.advance_epoch();
+                }
+                lease_ids.retain(|name, id| {
+                    let live = broker.placement(*id).is_some();
+                    if !live {
+                        buffers.remove(name);
+                        lease_owners.remove(name);
+                    }
+                    live
+                });
+                if options.record {
+                    // Recording (re)starts at the checkpoint: the log
+                    // pairs with this snapshot, and the trailer summary
+                    // covers exactly the events after this boundary.
+                    if let Some(c) = rec_collector.as_mut() {
+                        c.drain_sorted();
+                    }
+                    if let Some(log) = wire_log.as_mut() {
+                        log.frames.clear();
+                    }
+                    recording = true;
+                }
+                let snap = Snapshot::capture(broker, None);
+                snap.write_file(std::path::Path::new(file)).map_err(|e| ExecError::Service {
+                    name: file.clone(),
+                    line,
+                    message: e.to_string(),
+                })?;
+            }
         }
+    }
+
+    if options.record && broker.is_none() {
+        return Err(ExecError::Service {
+            name: "record".into(),
+            line: 0,
+            message: "--record needs a served scenario (add a `serve` statement)".into(),
+        });
+    }
+    if let (Some(log), Some(broker), Some(collector)) =
+        (wire_log.as_mut(), broker.as_ref(), rec_collector.as_mut())
+    {
+        let events: Vec<_> = collector.drain_sorted().into_iter().map(|e| e.event).collect();
+        let summary = Summary::from_events(&events).render();
+        let mut state = Vec::new();
+        hetmem_snapshot::encode_state(&broker.snapshot_state(), &mut state);
+        log.frames.push(WireFrame::Trailer { epoch: broker.epoch(), state, summary });
     }
 
     let final_placements = match &broker {
@@ -519,6 +691,7 @@ pub fn execute_with_options(
         guidance: guidance.map(|g| *g.stats()),
         robustness: broker.as_ref().map(|b| b.robustness()),
         tenants: broker.map(|b| b.tenants()).unwrap_or_default(),
+        wire_log,
     })
 }
 
@@ -792,6 +965,136 @@ free fresh
         assert_eq!(r.phases.len(), 2);
         let rob = r.robustness.expect("served mode");
         assert_eq!(rob.expired, 1, "{rob:?}");
+    }
+
+    #[test]
+    fn shipped_replay_chaos_scenario_records_and_replays_byte_for_byte() {
+        let text = std::fs::read_to_string(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../scenarios/replay_chaos.txt"
+        ))
+        .expect("scenarios/replay_chaos.txt");
+        let s = parse(&text).expect("parses");
+        let sink = TelemetrySink::with_ring_words(1 << 18);
+        let r = execute_with_options(&s, sink, ExecOptions { record: true, ..Default::default() })
+            .expect("runs");
+        let log = r.wire_log.expect("recorded");
+        assert!(
+            matches!(log.frames.last(), Some(WireFrame::Trailer { .. })),
+            "log ends in a trailer"
+        );
+        // The shipped stanza checkpoints at epoch 6, mid-degradation.
+        let snap =
+            hetmem_snapshot::Snapshot::read_file(std::path::Path::new("/tmp/replay_chaos.snap"))
+                .expect("snapshot written by the stanza");
+        assert_eq!(snap.state.epoch, 6);
+        assert!(
+            snap.state.degraded.contains(&hetmem_topology::MemoryKind::Hbm),
+            "checkpoint taken while HBM is degraded: {:?}",
+            snap.state.degraded
+        );
+        assert!(!snap.state.leases.is_empty(), "leases in flight at the checkpoint");
+        let machine = Arc::new(crate::machine_by_name("knl-flat").expect("machine"));
+        let attrs = Arc::new(hetmem_core::discovery::from_firmware(&machine, true).expect("attrs"));
+        let report = hetmem_snapshot::replay(&snap, &log, machine, attrs).expect("replays");
+        assert!(report.requests > 0, "{report:?}");
+        assert!(report.control_frames > 0, "{report:?}");
+        assert_eq!(report.state_matched, Some(true), "{report:?}");
+        assert_eq!(report.summary_matched, Some(true), "{report:?}");
+    }
+
+    #[test]
+    fn snapshot_stanza_writes_a_restorable_checkpoint() {
+        let path = std::env::temp_dir().join("hetmem_snapshot_stanza_test.snap");
+        let s = parse(&format!(
+            "machine knl-flat\nserve\ntenant t latency\nalloc a 1GiB bandwidth spill\n\
+             snapshot epoch=3 file={}\ntick 2\n",
+            path.display()
+        ))
+        .expect("parses");
+        execute(&s).expect("runs");
+        let snap = hetmem_snapshot::Snapshot::read_file(&path).expect("written");
+        assert_eq!(snap.state.epoch, 3);
+        assert_eq!(snap.state.tenants.len(), 1);
+        assert_eq!(snap.state.leases.len(), 1);
+        let machine = Arc::new(crate::machine_by_name("knl-flat").expect("machine"));
+        let attrs = Arc::new(hetmem_core::discovery::from_firmware(&machine, true).expect("attrs"));
+        let broker = snap.restore(machine, attrs).expect("restores");
+        assert_eq!(broker.epoch(), 3);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn record_mode_refuses_unreplayable_statements() {
+        let opts = ExecOptions { record: true, ..Default::default() };
+        let sink = || TelemetrySink::with_ring_words(1 << 12);
+        // Phases cannot be recorded.
+        let s = parse(
+            "machine knl-flat\nserve\ntenant t\nalloc a 1GiB capacity\n\
+             phase p\n  read a 1GiB seq\nend\n",
+        )
+        .expect("parses");
+        match execute_with_options(&s, sink(), opts) {
+            Err(ExecError::Service { name, line, message }) => {
+                assert_eq!(name, "p");
+                assert_eq!(line, 5);
+                assert!(message.contains("service plane"), "{message}");
+            }
+            other => panic!("expected service error, got {:?}", other.map(|_| ())),
+        }
+        // Global allocations cannot be recorded.
+        let s = parse("machine knl-flat\nserve\ntenant t\nalloc a 1GiB latency next global\n")
+            .expect("parses");
+        match execute_with_options(&s, sink(), opts) {
+            Err(ExecError::Service { name, message, .. }) => {
+                assert_eq!(name, "a");
+                assert!(message.contains("global"), "{message}");
+            }
+            other => panic!("expected service error, got {:?}", other.map(|_| ())),
+        }
+        // A restricted initiator is refused at `serve` (wire clients
+        // always place against the whole machine).
+        let s = parse("machine knl-flat\ninitiator 0-3\nserve\n").expect("parses");
+        match execute_with_options(&s, sink(), opts) {
+            Err(ExecError::Service { name, message, .. }) => {
+                assert_eq!(name, "serve");
+                assert!(message.contains("initiator"), "{message}");
+            }
+            other => panic!("expected service error, got {:?}", other.map(|_| ())),
+        }
+        // Recording needs a served scenario at all.
+        let s = parse("machine knl-flat\nalloc a 1GiB capacity\n").expect("parses");
+        match execute_with_options(&s, sink(), opts) {
+            Err(ExecError::Service { name, message, .. }) => {
+                assert_eq!(name, "record");
+                assert!(message.contains("serve"), "{message}");
+            }
+            other => panic!("expected service error, got {:?}", other.map(|_| ())),
+        }
+    }
+
+    #[test]
+    fn snapshot_stanza_misuse_errors() {
+        // Needs served mode.
+        let s = parse("machine knl-flat\nsnapshot epoch=1 file=/tmp/x.snap\n").expect("parses");
+        match execute(&s) {
+            Err(ExecError::Service { name, line, message }) => {
+                assert_eq!(name, "snapshot");
+                assert_eq!(line, 2);
+                assert!(message.contains("serve"), "{message}");
+            }
+            other => panic!("expected service error, got {:?}", other.map(|_| ())),
+        }
+        // The checkpoint epoch cannot be in the past.
+        let s = parse("machine knl-flat\nserve\ntick 4\nsnapshot epoch=2 file=/tmp/x.snap\n")
+            .expect("parses");
+        match execute(&s) {
+            Err(ExecError::Service { line, message, .. }) => {
+                assert_eq!(line, 4);
+                assert!(message.contains("past"), "{message}");
+            }
+            other => panic!("expected service error, got {:?}", other.map(|_| ())),
+        }
     }
 
     #[test]

@@ -24,6 +24,9 @@
 //!                                 # (dram|hbm|nvdimm|nam|gpu; served mode)
 //! tick [n]                        # advance the service clock n epochs
 //!                                 # (default 1; TTLs expire; served mode)
+//! snapshot epoch=<n> file=<path>  # advance to epoch n and write a
+//!                                 # broker checkpoint there (served
+//!                                 # mode; see hetmem-snapshot)
 //!
 //! phase <name>
 //!   read  <buffer> <size> seq|strided|random|chase [hot=<0..1>]
@@ -161,6 +164,18 @@ pub enum Command {
     Tick {
         /// Epochs to advance (at least 1).
         epochs: u64,
+    },
+    /// `snapshot epoch=<n> file=<path>`: advance the broker to epoch
+    /// `n` (an error if the clock is already past it) and write a
+    /// `hetmem-snapshot` checkpoint of the full broker state to
+    /// `path` (served mode only). Under `hetmem-run --record`, wire
+    /// logging starts at this boundary so the log continues exactly
+    /// where the checkpoint leaves off.
+    Snapshot {
+        /// The epoch boundary to checkpoint at.
+        epoch: u64,
+        /// Output path for the snapshot file.
+        file: String,
     },
 }
 
@@ -513,6 +528,24 @@ pub fn parse(text: &str) -> Result<Scenario, ParseError> {
                 }
                 commands.push(Stmt { line, cmd: Command::Tick { epochs } });
             }
+            "snapshot" => {
+                let mut epoch = None;
+                let mut file = None;
+                for &tok in &toks[1..] {
+                    if let Some(n) = tok.strip_prefix("epoch=") {
+                        epoch =
+                            Some(n.parse().map_err(|_| err(format!("bad epoch= value {tok:?}")))?);
+                    } else if let Some(path) = tok.strip_prefix("file=") {
+                        file = Some(path.to_string());
+                    } else {
+                        return Err(err(format!("unknown snapshot option {tok:?}")));
+                    }
+                }
+                let (Some(epoch), Some(file)) = (epoch, file) else {
+                    return Err(err("snapshot needs: snapshot epoch=<n> file=<path>".into()));
+                };
+                commands.push(Stmt { line, cmd: Command::Snapshot { epoch, file } });
+            }
             "phase" => {
                 if toks.len() != 2 {
                     return Err(err("phase needs a name".into()));
@@ -804,6 +837,25 @@ fault restore mcdram
         assert!(parse("machine m\ntick 0\n").is_err());
         assert!(parse("machine m\ntick soon\n").is_err());
         assert!(parse("machine m\ntick 2 3\n").is_err());
+    }
+
+    #[test]
+    fn snapshot_statement() {
+        let s =
+            parse("machine knl-flat\nserve\nsnapshot epoch=6 file=/tmp/brk.snap\n").expect("valid");
+        assert_eq!(s.commands[1].cmd, Command::Snapshot { epoch: 6, file: "/tmp/brk.snap".into() });
+        // Options are order-independent.
+        let s = parse("machine m\nsnapshot file=x.snap epoch=0\n").expect("valid");
+        assert_eq!(s.commands[0].cmd, Command::Snapshot { epoch: 0, file: "x.snap".into() });
+
+        let e = parse("machine m\nsnapshot epoch=6\n").expect_err("missing file");
+        assert!(e.message.contains("snapshot needs"), "{e}");
+        let e = parse("machine m\nsnapshot file=x.snap\n").expect_err("missing epoch");
+        assert!(e.message.contains("snapshot needs"), "{e}");
+        let e = parse("machine m\nsnapshot epoch=soon file=x\n").expect_err("bad epoch");
+        assert!(e.message.contains("epoch="), "{e}");
+        let e = parse("machine m\nsnapshot epoch=1 file=x verbose\n").expect_err("bad option");
+        assert!(e.message.contains("verbose"), "{e}");
     }
 
     #[test]

@@ -21,11 +21,13 @@
 //! manager — so concurrent clients can never deadlock.
 
 use crate::board::TrafficBoard;
-use crate::tenant::{TenantId, TenantSpec, TenantState, TenantStats};
+use crate::tenant::{Priority, TenantId, TenantSpec, TenantState, TenantStats};
 use crate::ServiceError;
 use hetmem_alloc::AllocRequest;
 use hetmem_core::{attr, MemAttrs};
-use hetmem_memsim::{AccessEngine, AllocPolicy, Machine, MemoryManager, Phase, PhaseReport};
+use hetmem_memsim::{
+    AccessEngine, AllocPolicy, Machine, ManagerState, MemoryManager, Phase, PhaseReport, RegionId,
+};
 use hetmem_placement::{
     normalize_initiator, PlacementEngine, PlacementError, PlanRequest, ShareMode, TierPolicy,
     TierSnapshot,
@@ -195,6 +197,108 @@ pub struct RobustnessStats {
 struct NodeLedger {
     free: u64,
     used_by: BTreeMap<TenantId, u64>,
+}
+
+/// One tenant's registration and lifetime counters inside a
+/// [`BrokerState`] capture.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantEntry {
+    /// Tenant id (`TenantId.0`).
+    pub id: u32,
+    /// Registered name (unique across the broker).
+    pub name: String,
+    /// Priority class.
+    pub priority: Priority,
+    /// Per-tier hard caps, sorted by kind.
+    pub quota: Vec<(MemoryKind, u64)>,
+    /// Per-tier guaranteed floors, sorted by kind.
+    pub reserve: Vec<(MemoryKind, u64)>,
+    /// Default lease TTL in epochs (`None` = immortal leases).
+    pub lease_ttl: Option<u64>,
+    /// Lifetime admitted-allocation count.
+    pub admits: u64,
+    /// Lifetime quota-clamp count.
+    pub clamps: u64,
+    /// Lifetime contention-stall count.
+    pub stalls: u64,
+}
+
+/// One live lease inside a [`BrokerState`] capture.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LeaseEntry {
+    /// Lease id (`LeaseId.0`).
+    pub id: u64,
+    /// Holding tenant id.
+    pub tenant: u32,
+    /// Backing region id in the memory manager.
+    pub region: u64,
+    /// Placement split `(node, bytes)`.
+    pub placement: Vec<(NodeId, u64)>,
+    /// TTL the lease runs under, in epochs (`None` = immortal).
+    pub ttl: Option<u64>,
+    /// Epoch at which the lease expires unless renewed.
+    pub expires_at: Option<u64>,
+}
+
+/// One per-node ledger stripe inside a [`BrokerState`] capture.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StripeEntry {
+    /// The node this stripe accounts for.
+    pub node: NodeId,
+    /// Free bytes (always equal to the manager's view of the node).
+    pub free: u64,
+    /// Per-tenant holdings `(tenant id, bytes)`, sorted by tenant.
+    pub used_by: Vec<(u32, u64)>,
+}
+
+/// A plain-data capture of every piece of mutable broker state, taken
+/// at an epoch boundary by [`Broker::snapshot_state`] and turned back
+/// into a live broker by [`Broker::restore`].
+///
+/// Deliberately *not* captured:
+///
+/// * the [`TrafficBoard`](crate::TrafficBoard) — its per-node offer
+///   maps are lazily reset whenever a node is first touched in a new
+///   epoch, so at an epoch boundary the board carries no state that
+///   can influence future epochs;
+/// * the telemetry sink — collectors re-attach after a restore;
+/// * everything derivable from the machine (node kinds, tier
+///   capacities, the fast tier), which [`Broker::restore`] recomputes
+///   via [`Broker::new`].
+///
+/// All vectors are sorted by id/node, so two equal broker states
+/// always produce byte-identical encodings downstream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BrokerState {
+    /// Name of the machine the snapshot was captured on; restore
+    /// refuses a mismatched machine.
+    pub machine: String,
+    /// Active arbitration policy.
+    pub policy: ArbitrationPolicy,
+    /// Service epoch at capture time.
+    pub epoch: u64,
+    /// Next tenant id to issue.
+    pub next_tenant: u32,
+    /// Next lease id to issue.
+    pub next_lease: u64,
+    /// Epoch before which `acquire` returns `Stalled`.
+    pub stall_until: u64,
+    /// Lifetime expired-lease count.
+    pub expired_total: u64,
+    /// Lifetime revoked-lease count.
+    pub revoked_total: u64,
+    /// Lifetime bytes reclaimed by expiry + revocation.
+    pub reclaimed_bytes_total: u64,
+    /// Tiers currently marked degraded, sorted.
+    pub degraded: Vec<MemoryKind>,
+    /// Registered tenants, sorted by id.
+    pub tenants: Vec<TenantEntry>,
+    /// Live leases, sorted by id.
+    pub leases: Vec<LeaseEntry>,
+    /// Per-node ledgers, sorted by node.
+    pub stripes: Vec<StripeEntry>,
+    /// The shared memory manager's regions and counters.
+    pub manager: ManagerState,
 }
 
 /// A phase executed through the broker, with contention feedback
@@ -857,6 +961,207 @@ impl Broker {
         self.expire_overdue();
     }
 
+    /// Captures every piece of mutable broker state as plain data.
+    /// Meant to be called at an epoch boundary (between dispatcher
+    /// batches); the capture is internally consistent regardless, but
+    /// only epoch-boundary captures are exactly replayable because the
+    /// contention board resets per epoch.
+    pub fn snapshot_state(&self) -> BrokerState {
+        // Lock order: tenants → leases → stripes → manager, same as
+        // every other broker path.
+        let tenants = self.tenants.lock().expect("tenants poisoned");
+        let leases = self.leases.lock().expect("leases poisoned");
+        let tenant_entries = tenants
+            .iter()
+            .map(|(&id, t)| TenantEntry {
+                id: id.0,
+                name: t.name.clone(),
+                priority: t.priority,
+                quota: t.quota.iter().map(|(&k, &v)| (k, v)).collect(),
+                reserve: t.reserve.iter().map(|(&k, &v)| (k, v)).collect(),
+                lease_ttl: t.lease_ttl,
+                admits: t.admits,
+                clamps: t.clamps,
+                stalls: t.stalls,
+            })
+            .collect();
+        let lease_entries = leases
+            .iter()
+            .map(|(&id, r)| LeaseEntry {
+                id: id.0,
+                tenant: r.tenant.0,
+                region: r.region.0,
+                placement: r.placement.clone(),
+                ttl: r.ttl,
+                expires_at: r.expires_at,
+            })
+            .collect();
+        let stripe_entries = self
+            .stripes
+            .iter()
+            .map(|(&node, ledger)| {
+                let l = ledger.lock().expect("stripe poisoned");
+                StripeEntry {
+                    node,
+                    free: l.free,
+                    used_by: l.used_by.iter().map(|(&t, &b)| (t.0, b)).collect(),
+                }
+            })
+            .collect();
+        let manager = self.mm.lock().expect("mm poisoned").capture();
+        BrokerState {
+            machine: self.machine.name().to_string(),
+            policy: self.policy,
+            epoch: self.epoch.load(Ordering::SeqCst),
+            next_tenant: self.next_tenant.load(Ordering::SeqCst),
+            next_lease: self.next_lease.load(Ordering::SeqCst),
+            stall_until: self.stall_until.load(Ordering::SeqCst),
+            expired_total: self.expired_total.load(Ordering::Relaxed),
+            revoked_total: self.revoked_total.load(Ordering::Relaxed),
+            reclaimed_bytes_total: self.reclaimed_bytes_total.load(Ordering::Relaxed),
+            degraded: self.degraded.lock().expect("degraded poisoned").iter().copied().collect(),
+            tenants: tenant_entries,
+            leases: lease_entries,
+            stripes: stripe_entries,
+            manager,
+        }
+    }
+
+    /// Reconstructs a live broker from a [`BrokerState`] capture.
+    ///
+    /// Every cross-reference is validated before anything is
+    /// installed: the machine name must match, ids must precede their
+    /// issue counters, leases must point at registered tenants and
+    /// live manager regions, stripe free bytes must agree with the
+    /// restored manager, and degraded kinds must exist on the machine.
+    /// Violations return [`ServiceError::Snapshot`]; nothing panics on
+    /// corrupt input. Telemetry starts disabled — call
+    /// [`Broker::set_sink`] to re-attach collectors.
+    pub fn restore(
+        machine: Arc<Machine>,
+        attrs: Arc<MemAttrs>,
+        state: &BrokerState,
+    ) -> Result<Broker, ServiceError> {
+        let err = |why: String| ServiceError::Snapshot(why);
+        if machine.name() != state.machine {
+            return Err(err(format!(
+                "snapshot captured on machine {:?}, not {:?}",
+                state.machine,
+                machine.name()
+            )));
+        }
+        let mut broker = Broker::new(machine.clone(), attrs, state.policy);
+        let mm = MemoryManager::restore(machine, &state.manager).map_err(|e| err(e.to_string()))?;
+
+        let mut tenants: BTreeMap<TenantId, TenantState> = BTreeMap::new();
+        for t in &state.tenants {
+            if t.id >= state.next_tenant {
+                return Err(err(format!(
+                    "tenant #{} at or past the issue counter {}",
+                    t.id, state.next_tenant
+                )));
+            }
+            let previous = tenants.insert(
+                TenantId(t.id),
+                TenantState {
+                    name: t.name.clone(),
+                    priority: t.priority,
+                    quota: t.quota.iter().copied().collect(),
+                    reserve: t.reserve.iter().copied().collect(),
+                    lease_ttl: t.lease_ttl,
+                    admits: t.admits,
+                    clamps: t.clamps,
+                    stalls: t.stalls,
+                },
+            );
+            if previous.is_some() {
+                return Err(err(format!("duplicate tenant #{}", t.id)));
+            }
+        }
+
+        let mut leases: BTreeMap<LeaseId, LeaseRecord> = BTreeMap::new();
+        for l in &state.leases {
+            if l.id >= state.next_lease {
+                return Err(err(format!(
+                    "lease #{} at or past the issue counter {}",
+                    l.id, state.next_lease
+                )));
+            }
+            if !tenants.contains_key(&TenantId(l.tenant)) {
+                return Err(err(format!("lease #{} held by unknown tenant #{}", l.id, l.tenant)));
+            }
+            if mm.region(RegionId(l.region)).is_none() {
+                return Err(err(format!("lease #{} backed by unknown region #{}", l.id, l.region)));
+            }
+            let previous = leases.insert(
+                LeaseId(l.id),
+                LeaseRecord {
+                    tenant: TenantId(l.tenant),
+                    region: RegionId(l.region),
+                    placement: l.placement.clone(),
+                    ttl: l.ttl,
+                    expires_at: l.expires_at,
+                },
+            );
+            if previous.is_some() {
+                return Err(err(format!("duplicate lease #{}", l.id)));
+            }
+        }
+
+        if state.stripes.len() != broker.stripes.len() {
+            return Err(err(format!(
+                "snapshot carries {} node stripes, machine has {}",
+                state.stripes.len(),
+                broker.stripes.len()
+            )));
+        }
+        for s in &state.stripes {
+            let Some(ledger) = broker.stripes.get(&s.node) else {
+                return Err(err(format!("stripe references unknown {}", s.node)));
+            };
+            let available = mm.available(s.node);
+            if s.free != available {
+                return Err(err(format!(
+                    "stripe {} free bytes {} disagree with the manager's {}",
+                    s.node, s.free, available
+                )));
+            }
+            let mut used_by: BTreeMap<TenantId, u64> = BTreeMap::new();
+            for &(tenant, bytes) in &s.used_by {
+                if !tenants.contains_key(&TenantId(tenant)) {
+                    return Err(err(format!(
+                        "stripe {} charges unknown tenant #{}",
+                        s.node, tenant
+                    )));
+                }
+                if used_by.insert(TenantId(tenant), bytes).is_some() {
+                    return Err(err(format!("stripe {} charges tenant #{} twice", s.node, tenant)));
+                }
+            }
+            *ledger.lock().expect("stripe poisoned") = NodeLedger { free: s.free, used_by };
+        }
+
+        for &kind in &state.degraded {
+            if !broker.tier_capacity.contains_key(&kind) {
+                return Err(err(format!("degraded tier {kind:?} does not exist on the machine")));
+            }
+        }
+
+        *broker.mm.get_mut().expect("mm poisoned") = mm;
+        *broker.tenants.get_mut().expect("tenants poisoned") = tenants;
+        *broker.leases.get_mut().expect("leases poisoned") = leases;
+        *broker.degraded.get_mut().expect("degraded poisoned") =
+            state.degraded.iter().copied().collect();
+        broker.next_tenant = AtomicU32::new(state.next_tenant);
+        broker.next_lease = AtomicU64::new(state.next_lease);
+        broker.epoch = AtomicU64::new(state.epoch);
+        broker.stall_until = AtomicU64::new(state.stall_until);
+        broker.expired_total = AtomicU64::new(state.expired_total);
+        broker.revoked_total = AtomicU64::new(state.revoked_total);
+        broker.reclaimed_bytes_total = AtomicU64::new(state.reclaimed_bytes_total);
+        Ok(broker)
+    }
+
     /// Posts `traffic` (`(node, bytes)` pairs) by `tenant` for the
     /// current epoch and returns the stall charged, ns: when the
     /// combined offered bytes at a node exceed what its controller can
@@ -1039,6 +1344,82 @@ mod tests {
     fn fast_tier_is_hbm_on_knl() {
         let broker = knl_broker(ArbitrationPolicy::FairShare);
         assert_eq!(broker.fast_kind(), MemoryKind::Hbm);
+    }
+
+    #[test]
+    fn snapshot_state_roundtrips_through_restore() {
+        let broker = knl_broker(ArbitrationPolicy::FairShare);
+        let a = broker
+            .register(TenantSpec::new("a").priority(Priority::Latency).lease_ttl(4))
+            .expect("register");
+        let b = broker
+            .register(TenantSpec::new("b").quota(MemoryKind::Hbm, 2 * GIB))
+            .expect("register");
+        let la = broker.acquire(a, &bw_request(3 * GIB)).expect("admitted");
+        let _lb = broker.acquire(b, &bw_request(4 * GIB)).expect("admitted");
+        broker.advance_epoch();
+        broker.advance_epoch();
+        broker.set_tier_degraded(MemoryKind::Dram, true);
+        broker.set_alloc_stall(3);
+
+        let state = broker.snapshot_state();
+        let machine = broker.machine().clone();
+        let attrs = Arc::new(discovery::from_firmware(&machine, true).expect("attrs"));
+        let restored = Broker::restore(machine, attrs, &state).expect("restore");
+
+        // The restored broker captures back to the identical state,
+        // and behaves the same going forward.
+        assert_eq!(restored.snapshot_state(), state);
+        assert_eq!(restored.epoch(), broker.epoch());
+        assert_eq!(restored.live_leases(), broker.live_leases());
+        assert!(restored.tier_degraded(MemoryKind::Dram));
+        assert!(matches!(restored.acquire(a, &bw_request(GIB)), Err(ServiceError::Stalled)));
+        assert_eq!(
+            restored.placement(la.id()).expect("lease survives"),
+            broker.placement(la.id()).expect("lease alive")
+        );
+        // Lease ids continue from the snapshot's issue counter.
+        for _ in 0..3 {
+            restored.advance_epoch();
+            broker.advance_epoch();
+        }
+        let fresh_r = restored.acquire(b, &bw_request(GIB)).expect("admitted");
+        let fresh_o = broker.acquire(b, &bw_request(GIB)).expect("admitted");
+        assert_eq!(fresh_r.id(), fresh_o.id());
+        assert_eq!(restored.snapshot_state(), broker.snapshot_state());
+    }
+
+    #[test]
+    fn restore_rejects_inconsistent_state() {
+        let broker = knl_broker(ArbitrationPolicy::FairShare);
+        let t = broker.register(TenantSpec::new("a")).expect("register");
+        let _lease = broker.acquire(t, &bw_request(GIB)).expect("admitted");
+        let state = broker.snapshot_state();
+        let machine = broker.machine().clone();
+        let attrs = Arc::new(discovery::from_firmware(&machine, true).expect("attrs"));
+        let restore = |s: &BrokerState| Broker::restore(machine.clone(), attrs.clone(), s);
+
+        let mut bad = state.clone();
+        bad.machine = "xeon-2lm".to_string();
+        assert!(matches!(restore(&bad), Err(ServiceError::Snapshot(_))));
+
+        let mut bad = state.clone();
+        bad.leases[0].tenant = 99;
+        assert!(matches!(restore(&bad), Err(ServiceError::Snapshot(_))));
+
+        let mut bad = state.clone();
+        bad.leases[0].region = 99;
+        assert!(matches!(restore(&bad), Err(ServiceError::Snapshot(_))));
+
+        let mut bad = state.clone();
+        bad.stripes[0].free += 1;
+        assert!(matches!(restore(&bad), Err(ServiceError::Snapshot(_))));
+
+        let mut bad = state.clone();
+        bad.next_tenant = 0;
+        assert!(matches!(restore(&bad), Err(ServiceError::Snapshot(_))));
+
+        assert!(restore(&state).is_ok());
     }
 
     #[test]

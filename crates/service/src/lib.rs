@@ -41,8 +41,8 @@ pub mod wire;
 
 pub use board::TrafficBoard;
 pub use broker::{
-    ArbitrationPolicy, Broker, Lease, LeaseId, RobustnessStats, ServedPhase,
-    MAX_CONTENTION_SLOWDOWN,
+    ArbitrationPolicy, Broker, BrokerState, Lease, LeaseEntry, LeaseId, RobustnessStats,
+    ServedPhase, StripeEntry, TenantEntry, MAX_CONTENTION_SLOWDOWN,
 };
 pub use tenant::{Priority, TenantId, TenantSpec, TenantStats};
 
@@ -93,6 +93,10 @@ pub enum ServiceError {
     /// The request's initiator cpuset is empty after intersection with
     /// the machine cpuset — no CPU could perform the accesses.
     EmptyInitiator,
+    /// A snapshot could not be captured, decoded, or restored into a
+    /// live broker (corrupt state, wrong machine, internal
+    /// inconsistency).
+    Snapshot(String),
 }
 
 /// Stable wire codes for every [`ServiceError`] variant, in
@@ -112,6 +116,7 @@ pub const ERROR_CODES: &[&str] = &[
     "stalled",
     "deadline",
     "empty_initiator",
+    "snapshot",
 ];
 
 impl ServiceError {
@@ -138,6 +143,7 @@ impl ServiceError {
             ServiceError::Stalled => "stalled",
             ServiceError::DeadlineExceeded(_) => "deadline",
             ServiceError::EmptyInitiator => "empty_initiator",
+            ServiceError::Snapshot(_) => "snapshot",
         }
     }
 
@@ -186,6 +192,7 @@ impl std::fmt::Display for ServiceError {
             ServiceError::EmptyInitiator => {
                 write!(f, "initiator cpuset is empty after machine intersection")
             }
+            ServiceError::Snapshot(why) => write!(f, "snapshot error: {why}"),
         }
     }
 }

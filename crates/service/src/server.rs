@@ -162,9 +162,28 @@ pub struct Server {
     sock_path: Option<PathBuf>,
 }
 
+/// A dispatcher-side observer of accepted requests: called with the
+/// current service epoch and each well-formed request, in exactly the
+/// order the dispatcher serves them. `hetmem-serve --record` wires
+/// this to a wire-log writer so the run can be replayed later.
+pub type RequestRecorder = Box<dyn FnMut(u64, &Request) + Send>;
+
 impl Server {
     /// Binds `addr` and starts the accept and dispatcher threads.
     pub fn bind(broker: Arc<Broker>, addr: &str) -> Result<Server, ServiceError> {
+        Server::bind_with(broker, addr, None)
+    }
+
+    /// [`Server::bind`] with an optional [`RequestRecorder`] invoked
+    /// from the dispatcher thread for every accepted (parsed) request
+    /// frame, stamped with the epoch it executes in. Malformed frames
+    /// are answered but never recorded — they have no effect on broker
+    /// state, so a replay that skips them converges to the same state.
+    pub fn bind_with(
+        broker: Arc<Broker>,
+        addr: &str,
+        recorder: Option<RequestRecorder>,
+    ) -> Result<Server, ServiceError> {
         let io = |e: std::io::Error| ServiceError::Io(e.to_string());
         let bound = if let Some(path) = addr.strip_prefix("unix:") {
             let path = PathBuf::from(path);
@@ -262,6 +281,7 @@ impl Server {
             let broker = broker.clone();
             let queue = queue.clone();
             let stop = stop.clone();
+            let mut recorder = recorder;
             std::thread::spawn(move || {
                 // Leases granted per connection, so a dropped peer's
                 // capacity can be revoked and reclaimed.
@@ -292,6 +312,9 @@ impl Server {
                             Work::Request { conn_id, request, reply_to } => {
                                 let response = match request {
                                     Ok(request) => {
+                                        if let Some(rec) = recorder.as_mut() {
+                                            rec(broker.epoch(), &request);
+                                        }
                                         let freeing = match &request {
                                             Request::Free { lease, .. } => Some(LeaseId(*lease)),
                                             _ => None,

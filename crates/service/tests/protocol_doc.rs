@@ -55,6 +55,29 @@ fn the_documented_frame_limit_matches_the_code() {
 }
 
 #[test]
+fn the_snapshot_and_wirelog_formats_are_documented() {
+    // §7 specifies the two binary sidecar formats. The magics are
+    // written here as literals (not imported from hetmem-snapshot)
+    // on purpose: service cannot depend on snapshot without a cycle,
+    // and the spec holds the same bytes the codec does —
+    // crates/snapshot's own tests pin the constants.
+    for magic in ["HMSN", "HMWL"] {
+        assert!(
+            PROTOCOL.contains(&format!("`{magic}`")),
+            "docs/PROTOCOL.md does not document the {magic} format"
+        );
+    }
+}
+
+#[test]
+fn the_operator_handbook_covers_the_record_replay_runbook() {
+    // OPERATIONS.md must walk operators through the checkpoint
+    // tooling alongside the failure drills.
+    let tools = ["--record", "--restore", "hetmem-replay"];
+    assert_documented("docs/OPERATIONS.md", OPERATIONS, "record/replay tooling", &tools);
+}
+
+#[test]
 fn the_operator_handbook_covers_the_robustness_events() {
     // OPERATIONS.md walks operators through the failure drills; the
     // five robustness events are the observable surface of those

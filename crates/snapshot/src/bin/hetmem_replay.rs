@@ -1,0 +1,148 @@
+//! Trace-driven replay:
+//! `hetmem-replay <wire-log> [--snapshot <file.snap>]`.
+//!
+//! Loads a wire log (and, for runs snapshotted mid-flight, the
+//! snapshot it continues from), reconstructs the broker, re-executes
+//! every recorded frame at its recorded epoch, and verifies the final
+//! broker state and telemetry summary against the log's trailer byte
+//! for byte. Exit status: 0 = replay verified (or the log has no
+//! trailer — reported as UNVERIFIED), 1 = divergence, 2 = bad usage
+//! or unreadable input.
+
+use hetmem_core::discovery;
+use hetmem_memsim::Machine;
+use hetmem_service::Broker;
+use hetmem_snapshot::{replay, Snapshot, WireFrame, WireLog};
+use std::sync::Arc;
+
+/// Resolves a log/snapshot machine header. Headers written by the
+/// recording paths carry [`Machine::name`] (e.g. `knl-7230-snc4-flat`)
+/// but the CLI platform names (`knl-flat`) are accepted too.
+fn machine_by_name(name: &str) -> Option<Machine> {
+    let platforms = [
+        Machine::knl_snc4_flat(),
+        Machine::knl_quadrant_cache(),
+        Machine::xeon_1lm_no_snc(),
+        Machine::xeon_1lm_snc(),
+        Machine::xeon_2lm(),
+        Machine::xeon_4s_snc(),
+        Machine::fictitious(),
+        Machine::power9_gpu(),
+        Machine::fugaku_like(),
+    ];
+    if let Some(m) = platforms.into_iter().find(|m| m.name() == name) {
+        return Some(m);
+    }
+    Some(match name {
+        "knl-flat" => Machine::knl_snc4_flat(),
+        "knl-cache" => Machine::knl_quadrant_cache(),
+        "xeon" => Machine::xeon_1lm_no_snc(),
+        "xeon-snc" => Machine::xeon_1lm_snc(),
+        "xeon-2lm" => Machine::xeon_2lm(),
+        "xeon-4s" => Machine::xeon_4s_snc(),
+        "fictitious" => Machine::fictitious(),
+        "power9" => Machine::power9_gpu(),
+        "fugaku" => Machine::fugaku_like(),
+        _ => return None,
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut log_path: Option<String> = None;
+    let mut snap_path: Option<String> = None;
+    let mut iter = args.iter();
+    while let Some(a) = iter.next() {
+        match a.as_str() {
+            "--snapshot" => {
+                let Some(path) = iter.next() else {
+                    eprintln!("hetmem-replay: --snapshot needs a file argument");
+                    std::process::exit(2);
+                };
+                snap_path = Some(path.clone());
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: hetmem-replay <wire-log> [--snapshot <file.snap>]");
+                eprintln!(
+                    "replays a log recorded by `hetmem-serve --record` or `hetmem-run --record` \
+                     and verifies the trailer byte for byte"
+                );
+                return;
+            }
+            other => log_path = Some(other.to_string()),
+        }
+    }
+    let Some(log_path) = log_path else {
+        eprintln!("hetmem-replay: no wire log given (try --help)");
+        std::process::exit(2);
+    };
+    let log = match WireLog::read_file(std::path::Path::new(&log_path)) {
+        Ok(log) => log,
+        Err(e) => {
+            eprintln!("hetmem-replay: {log_path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let Some(machine) = machine_by_name(&log.machine) else {
+        eprintln!("hetmem-replay: log names unknown machine {:?}", log.machine);
+        std::process::exit(2);
+    };
+    let machine = Arc::new(machine);
+    let attrs = match discovery::from_firmware(&machine, true) {
+        Ok(attrs) => Arc::new(attrs),
+        Err(e) => {
+            eprintln!("hetmem-replay: attribute discovery failed: {e}");
+            std::process::exit(2);
+        }
+    };
+    // Without a snapshot the log is a from-scratch recording: the
+    // starting point is a fresh broker on the log's machine/policy.
+    let snapshot = match &snap_path {
+        Some(path) => match Snapshot::read_file(std::path::Path::new(path)) {
+            Ok(snap) => snap,
+            Err(e) => {
+                eprintln!("hetmem-replay: {path}: {e}");
+                std::process::exit(2);
+            }
+        },
+        None => Snapshot::capture(&Broker::new(machine.clone(), attrs.clone(), log.policy), None),
+    };
+    println!(
+        "hetmem-replay: {} under {} arbitration, from epoch {} ({} frames)",
+        log.machine,
+        log.policy.as_str(),
+        snapshot.state.epoch,
+        log.frames.len()
+    );
+    let report = match replay(&snapshot, &log, machine, attrs) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("hetmem-replay: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "replayed {} requests, {} control frames, {} telemetry events, final epoch {}",
+        report.requests, report.control_frames, report.events, report.final_epoch
+    );
+    match (report.state_matched, report.summary_matched) {
+        (Some(true), Some(true)) => {
+            println!("VERIFIED: final broker state and telemetry summary match byte for byte");
+        }
+        (None, _) | (_, None) => {
+            let has_trailer = log.frames.iter().any(|f| matches!(f, WireFrame::Trailer { .. }));
+            debug_assert!(!has_trailer);
+            println!("UNVERIFIED: log has no trailer (recorder did not shut down cleanly)");
+        }
+        (state, summary) => {
+            if state == Some(false) {
+                eprintln!("DIVERGED: final broker state does not match the trailer");
+            }
+            if summary == Some(false) {
+                eprintln!("DIVERGED: telemetry summary does not match the trailer");
+                eprintln!("--- replayed summary ---\n{}", report.summary);
+            }
+            std::process::exit(1);
+        }
+    }
+}

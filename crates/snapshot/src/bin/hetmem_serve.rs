@@ -1,16 +1,27 @@
 //! The broker daemon:
-//! `hetmem-serve <machine> [--policy fair-share|fcfs|static] [--addr <addr>] [--trace <out.jsonl>]`.
+//! `hetmem-serve <machine> [--policy fair-share|fcfs|static] [--addr <addr>]
+//! [--trace <out.jsonl>] [--record <out.hmwl>] [--restore <in.snap>]`.
 //!
 //! Binds a JSONL socket (default `tcp:127.0.0.1:7474`; use
 //! `unix:/path.sock` for a Unix socket) and serves allocation requests
 //! against a simulated machine until killed. See
 //! `hetmem_service::wire` for the request vocabulary.
+//!
+//! `--record` appends every accepted request frame, stamped with its
+//! arrival epoch, to a wire log that `hetmem-replay` can re-execute.
+//! `--restore` boots the broker from a snapshot written by
+//! `hetmem-run`'s `snapshot` stanza (or any [`hetmem_snapshot`]
+//! producer) instead of from scratch; the snapshot must have been
+//! taken on the same machine model, and its arbitration policy wins
+//! over `--policy`.
 
 use hetmem_core::discovery;
 use hetmem_memsim::Machine;
-use hetmem_service::{server::Server, ArbitrationPolicy, Broker};
+use hetmem_service::server::{RequestRecorder, Server};
+use hetmem_service::{ArbitrationPolicy, Broker};
+use hetmem_snapshot::{Snapshot, WireLogWriter};
 use hetmem_telemetry::{BackgroundCollector, JsonlWriter, TelemetrySink};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 const DEFAULT_ADDR: &str = "tcp:127.0.0.1:7474";
 
@@ -35,6 +46,8 @@ fn main() {
     let mut policy = ArbitrationPolicy::FairShare;
     let mut addr = DEFAULT_ADDR.to_string();
     let mut trace: Option<String> = None;
+    let mut record: Option<String> = None;
+    let mut restore: Option<String> = None;
     let mut iter = args.iter();
     while let Some(a) = iter.next() {
         match a.as_str() {
@@ -59,10 +72,25 @@ fn main() {
                 };
                 trace = Some(path.clone());
             }
+            "--record" => {
+                let Some(path) = iter.next() else {
+                    eprintln!("hetmem-serve: --record needs a file argument");
+                    std::process::exit(2);
+                };
+                record = Some(path.clone());
+            }
+            "--restore" => {
+                let Some(path) = iter.next() else {
+                    eprintln!("hetmem-serve: --restore needs a file argument");
+                    std::process::exit(2);
+                };
+                restore = Some(path.clone());
+            }
             "--help" | "-h" => {
                 eprintln!(
                     "usage: hetmem-serve <machine> [--policy fair-share|fcfs|static] \
-                     [--addr tcp:host:port|unix:/path.sock] [--trace <out.jsonl>]"
+                     [--addr tcp:host:port|unix:/path.sock] [--trace <out.jsonl>] \
+                     [--record <out.hmwl>] [--restore <in.snap>]"
                 );
                 eprintln!(
                     "machines: knl-flat, knl-cache, xeon, xeon-snc, xeon-2lm, xeon-4s, \
@@ -82,6 +110,9 @@ fn main() {
         std::process::exit(2);
     };
     let machine = Arc::new(machine);
+    // Wire-log and snapshot headers carry the machine's internal name
+    // (hetmem-replay resolves either form).
+    let machine_internal = machine.name().to_string();
     let attrs = match discovery::from_firmware(&machine, true) {
         Ok(attrs) => Arc::new(attrs),
         Err(e) => {
@@ -89,7 +120,34 @@ fn main() {
             std::process::exit(1);
         }
     };
-    let mut broker = Broker::new(machine, attrs, policy);
+    let mut broker = match &restore {
+        Some(path) => {
+            let snapshot = match Snapshot::read_file(std::path::Path::new(path)) {
+                Ok(snap) => snap,
+                Err(e) => {
+                    eprintln!("hetmem-serve: {path}: {e}");
+                    std::process::exit(1);
+                }
+            };
+            match snapshot.restore(machine, attrs) {
+                Ok(broker) => {
+                    println!(
+                        "hetmem-serve: restored epoch {} from {path} ({} tenants, {} leases)",
+                        snapshot.state.epoch,
+                        snapshot.state.tenants.len(),
+                        snapshot.state.leases.len()
+                    );
+                    policy = snapshot.state.policy;
+                    broker
+                }
+                Err(e) => {
+                    eprintln!("hetmem-serve: {path}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        None => Broker::new(machine, attrs, policy),
+    };
     let mut _trace_collector: Option<BackgroundCollector> = None;
     if let Some(path) = &trace {
         match JsonlWriter::create(path) {
@@ -125,7 +183,31 @@ fn main() {
             }
         }
     }
-    let server = match Server::bind(Arc::new(broker), &addr) {
+    // A killed daemon writes no trailer; hetmem-replay reports such
+    // logs as UNVERIFIED but still re-executes them. Each frame is
+    // flushed as it is accepted, so the log survives a crash.
+    let recorder: Option<RequestRecorder> = match &record {
+        Some(path) => {
+            let writer = match WireLogWriter::create(
+                std::path::Path::new(path),
+                machine_internal.as_str(),
+                policy,
+            ) {
+                Ok(w) => Arc::new(Mutex::new(w)),
+                Err(e) => {
+                    eprintln!("hetmem-serve: cannot create {path}: {e}");
+                    std::process::exit(1);
+                }
+            };
+            Some(Box::new(move |epoch, request: &_| {
+                if let Err(e) = writer.lock().unwrap().append_request(epoch, request) {
+                    eprintln!("hetmem-serve: wire log write failed: {e}");
+                }
+            }))
+        }
+        None => None,
+    };
+    let server = match Server::bind_with(Arc::new(broker), &addr, recorder) {
         Ok(server) => server,
         Err(e) => {
             eprintln!("hetmem-serve: {e}");

@@ -34,7 +34,8 @@ impl std::fmt::Display for CodecError {
 
 impl std::error::Error for CodecError {}
 
-fn put_u64(out: &mut Vec<u8>, mut v: u64) {
+/// Appends `v` as a LEB128 varint.
+pub fn put_u64(out: &mut Vec<u8>, mut v: u64) {
     loop {
         let byte = (v & 0x7F) as u8;
         v >>= 7;
@@ -46,20 +47,24 @@ fn put_u64(out: &mut Vec<u8>, mut v: u64) {
     }
 }
 
-fn put_f64(out: &mut Vec<u8>, v: f64) {
+/// Appends `v` as 8 raw little-endian bytes (`f64::to_bits`).
+pub fn put_f64(out: &mut Vec<u8>, v: f64) {
     out.extend_from_slice(&v.to_bits().to_le_bytes());
 }
 
-fn put_str(out: &mut Vec<u8>, s: &str) {
+/// Appends `s` length-prefixed (varint byte count, then UTF-8 bytes).
+pub fn put_str(out: &mut Vec<u8>, s: &str) {
     put_u64(out, s.len() as u64);
     out.extend_from_slice(s.as_bytes());
 }
 
-fn put_bool(out: &mut Vec<u8>, b: bool) {
+/// Appends `b` as one byte (0 or 1).
+pub fn put_bool(out: &mut Vec<u8>, b: bool) {
     out.push(b as u8);
 }
 
-fn put_placement(out: &mut Vec<u8>, placement: &[(NodeId, u64)]) {
+/// Appends a `(node, bytes)` placement list, length-prefixed.
+pub fn put_placement(out: &mut Vec<u8>, placement: &[(NodeId, u64)]) {
     put_u64(out, placement.len() as u64);
     for &(node, bytes) in placement {
         put_u64(out, node.0 as u64);
@@ -67,13 +72,45 @@ fn put_placement(out: &mut Vec<u8>, placement: &[(NodeId, u64)]) {
     }
 }
 
-struct Cursor<'a> {
+/// A bounds-checked reader over a compact-encoded byte slice: every
+/// read returns a typed [`CodecError`] instead of panicking on
+/// truncated or malformed input. The snapshot codec
+/// (`hetmem-snapshot`) builds its file format on the same primitives.
+pub struct Cursor<'a> {
     bytes: &'a [u8],
     pos: usize,
 }
 
 impl<'a> Cursor<'a> {
-    fn u64(&mut self) -> Result<u64, CodecError> {
+    /// A cursor at the start of `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Cursor<'a> {
+        Cursor { bytes, pos: 0 }
+    }
+
+    /// The current byte offset.
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    /// Consumes exactly `len` raw bytes.
+    pub fn take(&mut self, len: usize) -> Result<&'a [u8], CodecError> {
+        let end = self
+            .pos
+            .checked_add(len)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or_else(|| CodecError::new("truncated byte run"))?;
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    /// Decodes one LEB128 varint.
+    pub fn u64(&mut self) -> Result<u64, CodecError> {
         let mut v = 0u64;
         let mut shift = 0u32;
         loop {
@@ -91,18 +128,21 @@ impl<'a> Cursor<'a> {
         }
     }
 
-    fn u32(&mut self) -> Result<u32, CodecError> {
+    /// Decodes a varint that must fit in a `u32`.
+    pub fn u32(&mut self) -> Result<u32, CodecError> {
         u32::try_from(self.u64()?).map_err(|_| CodecError::new("value overflows u32"))
     }
 
-    fn f64(&mut self) -> Result<f64, CodecError> {
+    /// Decodes 8 raw little-endian bytes as an `f64`.
+    pub fn f64(&mut self) -> Result<f64, CodecError> {
         let end = self.pos + 8;
         let raw = self.bytes.get(self.pos..end).ok_or_else(|| CodecError::new("truncated f64"))?;
         self.pos = end;
         Ok(f64::from_bits(u64::from_le_bytes(raw.try_into().expect("8 bytes"))))
     }
 
-    fn bool(&mut self) -> Result<bool, CodecError> {
+    /// Decodes one 0/1 byte; anything else is an error.
+    pub fn bool(&mut self) -> Result<bool, CodecError> {
         let byte = *self.bytes.get(self.pos).ok_or_else(|| CodecError::new("truncated bool"))?;
         self.pos += 1;
         match byte {
@@ -112,7 +152,8 @@ impl<'a> Cursor<'a> {
         }
     }
 
-    fn str(&mut self) -> Result<String, CodecError> {
+    /// Decodes a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String, CodecError> {
         let len = self.u64()? as usize;
         let end = self
             .pos
@@ -126,16 +167,19 @@ impl<'a> Cursor<'a> {
         Ok(s)
     }
 
-    fn node(&mut self) -> Result<NodeId, CodecError> {
+    /// Decodes a node id (varint, `u32` range).
+    pub fn node(&mut self) -> Result<NodeId, CodecError> {
         Ok(NodeId(self.u32()?))
     }
 
-    fn placement(&mut self) -> Result<Vec<(NodeId, u64)>, CodecError> {
+    /// Decodes a length-prefixed `(node, bytes)` placement list.
+    pub fn placement(&mut self) -> Result<Vec<(NodeId, u64)>, CodecError> {
         let n = self.u64()? as usize;
         (0..n).map(|_| Ok((self.node()?, self.u64()?))).collect()
     }
 
-    fn done(&self) -> Result<(), CodecError> {
+    /// Succeeds only when every byte has been consumed.
+    pub fn done(&self) -> Result<(), CodecError> {
         if self.pos == self.bytes.len() {
             Ok(())
         } else {

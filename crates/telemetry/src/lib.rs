@@ -22,7 +22,7 @@
 //!
 //! The emission fast path is wait-free: a cloneable [`TelemetrySink`]
 //! hands each producing thread a [`ThreadWriter`] owning a per-thread
-//! SPSC race buffer ([`ring`], after ekotrace's verified protocol), a
+//! SPSC race buffer (after ekotrace's verified protocol), a
 //! [`Collector`] drains every ring tolerating overwrite races with
 //! exact per-thread loss counts, and [`compact`] provides the varint
 //! on-disk encoding. A [`TelemetrySink::disabled`] sink reports
@@ -31,13 +31,6 @@
 //! format the `--trace` flag of the repro binaries produces.
 //! [`Summary`] folds a stream of events into a per-run placement
 //! report.
-//!
-//! The older shared [`Recorder`] trait (and its [`NullRecorder`] /
-//! [`RingRecorder`] implementations) is deprecated: every `record()`
-//! serialized producers behind a `Mutex`, which put telemetry on the
-//! allocation critical path. [`TelemetrySink`] implements `Recorder`
-//! as a bridge so out-of-tree callers keep compiling during the
-//! migration.
 
 #![warn(missing_docs)]
 
@@ -56,7 +49,6 @@ pub use summary::{OccupancyStats, PhaseSample, Summary};
 
 use hetmem_topology::NodeId;
 use json::JsonValue;
-use std::collections::VecDeque;
 use std::io::Write;
 use std::sync::Mutex;
 
@@ -887,171 +879,6 @@ fn attr_id(name: &str) -> Result<u32, ParseError> {
     })
 }
 
-/// Sink for telemetry events. Implementations must be cheap when
-/// disabled and safe to share across threads.
-///
-/// Deprecated: `record(&self, Event)` fans every producing thread into
-/// one shared object, which in practice meant a `Mutex` on the
-/// allocation hot path. [`TelemetrySink`] implements this trait as a
-/// bridge, so code holding an `Arc<dyn Recorder>` can be handed a sink
-/// unchanged while it migrates.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `TelemetrySink` / `ThreadWriter`: per-thread wait-free rings instead of a \
-            shared mutex recorder"
-)]
-pub trait Recorder: Send + Sync {
-    /// Whether events are being kept. Hot paths skip building events
-    /// when this is `false`.
-    fn enabled(&self) -> bool {
-        true
-    }
-
-    /// Records one event.
-    fn record(&self, event: Event);
-
-    /// Pushes buffered events toward durable storage. In-memory
-    /// recorders have nothing to do; [`JsonlWriter`] flushes its
-    /// underlying writer. Failures are swallowed — a full disk must
-    /// not take the instrumented program down.
-    fn flush_events(&self) {}
-}
-
-/// Flushes a [`Recorder`] when dropped — including while a panic
-/// unwinds the owning thread — so the buffered tail of a trace
-/// survives a crash. The `hetmem-serve` dispatcher holds one of these
-/// for the lifetime of the request loop.
-///
-/// ```
-/// # #![allow(deprecated)]
-/// use hetmem_telemetry::{FlushGuard, NullRecorder, Recorder};
-/// use std::sync::Arc;
-/// let recorder: Arc<dyn Recorder> = Arc::new(NullRecorder);
-/// {
-///     let _guard = FlushGuard::new(recorder.clone());
-///     // ... record events; the guard flushes on scope exit or panic
-/// }
-/// ```
-#[deprecated(
-    since = "0.2.0",
-    note = "use `BackgroundCollector` (its `Drop` drains and flushes) or `Collector::drain_sorted`"
-)]
-#[allow(deprecated)]
-pub struct FlushGuard(std::sync::Arc<dyn Recorder>);
-
-#[allow(deprecated)]
-impl FlushGuard {
-    /// Guards `recorder`, flushing it when the guard drops.
-    pub fn new(recorder: std::sync::Arc<dyn Recorder>) -> FlushGuard {
-        FlushGuard(recorder)
-    }
-}
-
-#[allow(deprecated)]
-impl Drop for FlushGuard {
-    fn drop(&mut self) {
-        self.0.flush_events();
-    }
-}
-
-/// Discards everything; `enabled()` is `false` so instrumented code
-/// pays only a virtual call per decision.
-#[deprecated(since = "0.2.0", note = "use `TelemetrySink::disabled()`")]
-#[derive(Debug, Default, Clone, Copy)]
-pub struct NullRecorder;
-
-#[allow(deprecated)]
-impl Recorder for NullRecorder {
-    fn enabled(&self) -> bool {
-        false
-    }
-
-    fn record(&self, _event: Event) {}
-}
-
-/// Keeps the most recent `capacity` events in memory.
-///
-/// When the ring is full the oldest event is dropped; the number of
-/// events lost this way is reported by [`RingRecorder::dropped`] and
-/// folded into [`Summary::events_lost`] by [`RingRecorder::summary`].
-#[deprecated(
-    since = "0.2.0",
-    note = "use `TelemetrySink` with `Collector::drain_sorted` / `Collector::summarize`"
-)]
-pub struct RingRecorder {
-    capacity: usize,
-    buf: Mutex<VecDeque<Event>>,
-    dropped: std::sync::atomic::AtomicU64,
-}
-
-#[allow(deprecated)]
-impl std::fmt::Debug for RingRecorder {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("RingRecorder")
-            .field("capacity", &self.capacity)
-            .field("len", &self.len())
-            .field("dropped", &self.dropped())
-            .finish()
-    }
-}
-
-#[allow(deprecated)]
-impl RingRecorder {
-    /// A ring holding up to `capacity` events; older events are
-    /// dropped (and counted — see [`RingRecorder::dropped`]).
-    pub fn new(capacity: usize) -> RingRecorder {
-        RingRecorder {
-            capacity,
-            buf: Mutex::new(VecDeque::new()),
-            dropped: std::sync::atomic::AtomicU64::new(0),
-        }
-    }
-
-    /// A snapshot of the retained events, oldest first.
-    pub fn events(&self) -> Vec<Event> {
-        self.buf.lock().expect("ring poisoned").iter().cloned().collect()
-    }
-
-    /// Number of retained events.
-    pub fn len(&self) -> usize {
-        self.buf.lock().expect("ring poisoned").len()
-    }
-
-    /// True when no events are retained.
-    pub fn is_empty(&self) -> bool {
-        self.len() == 0
-    }
-
-    /// Events evicted because the ring was full. Previously these were
-    /// dropped silently, understating totals in capped traces.
-    pub fn dropped(&self) -> u64 {
-        self.dropped.load(std::sync::atomic::Ordering::Relaxed)
-    }
-
-    /// Folds the retained events into a [`Summary`], counting evicted
-    /// events as [`Summary::events_lost`].
-    pub fn summary(&self) -> Summary {
-        let mut s = Summary::default();
-        for e in self.buf.lock().expect("ring poisoned").iter() {
-            s.add(e);
-        }
-        s.events_lost += self.dropped();
-        s
-    }
-}
-
-#[allow(deprecated)]
-impl Recorder for RingRecorder {
-    fn record(&self, event: Event) {
-        let mut buf = self.buf.lock().expect("ring poisoned");
-        if buf.len() == self.capacity {
-            buf.pop_front();
-            self.dropped.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        }
-        buf.push_back(event);
-    }
-}
-
 /// Streams events as JSON lines (the `--trace` file format).
 pub struct JsonlWriter {
     out: Mutex<Box<dyn Write + Send>>,
@@ -1090,39 +917,12 @@ impl JsonlWriter {
     }
 }
 
-#[allow(deprecated)]
-impl Recorder for JsonlWriter {
-    fn record(&self, event: Event) {
-        self.write_event(&event);
-    }
-
-    fn flush_events(&self) {
-        let _ = self.flush();
-    }
-}
-
-/// Bridge shim: a [`TelemetrySink`] can stand in anywhere an
-/// `Arc<dyn Recorder>` used to go. `record` routes through
-/// [`TelemetrySink::emit`] (per-thread ring under the hood); `flush`
-/// is a no-op because collectors, not producers, own persistence.
-#[allow(deprecated)]
-impl Recorder for TelemetrySink {
-    fn enabled(&self) -> bool {
-        TelemetrySink::enabled(self)
-    }
-
-    fn record(&self, event: Event) {
-        self.emit(event);
-    }
-}
-
 /// Parses a JSONL trace back into events.
 pub fn read_jsonl(text: &str) -> Result<Vec<Event>, ParseError> {
     text.lines().map(str::trim).filter(|l| !l.is_empty()).map(Event::from_json).collect()
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // exercises the deprecated Recorder shim on purpose
 mod tests {
     use super::*;
 
@@ -1276,62 +1076,10 @@ mod tests {
     }
 
     #[test]
-    fn flush_guard_flushes_on_drop() {
-        use std::sync::atomic::{AtomicUsize, Ordering};
-        #[derive(Default)]
-        struct CountingFlush(AtomicUsize);
-        impl Recorder for CountingFlush {
-            fn record(&self, _event: Event) {}
-            fn flush_events(&self) {
-                self.0.fetch_add(1, Ordering::SeqCst);
-            }
-        }
-        let recorder = std::sync::Arc::new(CountingFlush::default());
-        drop(FlushGuard::new(recorder.clone()));
-        assert_eq!(recorder.0.load(Ordering::SeqCst), 1);
-        // The guard also runs while a panic unwinds its owning scope.
-        let recorder2 = recorder.clone();
-        let _ = std::panic::catch_unwind(move || {
-            let _guard = FlushGuard::new(recorder2);
-            panic!("boom");
-        });
-        assert_eq!(recorder.0.load(Ordering::SeqCst), 2);
-    }
-
-    #[test]
     fn json_lines_are_single_lines() {
         let line = sample_decision().to_json();
         assert!(!line.contains('\n'));
         assert!(line.starts_with('{') && line.ends_with('}'));
-    }
-
-    #[test]
-    fn ring_recorder_caps_and_orders() {
-        let ring = RingRecorder::new(2);
-        assert!(ring.is_empty());
-        for n in 0..4u32 {
-            ring.record(Event::OccupancyGauge(OccupancyGauge {
-                node: NodeId(n),
-                used: 0,
-                high_water: 0,
-                total: 1,
-            }));
-        }
-        let kept = ring.events();
-        assert_eq!(kept.len(), 2);
-        let nodes: Vec<u32> = kept
-            .iter()
-            .map(|e| match e {
-                Event::OccupancyGauge(g) => g.node.0,
-                _ => unreachable!(),
-            })
-            .collect();
-        assert_eq!(nodes, vec![2, 3]);
-    }
-
-    #[test]
-    fn null_recorder_is_disabled() {
-        assert!(!NullRecorder.enabled());
     }
 
     #[test]
@@ -1348,8 +1096,8 @@ mod tests {
             }
         }
         let w = JsonlWriter::new(Shared(buf.clone()));
-        w.record(sample_decision());
-        w.record(Event::AttrFallback(AttrFallback { requested: 6, used: 3 }));
+        w.write_event(&sample_decision());
+        w.write_event(&Event::AttrFallback(AttrFallback { requested: 6, used: 3 }));
         w.flush().expect("flush");
         let text = String::from_utf8(buf.lock().expect("buf").clone()).expect("utf8");
         let back = read_jsonl(&text).expect("parse");
@@ -1378,22 +1126,6 @@ mod tests {
         let events = read_jsonl(&text).expect("parses");
         assert_eq!(events.len(), 2, "tail lost on early return");
         let _ = std::fs::remove_file(&path);
-    }
-
-    #[test]
-    fn ring_recorder_counts_dropped_events_into_summary() {
-        let ring = RingRecorder::new(2);
-        for n in 0..5u32 {
-            ring.record(Event::OccupancyGauge(OccupancyGauge {
-                node: NodeId(n),
-                used: 0,
-                high_water: 0,
-                total: 1,
-            }));
-        }
-        assert_eq!(ring.dropped(), 3);
-        let summary = ring.summary();
-        assert_eq!(summary.events_lost, 3, "evictions must be visible in the summary");
     }
 
     #[test]

@@ -75,9 +75,8 @@ pub struct Summary {
     /// Live region placement: region id → `(node, bytes)` split.
     pub live: BTreeMap<u64, Vec<(NodeId, u64)>>,
     /// Events emitted but not collected: overwritten in a wait-free
-    /// ring before a collector reached them, or evicted from a capped
-    /// `RingRecorder`. A nonzero count means every other total above
-    /// is a lower bound.
+    /// ring before a collector reached them. A nonzero count means
+    /// every other total above is a lower bound.
     pub events_lost: u64,
     /// [`Summary::events_lost`] split by producing-thread label, as
     /// reported by [`crate::Collector::loss`].

@@ -29,6 +29,9 @@
 //! * [`service`] — a multi-tenant allocation broker with fair-share
 //!   arbitration, a JSONL wire protocol (`hetmem-serve`) and
 //!   contention feedback between co-located tenants;
+//! * [`snapshot`] — versioned broker checkpoints, crash-safe wire-log
+//!   recording (`hetmem-serve --record/--restore`), and byte-for-byte
+//!   deterministic replay (`hetmem-replay`);
 //! * [`telemetry`] — allocation-decision events, the wait-free
 //!   [`TelemetrySink`]/[`ThreadWriter`] emission fast path with
 //!   loss-accounted collection, JSONL traces, and the per-run
@@ -47,6 +50,7 @@ pub use hetmem_placement as placement;
 pub use hetmem_profile as profile;
 pub use hetmem_scenario as scenario;
 pub use hetmem_service as service;
+pub use hetmem_snapshot as snapshot;
 pub use hetmem_telemetry as telemetry;
 pub use hetmem_topology as topology;
 
