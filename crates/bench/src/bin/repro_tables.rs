@@ -1,7 +1,7 @@
 //! Regenerates every table of the paper's evaluation.
 //!
 //! ```text
-//! repro_tables [--table1|--table2a|--table2b|--table3a|--table3b|--table4|--portability|--capacity|--guidance|--service|--chaos|--replay|--all]
+//! repro_tables [--table1|--table2a|--table2b|--table3a|--table3b|--table4|--portability|--capacity|--guidance|--service|--chaos|--replay|--federation|--all]
 //!              [--trace <out.jsonl>]
 //! repro_tables --compare <baseline.json|dir> <current.json|dir> [--tolerance <frac>]
 //! repro_tables --check-bench <BENCH_*.json>...
@@ -13,8 +13,8 @@
 //! captures the fault sweep's lifecycle events (`tier_degraded`,
 //! `lease_expired`, `reclaim`, ...).
 //!
-//! The `--capacity`, `--guidance`, `--service`, `--chaos` and
-//! `--replay` runs also persist their key numbers as
+//! The `--capacity`, `--guidance`, `--service`, `--chaos`,
+//! `--replay` and `--federation` runs also persist their key numbers as
 //! `BENCH_<area>.json` at the repo root (schema:
 //! `docs/bench_schema.json`). `--compare` diffs a fresh run against
 //! the committed baseline and exits non-zero when any metric regresses
@@ -26,6 +26,12 @@
 //! `--replay` drives the `hetmem-snapshot` record → snapshot → restore
 //! → replay harness and exits non-zero unless every replay reproduces
 //! the recording byte for byte.
+//!
+//! `--federation` sweeps broker counts × spill on/off through the
+//! `hetmem-federation` record/replay harness; it exits non-zero unless
+//! reruns are bit-identical, every broker's independent replay
+//! verifies, and cross-broker spill lifts the aggregate fast-tier hit
+//! rate at two or more broker counts.
 
 use hetmem_alloc::planner::{plan, PlanOrder, PlannedAlloc};
 use hetmem_alloc::{baselines, Fallback};
@@ -100,6 +106,9 @@ fn main() {
     }
     if all || arg == "--replay" {
         replay_determinism();
+    }
+    if all || arg == "--federation" {
+        federation();
     }
 }
 
@@ -883,6 +892,125 @@ fn replay_determinism() {
     );
     println!();
     if !all_verified {
+        std::process::exit(1);
+    }
+}
+
+/// `--federation`: broker counts × spill on/off through the federated
+/// record/replay harness (KNL shards, skewed load on broker 0). Every
+/// configuration runs twice to prove bit-identical reruns, every
+/// broker's log replays independently against the pristine federated
+/// snapshot, and cross-broker spill must lift the aggregate fast-tier
+/// hit rate at two or more broker counts. All numbers are modelled
+/// (no wall clock), so `BENCH_federation.json` is regression-gated on
+/// all machines.
+fn federation() {
+    use hetmem_federation::harness::{federated_record_replay, FederatedHarnessConfig};
+    println!("== Federation: cross-broker spill sweep (KNL shards, skewed load) ==");
+    println!(
+        "{:<8} {:<6} {:>9} {:>10} {:>9} {:>7} {:>8} {:>11} {:>9}",
+        "brokers",
+        "spill",
+        "requests",
+        "granted",
+        "fast-hit",
+        "spills",
+        "merges",
+        "spill ns/op",
+        "verified"
+    );
+    // Deterministic fingerprint of one run; reruns must match exactly.
+    let fingerprint = |o: &hetmem_federation::harness::FederatedOutcome| {
+        (
+            o.snapshot_bytes,
+            o.log_bytes.clone(),
+            o.requests_recorded,
+            o.requested_bytes,
+            o.granted_bytes,
+            o.fast_bytes,
+            o.spills,
+            o.spill_cost_ns.to_bits(),
+            o.digest_merges,
+        )
+    };
+    let mut records = Vec::new();
+    let mut identical = true;
+    let mut all_verified = true;
+    let mut spill_wins = 0u32;
+    for members in [1u32, 2, 4] {
+        let mut fractions = [0.0f64; 2];
+        for spill in [false, true] {
+            let cfg = FederatedHarnessConfig { members, spill, ..Default::default() };
+            let run = |cfg: &FederatedHarnessConfig| {
+                federated_record_replay(cfg).unwrap_or_else(|e| {
+                    eprintln!("repro_tables: federation harness failed: {e}");
+                    std::process::exit(1);
+                })
+            };
+            let out = run(&cfg);
+            identical &= fingerprint(&out) == fingerprint(&run(&cfg));
+            let verified = out.verified();
+            all_verified &= verified;
+            fractions[spill as usize] = out.fast_fraction();
+            println!(
+                "{:<8} {:<6} {:>9} {:>7}MiB {:>8.1}% {:>7} {:>8} {:>11.0} {:>9}",
+                members,
+                if spill { "on" } else { "off" },
+                out.requests_recorded,
+                out.granted_bytes >> 20,
+                out.fast_fraction() * 100.0,
+                out.spills,
+                out.digest_merges,
+                if out.spills > 0 { out.spill_cost_ns / out.spills as f64 } else { 0.0 },
+                if verified { "yes" } else { "NO" }
+            );
+            let tag = format!("fed{members}_spill_{}", if spill { "on" } else { "off" });
+            records.push(BenchRecord::new(
+                "federation_sweep",
+                format!("{tag}_fast_hit"),
+                out.fast_fraction(),
+                "frac",
+                cfg.seed,
+            ));
+            if spill {
+                records.extend([
+                    BenchRecord::new(
+                        "federation_sweep",
+                        format!("{tag}_spills"),
+                        out.spills as f64,
+                        "count",
+                        cfg.seed,
+                    ),
+                    BenchRecord::new(
+                        "federation_sweep",
+                        format!("{tag}_requests"),
+                        out.requests_recorded as f64,
+                        "count",
+                        cfg.seed,
+                    ),
+                ]);
+                if out.spills > 0 {
+                    records.push(BenchRecord::new(
+                        "federation_sweep",
+                        format!("{tag}_forward_ns"),
+                        out.spill_cost_ns / out.spills as f64,
+                        "ns",
+                        cfg.seed,
+                    ));
+                }
+            }
+        }
+        spill_wins += (fractions[1] > fractions[0]) as u32;
+    }
+    emit_bench("federation", &records);
+    println!(
+        "  => reruns bit-identical: {}; per-broker replays verified: {}; \
+         spill lifts aggregate fast-tier hit rate at {spill_wins}/3 broker counts",
+        if identical { "yes" } else { "NO" },
+        if all_verified { "yes" } else { "NO" }
+    );
+    println!();
+    if !identical || !all_verified || spill_wins < 2 {
         std::process::exit(1);
     }
 }

@@ -1,0 +1,236 @@
+use super::*;
+use hetmem_core::{attr, discovery};
+use hetmem_service::Priority;
+
+fn fed(members: u32, spill: bool) -> Federation {
+    let machine = Arc::new(Machine::knl_snc4_flat());
+    let attrs = Arc::new(discovery::from_firmware(&machine, true).expect("firmware attrs"));
+    Federation::new(
+        machine,
+        attrs,
+        &FederationConfig { members, policy: ArbitrationPolicy::FairShare, spill, record: false },
+    )
+}
+
+const GIB: u64 = 1 << 30;
+
+#[test]
+fn shards_are_disjoint_and_cover_every_node() {
+    let machine = Machine::knl_snc4_flat();
+    let all: BTreeSet<NodeId> = machine.topology().node_ids().into_iter().collect();
+    for members in 1..=4u32 {
+        let shards = shard_nodes(machine.topology(), members);
+        let mut union = BTreeSet::new();
+        for shard in &shards {
+            for &node in shard {
+                assert!(union.insert(node), "node {node} dealt twice across shards");
+            }
+        }
+        assert_eq!(union, all, "{members}-way sharding dropped nodes");
+    }
+}
+
+#[test]
+fn every_shard_gets_a_slice_of_every_kind() {
+    // KNL SNC4 flat: 4 DDR + 4 MCDRAM nodes — at 2 and 4 members
+    // every broker must own at least one node of each kind.
+    let machine = Machine::knl_snc4_flat();
+    for members in [2u32, 4] {
+        for shard in shard_nodes(machine.topology(), members) {
+            let kinds: BTreeSet<MemoryKind> =
+                shard.iter().filter_map(|&n| machine.topology().node_kind(n)).collect();
+            assert_eq!(kinds.len(), 2, "shard {shard:?} missed a kind at {members} members");
+        }
+    }
+}
+
+#[test]
+fn digest_merge_is_last_writer_wins() {
+    let mut board = DigestBoard::new();
+    let old = CapacityDigest {
+        broker: 1,
+        epoch: 3,
+        tiers: vec![TierDigest { kind: MemoryKind::Dram, free: GIB, degraded: false }],
+    };
+    let new = CapacityDigest {
+        broker: 1,
+        epoch: 5,
+        tiers: vec![TierDigest { kind: MemoryKind::Dram, free: 2 * GIB, degraded: false }],
+    };
+    assert!(board.merge(&old));
+    assert!(board.merge(&new), "newer epoch must replace");
+    assert!(!board.merge(&old), "older epoch must not replace");
+    assert!(!board.merge(&new), "merge must be idempotent");
+    assert_eq!(board.get(1), Some(&new));
+}
+
+#[test]
+fn gossip_converges_transitively_around_the_ring() {
+    let fed = fed(4, true);
+    // One round moves each member's fresh digest one hop; after
+    // members-1 rounds every board holds every peer.
+    for _ in 0..3 {
+        fed.gossip();
+    }
+    for i in 0..4 {
+        let board = fed.board(i);
+        for peer in 0..4u32 {
+            if peer == i {
+                continue;
+            }
+            assert!(board.get(peer).is_some(), "member {i} never heard about {peer}");
+        }
+    }
+}
+
+#[test]
+fn spill_recovers_a_shortfall_on_a_saturated_home() {
+    let fed = fed(2, true);
+    fed.register("hot", Priority::Latency).expect("register");
+    fed.gossip();
+    // Saturate broker 0's whole shard, then ask for more: without
+    // spill this is an admission error; with spill the residual lands
+    // on broker 1.
+    let mut held = Vec::new();
+    loop {
+        match fed.acquire(0, "hot", 4 * GIB, attr::BANDWIDTH, Fallback::PartialSpill, None, None) {
+            Ok(lease) => {
+                let spilled = lease.spilled(0);
+                held.push(lease);
+                if spilled {
+                    break;
+                }
+            }
+            Err(e) => panic!("spill should have recovered the shortfall, got {e}"),
+        }
+        assert!(held.len() < 64, "shard never saturated");
+    }
+    let spilled = held.last().expect("held something");
+    assert!(spilled.parts.iter().any(|p| p.broker == 1), "residual must land on the peer");
+    assert_eq!(spilled.size(), held[0].size(), "a spilled lease still covers the full request");
+    for lease in held {
+        fed.free(lease).expect("free");
+    }
+}
+
+#[test]
+fn spill_disabled_surfaces_the_admission_error() {
+    let fed = fed(2, false);
+    fed.register("hot", Priority::Latency).expect("register");
+    fed.gossip();
+    let mut held = Vec::new();
+    let err = loop {
+        match fed.acquire(0, "hot", 4 * GIB, attr::BANDWIDTH, Fallback::PartialSpill, None, None) {
+            Ok(lease) => held.push(lease),
+            Err(e) => break e,
+        }
+        assert!(held.len() < 64, "shard never saturated");
+    };
+    assert!(
+        matches!(err, ServiceError::Admission { .. }),
+        "without spill the shortfall stays an admission error, got {err}"
+    );
+}
+
+#[test]
+fn spill_to_a_down_peer_is_peer_unreachable() {
+    let fed = fed(2, true);
+    fed.register("hot", Priority::Latency).expect("register");
+    fed.gossip();
+    fed.set_peer_down(1, true);
+    let mut held = Vec::new();
+    let err = loop {
+        match fed.acquire(0, "hot", 4 * GIB, attr::BANDWIDTH, Fallback::PartialSpill, None, None) {
+            Ok(lease) => held.push(lease),
+            Err(e) => break e,
+        }
+        assert!(held.len() < 64, "shard never saturated");
+    };
+    assert_eq!(err.code(), "peer_unreachable", "the only fitting peer is down: {err}");
+    fed.set_peer_down(1, false);
+}
+
+#[test]
+fn stale_digest_surfaces_when_the_peer_is_fuller_than_its_digest() {
+    let fed = fed(2, true);
+    fed.register("hot", Priority::Latency).expect("register");
+    fed.register("rival", Priority::Latency).expect("register");
+    fed.gossip();
+    // Fill broker 1 *after* broker 0 heard its roomy digest.
+    let mut rival = Vec::new();
+    while let Ok(lease) =
+        fed.acquire(1, "rival", 4 * GIB, attr::BANDWIDTH, Fallback::PartialSpill, None, None)
+    {
+        rival.push(lease);
+        assert!(rival.len() < 64, "peer never saturated");
+    }
+    // Now saturate broker 0 and force a forward ranked on the stale
+    // board: the peer refuses with stale_digest.
+    let mut held = Vec::new();
+    let err = loop {
+        match fed.acquire(0, "hot", 4 * GIB, attr::BANDWIDTH, Fallback::PartialSpill, None, None) {
+            Ok(lease) => held.push(lease),
+            Err(e) => break e,
+        }
+        assert!(held.len() < 64, "home never saturated");
+    };
+    assert_eq!(err.code(), "stale_digest", "expected the peer to refuse: {err}");
+    if let ServiceError::StaleDigest { peer } = err {
+        assert_eq!(peer, 1);
+    }
+}
+
+#[test]
+fn remote_parts_renew_and_expire_through_the_owning_broker() {
+    let fed = fed(2, true);
+    fed.register("hot", Priority::Latency).expect("register");
+    fed.gossip();
+    let mut held = Vec::new();
+    let spilled = loop {
+        let lease = fed
+            .acquire(0, "hot", 4 * GIB, attr::BANDWIDTH, Fallback::PartialSpill, None, Some(2))
+            .expect("acquire");
+        let done = lease.spilled(0);
+        held.push(lease);
+        if done {
+            break held.pop().expect("just pushed");
+        }
+        assert!(held.len() < 64, "shard never saturated");
+    };
+    let remote = spilled.parts.iter().find(|p| p.broker != 0).expect("remote part");
+    // Renew keeps every part alive past the original TTL.
+    for _ in 0..3 {
+        fed.renew(&spilled).expect("renew");
+        fed.advance_epoch();
+        assert!(
+            fed.broker(remote.broker).placement(LeaseId(remote.lease)).is_some(),
+            "renewed remote part must stay alive"
+        );
+    }
+    // Stop renewing: the owning broker expires the remote part.
+    for _ in 0..3 {
+        fed.advance_epoch();
+    }
+    assert!(
+        fed.broker(remote.broker).placement(LeaseId(remote.lease)).is_none(),
+        "unrenewed remote part must expire on its owner"
+    );
+    // Freeing afterwards is a graceful no-op for the expired parts.
+    fed.free(spilled).expect("free after expiry");
+}
+
+#[test]
+fn federated_record_replay_verifies_every_broker() {
+    use crate::harness::{federated_record_replay, FederatedHarnessConfig};
+    let outcome = federated_record_replay(&FederatedHarnessConfig {
+        epochs: 12,
+        ..FederatedHarnessConfig::default()
+    })
+    .expect("harness");
+    assert_eq!(outcome.reports.len(), 2);
+    for (i, report) in outcome.reports.iter().enumerate() {
+        assert!(report.verified(), "broker {i} replay diverged: {report:?}");
+    }
+    assert!(outcome.verified());
+    assert!(outcome.requests_recorded > 0);
+}

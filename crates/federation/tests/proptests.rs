@@ -1,0 +1,176 @@
+//! Property tests for the federation: the digest merge rule is
+//! commutative, associative, and idempotent under arbitrary
+//! interleavings (so gossip delivery order never matters), and a
+//! spill plan never commits more bytes to a peer than its
+//! digest-reported free capacity minus the safety margin.
+
+use hetmem_core::{attr, discovery};
+use hetmem_federation::{
+    rank_spill, CapacityDigest, DigestBoard, SpillTarget, TierDigest, SPILL_SAFETY_MARGIN,
+};
+use hetmem_memsim::Machine;
+use hetmem_placement::PlacementEngine;
+use hetmem_topology::MemoryKind;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+const GIB: u64 = 1 << 30;
+
+fn kind(sel: u8) -> MemoryKind {
+    match sel % 3 {
+        0 => MemoryKind::Dram,
+        1 => MemoryKind::Hbm,
+        _ => MemoryKind::Nvdimm,
+    }
+}
+
+prop_compose! {
+    fn arb_digest()(
+        broker in 0u32..6,
+        epoch in 0u64..8,
+        rows in prop::collection::vec((0u8..3, 0u64..8 * GIB, any::<bool>()), 0..4),
+    ) -> CapacityDigest {
+        CapacityDigest {
+            broker,
+            epoch,
+            tiers: rows
+                .into_iter()
+                .map(|(sel, free, degraded)| TierDigest { kind: kind(sel), free, degraded })
+                .collect(),
+        }
+    }
+}
+
+fn apply(digests: &[CapacityDigest], order: &[usize]) -> DigestBoard {
+    let mut board = DigestBoard::new();
+    for &i in order {
+        board.merge(&digests[i % digests.len()]);
+    }
+    board
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Any two interleavings of the same digest multiset converge to
+    /// the same board — the last-writer-wins rule over the
+    /// `(epoch, tiers)` total order is order-insensitive.
+    #[test]
+    fn merge_is_commutative_under_arbitrary_interleavings(
+        digests in prop::collection::vec(arb_digest(), 1..12),
+        shuffle in prop::collection::vec(0usize..12, 1..24),
+    ) {
+        let forward: Vec<usize> = (0..digests.len()).chain(shuffle.iter().copied()).collect();
+        let mut reversed = forward.clone();
+        reversed.reverse();
+        prop_assert_eq!(apply(&digests, &forward), apply(&digests, &reversed));
+    }
+
+    /// Merging the digests in two halves (any split point) and then
+    /// combining the halves equals one sequential pass — merge is
+    /// associative over batches.
+    #[test]
+    fn merge_is_associative_over_batches(
+        digests in prop::collection::vec(arb_digest(), 2..12),
+        split in 1usize..11,
+    ) {
+        let split = split.min(digests.len() - 1);
+        let all: Vec<usize> = (0..digests.len()).collect();
+        let sequential = apply(&digests, &all);
+        let left = apply(&digests, &all[..split]);
+        let mut combined = apply(&digests, &all[split..]);
+        for digest in left.entries() {
+            combined.merge(digest);
+        }
+        prop_assert_eq!(sequential, combined);
+    }
+
+    /// Replaying any digest any number of extra times changes
+    /// nothing — merge is idempotent.
+    #[test]
+    fn merge_is_idempotent(
+        digests in prop::collection::vec(arb_digest(), 1..10),
+        repeats in prop::collection::vec((0usize..10, 1usize..4), 0..8),
+    ) {
+        let all: Vec<usize> = (0..digests.len()).collect();
+        let base = apply(&digests, &all);
+        let mut noisy = base.clone();
+        for (i, times) in repeats {
+            for _ in 0..times {
+                noisy.merge(&digests[i % digests.len()]);
+            }
+        }
+        prop_assert_eq!(base, noisy);
+    }
+
+    /// The spill planner never picks a peer whose digest-reported
+    /// free bytes, minus the safety margin, cannot hold the whole
+    /// residual — the margin is a hard floor, not advice.
+    #[test]
+    fn spill_never_commits_beyond_digest_capacity_minus_margin(
+        digests in prop::collection::vec(arb_digest(), 0..8),
+        residual in 1u64..12 * GIB,
+        csel in 0u8..2,
+        downs in prop::collection::vec(0u32..6, 0..4),
+    ) {
+        let machine = Arc::new(Machine::knl_snc4_flat());
+        let attrs = Arc::new(discovery::from_firmware(&machine, true).expect("firmware attrs"));
+        let engine = PlacementEngine::new(attrs);
+        let criterion = if csel == 0 { attr::BANDWIDTH } else { attr::LATENCY };
+        let mut board = DigestBoard::new();
+        for digest in &digests {
+            board.merge(digest);
+        }
+        let down: BTreeSet<u32> = downs.into_iter().collect();
+        let home = 0u32;
+        // Only tiers whose kind the machine can rank are plannable;
+        // a digest row of a kind the machine lacks is dead weight.
+        let rankable: BTreeSet<MemoryKind> = machine
+            .topology()
+            .node_ids()
+            .into_iter()
+            .filter_map(|n| machine.topology().node_kind(n))
+            .collect();
+        let fits = |peer: u32| {
+            board.get(peer).is_some_and(|d| {
+                d.tiers.iter().any(|t| {
+                    rankable.contains(&t.kind)
+                        && t.free.saturating_sub(SPILL_SAFETY_MARGIN) >= residual
+                })
+            })
+        };
+        match rank_spill(&engine, machine.topology(), criterion, &board, home, &down, residual) {
+            SpillTarget::Peer { peer, kind } => {
+                prop_assert_ne!(peer, home, "never spill to yourself");
+                prop_assert!(!down.contains(&peer), "never spill to a down peer");
+                let digest = board.get(peer).expect("chosen peer must be on the board");
+                // Duplicate kind rows are legal; the plan landed on
+                // *some* row of this kind with room.
+                prop_assert!(
+                    digest.tiers.iter().any(|t| {
+                        t.kind == kind
+                            && t.free.saturating_sub(SPILL_SAFETY_MARGIN) >= residual
+                    }),
+                    "{residual} bytes planned but no {kind:?} row on peer {peer} has room"
+                );
+            }
+            SpillTarget::Unreachable(peer) => {
+                prop_assert!(down.contains(&peer), "unreachable verdicts name a down peer");
+                prop_assert!(fits(peer), "the named peer's digest must have fit the residual");
+            }
+            SpillTarget::None => {
+                for digest in board.entries() {
+                    if digest.broker == home || down.contains(&digest.broker) {
+                        continue;
+                    }
+                    prop_assert!(
+                        !fits(digest.broker),
+                        "peer {} fit {residual} bytes but the planner said none",
+                        digest.broker
+                    );
+                }
+            }
+        }
+    }
+}

@@ -129,6 +129,20 @@ pub struct RankedCandidates {
 }
 
 impl RankedCandidates {
+    /// Builds a ranking from precomputed targets — the federation path
+    /// ranks *peer brokers* by their gossiped capacity digests, mapping
+    /// each (peer, tier) pair to a synthetic node id, then runs the
+    /// ordinary planning walk over the result. `ranked` must be
+    /// best-first; pass `used == requested` when no attribute fallback
+    /// happened.
+    pub fn from_ranking(
+        requested: AttrId,
+        used: AttrId,
+        ranked: Vec<TargetValue>,
+    ) -> RankedCandidates {
+        RankedCandidates { requested, used, ranked }
+    }
+
     /// The attribute the caller asked for.
     pub fn requested(&self) -> AttrId {
         self.requested

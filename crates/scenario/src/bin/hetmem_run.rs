@@ -182,6 +182,17 @@ fn main() {
             g.mean_accuracy() * 100.0
         );
     }
+    if let Some(fed) = &report.federation {
+        println!(
+            "  federation: {} brokers, {} spilled leases, {} digest merges, \
+             {} MiB fast of {} MiB granted",
+            fed.members,
+            fed.spilled_leases,
+            fed.digest_merges,
+            fed.fast_bytes >> 20,
+            fed.granted_bytes >> 20
+        );
+    }
     if !report.tenants.is_empty() {
         println!("tenants:");
         for t in &report.tenants {

@@ -4,12 +4,13 @@ use crate::parse::{Command, Discovery, Scenario};
 use hetmem_alloc::{AllocRequest, HetAllocator};
 use hetmem_bitmap::Bitmap;
 use hetmem_core::MemAttrs;
+use hetmem_federation::{FederatedLease, Federation, FederationConfig};
 use hetmem_guidance::{GuidanceEngine, GuidancePolicy, GuidanceStats, SamplerConfig};
 use hetmem_memsim::{AccessEngine, BufferAccess, MemoryManager, Phase, RegionId};
 use hetmem_profile::Profiler;
 use hetmem_service::wire::Request;
 use hetmem_service::{Broker, LeaseId, RobustnessStats, TenantId, TenantSpec, TenantStats};
-use hetmem_snapshot::{Snapshot, WireFrame, WireLog};
+use hetmem_snapshot::{FederatedSnapshot, Snapshot, WireFrame, WireLog};
 use hetmem_telemetry::{Summary, TelemetrySink};
 use hetmem_topology::NodeId;
 use std::collections::BTreeMap;
@@ -149,6 +150,24 @@ pub struct ScenarioReport {
     /// ending in a trailer with the final broker state and the
     /// telemetry summary of the recorded segment; `None` otherwise.
     pub wire_log: Option<WireLog>,
+    /// Federation counters when the scenario ran under a `federate`
+    /// statement; `None` otherwise.
+    pub federation: Option<FederationSummary>,
+}
+
+/// What a federated scenario run did, beyond the per-buffer results.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FederationSummary {
+    /// Member broker count.
+    pub members: u32,
+    /// Leases that committed at least one remote part.
+    pub spilled_leases: u64,
+    /// Digest merges applied across all gossip rounds.
+    pub digest_merges: u64,
+    /// Fast-tier bytes across every granted lease part.
+    pub fast_bytes: u64,
+    /// Total bytes granted across every lease part.
+    pub granted_bytes: u64,
 }
 
 /// Runs a scenario; deterministic like everything else.
@@ -220,6 +239,17 @@ pub fn execute_with_options(
     // one contention epoch, so tenants touching the same node charge
     // each other stalls.
     let mut broker: Option<Broker> = None;
+    // Federated mode (`federate` statement): N shard brokers instead
+    // of one. Tenants home round-robin in registration order; leases
+    // may span brokers.
+    let mut federation: Option<Federation> = None;
+    let mut fed_homes: BTreeMap<String, u32> = BTreeMap::new();
+    let mut fed_leases: BTreeMap<String, FederatedLease> = BTreeMap::new();
+    let mut current_home: Option<(String, u32)> = None;
+    let mut fed_spilled = 0u64;
+    let mut fed_merges = 0u64;
+    let mut fed_granted = 0u64;
+    let mut fed_fast = 0u64;
     let mut tenant_ids: BTreeMap<String, TenantId> = BTreeMap::new();
     let mut current_tenant: Option<(String, TenantId)> = None;
     let mut lease_ids: BTreeMap<String, LeaseId> = BTreeMap::new();
@@ -256,6 +286,9 @@ pub fn execute_with_options(
                 if broker.is_some() {
                     return Err(misuse("serve given twice"));
                 }
+                if federation.is_some() {
+                    return Err(misuse("serve and federate are mutually exclusive"));
+                }
                 if !buffers.is_empty() {
                     return Err(misuse("serve must come before the first alloc"));
                 }
@@ -276,7 +309,62 @@ pub fn execute_with_options(
                     recording = !has_snapshot_stanza;
                 }
             }
+            Command::Federate { members, spill, policy } => {
+                let misuse = |message: &str| ExecError::Service {
+                    name: "federate".into(),
+                    line,
+                    message: message.into(),
+                };
+                if federation.is_some() {
+                    return Err(misuse("federate given twice"));
+                }
+                if broker.is_some() {
+                    return Err(misuse("serve and federate are mutually exclusive"));
+                }
+                if !buffers.is_empty() {
+                    return Err(misuse("federate must come before the first alloc"));
+                }
+                if guidance.is_some() {
+                    return Err(misuse("guidance and federated mode are mutually exclusive"));
+                }
+                if options.record {
+                    return Err(misuse(
+                        "federated scenarios cannot be recorded by hetmem-run (--record \
+                         drives one wire log; the federation harness records per-broker \
+                         logs instead)",
+                    ));
+                }
+                let mut fed = Federation::new(
+                    machine.clone(),
+                    attrs.clone(),
+                    &FederationConfig {
+                        members: *members,
+                        policy: *policy,
+                        spill: *spill,
+                        record: false,
+                    },
+                );
+                fed.set_federation_sink(sink.clone());
+                federation = Some(fed);
+            }
             Command::Tenant { name, priority } => {
+                if let Some(fed) = federation.as_ref() {
+                    let home = match fed_homes.get(name) {
+                        Some(&home) => home,
+                        None => {
+                            let home = fed_homes.len() as u32 % fed.members();
+                            fed.register(name, *priority).map_err(|e| ExecError::Service {
+                                name: name.clone(),
+                                line,
+                                message: e.to_string(),
+                            })?;
+                            fed_homes.insert(name.clone(), home);
+                            home
+                        }
+                    };
+                    current_home = Some((name.clone(), home));
+                    continue;
+                }
                 let Some(broker) = broker.as_ref() else {
                     return Err(ExecError::Service {
                         name: name.clone(),
@@ -322,6 +410,36 @@ pub fn execute_with_options(
                     .label(name.clone());
                 if *global {
                     req = req.any_locality();
+                }
+                if let Some(fed) = federation.as_ref() {
+                    let Some((tenant_name, home)) = current_home.as_ref() else {
+                        return Err(ExecError::Service {
+                            name: name.clone(),
+                            line,
+                            message: "no tenant selected (put a `tenant` statement first)".into(),
+                        });
+                    };
+                    if *global {
+                        return Err(ExecError::Service {
+                            name: name.clone(),
+                            line,
+                            message: "global allocations are not federated (digest ranking \
+                                      serves whole-machine locality only)"
+                                .into(),
+                        });
+                    }
+                    let lease = fed
+                        .acquire(*home, tenant_name, *size, *criterion, *fallback, Some(name), *ttl)
+                        .map_err(|e| ExecError::Service {
+                            name: name.clone(),
+                            line,
+                            message: e.to_string(),
+                        })?;
+                    fed_spilled += lease.spilled(*home) as u64;
+                    fed_granted += lease.size();
+                    fed_fast += lease.fast_bytes();
+                    fed_leases.insert(name.clone(), lease);
+                    continue;
                 }
                 if let Some(broker) = broker.as_ref() {
                     let Some((tenant_name, tenant)) = current_tenant.as_ref() else {
@@ -381,6 +499,17 @@ pub fn execute_with_options(
                 }
             }
             Command::Free(name) => {
+                if let Some(fed) = federation.as_ref() {
+                    let lease = fed_leases
+                        .remove(name)
+                        .ok_or_else(|| ExecError::UnknownBuffer { name: name.clone(), line })?;
+                    fed.free(lease).map_err(|e| ExecError::Service {
+                        name: name.clone(),
+                        line,
+                        message: e.to_string(),
+                    })?;
+                    continue;
+                }
                 if let Some(broker) = broker.as_ref() {
                     let lease = lease_ids
                         .remove(name)
@@ -412,6 +541,15 @@ pub fn execute_with_options(
                 }
             }
             Command::Migrate { name, criterion } => {
+                if federation.is_some() {
+                    return Err(ExecError::Service {
+                        name: name.clone(),
+                        line,
+                        message: "migrate is not available in federated mode (leases are \
+                                  pinned)"
+                            .into(),
+                    });
+                }
                 if broker.is_some() {
                     return Err(ExecError::Service {
                         name: name.clone(),
@@ -430,6 +568,15 @@ pub fn execute_with_options(
                 migrations_ns.push(report.cost_ns);
             }
             Command::Phase(spec) => {
+                if federation.is_some() {
+                    return Err(ExecError::Service {
+                        name: spec.name.clone(),
+                        line,
+                        message: "phases are not federated (traffic charging spans one \
+                                  broker; use served mode for phases)"
+                            .into(),
+                    });
+                }
                 let mut accesses = Vec::with_capacity(spec.accesses.len());
                 for a in &spec.accesses {
                     let id = *buffers
@@ -521,6 +668,13 @@ pub fn execute_with_options(
                 }
             }
             Command::Rebalance { criterion } => {
+                if federation.is_some() {
+                    return Err(ExecError::Service {
+                        name: "rebalance".into(),
+                        line,
+                        message: "rebalance is not available in federated mode".into(),
+                    });
+                }
                 if broker.is_some() {
                     return Err(ExecError::Service {
                         name: "rebalance".into(),
@@ -545,6 +699,13 @@ pub fn execute_with_options(
                 tiering_actions.extend(actions);
             }
             Command::Guidance { period, criterion } => {
+                if federation.is_some() {
+                    return Err(ExecError::Service {
+                        name: "guidance".into(),
+                        line,
+                        message: "guidance and federated mode are mutually exclusive".into(),
+                    });
+                }
                 if broker.is_some() {
                     return Err(ExecError::Service {
                         name: "guidance".into(),
@@ -555,6 +716,14 @@ pub fn execute_with_options(
                 guidance = Some(make_guidance(*period, *criterion));
             }
             Command::Fault { kind, degraded } => {
+                if let Some(fed) = federation.as_ref() {
+                    // A tier fault hits the machine, not one shard:
+                    // every member degrades (or restores) its slice.
+                    for member in fed.brokers() {
+                        member.set_tier_degraded(*kind, *degraded);
+                    }
+                    continue;
+                }
                 let Some(broker) = broker.as_ref() else {
                     return Err(ExecError::Service {
                         name: "fault".into(),
@@ -574,6 +743,22 @@ pub fn execute_with_options(
                 }
             }
             Command::Tick { epochs } => {
+                if let Some(fed) = federation.as_ref() {
+                    // Gossip once per epoch so digests stay at most
+                    // one tick stale, then advance every member in
+                    // lockstep (TTL sweeps included).
+                    for _ in 0..*epochs {
+                        fed_merges += fed.gossip();
+                        fed.advance_epoch();
+                    }
+                    fed_leases.retain(|_, lease| {
+                        lease
+                            .parts
+                            .iter()
+                            .any(|p| fed.broker(p.broker).placement(LeaseId(p.lease)).is_some())
+                    });
+                    continue;
+                }
                 let Some(broker) = broker.as_ref() else {
                     return Err(ExecError::Service {
                         name: "tick".into(),
@@ -597,6 +782,33 @@ pub fn execute_with_options(
                 });
             }
             Command::Snapshot { epoch, file } => {
+                if let Some(fed) = federation.as_ref() {
+                    let current = fed.epoch();
+                    if *epoch < current {
+                        return Err(ExecError::Service {
+                            name: file.clone(),
+                            line,
+                            message: format!(
+                                "snapshot epoch {epoch} is in the past (clock is at {current})"
+                            ),
+                        });
+                    }
+                    for _ in current..*epoch {
+                        fed_merges += fed.gossip();
+                        fed.advance_epoch();
+                    }
+                    fed_leases.retain(|_, lease| {
+                        lease
+                            .parts
+                            .iter()
+                            .any(|p| fed.broker(p.broker).placement(LeaseId(p.lease)).is_some())
+                    });
+                    let snap = FederatedSnapshot::capture(fed.brokers());
+                    snap.write_file(std::path::Path::new(file)).map_err(|e| {
+                        ExecError::Service { name: file.clone(), line, message: e.to_string() }
+                    })?;
+                    continue;
+                }
                 let Some(broker) = broker.as_ref() else {
                     return Err(ExecError::Service {
                         name: "snapshot".into(),
@@ -648,9 +860,12 @@ pub fn execute_with_options(
     }
 
     if options.record && broker.is_none() {
+        // Point at the first statement: recording covers the whole
+        // run, so the `serve` belongs before everything else.
+        let line = scenario.commands.first().map_or(0, |s| s.line);
         return Err(ExecError::Service {
             name: "record".into(),
-            line: 0,
+            line,
             message: "--record needs a served scenario (add a `serve` statement)".into(),
         });
     }
@@ -664,6 +879,41 @@ pub fn execute_with_options(
         log.frames.push(WireFrame::Trailer { epoch: broker.epoch(), state, summary });
     }
 
+    if let Some(fed) = federation.as_ref() {
+        let final_placements = fed_leases
+            .iter()
+            .map(|(name, lease)| {
+                let mut placement = Vec::new();
+                for part in &lease.parts {
+                    placement.extend(
+                        fed.broker(part.broker).placement(LeaseId(part.lease)).unwrap_or_default(),
+                    );
+                }
+                (name.clone(), placement)
+            })
+            .collect();
+        let total_ns =
+            phases.iter().map(|p| p.time_ns).sum::<f64>() + migrations_ns.iter().sum::<f64>();
+        return Ok(ScenarioReport {
+            phases,
+            migrations_ns,
+            final_placements,
+            profiler,
+            total_ns,
+            tiering_actions,
+            guidance: None,
+            robustness: None,
+            tenants: Vec::new(),
+            wire_log: None,
+            federation: Some(FederationSummary {
+                members: fed.members(),
+                spilled_leases: fed_spilled,
+                digest_merges: fed_merges,
+                fast_bytes: fed_fast,
+                granted_bytes: fed_granted,
+            }),
+        });
+    }
     let final_placements = match &broker {
         Some(broker) => lease_ids
             .iter()
@@ -692,6 +942,7 @@ pub fn execute_with_options(
         robustness: broker.as_ref().map(|b| b.robustness()),
         tenants: broker.map(|b| b.tenants()).unwrap_or_default(),
         wire_log,
+        federation: None,
     })
 }
 
@@ -1192,5 +1443,70 @@ end
             with_g.total_ns,
             plain.total_ns
         );
+    }
+
+    #[test]
+    fn shipped_federation_scenario_spills_across_brokers() {
+        let text = std::fs::read_to_string(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../scenarios/federation.txt"
+        ))
+        .expect("scenarios/federation.txt");
+        let r = execute(&parse(&text).expect("parses")).expect("runs");
+        let fed = r.federation.expect("federated mode");
+        assert_eq!(fed.members, 2);
+        assert!(fed.spilled_leases >= 1, "{fed:?}");
+        assert!(fed.digest_merges >= 2, "{fed:?}");
+        assert!(fed.fast_bytes > 0 && fed.fast_bytes <= fed.granted_bytes, "{fed:?}");
+        // The surviving lease is the spilled one, spanning both
+        // shards: broker 0 owns the even nodes, broker 1 the odd.
+        let (name, placement) = &r.final_placements[0];
+        assert_eq!(name, "spilled");
+        assert!(placement.iter().any(|(n, _)| n.0 % 2 == 0), "{placement:?}");
+        assert!(placement.iter().any(|(n, _)| n.0 % 2 == 1), "{placement:?}");
+    }
+
+    #[test]
+    fn federated_mode_misuse_errors_carry_line_and_name() {
+        for (src, line, needle) in [
+            // serve and federate are mutually exclusive, both ways.
+            ("machine knl-flat\nserve\nfederate brokers=2\n", 3, "exclusive"),
+            ("machine knl-flat\nfederate brokers=2\nserve\n", 3, "exclusive"),
+            ("machine knl-flat\nfederate brokers=2\nfederate brokers=2\n", 3, "twice"),
+            // federate after an alloc.
+            ("machine knl-flat\nalloc a 1GiB capacity\nfederate brokers=2\n", 3, "first alloc"),
+            // phases and migration stay single-broker features.
+            (
+                "machine knl-flat\nfederate brokers=2\ntenant t\nphase p\n  compute 1ms\nend\n",
+                4,
+                "not federated",
+            ),
+            (
+                "machine knl-flat\nfederate brokers=2\ntenant t\nalloc a 1GiB capacity\nmigrate a bandwidth\n",
+                5,
+                "federated",
+            ),
+        ] {
+            match execute(&parse(src).expect("parses")) {
+                Err(ExecError::Service { line: l, message, .. }) => {
+                    assert_eq!(l, line, "{src}");
+                    assert!(message.contains(needle), "{src}: {message}");
+                }
+                other => panic!("{src}: expected service error, got {:?}", other.map(|_| ())),
+            }
+        }
+        // --record refuses federated scenarios, naming the federate
+        // statement's source line (the recorder drives one wire log).
+        let s = parse("machine knl-flat\nfederate brokers=2\n").expect("parses");
+        let e = execute_with_options(
+            &s,
+            TelemetrySink::disabled(),
+            ExecOptions { record: true, ..Default::default() },
+        )
+        .map(|_| ())
+        .expect_err("record refused");
+        let text = e.to_string();
+        assert!(text.contains("line 2"), "{text}");
+        assert!(text.contains("recorded"), "{text}");
     }
 }

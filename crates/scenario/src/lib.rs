@@ -37,8 +37,8 @@ mod exec;
 mod parse;
 
 pub use exec::{
-    execute, execute_with_options, execute_with_sink, ExecError, ExecOptions, PhaseOutcome,
-    ScenarioReport,
+    execute, execute_with_options, execute_with_sink, ExecError, ExecOptions, FederationSummary,
+    PhaseOutcome, ScenarioReport,
 };
 pub use parse::{parse, AccessSpec, Command, ParseError, PhaseSpec, Scenario, Stmt};
 

@@ -18,6 +18,11 @@
 //!
 //! serve [fair-share|fcfs|static] # switch to broker-backed multi-tenant
 //!                                 # mode (before the first alloc)
+//! federate brokers=<n> [spill=on|off] [fair-share|fcfs|static]
+//!                                 # switch to a federation of n shard
+//!                                 # brokers instead of one (tenants
+//!                                 # home round-robin; shortfalls
+//!                                 # spill to peers)
 //! tenant <name> [latency|normal|batch]  # select (and register on first
 //!                                 # use) the tenant owning what follows
 //! fault degrade|restore <tier>    # mark a tier degraded/healthy
@@ -137,6 +142,21 @@ pub enum Command {
     /// arbiter (must appear before the first `alloc`).
     Serve {
         /// The arbitration policy (default fair-share).
+        policy: ArbitrationPolicy,
+    },
+    /// `federate brokers=<n> [spill=on|off] [policy]`: switch
+    /// execution to a federation of `n` shard brokers instead of a
+    /// single broker (mutually exclusive with `serve`; before the
+    /// first `alloc`). Tenants home round-robin across members in
+    /// registration order; with spill on (the default), shortfalling
+    /// placements forward their residual to the best-ranked peer.
+    Federate {
+        /// Member broker count (≥ 1).
+        members: u32,
+        /// Whether shortfalls spill to peers.
+        spill: bool,
+        /// The arbitration policy every member runs (default
+        /// fair-share).
         policy: ArbitrationPolicy,
     },
     /// `tenant <name> [priority]`: select — registering on first use —
@@ -485,6 +505,37 @@ pub fn parse(text: &str) -> Result<Scenario, ParseError> {
                     None => ArbitrationPolicy::FairShare,
                 };
                 commands.push(Stmt { line, cmd: Command::Serve { policy } });
+            }
+            "federate" => {
+                let mut members = None;
+                let mut spill = true;
+                let mut policy = ArbitrationPolicy::FairShare;
+                for &tok in &toks[1..] {
+                    if let Some(n) = tok.strip_prefix("brokers=") {
+                        let n: u32 =
+                            n.parse().map_err(|_| err(format!("bad brokers= value {tok:?}")))?;
+                        if n == 0 {
+                            return Err(err("federate needs at least 1 broker".into()));
+                        }
+                        members = Some(n);
+                    } else if let Some(v) = tok.strip_prefix("spill=") {
+                        spill = match v {
+                            "on" => true,
+                            "off" => false,
+                            _ => return Err(err(format!("bad spill= value {tok:?} (on|off)"))),
+                        };
+                    } else if let Some(p) = ArbitrationPolicy::from_str_opt(tok) {
+                        policy = p;
+                    } else {
+                        return Err(err(format!("unknown federate option {tok:?}")));
+                    }
+                }
+                let Some(members) = members else {
+                    return Err(err(
+                        "federate needs: federate brokers=<n> [spill=on|off] [policy]".into(),
+                    ));
+                };
+                commands.push(Stmt { line, cmd: Command::Federate { members, spill, policy } });
             }
             "tenant" => {
                 if !(2..=3).contains(&toks.len()) {
@@ -855,6 +906,30 @@ fault restore mcdram
         let e = parse("machine m\nsnapshot epoch=soon file=x\n").expect_err("bad epoch");
         assert!(e.message.contains("epoch="), "{e}");
         let e = parse("machine m\nsnapshot epoch=1 file=x verbose\n").expect_err("bad option");
+        assert!(e.message.contains("verbose"), "{e}");
+    }
+
+    #[test]
+    fn federate_statement() {
+        let s = parse("machine knl-flat\nfederate brokers=2\n").expect("valid");
+        assert_eq!(
+            s.commands[0].cmd,
+            Command::Federate { members: 2, spill: true, policy: ArbitrationPolicy::FairShare }
+        );
+        let s = parse("machine knl-flat\nfederate spill=off brokers=4 fcfs\n").expect("valid");
+        assert_eq!(
+            s.commands[0].cmd,
+            Command::Federate { members: 4, spill: false, policy: ArbitrationPolicy::Fcfs }
+        );
+        let e = parse("machine m\nfederate\n").expect_err("missing brokers");
+        assert!(e.message.contains("federate needs"), "{e}");
+        let e = parse("machine m\nfederate brokers=0\n").expect_err("zero brokers");
+        assert!(e.message.contains("at least 1"), "{e}");
+        let e = parse("machine m\nfederate brokers=two\n").expect_err("bad count");
+        assert!(e.message.contains("brokers="), "{e}");
+        let e = parse("machine m\nfederate brokers=2 spill=maybe\n").expect_err("bad spill");
+        assert!(e.message.contains("spill="), "{e}");
+        let e = parse("machine m\nfederate brokers=2 verbose\n").expect_err("bad option");
         assert!(e.message.contains("verbose"), "{e}");
     }
 

@@ -273,6 +273,10 @@ pub struct BrokerState {
     /// Name of the machine the snapshot was captured on; restore
     /// refuses a mismatched machine.
     pub machine: String,
+    /// Broker instance id (0 for a standalone broker). The shard
+    /// itself is not stored separately — restore derives it from the
+    /// stripe node set.
+    pub id: u32,
     /// Active arbitration policy.
     pub policy: ArbitrationPolicy,
     /// Service epoch at capture time.
@@ -325,6 +329,10 @@ pub const MAX_CONTENTION_SLOWDOWN: f64 = 3.0;
 
 /// The multi-tenant allocation broker.
 pub struct Broker {
+    /// Instance id: 0 for a standalone broker, the federation slot
+    /// otherwise. Stamped on every broker-path telemetry event so
+    /// merged federated traces stay attributable.
+    id: u32,
     machine: Arc<Machine>,
     placer: PlacementEngine,
     policy: ArbitrationPolicy,
@@ -357,11 +365,29 @@ impl Broker {
     /// A broker owning a fresh [`MemoryManager`] for `machine`,
     /// arbitrating under `policy`.
     pub fn new(machine: Arc<Machine>, attrs: Arc<MemAttrs>, policy: ArbitrationPolicy) -> Broker {
+        let all: BTreeSet<NodeId> = machine.topology().node_ids().into_iter().collect();
+        Broker::with_shard(machine, attrs, policy, 0, &all)
+    }
+
+    /// A federation member: broker `id` arbitrating only the NUMA
+    /// nodes in `shard` (nodes outside the machine are ignored).
+    /// Candidates outside the shard are filtered from every ranking,
+    /// and tier share math sees only the shard's capacity, so disjoint
+    /// shards never double-commit a node. `with_shard` over the full
+    /// node set is exactly [`Broker::new`].
+    pub fn with_shard(
+        machine: Arc<Machine>,
+        attrs: Arc<MemAttrs>,
+        policy: ArbitrationPolicy,
+        id: u32,
+        shard: &BTreeSet<NodeId>,
+    ) -> Broker {
         let mm = MemoryManager::new(machine.clone());
         let node_kind: BTreeMap<NodeId, MemoryKind> = machine
             .topology()
             .node_ids()
             .into_iter()
+            .filter(|n| shard.contains(n))
             .map(|n| (n, machine.topology().node_kind(n).unwrap_or(MemoryKind::Dram)))
             .collect();
         let mut tier_capacity: BTreeMap<MemoryKind, u64> = BTreeMap::new();
@@ -376,14 +402,16 @@ impl Broker {
             .collect();
         // The fast tier is whatever kind the bandwidth ranking puts
         // first — HBM on KNL, DRAM on an Optane Xeon. Attributes
-        // decide, not hardcoded labels (§III-A).
+        // decide, not hardcoded labels (§III-A). A shard takes the
+        // best-ranked kind it actually owns.
         let fast_kind = attrs
             .rank_targets(attr::BANDWIDTH, machine.topology().machine_cpuset())
             .ok()
-            .and_then(|ranked| ranked.first().and_then(|tv| node_kind.get(&tv.node).copied()))
+            .and_then(|ranked| ranked.iter().find_map(|tv| node_kind.get(&tv.node).copied()))
             .unwrap_or(MemoryKind::Dram);
         let board = TrafficBoard::new(node_kind.keys().copied());
         Broker {
+            id,
             engine: AccessEngine::new(machine.clone()),
             machine,
             placer: PlacementEngine::new(attrs),
@@ -421,6 +449,32 @@ impl Broker {
     /// The machine being brokered.
     pub fn machine(&self) -> &Arc<Machine> {
         &self.machine
+    }
+
+    /// This broker's instance id (0 for a standalone broker).
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// The NUMA nodes this broker arbitrates — the whole machine for a
+    /// standalone broker, the shard for a federation member.
+    pub fn shard(&self) -> BTreeSet<NodeId> {
+        self.node_kind.keys().copied().collect()
+    }
+
+    /// A point-in-time capacity digest of this broker's shard: per
+    /// tier, the free bytes across the shard's stripes and whether the
+    /// tier is currently degraded. Sorted by kind, so equal states
+    /// digest identically. This is what federation gossip carries.
+    pub fn capacity_digest(&self) -> Vec<(MemoryKind, u64, bool)> {
+        let degraded = self.degraded.lock().expect("degraded poisoned").clone();
+        let mut free: BTreeMap<MemoryKind, u64> =
+            self.tier_capacity.keys().map(|&k| (k, 0)).collect();
+        for (node, ledger) in &self.stripes {
+            let kind = self.node_kind[node];
+            *free.entry(kind).or_insert(0) += ledger.lock().expect("stripe poisoned").free;
+        }
+        free.into_iter().map(|(k, f)| (k, f, degraded.contains(&k))).collect()
     }
 
     /// The arbitration policy in force.
@@ -559,10 +613,17 @@ impl Broker {
         {
             let degraded = self.degraded.lock().expect("degraded poisoned");
             if !degraded.is_empty() {
-                ranking.demote_last_resort(|n| degraded.contains(&self.node_kind[&n]));
+                ranking.demote_last_resort(|n| {
+                    self.node_kind.get(&n).is_some_and(|k| degraded.contains(k))
+                });
             }
         }
-        let ranked = ranking.nodes();
+        // A federation member only places on its own shard; candidates
+        // it does not own drop out here. An empty remainder falls
+        // through to an `Admission` shortfall of the full size — the
+        // residual the federation forwards to a peer.
+        let ranked: Vec<NodeId> =
+            ranking.nodes().into_iter().filter(|n| self.node_kind.contains_key(n)).collect();
         let size = req.size();
 
         // Lock the stripes of every node sharing a tier with a
@@ -638,6 +699,7 @@ impl Broker {
             .clamps
             .iter()
             .map(|c| QuotaClamp {
+                broker: self.id,
                 tenant: tenant_name.clone(),
                 node: c.node,
                 requested: c.requested,
@@ -708,6 +770,7 @@ impl Broker {
         emit_clamps(self, &clamps);
         if self.sink.enabled() {
             self.sink.emit(Event::TenantAdmit(TenantAdmit {
+                broker: self.id,
                 tenant: tenant_name,
                 lease: id.0,
                 size: granted,
@@ -787,6 +850,7 @@ impl Broker {
             let reason = match &cause {
                 ReclaimCause::Expired { ttl } => {
                     self.sink.emit(Event::LeaseExpired(LeaseExpired {
+                        broker: self.id,
                         tenant: tenant.clone(),
                         lease: id.0,
                         ttl_epochs: *ttl,
@@ -795,6 +859,7 @@ impl Broker {
                 }
                 ReclaimCause::Revoked { reason } => {
                     self.sink.emit(Event::LeaseRevoked(LeaseRevoked {
+                        broker: self.id,
                         tenant: tenant.clone(),
                         lease: id.0,
                         reason: reason.clone(),
@@ -803,6 +868,7 @@ impl Broker {
                 }
             };
             self.sink.emit(Event::Reclaim(Reclaim {
+                broker: self.id,
                 tenant,
                 lease: id.0,
                 bytes,
@@ -892,6 +958,7 @@ impl Broker {
         };
         if changed && self.sink.enabled() {
             self.sink.emit(Event::TierDegraded(TierDegraded {
+                broker: self.id,
                 kind: crate::wire::kind_name(kind).to_string(),
                 degraded,
             }));
@@ -1011,6 +1078,7 @@ impl Broker {
         let manager = self.mm.lock().expect("mm poisoned").capture();
         BrokerState {
             machine: self.machine.name().to_string(),
+            id: self.id,
             policy: self.policy,
             epoch: self.epoch.load(Ordering::SeqCst),
             next_tenant: self.next_tenant.load(Ordering::SeqCst),
@@ -1050,7 +1118,10 @@ impl Broker {
                 machine.name()
             )));
         }
-        let mut broker = Broker::new(machine.clone(), attrs, state.policy);
+        // The stripe set IS the shard: a standalone capture carries
+        // every node, a federation member's capture only its own.
+        let shard: BTreeSet<NodeId> = state.stripes.iter().map(|s| s.node).collect();
+        let mut broker = Broker::with_shard(machine.clone(), attrs, state.policy, state.id, &shard);
         let mm = MemoryManager::restore(machine, &state.manager).map_err(|e| err(e.to_string()))?;
 
         let mut tenants: BTreeMap<TenantId, TenantState> = BTreeMap::new();
@@ -1203,6 +1274,7 @@ impl Broker {
                     .map(|t| t.name.clone())
                     .unwrap_or_else(|| format!("{tenant}"));
                 self.sink.emit(Event::ContentionStall(ContentionStall {
+                    broker: self.id,
                     tenant: name,
                     node,
                     stall_ns: node_stall,

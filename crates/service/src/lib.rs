@@ -97,6 +97,17 @@ pub enum ServiceError {
     /// live broker (corrupt state, wrong machine, internal
     /// inconsistency).
     Snapshot(String),
+    /// A federation peer could not be reached for a forward or a
+    /// digest exchange (marked down). Safe to retry after the next
+    /// gossip round re-ranks the peers.
+    PeerUnreachable(u32),
+    /// A forwarded request was refused by the peer because its actual
+    /// capacity no longer matches the digest the forwarder ranked on.
+    /// The forwarder should refresh its board and re-rank.
+    StaleDigest {
+        /// The peer whose digest went stale.
+        peer: u32,
+    },
 }
 
 /// Stable wire codes for every [`ServiceError`] variant, in
@@ -117,6 +128,8 @@ pub const ERROR_CODES: &[&str] = &[
     "deadline",
     "empty_initiator",
     "snapshot",
+    "peer_unreachable",
+    "stale_digest",
 ];
 
 impl ServiceError {
@@ -144,6 +157,8 @@ impl ServiceError {
             ServiceError::DeadlineExceeded(_) => "deadline",
             ServiceError::EmptyInitiator => "empty_initiator",
             ServiceError::Snapshot(_) => "snapshot",
+            ServiceError::PeerUnreachable(_) => "peer_unreachable",
+            ServiceError::StaleDigest { .. } => "stale_digest",
         }
     }
 
@@ -193,6 +208,12 @@ impl std::fmt::Display for ServiceError {
                 write!(f, "initiator cpuset is empty after machine intersection")
             }
             ServiceError::Snapshot(why) => write!(f, "snapshot error: {why}"),
+            ServiceError::PeerUnreachable(peer) => {
+                write!(f, "federation peer #{peer} is unreachable")
+            }
+            ServiceError::StaleDigest { peer } => {
+                write!(f, "peer #{peer} refused the forward: its capacity digest is stale")
+            }
         }
     }
 }

@@ -35,7 +35,7 @@ use crate::broker::Broker;
 use crate::wire::{Request, Response};
 use crate::{LeaseId, ServiceError, TenantSpec};
 use hetmem_alloc::AllocRequest;
-use hetmem_telemetry::{Event, RetryExhausted, TelemetrySink};
+use hetmem_telemetry::{Event, RetryExhausted, SpillForwarded, TelemetrySink};
 use std::collections::{HashMap, VecDeque};
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{TcpListener, TcpStream};
@@ -463,8 +463,63 @@ pub fn serve(broker: &Broker, request: Request) -> Response {
         Request::Stats => {
             Ok(Response::Stats { tenants: broker.tenants(), nodes: broker.node_usage() })
         }
+        Request::Forward { origin, tenant, size, criterion, fallback, label, ttl } => {
+            let id = broker
+                .tenant_id(&tenant)
+                .ok_or_else(|| ServiceError::UnknownTenant(tenant.clone()))?;
+            let mut req = AllocRequest::new(size).criterion(criterion).fallback(fallback);
+            if let Some(label) = label {
+                req = req.label(label);
+            }
+            let lease = match broker.acquire_with_ttl(id, &req, ttl) {
+                Ok(lease) => lease,
+                // The forwarder ranked this broker on a digest that
+                // promised room; a shortfall here means that digest no
+                // longer reflects reality.
+                Err(ServiceError::Admission { .. }) => {
+                    return Err(ServiceError::StaleDigest { peer: broker.id() });
+                }
+                Err(e) => return Err(e),
+            };
+            // Emitted here — not in the federation — so a per-broker
+            // wire-log replay of the forward frame regenerates it and
+            // the trailer summaries stay byte-identical.
+            let sink = broker.sink_handle();
+            if sink.enabled() {
+                sink.emit(Event::SpillForwarded(SpillForwarded {
+                    broker: broker.id(),
+                    origin,
+                    tenant,
+                    size,
+                    fast_bytes: lease.fast_bytes(),
+                    cost_ns: spill_cost_ns(size),
+                }));
+            }
+            Ok(Response::Granted {
+                lease: lease.id().0,
+                size: lease.size(),
+                placement: lease.placement().to_vec(),
+                fast_bytes: lease.fast_bytes(),
+            })
+        }
+        Request::Digest => Ok(Response::Digest {
+            broker: broker.id(),
+            epoch: broker.epoch(),
+            tiers: broker.capacity_digest(),
+        }),
     })();
     outcome.unwrap_or_else(|e: ServiceError| Response::from_error(&e))
+}
+
+/// Deterministic cost model for one cross-broker spill forward: a
+/// fixed interconnect round trip plus a bytes-proportional transfer
+/// term (~12.5 GB/s). Purely synthetic — the simulator has no real
+/// network — but stable across runs, so spill-latency benchmarks are
+/// bit-identical.
+pub fn spill_cost_ns(bytes: u64) -> f64 {
+    const FORWARD_RTT_NS: f64 = 2_500.0;
+    const NS_PER_BYTE: f64 = 0.08;
+    FORWARD_RTT_NS + bytes as f64 * NS_PER_BYTE
 }
 
 /// Capped exponential backoff schedule for [`Client::call_with_retry`].

@@ -12,6 +12,8 @@
 //! {"op":"heartbeat","tenant":"stream"}
 //! {"op":"free","tenant":"stream","lease":0}
 //! {"op":"stats"}
+//! {"op":"forward","origin":0,"tenant":"stream","size":4096,"criterion":"latency","fallback":"next"}
+//! {"op":"digest"}
 //! ```
 //!
 //! Responses always carry `"ok"`; failures carry `"error"` plus a
@@ -160,17 +162,39 @@ pub enum Request {
     },
     /// Snapshot broker state.
     Stats,
+    /// A federation spill: a peer broker forwards the residual of a
+    /// shortfalling placement here. The tenant must be registered on
+    /// the receiving broker too (federations mirror registrations).
+    Forward {
+        /// Broker id of the forwarding peer.
+        origin: u32,
+        /// Owning tenant name.
+        tenant: String,
+        /// Residual bytes to place locally.
+        size: u64,
+        /// Ranking criterion of the original request.
+        criterion: AttrId,
+        /// Fallback mode of the original request.
+        fallback: Fallback,
+        /// Optional buffer label (shows up in telemetry).
+        label: Option<String>,
+        /// Optional TTL override in service epochs.
+        ttl: Option<u64>,
+    },
+    /// Ask the broker for its capacity digest (federation gossip).
+    Digest,
 }
 
 /// The `op` field value of every [`Request`] variant, in declaration
 /// order. `docs/PROTOCOL.md` coverage tests enumerate this list.
-pub const REQUEST_OPS: &[&str] = &["register", "alloc", "renew", "heartbeat", "free", "stats"];
+pub const REQUEST_OPS: &[&str] =
+    &["register", "alloc", "renew", "heartbeat", "free", "stats", "forward", "digest"];
 
 /// A stable name per [`Response`] variant (responses are discriminated
 /// by field shape on the wire, not by a tag; these names exist for the
 /// spec and its coverage test).
 pub const RESPONSE_KINDS: &[&str] =
-    &["registered", "granted", "renewed", "heartbeat_ack", "freed", "stats", "error"];
+    &["registered", "granted", "renewed", "heartbeat_ack", "freed", "stats", "digest", "error"];
 
 impl Request {
     /// The `op` field value this variant encodes to — one of
@@ -190,6 +214,8 @@ impl Request {
             Request::Heartbeat { .. } => "heartbeat",
             Request::Free { .. } => "free",
             Request::Stats => "stats",
+            Request::Forward { .. } => "forward",
+            Request::Digest => "digest",
         }
     }
 
@@ -200,8 +226,9 @@ impl Request {
             | Request::Alloc { tenant, .. }
             | Request::Renew { tenant, .. }
             | Request::Heartbeat { tenant }
-            | Request::Free { tenant, .. } => Some(tenant),
-            Request::Stats => None,
+            | Request::Free { tenant, .. }
+            | Request::Forward { tenant, .. } => Some(tenant),
+            Request::Stats | Request::Digest => None,
         }
     }
 
@@ -259,6 +286,24 @@ impl Request {
                 ("lease".into(), JsonValue::num(*lease as f64)),
             ],
             Request::Stats => vec![("op".into(), JsonValue::str("stats"))],
+            Request::Forward { origin, tenant, size, criterion, fallback, label, ttl } => {
+                let mut f = vec![
+                    ("op".into(), JsonValue::str("forward")),
+                    ("origin".into(), JsonValue::num(*origin as f64)),
+                    ("tenant".into(), JsonValue::str(tenant)),
+                    ("size".into(), JsonValue::num(*size as f64)),
+                    ("criterion".into(), JsonValue::str(criterion_name(*criterion))),
+                    ("fallback".into(), JsonValue::str(fallback_name(*fallback))),
+                ];
+                if let Some(label) = label {
+                    f.push(("label".into(), JsonValue::str(label)));
+                }
+                if let Some(ttl) = ttl {
+                    f.push(("ttl".into(), JsonValue::num(*ttl as f64)));
+                }
+                f
+            }
+            Request::Digest => vec![("op".into(), JsonValue::str("digest"))],
         };
         JsonValue::Object(fields).render()
     }
@@ -343,6 +388,42 @@ impl Request {
                 Ok(Request::Free { tenant: tenant(&v)?, lease })
             }
             "stats" => Ok(Request::Stats),
+            "forward" => {
+                let origin =
+                    v.get("origin").and_then(|o| o.u64()).map_err(|e| bad(e.to_string()))? as u32;
+                let size = v.get("size").and_then(|s| s.u64()).map_err(|e| bad(e.to_string()))?;
+                let criterion = match v.get("criterion") {
+                    Ok(c) => {
+                        let name = c.string().map_err(|e| bad(e.to_string()))?;
+                        criterion_from_name(&name)
+                            .ok_or_else(|| bad(format!("unknown criterion {name:?}")))?
+                    }
+                    Err(_) => attr::CAPACITY,
+                };
+                let fallback = match v.get("fallback") {
+                    Ok(fb) => {
+                        let name = fb.string().map_err(|e| bad(e.to_string()))?;
+                        fallback_from_name(&name)
+                            .ok_or_else(|| bad(format!("unknown fallback {name:?}")))?
+                    }
+                    Err(_) => Fallback::NextTarget,
+                };
+                let label = v.get("label").and_then(|l| l.string()).ok();
+                let ttl = match v.get("ttl") {
+                    Ok(t) => Some(t.u64().map_err(|e| bad(e.to_string()))?),
+                    Err(_) => None,
+                };
+                Ok(Request::Forward {
+                    origin,
+                    tenant: tenant(&v)?,
+                    size,
+                    criterion,
+                    fallback,
+                    label,
+                    ttl,
+                })
+            }
+            "digest" => Ok(Request::Digest),
             other => Err(bad(format!("unknown op {other:?}"))),
         }
     }
@@ -388,6 +469,16 @@ pub enum Response {
         /// Per-node `(node, used, total)` bytes.
         nodes: Vec<(NodeId, u64, u64)>,
     },
+    /// The broker's capacity digest (answer to a `digest` request).
+    Digest {
+        /// Responding broker id.
+        broker: u32,
+        /// The broker's virtual epoch when the digest was taken.
+        epoch: u64,
+        /// Per-tier `(kind, free bytes, degraded)` rows, ordered by
+        /// kind.
+        tiers: Vec<(MemoryKind, u64, bool)>,
+    },
     /// The request failed; the connection stays usable.
     Error {
         /// Stable machine-readable code ([`crate::ERROR_CODES`]).
@@ -407,6 +498,7 @@ impl Response {
             Response::HeartbeatAck { .. } => "heartbeat_ack",
             Response::Freed => "freed",
             Response::Stats { .. } => "stats",
+            Response::Digest { .. } => "digest",
             Response::Error { .. } => "error",
         }
     }
@@ -509,6 +601,26 @@ impl Response {
                     ),
                 ),
             ],
+            Response::Digest { broker, epoch, tiers } => vec![
+                ("ok".into(), JsonValue::num(1.0)),
+                ("broker".into(), JsonValue::num(*broker as f64)),
+                ("epoch".into(), JsonValue::num(*epoch as f64)),
+                (
+                    "tiers".into(),
+                    JsonValue::Array(
+                        tiers
+                            .iter()
+                            .map(|&(k, free, degraded)| {
+                                JsonValue::Array(vec![
+                                    JsonValue::str(kind_name(k)),
+                                    JsonValue::num(free as f64),
+                                    JsonValue::num(if degraded { 1.0 } else { 0.0 }),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ],
             Response::Error { code, error } => vec![
                 ("ok".into(), JsonValue::num(0.0)),
                 ("code".into(), JsonValue::str(code)),
@@ -562,6 +674,29 @@ impl Response {
         }
         if let Ok(tenant_id) = v.get("tenant_id").and_then(|t| t.u64()) {
             return Ok(Response::Registered { tenant_id: tenant_id as u32 });
+        }
+        if let Ok(tiers) = v.get("tiers") {
+            let broker =
+                v.get("broker").and_then(|b| b.u64()).map_err(|e| bad(e.to_string()))? as u32;
+            let epoch = v.get("epoch").and_then(|e| e.u64()).map_err(|e| bad(e.to_string()))?;
+            let tiers = tiers
+                .array()
+                .map_err(|e| bad(e.to_string()))?
+                .iter()
+                .map(|row| {
+                    let row = row.array().map_err(|e| bad(e.to_string()))?;
+                    if row.len() != 3 {
+                        return Err(bad("tier entries are [kind, free, degraded] rows".into()));
+                    }
+                    let name = row[0].string().map_err(|e| bad(e.to_string()))?;
+                    let kind = kind_from_name(&name)
+                        .ok_or_else(|| bad(format!("unknown kind {name:?}")))?;
+                    let free = row[1].u64().map_err(|e| bad(e.to_string()))?;
+                    let degraded = row[2].u64().map_err(|e| bad(e.to_string()))? != 0;
+                    Ok((kind, free, degraded))
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            return Ok(Response::Digest { broker, epoch, tiers });
         }
         if let Ok(tenants) = v.get("tenants") {
             let tenants = tenants
@@ -673,6 +808,25 @@ mod tests {
             Request::Heartbeat { tenant: "stream".into() },
             Request::Free { tenant: "stream".into(), lease: 7 },
             Request::Stats,
+            Request::Forward {
+                origin: 1,
+                tenant: "stream".into(),
+                size: 1 << 20,
+                criterion: attr::LATENCY,
+                fallback: Fallback::NextTarget,
+                label: Some("spill".into()),
+                ttl: Some(3),
+            },
+            Request::Forward {
+                origin: 0,
+                tenant: "stream".into(),
+                size: 4096,
+                criterion: attr::CAPACITY,
+                fallback: Fallback::Strict,
+                label: None,
+                ttl: None,
+            },
+            Request::Digest,
         ];
         for req in reqs {
             let line = req.to_json();
@@ -717,11 +871,23 @@ mod tests {
             Request::Heartbeat { tenant: "t".into() },
             Request::Free { tenant: "t".into(), lease: 0 },
             Request::Stats,
+            Request::Forward {
+                origin: 0,
+                tenant: "t".into(),
+                size: 1,
+                criterion: attr::CAPACITY,
+                fallback: Fallback::Strict,
+                label: None,
+                ttl: None,
+            },
+            Request::Digest,
         ];
         let ops: Vec<&str> = reqs.iter().map(|r| r.op()).collect();
         assert_eq!(ops, REQUEST_OPS);
         assert_eq!(reqs[0].tenant(), Some("t"));
         assert_eq!(reqs[5].tenant(), None);
+        assert_eq!(reqs[6].tenant(), Some("t"));
+        assert_eq!(reqs[7].tenant(), None);
 
         let resps = [
             Response::Registered { tenant_id: 0 },
@@ -730,6 +896,7 @@ mod tests {
             Response::HeartbeatAck { renewed: 0 },
             Response::Freed,
             Response::Stats { tenants: vec![], nodes: vec![] },
+            Response::Digest { broker: 0, epoch: 0, tiers: vec![] },
             Response::from_error(&ServiceError::Stalled),
         ];
         let kinds: Vec<&str> = resps.iter().map(|r| r.kind()).collect();
@@ -764,8 +931,15 @@ mod tests {
                 }],
                 nodes: vec![(NodeId(0), 0, 1 << 30), (NodeId(4), 4096, 1 << 30)],
             },
+            Response::Digest {
+                broker: 2,
+                epoch: 14,
+                tiers: vec![(MemoryKind::Dram, 96 << 30, false), (MemoryKind::Hbm, 4 << 30, true)],
+            },
             Response::Error { code: "admission".into(), error: "admission denied".into() },
             Response::from_error(&ServiceError::UnknownLease(4)),
+            Response::from_error(&ServiceError::PeerUnreachable(1)),
+            Response::from_error(&ServiceError::StaleDigest { peer: 3 }),
         ];
         for resp in resps {
             let line = resp.to_json();

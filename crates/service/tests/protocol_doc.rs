@@ -70,6 +70,31 @@ fn the_snapshot_and_wirelog_formats_are_documented() {
 }
 
 #[test]
+fn the_federation_section_is_normative() {
+    // §8 must exist and must specify, inside the section itself, the
+    // two federation frames, both error codes, both telemetry events,
+    // and the remote-lease lifecycle verbs they compose with.
+    let start = PROTOCOL
+        .find("## 8. Federation")
+        .expect("docs/PROTOCOL.md is missing the `## 8. Federation` section");
+    let section = &PROTOCOL[start..];
+    let required = [
+        "forward",
+        "digest",
+        "peer_unreachable",
+        "stale_digest",
+        "spill_forwarded",
+        "digest_merged",
+        "renew",
+        "heartbeat",
+        "free",
+        "HMWL",
+        "HMSN",
+    ];
+    assert_documented("docs/PROTOCOL.md §8", section, "federation vocabulary", &required);
+}
+
+#[test]
 fn the_operator_handbook_covers_the_record_replay_runbook() {
     // OPERATIONS.md must walk operators through the checkpoint
     // tooling alongside the failure drills.

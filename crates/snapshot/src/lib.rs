@@ -66,6 +66,9 @@ pub const WIRELOG_VERSION: u64 = 1;
 const SECTION_STATE: u8 = 1;
 /// Section tag of the pending-fault-plan section (optional).
 const SECTION_FAULTS: u8 = 2;
+/// Section tag of one federated per-broker state section (one per
+/// member broker, in broker-id order).
+const SECTION_BROKER: u8 = 3;
 
 /// Everything that can go wrong reading, writing, or replaying a
 /// snapshot or wire log. Corrupt and truncated input always lands
@@ -262,6 +265,113 @@ impl Snapshot {
     }
 }
 
+/// A checkpoint of a whole federation: one [`BrokerState`] per member
+/// broker, in broker-id order, in a single `HMSN` file. Each member
+/// gets its own `SECTION_BROKER` section, so single-broker readers
+/// skip federated snapshots cleanly (unknown sections) instead of
+/// misdecoding them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FederatedSnapshot {
+    /// Per-broker states, sorted by [`BrokerState::id`].
+    pub states: Vec<BrokerState>,
+}
+
+impl FederatedSnapshot {
+    /// Captures every member broker at its current epoch.
+    pub fn capture<'a>(brokers: impl IntoIterator<Item = &'a Broker>) -> FederatedSnapshot {
+        let mut states: Vec<BrokerState> =
+            brokers.into_iter().map(|b| b.snapshot_state()).collect();
+        states.sort_by_key(|s| s.id);
+        FederatedSnapshot { states }
+    }
+
+    /// Encodes the snapshot: magic, version, then one tagged
+    /// length-prefixed `SECTION_BROKER` section per member.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&SNAPSHOT_MAGIC);
+        put_u64(&mut out, SNAPSHOT_VERSION);
+        put_u64(&mut out, self.states.len() as u64);
+        let mut payload = Vec::new();
+        for state in &self.states {
+            payload.clear();
+            encode_state(state, &mut payload);
+            out.push(SECTION_BROKER);
+            put_u64(&mut out, payload.len() as u64);
+            out.extend_from_slice(&payload);
+        }
+        out
+    }
+
+    /// Decodes a federated snapshot, skipping unknown sections and
+    /// rejecting unknown versions, truncation, corruption, and
+    /// duplicate broker ids with typed errors.
+    pub fn decode(bytes: &[u8]) -> Result<FederatedSnapshot, SnapshotError> {
+        let mut cur = Cursor::new(bytes);
+        if cur.take(4).map_err(|_| SnapshotError::BadMagic { expected: "snapshot" })?
+            != SNAPSHOT_MAGIC
+        {
+            return Err(SnapshotError::BadMagic { expected: "snapshot" });
+        }
+        let version = cur.u64()?;
+        if version > SNAPSHOT_VERSION {
+            return Err(SnapshotError::UnsupportedVersion {
+                found: version,
+                supported: SNAPSHOT_VERSION,
+            });
+        }
+        let sections = cur.u64()?;
+        let mut states: Vec<BrokerState> = Vec::new();
+        for _ in 0..sections {
+            let tag = cur.take(1)?[0];
+            let len = cur.u64()? as usize;
+            let payload = cur.take(len)?;
+            if tag == SECTION_BROKER {
+                let mut section = Cursor::new(payload);
+                let decoded = decode_state(&mut section)?;
+                section.done()?;
+                if states.iter().any(|s| s.id == decoded.id) {
+                    return Err(SnapshotError::Corrupt(format!(
+                        "duplicate broker id {} in federated snapshot",
+                        decoded.id
+                    )));
+                }
+                states.push(decoded);
+            }
+        }
+        cur.done()?;
+        if states.is_empty() {
+            return Err(SnapshotError::Corrupt("no per-broker sections".into()));
+        }
+        states.sort_by_key(|s| s.id);
+        Ok(FederatedSnapshot { states })
+    }
+
+    /// Encodes and writes the snapshot to `path`.
+    pub fn write_file(&self, path: &std::path::Path) -> Result<(), SnapshotError> {
+        std::fs::write(path, self.encode()).map_err(|e| SnapshotError::Io(e.to_string()))
+    }
+
+    /// Reads and decodes a federated snapshot from `path`.
+    pub fn read_file(path: &std::path::Path) -> Result<FederatedSnapshot, SnapshotError> {
+        let bytes = std::fs::read(path).map_err(|e| SnapshotError::Io(e.to_string()))?;
+        FederatedSnapshot::decode(&bytes)
+    }
+
+    /// Reconstructs every member broker (each rebuilds its shard from
+    /// its own stripe set). Telemetry starts disabled on each.
+    pub fn restore_all(
+        &self,
+        machine: Arc<Machine>,
+        attrs: Arc<MemAttrs>,
+    ) -> Result<Vec<Broker>, SnapshotError> {
+        self.states
+            .iter()
+            .map(|s| Ok(Broker::restore(machine.clone(), attrs.clone(), s)?))
+            .collect()
+    }
+}
+
 fn put_opt_u64(out: &mut Vec<u8>, v: Option<u64>) {
     put_bool(out, v.is_some());
     if let Some(v) = v {
@@ -303,6 +413,7 @@ fn read_kind_bytes(cur: &mut Cursor<'_>) -> Result<Vec<(MemoryKind, u64)>, Snaps
 pub fn encode_state(state: &BrokerState, out: &mut Vec<u8>) {
     put_str(out, &state.machine);
     put_str(out, state.policy.as_str());
+    put_u64(out, state.id as u64);
     put_u64(out, state.epoch);
     put_u64(out, state.next_tenant as u64);
     put_u64(out, state.next_lease);
@@ -402,6 +513,7 @@ pub fn decode_state(cur: &mut Cursor<'_>) -> Result<BrokerState, SnapshotError> 
     let policy = ArbitrationPolicy::from_str_opt(&policy_name).ok_or_else(|| {
         SnapshotError::Corrupt(format!("unknown arbitration policy {policy_name:?}"))
     })?;
+    let id = cur.u32()?;
     let epoch = cur.u64()?;
     let next_tenant = cur.u32()?;
     let next_lease = cur.u64()?;
@@ -461,6 +573,7 @@ pub fn decode_state(cur: &mut Cursor<'_>) -> Result<BrokerState, SnapshotError> 
     Ok(BrokerState {
         machine,
         policy,
+        id,
         epoch,
         next_tenant,
         next_lease,

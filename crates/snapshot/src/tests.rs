@@ -113,6 +113,7 @@ fn arb_state(seed: u64) -> BrokerState {
             1 => ArbitrationPolicy::Fcfs,
             _ => ArbitrationPolicy::StaticPartition,
         },
+        id: (rng.next_u64() % 8) as u32,
         epoch: rng.next_u64() % 10_000,
         next_tenant: (rng.next_u64() % 100) as u32,
         next_lease: rng.next_u64() % 10_000,

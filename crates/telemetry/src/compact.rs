@@ -9,10 +9,10 @@
 //! put the same records on disk with a varint length frame per record.
 
 use crate::{
-    AllocDecision, AttrFallback, Candidate, ContentionStall, Event, FallbackMode, FreeEvent,
-    GuidanceDecision, Hop, LeaseExpired, LeaseRevoked, Migration, NodeTrafficSample,
-    OccupancyGauge, PhaseSpan, QuotaClamp, Reclaim, RetryExhausted, Scope, TenantAdmit,
-    TierDegraded, TieringEvent,
+    AllocDecision, AttrFallback, Candidate, ContentionStall, DigestMerged, Event, FallbackMode,
+    FreeEvent, GuidanceDecision, Hop, LeaseExpired, LeaseRevoked, Migration, NodeTrafficSample,
+    OccupancyGauge, PhaseSpan, QuotaClamp, Reclaim, RetryExhausted, Scope, SpillForwarded,
+    TenantAdmit, TierDegraded, TieringEvent,
 };
 use hetmem_topology::NodeId;
 
@@ -209,6 +209,8 @@ fn kind_byte(event: &Event) -> u8 {
         Event::TierDegraded(_) => 13,
         Event::RetryExhausted(_) => 14,
         Event::Reclaim(_) => 15,
+        Event::SpillForwarded(_) => 16,
+        Event::DigestMerged(_) => 17,
     }
 }
 
@@ -303,6 +305,7 @@ pub fn encode_record(epoch: u64, event: &Event, out: &mut Vec<u8>) {
             put_u64(out, g.period);
         }
         Event::TenantAdmit(t) => {
+            put_u64(out, t.broker as u64);
             put_str(out, &t.tenant);
             put_u64(out, t.lease);
             put_u64(out, t.size);
@@ -311,28 +314,33 @@ pub fn encode_record(epoch: u64, event: &Event, out: &mut Vec<u8>) {
             put_u64(out, t.fast_bytes);
         }
         Event::QuotaClamp(q) => {
+            put_u64(out, q.broker as u64);
             put_str(out, &q.tenant);
             put_u64(out, q.node.0 as u64);
             put_u64(out, q.requested);
             put_u64(out, q.allowed);
         }
         Event::ContentionStall(c) => {
+            put_u64(out, c.broker as u64);
             put_str(out, &c.tenant);
             put_u64(out, c.node.0 as u64);
             put_f64(out, c.stall_ns);
             put_u64(out, c.sharers);
         }
         Event::LeaseExpired(l) => {
+            put_u64(out, l.broker as u64);
             put_str(out, &l.tenant);
             put_u64(out, l.lease);
             put_u64(out, l.ttl_epochs);
         }
         Event::LeaseRevoked(l) => {
+            put_u64(out, l.broker as u64);
             put_str(out, &l.tenant);
             put_u64(out, l.lease);
             put_str(out, &l.reason);
         }
         Event::TierDegraded(t) => {
+            put_u64(out, t.broker as u64);
             put_str(out, &t.kind);
             put_bool(out, t.degraded);
         }
@@ -343,11 +351,26 @@ pub fn encode_record(epoch: u64, event: &Event, out: &mut Vec<u8>) {
             put_str(out, &r.last_error);
         }
         Event::Reclaim(r) => {
+            put_u64(out, r.broker as u64);
             put_str(out, &r.tenant);
             put_u64(out, r.lease);
             put_u64(out, r.bytes);
             put_placement(out, &r.placement);
             put_str(out, &r.reason);
+        }
+        Event::SpillForwarded(s) => {
+            put_u64(out, s.broker as u64);
+            put_u64(out, s.origin as u64);
+            put_str(out, &s.tenant);
+            put_u64(out, s.size);
+            put_u64(out, s.fast_bytes);
+            put_f64(out, s.cost_ns);
+        }
+        Event::DigestMerged(d) => {
+            put_u64(out, d.broker as u64);
+            put_u64(out, d.peer as u64);
+            put_u64(out, d.epoch);
+            put_bool(out, d.applied);
         }
     }
 }
@@ -444,6 +467,7 @@ pub fn decode_record(bytes: &[u8]) -> Result<(u64, Event), CodecError> {
             period: c.u64()?,
         }),
         Some("tenant_admit") => Event::TenantAdmit(TenantAdmit {
+            broker: c.u32()?,
             tenant: c.str()?,
             lease: c.u64()?,
             size: c.u64()?,
@@ -452,30 +476,36 @@ pub fn decode_record(bytes: &[u8]) -> Result<(u64, Event), CodecError> {
             fast_bytes: c.u64()?,
         }),
         Some("quota_clamp") => Event::QuotaClamp(QuotaClamp {
+            broker: c.u32()?,
             tenant: c.str()?,
             node: c.node()?,
             requested: c.u64()?,
             allowed: c.u64()?,
         }),
         Some("contention_stall") => Event::ContentionStall(ContentionStall {
+            broker: c.u32()?,
             tenant: c.str()?,
             node: c.node()?,
             stall_ns: c.f64()?,
             sharers: c.u64()?,
         }),
         Some("lease_expired") => Event::LeaseExpired(LeaseExpired {
+            broker: c.u32()?,
             tenant: c.str()?,
             lease: c.u64()?,
             ttl_epochs: c.u64()?,
         }),
         Some("lease_revoked") => Event::LeaseRevoked(LeaseRevoked {
+            broker: c.u32()?,
             tenant: c.str()?,
             lease: c.u64()?,
             reason: c.str()?,
         }),
-        Some("tier_degraded") => {
-            Event::TierDegraded(TierDegraded { kind: c.str()?, degraded: c.bool()? })
-        }
+        Some("tier_degraded") => Event::TierDegraded(TierDegraded {
+            broker: c.u32()?,
+            kind: c.str()?,
+            degraded: c.bool()?,
+        }),
         Some("retry_exhausted") => Event::RetryExhausted(RetryExhausted {
             tenant: c.str()?,
             op: c.str()?,
@@ -483,11 +513,26 @@ pub fn decode_record(bytes: &[u8]) -> Result<(u64, Event), CodecError> {
             last_error: c.str()?,
         }),
         Some("reclaim") => Event::Reclaim(Reclaim {
+            broker: c.u32()?,
             tenant: c.str()?,
             lease: c.u64()?,
             bytes: c.u64()?,
             placement: c.placement()?,
             reason: c.str()?,
+        }),
+        Some("spill_forwarded") => Event::SpillForwarded(SpillForwarded {
+            broker: c.u32()?,
+            origin: c.u32()?,
+            tenant: c.str()?,
+            size: c.u64()?,
+            fast_bytes: c.u64()?,
+            cost_ns: c.f64()?,
+        }),
+        Some("digest_merged") => Event::DigestMerged(DigestMerged {
+            broker: c.u32()?,
+            peer: c.u32()?,
+            epoch: c.u64()?,
+            applied: c.bool()?,
         }),
         _ => return Err(CodecError::new(format!("unknown kind byte {kind}"))),
     };
@@ -558,6 +603,7 @@ mod tests {
     #[test]
     fn truncation_is_an_error_not_a_panic() {
         let event = Event::LeaseRevoked(LeaseRevoked {
+            broker: 1,
             tenant: "graph500".into(),
             lease: 11,
             reason: "disconnect".into(),
@@ -573,8 +619,23 @@ mod tests {
     fn framed_log_roundtrips() {
         let events = vec![
             (0, Event::AttrFallback(AttrFallback { requested: 4, used: 2 })),
-            (5, Event::TierDegraded(TierDegraded { kind: "hbm".into(), degraded: true })),
+            (
+                5,
+                Event::TierDegraded(TierDegraded { broker: 0, kind: "hbm".into(), degraded: true }),
+            ),
             (9, Event::Free(FreeEvent { region: 1, placement: vec![(NodeId(4), 64)] })),
+            (
+                11,
+                Event::SpillForwarded(SpillForwarded {
+                    broker: 1,
+                    origin: 0,
+                    tenant: "graph500".into(),
+                    size: 2 << 30,
+                    fast_bytes: 1 << 30,
+                    cost_ns: 84_000.5,
+                }),
+            ),
+            (11, Event::DigestMerged(DigestMerged { broker: 0, peer: 1, epoch: 9, applied: true })),
         ];
         let mut buf = Vec::new();
         for (epoch, event) in &events {

@@ -255,6 +255,9 @@ pub struct GuidanceDecision {
 /// lease after fair-share arbitration (`hetmem-service`).
 #[derive(Debug, Clone, PartialEq)]
 pub struct TenantAdmit {
+    /// Id of the broker instance that granted the lease (0 for a
+    /// standalone broker).
+    pub broker: u32,
     /// Tenant name.
     pub tenant: String,
     /// The lease id granted.
@@ -275,6 +278,8 @@ pub struct TenantAdmit {
 /// guaranteed shares of other tenants left no room.
 #[derive(Debug, Clone, PartialEq)]
 pub struct QuotaClamp {
+    /// Id of the broker instance that refused the bytes.
+    pub broker: u32,
     /// Tenant name.
     pub tenant: String,
     /// The node the bytes were refused on.
@@ -289,6 +294,8 @@ pub struct QuotaClamp {
 /// tenants saturated a node in the same service epoch.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ContentionStall {
+    /// Id of the broker instance charging the stall.
+    pub broker: u32,
     /// The tenant being slowed down.
     pub tenant: String,
     /// The saturated node.
@@ -305,6 +312,8 @@ pub struct ContentionStall {
 /// [`Reclaim`] event carrying the returned bytes).
 #[derive(Debug, Clone, PartialEq)]
 pub struct LeaseExpired {
+    /// Id of the broker instance that owned the lease.
+    pub broker: u32,
     /// Tenant name.
     pub tenant: String,
     /// The expired lease id.
@@ -317,6 +326,8 @@ pub struct LeaseExpired {
 /// that created it dropped, or an operator/fault path pulled it.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LeaseRevoked {
+    /// Id of the broker instance that owned the lease.
+    pub broker: u32,
     /// Tenant name.
     pub tenant: String,
     /// The revoked lease id.
@@ -330,6 +341,8 @@ pub struct LeaseRevoked {
 /// instead of hard-failing.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TierDegraded {
+    /// Id of the broker instance whose shard is affected.
+    pub broker: u32,
     /// The tier, by wire name (`"hbm"`, `"dram"`, `"nvdimm"`, ...).
     pub kind: String,
     /// `true` when entering the degraded state, `false` on recovery.
@@ -355,6 +368,8 @@ pub struct RetryExhausted {
 /// path — the accounting side of an expiry or revocation.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Reclaim {
+    /// Id of the broker instance that reclaimed the capacity.
+    pub broker: u32,
     /// Tenant whose quota the bytes were charged against.
     pub tenant: String,
     /// The reclaimed lease id.
@@ -365,6 +380,43 @@ pub struct Reclaim {
     pub placement: Vec<(NodeId, u64)>,
     /// What triggered the reclaim (`"expired"`, `"revoked"`).
     pub reason: String,
+}
+
+/// A residual allocation served on behalf of a peer broker: the
+/// tenant's home broker ran out of shard capacity and forwarded the
+/// remainder here (federation cross-broker spill). Emitted by the
+/// *serving* peer, so per-broker traces attribute the bytes to the
+/// shard that actually holds them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpillForwarded {
+    /// Id of the peer broker that served the forwarded bytes (the
+    /// emitter).
+    pub broker: u32,
+    /// Id of the tenant's home broker that forwarded the request.
+    pub origin: u32,
+    /// Tenant name.
+    pub tenant: String,
+    /// Forwarded bytes granted here.
+    pub size: u64,
+    /// Of those, bytes that landed on the machine's fast tier.
+    pub fast_bytes: u64,
+    /// Modelled forwarding cost (round trip plus transfer), ns.
+    pub cost_ns: f64,
+}
+
+/// A peer's capacity digest was merged into a broker's federation
+/// board. `applied == false` means the held entry was already newer
+/// under the last-writer-wins order, so the merge was a no-op.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DigestMerged {
+    /// Id of the broker doing the merging.
+    pub broker: u32,
+    /// Id of the peer the digest describes.
+    pub peer: u32,
+    /// Epoch stamp of the incoming digest.
+    pub epoch: u64,
+    /// Whether the incoming digest replaced the held entry.
+    pub applied: bool,
 }
 
 /// A telemetry event.
@@ -403,6 +455,10 @@ pub enum Event {
     RetryExhausted(RetryExhausted),
     /// Capacity reclaimed from an expired or revoked lease.
     Reclaim(Reclaim),
+    /// A forwarded residual allocation served for a peer broker.
+    SpillForwarded(SpillForwarded),
+    /// A peer capacity digest merged into a federation board.
+    DigestMerged(DigestMerged),
 }
 
 /// The `event` field value of every [`Event`] variant, in declaration
@@ -425,6 +481,8 @@ pub const EVENT_KINDS: &[&str] = &[
     "tier_degraded",
     "retry_exhausted",
     "reclaim",
+    "spill_forwarded",
+    "digest_merged",
 ];
 
 /// Human-readable name for the well-known attribute ids of
@@ -454,6 +512,15 @@ fn placement_json(placement: &[(NodeId, u64)]) -> JsonValue {
     )
 }
 
+/// Broker ids were added in the federation PR; traces written before
+/// then carry no `broker` field and parse as broker 0 (standalone).
+fn broker_from_json(v: &JsonValue) -> Result<u32, ParseError> {
+    match v.get("broker") {
+        Ok(b) => Ok(b.u64()? as u32),
+        Err(_) => Ok(0),
+    }
+}
+
 fn placement_from_json(v: &JsonValue) -> Result<Vec<(NodeId, u64)>, ParseError> {
     v.array()?
         .iter()
@@ -474,6 +541,7 @@ impl Event {
     /// ```
     /// use hetmem_telemetry::{Event, LeaseExpired, EVENT_KINDS};
     /// let e = Event::LeaseExpired(LeaseExpired {
+    ///     broker: 0,
     ///     tenant: "graph500".into(),
     ///     lease: 7,
     ///     ttl_epochs: 5,
@@ -499,6 +567,8 @@ impl Event {
             Event::TierDegraded(_) => "tier_degraded",
             Event::RetryExhausted(_) => "retry_exhausted",
             Event::Reclaim(_) => "reclaim",
+            Event::SpillForwarded(_) => "spill_forwarded",
+            Event::DigestMerged(_) => "digest_merged",
         }
     }
 
@@ -619,6 +689,7 @@ impl Event {
             ],
             Event::TenantAdmit(t) => vec![
                 ("event", JsonValue::str("tenant_admit")),
+                ("broker", JsonValue::num(t.broker as f64)),
                 ("tenant", JsonValue::str(&t.tenant)),
                 ("lease", JsonValue::num(t.lease as f64)),
                 ("size", JsonValue::num(t.size as f64)),
@@ -628,6 +699,7 @@ impl Event {
             ],
             Event::QuotaClamp(q) => vec![
                 ("event", JsonValue::str("quota_clamp")),
+                ("broker", JsonValue::num(q.broker as f64)),
                 ("tenant", JsonValue::str(&q.tenant)),
                 ("node", JsonValue::num(q.node.0 as f64)),
                 ("requested", JsonValue::num(q.requested as f64)),
@@ -635,6 +707,7 @@ impl Event {
             ],
             Event::ContentionStall(c) => vec![
                 ("event", JsonValue::str("contention_stall")),
+                ("broker", JsonValue::num(c.broker as f64)),
                 ("tenant", JsonValue::str(&c.tenant)),
                 ("node", JsonValue::num(c.node.0 as f64)),
                 ("stall_ns", JsonValue::num(c.stall_ns)),
@@ -642,18 +715,21 @@ impl Event {
             ],
             Event::LeaseExpired(l) => vec![
                 ("event", JsonValue::str("lease_expired")),
+                ("broker", JsonValue::num(l.broker as f64)),
                 ("tenant", JsonValue::str(&l.tenant)),
                 ("lease", JsonValue::num(l.lease as f64)),
                 ("ttl_epochs", JsonValue::num(l.ttl_epochs as f64)),
             ],
             Event::LeaseRevoked(l) => vec![
                 ("event", JsonValue::str("lease_revoked")),
+                ("broker", JsonValue::num(l.broker as f64)),
                 ("tenant", JsonValue::str(&l.tenant)),
                 ("lease", JsonValue::num(l.lease as f64)),
                 ("reason", JsonValue::str(&l.reason)),
             ],
             Event::TierDegraded(t) => vec![
                 ("event", JsonValue::str("tier_degraded")),
+                ("broker", JsonValue::num(t.broker as f64)),
                 ("kind", JsonValue::str(&t.kind)),
                 ("degraded", JsonValue::str(if t.degraded { "yes" } else { "no" })),
             ],
@@ -666,11 +742,28 @@ impl Event {
             ],
             Event::Reclaim(r) => vec![
                 ("event", JsonValue::str("reclaim")),
+                ("broker", JsonValue::num(r.broker as f64)),
                 ("tenant", JsonValue::str(&r.tenant)),
                 ("lease", JsonValue::num(r.lease as f64)),
                 ("bytes", JsonValue::num(r.bytes as f64)),
                 ("placement", placement_json(&r.placement)),
                 ("reason", JsonValue::str(&r.reason)),
+            ],
+            Event::SpillForwarded(s) => vec![
+                ("event", JsonValue::str("spill_forwarded")),
+                ("broker", JsonValue::num(s.broker as f64)),
+                ("origin", JsonValue::num(s.origin as f64)),
+                ("tenant", JsonValue::str(&s.tenant)),
+                ("size", JsonValue::num(s.size as f64)),
+                ("fast_bytes", JsonValue::num(s.fast_bytes as f64)),
+                ("cost_ns", JsonValue::num(s.cost_ns)),
+            ],
+            Event::DigestMerged(d) => vec![
+                ("event", JsonValue::str("digest_merged")),
+                ("broker", JsonValue::num(d.broker as f64)),
+                ("peer", JsonValue::num(d.peer as f64)),
+                ("epoch", JsonValue::num(d.epoch as f64)),
+                ("applied", JsonValue::str(if d.applied { "yes" } else { "no" })),
             ],
         };
         JsonValue::Object(obj.into_iter().map(|(k, v)| (k.to_string(), v)).collect()).render()
@@ -787,6 +880,7 @@ impl Event {
                 period: v.get("period")?.u64()?,
             })),
             "tenant_admit" => Ok(Event::TenantAdmit(TenantAdmit {
+                broker: broker_from_json(&v)?,
                 tenant: v.get("tenant")?.string()?,
                 lease: v.get("lease")?.u64()?,
                 size: v.get("size")?.u64()?,
@@ -799,28 +893,33 @@ impl Event {
                 fast_bytes: v.get("fast_bytes")?.u64()?,
             })),
             "quota_clamp" => Ok(Event::QuotaClamp(QuotaClamp {
+                broker: broker_from_json(&v)?,
                 tenant: v.get("tenant")?.string()?,
                 node: NodeId(v.get("node")?.u64()? as u32),
                 requested: v.get("requested")?.u64()?,
                 allowed: v.get("allowed")?.u64()?,
             })),
             "contention_stall" => Ok(Event::ContentionStall(ContentionStall {
+                broker: broker_from_json(&v)?,
                 tenant: v.get("tenant")?.string()?,
                 node: NodeId(v.get("node")?.u64()? as u32),
                 stall_ns: v.get("stall_ns")?.f64()?,
                 sharers: v.get("sharers")?.u64()?,
             })),
             "lease_expired" => Ok(Event::LeaseExpired(LeaseExpired {
+                broker: broker_from_json(&v)?,
                 tenant: v.get("tenant")?.string()?,
                 lease: v.get("lease")?.u64()?,
                 ttl_epochs: v.get("ttl_epochs")?.u64()?,
             })),
             "lease_revoked" => Ok(Event::LeaseRevoked(LeaseRevoked {
+                broker: broker_from_json(&v)?,
                 tenant: v.get("tenant")?.string()?,
                 lease: v.get("lease")?.u64()?,
                 reason: v.get("reason")?.string()?,
             })),
             "tier_degraded" => Ok(Event::TierDegraded(TierDegraded {
+                broker: broker_from_json(&v)?,
                 kind: v.get("kind")?.string()?,
                 degraded: match v.get("degraded")?.string()?.as_str() {
                     "yes" => true,
@@ -835,11 +934,30 @@ impl Event {
                 last_error: v.get("last_error")?.string()?,
             })),
             "reclaim" => Ok(Event::Reclaim(Reclaim {
+                broker: broker_from_json(&v)?,
                 tenant: v.get("tenant")?.string()?,
                 lease: v.get("lease")?.u64()?,
                 bytes: v.get("bytes")?.u64()?,
                 placement: placement_from_json(&v.get("placement")?)?,
                 reason: v.get("reason")?.string()?,
+            })),
+            "spill_forwarded" => Ok(Event::SpillForwarded(SpillForwarded {
+                broker: broker_from_json(&v)?,
+                origin: v.get("origin")?.u64()? as u32,
+                tenant: v.get("tenant")?.string()?,
+                size: v.get("size")?.u64()?,
+                fast_bytes: v.get("fast_bytes")?.u64()?,
+                cost_ns: v.get("cost_ns")?.f64()?,
+            })),
+            "digest_merged" => Ok(Event::DigestMerged(DigestMerged {
+                broker: broker_from_json(&v)?,
+                peer: v.get("peer")?.u64()? as u32,
+                epoch: v.get("epoch")?.u64()?,
+                applied: match v.get("applied")?.string()?.as_str() {
+                    "yes" => true,
+                    "no" => false,
+                    other => return Err(ParseError::new(format!("bad applied {other:?}"))),
+                },
             })),
             other => Err(ParseError::new(format!("unknown event kind {other:?}"))),
         }
@@ -1003,6 +1121,7 @@ mod tests {
                 period: 16384,
             }),
             Event::TenantAdmit(TenantAdmit {
+                broker: 1,
                 tenant: "graph \"500\"".into(),
                 lease: 11,
                 size: 3 << 30,
@@ -1011,6 +1130,7 @@ mod tests {
                 fast_bytes: 1 << 30,
             }),
             Event::TenantAdmit(TenantAdmit {
+                broker: 0,
                 tenant: "stream".into(),
                 lease: 12,
                 size: 1 << 20,
@@ -1019,25 +1139,33 @@ mod tests {
                 fast_bytes: 0,
             }),
             Event::QuotaClamp(QuotaClamp {
+                broker: 0,
                 tenant: "stream".into(),
                 node: NodeId(4),
                 requested: 2 << 30,
                 allowed: 512 << 20,
             }),
             Event::ContentionStall(ContentionStall {
+                broker: 2,
                 tenant: "graph500".into(),
                 node: NodeId(4),
                 stall_ns: 125_000.5,
                 sharers: 3,
             }),
-            Event::LeaseExpired(LeaseExpired { tenant: "stream".into(), lease: 12, ttl_epochs: 5 }),
+            Event::LeaseExpired(LeaseExpired {
+                broker: 0,
+                tenant: "stream".into(),
+                lease: 12,
+                ttl_epochs: 5,
+            }),
             Event::LeaseRevoked(LeaseRevoked {
+                broker: 1,
                 tenant: "graph500".into(),
                 lease: 11,
                 reason: "disconnect".into(),
             }),
-            Event::TierDegraded(TierDegraded { kind: "hbm".into(), degraded: true }),
-            Event::TierDegraded(TierDegraded { kind: "hbm".into(), degraded: false }),
+            Event::TierDegraded(TierDegraded { broker: 0, kind: "hbm".into(), degraded: true }),
+            Event::TierDegraded(TierDegraded { broker: 3, kind: "hbm".into(), degraded: false }),
             Event::RetryExhausted(RetryExhausted {
                 tenant: "stream".into(),
                 op: "alloc".into(),
@@ -1045,12 +1173,23 @@ mod tests {
                 last_error: "allocation stalled; retry".into(),
             }),
             Event::Reclaim(Reclaim {
+                broker: 1,
                 tenant: "graph500".into(),
                 lease: 11,
                 bytes: 3 << 30,
                 placement: vec![(NodeId(4), 1 << 30), (NodeId(0), 2 << 30)],
                 reason: "revoked".into(),
             }),
+            Event::SpillForwarded(SpillForwarded {
+                broker: 1,
+                origin: 0,
+                tenant: "graph500".into(),
+                size: 2 << 30,
+                fast_bytes: 2 << 30,
+                cost_ns: 84_000.5,
+            }),
+            Event::DigestMerged(DigestMerged { broker: 0, peer: 1, epoch: 17, applied: true }),
+            Event::DigestMerged(DigestMerged { broker: 1, peer: 0, epoch: 16, applied: false }),
         ];
         let text: String = events.iter().map(|e| e.to_json() + "\n").collect();
         let back = read_jsonl(&text).expect("roundtrip");
@@ -1072,7 +1211,7 @@ mod tests {
         for kind in EVENT_KINDS {
             assert!(seen.insert(*kind), "duplicate event kind {kind:?}");
         }
-        assert_eq!(EVENT_KINDS.len(), 16);
+        assert_eq!(EVENT_KINDS.len(), 18);
     }
 
     #[test]

@@ -68,6 +68,19 @@ pub struct Summary {
     pub contention_stalls: u64,
     /// Total contention time charged, ns.
     pub contention_stall_ns: f64,
+    /// Broker admissions split by broker instance id. Holds only key 0
+    /// for a standalone broker; a federated trace attributes each
+    /// admission to the shard that granted it.
+    pub admits_per_broker: BTreeMap<u32, u64>,
+    /// Residual allocations served for a peer broker (federation
+    /// cross-broker spill).
+    pub spill_forwards: u64,
+    /// Bytes granted through spill forwards.
+    pub spill_forward_bytes: u64,
+    /// Total modelled forwarding cost across spill forwards, ns.
+    pub spill_forward_ns: f64,
+    /// Peer capacity digests merged into federation boards.
+    pub digest_merges: u64,
     /// Per-node occupancy, latest and high-water.
     pub occupancy: BTreeMap<NodeId, OccupancyStats>,
     /// Phases in arrival order.
@@ -141,12 +154,21 @@ impl Summary {
             }
             Event::TieringAction(_) => self.tiering_actions += 1,
             Event::GuidanceDecision(_) => self.guidance_actions += 1,
-            Event::TenantAdmit(_) => self.tenant_admits += 1,
+            Event::TenantAdmit(t) => {
+                self.tenant_admits += 1;
+                *self.admits_per_broker.entry(t.broker).or_default() += 1;
+            }
             Event::QuotaClamp(_) => self.quota_clamps += 1,
             Event::ContentionStall(c) => {
                 self.contention_stalls += 1;
                 self.contention_stall_ns += c.stall_ns;
             }
+            Event::SpillForwarded(s) => {
+                self.spill_forwards += 1;
+                self.spill_forward_bytes += s.size;
+                self.spill_forward_ns += s.cost_ns;
+            }
+            Event::DigestMerged(_) => self.digest_merges += 1,
             // Event is non_exhaustive for forward compatibility;
             // unknown variants simply don't aggregate.
             #[allow(unreachable_patterns)]
@@ -220,6 +242,28 @@ impl Summary {
                 self.quota_clamps,
                 self.contention_stalls,
                 self.contention_stall_ns / 1e6
+            );
+        }
+        // Per-broker attribution only matters (and only renders) when
+        // a non-default broker id appears, so standalone reports are
+        // byte-identical to the pre-federation format.
+        if self.admits_per_broker.keys().any(|&b| b != 0) {
+            let split = self
+                .admits_per_broker
+                .iter()
+                .map(|(b, n)| format!("broker {b}: {n}"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            let _ = writeln!(out, "    admissions by broker: {split}");
+        }
+        if self.spill_forwards + self.digest_merges > 0 {
+            let _ = writeln!(
+                out,
+                "  federation: {} spill forwards ({}, {:.3} ms), {} digest merges",
+                self.spill_forwards,
+                fmt_bytes(self.spill_forward_bytes),
+                self.spill_forward_ns / 1e6,
+                self.digest_merges
             );
         }
         if self.tiering_actions + self.guidance_actions > 0 {
@@ -381,6 +425,60 @@ mod tests {
         assert_eq!(o.used, 20);
         assert_eq!(o.high_water, 50);
         assert_eq!(o.total, 100);
+    }
+
+    #[test]
+    fn federation_counters_aggregate_and_render() {
+        use crate::{DigestMerged, SpillForwarded, TenantAdmit};
+        let mut s = Summary::default();
+        for (broker, lease) in [(0u32, 1u64), (1, 2), (1, 3)] {
+            s.add(&Event::TenantAdmit(TenantAdmit {
+                broker,
+                tenant: "graph500".into(),
+                lease,
+                size: 1 << 20,
+                placement: vec![(NodeId(0), 1 << 20)],
+                clamped: false,
+                fast_bytes: 0,
+            }));
+        }
+        s.add(&Event::SpillForwarded(SpillForwarded {
+            broker: 1,
+            origin: 0,
+            tenant: "graph500".into(),
+            size: 2 << 20,
+            fast_bytes: 2 << 20,
+            cost_ns: 2e6,
+        }));
+        s.add(&Event::DigestMerged(DigestMerged { broker: 0, peer: 1, epoch: 4, applied: true }));
+        assert_eq!(s.tenant_admits, 3);
+        assert_eq!(s.admits_per_broker[&0], 1);
+        assert_eq!(s.admits_per_broker[&1], 2);
+        assert_eq!(s.spill_forwards, 1);
+        assert_eq!(s.spill_forward_bytes, 2 << 20);
+        assert_eq!(s.digest_merges, 1);
+        let text = s.render();
+        assert!(text.contains("admissions by broker: broker 0: 1, broker 1: 2"), "{text}");
+        assert!(text.contains("1 spill forwards"), "{text}");
+        assert!(text.contains("1 digest merges"), "{text}");
+    }
+
+    #[test]
+    fn standalone_render_omits_federation_lines() {
+        use crate::TenantAdmit;
+        let mut s = Summary::default();
+        s.add(&Event::TenantAdmit(TenantAdmit {
+            broker: 0,
+            tenant: "stream".into(),
+            lease: 1,
+            size: 1 << 20,
+            placement: vec![(NodeId(0), 1 << 20)],
+            clamped: false,
+            fast_bytes: 0,
+        }));
+        let text = s.render();
+        assert!(!text.contains("admissions by broker"), "{text}");
+        assert!(!text.contains("federation"), "{text}");
     }
 
     #[test]

@@ -1,0 +1,155 @@
+//! Two shard brokers federate the fictitious heterogeneous platform
+//! (Fig. 3): each broker owns one package's DRAM, NVDIMM and HBM, and
+//! the machine's single CXL-style far pool (the 1 TiB
+//! network-attached node) lands in broker 0's shard alone.
+//!
+//! The demo runs the same three-tenant sequence twice:
+//!
+//! * a staging job fills broker 0's fast tiers (DRAM + HBM);
+//! * a latency-class analytics tenant then asks for 8 GiB of strict
+//!   fast memory on broker 0 — with spill enabled the shortfall
+//!   forwards to broker 1 and the tenant **stays on the fast tier**
+//!   (the peer's HBM); with spill disabled it must either fail or
+//!   settle for local NVDIMM;
+//! * an archive tenant homed on broker 1 asks for more capacity than
+//!   its whole shard — only the federation can reach the far pool on
+//!   broker 0's side of the machine.
+//!
+//! ```text
+//! cargo run --example federation
+//! ```
+
+use hetmem::alloc::Fallback;
+use hetmem::core::{attr, discovery};
+use hetmem::federation::{shard_nodes, FederatedLease, Federation, FederationConfig};
+use hetmem::memsim::Machine;
+use hetmem::service::{ArbitrationPolicy, LeaseId, Priority};
+use std::sync::Arc;
+
+const GIB: u64 = 1 << 30;
+
+fn describe(fed: &Federation, who: &str, lease: &FederatedLease) {
+    let topo = fed.machine().topology();
+    let spots: Vec<String> = lease
+        .parts
+        .iter()
+        .flat_map(|part| {
+            let placement =
+                fed.broker(part.broker).placement(LeaseId(part.lease)).unwrap_or_default();
+            placement.into_iter().map(move |(n, b)| {
+                format!(
+                    "broker{}/{}:{:.0}GiB",
+                    part.broker,
+                    topo.node_kind(n).expect("known").subtype(),
+                    b as f64 / GIB as f64
+                )
+            })
+        })
+        .collect();
+    println!(
+        "  {:<22} -> {:<44} ({:.0} GiB fast)",
+        who,
+        spots.join(" + "),
+        lease.fast_bytes() as f64 / GIB as f64
+    );
+}
+
+fn run(spill: bool) {
+    println!("-- federation of 2 brokers, spill {} --", if spill { "on" } else { "off" });
+    let machine = Arc::new(Machine::fictitious());
+    let attrs = Arc::new(discovery::from_firmware(&machine, true).expect("discovery"));
+    let fed = Federation::new(
+        machine.clone(),
+        attrs,
+        &FederationConfig { members: 2, policy: ArbitrationPolicy::Fcfs, spill, record: false },
+    );
+    for (i, shard) in shard_nodes(machine.topology(), 2).iter().enumerate() {
+        let spots: Vec<String> = shard
+            .iter()
+            .map(|&n| {
+                format!(
+                    "{}:{:.0}GiB",
+                    machine.topology().node_kind(n).expect("known").subtype(),
+                    machine.usable_capacity(n) as f64 / GIB as f64
+                )
+            })
+            .collect();
+        println!("  broker{i} shard: {}", spots.join(" + "));
+    }
+
+    // Registration order picks homes round-robin: analytics and
+    // staging share broker 0, the archive lives on broker 1.
+    fed.register("analytics", Priority::Latency).expect("register");
+    fed.register("archive", Priority::Batch).expect("register");
+    fed.register("staging", Priority::Batch).expect("register");
+    // One gossip round: each broker now holds its peer's digest.
+    fed.gossip();
+
+    // The staging job swallows broker 0's DRAM and HBM exactly.
+    let fast = describe_fast_capacity(&fed);
+    let staging = fed
+        .acquire(0, "staging", fast, attr::BANDWIDTH, Fallback::PartialSpill, Some("stage"), None)
+        .expect("staging admitted");
+    describe(&fed, "staging buffers", &staging);
+
+    // The latency-class tenant refuses slow tiers outright. With
+    // spill on, the shortfall forwards to broker 1 and lands on the
+    // peer's HBM — still the fast tier. With spill off the same
+    // request dies.
+    match fed.acquire(0, "analytics", 8 * GIB, attr::BANDWIDTH, Fallback::Strict, Some("hot"), None)
+    {
+        Ok(lease) => describe(&fed, "analytics hot set", &lease),
+        Err(e) => {
+            println!("  analytics hot set      -> DENIED: {e}");
+            let fallback = fed
+                .acquire(
+                    0,
+                    "analytics",
+                    8 * GIB,
+                    attr::BANDWIDTH,
+                    Fallback::PartialSpill,
+                    Some("hot"),
+                    None,
+                )
+                .expect("local spill fits");
+            describe(&fed, "analytics (local spill)", &fallback);
+        }
+    }
+
+    // Refresh digests, then ask broker 1 for more capacity than its
+    // whole shard holds: only the federation reaches the far pool.
+    fed.gossip();
+    match fed.acquire(
+        1,
+        "archive",
+        1200 * GIB,
+        attr::CAPACITY,
+        Fallback::PartialSpill,
+        Some("cold"),
+        None,
+    ) {
+        Ok(lease) => describe(&fed, "archive cold store", &lease),
+        Err(e) => println!("  archive cold store     -> DENIED: {e}"),
+    }
+    println!();
+}
+
+/// Usable DRAM + HBM bytes in broker 0's shard.
+fn describe_fast_capacity(fed: &Federation) -> u64 {
+    use hetmem::topology::MemoryKind;
+    let topo = fed.machine().topology();
+    shard_nodes(topo, 2)[0]
+        .iter()
+        .filter(|&&n| matches!(topo.node_kind(n), Some(MemoryKind::Dram) | Some(MemoryKind::Hbm)))
+        .map(|&n| fed.machine().usable_capacity(n))
+        .sum()
+}
+
+fn main() {
+    run(true);
+    run(false);
+    println!(
+        "(with spill the latency tenant keeps the fast tier via the peer's HBM, and the \
+         archive reaches the far pool; without it one is exiled to NVDIMM and the other denied)"
+    );
+}

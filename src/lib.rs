@@ -42,6 +42,7 @@ pub use hetmem_alloc as alloc;
 pub use hetmem_apps as apps;
 pub use hetmem_bitmap as bitmap;
 pub use hetmem_core as core;
+pub use hetmem_federation as federation;
 pub use hetmem_guidance as guidance;
 pub use hetmem_hmat as hmat;
 pub use hetmem_membench as membench;

@@ -330,9 +330,18 @@ fn event_strategy() -> impl Strategy<Value = Event> {
                     period,
                 })
             }),
-        (".{1,10}", any::<u64>(), any::<u64>(), placement_strategy(), any::<bool>(), any::<u64>())
-            .prop_map(|(tenant, lease, size, placement, clamped, fast_bytes)| {
+        (
+            0u32..4,
+            ".{1,10}",
+            any::<u64>(),
+            any::<u64>(),
+            placement_strategy(),
+            any::<bool>(),
+            any::<u64>(),
+        )
+            .prop_map(|(broker, tenant, lease, size, placement, clamped, fast_bytes)| {
                 Event::TenantAdmit(TenantAdmit {
+                    broker,
                     tenant,
                     lease,
                     size,
@@ -341,30 +350,39 @@ fn event_strategy() -> impl Strategy<Value = Event> {
                     fast_bytes,
                 })
             }),
-        (".{1,10}", 0u32..8, any::<u64>(), any::<u64>()).prop_map(
-            |(tenant, node, requested, allowed)| Event::QuotaClamp(QuotaClamp {
+        (0u32..4, ".{1,10}", 0u32..8, any::<u64>(), any::<u64>()).prop_map(
+            |(broker, tenant, node, requested, allowed)| Event::QuotaClamp(QuotaClamp {
+                broker,
                 tenant,
                 node: NodeId(node),
                 requested,
                 allowed,
             })
         ),
-        (".{1,10}", 0u32..8, any::<f64>(), 1u64..64).prop_map(|(tenant, node, stall, sharers)| {
-            Event::ContentionStall(ContentionStall {
-                tenant,
-                node: NodeId(node),
-                stall_ns: stall * 1e9,
-                sharers,
-            })
+        (0u32..4, ".{1,10}", 0u32..8, any::<f64>(), 1u64..64).prop_map(
+            |(broker, tenant, node, stall, sharers)| {
+                Event::ContentionStall(ContentionStall {
+                    broker,
+                    tenant,
+                    node: NodeId(node),
+                    stall_ns: stall * 1e9,
+                    sharers,
+                })
+            }
+        ),
+        (0u32..4, ".{1,10}", any::<u64>(), 1u64..100).prop_map(
+            |(broker, tenant, lease, ttl_epochs)| {
+                Event::LeaseExpired(LeaseExpired { broker, tenant, lease, ttl_epochs })
+            }
+        ),
+        (0u32..4, ".{1,10}", any::<u64>(), ".{1,16}").prop_map(
+            |(broker, tenant, lease, reason)| {
+                Event::LeaseRevoked(LeaseRevoked { broker, tenant, lease, reason })
+            }
+        ),
+        (0u32..4, ".{1,10}", any::<bool>()).prop_map(|(broker, kind, degraded)| {
+            Event::TierDegraded(TierDegraded { broker, kind, degraded })
         }),
-        (".{1,10}", any::<u64>(), 1u64..100).prop_map(|(tenant, lease, ttl_epochs)| {
-            Event::LeaseExpired(LeaseExpired { tenant, lease, ttl_epochs })
-        }),
-        (".{1,10}", any::<u64>(), ".{1,16}").prop_map(|(tenant, lease, reason)| {
-            Event::LeaseRevoked(LeaseRevoked { tenant, lease, reason })
-        }),
-        (".{1,10}", any::<bool>())
-            .prop_map(|(kind, degraded)| Event::TierDegraded(TierDegraded { kind, degraded })),
         (".{1,10}", ".{1,10}", 1u64..16, ".{1,16}").prop_map(
             |(tenant, op, attempts, last_error)| Event::RetryExhausted(RetryExhausted {
                 tenant,
@@ -373,14 +391,10 @@ fn event_strategy() -> impl Strategy<Value = Event> {
                 last_error,
             })
         ),
-        (".{1,10}", any::<u64>(), any::<u64>(), placement_strategy(), ".{1,12}").prop_map(
-            |(tenant, lease, bytes, placement, reason)| Event::Reclaim(Reclaim {
-                tenant,
-                lease,
-                bytes,
-                placement,
-                reason,
-            })
+        (0u32..4, ".{1,10}", any::<u64>(), any::<u64>(), placement_strategy(), ".{1,12}").prop_map(
+            |(broker, tenant, lease, bytes, placement, reason)| {
+                Event::Reclaim(Reclaim { broker, tenant, lease, bytes, placement, reason })
+            }
         ),
     ]
 }
