@@ -1,7 +1,7 @@
 //! Regenerates every table of the paper's evaluation.
 //!
 //! ```text
-//! repro_tables [--table1|--table2a|--table2b|--table3a|--table3b|--table4|--portability|--capacity|--guidance|--service|--chaos|--replay|--federation|--all]
+//! repro_tables [--table1|--table2a|--table2b|--table3a|--table3b|--table4|--portability|--capacity|--guidance|--service|--chaos|--replay|--federation|--shard|--all]
 //!              [--trace <out.jsonl>]
 //! repro_tables --compare <baseline.json|dir> <current.json|dir> [--tolerance <frac>]
 //! repro_tables --check-bench <BENCH_*.json>...
@@ -13,8 +13,8 @@
 //! captures the fault sweep's lifecycle events (`tier_degraded`,
 //! `lease_expired`, `reclaim`, ...).
 //!
-//! The `--capacity`, `--guidance`, `--service`, `--chaos`,
-//! `--replay` and `--federation` runs also persist their key numbers as
+//! The `--capacity`, `--guidance`, `--service`, `--chaos`, `--replay`,
+//! `--federation` and `--shard` runs also persist their key numbers as
 //! `BENCH_<area>.json` at the repo root (schema:
 //! `docs/bench_schema.json`). `--compare` diffs a fresh run against
 //! the committed baseline and exits non-zero when any metric regresses
@@ -32,6 +32,13 @@
 //! reruns are bit-identical, every broker's independent replay
 //! verifies, and cross-broker spill lifts the aggregate fast-tier hit
 //! rate at two or more broker counts.
+//!
+//! `--shard` sweeps dispatch shard counts {1, 2, 4, 8} at two
+//! simulated-client scales through the sharded-dispatch load model;
+//! it exits non-zero unless reruns are bit-identical, modelled
+//! throughput rises monotonically from 1 through 4 shards at 100k+
+//! clients, and every shard count's aggregate fast-tier hit rate stays
+//! within one percentage point of the 1-shard baseline.
 
 use hetmem_alloc::planner::{plan, PlanOrder, PlannedAlloc};
 use hetmem_alloc::{baselines, Fallback};
@@ -109,6 +116,9 @@ fn main() {
     }
     if all || arg == "--federation" {
         federation();
+    }
+    if all || arg == "--shard" {
+        shard();
     }
 }
 
@@ -1011,6 +1021,111 @@ fn federation() {
     );
     println!();
     if !identical || !all_verified || spill_wins < 2 {
+        std::process::exit(1);
+    }
+}
+
+/// Sharded dispatch plane: shard counts {1, 2, 4, 8} at 100k and 1M
+/// simulated clients on the KNL. Admission outcomes (fast-tier hit
+/// rate, clamps, coalesced merges) are measured through the real
+/// broker; throughput and latency come from the deterministic
+/// critical-path model in `hetmem_bench::shard_load`, so
+/// `BENCH_shard.json` is regression-gated on all machines. Exits
+/// non-zero unless reruns are bit-identical, throughput rises
+/// monotonically 1 → 2 → 4 shards at every client scale, and each
+/// shard count's fast-tier hit rate stays within one percentage point
+/// of its 1-shard baseline.
+fn shard() {
+    use hetmem_bench::shard_load::{knl_shard_load, run_shard_load};
+    let ctx = Ctx::knl();
+    println!("== Sharded dispatch: scaling sweep (KNL, fair-share, 8 tenants) ==");
+    println!(
+        "{:<9} {:<7} {:>9} {:>7} {:>12} {:>10} {:>10} {:>9} {:>8} {:>7}",
+        "clients",
+        "shards",
+        "admitted",
+        "denied",
+        "allocs/s",
+        "p50 us",
+        "p99 us",
+        "fast-hit",
+        "merges",
+        "steals"
+    );
+    let mut records = Vec::new();
+    let mut identical = true;
+    let mut monotone = true;
+    let mut fair = true;
+    for clients in [100_000u64, 1_000_000] {
+        let mut baseline_hit = 0.0;
+        let mut last_throughput = 0.0;
+        for shards in [1u32, 2, 4, 8] {
+            let cfg = knl_shard_load(clients, shards);
+            let report = run_shard_load(ctx.machine.clone(), ctx.attrs.clone(), &cfg);
+            identical &= report == run_shard_load(ctx.machine.clone(), ctx.attrs.clone(), &cfg);
+            if shards == 1 {
+                baseline_hit = report.fast_hit;
+            } else if shards <= 4 {
+                monotone &= report.allocs_per_sec > last_throughput;
+            }
+            fair &= (report.fast_hit - baseline_hit).abs() <= 0.01;
+            last_throughput = report.allocs_per_sec;
+            println!(
+                "{:<9} {:<7} {:>9} {:>7} {:>12.0} {:>10.1} {:>10.1} {:>8.1}% {:>8} {:>7}",
+                clients,
+                shards,
+                report.admitted,
+                report.denied,
+                report.allocs_per_sec,
+                report.p50_ns / 1e3,
+                report.p99_ns / 1e3,
+                report.fast_hit * 100.0,
+                report.merged_batches,
+                report.steals
+            );
+            let tag = format!("c{}k_s{shards}", clients / 1000);
+            records.extend([
+                BenchRecord::new(
+                    "shard_sweep",
+                    format!("{tag}_allocs_per_sec"),
+                    report.allocs_per_sec,
+                    "ops",
+                    cfg.seed,
+                ),
+                BenchRecord::new(
+                    "shard_sweep",
+                    format!("{tag}_p99_ns"),
+                    report.p99_ns,
+                    "ns",
+                    cfg.seed,
+                ),
+                BenchRecord::new(
+                    "shard_sweep",
+                    format!("{tag}_fast_hit"),
+                    report.fast_hit,
+                    "frac",
+                    cfg.seed,
+                ),
+                BenchRecord::new(
+                    "shard_sweep",
+                    format!("{tag}_merged_batches"),
+                    report.merged_batches as f64,
+                    "count",
+                    cfg.seed,
+                ),
+            ]);
+        }
+    }
+    emit_bench("shard", &records);
+    println!(
+        "  => reruns bit-identical: {}; throughput monotone 1→4 shards: {}; \
+         fast-tier hit within 1pp of 1-shard baseline: {}",
+        if identical { "yes" } else { "NO" },
+        if monotone { "yes" } else { "NO" },
+        if fair { "yes" } else { "NO" }
+    );
+    println!();
+    if !identical || !monotone || !fair {
         std::process::exit(1);
     }
 }

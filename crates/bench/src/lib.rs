@@ -11,6 +11,7 @@ use std::sync::Arc;
 
 pub mod load;
 pub mod perf;
+pub mod shard_load;
 
 /// A ready-to-run experiment context for one machine.
 pub struct Ctx {

@@ -27,17 +27,18 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
 
-/// Arbitration base cost per admitted request.
-const BASE_ALLOC_NS: f64 = 900.0;
+/// Arbitration base cost per admitted request (shared with the
+/// sharded-dispatch sweep in [`crate::shard_load`]).
+pub const BASE_ALLOC_NS: f64 = 900.0;
 /// Added per request already served earlier in the same tick (queueing
 /// behind the batch the dispatcher drains per tick).
-const QUEUE_STEP_NS: f64 = 350.0;
+pub const QUEUE_STEP_NS: f64 = 350.0;
 /// Added per extra placement entry (each spill hop walks one more
 /// ranked candidate).
-const SPILL_HOP_NS: f64 = 250.0;
+pub const SPILL_HOP_NS: f64 = 250.0;
 /// Added when the arbiter clamped the request below its ask (the
 /// fair-share bookkeeping path).
-const CLAMP_PENALTY_NS: f64 = 1200.0;
+pub const CLAMP_PENALTY_NS: f64 = 1200.0;
 
 /// One synthetic tenant population.
 #[derive(Debug, Clone)]

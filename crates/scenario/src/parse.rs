@@ -137,12 +137,17 @@ pub enum Command {
         /// Attribute whose best local target hot regions move to.
         criterion: AttrId,
     },
-    /// `serve [policy]`: switch execution to broker-backed
+    /// `serve [policy] [shards=N]`: switch execution to broker-backed
     /// multi-tenant mode; all following allocations go through the
-    /// arbiter (must appear before the first `alloc`).
+    /// arbiter (must appear before the first `alloc`). `shards=N`
+    /// declares the dispatch plane width the scenario models — the
+    /// broker folds N dispatcher ticks into each contention epoch, as
+    /// the live sharded server would.
     Serve {
         /// The arbitration policy (default fair-share).
         policy: ArbitrationPolicy,
+        /// Dispatch shards (default 1, the single dispatcher).
+        shards: u32,
     },
     /// `federate brokers=<n> [spill=on|off] [policy]`: switch
     /// execution to a federation of `n` shard brokers instead of a
@@ -495,16 +500,33 @@ pub fn parse(text: &str) -> Result<Scenario, ParseError> {
                 commands.push(Stmt { line, cmd: Command::Guidance { period, criterion } });
             }
             "serve" => {
-                if toks.len() > 2 {
-                    return Err(err("serve takes at most a policy name".into()));
+                let mut policy = None;
+                let mut shards = 1u32;
+                for &tok in &toks[1..] {
+                    if let Some(n) = tok.strip_prefix("shards=") {
+                        shards =
+                            n.parse().map_err(|_| err(format!("bad shards= value {tok:?}")))?;
+                        if shards == 0 {
+                            return Err(err("serve needs at least 1 shard".into()));
+                        }
+                    } else if let Some(p) = ArbitrationPolicy::from_str_opt(tok) {
+                        if policy.replace(p).is_some() {
+                            return Err(err("serve takes at most one policy name".into()));
+                        }
+                    } else {
+                        return Err(err(format!(
+                            "unknown serve argument {tok:?} \
+                             (fair-share|fcfs|static, shards=N)"
+                        )));
+                    }
                 }
-                let policy = match toks.get(1) {
-                    Some(tok) => ArbitrationPolicy::from_str_opt(tok).ok_or_else(|| {
-                        err(format!("unknown arbitration policy {tok:?} (fair-share|fcfs|static)"))
-                    })?,
-                    None => ArbitrationPolicy::FairShare,
-                };
-                commands.push(Stmt { line, cmd: Command::Serve { policy } });
+                commands.push(Stmt {
+                    line,
+                    cmd: Command::Serve {
+                        policy: policy.unwrap_or(ArbitrationPolicy::FairShare),
+                        shards,
+                    },
+                });
             }
             "federate" => {
                 let mut members = None;
@@ -823,7 +845,10 @@ serve fcfs
 ",
         )
         .expect("valid");
-        assert_eq!(s.commands[0].cmd, Command::Serve { policy: ArbitrationPolicy::FairShare });
+        assert_eq!(
+            s.commands[0].cmd,
+            Command::Serve { policy: ArbitrationPolicy::FairShare, shards: 1 }
+        );
         assert_eq!(
             s.commands[1].cmd,
             Command::Tenant { name: "graph".into(), priority: Priority::Latency }
@@ -832,7 +857,10 @@ serve fcfs
             s.commands[3].cmd,
             Command::Tenant { name: "stream".into(), priority: Priority::Batch }
         );
-        assert_eq!(s.commands[4].cmd, Command::Serve { policy: ArbitrationPolicy::Fcfs });
+        assert_eq!(
+            s.commands[4].cmd,
+            Command::Serve { policy: ArbitrationPolicy::Fcfs, shards: 1 }
+        );
         // Default priority is normal.
         let s = parse("machine m\ntenant t\n").expect("valid");
         assert_eq!(
@@ -859,6 +887,31 @@ serve fcfs
 
         let e = parse("machine m\nserve fcfs extra\n").expect_err("too many args");
         assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn serve_shards_argument() {
+        let s = parse("machine knl-flat\nserve fcfs shards=4\n").expect("valid");
+        assert_eq!(
+            s.commands[0].cmd,
+            Command::Serve { policy: ArbitrationPolicy::Fcfs, shards: 4 }
+        );
+        // Order-independent: shards= may precede the policy.
+        let s = parse("machine knl-flat\nserve shards=2 fair-share\n").expect("valid");
+        assert_eq!(
+            s.commands[0].cmd,
+            Command::Serve { policy: ArbitrationPolicy::FairShare, shards: 2 }
+        );
+
+        let e = parse("machine m\nserve shards=0\n").expect_err("zero shards");
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("at least 1 shard"), "{e}");
+
+        let e = parse("machine m\nserve shards=many\n").expect_err("bad count");
+        assert!(e.message.contains("shards="), "{e}");
+
+        let e = parse("machine m\nserve fcfs static\n").expect_err("two policies");
+        assert!(e.message.contains("at most one policy"), "{e}");
     }
 
     #[test]

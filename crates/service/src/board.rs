@@ -21,10 +21,21 @@ struct NodeLoad {
     offered: BTreeMap<TenantId, u64>,
 }
 
+/// Epoch clock state: the open epoch plus the tick count folding
+/// multiple dispatch planes into one epoch per service round.
+#[derive(Debug, Default)]
+struct EpochClock {
+    epoch: u64,
+    ticks: u64,
+    /// Dispatch planes (shard dispatchers) ticking this board. `0`
+    /// means unset and behaves as `1`.
+    planes: u64,
+}
+
 /// Per-node traffic shares for one service epoch.
 #[derive(Debug)]
 pub struct TrafficBoard {
-    epoch: Mutex<u64>,
+    clock: Mutex<EpochClock>,
     per_node: BTreeMap<NodeId, Mutex<NodeLoad>>,
 }
 
@@ -32,20 +43,42 @@ impl TrafficBoard {
     /// An empty board covering `nodes`.
     pub fn new(nodes: impl IntoIterator<Item = NodeId>) -> TrafficBoard {
         TrafficBoard {
-            epoch: Mutex::new(0),
+            clock: Mutex::new(EpochClock::default()),
             per_node: nodes.into_iter().map(|n| (n, Mutex::new(NodeLoad::default()))).collect(),
         }
     }
 
-    /// Opens the next epoch; previously offered traffic stops
-    /// counting. The broker calls this once per batching tick.
-    pub fn advance_epoch(&self) {
-        *self.epoch.lock().expect("epoch poisoned") += 1;
+    /// Tells the board how many dispatch planes (shard dispatchers)
+    /// tick it per service round. The epoch then opens once per
+    /// `planes` ticks, so a contention window stays one service round
+    /// wide — and lease TTLs keep their meaning — no matter how many
+    /// shards drive the broker. Resets the tick counter; `0` is
+    /// treated as `1` (the default, single-dispatcher clock).
+    pub fn set_planes(&self, planes: u32) {
+        let mut clock = self.clock.lock().expect("epoch poisoned");
+        clock.planes = planes.max(1) as u64;
+        clock.ticks = 0;
+    }
+
+    /// Registers one dispatcher tick; previously offered traffic stops
+    /// counting once every plane has ticked. Returns `true` when this
+    /// tick opened a new epoch. The broker calls this once per
+    /// batching tick on each shard.
+    pub fn advance_epoch(&self) -> bool {
+        let mut clock = self.clock.lock().expect("epoch poisoned");
+        clock.ticks += 1;
+        if clock.ticks >= clock.planes.max(1) {
+            clock.ticks = 0;
+            clock.epoch += 1;
+            true
+        } else {
+            false
+        }
     }
 
     /// The current epoch number.
     pub fn epoch(&self) -> u64 {
-        *self.epoch.lock().expect("epoch poisoned")
+        self.clock.lock().expect("epoch poisoned").epoch
     }
 
     /// Posts `bytes` of traffic by `tenant` at `node` for the current
@@ -85,5 +118,26 @@ mod tests {
         assert_eq!(board.offer(NodeId(4), TenantId(2), 5), (0, 1));
         // Unknown nodes are ignored rather than panicking.
         assert_eq!(board.offer(NodeId(99), TenantId(1), 5), (0, 0));
+    }
+
+    #[test]
+    fn plane_clock_folds_shard_ticks_into_one_epoch_per_round() {
+        let board = TrafficBoard::new([NodeId(0)]);
+        board.set_planes(3);
+        // Two of three planes ticked: the epoch stays open and offers
+        // from the first tick still count as contention.
+        board.offer(NodeId(0), TenantId(1), 100);
+        assert!(!board.advance_epoch());
+        assert!(!board.advance_epoch());
+        assert_eq!(board.epoch(), 0);
+        assert_eq!(board.offer(NodeId(0), TenantId(2), 10), (100, 2));
+        // The third tick closes the round.
+        assert!(board.advance_epoch());
+        assert_eq!(board.epoch(), 1);
+        assert_eq!(board.offer(NodeId(0), TenantId(2), 10), (0, 1));
+        // Back to one plane: every tick is an epoch again.
+        board.set_planes(1);
+        assert!(board.advance_epoch());
+        assert_eq!(board.epoch(), 2);
     }
 }

@@ -33,8 +33,8 @@ use hetmem_placement::{
     TierSnapshot,
 };
 use hetmem_telemetry::{
-    AttrFallback, ContentionStall, Event, LeaseExpired, LeaseRevoked, QuotaClamp, Reclaim,
-    TelemetrySink, TenantAdmit, TierDegraded,
+    AttrFallback, BatchCoalesced, ContentionStall, Event, LeaseExpired, LeaseRevoked, QuotaClamp,
+    Reclaim, TelemetrySink, TenantAdmit, TierDegraded,
 };
 use hetmem_topology::{MemoryKind, NodeId};
 use std::collections::{BTreeMap, BTreeSet};
@@ -782,6 +782,266 @@ impl Broker {
         Ok(Lease { id, tenant, region, size: granted, placement, fast_bytes })
     }
 
+    /// Serves a same-tenant batch of admission requests, coalescing
+    /// them into **one** ranking and planning walk when they agree on
+    /// criterion, fallback, scope and initiator. The merged grant fans
+    /// back out to the individual requests in arrival order, each
+    /// committing its own region and lease, and one
+    /// [`BatchCoalesced`] event records the merge.
+    ///
+    /// Coalescing is strictly an uncontended-path optimization: if the
+    /// merged plan is incomplete or clamped anywhere — the regimes
+    /// where fair-share arithmetic decides who gets what — the batch
+    /// falls back to serial [`Broker::acquire_with_ttl`] calls, so
+    /// arbitration outcomes under pressure are byte-for-byte those of
+    /// the single-dispatcher path. `shard` only labels the telemetry.
+    pub fn acquire_batch(
+        &self,
+        tenant: TenantId,
+        reqs: &[AllocRequest],
+        ttl: Option<u64>,
+        shard: u32,
+    ) -> Vec<Result<Lease, ServiceError>> {
+        let mergeable = reqs.len() >= 2
+            && reqs.windows(2).all(|w| {
+                w[0].get_criterion() == w[1].get_criterion()
+                    && w[0].get_fallback() == w[1].get_fallback()
+                    && w[0].scope() == w[1].scope()
+                    && w[0].get_initiator() == w[1].get_initiator()
+            });
+        if mergeable {
+            if let Some(results) = self.try_acquire_coalesced(tenant, reqs, ttl, shard) {
+                return results;
+            }
+        }
+        reqs.iter().map(|r| self.acquire_with_ttl(tenant, r, ttl)).collect()
+    }
+
+    /// The coalesced fast path of [`Broker::acquire_batch`]: plans the
+    /// batch total in one walk and splits the chunks back across the
+    /// requests. Returns `None` whenever the clean merge does not
+    /// apply (stall, unknown tenant, ranking error, incomplete or
+    /// clamped plan) — the caller then runs the serial path, which
+    /// owns all error reporting and contended arbitration.
+    fn try_acquire_coalesced(
+        &self,
+        tenant: TenantId,
+        reqs: &[AllocRequest],
+        ttl: Option<u64>,
+        shard: u32,
+    ) -> Option<Vec<Result<Lease, ServiceError>>> {
+        if self.epoch.load(Ordering::SeqCst) < self.stall_until.load(Ordering::SeqCst) {
+            return None;
+        }
+        let registry = {
+            let tenants = self.tenants.lock().expect("tenants poisoned");
+            if !tenants.contains_key(&tenant) {
+                return None;
+            }
+            tenants.clone()
+        };
+        let ttl = ttl.or(registry[&tenant].lease_ttl);
+        let head = &reqs[0];
+        let initiator =
+            normalize_initiator(head.get_initiator(), self.machine.topology().machine_cpuset())
+                .ok()?;
+        let mut ranking = self.placer.rank(head.get_criterion(), &initiator, head.scope()).ok()?;
+        let attr_fell_back = ranking.attr_fell_back();
+        let (attr_requested, attr_used) = (ranking.requested().0, ranking.used().0);
+        {
+            let degraded = self.degraded.lock().expect("degraded poisoned");
+            if !degraded.is_empty() {
+                ranking.demote_last_resort(|n| {
+                    self.node_kind.get(&n).is_some_and(|k| degraded.contains(k))
+                });
+            }
+        }
+        let ranked: Vec<NodeId> =
+            ranking.nodes().into_iter().filter(|n| self.node_kind.contains_key(n)).collect();
+        let total: u64 = reqs.iter().map(|r| r.size()).sum();
+
+        let tiers: BTreeSet<MemoryKind> =
+            ranked.iter().filter_map(|n| self.node_kind.get(n).copied()).collect();
+        let mut guards: BTreeMap<NodeId, MutexGuard<'_, NodeLedger>> = BTreeMap::new();
+        for (&node, &kind) in &self.node_kind {
+            if tiers.contains(&kind) {
+                guards.insert(node, self.stripes[&node].lock().expect("stripe poisoned"));
+            }
+        }
+        let tier_free = |guards: &BTreeMap<NodeId, MutexGuard<'_, NodeLedger>>,
+                         kind: MemoryKind| {
+            guards
+                .iter()
+                .filter(|(n, _)| self.node_kind.get(n) == Some(&kind))
+                .map(|(_, g)| g.free)
+                .sum::<u64>()
+        };
+        let tier_used_by = |guards: &BTreeMap<NodeId, MutexGuard<'_, NodeLedger>>,
+                            kind: MemoryKind,
+                            who: TenantId| {
+            guards
+                .iter()
+                .filter(|(n, _)| self.node_kind.get(n) == Some(&kind))
+                .map(|(_, g)| g.used_by.get(&who).copied().unwrap_or(0))
+                .sum::<u64>()
+        };
+        let mut snapshots: BTreeMap<MemoryKind, TierSnapshot> = BTreeMap::new();
+        for &kind in &tiers {
+            let others_shortfall: u64 = registry
+                .keys()
+                .filter(|&&id| id != tenant)
+                .map(|&id| {
+                    self.guarantee(&registry, id, kind)
+                        .saturating_sub(tier_used_by(&guards, kind, id))
+                })
+                .sum();
+            snapshots.insert(
+                kind,
+                TierSnapshot {
+                    free: tier_free(&guards, kind),
+                    used_by_requester: tier_used_by(&guards, kind, tenant),
+                    guarantee: self.guarantee(&registry, tenant, kind),
+                    others_shortfall,
+                    quota: registry[&tenant].quota.get(&kind).copied(),
+                },
+            );
+        }
+        let mut admission =
+            TierPolicy::new(self.policy.as_share_mode(), self.node_kind.clone(), snapshots);
+        let plan = self.placer.plan(
+            &PlanRequest {
+                size: total,
+                mode: head.get_fallback().as_telemetry(),
+                page_quantize: false,
+            },
+            &ranked,
+            |n| guards[&n].free,
+            &mut admission,
+        );
+        // Any shortfall or clamp means arbitration is deciding — that
+        // must run through the serial path so the outcome is exactly
+        // the single-dispatcher one.
+        if !plan.is_complete() || !plan.clamps.is_empty() {
+            return None;
+        }
+
+        // Fan the merged chunk walk back out across the requests in
+        // arrival order: request i takes the next `size_i` bytes.
+        let sizes: Vec<u64> = reqs.iter().map(|r| r.size()).collect();
+        let splits = plan.split(&sizes)?;
+
+        // Commit request by request under the stripe locks, settling
+        // the ledgers after each grant exactly like the serial path.
+        // Page rounding can exhaust a nearly-full node mid-batch; the
+        // unplaced tail then reruns serially (below), which re-plans
+        // against the settled ledgers.
+        let mut committed: Vec<(RegionId, Vec<(NodeId, u64)>)> = Vec::new();
+        {
+            let mut mm = self.mm.lock().expect("mm poisoned");
+            for (req, chunks) in reqs.iter().zip(&splits) {
+                let Ok(region) = mm.alloc(req.size(), AllocPolicy::Exact(chunks.clone())) else {
+                    break;
+                };
+                let placement = mm.region(region).expect("fresh region").placement.clone();
+                for (node, guard) in guards.iter_mut() {
+                    guard.free = mm.available(*node);
+                }
+                for &(node, bytes) in &placement {
+                    if let Some(guard) = guards.get_mut(&node) {
+                        *guard.used_by.entry(tenant).or_insert(0) += bytes;
+                    }
+                }
+                committed.push((region, placement));
+            }
+        }
+        drop(guards);
+        if committed.len() < 2 {
+            // The merge collapsed before it saved any planning work;
+            // roll the stray grant back (ledgers included) and let the
+            // serial path serve the whole batch from scratch.
+            if let Some((region, placement)) = committed.pop() {
+                self.settle_free(&LeaseRecord {
+                    tenant,
+                    region,
+                    placement,
+                    ttl: None,
+                    expires_at: None,
+                });
+            }
+            return None;
+        }
+
+        let tenant_name = registry[&tenant].name.clone();
+        if self.sink.enabled() && attr_fell_back {
+            // One merged walk ⇒ one attribute substitution.
+            self.sink.emit(Event::AttrFallback(AttrFallback {
+                requested: attr_requested,
+                used: attr_used,
+            }));
+        }
+        let mut results: Vec<Result<Lease, ServiceError>> = Vec::with_capacity(reqs.len());
+        for (region, placement) in &committed {
+            let granted: u64 = placement.iter().map(|&(_, b)| b).sum();
+            let fast_bytes: u64 = placement
+                .iter()
+                .filter(|(n, _)| self.node_kind.get(n) == Some(&self.fast_kind))
+                .map(|&(_, b)| b)
+                .sum();
+            let id = LeaseId(self.next_lease.fetch_add(1, Ordering::Relaxed));
+            let expires_at = ttl.map(|t| self.epoch.load(Ordering::SeqCst).saturating_add(t));
+            self.leases.lock().expect("leases poisoned").insert(
+                id,
+                LeaseRecord {
+                    tenant,
+                    region: *region,
+                    placement: placement.clone(),
+                    ttl,
+                    expires_at,
+                },
+            );
+            {
+                let mut tenants = self.tenants.lock().expect("tenants poisoned");
+                if let Some(t) = tenants.get_mut(&tenant) {
+                    t.admits += 1;
+                }
+            }
+            if self.sink.enabled() {
+                self.sink.emit(Event::TenantAdmit(TenantAdmit {
+                    broker: self.id,
+                    tenant: tenant_name.clone(),
+                    lease: id.0,
+                    size: granted,
+                    placement: placement.clone(),
+                    clamped: false,
+                    fast_bytes,
+                }));
+            }
+            results.push(Ok(Lease {
+                id,
+                tenant,
+                region: *region,
+                size: granted,
+                placement: placement.clone(),
+                fast_bytes,
+            }));
+        }
+        if self.sink.enabled() {
+            let bytes: u64 = committed.iter().flat_map(|(_, p)| p.iter()).map(|&(_, b)| b).sum();
+            self.sink.emit(Event::BatchCoalesced(BatchCoalesced {
+                broker: self.id,
+                shard,
+                tenant: tenant_name,
+                merged: committed.len() as u64,
+                bytes,
+            }));
+        }
+        // Any tail the commit loop could not place reruns serially.
+        for req in &reqs[committed.len()..] {
+            results.push(self.acquire_with_ttl(tenant, req, ttl));
+        }
+        Some(results)
+    }
+
     /// Returns a lease's capacity to the machine.
     pub fn release(&self, lease: Lease) -> Result<(), ServiceError> {
         self.release_by_id(lease.id)
@@ -1019,13 +1279,27 @@ impl Broker {
         self.leases.lock().expect("leases poisoned").len()
     }
 
-    /// Opens the next contention epoch (one per batching tick),
+    /// Registers one dispatcher tick. With a single dispatch plane
+    /// (the default) every tick opens the next contention epoch,
     /// advances the service clock, and reclaims any lease whose TTL
-    /// elapsed without a renewal.
+    /// elapsed without a renewal. With `S` planes
+    /// ([`Broker::set_dispatch_planes`]) the epoch — and therefore
+    /// TTL aging — advances once per round of `S` ticks, keeping
+    /// contention windows and lease lifetimes one service round wide
+    /// regardless of shard count.
     pub fn advance_epoch(&self) {
-        self.board.advance_epoch();
-        self.epoch.fetch_add(1, Ordering::SeqCst);
-        self.expire_overdue();
+        if self.board.advance_epoch() {
+            self.epoch.fetch_add(1, Ordering::SeqCst);
+            self.expire_overdue();
+        }
+    }
+
+    /// Tells the epoch clock how many dispatch planes (shard
+    /// dispatchers) tick this broker per service round. The sharded
+    /// server calls this at bind time; `hetmem-serve` style embedders
+    /// driving [`Broker::advance_epoch`] from one loop never need to.
+    pub fn set_dispatch_planes(&self, planes: u32) {
+        self.board.set_planes(planes);
     }
 
     /// Captures every piece of mutable broker state as plain data.

@@ -25,6 +25,12 @@
 //! * [`TrafficBoard`] — contention feedback: co-located tenants that
 //!   saturate a node charge each other bandwidth-degradation stalls,
 //!   surfaced as `ContentionStall` events.
+//! * [`shard`] — the sharded dispatch plane: per-shard admission
+//!   queues ([`ShardConfig`], one dispatcher thread each in the
+//!   server), same-tenant request coalescing into single planning
+//!   walks (`BatchCoalesced`), and work stealing from loaded siblings
+//!   (`ShardSteal`), with arbitration outcomes byte-identical to the
+//!   single-dispatcher plane.
 //! * Lease lifecycle — leases may carry a TTL in service epochs
 //!   ([`TenantSpec::lease_ttl`]) with heartbeat renewal over the wire;
 //!   a silent or disconnected tenant's capacity is reclaimed within
@@ -36,6 +42,7 @@
 mod board;
 mod broker;
 pub mod server;
+pub mod shard;
 mod tenant;
 pub mod wire;
 
@@ -44,6 +51,7 @@ pub use broker::{
     ArbitrationPolicy, Broker, BrokerState, Lease, LeaseEntry, LeaseId, RobustnessStats,
     ServedPhase, StripeEntry, TenantEntry, MAX_CONTENTION_SLOWDOWN,
 };
+pub use shard::{ShardAssignment, ShardConfig, ShardCore};
 pub use tenant::{Priority, TenantId, TenantSpec, TenantStats};
 
 /// Everything that can go wrong between a wire request and a lease.

@@ -32,11 +32,13 @@
 //! chosen port back from [`Server::local_addr`].
 
 use crate::broker::Broker;
+use crate::shard::ShardConfig;
 use crate::wire::{Request, Response};
 use crate::{LeaseId, ServiceError, TenantSpec};
-use hetmem_alloc::AllocRequest;
-use hetmem_telemetry::{Event, RetryExhausted, SpillForwarded, TelemetrySink};
-use std::collections::{HashMap, VecDeque};
+use hetmem_alloc::{AllocRequest, Fallback};
+use hetmem_core::AttrId;
+use hetmem_telemetry::{Event, RetryExhausted, ShardSteal, SpillForwarded, TelemetrySink};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
@@ -150,16 +152,22 @@ fn discard_to_newline<R: BufRead>(reader: &mut R) -> bool {
     }
 }
 
+/// How long an idle shard dispatcher blocks before re-checking its
+/// siblings' queues for stealable work. Irrelevant with one shard
+/// (posts wake the dispatcher directly).
+const STEAL_POLL: Duration = Duration::from_millis(2);
+
 /// The running service.
 pub struct Server {
     broker: Arc<Broker>,
-    queue: Arc<Queue>,
+    queues: Arc<Vec<Queue>>,
     stop: Arc<AtomicBool>,
     conns: Arc<Mutex<Vec<Conn>>>,
     accept_thread: Option<JoinHandle<()>>,
-    dispatch_thread: Option<JoinHandle<()>>,
+    dispatch_threads: Vec<JoinHandle<()>>,
     local_addr: String,
     sock_path: Option<PathBuf>,
+    config: ShardConfig,
 }
 
 /// A dispatcher-side observer of accepted requests: called with the
@@ -184,6 +192,36 @@ impl Server {
         addr: &str,
         recorder: Option<RequestRecorder>,
     ) -> Result<Server, ServiceError> {
+        Server::bind_sharded(broker, addr, recorder, ShardConfig::default())
+    }
+
+    /// [`Server::bind_with`] over a sharded dispatch plane: one
+    /// dispatcher thread per shard, connections routed to shard
+    /// `conn_id mod S`, idle shards stealing the back half of the
+    /// longest sibling queue (`shard_steal` telemetry), and — when
+    /// [`ShardConfig::coalesce`] is set — consecutive mergeable
+    /// same-tenant `alloc` frames in a tick batched through one
+    /// [`Broker::acquire_batch`] planning walk (`batch_coalesced`
+    /// telemetry).
+    ///
+    /// Recording composes only with the single-dispatcher plane: a
+    /// wire log replays serially, and neither a cross-shard thread
+    /// interleaving nor a coalesced walk is reconstructible from it.
+    /// Passing a recorder with `shards > 1` or coalescing on is
+    /// refused with a `wire` error.
+    pub fn bind_sharded(
+        broker: Arc<Broker>,
+        addr: &str,
+        recorder: Option<RequestRecorder>,
+        config: ShardConfig,
+    ) -> Result<Server, ServiceError> {
+        if recorder.is_some() && (config.effective_shards() > 1 || config.coalesce) {
+            return Err(ServiceError::Wire(
+                "recording requires the single-dispatcher plane \
+                 (shards=1, coalescing off)"
+                    .into(),
+            ));
+        }
         let io = |e: std::io::Error| ServiceError::Io(e.to_string());
         let bound = if let Some(path) = addr.strip_prefix("unix:") {
             let path = PathBuf::from(path);
@@ -199,12 +237,17 @@ impl Server {
             Bound::Unix(_, path) => (format!("unix:{}", path.display()), Some(path.clone())),
         };
 
-        let queue = Arc::new(Queue::default());
+        let shards = config.effective_shards() as usize;
+        // S dispatchers tick the broker S times per service round;
+        // fold those ticks into one epoch so contention windows and
+        // TTL aging stay round-wide.
+        broker.set_dispatch_planes(shards as u32);
+        let queues: Arc<Vec<Queue>> = Arc::new((0..shards).map(|_| Queue::default()).collect());
         let stop = Arc::new(AtomicBool::new(false));
         let conns: Arc<Mutex<Vec<Conn>>> = Arc::new(Mutex::new(Vec::new()));
 
         let accept_thread = {
-            let queue = queue.clone();
+            let queues = queues.clone();
             let stop = stop.clone();
             let conns = conns.clone();
             let next_conn_id = AtomicU64::new(0);
@@ -227,9 +270,13 @@ impl Server {
                 }
                 let conn_id = next_conn_id.fetch_add(1, Ordering::Relaxed);
                 let reply_to = Arc::new(Mutex::new(write_half));
-                let queue = queue.clone();
+                let queues = queues.clone();
                 let stop = stop.clone();
                 std::thread::spawn(move || {
+                    // A connection's frames always land on one shard,
+                    // so per-connection request order is preserved
+                    // (modulo stealing, which only moves queue tails).
+                    let queue = &queues[(conn_id % queues.len() as u64) as usize];
                     let mut reader = BufReader::new(conn);
                     loop {
                         if stop.load(Ordering::SeqCst) {
@@ -277,86 +324,77 @@ impl Server {
             })
         };
 
-        let dispatch_thread = {
+        // Leases granted per connection, so a dropped peer's capacity
+        // can be revoked and reclaimed. Shared across shard
+        // dispatchers: stealing can carry a connection's requests to a
+        // sibling shard, and any dispatcher must be able to revoke.
+        let conn_leases: Arc<Mutex<HashMap<u64, Vec<LeaseId>>>> =
+            Arc::new(Mutex::new(HashMap::new()));
+        // Connections already disconnected: a stolen request that
+        // grants after its peer's Disconnect was served elsewhere is
+        // revoked on the spot instead of leaking until its TTL.
+        let dead_conns: Arc<Mutex<HashSet<u64>>> = Arc::new(Mutex::new(HashSet::new()));
+        let recorder = Arc::new(Mutex::new(recorder));
+
+        let mut dispatch_threads = Vec::with_capacity(shards);
+        for shard in 0..shards {
             let broker = broker.clone();
-            let queue = queue.clone();
+            let queues = queues.clone();
             let stop = stop.clone();
-            let mut recorder = recorder;
-            std::thread::spawn(move || {
-                // Leases granted per connection, so a dropped peer's
-                // capacity can be revoked and reclaimed.
-                let mut conn_leases: HashMap<u64, Vec<LeaseId>> = HashMap::new();
-                loop {
-                    // One drained batch = one service tick = one
-                    // contention epoch.
-                    let batch: Vec<Work> = {
-                        let mut pending = queue.pending.lock().expect("queue poisoned");
-                        while pending.is_empty() && !stop.load(Ordering::SeqCst) {
-                            pending = queue.wakeup.wait(pending).expect("queue poisoned");
-                        }
-                        if stop.load(Ordering::SeqCst) && pending.is_empty() {
-                            return;
-                        }
+            let conn_leases = conn_leases.clone();
+            let dead_conns = dead_conns.clone();
+            let recorder = recorder.clone();
+            let coalesce = config.coalesce;
+            dispatch_threads.push(std::thread::spawn(move || loop {
+                // One drained batch = one service tick = one
+                // contention epoch (per shard).
+                let mut batch: Vec<Work> = {
+                    let mut pending = queues[shard].pending.lock().expect("queue poisoned");
+                    if pending.is_empty() && !stop.load(Ordering::SeqCst) {
+                        // Bounded wait so an idle shard periodically
+                        // re-checks its siblings for stealable work.
+                        let (mut pending, _) = queues[shard]
+                            .wakeup
+                            .wait_timeout(pending, STEAL_POLL)
+                            .expect("queue poisoned");
                         pending.drain(..).collect()
-                    };
-                    broker.advance_epoch();
-                    for item in batch {
-                        match item {
-                            Work::Disconnect { conn_id } => {
-                                for lease in conn_leases.remove(&conn_id).unwrap_or_default() {
-                                    // Already freed or expired ids come
-                                    // back UnknownLease; that's fine.
-                                    let _ = broker.revoke(lease, "disconnect");
-                                }
-                            }
-                            Work::Request { conn_id, request, reply_to } => {
-                                let response = match request {
-                                    Ok(request) => {
-                                        if let Some(rec) = recorder.as_mut() {
-                                            rec(broker.epoch(), &request);
-                                        }
-                                        let freeing = match &request {
-                                            Request::Free { lease, .. } => Some(LeaseId(*lease)),
-                                            _ => None,
-                                        };
-                                        let resp = serve(&broker, request);
-                                        match &resp {
-                                            Response::Granted { lease, .. } => conn_leases
-                                                .entry(conn_id)
-                                                .or_default()
-                                                .push(LeaseId(*lease)),
-                                            Response::Freed => {
-                                                if let (Some(id), Some(held)) =
-                                                    (freeing, conn_leases.get_mut(&conn_id))
-                                                {
-                                                    held.retain(|l| *l != id);
-                                                }
-                                            }
-                                            _ => {}
-                                        }
-                                        resp
-                                    }
-                                    Err(e) => Response::from_error(&e),
-                                };
-                                let mut out = reply_to.lock().expect("conn poisoned");
-                                let _ = writeln!(out, "{}", response.to_json());
-                                let _ = out.flush();
-                            }
-                        }
+                    } else {
+                        pending.drain(..).collect()
                     }
+                };
+                if batch.is_empty() && shards > 1 {
+                    batch = steal_batch(&broker, &queues, shard);
                 }
-            })
-        };
+                if batch.is_empty() {
+                    if stop.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    continue;
+                }
+                broker.advance_epoch();
+                serve_batch(
+                    &broker,
+                    shards as u32,
+                    coalesce,
+                    shard as u32,
+                    batch,
+                    &conn_leases,
+                    &dead_conns,
+                    &recorder,
+                );
+            }));
+        }
 
         Ok(Server {
             broker,
-            queue,
+            queues,
             stop,
             conns,
             accept_thread: Some(accept_thread),
-            dispatch_thread: Some(dispatch_thread),
+            dispatch_threads,
             local_addr,
             sock_path,
+            config,
         })
     }
 
@@ -371,6 +409,11 @@ impl Server {
         &self.broker
     }
 
+    /// The dispatch-plane shape this server runs.
+    pub fn shard_config(&self) -> &ShardConfig {
+        &self.config
+    }
+
     /// Stops accepting, drains nothing further, and joins the service
     /// threads. Idempotent; also runs on drop.
     pub fn shutdown(&mut self) {
@@ -383,11 +426,13 @@ impl Server {
         for conn in self.conns.lock().expect("conns poisoned").drain(..) {
             conn.shutdown();
         }
-        self.queue.wakeup.notify_all();
+        for queue in self.queues.iter() {
+            queue.wakeup.notify_all();
+        }
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
         }
-        if let Some(t) = self.dispatch_thread.take() {
+        for t in self.dispatch_threads.drain(..) {
             let _ = t.join();
         }
         if let Some(path) = self.sock_path.take() {
@@ -402,8 +447,251 @@ impl Drop for Server {
     }
 }
 
+/// Takes the back half of the longest sibling queue (≥ 2 pending) for
+/// an idle shard, emitting one `shard_steal` event. Victims keep
+/// their queue head, so stolen work never overtakes the victim's
+/// older requests.
+fn steal_batch(broker: &Broker, queues: &[Queue], thief: usize) -> Vec<Work> {
+    let mut best: Option<(usize, usize)> = None;
+    for (i, queue) in queues.iter().enumerate() {
+        if i == thief {
+            continue;
+        }
+        let len = queue.pending.lock().expect("queue poisoned").len();
+        if len >= 2 && best.is_none_or(|(best_len, _)| len > best_len) {
+            best = Some((len, i));
+        }
+    }
+    let Some((_, victim)) = best else {
+        return Vec::new();
+    };
+    let stolen: Vec<Work> = {
+        let mut pending = queues[victim].pending.lock().expect("queue poisoned");
+        let len = pending.len();
+        if len < 2 {
+            // The victim drained between the scan and the lock.
+            return Vec::new();
+        }
+        pending.split_off(len - len / 2).into_iter().collect()
+    };
+    let sink = broker.sink_handle();
+    if sink.enabled() {
+        sink.emit(Event::ShardSteal(ShardSteal {
+            broker: broker.id(),
+            thief: thief as u32,
+            victim: victim as u32,
+            stolen: stolen.len() as u64,
+        }));
+    }
+    stolen
+}
+
+/// Serves one dispatcher tick. With coalescing on, consecutive
+/// mergeable same-tenant `alloc` frames are batched through one
+/// [`Broker::acquire_batch`] walk; everything else takes the serial
+/// path.
+#[allow(clippy::too_many_arguments)]
+fn serve_batch(
+    broker: &Arc<Broker>,
+    shards: u32,
+    coalesce: bool,
+    shard: u32,
+    batch: Vec<Work>,
+    conn_leases: &Mutex<HashMap<u64, Vec<LeaseId>>>,
+    dead_conns: &Mutex<HashSet<u64>>,
+    recorder: &Mutex<Option<RequestRecorder>>,
+) {
+    let mut items: Vec<Option<Work>> = batch.into_iter().map(Some).collect();
+    let mut i = 0;
+    while i < items.len() {
+        if coalesce {
+            let mut j = i;
+            while j < items.len()
+                && alloc_key(items[i].as_ref().expect("item taken"))
+                    .zip(alloc_key(items[j].as_ref().expect("item taken")))
+                    .is_some_and(|(a, b)| a == b)
+            {
+                j += 1;
+            }
+            if j - i >= 2 {
+                let run: Vec<Work> =
+                    items[i..j].iter_mut().map(|s| s.take().expect("item taken")).collect();
+                serve_run(broker, shard, run, conn_leases, dead_conns);
+                i = j;
+                continue;
+            }
+        }
+        let item = items[i].take().expect("item taken");
+        serve_one(broker, shards, item, conn_leases, dead_conns, recorder);
+        i += 1;
+    }
+}
+
+/// The coalescing key of a work item: `Some` only for well-formed
+/// `alloc` frames, equal only when a merged planning walk is
+/// admissible (same tenant, criterion, fallback and TTL — labels may
+/// differ; wire allocs have no initiator or scope knobs).
+fn alloc_key(work: &Work) -> Option<(&str, AttrId, Fallback, Option<u64>)> {
+    match work {
+        Work::Request {
+            request: Ok(Request::Alloc { tenant, criterion, fallback, ttl, .. }),
+            ..
+        } => Some((tenant.as_str(), *criterion, *fallback, *ttl)),
+        _ => None,
+    }
+}
+
+/// Serves one coalescable run (all items well-formed `alloc` frames
+/// with equal keys) through a single [`Broker::acquire_batch`] call,
+/// fanning the grants back out to each frame's connection.
+fn serve_run(
+    broker: &Arc<Broker>,
+    shard: u32,
+    run: Vec<Work>,
+    conn_leases: &Mutex<HashMap<u64, Vec<LeaseId>>>,
+    dead_conns: &Mutex<HashSet<u64>>,
+) {
+    let mut tenant_name = String::new();
+    let mut ttl = None;
+    let mut reqs = Vec::with_capacity(run.len());
+    let mut replies = Vec::with_capacity(run.len());
+    for item in run {
+        let Work::Request {
+            conn_id,
+            request: Ok(Request::Alloc { tenant, size, criterion, fallback, label, ttl: t }),
+            reply_to,
+        } = item
+        else {
+            unreachable!("serve_run only receives well-formed alloc frames");
+        };
+        tenant_name = tenant;
+        ttl = t;
+        let mut req = AllocRequest::new(size).criterion(criterion).fallback(fallback);
+        if let Some(label) = label {
+            req = req.label(label);
+        }
+        reqs.push(req);
+        replies.push((conn_id, reply_to));
+    }
+    let outcomes = match broker.tenant_id(&tenant_name) {
+        Some(id) => broker.acquire_batch(id, &reqs, ttl, shard),
+        None => {
+            let e = ServiceError::UnknownTenant(tenant_name.clone());
+            reqs.iter().map(|_| Err(e.clone())).collect()
+        }
+    };
+    for ((conn_id, reply_to), outcome) in replies.into_iter().zip(outcomes) {
+        let response = match outcome {
+            Ok(lease) => {
+                let resp = Response::Granted {
+                    lease: lease.id().0,
+                    size: lease.size(),
+                    placement: lease.placement().to_vec(),
+                    fast_bytes: lease.fast_bytes(),
+                };
+                track_lease(broker, conn_id, &resp, None, conn_leases, dead_conns);
+                resp
+            }
+            Err(e) => Response::from_error(&e),
+        };
+        let mut out = reply_to.lock().expect("conn poisoned");
+        let _ = writeln!(out, "{}", response.to_json());
+        let _ = out.flush();
+    }
+}
+
+/// Serves one work item on the serial path — the single-dispatcher
+/// semantics, verbatim.
+fn serve_one(
+    broker: &Arc<Broker>,
+    shards: u32,
+    item: Work,
+    conn_leases: &Mutex<HashMap<u64, Vec<LeaseId>>>,
+    dead_conns: &Mutex<HashSet<u64>>,
+    recorder: &Mutex<Option<RequestRecorder>>,
+) {
+    match item {
+        Work::Disconnect { conn_id } => {
+            // Mark dead *before* revoking, so a racing grant on a
+            // sibling shard either sees the mark (and revokes itself)
+            // or lands in conn_leases in time to be revoked here.
+            dead_conns.lock().expect("dead conns poisoned").insert(conn_id);
+            let held = conn_leases
+                .lock()
+                .expect("conn leases poisoned")
+                .remove(&conn_id)
+                .unwrap_or_default();
+            for lease in held {
+                // Already freed or expired ids come back UnknownLease;
+                // that's fine.
+                let _ = broker.revoke(lease, "disconnect");
+            }
+        }
+        Work::Request { conn_id, request, reply_to } => {
+            let response = match request {
+                Ok(request) => {
+                    if let Some(rec) = recorder.lock().expect("recorder poisoned").as_mut() {
+                        rec(broker.epoch(), &request);
+                    }
+                    let freeing = match &request {
+                        Request::Free { lease, .. } => Some(LeaseId(*lease)),
+                        _ => None,
+                    };
+                    let resp = serve_with_shards(broker, request, shards);
+                    track_lease(broker, conn_id, &resp, freeing, conn_leases, dead_conns);
+                    resp
+                }
+                Err(e) => Response::from_error(&e),
+            };
+            let mut out = reply_to.lock().expect("conn poisoned");
+            let _ = writeln!(out, "{}", response.to_json());
+            let _ = out.flush();
+        }
+    }
+}
+
+/// Updates the per-connection lease ledger for one response. A grant
+/// to an already-disconnected peer is revoked on the spot (lock order:
+/// `conn_leases` then `dead_conns` — the only place both are held).
+fn track_lease(
+    broker: &Broker,
+    conn_id: u64,
+    resp: &Response,
+    freeing: Option<LeaseId>,
+    conn_leases: &Mutex<HashMap<u64, Vec<LeaseId>>>,
+    dead_conns: &Mutex<HashSet<u64>>,
+) {
+    match resp {
+        Response::Granted { lease, .. } => {
+            let id = LeaseId(*lease);
+            let mut leases = conn_leases.lock().expect("conn leases poisoned");
+            if dead_conns.lock().expect("dead conns poisoned").contains(&conn_id) {
+                let _ = broker.revoke(id, "disconnect");
+            } else {
+                leases.entry(conn_id).or_default().push(id);
+            }
+        }
+        Response::Freed => {
+            if let Some(id) = freeing {
+                if let Some(held) =
+                    conn_leases.lock().expect("conn leases poisoned").get_mut(&conn_id)
+                {
+                    held.retain(|l| *l != id);
+                }
+            }
+        }
+        _ => {}
+    }
+}
+
 /// Serves one already-parsed request against the broker.
 pub fn serve(broker: &Broker, request: Request) -> Response {
+    serve_with_shards(broker, request, 1)
+}
+
+/// [`serve`] for a broker fronted by `shards` dispatch shards — the
+/// count is reported in `stats` responses.
+pub fn serve_with_shards(broker: &Broker, request: Request, shards: u32) -> Response {
     let outcome = (|| match request {
         Request::Register { tenant, priority, quota, reserve } => {
             let mut spec = TenantSpec::new(tenant).priority(priority);
@@ -461,7 +749,7 @@ pub fn serve(broker: &Broker, request: Request) -> Response {
             Ok(Response::Freed)
         }
         Request::Stats => {
-            Ok(Response::Stats { tenants: broker.tenants(), nodes: broker.node_usage() })
+            Ok(Response::Stats { tenants: broker.tenants(), nodes: broker.node_usage(), shards })
         }
         Request::Forward { origin, tenant, size, criterion, fallback, label, ttl } => {
             let id = broker
@@ -782,11 +1070,12 @@ mod tests {
         };
         assert_eq!(code, "unknown_lease");
         let resp = client.call(&Request::Stats).expect("stats");
-        let Response::Stats { tenants, nodes } = resp else {
+        let Response::Stats { tenants, nodes, shards } = resp else {
             panic!("expected stats");
         };
         assert_eq!(tenants.len(), 1);
         assert_eq!(nodes.len(), 8, "KNL SNC-4 flat has 8 NUMA nodes");
+        assert_eq!(shards, 1, "default plane is the single dispatcher");
         server.shutdown();
     }
 

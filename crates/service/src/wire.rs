@@ -468,6 +468,9 @@ pub enum Response {
         tenants: Vec<TenantStats>,
         /// Per-node `(node, used, total)` bytes.
         nodes: Vec<(NodeId, u64, u64)>,
+        /// Dispatch shards serving this broker (`1` = the single
+        /// dispatcher; absent frames from older brokers parse as `1`).
+        shards: u32,
     },
     /// The broker's capacity digest (answer to a `digest` request).
     Digest {
@@ -551,8 +554,9 @@ impl Response {
                 ("renewed".into(), JsonValue::num(*renewed as f64)),
             ],
             Response::Freed => vec![("ok".into(), JsonValue::num(1.0))],
-            Response::Stats { tenants, nodes } => vec![
+            Response::Stats { tenants, nodes, shards } => vec![
                 ("ok".into(), JsonValue::num(1.0)),
+                ("shards".into(), JsonValue::num(*shards as f64)),
                 (
                     "tenants".into(),
                     JsonValue::Array(
@@ -768,7 +772,8 @@ impl Response {
                     ))
                 })
                 .collect::<Result<Vec<_>, _>>()?;
-            return Ok(Response::Stats { tenants, nodes });
+            let shards = v.get("shards").and_then(|s| s.u64()).map(|s| s as u32).unwrap_or(1);
+            return Ok(Response::Stats { tenants, nodes, shards });
         }
         Ok(Response::Freed)
     }
@@ -895,7 +900,7 @@ mod tests {
             Response::Renewed { lease: 0, expires_at: None },
             Response::HeartbeatAck { renewed: 0 },
             Response::Freed,
-            Response::Stats { tenants: vec![], nodes: vec![] },
+            Response::Stats { tenants: vec![], nodes: vec![], shards: 1 },
             Response::Digest { broker: 0, epoch: 0, tiers: vec![] },
             Response::from_error(&ServiceError::Stalled),
         ];
@@ -930,6 +935,7 @@ mod tests {
                     stalls: 0,
                 }],
                 nodes: vec![(NodeId(0), 0, 1 << 30), (NodeId(4), 4096, 1 << 30)],
+                shards: 4,
             },
             Response::Digest {
                 broker: 2,

@@ -103,6 +103,19 @@ fn the_operator_handbook_covers_the_record_replay_runbook() {
 }
 
 #[test]
+fn the_operator_handbook_covers_concurrency_tuning() {
+    // OPERATIONS.md must carry the concurrency-tuning section: the
+    // shard flag, both shard-plane telemetry events, and the stats
+    // field operators use to confirm the plane width.
+    let start = OPERATIONS
+        .find("## 8. Concurrency tuning")
+        .expect("docs/OPERATIONS.md is missing the `## 8. Concurrency tuning` section");
+    let section = &OPERATIONS[start..];
+    let required = ["--shards", "batch_coalesced", "shard_steal", "shards", "--record"];
+    assert_documented("docs/OPERATIONS.md §8", section, "concurrency-tuning vocabulary", &required);
+}
+
+#[test]
 fn the_operator_handbook_covers_the_robustness_events() {
     // OPERATIONS.md walks operators through the failure drills; the
     // five robustness events are the observable surface of those

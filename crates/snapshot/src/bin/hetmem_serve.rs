@@ -1,11 +1,17 @@
 //! The broker daemon:
 //! `hetmem-serve <machine> [--policy fair-share|fcfs|static] [--addr <addr>]
-//! [--trace <out.jsonl>] [--record <out.hmwl>] [--restore <in.snap>]`.
+//! [--shards N] [--trace <out.jsonl>] [--record <out.hmwl>]
+//! [--restore <in.snap>]`.
 //!
 //! Binds a JSONL socket (default `tcp:127.0.0.1:7474`; use
 //! `unix:/path.sock` for a Unix socket) and serves allocation requests
 //! against a simulated machine until killed. See
 //! `hetmem_service::wire` for the request vocabulary.
+//!
+//! `--shards N` runs N dispatcher threads over per-shard admission
+//! queues with request coalescing and work stealing (see
+//! docs/OPERATIONS.md §8 for when to raise it); `--record` requires
+//! the default single-dispatcher plane.
 //!
 //! `--record` appends every accepted request frame, stamped with its
 //! arrival epoch, to a wire log that `hetmem-replay` can re-execute.
@@ -48,6 +54,7 @@ fn main() {
     let mut trace: Option<String> = None;
     let mut record: Option<String> = None;
     let mut restore: Option<String> = None;
+    let mut shards: u32 = 1;
     let mut iter = args.iter();
     while let Some(a) = iter.next() {
         match a.as_str() {
@@ -86,11 +93,18 @@ fn main() {
                 };
                 restore = Some(path.clone());
             }
+            "--shards" => {
+                let Some(n) = iter.next().and_then(|n| n.parse().ok()).filter(|&n| n >= 1) else {
+                    eprintln!("hetmem-serve: --shards needs a count >= 1");
+                    std::process::exit(2);
+                };
+                shards = n;
+            }
             "--help" | "-h" => {
                 eprintln!(
                     "usage: hetmem-serve <machine> [--policy fair-share|fcfs|static] \
-                     [--addr tcp:host:port|unix:/path.sock] [--trace <out.jsonl>] \
-                     [--record <out.hmwl>] [--restore <in.snap>]"
+                     [--addr tcp:host:port|unix:/path.sock] [--shards N] \
+                     [--trace <out.jsonl>] [--record <out.hmwl>] [--restore <in.snap>]"
                 );
                 eprintln!(
                     "machines: knl-flat, knl-cache, xeon, xeon-snc, xeon-2lm, xeon-4s, \
@@ -207,7 +221,8 @@ fn main() {
         }
         None => None,
     };
-    let server = match Server::bind_with(Arc::new(broker), &addr, recorder) {
+    let config = hetmem_service::ShardConfig::with_shards(shards);
+    let server = match Server::bind_sharded(Arc::new(broker), &addr, recorder, config) {
         Ok(server) => server,
         Err(e) => {
             eprintln!("hetmem-serve: {e}");
@@ -215,10 +230,12 @@ fn main() {
         }
     };
     println!(
-        "hetmem-serve: {} under {} arbitration on {}",
+        "hetmem-serve: {} under {} arbitration on {} ({} dispatch shard{})",
         machine_name,
         policy.as_str(),
-        server.local_addr()
+        server.local_addr(),
+        shards,
+        if shards == 1 { "" } else { "s" }
     );
     println!("fast tier: {:?}", server.broker().fast_kind());
     // The background collector owns the trace cadence; main just

@@ -9,10 +9,10 @@
 //! put the same records on disk with a varint length frame per record.
 
 use crate::{
-    AllocDecision, AttrFallback, Candidate, ContentionStall, DigestMerged, Event, FallbackMode,
-    FreeEvent, GuidanceDecision, Hop, LeaseExpired, LeaseRevoked, Migration, NodeTrafficSample,
-    OccupancyGauge, PhaseSpan, QuotaClamp, Reclaim, RetryExhausted, Scope, SpillForwarded,
-    TenantAdmit, TierDegraded, TieringEvent,
+    AllocDecision, AttrFallback, BatchCoalesced, Candidate, ContentionStall, DigestMerged, Event,
+    FallbackMode, FreeEvent, GuidanceDecision, Hop, LeaseExpired, LeaseRevoked, Migration,
+    NodeTrafficSample, OccupancyGauge, PhaseSpan, QuotaClamp, Reclaim, RetryExhausted, Scope,
+    ShardSteal, SpillForwarded, TenantAdmit, TierDegraded, TieringEvent,
 };
 use hetmem_topology::NodeId;
 
@@ -211,6 +211,8 @@ fn kind_byte(event: &Event) -> u8 {
         Event::Reclaim(_) => 15,
         Event::SpillForwarded(_) => 16,
         Event::DigestMerged(_) => 17,
+        Event::BatchCoalesced(_) => 18,
+        Event::ShardSteal(_) => 19,
     }
 }
 
@@ -371,6 +373,19 @@ pub fn encode_record(epoch: u64, event: &Event, out: &mut Vec<u8>) {
             put_u64(out, d.peer as u64);
             put_u64(out, d.epoch);
             put_bool(out, d.applied);
+        }
+        Event::BatchCoalesced(b) => {
+            put_u64(out, b.broker as u64);
+            put_u64(out, b.shard as u64);
+            put_str(out, &b.tenant);
+            put_u64(out, b.merged);
+            put_u64(out, b.bytes);
+        }
+        Event::ShardSteal(s) => {
+            put_u64(out, s.broker as u64);
+            put_u64(out, s.thief as u64);
+            put_u64(out, s.victim as u64);
+            put_u64(out, s.stolen);
         }
     }
 }
@@ -534,6 +549,19 @@ pub fn decode_record(bytes: &[u8]) -> Result<(u64, Event), CodecError> {
             epoch: c.u64()?,
             applied: c.bool()?,
         }),
+        Some("batch_coalesced") => Event::BatchCoalesced(BatchCoalesced {
+            broker: c.u32()?,
+            shard: c.u32()?,
+            tenant: c.str()?,
+            merged: c.u64()?,
+            bytes: c.u64()?,
+        }),
+        Some("shard_steal") => Event::ShardSteal(ShardSteal {
+            broker: c.u32()?,
+            thief: c.u32()?,
+            victim: c.u32()?,
+            stolen: c.u64()?,
+        }),
         _ => return Err(CodecError::new(format!("unknown kind byte {kind}"))),
     };
     c.done()?;
@@ -636,6 +664,17 @@ mod tests {
                 }),
             ),
             (11, Event::DigestMerged(DigestMerged { broker: 0, peer: 1, epoch: 9, applied: true })),
+            (
+                12,
+                Event::BatchCoalesced(BatchCoalesced {
+                    broker: 0,
+                    shard: 1,
+                    tenant: "stream".into(),
+                    merged: 3,
+                    bytes: 3 << 20,
+                }),
+            ),
+            (13, Event::ShardSteal(ShardSteal { broker: 0, thief: 2, victim: 0, stolen: 5 })),
         ];
         let mut buf = Vec::new();
         for (epoch, event) in &events {

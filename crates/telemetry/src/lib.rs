@@ -419,6 +419,38 @@ pub struct DigestMerged {
     pub applied: bool,
 }
 
+/// Several same-tenant, same-attribute admissions were merged into a
+/// single placement planning walk by a shard dispatcher. The grants
+/// fan back out to the individual requests; this event records only
+/// the merge itself (one per coalesced batch).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchCoalesced {
+    /// Id of the emitting broker (0 standalone).
+    pub broker: u32,
+    /// Index of the shard whose queue was coalesced.
+    pub shard: u32,
+    /// Tenant whose requests were merged.
+    pub tenant: String,
+    /// Number of requests merged into the single planning walk (≥ 2).
+    pub merged: u64,
+    /// Total bytes requested across the merged batch.
+    pub bytes: u64,
+}
+
+/// A shard dispatcher drained its own admission queue and stole
+/// pending work from the most-loaded sibling shard.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardSteal {
+    /// Id of the emitting broker (0 standalone).
+    pub broker: u32,
+    /// Index of the idle shard that stole the work.
+    pub thief: u32,
+    /// Index of the loaded shard the work was taken from.
+    pub victim: u32,
+    /// Number of queued requests moved.
+    pub stolen: u64,
+}
+
 /// A telemetry event.
 #[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
@@ -459,6 +491,11 @@ pub enum Event {
     SpillForwarded(SpillForwarded),
     /// A peer capacity digest merged into a federation board.
     DigestMerged(DigestMerged),
+    /// Same-tenant admissions merged into one planning walk (shard
+    /// dispatch plane).
+    BatchCoalesced(BatchCoalesced),
+    /// An idle shard stole queued admissions from a loaded sibling.
+    ShardSteal(ShardSteal),
 }
 
 /// The `event` field value of every [`Event`] variant, in declaration
@@ -483,6 +520,8 @@ pub const EVENT_KINDS: &[&str] = &[
     "reclaim",
     "spill_forwarded",
     "digest_merged",
+    "batch_coalesced",
+    "shard_steal",
 ];
 
 /// Human-readable name for the well-known attribute ids of
@@ -569,6 +608,8 @@ impl Event {
             Event::Reclaim(_) => "reclaim",
             Event::SpillForwarded(_) => "spill_forwarded",
             Event::DigestMerged(_) => "digest_merged",
+            Event::BatchCoalesced(_) => "batch_coalesced",
+            Event::ShardSteal(_) => "shard_steal",
         }
     }
 
@@ -765,6 +806,21 @@ impl Event {
                 ("epoch", JsonValue::num(d.epoch as f64)),
                 ("applied", JsonValue::str(if d.applied { "yes" } else { "no" })),
             ],
+            Event::BatchCoalesced(b) => vec![
+                ("event", JsonValue::str("batch_coalesced")),
+                ("broker", JsonValue::num(b.broker as f64)),
+                ("shard", JsonValue::num(b.shard as f64)),
+                ("tenant", JsonValue::str(&b.tenant)),
+                ("merged", JsonValue::num(b.merged as f64)),
+                ("bytes", JsonValue::num(b.bytes as f64)),
+            ],
+            Event::ShardSteal(s) => vec![
+                ("event", JsonValue::str("shard_steal")),
+                ("broker", JsonValue::num(s.broker as f64)),
+                ("thief", JsonValue::num(s.thief as f64)),
+                ("victim", JsonValue::num(s.victim as f64)),
+                ("stolen", JsonValue::num(s.stolen as f64)),
+            ],
         };
         JsonValue::Object(obj.into_iter().map(|(k, v)| (k.to_string(), v)).collect()).render()
     }
@@ -958,6 +1014,19 @@ impl Event {
                     "no" => false,
                     other => return Err(ParseError::new(format!("bad applied {other:?}"))),
                 },
+            })),
+            "batch_coalesced" => Ok(Event::BatchCoalesced(BatchCoalesced {
+                broker: broker_from_json(&v)?,
+                shard: v.get("shard")?.u64()? as u32,
+                tenant: v.get("tenant")?.string()?,
+                merged: v.get("merged")?.u64()?,
+                bytes: v.get("bytes")?.u64()?,
+            })),
+            "shard_steal" => Ok(Event::ShardSteal(ShardSteal {
+                broker: broker_from_json(&v)?,
+                thief: v.get("thief")?.u64()? as u32,
+                victim: v.get("victim")?.u64()? as u32,
+                stolen: v.get("stolen")?.u64()?,
             })),
             other => Err(ParseError::new(format!("unknown event kind {other:?}"))),
         }
@@ -1190,6 +1259,14 @@ mod tests {
             }),
             Event::DigestMerged(DigestMerged { broker: 0, peer: 1, epoch: 17, applied: true }),
             Event::DigestMerged(DigestMerged { broker: 1, peer: 0, epoch: 16, applied: false }),
+            Event::BatchCoalesced(BatchCoalesced {
+                broker: 0,
+                shard: 2,
+                tenant: "stream".into(),
+                merged: 4,
+                bytes: 2 << 30,
+            }),
+            Event::ShardSteal(ShardSteal { broker: 1, thief: 0, victim: 3, stolen: 7 }),
         ];
         let text: String = events.iter().map(|e| e.to_json() + "\n").collect();
         let back = read_jsonl(&text).expect("roundtrip");
@@ -1211,7 +1288,7 @@ mod tests {
         for kind in EVENT_KINDS {
             assert!(seen.insert(*kind), "duplicate event kind {kind:?}");
         }
-        assert_eq!(EVENT_KINDS.len(), 18);
+        assert_eq!(EVENT_KINDS.len(), 20);
     }
 
     #[test]

@@ -81,6 +81,14 @@ pub struct Summary {
     pub spill_forward_ns: f64,
     /// Peer capacity digests merged into federation boards.
     pub digest_merges: u64,
+    /// Coalesced admission batches planned in one placement walk.
+    pub batches_coalesced: u64,
+    /// Individual requests covered by those coalesced batches.
+    pub coalesced_requests: u64,
+    /// Work-stealing grabs between shard dispatchers.
+    pub shard_steals: u64,
+    /// Individual queued requests moved by those steals.
+    pub stolen_requests: u64,
     /// Per-node occupancy, latest and high-water.
     pub occupancy: BTreeMap<NodeId, OccupancyStats>,
     /// Phases in arrival order.
@@ -169,6 +177,14 @@ impl Summary {
                 self.spill_forward_ns += s.cost_ns;
             }
             Event::DigestMerged(_) => self.digest_merges += 1,
+            Event::BatchCoalesced(b) => {
+                self.batches_coalesced += 1;
+                self.coalesced_requests += b.merged;
+            }
+            Event::ShardSteal(s) => {
+                self.shard_steals += 1;
+                self.stolen_requests += s.stolen;
+            }
             // Event is non_exhaustive for forward compatibility;
             // unknown variants simply don't aggregate.
             #[allow(unreachable_patterns)]
@@ -264,6 +280,16 @@ impl Summary {
                 fmt_bytes(self.spill_forward_bytes),
                 self.spill_forward_ns / 1e6,
                 self.digest_merges
+            );
+        }
+        if self.batches_coalesced + self.shard_steals > 0 {
+            let _ = writeln!(
+                out,
+                "  shards: {} coalesced batches covering {} requests, {} steals moving {} requests",
+                self.batches_coalesced,
+                self.coalesced_requests,
+                self.shard_steals,
+                self.stolen_requests
             );
         }
         if self.tiering_actions + self.guidance_actions > 0 {
@@ -461,6 +487,36 @@ mod tests {
         assert!(text.contains("admissions by broker: broker 0: 1, broker 1: 2"), "{text}");
         assert!(text.contains("1 spill forwards"), "{text}");
         assert!(text.contains("1 digest merges"), "{text}");
+    }
+
+    #[test]
+    fn shard_counters_aggregate_and_render() {
+        use crate::{BatchCoalesced, ShardSteal};
+        let mut s = Summary::default();
+        s.add(&Event::BatchCoalesced(BatchCoalesced {
+            broker: 0,
+            shard: 1,
+            tenant: "stream".into(),
+            merged: 4,
+            bytes: 4 << 20,
+        }));
+        s.add(&Event::BatchCoalesced(BatchCoalesced {
+            broker: 0,
+            shard: 0,
+            tenant: "graph500".into(),
+            merged: 2,
+            bytes: 2 << 20,
+        }));
+        s.add(&Event::ShardSteal(ShardSteal { broker: 0, thief: 1, victim: 0, stolen: 3 }));
+        assert_eq!(s.batches_coalesced, 2);
+        assert_eq!(s.coalesced_requests, 6);
+        assert_eq!(s.shard_steals, 1);
+        assert_eq!(s.stolen_requests, 3);
+        let text = s.render();
+        assert!(
+            text.contains("2 coalesced batches covering 6 requests, 1 steals moving 3 requests"),
+            "{text}"
+        );
     }
 
     #[test]

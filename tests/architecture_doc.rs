@@ -1,0 +1,52 @@
+//! Doc-coverage for the system map: `docs/ARCHITECTURE.md` must name
+//! every crate in the workspace, and the README must point readers at
+//! it. Adding a crate without placing it on the map fails here.
+
+use std::path::Path;
+
+const ARCHITECTURE: &str = include_str!("../docs/ARCHITECTURE.md");
+const README: &str = include_str!("../README.md");
+
+/// Every directory under `crates/` is a workspace member named
+/// `hetmem-<dir>` (each member's `Cargo.toml` pins that convention).
+fn crate_names() -> Vec<String> {
+    let crates_dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("crates");
+    let mut names: Vec<String> = std::fs::read_dir(&crates_dir)
+        .expect("crates/ directory")
+        .filter_map(|entry| {
+            let entry = entry.expect("dir entry");
+            if !entry.path().join("Cargo.toml").exists() {
+                return None;
+            }
+            Some(format!("hetmem-{}", entry.file_name().to_string_lossy()))
+        })
+        .collect();
+    names.sort();
+    assert!(names.len() >= 17, "crates/ looks truncated: {names:?}");
+    names
+}
+
+#[test]
+fn every_crate_appears_on_the_architecture_map() {
+    let missing: Vec<String> =
+        crate_names().into_iter().filter(|name| !ARCHITECTURE.contains(name)).collect();
+    assert!(
+        missing.is_empty(),
+        "docs/ARCHITECTURE.md does not place these crates on the map: {missing:?}"
+    );
+}
+
+#[test]
+fn the_map_names_the_umbrella_and_the_normative_docs() {
+    for needle in ["hetmem", "DESIGN.md", "PROTOCOL.md", "OPERATIONS.md"] {
+        assert!(ARCHITECTURE.contains(needle), "docs/ARCHITECTURE.md does not mention {needle}");
+    }
+}
+
+#[test]
+fn the_readme_links_the_architecture_map() {
+    assert!(
+        README.contains("docs/ARCHITECTURE.md"),
+        "README.md must link the one-page system map (docs/ARCHITECTURE.md)"
+    );
+}

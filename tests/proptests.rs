@@ -9,10 +9,10 @@ use hetmem::memsim::{
     PAGE_SIZE,
 };
 use hetmem::telemetry::{
-    compact, AllocDecision, AttrFallback, Candidate, ContentionStall, Event, FallbackMode,
-    FreeEvent, GuidanceDecision, Hop, LeaseExpired, LeaseRevoked, Migration, NodeTrafficSample,
-    OccupancyGauge, PhaseSpan, QuotaClamp, Reclaim, RetryExhausted, Scope, TenantAdmit,
-    TierDegraded, TieringEvent,
+    compact, AllocDecision, AttrFallback, BatchCoalesced, Candidate, ContentionStall, DigestMerged,
+    Event, FallbackMode, FreeEvent, GuidanceDecision, Hop, LeaseExpired, LeaseRevoked, Migration,
+    NodeTrafficSample, OccupancyGauge, PhaseSpan, QuotaClamp, Reclaim, RetryExhausted, Scope,
+    ShardSteal, SpillForwarded, TenantAdmit, TierDegraded, TieringEvent,
 };
 use hetmem::{Bitmap, NodeId};
 use proptest::prelude::*;
@@ -396,6 +396,31 @@ fn event_strategy() -> impl Strategy<Value = Event> {
                 Event::Reclaim(Reclaim { broker, tenant, lease, bytes, placement, reason })
             }
         ),
+        (0u32..4, 0u32..4, ".{1,10}", any::<u64>(), any::<u64>(), any::<f64>()).prop_map(
+            |(broker, origin, tenant, size, fast_bytes, cost)| {
+                Event::SpillForwarded(SpillForwarded {
+                    broker,
+                    origin,
+                    tenant,
+                    size,
+                    fast_bytes,
+                    cost_ns: cost * 1e6,
+                })
+            }
+        ),
+        (0u32..4, 0u32..4, any::<u64>(), any::<bool>()).prop_map(
+            |(broker, peer, epoch, applied)| {
+                Event::DigestMerged(DigestMerged { broker, peer, epoch, applied })
+            }
+        ),
+        (0u32..4, 0u32..8, ".{1,10}", 2u64..64, any::<u64>()).prop_map(
+            |(broker, shard, tenant, merged, bytes)| {
+                Event::BatchCoalesced(BatchCoalesced { broker, shard, tenant, merged, bytes })
+            }
+        ),
+        (0u32..4, 0u32..8, 0u32..8, 1u64..64).prop_map(|(broker, thief, victim, stolen)| {
+            Event::ShardSteal(ShardSteal { broker, thief, victim, stolen })
+        }),
     ]
 }
 
