@@ -1,7 +1,7 @@
 //! Regenerates every table of the paper's evaluation.
 //!
 //! ```text
-//! repro_tables [--table1|--table2a|--table2b|--table3a|--table3b|--table4|--portability|--capacity|--guidance|--service|--chaos|--replay|--federation|--shard|--all]
+//! repro_tables [--table1|--table2a|--table2b|--table3a|--table3b|--table4|--portability|--capacity|--guidance|--service|--chaos|--replay|--federation|--shard|--guided-service|--all]
 //!              [--trace <out.jsonl>]
 //! repro_tables --compare <baseline.json|dir> <current.json|dir> [--tolerance <frac>]
 //! repro_tables --check-bench <BENCH_*.json>...
@@ -14,8 +14,8 @@
 //! `lease_expired`, `reclaim`, ...).
 //!
 //! The `--capacity`, `--guidance`, `--service`, `--chaos`, `--replay`,
-//! `--federation` and `--shard` runs also persist their key numbers as
-//! `BENCH_<area>.json` at the repo root (schema:
+//! `--federation`, `--shard` and `--guided-service` runs also persist
+//! their key numbers as `BENCH_<area>.json` at the repo root (schema:
 //! `docs/bench_schema.json`). `--compare` diffs a fresh run against
 //! the committed baseline and exits non-zero when any metric regresses
 //! by more than the tolerance (default 10%) in its losing direction;
@@ -39,6 +39,13 @@
 //! throughput rises monotonically from 1 through 4 shards at 100k+
 //! clients, and every shard count's aggregate fast-tier hit rate stays
 //! within one percentage point of the 1-shard baseline.
+//!
+//! `--guided-service` sweeps {1, 2, 4} latency tenants against a
+//! fast-tier hog with the broker's guidance plane on and off, under
+//! fair-share and FCFS arbitration; it exits non-zero unless reruns
+//! are bit-identical, guided fair-share beats unguided fair-share on
+//! the era-two fast-tier traffic fraction at every mix, and sampling
+//! overhead stays under 1% of modelled phase time.
 
 use hetmem_alloc::planner::{plan, PlanOrder, PlannedAlloc};
 use hetmem_alloc::{baselines, Fallback};
@@ -119,6 +126,9 @@ fn main() {
     }
     if all || arg == "--shard" {
         shard();
+    }
+    if all || arg == "--guided-service" {
+        guided_service();
     }
 }
 
@@ -1126,6 +1136,114 @@ fn shard() {
     );
     println!();
     if !identical || !monotone || !fair {
+        std::process::exit(1);
+    }
+}
+
+/// Guided service: the tenant-mix sweep behind the broker's fused
+/// guidance plane. A batch hog captures the whole KNL MCDRAM before
+/// {1, 2, 4} latency tenants arrive; after eight epochs the hog's
+/// working set shifts and its resident lease goes cold. Guided
+/// brokers demote it and promote the latency cohort at the epoch
+/// folds; unguided brokers never revisit placement. All numbers are
+/// modelled traffic fractions and move counts (no wall clock), so
+/// `BENCH_guided.json` is regression-gated on all machines. Exits
+/// non-zero unless reruns are bit-identical, guided fair-share beats
+/// unguided fair-share on the era-two fast-tier fraction at every
+/// mix, and every guided run's sampling overhead stays under 1% of
+/// modelled phase time.
+fn guided_service() {
+    use hetmem_bench::guided_load::{knl_guided_load, run_guided_load};
+    use hetmem_service::ArbitrationPolicy;
+    let ctx = Ctx::knl();
+    println!("== Guided service: hog + latency-cohort mix sweep (KNL, 16 GiB MCDRAM) ==");
+    println!(
+        "{:<5} {:<12} {:<9} {:>9} {:>10} {:>10} {:>7} {:>7} {:>9}",
+        "mix", "policy", "guided", "fast-hit", "era2-hit", "hot-era2", "promo", "demo", "overhead"
+    );
+    let mut records = Vec::new();
+    let mut identical = true;
+    let mut guided_wins = true;
+    let mut bounded = true;
+    for mix in [1u32, 2, 4] {
+        for policy in [ArbitrationPolicy::FairShare, ArbitrationPolicy::Fcfs] {
+            let mut era2 = [0.0f64; 2];
+            for guided in [false, true] {
+                let cfg = knl_guided_load(mix, guided, policy);
+                let report = run_guided_load(ctx.machine.clone(), ctx.attrs.clone(), &cfg);
+                identical &=
+                    report == run_guided_load(ctx.machine.clone(), ctx.attrs.clone(), &cfg);
+                era2[guided as usize] = report.era2_fast_frac;
+                if guided {
+                    bounded &= report.overhead_frac() < 0.01;
+                }
+                println!(
+                    "{:<5} {:<12} {:<9} {:>8.1}% {:>9.1}% {:>9.1}% {:>7} {:>7} {:>8.3}%",
+                    mix,
+                    policy.as_str(),
+                    if guided { "on" } else { "off" },
+                    report.fast_frac * 100.0,
+                    report.era2_fast_frac * 100.0,
+                    report.hot_era2_fast_frac * 100.0,
+                    report.promotions,
+                    report.demotions,
+                    report.overhead_frac() * 100.0
+                );
+                let tag = format!(
+                    "m{mix}_{}_{}",
+                    policy.as_str().replace('-', "_"),
+                    if guided { "guided" } else { "unguided" }
+                );
+                records.extend([
+                    BenchRecord::new(
+                        "guided_sweep",
+                        format!("{tag}_fast_hit"),
+                        report.fast_frac,
+                        "frac",
+                        cfg.seed,
+                    ),
+                    BenchRecord::new(
+                        "guided_sweep",
+                        format!("{tag}_era2_fast_hit"),
+                        report.era2_fast_frac,
+                        "frac",
+                        cfg.seed,
+                    ),
+                ]);
+                if guided {
+                    records.extend([
+                        BenchRecord::new(
+                            "guided_sweep",
+                            format!("{tag}_promotions"),
+                            report.promotions as f64,
+                            "count",
+                            cfg.seed,
+                        ),
+                        BenchRecord::new(
+                            "guided_sweep",
+                            format!("{tag}_overhead_ns"),
+                            report.overhead_ns,
+                            "ns",
+                            cfg.seed,
+                        ),
+                    ]);
+                }
+            }
+            if policy == ArbitrationPolicy::FairShare {
+                guided_wins &= era2[1] > era2[0];
+            }
+        }
+    }
+    emit_bench("guided", &records);
+    println!(
+        "  => reruns bit-identical: {}; guided fair-share beats unguided at every mix: {}; \
+         sampling overhead under 1%: {}",
+        if identical { "yes" } else { "NO" },
+        if guided_wins { "yes" } else { "NO" },
+        if bounded { "yes" } else { "NO" }
+    );
+    println!();
+    if !identical || !guided_wins || !bounded {
         std::process::exit(1);
     }
 }

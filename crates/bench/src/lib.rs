@@ -9,6 +9,7 @@ use hetmem_core::{discovery, MemAttrs};
 use hetmem_memsim::{AccessEngine, Machine, MemoryManager};
 use std::sync::Arc;
 
+pub mod guided_load;
 pub mod load;
 pub mod perf;
 pub mod shard_load;

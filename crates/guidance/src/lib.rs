@@ -31,9 +31,11 @@
 #![warn(missing_docs)]
 
 mod hotness;
+pub mod plane;
 mod sampler;
 
 pub use hotness::{hot_set_accuracy, HotnessMap};
+pub use plane::{AdaptiveConfig, GuidancePlane, MigrationBudget, ObserveOutcome, RegionView};
 pub use sampler::{AccessSample, SampleBatch, Sampler, SamplerConfig};
 
 use hetmem_bitmap::Bitmap;
@@ -156,20 +158,18 @@ impl GuidanceStats {
     }
 }
 
-/// The online guidance engine. Target selection is delegated to the
-/// shared [`hetmem_placement::PlacementEngine`], so guidance ranks
-/// memories exactly the way the allocator and the service broker do
-/// (same attribute-fallback chain, same locality scoping).
+/// The online guidance engine — now a thin adapter binding a
+/// [`GuidancePlane`] (sampling, hotness, hysteresis, candidate
+/// selection) to one scenario's `MemoryManager`. Target selection is
+/// delegated to the shared [`hetmem_placement::PlacementEngine`], so
+/// guidance ranks memories exactly the way the allocator and the
+/// service broker do (same attribute-fallback chain, same locality
+/// scoping). The service broker embeds the same plane per tenant; this
+/// adapter exists so standalone scenarios keep their one-call API.
 pub struct GuidanceEngine {
     placer: PlacementEngine,
-    policy: GuidancePolicy,
-    sampler: Sampler,
-    hotness: HotnessMap,
+    plane: GuidancePlane,
     sink: TelemetrySink,
-    /// Intervals since each region last migrated (absent = never).
-    since_move: BTreeMap<RegionId, u64>,
-    interval: u64,
-    stats: GuidanceStats,
     // Per-phase scratch, harvested by `run_phase`.
     actions: Vec<GuidanceAction>,
     accuracy: Vec<f64>,
@@ -178,17 +178,13 @@ pub struct GuidanceEngine {
 }
 
 impl GuidanceEngine {
-    /// Creates an engine over the machine's attributes.
+    /// Creates an engine over the machine's attributes, with the
+    /// legacy fixed sampling rate.
     pub fn new(attrs: Arc<MemAttrs>, policy: GuidancePolicy, sampler: SamplerConfig) -> Self {
         GuidanceEngine {
             placer: PlacementEngine::new(attrs),
-            hotness: HotnessMap::new(policy.window_bytes),
-            policy,
-            sampler: Sampler::new(sampler),
+            plane: GuidancePlane::new(policy, sampler),
             sink: TelemetrySink::disabled(),
-            since_move: BTreeMap::new(),
-            interval: 0,
-            stats: GuidanceStats::default(),
             actions: Vec::new(),
             accuracy: Vec::new(),
             overhead_ns: 0.0,
@@ -203,17 +199,22 @@ impl GuidanceEngine {
 
     /// The policy the engine runs with.
     pub fn policy(&self) -> &GuidancePolicy {
-        &self.policy
+        self.plane.policy()
     }
 
     /// Lifetime counters.
     pub fn stats(&self) -> &GuidanceStats {
-        &self.stats
+        self.plane.stats()
     }
 
     /// The current hotness estimates.
     pub fn hotness(&self) -> &HotnessMap {
-        &self.hotness
+        self.plane.hotness()
+    }
+
+    /// The underlying feedback plane.
+    pub fn plane(&self) -> &GuidancePlane {
+        &self.plane
     }
 
     /// How many sampling intervals `phase` will be sliced into: one
@@ -224,9 +225,9 @@ impl GuidanceEngine {
     pub fn intervals_for(&self, phase: &Phase) -> usize {
         let accesses: u64 =
             phase.accesses.iter().map(|a| (a.bytes_read + a.bytes_written) / LINE).sum();
-        let per_interval = self.sampler.config().period.max(1) * self.policy.samples_per_interval;
+        let per_interval = self.plane.period().max(1) * self.policy().samples_per_interval;
         let n = (accesses / per_interval.max(1)) as usize;
-        n.clamp(1, self.policy.max_intervals)
+        n.clamp(1, self.policy().max_intervals)
     }
 
     /// Runs one phase under guidance: slices it into sampling
@@ -263,28 +264,19 @@ impl GuidanceEngine {
 
     /// Drops a freed region from the hotness and hysteresis state.
     pub fn forget(&mut self, region: RegionId) {
-        self.hotness.forget(region);
-        self.since_move.remove(&region);
+        self.plane.forget(region);
     }
 
     fn on_interval(&mut self, mm: &mut MemoryManager, report: &PhaseReport, initiator: &Bitmap) {
-        self.interval += 1;
-        self.stats.intervals += 1;
-        for v in self.since_move.values_mut() {
-            *v += 1;
-        }
-
-        let batch = self.sampler.sample(report);
-        self.overhead_ns += batch.overhead_ns;
-        self.stats.overhead_ns += batch.overhead_ns;
-        self.hotness.observe(&batch);
+        let outcome = self.plane.observe(report);
+        self.overhead_ns += outcome.overhead_ns;
 
         let truth = truth_shares(report);
-        let acc = hot_set_accuracy(&self.hotness, &truth, self.policy.hot_share);
+        let acc = hot_set_accuracy(self.plane.hotness(), &truth, self.policy().hot_share);
         self.accuracy.push(acc);
-        self.stats.accuracy_sum += acc;
+        self.plane.note_accuracy(acc);
 
-        let Ok(ranking) = self.placer.rank(self.policy.criterion, initiator, Scope::Local) else {
+        let Ok(ranking) = self.placer.rank(self.policy().criterion, initiator, Scope::Local) else {
             return;
         };
         let Some(hot_target) = ranking.nodes().first().copied() else {
@@ -297,7 +289,8 @@ impl GuidanceEngine {
             .unwrap_or_default();
 
         // Demotions first: free the hot target before filling it.
-        for (region, share) in self.plan(mm, hot_target, false) {
+        let views = plane::region_views(mm.regions(), hot_target);
+        for (region, share) in self.plane.plan(&views, false) {
             let Some(to) = capacity_order
                 .iter()
                 .copied()
@@ -307,7 +300,9 @@ impl GuidanceEngine {
             };
             self.execute(mm, region, to, false, share, truth.get(&region).copied().unwrap_or(0.0));
         }
-        for (region, share) in self.plan(mm, hot_target, true) {
+        // Re-view after the demotions: promotions see the freed target.
+        let views = plane::region_views(mm.regions(), hot_target);
+        for (region, share) in self.plane.plan(&views, true) {
             if !self.fits(mm, region, hot_target) {
                 continue;
             }
@@ -320,32 +315,6 @@ impl GuidanceEngine {
                 truth.get(&region).copied().unwrap_or(0.0),
             );
         }
-    }
-
-    /// Regions to move: promotions (`hot == true`) are regions whose
-    /// estimated share crossed `hot_share` and that are not already
-    /// fully on the hot target; demotions are tracked regions below
-    /// `cold_share` still holding bytes there. Hysteresis filters both.
-    fn plan(&self, mm: &MemoryManager, hot_target: NodeId, hot: bool) -> Vec<(RegionId, f64)> {
-        mm.regions()
-            .filter_map(|r| {
-                let share = self.hotness.share(r.id);
-                let movable =
-                    self.since_move.get(&r.id).is_none_or(|&s| s >= self.policy.hysteresis);
-                let on_target = r.bytes_on(hot_target);
-                // Demotions wait for the estimator to warm up: before a
-                // full window of traffic has been observed every share
-                // is still ramping from zero, and a busy region would
-                // read as "cold".
-                let warmed = self.hotness.observed_bytes() >= self.policy.window_bytes;
-                let wanted = if hot {
-                    share >= self.policy.hot_share && on_target < r.size
-                } else {
-                    share < self.policy.cold_share && on_target > 0 && warmed
-                };
-                (wanted && movable).then_some((r.id, share))
-            })
-            .collect()
     }
 
     fn fits(&self, mm: &MemoryManager, region: RegionId, node: NodeId) -> bool {
@@ -364,14 +333,8 @@ impl GuidanceEngine {
         let Ok(report) = mm.migrate(region, to) else {
             return;
         };
-        self.since_move.insert(region, 0);
+        self.plane.record_move(region, promoted, report.cost_ns);
         self.migration_ns += report.cost_ns;
-        self.stats.migration_ns += report.cost_ns;
-        if promoted {
-            self.stats.promotions += 1;
-        } else {
-            self.stats.demotions += 1;
-        }
         self.actions.push(GuidanceAction {
             region,
             to,
@@ -382,14 +345,14 @@ impl GuidanceEngine {
         });
         if self.sink.enabled() {
             self.sink.emit(Event::GuidanceDecision(hetmem_telemetry::GuidanceDecision {
-                interval: self.interval,
+                interval: self.plane.interval(),
                 region: region.0,
                 promoted,
                 to,
                 estimated_hotness: estimated,
                 actual_hotness: actual,
                 cost_ns: report.cost_ns,
-                period: self.sampler.config().period,
+                period: self.plane.period(),
             }));
         }
     }

@@ -80,6 +80,13 @@ impl Sampler {
         &self.cfg
     }
 
+    /// Retunes the sampling period without disturbing the RNG stream —
+    /// the adaptive guidance plane's back-off/burst controller calls
+    /// this between intervals.
+    pub fn set_period(&mut self, period: u64) {
+        self.cfg.period = period.max(1);
+    }
+
     /// Converts one interval's ground-truth counters into sampled
     /// counts. The relative error of each region's count shrinks as
     /// `1/sqrt(expected samples)` — exactly the accuracy/overhead

@@ -277,7 +277,7 @@ pub fn execute_with_options(
     for stmt in &scenario.commands {
         let line = stmt.line;
         match &stmt.cmd {
-            Command::Serve { policy, shards } => {
+            Command::Serve { policy, shards, guided, budget_ms } => {
                 let misuse = |message: &str| ExecError::Service {
                     name: "serve".into(),
                     line,
@@ -307,12 +307,25 @@ pub fn execute_with_options(
                          place against the whole machine)",
                     ));
                 }
+                if options.record && *guided {
+                    return Err(misuse(
+                        "recording cannot capture guided service (guided=on): the \
+                         guidance plane is an online estimator, not replayable history",
+                    ));
+                }
                 let mut b = Broker::new(machine.clone(), attrs.clone(), *policy);
                 b.set_sink(sink.clone());
                 // Model the dispatch plane width the way the sharded
                 // server does: the broker folds `shards` ticks into
                 // each contention epoch.
                 b.set_dispatch_planes(*shards);
+                if *guided {
+                    let mut cfg = hetmem_service::GuidedConfig::default();
+                    if let Some(ms) = budget_ms {
+                        cfg.budget_ns = *ms as f64 * 1.0e6;
+                    }
+                    b.enable_guidance(cfg);
+                }
                 broker = Some(b);
                 if options.record {
                     wire_log = Some(WireLog::new(machine.name(), *policy));
@@ -1342,6 +1355,31 @@ free fresh
             }
             other => panic!("expected service error, got {:?}", other.map(|_| ())),
         }
+        // Guided service cannot be recorded: the plane's estimator
+        // state is not replayable history.
+        let s = parse("machine knl-flat\nserve guided=on\n").expect("parses");
+        match execute_with_options(&s, sink(), opts) {
+            Err(ExecError::Service { name, line, message }) => {
+                assert_eq!(name, "serve");
+                assert_eq!(line, 2);
+                assert!(message.contains("guided"), "{message}");
+            }
+            other => panic!("expected service error, got {:?}", other.map(|_| ())),
+        }
+    }
+
+    #[test]
+    fn guided_serve_runs_and_reports_sampling_overhead() {
+        let s = parse(
+            "machine knl-flat\ninitiator 0-15\nthreads 16\n\
+             serve fair-share guided=on budget=5\n\
+             tenant app latency\nalloc a 1GiB bandwidth spill\n\
+             phase p\n  read a 2GiB seq\nend\ntick\n",
+        )
+        .expect("parses");
+        let r = execute_with_sink(&s, TelemetrySink::with_ring_words(1 << 12)).expect("runs");
+        assert_eq!(r.phases.len(), 1);
+        assert_eq!(r.tenants.len(), 1);
     }
 
     #[test]

@@ -137,17 +137,26 @@ pub enum Command {
         /// Attribute whose best local target hot regions move to.
         criterion: AttrId,
     },
-    /// `serve [policy] [shards=N]`: switch execution to broker-backed
-    /// multi-tenant mode; all following allocations go through the
-    /// arbiter (must appear before the first `alloc`). `shards=N`
-    /// declares the dispatch plane width the scenario models — the
-    /// broker folds N dispatcher ticks into each contention epoch, as
-    /// the live sharded server would.
+    /// `serve [policy] [shards=N] [guided=on|off] [budget=N]`: switch
+    /// execution to broker-backed multi-tenant mode; all following
+    /// allocations go through the arbiter (must appear before the
+    /// first `alloc`). `shards=N` declares the dispatch plane width
+    /// the scenario models — the broker folds N dispatcher ticks into
+    /// each contention epoch, as the live sharded server would.
+    /// `guided=on` embeds one adaptive guidance plane per tenant;
+    /// `budget=N` caps each epoch's migration batch at N milliseconds
+    /// of modelled move cost (requires `guided=on`).
     Serve {
         /// The arbitration policy (default fair-share).
         policy: ArbitrationPolicy,
         /// Dispatch shards (default 1, the single dispatcher).
         shards: u32,
+        /// Whether guided service (per-tenant guidance planes) is on.
+        guided: bool,
+        /// Per-epoch migration budget in milliseconds of modelled move
+        /// cost; `None` keeps [`hetmem_service::GuidedConfig`]'s
+        /// default.
+        budget_ms: Option<u64>,
     },
     /// `federate brokers=<n> [spill=on|off] [policy]`: switch
     /// execution to a federation of `n` shard brokers instead of a
@@ -502,6 +511,8 @@ pub fn parse(text: &str) -> Result<Scenario, ParseError> {
             "serve" => {
                 let mut policy = None;
                 let mut shards = 1u32;
+                let mut guided = false;
+                let mut budget_ms = None;
                 for &tok in &toks[1..] {
                     if let Some(n) = tok.strip_prefix("shards=") {
                         shards =
@@ -509,6 +520,19 @@ pub fn parse(text: &str) -> Result<Scenario, ParseError> {
                         if shards == 0 {
                             return Err(err("serve needs at least 1 shard".into()));
                         }
+                    } else if let Some(v) = tok.strip_prefix("guided=") {
+                        guided = match v {
+                            "on" => true,
+                            "off" => false,
+                            _ => return Err(err(format!("bad guided= value {tok:?} (on|off)"))),
+                        };
+                    } else if let Some(n) = tok.strip_prefix("budget=") {
+                        let ms: u64 =
+                            n.parse().map_err(|_| err(format!("bad budget= value {tok:?}")))?;
+                        if ms == 0 {
+                            return Err(err("serve budget= must be at least 1 ms".into()));
+                        }
+                        budget_ms = Some(ms);
                     } else if let Some(p) = ArbitrationPolicy::from_str_opt(tok) {
                         if policy.replace(p).is_some() {
                             return Err(err("serve takes at most one policy name".into()));
@@ -516,15 +540,20 @@ pub fn parse(text: &str) -> Result<Scenario, ParseError> {
                     } else {
                         return Err(err(format!(
                             "unknown serve argument {tok:?} \
-                             (fair-share|fcfs|static, shards=N)"
+                             (fair-share|fcfs|static, shards=N, guided=on|off, budget=N)"
                         )));
                     }
+                }
+                if budget_ms.is_some() && !guided {
+                    return Err(err("serve budget= requires guided=on".into()));
                 }
                 commands.push(Stmt {
                     line,
                     cmd: Command::Serve {
                         policy: policy.unwrap_or(ArbitrationPolicy::FairShare),
                         shards,
+                        guided,
+                        budget_ms,
                     },
                 });
             }
@@ -847,7 +876,12 @@ serve fcfs
         .expect("valid");
         assert_eq!(
             s.commands[0].cmd,
-            Command::Serve { policy: ArbitrationPolicy::FairShare, shards: 1 }
+            Command::Serve {
+                policy: ArbitrationPolicy::FairShare,
+                shards: 1,
+                guided: false,
+                budget_ms: None
+            }
         );
         assert_eq!(
             s.commands[1].cmd,
@@ -859,7 +893,12 @@ serve fcfs
         );
         assert_eq!(
             s.commands[4].cmd,
-            Command::Serve { policy: ArbitrationPolicy::Fcfs, shards: 1 }
+            Command::Serve {
+                policy: ArbitrationPolicy::Fcfs,
+                shards: 1,
+                guided: false,
+                budget_ms: None
+            }
         );
         // Default priority is normal.
         let s = parse("machine m\ntenant t\n").expect("valid");
@@ -894,13 +933,23 @@ serve fcfs
         let s = parse("machine knl-flat\nserve fcfs shards=4\n").expect("valid");
         assert_eq!(
             s.commands[0].cmd,
-            Command::Serve { policy: ArbitrationPolicy::Fcfs, shards: 4 }
+            Command::Serve {
+                policy: ArbitrationPolicy::Fcfs,
+                shards: 4,
+                guided: false,
+                budget_ms: None
+            }
         );
         // Order-independent: shards= may precede the policy.
         let s = parse("machine knl-flat\nserve shards=2 fair-share\n").expect("valid");
         assert_eq!(
             s.commands[0].cmd,
-            Command::Serve { policy: ArbitrationPolicy::FairShare, shards: 2 }
+            Command::Serve {
+                policy: ArbitrationPolicy::FairShare,
+                shards: 2,
+                guided: false,
+                budget_ms: None
+            }
         );
 
         let e = parse("machine m\nserve shards=0\n").expect_err("zero shards");
@@ -912,6 +961,42 @@ serve fcfs
 
         let e = parse("machine m\nserve fcfs static\n").expect_err("two policies");
         assert!(e.message.contains("at most one policy"), "{e}");
+    }
+
+    #[test]
+    fn serve_guided_arguments() {
+        let s = parse("machine knl-flat\nserve guided=on budget=5\n").expect("valid");
+        assert_eq!(
+            s.commands[0].cmd,
+            Command::Serve {
+                policy: ArbitrationPolicy::FairShare,
+                shards: 1,
+                guided: true,
+                budget_ms: Some(5),
+            }
+        );
+        // guided=off is accepted and equals the default.
+        let s = parse("machine knl-flat\nserve fcfs guided=off\n").expect("valid");
+        assert_eq!(
+            s.commands[0].cmd,
+            Command::Serve {
+                policy: ArbitrationPolicy::Fcfs,
+                shards: 1,
+                guided: false,
+                budget_ms: None,
+            }
+        );
+
+        let e = parse("machine m\nserve guided=maybe\n").expect_err("bad value");
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("guided="), "{e}");
+
+        let e = parse("machine m\nserve guided=on budget=0\n").expect_err("zero budget");
+        assert!(e.message.contains("at least 1 ms"), "{e}");
+
+        let e = parse("machine m\nserve budget=5\n").expect_err("budget without guided");
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("requires guided=on"), "{e}");
     }
 
     #[test]

@@ -41,6 +41,9 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 
+#[path = "guidance.rs"]
+pub mod guidance;
+
 /// How the arbiter divides scarce fast memory between tenants.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ArbitrationPolicy {
@@ -262,6 +265,9 @@ pub struct StripeEntry {
 ///   epoch, so at an epoch boundary the board carries no state that
 ///   can influence future epochs;
 /// * the telemetry sink — collectors re-attach after a restore;
+/// * the guidance plane ([`Broker::enable_guidance`]) — record mode
+///   refuses guided service, so no recorded run ever needs its
+///   estimator state replayed; a restored broker starts unguided;
 /// * everything derivable from the machine (node kinds, tier
 ///   capacities, the fast tier), which [`Broker::restore`] recomputes
 ///   via [`Broker::new`].
@@ -359,6 +365,10 @@ pub struct Broker {
     expired_total: AtomicU64,
     revoked_total: AtomicU64,
     reclaimed_bytes_total: AtomicU64,
+    /// Guided service mode: one adaptive [`hetmem_guidance::GuidancePlane`]
+    /// per tenant plus the shared per-epoch migration budget. `None`
+    /// (the default) keeps every legacy path untouched.
+    guidance: Option<guidance::GuidanceState>,
 }
 
 impl Broker {
@@ -433,6 +443,7 @@ impl Broker {
             expired_total: AtomicU64::new(0),
             revoked_total: AtomicU64::new(0),
             reclaimed_bytes_total: AtomicU64::new(0),
+            guidance: None,
         }
     }
 
@@ -1063,23 +1074,30 @@ impl Broker {
     /// Frees a removed lease record in the manager and settles the
     /// per-node ledgers to the manager's ground truth.
     fn settle_free(&self, record: &LeaseRecord) {
-        let nodes: BTreeSet<NodeId> = record.placement.iter().map(|&(n, _)| n).collect();
-        let mut guards: BTreeMap<NodeId, MutexGuard<'_, NodeLedger>> =
-            nodes.iter().map(|&n| (n, self.stripes[&n].lock().expect("stripe poisoned"))).collect();
-        let mut mm = self.mm.lock().expect("mm poisoned");
-        mm.free(record.region);
-        for (node, guard) in guards.iter_mut() {
-            guard.free = mm.available(*node);
-        }
-        for &(node, bytes) in &record.placement {
-            if let Some(guard) = guards.get_mut(&node) {
-                let used = guard.used_by.entry(record.tenant).or_insert(0);
-                *used = used.saturating_sub(bytes);
-                if *used == 0 {
-                    guard.used_by.remove(&record.tenant);
+        {
+            let nodes: BTreeSet<NodeId> = record.placement.iter().map(|&(n, _)| n).collect();
+            let mut guards: BTreeMap<NodeId, MutexGuard<'_, NodeLedger>> = nodes
+                .iter()
+                .map(|&n| (n, self.stripes[&n].lock().expect("stripe poisoned")))
+                .collect();
+            let mut mm = self.mm.lock().expect("mm poisoned");
+            mm.free(record.region);
+            for (node, guard) in guards.iter_mut() {
+                guard.free = mm.available(*node);
+            }
+            for &(node, bytes) in &record.placement {
+                if let Some(guard) = guards.get_mut(&node) {
+                    let used = guard.used_by.entry(record.tenant).or_insert(0);
+                    *used = used.saturating_sub(bytes);
+                    if *used == 0 {
+                        guard.used_by.remove(&record.tenant);
+                    }
                 }
             }
         }
+        // Outside the stripe/manager locks: the plane must stop
+        // tracking a region whose id the manager may now reuse.
+        self.guidance_forget(record.tenant, record.region);
     }
 
     /// Reclaims a lease outside the normal release path: frees its
@@ -1291,6 +1309,7 @@ impl Broker {
         if self.board.advance_epoch() {
             self.epoch.fetch_add(1, Ordering::SeqCst);
             self.expire_overdue();
+            self.guided_fold();
         }
     }
 
@@ -1300,6 +1319,27 @@ impl Broker {
     /// driving [`Broker::advance_epoch`] from one loop never need to.
     pub fn set_dispatch_planes(&self, planes: u32) {
         self.board.set_planes(planes);
+    }
+
+    /// Posts one dispatch round's admission counts (`dispatched`
+    /// served, `stolen` of them by work stealing) to the epoch's
+    /// steal-rate meter. [`crate::ShardCore`] calls this per drain.
+    pub fn note_shard_dispatch(&self, dispatched: u64, stolen: u64) {
+        self.board.note_dispatch(dispatched, stolen);
+    }
+
+    /// The dispatch plane's steal rate over the last closed epoch.
+    pub fn steal_rate(&self) -> f64 {
+        self.board.steal_rate()
+    }
+
+    /// Whether work stealing has stayed at or above
+    /// [`crate::STEAL_WARN_RATE`] for
+    /// [`crate::STEAL_WARN_EPOCHS`] consecutive epochs —
+    /// the operator signal that the shard assignment itself is
+    /// imbalanced (`docs/OPERATIONS.md` §8).
+    pub fn steal_warning(&self) -> bool {
+        self.board.steal_warning()
     }
 
     /// Captures every piece of mutable broker state as plain data.
@@ -1582,6 +1622,7 @@ impl Broker {
         let traffic: Vec<(NodeId, u64)> =
             report.per_node.iter().map(|(&n, t)| (n, t.bytes_read + t.bytes_written)).collect();
         let stall_ns = self.charge_traffic(tenant, &traffic, report.time_ns);
+        self.feed_guidance(tenant, &report);
         Ok(ServedPhase { report, stall_ns })
     }
 

@@ -46,7 +46,8 @@ pub mod shard;
 mod tenant;
 pub mod wire;
 
-pub use board::TrafficBoard;
+pub use board::{TrafficBoard, STEAL_WARN_EPOCHS, STEAL_WARN_RATE};
+pub use broker::guidance::GuidedConfig;
 pub use broker::{
     ArbitrationPolicy, Broker, BrokerState, Lease, LeaseEntry, LeaseId, RobustnessStats,
     ServedPhase, StripeEntry, TenantEntry, MAX_CONTENTION_SLOWDOWN,

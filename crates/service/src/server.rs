@@ -748,9 +748,12 @@ pub fn serve_with_shards(broker: &Broker, request: Request, shards: u32) -> Resp
             broker.release_by_id(LeaseId(lease))?;
             Ok(Response::Freed)
         }
-        Request::Stats => {
-            Ok(Response::Stats { tenants: broker.tenants(), nodes: broker.node_usage(), shards })
-        }
+        Request::Stats => Ok(Response::Stats {
+            tenants: broker.tenants(),
+            nodes: broker.node_usage(),
+            shards,
+            guided: broker.guided_overhead(),
+        }),
         Request::Forward { origin, tenant, size, criterion, fallback, label, ttl } => {
             let id = broker
                 .tenant_id(&tenant)
@@ -1070,12 +1073,13 @@ mod tests {
         };
         assert_eq!(code, "unknown_lease");
         let resp = client.call(&Request::Stats).expect("stats");
-        let Response::Stats { tenants, nodes, shards } = resp else {
+        let Response::Stats { tenants, nodes, shards, guided } = resp else {
             panic!("expected stats");
         };
         assert_eq!(tenants.len(), 1);
         assert_eq!(nodes.len(), 8, "KNL SNC-4 flat has 8 NUMA nodes");
         assert_eq!(shards, 1, "default plane is the single dispatcher");
+        assert_eq!(guided, None, "guidance is off unless enabled");
         server.shutdown();
     }
 

@@ -192,6 +192,7 @@ impl ShardCore {
     /// coalescing mergeable same-tenant runs when configured. Returns
     /// `(token, result)` pairs in service order.
     pub fn drain(&mut self) -> Vec<(u64, Result<Lease, ServiceError>)> {
+        let stolen_before = self.stolen_requests;
         self.balance();
         let mut results = Vec::new();
         for shard in 0..self.queues.len() {
@@ -207,6 +208,8 @@ impl ShardCore {
                 }
             }
         }
+        // Feed the epoch's steal-rate meter (`docs/OPERATIONS.md` §8).
+        self.broker.note_shard_dispatch(results.len() as u64, self.stolen_requests - stolen_before);
         results
     }
 

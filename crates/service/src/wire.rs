@@ -471,6 +471,10 @@ pub enum Response {
         /// Dispatch shards serving this broker (`1` = the single
         /// dispatcher; absent frames from older brokers parse as `1`).
         shards: u32,
+        /// Per-tenant `(name, sampling overhead ns)` when guided
+        /// service is on; `None` when it is off. An absent field
+        /// parses as off, so unguided brokers keep the old frame.
+        guided: Option<Vec<(String, f64)>>,
     },
     /// The broker's capacity digest (answer to a `digest` request).
     Digest {
@@ -554,10 +558,28 @@ impl Response {
                 ("renewed".into(), JsonValue::num(*renewed as f64)),
             ],
             Response::Freed => vec![("ok".into(), JsonValue::num(1.0))],
-            Response::Stats { tenants, nodes, shards } => vec![
-                ("ok".into(), JsonValue::num(1.0)),
-                ("shards".into(), JsonValue::num(*shards as f64)),
-                (
+            Response::Stats { tenants, nodes, shards, guided } => {
+                let mut fields = vec![
+                    ("ok".into(), JsonValue::num(1.0)),
+                    ("shards".into(), JsonValue::num(*shards as f64)),
+                ];
+                if let Some(guided) = guided {
+                    fields.push((
+                        "guided".into(),
+                        JsonValue::Array(
+                            guided
+                                .iter()
+                                .map(|(name, overhead_ns)| {
+                                    JsonValue::Array(vec![
+                                        JsonValue::str(name),
+                                        JsonValue::num(*overhead_ns),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ));
+                }
+                fields.push((
                     "tenants".into(),
                     JsonValue::Array(
                         tenants
@@ -588,8 +610,8 @@ impl Response {
                             })
                             .collect(),
                     ),
-                ),
-                (
+                ));
+                fields.push((
                     "nodes".into(),
                     JsonValue::Array(
                         nodes
@@ -603,8 +625,9 @@ impl Response {
                             })
                             .collect(),
                     ),
-                ),
-            ],
+                ));
+                fields
+            }
             Response::Digest { broker, epoch, tiers } => vec![
                 ("ok".into(), JsonValue::num(1.0)),
                 ("broker".into(), JsonValue::num(*broker as f64)),
@@ -773,7 +796,30 @@ impl Response {
                 })
                 .collect::<Result<Vec<_>, _>>()?;
             let shards = v.get("shards").and_then(|s| s.u64()).map(|s| s as u32).unwrap_or(1);
-            return Ok(Response::Stats { tenants, nodes, shards });
+            // Absent `guided` field (an unguided or older broker)
+            // parses as guidance off.
+            let guided = match v.get("guided") {
+                Err(_) => None,
+                Ok(entries) => Some(
+                    entries
+                        .array()
+                        .map_err(|e| bad(e.to_string()))?
+                        .iter()
+                        .map(|pair| {
+                            let pair = pair.array().map_err(|e| bad(e.to_string()))?;
+                            if pair.len() != 2 {
+                                return Err(bad(
+                                    "guided entries are [tenant, overhead_ns] pairs".into()
+                                ));
+                            }
+                            let name = pair[0].string().map_err(|e| bad(e.to_string()))?;
+                            let overhead_ns = pair[1].f64().map_err(|e| bad(e.to_string()))?;
+                            Ok((name, overhead_ns))
+                        })
+                        .collect::<Result<Vec<_>, _>>()?,
+                ),
+            };
+            return Ok(Response::Stats { tenants, nodes, shards, guided });
         }
         Ok(Response::Freed)
     }
@@ -900,7 +946,7 @@ mod tests {
             Response::Renewed { lease: 0, expires_at: None },
             Response::HeartbeatAck { renewed: 0 },
             Response::Freed,
-            Response::Stats { tenants: vec![], nodes: vec![], shards: 1 },
+            Response::Stats { tenants: vec![], nodes: vec![], shards: 1, guided: None },
             Response::Digest { broker: 0, epoch: 0, tiers: vec![] },
             Response::from_error(&ServiceError::Stalled),
         ];
@@ -936,6 +982,13 @@ mod tests {
                 }],
                 nodes: vec![(NodeId(0), 0, 1 << 30), (NodeId(4), 4096, 1 << 30)],
                 shards: 4,
+                guided: None,
+            },
+            Response::Stats {
+                tenants: vec![],
+                nodes: vec![(NodeId(0), 0, 1 << 30)],
+                shards: 1,
+                guided: Some(vec![("graph".into(), 1536.0), ("stream".into(), 0.0)]),
             },
             Response::Digest {
                 broker: 2,
@@ -951,6 +1004,16 @@ mod tests {
             let line = resp.to_json();
             assert_eq!(Response::from_json(&line).expect(&line), resp, "{line}");
         }
+    }
+
+    #[test]
+    fn legacy_stats_frames_parse_as_single_shard_and_unguided() {
+        let line = r#"{"ok":1,"tenants":[],"nodes":[]}"#;
+        let resp = Response::from_json(line).expect("legacy stats frame");
+        assert_eq!(
+            resp,
+            Response::Stats { tenants: vec![], nodes: vec![], shards: 1, guided: None }
+        );
     }
 
     #[test]

@@ -1,0 +1,127 @@
+//! Regression proptest for guided service: lease renewals racing the
+//! broker's mid-epoch migration folds.
+//!
+//! The epoch fold demotes cold regions and promotes hot ones while
+//! tenants keep renewing their leases. A renewal that read the lease
+//! table between a migration and its placement write-back would hand
+//! the tenant a lease pointing at memory the batch just moved — the
+//! classic stale-placement race. The broker prevents it by holding
+//! the lease-table lock across the migrate-and-write-back, so any
+//! renewal serialises either wholly before or wholly after the move.
+//! This test drives randomized interleavings of phases, renewals and
+//! epoch folds and cross-checks the lease table against the memory
+//! manager's ground truth after every step.
+
+use hetmem_alloc::{AllocRequest, Fallback};
+use hetmem_core::{attr, discovery};
+use hetmem_memsim::{AccessPattern, BufferAccess, Machine, Phase, RegionId};
+use hetmem_service::{
+    ArbitrationPolicy, Broker, GuidedConfig, Lease, LeaseId, Priority, TenantId, TenantSpec,
+};
+use hetmem_topology::GIB;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Renew this often (every step), expire after this many silent
+/// epochs — generous enough that renewal cadence, not expiry, is
+/// what the test exercises.
+const TTL: u64 = 8;
+
+fn guided_broker() -> Broker {
+    let machine = Arc::new(Machine::knl_snc4_flat());
+    let attrs = Arc::new(discovery::from_firmware(&machine, true).expect("attrs"));
+    let mut broker = Broker::new(machine, attrs, ArbitrationPolicy::FairShare);
+    // A small hotness window so demotion candidates warm up within a
+    // few epochs of phase traffic.
+    let mut cfg = GuidedConfig::default();
+    cfg.policy.window_bytes = 1 << 30;
+    broker.enable_guidance(cfg);
+    broker
+}
+
+fn phase(region: RegionId, bytes: u64) -> Phase {
+    Phase {
+        name: "p".into(),
+        accesses: vec![BufferAccess::new(region, bytes, 0, AccessPattern::Sequential)],
+        threads: 16,
+        initiator: "0-15".parse().unwrap(),
+        compute_ns: 0.0,
+    }
+}
+
+fn bw_request(bytes: u64) -> AllocRequest {
+    AllocRequest::new(bytes).criterion(attr::BANDWIDTH).fallback(Fallback::PartialSpill)
+}
+
+/// A batch hog captures the fast tier before a latency tenant
+/// arrives; the random schedule then decides when the hog's big lease
+/// goes cold (making it a demotion candidate) and the fold pulls the
+/// latency tenant up. Returns `(hog, hot, big, alt, hot_lease)`.
+fn hog_scenario(broker: &Broker) -> (TenantId, TenantId, Lease, Lease, Lease) {
+    let hog = broker.register(TenantSpec::new("hog").priority(Priority::Batch)).expect("register");
+    let big = broker.acquire_with_ttl(hog, &bw_request(14 * GIB), Some(TTL)).expect("admitted");
+    let alt = broker.acquire_with_ttl(hog, &bw_request(2 * GIB), Some(TTL)).expect("admitted");
+    let hot =
+        broker.register(TenantSpec::new("hot").priority(Priority::Latency)).expect("register");
+    let hot_lease =
+        broker.acquire_with_ttl(hot, &bw_request(2 * GIB), Some(TTL)).expect("admitted");
+    (hog, hot, big, alt, hot_lease)
+}
+
+/// One lease's placement as the renewal path would hand it back, with
+/// the basic shape invariant (placement bytes sum to the lease size).
+fn renewed_placement(broker: &Broker, tenant: TenantId, id: LeaseId) -> Result<u64, String> {
+    let expires = broker.renew(tenant, id).expect("renewable");
+    prop_assert!(expires.is_some(), "TTL leases renew to a concrete deadline");
+    let placement = broker.placement(id).expect("renewed lease is alive");
+    let total: u64 = placement.iter().map(|&(_, b)| b).sum();
+    Ok(total)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Whatever the interleaving of phase traffic, renewals and epoch
+    /// folds, a renewed lease always reports the placement the
+    /// migration batch actually left behind: placements stay
+    /// size-complete and the broker's cross-ledger invariants (lease
+    /// table vs memory-manager ground truth) hold after every fold.
+    #[test]
+    fn renewals_racing_epoch_folds_never_see_stale_placements(
+        steps in prop::collection::vec((any::<bool>(), any::<bool>(), 1usize..=3), 6..24)
+    ) {
+        let broker = guided_broker();
+        let (hog, hot, big, alt, hot_lease) = hog_scenario(&broker);
+        for &(hog_on_alt, renew_before_fold, reps) in &steps {
+            // The hog's working set either stays on its big lease or
+            // shifts to the alternate — the shift is what cools the
+            // big lease into a demotion candidate.
+            let hog_target = if hog_on_alt { alt.region() } else { big.region() };
+            for _ in 0..reps {
+                broker.run_phase(hog, &phase(hog_target, 2 * GIB)).expect("phase");
+                broker.run_phase(hot, &phase(hot_lease.region(), 2 * GIB)).expect("phase");
+            }
+            if renew_before_fold {
+                renewed_placement(&broker, hog, big.id())?;
+            }
+            // The fold runs inside this epoch close: demotions first,
+            // then priority-ordered promotions, each rewriting lease
+            // placements under the lease-table lock.
+            broker.advance_epoch();
+            // Renewals immediately after the fold must see the moved
+            // placements, never the pre-migration ones.
+            for (tenant, lease) in [(hog, &big), (hog, &alt), (hot, &hot_lease)] {
+                let total = renewed_placement(&broker, tenant, lease.id())?;
+                prop_assert_eq!(
+                    total,
+                    lease.size(),
+                    "renewed lease #{} placement must stay size-complete",
+                    lease.id().0
+                );
+            }
+            broker
+                .check_invariants()
+                .map_err(|e| format!("ledger divergence after fold: {e}"))?;
+        }
+    }
+}

@@ -1,6 +1,6 @@
 //! The broker daemon:
 //! `hetmem-serve <machine> [--policy fair-share|fcfs|static] [--addr <addr>]
-//! [--shards N] [--trace <out.jsonl>] [--record <out.hmwl>]
+//! [--shards N] [--guided] [--trace <out.jsonl>] [--record <out.hmwl>]
 //! [--restore <in.snap>]`.
 //!
 //! Binds a JSONL socket (default `tcp:127.0.0.1:7474`; use
@@ -12,6 +12,12 @@
 //! queues with request coalescing and work stealing (see
 //! docs/OPERATIONS.md §8 for when to raise it); `--record` requires
 //! the default single-dispatcher plane.
+//!
+//! `--guided` turns on guided service: one adaptive guidance plane
+//! per tenant feeding per-epoch promote/demote batches under the
+//! default migration budget (`hetmem_service::GuidedConfig`). Guided
+//! state is an online estimator, not replayable history, so
+//! `--guided` refuses to combine with `--record`.
 //!
 //! `--record` appends every accepted request frame, stamped with its
 //! arrival epoch, to a wire log that `hetmem-replay` can re-execute.
@@ -55,6 +61,7 @@ fn main() {
     let mut record: Option<String> = None;
     let mut restore: Option<String> = None;
     let mut shards: u32 = 1;
+    let mut guided = false;
     let mut iter = args.iter();
     while let Some(a) = iter.next() {
         match a.as_str() {
@@ -100,10 +107,11 @@ fn main() {
                 };
                 shards = n;
             }
+            "--guided" => guided = true,
             "--help" | "-h" => {
                 eprintln!(
                     "usage: hetmem-serve <machine> [--policy fair-share|fcfs|static] \
-                     [--addr tcp:host:port|unix:/path.sock] [--shards N] \
+                     [--addr tcp:host:port|unix:/path.sock] [--shards N] [--guided] \
                      [--trace <out.jsonl>] [--record <out.hmwl>] [--restore <in.snap>]"
                 );
                 eprintln!(
@@ -162,6 +170,16 @@ fn main() {
         }
         None => Broker::new(machine, attrs, policy),
     };
+    if guided {
+        // Guided state is an online estimator; the wire log cannot
+        // replay it (the DSL's record mode refuses `guided=on` for
+        // the same reason).
+        if record.is_some() {
+            eprintln!("hetmem-serve: --guided cannot be combined with --record");
+            std::process::exit(2);
+        }
+        broker.enable_guidance(hetmem_service::GuidedConfig::default());
+    }
     let mut _trace_collector: Option<BackgroundCollector> = None;
     if let Some(path) = &trace {
         match JsonlWriter::create(path) {
@@ -230,12 +248,13 @@ fn main() {
         }
     };
     println!(
-        "hetmem-serve: {} under {} arbitration on {} ({} dispatch shard{})",
+        "hetmem-serve: {} under {} arbitration on {} ({} dispatch shard{}{})",
         machine_name,
         policy.as_str(),
         server.local_addr(),
         shards,
-        if shards == 1 { "" } else { "s" }
+        if shards == 1 { "" } else { "s" },
+        if guided { ", guided" } else { "" }
     );
     println!("fast tier: {:?}", server.broker().fast_kind());
     // The background collector owns the trace cadence; main just

@@ -9,10 +9,11 @@
 //! put the same records on disk with a varint length frame per record.
 
 use crate::{
-    AllocDecision, AttrFallback, BatchCoalesced, Candidate, ContentionStall, DigestMerged, Event,
-    FallbackMode, FreeEvent, GuidanceDecision, Hop, LeaseExpired, LeaseRevoked, Migration,
-    NodeTrafficSample, OccupancyGauge, PhaseSpan, QuotaClamp, Reclaim, RetryExhausted, Scope,
-    ShardSteal, SpillForwarded, TenantAdmit, TierDegraded, TieringEvent,
+    AllocDecision, AttrFallback, BatchCoalesced, BudgetExhausted, Candidate, ContentionStall,
+    DigestMerged, Event, FallbackMode, FreeEvent, GuidanceDecision, Hop, HotPromoted, LeaseExpired,
+    LeaseRevoked, Migration, NodeTrafficSample, OccupancyGauge, PhaseSpan, QuotaClamp, Reclaim,
+    RetryExhausted, SampleRateChanged, Scope, ShardSteal, SpillForwarded, TenantAdmit,
+    TierDegraded, TieringEvent,
 };
 use hetmem_topology::NodeId;
 
@@ -213,6 +214,9 @@ fn kind_byte(event: &Event) -> u8 {
         Event::DigestMerged(_) => 17,
         Event::BatchCoalesced(_) => 18,
         Event::ShardSteal(_) => 19,
+        Event::SampleRateChanged(_) => 20,
+        Event::HotPromoted(_) => 21,
+        Event::BudgetExhausted(_) => 22,
     }
 }
 
@@ -386,6 +390,27 @@ pub fn encode_record(epoch: u64, event: &Event, out: &mut Vec<u8>) {
             put_u64(out, s.thief as u64);
             put_u64(out, s.victim as u64);
             put_u64(out, s.stolen);
+        }
+        Event::SampleRateChanged(s) => {
+            put_u64(out, s.broker as u64);
+            put_str(out, &s.tenant);
+            put_u64(out, s.old_period);
+            put_u64(out, s.new_period);
+        }
+        Event::HotPromoted(h) => {
+            put_u64(out, h.broker as u64);
+            put_str(out, &h.tenant);
+            put_u64(out, h.region);
+            put_u64(out, h.to.0 as u64);
+            put_u64(out, h.bytes);
+            put_f64(out, h.cost_ns);
+        }
+        Event::BudgetExhausted(b) => {
+            put_u64(out, b.broker as u64);
+            put_u64(out, b.epoch);
+            put_f64(out, b.spent_ns);
+            put_f64(out, b.budget_ns);
+            put_u64(out, b.deferred);
         }
     }
 }
@@ -562,6 +587,27 @@ pub fn decode_record(bytes: &[u8]) -> Result<(u64, Event), CodecError> {
             victim: c.u32()?,
             stolen: c.u64()?,
         }),
+        Some("sample_rate_changed") => Event::SampleRateChanged(SampleRateChanged {
+            broker: c.u32()?,
+            tenant: c.str()?,
+            old_period: c.u64()?,
+            new_period: c.u64()?,
+        }),
+        Some("hot_promoted") => Event::HotPromoted(HotPromoted {
+            broker: c.u32()?,
+            tenant: c.str()?,
+            region: c.u64()?,
+            to: c.node()?,
+            bytes: c.u64()?,
+            cost_ns: c.f64()?,
+        }),
+        Some("budget_exhausted") => Event::BudgetExhausted(BudgetExhausted {
+            broker: c.u32()?,
+            epoch: c.u64()?,
+            spent_ns: c.f64()?,
+            budget_ns: c.f64()?,
+            deferred: c.u64()?,
+        }),
         _ => return Err(CodecError::new(format!("unknown kind byte {kind}"))),
     };
     c.done()?;
@@ -675,6 +721,36 @@ mod tests {
                 }),
             ),
             (13, Event::ShardSteal(ShardSteal { broker: 0, thief: 2, victim: 0, stolen: 5 })),
+            (
+                14,
+                Event::SampleRateChanged(SampleRateChanged {
+                    broker: 0,
+                    tenant: "interactive".into(),
+                    old_period: 262_144,
+                    new_period: 4096,
+                }),
+            ),
+            (
+                14,
+                Event::HotPromoted(HotPromoted {
+                    broker: 1,
+                    tenant: "interactive".into(),
+                    region: 3,
+                    to: NodeId(4),
+                    bytes: 1 << 30,
+                    cost_ns: 52_000.5,
+                }),
+            ),
+            (
+                15,
+                Event::BudgetExhausted(BudgetExhausted {
+                    broker: 0,
+                    epoch: 15,
+                    spent_ns: 99_000.0,
+                    budget_ns: 100_000.0,
+                    deferred: 2,
+                }),
+            ),
         ];
         let mut buf = Vec::new();
         for (epoch, event) in &events {

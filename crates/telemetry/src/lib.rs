@@ -451,6 +451,55 @@ pub struct ShardSteal {
     pub stolen: u64,
 }
 
+/// A tenant's adaptive guidance sampler retuned its period: backed
+/// off while the hot-set estimate was stable, or burst to the minimum
+/// period on a detected phase change.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SampleRateChanged {
+    /// Id of the emitting broker (0 standalone).
+    pub broker: u32,
+    /// The tenant whose sampler retuned.
+    pub tenant: String,
+    /// Period before the change (accesses per sample).
+    pub old_period: u64,
+    /// Period after the change.
+    pub new_period: u64,
+}
+
+/// The broker's epoch fold promoted a tenant's hot region onto the
+/// fast tier at arbitration time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HotPromoted {
+    /// Id of the emitting broker (0 standalone).
+    pub broker: u32,
+    /// The tenant owning the promoted region.
+    pub tenant: String,
+    /// The promoted region's id.
+    pub region: u64,
+    /// Destination node (the fast-tier target).
+    pub to: NodeId,
+    /// Region size, bytes.
+    pub bytes: u64,
+    /// Modelled migration cost charged to the epoch budget, ns.
+    pub cost_ns: f64,
+}
+
+/// An epoch's migration budget ran out before every planned move was
+/// executed; the remainder is deferred to a later epoch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BudgetExhausted {
+    /// Id of the emitting broker (0 standalone).
+    pub broker: u32,
+    /// The epoch whose fold hit the cap.
+    pub epoch: u64,
+    /// Migration cost charged before the cap was hit, ns.
+    pub spent_ns: f64,
+    /// The per-epoch cap, ns.
+    pub budget_ns: f64,
+    /// Planned moves deferred past the cap.
+    pub deferred: u64,
+}
+
 /// A telemetry event.
 #[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
@@ -496,6 +545,12 @@ pub enum Event {
     BatchCoalesced(BatchCoalesced),
     /// An idle shard stole queued admissions from a loaded sibling.
     ShardSteal(ShardSteal),
+    /// A tenant's adaptive sampler backed off or burst its period.
+    SampleRateChanged(SampleRateChanged),
+    /// The epoch fold promoted a tenant's hot region to the fast tier.
+    HotPromoted(HotPromoted),
+    /// An epoch's migration budget ran out; moves were deferred.
+    BudgetExhausted(BudgetExhausted),
 }
 
 /// The `event` field value of every [`Event`] variant, in declaration
@@ -522,6 +577,9 @@ pub const EVENT_KINDS: &[&str] = &[
     "digest_merged",
     "batch_coalesced",
     "shard_steal",
+    "sample_rate_changed",
+    "hot_promoted",
+    "budget_exhausted",
 ];
 
 /// Human-readable name for the well-known attribute ids of
@@ -610,6 +668,9 @@ impl Event {
             Event::DigestMerged(_) => "digest_merged",
             Event::BatchCoalesced(_) => "batch_coalesced",
             Event::ShardSteal(_) => "shard_steal",
+            Event::SampleRateChanged(_) => "sample_rate_changed",
+            Event::HotPromoted(_) => "hot_promoted",
+            Event::BudgetExhausted(_) => "budget_exhausted",
         }
     }
 
@@ -821,6 +882,30 @@ impl Event {
                 ("victim", JsonValue::num(s.victim as f64)),
                 ("stolen", JsonValue::num(s.stolen as f64)),
             ],
+            Event::SampleRateChanged(s) => vec![
+                ("event", JsonValue::str("sample_rate_changed")),
+                ("broker", JsonValue::num(s.broker as f64)),
+                ("tenant", JsonValue::str(&s.tenant)),
+                ("old_period", JsonValue::num(s.old_period as f64)),
+                ("new_period", JsonValue::num(s.new_period as f64)),
+            ],
+            Event::HotPromoted(h) => vec![
+                ("event", JsonValue::str("hot_promoted")),
+                ("broker", JsonValue::num(h.broker as f64)),
+                ("tenant", JsonValue::str(&h.tenant)),
+                ("region", JsonValue::num(h.region as f64)),
+                ("to", JsonValue::num(h.to.0 as f64)),
+                ("bytes", JsonValue::num(h.bytes as f64)),
+                ("cost_ns", JsonValue::num(h.cost_ns)),
+            ],
+            Event::BudgetExhausted(b) => vec![
+                ("event", JsonValue::str("budget_exhausted")),
+                ("broker", JsonValue::num(b.broker as f64)),
+                ("epoch", JsonValue::num(b.epoch as f64)),
+                ("spent_ns", JsonValue::num(b.spent_ns)),
+                ("budget_ns", JsonValue::num(b.budget_ns)),
+                ("deferred", JsonValue::num(b.deferred as f64)),
+            ],
         };
         JsonValue::Object(obj.into_iter().map(|(k, v)| (k.to_string(), v)).collect()).render()
     }
@@ -1027,6 +1112,27 @@ impl Event {
                 thief: v.get("thief")?.u64()? as u32,
                 victim: v.get("victim")?.u64()? as u32,
                 stolen: v.get("stolen")?.u64()?,
+            })),
+            "sample_rate_changed" => Ok(Event::SampleRateChanged(SampleRateChanged {
+                broker: broker_from_json(&v)?,
+                tenant: v.get("tenant")?.string()?,
+                old_period: v.get("old_period")?.u64()?,
+                new_period: v.get("new_period")?.u64()?,
+            })),
+            "hot_promoted" => Ok(Event::HotPromoted(HotPromoted {
+                broker: broker_from_json(&v)?,
+                tenant: v.get("tenant")?.string()?,
+                region: v.get("region")?.u64()?,
+                to: NodeId(v.get("to")?.u64()? as u32),
+                bytes: v.get("bytes")?.u64()?,
+                cost_ns: v.get("cost_ns")?.f64()?,
+            })),
+            "budget_exhausted" => Ok(Event::BudgetExhausted(BudgetExhausted {
+                broker: broker_from_json(&v)?,
+                epoch: v.get("epoch")?.u64()?,
+                spent_ns: v.get("spent_ns")?.f64()?,
+                budget_ns: v.get("budget_ns")?.f64()?,
+                deferred: v.get("deferred")?.u64()?,
             })),
             other => Err(ParseError::new(format!("unknown event kind {other:?}"))),
         }
@@ -1267,6 +1373,27 @@ mod tests {
                 bytes: 2 << 30,
             }),
             Event::ShardSteal(ShardSteal { broker: 1, thief: 0, victim: 3, stolen: 7 }),
+            Event::SampleRateChanged(SampleRateChanged {
+                broker: 0,
+                tenant: "interactive".into(),
+                old_period: 65536,
+                new_period: 4096,
+            }),
+            Event::HotPromoted(HotPromoted {
+                broker: 2,
+                tenant: "interactive".into(),
+                region: 9,
+                to: NodeId(4),
+                bytes: 1 << 30,
+                cost_ns: 42_000.25,
+            }),
+            Event::BudgetExhausted(BudgetExhausted {
+                broker: 0,
+                epoch: 12,
+                spent_ns: 95_000.0,
+                budget_ns: 100_000.0,
+                deferred: 3,
+            }),
         ];
         let text: String = events.iter().map(|e| e.to_json() + "\n").collect();
         let back = read_jsonl(&text).expect("roundtrip");
@@ -1288,7 +1415,7 @@ mod tests {
         for kind in EVENT_KINDS {
             assert!(seen.insert(*kind), "duplicate event kind {kind:?}");
         }
-        assert_eq!(EVENT_KINDS.len(), 20);
+        assert_eq!(EVENT_KINDS.len(), 23);
     }
 
     #[test]

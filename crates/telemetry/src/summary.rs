@@ -89,6 +89,14 @@ pub struct Summary {
     pub shard_steals: u64,
     /// Individual queued requests moved by those steals.
     pub stolen_requests: u64,
+    /// Adaptive-sampler period retunes (back-offs and bursts).
+    pub sample_rate_changes: u64,
+    /// Hot regions promoted by the broker's guided epoch fold.
+    pub hot_promotions: u64,
+    /// Epoch folds that ran out of migration budget.
+    pub budget_exhaustions: u64,
+    /// Moves deferred past exhausted budgets, cumulative.
+    pub deferred_moves: u64,
     /// Per-node occupancy, latest and high-water.
     pub occupancy: BTreeMap<NodeId, OccupancyStats>,
     /// Phases in arrival order.
@@ -184,6 +192,12 @@ impl Summary {
             Event::ShardSteal(s) => {
                 self.shard_steals += 1;
                 self.stolen_requests += s.stolen;
+            }
+            Event::SampleRateChanged(_) => self.sample_rate_changes += 1,
+            Event::HotPromoted(_) => self.hot_promotions += 1,
+            Event::BudgetExhausted(b) => {
+                self.budget_exhaustions += 1;
+                self.deferred_moves += b.deferred;
             }
             // Event is non_exhaustive for forward compatibility;
             // unknown variants simply don't aggregate.
@@ -290,6 +304,17 @@ impl Summary {
                 self.coalesced_requests,
                 self.shard_steals,
                 self.stolen_requests
+            );
+        }
+        if self.sample_rate_changes + self.hot_promotions + self.budget_exhaustions > 0 {
+            let _ = writeln!(
+                out,
+                "  guided service: {} hot promotions, {} sampler retunes, \
+                 {} budget exhaustions deferring {} moves",
+                self.hot_promotions,
+                self.sample_rate_changes,
+                self.budget_exhaustions,
+                self.deferred_moves
             );
         }
         if self.tiering_actions + self.guidance_actions > 0 {
@@ -517,6 +542,44 @@ mod tests {
             text.contains("2 coalesced batches covering 6 requests, 1 steals moving 3 requests"),
             "{text}"
         );
+    }
+
+    #[test]
+    fn guided_counters_aggregate_and_render() {
+        use crate::{BudgetExhausted, HotPromoted, SampleRateChanged};
+        let mut s = Summary::default();
+        s.add(&Event::SampleRateChanged(SampleRateChanged {
+            broker: 0,
+            tenant: "interactive".into(),
+            old_period: 65536,
+            new_period: 4096,
+        }));
+        s.add(&Event::HotPromoted(HotPromoted {
+            broker: 0,
+            tenant: "interactive".into(),
+            region: 7,
+            to: NodeId(4),
+            bytes: 1 << 30,
+            cost_ns: 5e4,
+        }));
+        s.add(&Event::BudgetExhausted(BudgetExhausted {
+            broker: 0,
+            epoch: 3,
+            spent_ns: 9e4,
+            budget_ns: 1e5,
+            deferred: 2,
+        }));
+        assert_eq!(s.sample_rate_changes, 1);
+        assert_eq!(s.hot_promotions, 1);
+        assert_eq!(s.budget_exhaustions, 1);
+        assert_eq!(s.deferred_moves, 2);
+        let text = s.render();
+        assert!(
+            text.contains("1 hot promotions, 1 sampler retunes, 1 budget exhaustions"),
+            "{text}"
+        );
+        // An unguided run must not grow the line (render stability).
+        assert!(!Summary::default().render().contains("guided service"));
     }
 
     #[test]

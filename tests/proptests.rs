@@ -9,10 +9,11 @@ use hetmem::memsim::{
     PAGE_SIZE,
 };
 use hetmem::telemetry::{
-    compact, AllocDecision, AttrFallback, BatchCoalesced, Candidate, ContentionStall, DigestMerged,
-    Event, FallbackMode, FreeEvent, GuidanceDecision, Hop, LeaseExpired, LeaseRevoked, Migration,
-    NodeTrafficSample, OccupancyGauge, PhaseSpan, QuotaClamp, Reclaim, RetryExhausted, Scope,
-    ShardSteal, SpillForwarded, TenantAdmit, TierDegraded, TieringEvent,
+    compact, AllocDecision, AttrFallback, BatchCoalesced, BudgetExhausted, Candidate,
+    ContentionStall, DigestMerged, Event, FallbackMode, FreeEvent, GuidanceDecision, Hop,
+    HotPromoted, LeaseExpired, LeaseRevoked, Migration, NodeTrafficSample, OccupancyGauge,
+    PhaseSpan, QuotaClamp, Reclaim, RetryExhausted, SampleRateChanged, Scope, ShardSteal,
+    SpillForwarded, TenantAdmit, TierDegraded, TieringEvent,
 };
 use hetmem::{Bitmap, NodeId};
 use proptest::prelude::*;
@@ -421,6 +422,39 @@ fn event_strategy() -> impl Strategy<Value = Event> {
         (0u32..4, 0u32..8, 0u32..8, 1u64..64).prop_map(|(broker, thief, victim, stolen)| {
             Event::ShardSteal(ShardSteal { broker, thief, victim, stolen })
         }),
+        (0u32..4, ".{1,10}", 1u64..(1 << 20), 1u64..(1 << 20)).prop_map(
+            |(broker, tenant, old_period, new_period)| {
+                Event::SampleRateChanged(SampleRateChanged {
+                    broker,
+                    tenant,
+                    old_period,
+                    new_period,
+                })
+            }
+        ),
+        (0u32..4, ".{1,10}", any::<u64>(), 0u32..8, any::<u64>(), any::<f64>()).prop_map(
+            |(broker, tenant, region, to, bytes, cost)| {
+                Event::HotPromoted(HotPromoted {
+                    broker,
+                    tenant,
+                    region,
+                    to: NodeId(to),
+                    bytes,
+                    cost_ns: cost * 1e6,
+                })
+            }
+        ),
+        (0u32..4, any::<u64>(), any::<f64>(), any::<f64>(), 0u64..64).prop_map(
+            |(broker, epoch, spent, budget, deferred)| {
+                Event::BudgetExhausted(BudgetExhausted {
+                    broker,
+                    epoch,
+                    spent_ns: spent * 1e6,
+                    budget_ns: budget * 1e6,
+                    deferred,
+                })
+            }
+        ),
     ]
 }
 
